@@ -1,0 +1,20 @@
+"""§7.2 — call-site analyzer efficiency (running time per target)."""
+
+from repro.experiments import analyzer_efficiency
+
+
+def test_analyzer_efficiency(benchmark):
+    result = benchmark.pedantic(analyzer_efficiency.run, rounds=1, iterations=1)
+    print()
+    print(result)
+
+    # Analysis of every target must complete quickly (the paper: 1-10 s for
+    # BIND-sized binaries; the synthetic targets are smaller, so well under
+    # a second each) and the cost should track the number of call sites.
+    for row in result.rows:
+        assert row["analysis time (ms)"] < 1000.0
+    with_sites = [row for row in result.rows if row["call sites analyzed"] > 0]
+    assert with_sites, "expected at least one binary with analyzable call sites"
+    most_sites = max(with_sites, key=lambda row: row["call sites analyzed"])
+    fewest_sites = min(with_sites, key=lambda row: row["call sites analyzed"])
+    assert most_sites["analysis time (ms)"] >= fewest_sites["analysis time (ms)"]

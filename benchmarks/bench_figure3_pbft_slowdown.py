@@ -1,0 +1,27 @@
+"""Figure 3 — PBFT slowdown under progressively worsening network conditions."""
+
+from repro.experiments import figure3_pbft_slowdown
+
+
+def test_figure3_pbft_slowdown(benchmark):
+    result = benchmark.pedantic(
+        figure3_pbft_slowdown.run,
+        kwargs={"requests": 30, "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    slowdowns = result.column("slowdown factor")
+    probabilities = result.column("loss probability")
+    assert probabilities == [0.0, 0.1, 0.8, 0.9, 0.95, 0.99]
+
+    # Gradual, monotonically (within tolerance) worsening performance...
+    assert abs(slowdowns[0] - 1.0) < 0.1
+    for previous, current in zip(slowdowns, slowdowns[1:]):
+        assert current >= previous - 0.15
+    # ...mild at 10% loss, and a single-digit factor even at 99% loss
+    # (the paper reports 4.17x).
+    assert slowdowns[1] < 2.0
+    assert 2.0 < slowdowns[-1] < 8.0

@@ -1,0 +1,21 @@
+"""Table 2 — precision of three triggers targeting the MySQL close bug."""
+
+from repro.experiments import table2_precision
+
+
+def test_table2_precision(benchmark):
+    result = benchmark.pedantic(
+        table2_precision.run, kwargs={"runs": 60}, rounds=1, iterations=1
+    )
+    print()
+    print(result)
+
+    random_precision = result.rows[0]["precision"]
+    in_file_precision = result.rows[1]["precision"]
+    custom_precision = result.rows[2]["precision"]
+
+    # The paper's ordering: blanket random (16%) < random within the bug's
+    # file (45%) < the custom close-after-unlock trigger (100%).
+    assert random_precision < in_file_precision < custom_precision
+    assert custom_precision == 1.0
+    assert random_precision <= 0.40

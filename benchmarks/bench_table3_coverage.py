@@ -1,0 +1,21 @@
+"""Table 3 — automated improvement in recovery-code coverage."""
+
+from repro.experiments import table3_coverage
+
+
+def test_table3_coverage(benchmark):
+    result = benchmark.pedantic(table3_coverage.run, rounds=1, iterations=1)
+    print()
+    print(result)
+
+    by_system = {row["system"]: row for row in result.rows}
+    assert set(by_system) == {"mini_git", "mini_bind"}
+
+    for row in result.rows:
+        # LFI must add recovery coverage without any new tests...
+        assert row["additional recovery code covered"] > 0.30
+        assert row["additional LOC covered by LFI"] > 0
+        # ...and total coverage must improve, with and without staying sane.
+        assert row["total coverage with LFI"] > row["total coverage without LFI"]
+        assert 0.0 < row["total coverage without LFI"] < 1.0
+        assert row["total coverage with LFI"] <= 1.0

@@ -1,0 +1,27 @@
+"""Table 5 — Apache running time with 1-5 triggers (trigger-mechanism overhead)."""
+
+from repro.experiments import table5_apache_overhead
+
+
+def test_table5_apache_overhead(benchmark):
+    result = benchmark.pedantic(
+        table5_apache_overhead.run,
+        kwargs={"requests": 300, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    baseline = result.rows[0]
+    five = result.rows[-1]
+    # Trigger evaluation must not change the server's behaviour...
+    assert all(row["static HTML (s)"] > 0 for row in result.rows)
+    # ...and the overhead must stay modest: well under 2x even with five
+    # triggers evaluated on every intercepted apr_file_read (the paper
+    # reports ~5%; the pure-Python reproduction pays more per evaluation but
+    # the shape — small, slowly growing — must hold).
+    assert five["static HTML (s)"] < 2.0 * baseline["static HTML (s)"]
+    assert five["PHP (s)"] < 1.5 * baseline["PHP (s)"]
+    # PHP (more work per request) is relatively less affected than static.
+    assert five["PHP overhead"] <= five["static overhead"] + 0.05

@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(§7) using the experiment harnesses in :mod:`repro.experiments`, prints the
+reproduced rows, and asserts the qualitative properties that should carry
+over from the paper (who wins, rough factors, orderings).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+This keeps ``pytest`` usable straight from a source checkout (and in offline
+environments where editable installs are awkward).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

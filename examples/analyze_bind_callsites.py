@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Call-site analysis: find unchecked error returns in the BIND analog.
+
+Shows the analyzer's raw output the way a tester would use it interactively:
+the classification of every ``malloc``/``open``/``close``/``unlink`` call
+site (fully checked / partially checked / unchecked), the file and line of
+each suspicious site (the DWARF-style debug info), the generated injection
+scenario for one of them, and a replay scenario derived from the injection
+log after the fault fired.
+
+Run with::
+
+    python examples/analyze_bind_callsites.py
+"""
+
+from repro.core.analysis.analyzer import CallSiteAnalyzer
+from repro.core.controller.target import WorkloadRequest
+from repro.core.injection.replay import build_replay_scenario, replay_script
+from repro.core.scenario.xml_io import scenario_to_xml
+from repro.isa.disassembler import Disassembler
+from repro.targets.mini_bind import MiniBindTarget
+
+
+def main() -> None:
+    target = MiniBindTarget()
+    binary = target.binary()
+    print(binary.summary())
+
+    analyzer = CallSiteAnalyzer()
+    report = analyzer.analyze(binary, functions=["malloc", "open", "close", "unlink",
+                                                 "xmlNewTextWriterDoc"])
+    print()
+    print(report.summary())
+
+    print("\nsuspicious call sites (unchecked or partially checked):")
+    for classification in report.classifications.values():
+        for site in classification.unchecked + classification.partially_checked:
+            print(f"  {site.describe()}")
+
+    scenarios = analyzer.generate_scenarios(report)
+    print(f"\n{len(scenarios)} scenarios generated; the first one as XML:\n")
+    print(scenario_to_xml(scenarios[0]))
+
+    print("disassembly around the statistics-channel xml call site:")
+    disassembler = Disassembler(binary)
+    print(disassembler.disassemble_function("render_stats"))
+
+    # Run the stats workload under the xml scenario and derive a replay.
+    xml_scenarios = [s for s in scenarios if s.metadata.get("target_function") == "xmlNewTextWriterDoc"]
+    if xml_scenarios:
+        result = target.run(WorkloadRequest(workload="stats", scenario=xml_scenarios[0]))
+        print(f"\nrunning the stats workload under that scenario: {result.outcome.describe()}")
+        injection = result.log.last_injection()
+        if injection is not None:
+            replay = build_replay_scenario(injection)
+            print("\nreplay scenario derived from the log (pin to the same call count):\n")
+            print(scenario_to_xml(replay))
+            print(replay_script(result.log.injections()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Quickstart: find recovery-code bugs in a program with zero annotations.
+
+The script walks the full LFI pipeline on a small program compiled from
+mini-C:
+
+1. profile the simulated shared libraries (what errors can they return?);
+2. run the call-site analyzer on the program binary to find call sites that
+   do not check those errors;
+3. let the analyzer generate injection scenarios (call-stack triggers pinned
+   to each suspicious site);
+4. run the program's workload once per scenario and report the crashes the
+   injections exposed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import LFIController, compile_source
+from repro.core.controller.monitor import RunResult, classify_exit_status
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.oslib.os_model import SimOS
+from repro.vm.machine import Machine
+
+# A small "log shipper": it rotates a log file and uploads it.  Two of its
+# library calls are not checked — exactly the kind of low-probability error
+# path that input testing never reaches.
+PROGRAM = r"""
+int rotate_log() {
+    int fd;
+    int n;
+    int buffer[64];
+    fd = open("/var/log/app.log", 0);
+    if (fd < 0) {
+        puts("nothing to rotate");
+        return 0;
+    }
+    n = read(fd, buffer, 32);          /* BUG: read error not checked */
+    write(fd, buffer, n);
+    close(fd);
+    return n;
+}
+
+int upload(int size) {
+    int payload;
+    payload = malloc(size);            /* BUG: allocation not checked */
+    *payload = 42;
+    puts("uploaded");
+    free(payload);
+    return 0;
+}
+
+int main() {
+    int rotated;
+    rotated = rotate_log();
+    if (rotated < 0) {
+        return 1;
+    }
+    return upload(256);
+}
+"""
+
+
+class LogShipperTarget:
+    """Minimal target adapter: how to build and run the program under test."""
+
+    name = "log_shipper"
+
+    def binary(self):
+        return compile_source(PROGRAM, name=self.name)
+
+    def workloads(self):
+        return ["default"]
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        os = SimOS(self.name)
+        os.fs.add_file("/var/log/app.log", b"2026-06-14 INFO started\n" * 4)
+        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        machine = Machine(self.binary(), os=os, gate=gate)
+        status = machine.run()
+        return RunResult(outcome=classify_exit_status(status), log=gate.log)
+
+
+def main() -> None:
+    controller = LFIController(LogShipperTarget())
+
+    profile = controller.profile_libraries()
+    print(f"profiled {len(profile)} library functions "
+          f"(e.g. read can fail with {profile.function('read').all_errnos()})")
+
+    analysis = controller.analyze_target()
+    print()
+    print(analysis.summary())
+
+    scenarios = controller.generate_scenarios(analysis)
+    print(f"\nanalyzer generated {len(scenarios)} injection scenarios")
+
+    report = controller.test_automatically(workloads=["default"])
+    print()
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

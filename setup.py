@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where build
+isolation cannot fetch build requirements (use
+``pip install -e . --no-build-isolation --no-use-pep517`` there); all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""LFI reproduction: high-precision testing of recovery code.
+
+This package reproduces the system described in *An Extensible Technique
+for High-Precision Testing of Recovery Code* (Marinescu, Banabic, Candea —
+USENIX ATC 2010): the **LFI** library-level fault injector with its trigger
+mechanism, XML fault-injection language, library profiler and call-site
+analyzer — plus every substrate the evaluation needs (a synthetic ISA and
+VM, a mini-C compiler, a simulated OS/libc, and analogs of BIND, Git,
+MySQL, Apache and PBFT).
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro import (
+        CallSiteAnalyzer, LFIController, ScenarioBuilder, compile_source,
+    )
+    from repro.targets.mini_git import MiniGitTarget
+
+    controller = LFIController(MiniGitTarget())
+    report = controller.test_automatically(workloads=["default-tests"])
+    print(report.summary())
+
+The main layers:
+
+* :mod:`repro.core` — the paper's contribution: triggers, scenarios,
+  injection runtime, profiler, call-site analyzer, controller.
+* :mod:`repro.isa`, :mod:`repro.minicc`, :mod:`repro.vm` — the binary
+  substrate (instruction set, compiler, virtual machine).
+* :mod:`repro.oslib` — simulated OS and libc (the fault boundary).
+* :mod:`repro.coverage` — recovery-code coverage measurement.
+* :mod:`repro.targets` — the five simulated systems under test.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
+from repro.core.controller.controller import ControllerReport, LFIController
+from repro.core.controller.target import WorkloadRequest
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.injection.gate import LibraryCallGate
+from repro.core.injection.log import InjectionLog
+from repro.core.injection.runtime import InjectionRuntime
+from repro.core.profiler.static_profiler import LibraryProfiler, profile_library
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.core.scenario.xml_io import parse_scenario_xml, scenario_to_xml
+from repro.core.triggers.base import Trigger, declare_trigger
+from repro.minicc.compiler import compile_source
+from repro.oslib.libc_binary import build_all_library_binaries, build_library_binary
+from repro.oslib.os_model import SimOS
+from repro.vm.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "CallContext",
+    "CallSiteAnalyzer",
+    "ControllerReport",
+    "FaultSpec",
+    "InjectionLog",
+    "InjectionRuntime",
+    "LFIController",
+    "LibraryCallGate",
+    "LibraryProfiler",
+    "Machine",
+    "Scenario",
+    "ScenarioBuilder",
+    "SimOS",
+    "Trigger",
+    "WorkloadRequest",
+    "build_all_library_binaries",
+    "build_library_binary",
+    "compile_source",
+    "declare_trigger",
+    "parse_scenario_xml",
+    "profile_library",
+    "scenario_to_xml",
+    "__version__",
+]

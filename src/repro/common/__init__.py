@@ -1,0 +1,5 @@
+"""Small shared datatypes used by both the substrates and the LFI core."""
+
+from repro.common.frames import StackFrame, format_stack
+
+__all__ = ["StackFrame", "format_stack"]

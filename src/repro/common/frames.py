@@ -1,0 +1,44 @@
+"""Stack frame representation shared by the VM and the Python-level targets.
+
+Call-stack triggers (§3.2) match frames by module name, offset within the
+binary, file/line pairs, or function name — so the frame record carries all
+four, and producers fill in whatever they know (the VM knows offsets and the
+line table; Python-level servers know module/function/file/line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One frame of the caller's stack at the moment of a library call."""
+
+    module: str
+    function: str = ""
+    offset: Optional[int] = None
+    file: str = ""
+    line: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [self.module]
+        if self.function:
+            parts.append(self.function)
+        if self.offset is not None:
+            parts.append(f"+{self.offset:#x}")
+        if self.file:
+            location = self.file if self.line is None else f"{self.file}:{self.line}"
+            parts.append(f"({location})")
+        return " ".join(parts)
+
+
+def format_stack(frames: Iterable[StackFrame]) -> str:
+    lines: List[str] = []
+    for depth, frame in enumerate(frames):
+        lines.append(f"#{depth} {frame.describe()}")
+    return "\n".join(lines)
+
+
+__all__ = ["StackFrame", "format_stack"]

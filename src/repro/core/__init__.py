@@ -1,0 +1,40 @@
+"""The LFI core: the paper's primary contribution.
+
+Subpackages:
+
+* :mod:`repro.core.profiler` — library profiler inferring fault profiles
+  (error return codes + errno side effects) from library binaries (§2).
+* :mod:`repro.core.triggers` — the trigger interface, registry, stock
+  triggers and composition (§3).
+* :mod:`repro.core.scenario` — the XML fault-injection language (§4).
+* :mod:`repro.core.injection` — the injection runtime, the library-call
+  gate (LD_PRELOAD shim analog), logs and replay (§2, §6).
+* :mod:`repro.core.analysis` — the call-site analyzer: partial CFGs,
+  dataflow on return-value copies, Algorithm 1 classification, scenario
+  generation (§5).
+* :mod:`repro.core.controller` — the LFI controller orchestrating test
+  campaigns and monitoring outcomes (§2).
+"""
+
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.injection.gate import LibraryCallGate
+from repro.core.injection.log import InjectionLog
+from repro.core.injection.runtime import InjectionRuntime
+from repro.core.scenario.model import FunctionPlan, Scenario, TriggerDecl
+from repro.core.triggers.base import Trigger
+from repro.core.triggers.registry import TriggerRegistry, default_registry
+
+__all__ = [
+    "CallContext",
+    "FaultSpec",
+    "FunctionPlan",
+    "InjectionLog",
+    "InjectionRuntime",
+    "LibraryCallGate",
+    "Scenario",
+    "Trigger",
+    "TriggerDecl",
+    "TriggerRegistry",
+    "default_registry",
+]

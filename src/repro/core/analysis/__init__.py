@@ -1,0 +1,39 @@
+"""Call-site analysis (§5).
+
+Finds "interesting" places to inject faults: call sites of library functions
+where the program does not check all the error return values the library can
+produce.  The analysis is purely static, runs on the binary (no source code),
+and follows Algorithm 1 of the paper:
+
+1. find all call sites of the target function,
+2. build a partial CFG of (up to) 100 post-call instructions,
+3. run a dataflow analysis tracking copies of the return value and the
+   literals they are compared against,
+4. classify the site as fully checked (C_yes), partially checked (C_part),
+   or completely unchecked (C_not), and
+5. generate fault-injection scenarios (call-stack triggers keyed on the call
+   site) for the unchecked and partially checked sites.
+"""
+
+from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
+from repro.core.analysis.cfg import BasicBlock, PartialCFG, build_partial_cfg
+from repro.core.analysis.classifier import ClassifiedSite, SiteClassification, classify_call_sites
+from repro.core.analysis.dataflow import CheckResult, analyze_return_value_checks
+from repro.core.analysis.errno_analysis import ErrnoCheckResult, analyze_errno_checks
+from repro.core.analysis.scenario_gen import generate_injection_scenarios
+
+__all__ = [
+    "AnalysisReport",
+    "BasicBlock",
+    "CallSiteAnalyzer",
+    "CheckResult",
+    "ClassifiedSite",
+    "ErrnoCheckResult",
+    "PartialCFG",
+    "SiteClassification",
+    "analyze_errno_checks",
+    "analyze_return_value_checks",
+    "build_partial_cfg",
+    "classify_call_sites",
+    "generate_injection_scenarios",
+]

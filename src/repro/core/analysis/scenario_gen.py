@@ -1,0 +1,125 @@
+"""Turn analyzer findings into fault-injection scenarios (§5).
+
+For every unchecked (and optionally partially checked) call site, the
+analyzer emits a scenario that uses the generic call-stack trigger to pin
+the injection to that exact site (module + offset, plus file/line when debug
+information is available) and injects the error return / errno pair from
+the library's fault profile.  A singleton trigger is composed at the end so
+each test run injects the fault once, mirroring the scenarios shown in §7.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.analysis.classifier import ClassifiedSite, SiteClassification
+from repro.core.profiler.fault_profile import FaultProfile, FunctionProfile
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.oslib.errno_codes import errno_value
+
+
+def _fault_candidates(profile: FunctionProfile) -> List[Dict[str, Optional[int]]]:
+    """All (return value, errno) pairs worth injecting for a function."""
+    candidates: List[Dict[str, Optional[int]]] = []
+    for specification in profile.error_returns:
+        if specification.errnos:
+            for name in specification.errnos:
+                candidates.append(
+                    {"return_value": specification.return_value, "errno": errno_value(name)}
+                )
+        else:
+            candidates.append({"return_value": specification.return_value, "errno": None})
+    return candidates
+
+
+def scenario_for_site(
+    binary_name: str,
+    classified: ClassifiedSite,
+    profile: FunctionProfile,
+    every_errno: bool = False,
+    once: bool = True,
+) -> List[Scenario]:
+    """Build injection scenario(s) targeting one classified call site."""
+    faults = _fault_candidates(profile)
+    if not faults:
+        return []
+    if not every_errno:
+        faults = faults[:1]
+
+    scenarios: List[Scenario] = []
+    site = classified.site
+    for index, fault in enumerate(faults):
+        suffix = f"-{index}" if len(faults) > 1 else ""
+        name = f"{binary_name}-{profile.name}-{site.address:#x}{suffix}"
+        builder = ScenarioBuilder(name)
+        trigger_id = f"site_{site.address:x}"
+        frame: Dict[str, object] = {"module": binary_name, "offset": site.address}
+        if site.source is not None:
+            frame["file"] = site.source.file
+            frame["line"] = site.source.line
+        builder.trigger_with_params(trigger_id, "CallStackTrigger", {"frame": frame})
+        trigger_ids = [trigger_id]
+        if once:
+            builder.trigger(f"{trigger_id}_once", "SingletonTrigger")
+            trigger_ids.append(f"{trigger_id}_once")
+        builder.inject(
+            profile.name,
+            trigger_ids,
+            return_value=int(fault["return_value"]),
+            errno=fault["errno"],
+        )
+        builder.metadata(
+            target_binary=binary_name,
+            target_function=profile.name,
+            call_site=site.address,
+            caller=site.caller,
+            category=classified.category,
+            source=str(site.source) if site.source else "",
+        )
+        scenarios.append(builder.build())
+    return scenarios
+
+
+def generate_injection_scenarios(
+    classifications: Iterable[SiteClassification],
+    profile: FaultProfile,
+    include_partial: bool = True,
+    include_checked: bool = False,
+    every_errno: bool = False,
+    once: bool = True,
+) -> List[Scenario]:
+    """Generate scenarios for the vulnerable sites of several classifications.
+
+    Scenarios for completely unchecked sites come first (the paper notes
+    testers are most interested in C_not, then C_part).
+    """
+    classifications = list(classifications)
+    ordered: List[tuple] = []
+    for classification in classifications:
+        ordered.extend((classification, site) for site in classification.unchecked)
+    if include_partial:
+        for classification in classifications:
+            ordered.extend((classification, site) for site in classification.partially_checked)
+    if include_checked:
+        for classification in classifications:
+            ordered.extend((classification, site) for site in classification.fully_checked)
+
+    scenarios: List[Scenario] = []
+    for classification, classified in ordered:
+        function_profile = profile.function(classified.site.callee)
+        if function_profile is None:
+            continue
+        scenarios.extend(
+            scenario_for_site(
+                classification.binary,
+                classified,
+                function_profile,
+                every_errno=every_errno,
+                once=once,
+            )
+        )
+    return scenarios
+
+
+__all__ = ["generate_injection_scenarios", "scenario_for_site"]

@@ -1,0 +1,123 @@
+"""Test campaigns: run a workload once per injection scenario.
+
+The controller "conducts a suite of tests in which the described errors are
+introduced" (§2): each analyzer-generated scenario (or hand-written
+scenario) is applied to a fresh instance of the target, the workload runs,
+and the outcome plus the injection log are recorded.  The result feeds the
+bug report (Table 1) and the coverage comparison (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.controller.monitor import Outcome, OutcomeKind, RunResult
+from repro.core.controller.target import TargetAdapter, WorkloadRequest
+from repro.core.scenario.model import Scenario
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of running one workload under one scenario."""
+
+    scenario: Scenario
+    workload: str
+    result: RunResult
+
+    @property
+    def outcome(self) -> Outcome:
+        return self.result.outcome
+
+    @property
+    def injected(self) -> bool:
+        return self.result.injections > 0
+
+    @property
+    def exposed_failure(self) -> bool:
+        """True when an injection happened and the run failed badly."""
+        return self.injected and self.result.outcome.is_high_impact
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario.name} [{self.workload}]: {self.result.outcome.describe()} "
+            f"({self.result.injections} injections)"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All scenario outcomes of one campaign."""
+
+    target: str
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    baseline: Optional[RunResult] = None
+
+    def failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.outcome.is_failure]
+
+    def high_impact_failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.exposed_failure]
+
+    def by_kind(self) -> Dict[OutcomeKind, int]:
+        histogram: Dict[OutcomeKind, int] = {}
+        for outcome in self.outcomes:
+            histogram[outcome.outcome.kind] = histogram.get(outcome.outcome.kind, 0) + 1
+        return histogram
+
+    def scenarios_run(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self) -> str:
+        histogram = ", ".join(f"{kind.value}: {count}" for kind, count in sorted(
+            self.by_kind().items(), key=lambda item: item[0].value))
+        return (
+            f"campaign on {self.target}: {self.scenarios_run()} scenario runs — {histogram}; "
+            f"{len(self.high_impact_failures())} injection-exposed failures"
+        )
+
+
+class TestCampaign:
+    """Run a set of scenarios against one target."""
+
+    def __init__(self, target: TargetAdapter, workload: str = "default") -> None:
+        self.target = target
+        self.workload = workload
+
+    def run_baseline(self, collect_coverage: bool = False, **options) -> RunResult:
+        """Run the workload with no LFI interference (sanity check / baseline)."""
+        return self.target.run(
+            WorkloadRequest(
+                workload=self.workload,
+                scenario=None,
+                collect_coverage=collect_coverage,
+                options=dict(options),
+            )
+        )
+
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        collect_coverage: bool = False,
+        include_baseline: bool = True,
+        **options,
+    ) -> CampaignResult:
+        campaign = CampaignResult(target=self.target.name)
+        if include_baseline:
+            campaign.baseline = self.run_baseline(collect_coverage=collect_coverage, **options)
+        for scenario in scenarios:
+            result = self.target.run(
+                WorkloadRequest(
+                    workload=self.workload,
+                    scenario=scenario,
+                    collect_coverage=collect_coverage,
+                    options=dict(options),
+                )
+            )
+            campaign.outcomes.append(
+                ScenarioOutcome(scenario=scenario, workload=self.workload, result=result)
+            )
+        return campaign
+
+
+__all__ = ["CampaignResult", "ScenarioOutcome", "TestCampaign"]

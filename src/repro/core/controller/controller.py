@@ -1,0 +1,189 @@
+"""The LFI controller: fully automatic end-to-end testing (§2, §7.1).
+
+``LFIController`` strings the pieces together the way the paper's
+evaluation uses them with "no developer assistance and no access to source
+code":
+
+1. profile the shared libraries (statically, from their binaries);
+2. run the call-site analyzer on the target binary to find unchecked /
+   partially checked call sites;
+3. generate one injection scenario per suspicious site;
+4. run the target's default test workload once per scenario;
+5. report the crashes and aborts the injections exposed as bug candidates.
+
+Python-level targets (no binary) skip step 2 and instead use the scenarios
+the target declares for itself (e.g. random-injection campaigns, which is
+also how the paper found the MySQL bugs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
+from repro.core.controller.campaign import CampaignResult, TestCampaign
+from repro.core.controller.report import BugCandidate, build_bug_report
+from repro.core.controller.target import TargetAdapter
+from repro.core.profiler.fault_profile import FaultProfile, merge_profiles
+from repro.core.profiler.static_profiler import profile_library
+from repro.core.scenario.model import Scenario
+from repro.oslib.libc_binary import build_all_library_binaries
+
+
+@dataclass
+class ControllerReport:
+    """End-to-end result of one automatic testing session."""
+
+    target: str
+    profile: FaultProfile
+    analysis: Optional[AnalysisReport]
+    scenarios: List[Scenario]
+    campaigns: Dict[str, CampaignResult] = field(default_factory=dict)
+    bugs: List[BugCandidate] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"LFI controller report for {self.target}"]
+        if self.analysis is not None:
+            lines.append("  " + self.analysis.summary().replace("\n", "\n  "))
+        lines.append(f"  scenarios generated: {len(self.scenarios)}")
+        for workload, campaign in self.campaigns.items():
+            lines.append(f"  [{workload}] " + campaign.summary())
+        lines.append(f"  bug candidates: {len(self.bugs)}")
+        for bug in self.bugs:
+            lines.append("    - " + bug.describe())
+        return "\n".join(lines)
+
+
+class LFIController:
+    """Drives profiling, analysis, scenario generation, and campaigns."""
+
+    def __init__(
+        self,
+        target: TargetAdapter,
+        profile: Optional[FaultProfile] = None,
+        max_cfg_instructions: int = 100,
+    ) -> None:
+        self.target = target
+        self._profile = profile
+        self.max_cfg_instructions = max_cfg_instructions
+
+    # ------------------------------------------------------------------
+    # step 1: library profiling
+    # ------------------------------------------------------------------
+    def profile_libraries(self) -> FaultProfile:
+        """Profile every simulated shared library from its binary."""
+        if self._profile is None:
+            profiles = [
+                profile_library(binary) for binary in build_all_library_binaries().values()
+            ]
+            self._profile = merge_profiles(profiles)
+        return self._profile
+
+    # ------------------------------------------------------------------
+    # step 2: call-site analysis
+    # ------------------------------------------------------------------
+    def analyze_target(self, functions: Optional[Sequence[str]] = None) -> Optional[AnalysisReport]:
+        binary = self.target.binary()
+        if binary is None:
+            return None
+        analyzer = CallSiteAnalyzer(
+            profile=self.profile_libraries(), max_instructions=self.max_cfg_instructions
+        )
+        return analyzer.analyze(binary, functions=functions)
+
+    # ------------------------------------------------------------------
+    # step 3: scenario generation
+    # ------------------------------------------------------------------
+    def generate_scenarios(
+        self,
+        analysis: Optional[AnalysisReport] = None,
+        functions: Optional[Sequence[str]] = None,
+        include_partial: bool = True,
+        include_checked: bool = False,
+        every_errno: bool = False,
+    ) -> List[Scenario]:
+        if analysis is None:
+            analysis = self.analyze_target(functions=functions)
+        if analysis is None:
+            return []
+        analyzer = CallSiteAnalyzer(
+            profile=self.profile_libraries(), max_instructions=self.max_cfg_instructions
+        )
+        return analyzer.generate_scenarios(
+            analysis,
+            include_partial=include_partial,
+            include_checked=include_checked,
+            every_errno=every_errno,
+            functions=functions,
+        )
+
+    # ------------------------------------------------------------------
+    # steps 4-5: campaigns and reports
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self,
+        scenarios: Sequence[Scenario],
+        workload: Optional[str] = None,
+        **options,
+    ) -> CampaignResult:
+        workload_name = workload or (self.target.workloads()[0] if self.target.workloads() else "default")
+        campaign = TestCampaign(self.target, workload=workload_name)
+        return campaign.run(scenarios, **options)
+
+    def test_automatically(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        functions: Optional[Sequence[str]] = None,
+        include_partial: bool = True,
+        include_checked: bool = False,
+        extra_scenarios: Optional[Sequence[Scenario]] = None,
+    ) -> ControllerReport:
+        """The fully automatic pipeline used by the Table 1 experiments.
+
+        ``include_checked=True`` additionally exercises the *checked* call
+        sites — i.e. it injects faults whose recovery code exists, which is
+        how recovery-code bugs such as BIND's ``dst_lib_init`` abort and
+        MySQL's double unlock manifest.
+        """
+        profile = self.profile_libraries()
+        analysis = self.analyze_target(functions=functions)
+        scenarios = list(
+            self.generate_scenarios(
+                analysis,
+                functions=functions,
+                include_partial=include_partial,
+                include_checked=include_checked,
+            )
+        )
+        if extra_scenarios:
+            scenarios.extend(extra_scenarios)
+
+        report = ControllerReport(
+            target=self.target.name,
+            profile=profile,
+            analysis=analysis,
+            scenarios=scenarios,
+        )
+        selected_workloads = list(workloads) if workloads else (self.target.workloads() or ["default"])
+        all_bugs: List[BugCandidate] = []
+        for workload in selected_workloads:
+            campaign = TestCampaign(self.target, workload=workload).run(scenarios)
+            report.campaigns[workload] = campaign
+            all_bugs.extend(build_bug_report(campaign))
+
+        # Deduplicate across workloads by (function, location, kind).
+        deduplicated: Dict[tuple, BugCandidate] = {}
+        for bug in all_bugs:
+            key = (bug.function, bug.location, bug.kind)
+            existing = deduplicated.get(key)
+            if existing is None:
+                deduplicated[key] = bug
+            else:
+                existing.occurrences += bug.occurrences
+                existing.scenarios.extend(bug.scenarios)
+        report.bugs = list(deduplicated.values())
+        return report
+
+
+__all__ = ["ControllerReport", "LFIController"]

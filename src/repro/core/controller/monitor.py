@@ -1,0 +1,146 @@
+"""Outcome monitoring: did the program terminate normally, crash, or abort?
+
+The LFI controller "monitors [the program's] behavior to determine whether
+it terminates normally or with an error exit code" (§2).  Two kinds of
+programs exist in the reproduction — compiled binaries running in the VM and
+Python-level simulated servers — and both funnel into the same
+:class:`Outcome` type so campaigns and reports are uniform.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.injection.log import InjectionLog
+from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
+from repro.vm.outcome import ExitKind, ExitStatus
+
+
+class OutcomeKind(enum.Enum):
+    NORMAL = "normal"
+    ERROR_EXIT = "error-exit"
+    CRASH = "crash"        # segmentation fault or unhandled exception
+    ABORT = "abort"        # assertion failure / abort() / mutex abort
+    HANG = "hang"          # exceeded its step or time budget
+    DATA_LOSS = "data-loss"  # silent corruption detected by a workload oracle
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not OutcomeKind.NORMAL
+
+    @property
+    def is_high_impact(self) -> bool:
+        return self in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.DATA_LOSS)
+
+
+@dataclass
+class Outcome:
+    """Classification of one program run."""
+
+    kind: OutcomeKind
+    detail: str = ""
+    exit_code: int = 0
+    location: str = ""
+
+    def describe(self) -> str:
+        text = self.kind.value
+        if self.exit_code:
+            text += f" (exit {self.exit_code})"
+        if self.location:
+            text += f" at {self.location}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+    @property
+    def is_failure(self) -> bool:
+        return self.kind.is_failure
+
+    @property
+    def is_high_impact(self) -> bool:
+        return self.kind.is_high_impact
+
+
+@dataclass
+class RunResult:
+    """Everything a campaign records about one workload run."""
+
+    outcome: Outcome
+    log: Optional[InjectionLog] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def injections(self) -> int:
+        return self.log.injection_count if self.log is not None else 0
+
+
+# ----------------------------------------------------------------------
+# classification helpers
+# ----------------------------------------------------------------------
+def classify_exit_status(status: ExitStatus) -> Outcome:
+    """Map a VM exit status to an outcome."""
+    mapping = {
+        ExitKind.NORMAL: OutcomeKind.NORMAL,
+        ExitKind.ERROR_EXIT: OutcomeKind.ERROR_EXIT,
+        ExitKind.SEGFAULT: OutcomeKind.CRASH,
+        ExitKind.ABORT: OutcomeKind.ABORT,
+        ExitKind.MAX_STEPS: OutcomeKind.HANG,
+        ExitKind.VM_ERROR: OutcomeKind.CRASH,
+    }
+    return Outcome(
+        kind=mapping[status.kind],
+        detail=status.reason,
+        exit_code=status.code,
+        location=status.source,
+    )
+
+
+def classify_exception(error: BaseException) -> Outcome:
+    """Map an exception escaping a Python-level target to an outcome."""
+    if isinstance(error, MemoryFault):
+        return Outcome(kind=OutcomeKind.CRASH, detail=str(error), exit_code=139)
+    if isinstance(error, MutexAbort):
+        return Outcome(kind=OutcomeKind.ABORT, detail=str(error), exit_code=134)
+    if isinstance(error, SimExit):
+        if error.aborted:
+            return Outcome(kind=OutcomeKind.ABORT, detail=error.reason, exit_code=error.code)
+        kind = OutcomeKind.NORMAL if error.code == 0 else OutcomeKind.ERROR_EXIT
+        return Outcome(kind=kind, detail=error.reason, exit_code=error.code)
+    if isinstance(error, OSFault):
+        return Outcome(kind=OutcomeKind.ERROR_EXIT, detail=str(error), exit_code=70)
+    # Any other unhandled exception is the Python analog of a crash.
+    return Outcome(
+        kind=OutcomeKind.CRASH,
+        detail=f"{type(error).__name__}: {error}",
+        exit_code=139,
+    )
+
+
+def run_python_workload(workload) -> Outcome:
+    """Run a Python callable and classify the way it terminates.
+
+    The callable may return an :class:`Outcome` (when the workload applies
+    its own oracle, e.g. detecting silent data loss), an integer exit code,
+    or ``None`` for a normal exit.
+    """
+    try:
+        result = workload()
+    except BaseException as error:  # noqa: BLE001 - we classify everything
+        return classify_exception(error)
+    if isinstance(result, Outcome):
+        return result
+    if isinstance(result, int) and result != 0:
+        return Outcome(kind=OutcomeKind.ERROR_EXIT, exit_code=result)
+    return Outcome(kind=OutcomeKind.NORMAL)
+
+
+__all__ = [
+    "Outcome",
+    "OutcomeKind",
+    "RunResult",
+    "classify_exception",
+    "classify_exit_status",
+    "run_python_workload",
+]

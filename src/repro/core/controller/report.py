@@ -1,0 +1,82 @@
+"""Bug reporting: turn campaign failures into deduplicated bug candidates.
+
+A bug candidate is a (target, library function, call site / stack) triple
+for which an injected fault led to a crash, abort, or data loss.  This is
+what Table 1 of the paper counts; the human step of confirming each
+candidate against the source is replaced by the targets' ground-truth bug
+annotations in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller.campaign import CampaignResult, ScenarioOutcome
+from repro.core.controller.monitor import OutcomeKind
+
+
+@dataclass
+class BugCandidate:
+    """One deduplicated potential bug exposed by fault injection."""
+
+    target: str
+    function: str
+    location: str
+    kind: OutcomeKind
+    description: str
+    scenarios: List[str] = field(default_factory=list)
+    occurrences: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.target}: {self.kind.value} after injected {self.function} failure "
+            f"at {self.location or 'unknown location'} — {self.description}"
+        )
+
+
+def _candidate_key(outcome: ScenarioOutcome) -> Tuple[str, str]:
+    function = outcome.scenario.metadata.get("target_function", "")
+    if not function:
+        injections = outcome.result.log.injections() if outcome.result.log else []
+        function = injections[0].function if injections else "?"
+    location = outcome.scenario.metadata.get("source", "")
+    if not location:
+        injections = outcome.result.log.injections() if outcome.result.log else []
+        location = injections[0].source if injections else ""
+    return function, location
+
+
+def build_bug_report(campaign: CampaignResult) -> List[BugCandidate]:
+    """Deduplicate the campaign's injection-exposed failures into candidates."""
+    candidates: Dict[Tuple[str, str, OutcomeKind], BugCandidate] = {}
+    for outcome in campaign.outcomes:
+        if not outcome.exposed_failure:
+            continue
+        function, location = _candidate_key(outcome)
+        key = (function, location, outcome.outcome.kind)
+        candidate = candidates.get(key)
+        if candidate is None:
+            candidate = BugCandidate(
+                target=campaign.target,
+                function=function,
+                location=location,
+                kind=outcome.outcome.kind,
+                description=outcome.outcome.detail or outcome.outcome.describe(),
+            )
+            candidates[key] = candidate
+        candidate.scenarios.append(outcome.scenario.name)
+        candidate.occurrences += 1
+    return list(candidates.values())
+
+
+def format_bug_report(candidates: List[BugCandidate]) -> str:
+    if not candidates:
+        return "no injection-exposed failures"
+    lines = [f"{len(candidates)} bug candidate(s):"]
+    for index, candidate in enumerate(candidates, start=1):
+        lines.append(f"  {index}. {candidate.describe()} [{candidate.occurrences} run(s)]")
+    return "\n".join(lines)
+
+
+__all__ = ["BugCandidate", "build_bug_report", "format_bug_report"]

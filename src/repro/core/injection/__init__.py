@@ -1,0 +1,19 @@
+"""Injection runtime: the boundary where faults are introduced."""
+
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.injection.gate import LibraryCallGate
+from repro.core.injection.log import InjectionLog, InjectionRecord
+from repro.core.injection.replay import build_replay_scenario
+from repro.core.injection.runtime import InjectionDecision, InjectionRuntime
+
+__all__ = [
+    "CallContext",
+    "FaultSpec",
+    "InjectionDecision",
+    "InjectionLog",
+    "InjectionRecord",
+    "InjectionRuntime",
+    "LibraryCallGate",
+    "build_replay_scenario",
+]

@@ -1,0 +1,77 @@
+"""Call context handed to triggers.
+
+The paper's ``Trigger::Eval`` receives the intercepted function's name and
+its original arguments, and a trigger "can directly obtain any other
+information normally accessible to a program" — the call stack (via
+``backtrace()``), global variables, OS state.  :class:`CallContext` is that
+bundle: the gate fills in the cheap fields eagerly and exposes the expensive
+ones (the call stack, program state) through lazy accessors so that trigger
+evaluation stays inexpensive (§7.4 measures exactly this overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.frames import StackFrame
+
+
+@dataclass
+class CallContext:
+    """Everything a trigger may inspect about one intercepted library call."""
+
+    function: str
+    args: Tuple[Any, ...] = ()
+    #: Per-function call count (1 for the first call to this function).
+    call_count: int = 0
+    #: Global call index across all intercepted functions.
+    global_index: int = 0
+    #: Name of the node/process making the call (distributed scenarios).
+    node: str = ""
+    #: Name of the module (binary or Python module) making the call.
+    module: str = ""
+    #: Call-site address in the binary, when known.
+    call_address: Optional[int] = None
+    #: Source location of the call site (file:line), when known.
+    source: Optional[Any] = None
+    #: Simulated OS of the calling process, when known (lets triggers check
+    #: descriptor types with fstat, as the ReadPipe trigger does).
+    os: Optional[Any] = None
+    #: Lazily evaluated call-stack provider.
+    stack_provider: Optional[Callable[[], Sequence[StackFrame]]] = None
+    #: Program-state reader: name -> value (or None when unknown).
+    state_reader: Optional[Callable[[str], Optional[Any]]] = None
+    #: Free-form extras provided by the caller environment.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    _cached_stack: Optional[List[StackFrame]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def stack(self) -> List[StackFrame]:
+        """The caller's stack, innermost frame first (computed lazily)."""
+        if self._cached_stack is None:
+            if self.stack_provider is None:
+                self._cached_stack = []
+            else:
+                self._cached_stack = list(self.stack_provider())
+        return self._cached_stack
+
+    def read_state(self, name: str) -> Optional[Any]:
+        """Read a named program variable (program-state triggers)."""
+        if self.state_reader is None:
+            return None
+        return self.state_reader(name)
+
+    def arg(self, index: int, default: Any = 0) -> Any:
+        if 0 <= index < len(self.args):
+            return self.args[index]
+        return default
+
+    def describe(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.function}({args}) [call #{self.call_count} on {self.node or self.module}]"
+
+
+__all__ = ["CallContext"]

@@ -1,0 +1,43 @@
+"""Fault specification: what gets injected when a trigger fires.
+
+A fault is an error return value plus its side effects.  In this
+reproduction the side effects are the ``errno`` value (as in the paper's
+examples) and an optional free-form dictionary for extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.oslib.errno_codes import errno_name, errno_value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The injected error: return value + errno side effect."""
+
+    return_value: int
+    errno: Optional[int] = None
+    side_effects: Dict[str, int] = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def errno_name(self) -> str:
+        return errno_name(self.errno) if self.errno is not None else ""
+
+    def describe(self) -> str:
+        if self.errno is None:
+            return f"return {self.return_value}"
+        return f"return {self.return_value}, errno={self.errno_name}"
+
+    @classmethod
+    def from_strings(cls, return_value: str, errno: Optional[str]) -> "FaultSpec":
+        """Build a fault from the scenario language's string attributes."""
+        value = int(str(return_value), 0)
+        errno_int: Optional[int] = None
+        if errno is not None and errno.strip() and errno.strip().lower() not in ("unused", "none"):
+            errno_int = errno_value(errno)
+        return cls(return_value=value, errno=errno_int)
+
+
+__all__ = ["FaultSpec"]

@@ -1,0 +1,220 @@
+"""The library-call gate: the LD_PRELOAD shim of the reproduction (§6).
+
+Every library call made by a program under test — whether it runs inside the
+VM (compiled mini-C targets) or is a Python-level simulated server calling
+through :class:`~repro.oslib.facade.LibcFacade` — flows through one
+:class:`LibraryCallGate`.  The gate:
+
+1. counts the call (per function and globally),
+2. builds the :class:`~repro.core.injection.context.CallContext` triggers
+   inspect (arguments, lazy stack, program state reader, node name),
+3. asks the :class:`~repro.core.injection.runtime.InjectionRuntime` whether
+   to inject, and
+4. either applies the fault (return value + errno side effect) without ever
+   invoking the real function, or passes the call through — exactly the two
+   paths of the generated stub shown in §6.
+
+``observe_only`` reproduces the §7.4 methodology: triggers are evaluated but
+all calls pass through, isolating the trigger mechanism's overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.frames import StackFrame
+from repro.core.injection.context import CallContext
+from repro.core.injection.log import InjectionLog
+from repro.core.injection.runtime import InjectionRuntime
+from repro.oslib.libc import LibcResult
+
+
+def _python_stack_provider(skip_modules: Tuple[str, ...]) -> Callable[[], List[StackFrame]]:
+    """Build a provider that snapshots the current Python call stack.
+
+    Used for the Python-level simulated servers, where the "program" is
+    Python code: frames from the gate/facade machinery itself are skipped so
+    triggers see the application's stack, mirroring how a real backtrace
+    starts at the intercepted call site.  The provider walks raw frame
+    objects (no source-line loading), keeping trigger evaluation cheap — the
+    §7.4 experiments measure exactly this cost.
+    """
+
+    def provider(max_depth: int = 16) -> List[StackFrame]:
+        frames: List[StackFrame] = []
+        frame = sys._getframe(1)
+        while frame is not None and len(frames) < max_depth:
+            filename = frame.f_code.co_filename
+            basename = os.path.basename(filename)
+            module = basename[:-3] if basename.endswith(".py") else basename
+            if module not in skip_modules:
+                frames.append(
+                    StackFrame(
+                        module=module,
+                        function=frame.f_code.co_name,
+                        file=basename,
+                        line=frame.f_lineno,
+                    )
+                )
+            frame = frame.f_back
+        return frames
+
+    return provider
+
+
+_GATE_INTERNAL_MODULES = ("gate", "facade", "runtime", "context")
+
+
+class LibraryCallGate:
+    """Interception point between programs and the simulated libraries."""
+
+    def __init__(
+        self,
+        runtime: Optional[InjectionRuntime] = None,
+        log: Optional[InjectionLog] = None,
+        observe_only: bool = False,
+        capture_python_stack: bool = True,
+        default_node: str = "",
+    ) -> None:
+        self.runtime = runtime
+        self.log = log if log is not None else InjectionLog()
+        self.observe_only = observe_only
+        self.capture_python_stack = capture_python_stack
+        self.default_node = default_node
+
+        self.call_counts: Dict[str, int] = {}
+        self.total_calls = 0
+        self.intercepted_calls = 0
+        self.injected_calls = 0
+        #: Extra program state exposed to ProgramStateTrigger for Python-level
+        #: targets (the VM provides its own reader based on global symbols).
+        self.state_providers: List[Callable[[str], Optional[Any]]] = []
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def install_runtime(self, runtime: Optional[InjectionRuntime]) -> None:
+        self.runtime = runtime
+
+    def add_state_provider(self, provider: Callable[[str], Optional[Any]]) -> None:
+        self.state_providers.append(provider)
+
+    def reset_counters(self) -> None:
+        self.call_counts.clear()
+        self.total_calls = 0
+        self.intercepted_calls = 0
+        self.injected_calls = 0
+
+    # ------------------------------------------------------------------
+    # the interception path
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        name: str,
+        args: Tuple[Any, ...],
+        invoke: Callable[[], LibcResult],
+        apply_fault: Optional[Callable[[int, Optional[int]], LibcResult]] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> LibcResult:
+        count = self.call_counts.get(name, 0) + 1
+        self.call_counts[name] = count
+        self.total_calls += 1
+
+        runtime = self.runtime
+        if runtime is None or not runtime.handles(name):
+            return invoke()
+        self.intercepted_calls += 1
+
+        ctx = self._build_context(name, args, count, context or {})
+        decision = runtime.decide(ctx)
+
+        if decision.inject and not self.observe_only:
+            assert decision.fault is not None
+            self.injected_calls += 1
+            if apply_fault is not None:
+                result = apply_fault(decision.fault.return_value, decision.fault.errno)
+            else:
+                result = LibcResult(
+                    value=decision.fault.return_value,
+                    errno=decision.fault.errno,
+                    injected=True,
+                )
+            result.injected = True
+            self.log.record(
+                function=name,
+                args=args,
+                injected=True,
+                call_count=count,
+                node=ctx.node,
+                module=ctx.module,
+                fault=decision.fault,
+                trigger_ids=decision.fired_triggers,
+                stack=ctx.stack,
+                source=str(ctx.source) if ctx.source else "",
+                sim_time=self._sim_time(context),
+            )
+            return result
+
+        self.log.record(
+            function=name,
+            args=args,
+            injected=False,
+            call_count=count,
+            node=ctx.node,
+            module=ctx.module,
+            source=str(ctx.source) if ctx.source else "",
+            sim_time=self._sim_time(context),
+        )
+        return invoke()
+
+    # ------------------------------------------------------------------
+    # context assembly
+    # ------------------------------------------------------------------
+    def _build_context(
+        self, name: str, args: Tuple[Any, ...], count: int, raw: Dict[str, Any]
+    ) -> CallContext:
+        stack_provider = raw.get("stack")
+        if stack_provider is None and self.capture_python_stack:
+            stack_provider = _python_stack_provider(_GATE_INTERNAL_MODULES)
+
+        state_reader = raw.get("state")
+        if state_reader is None and self.state_providers:
+            providers = list(self.state_providers)
+
+            def state_reader(variable: str) -> Optional[Any]:
+                for provider in providers:
+                    value = provider(variable)
+                    if value is not None:
+                        return value
+                return None
+
+        source = raw.get("source")
+        return CallContext(
+            function=name,
+            args=args,
+            call_count=count,
+            global_index=self.total_calls,
+            node=raw.get("node", self.default_node),
+            module=raw.get("module", ""),
+            call_address=raw.get("call_address"),
+            source=source,
+            os=raw.get("os"),
+            stack_provider=stack_provider,
+            state_reader=state_reader,
+            extras={key: value for key, value in raw.items()
+                    if key not in ("stack", "state", "source", "node", "module",
+                                   "call_address", "os")},
+        )
+
+    @staticmethod
+    def _sim_time(context: Optional[Dict[str, Any]]) -> float:
+        if not context:
+            return 0.0
+        os_state = context.get("os")
+        clock = getattr(os_state, "clock", None)
+        return getattr(clock, "now", 0.0) if clock is not None else 0.0
+
+
+__all__ = ["LibraryCallGate"]

@@ -1,0 +1,148 @@
+"""Injection log (§2).
+
+The LFI log records each error injection, the injected side effects
+(``errno``), and the events that triggered it — call count, stack trace —
+so that developers can match injections to observed program behaviour,
+refine scenarios, and replay failures deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.frames import StackFrame, format_stack
+from repro.core.injection.faults import FaultSpec
+
+
+@dataclass
+class InjectionRecord:
+    """One intercepted call, injected or passed through."""
+
+    index: int
+    function: str
+    args: tuple
+    injected: bool
+    call_count: int
+    node: str = ""
+    module: str = ""
+    fault: Optional[FaultSpec] = None
+    trigger_ids: List[str] = field(default_factory=list)
+    stack: List[StackFrame] = field(default_factory=list)
+    source: str = ""
+    sim_time: float = 0.0
+
+    def describe(self) -> str:
+        action = f"inject {self.fault.describe()}" if self.injected and self.fault else "pass through"
+        where = f" at {self.source}" if self.source else ""
+        return (
+            f"[{self.index}] {self.function} (call #{self.call_count} on "
+            f"{self.node or self.module}){where}: {action}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "function": self.function,
+            "args": list(self.args),
+            "injected": self.injected,
+            "call_count": self.call_count,
+            "node": self.node,
+            "module": self.module,
+            "return_value": self.fault.return_value if self.fault else None,
+            "errno": self.fault.errno if self.fault else None,
+            "triggers": list(self.trigger_ids),
+            "stack": [frame.describe() for frame in self.stack],
+            "source": self.source,
+            "sim_time": self.sim_time,
+        }
+
+
+class InjectionLog:
+    """Accumulates :class:`InjectionRecord` entries for one test run."""
+
+    def __init__(self, record_passthrough: bool = False) -> None:
+        #: When False (default), only injections are recorded — the log stays
+        #: small even under the overhead benchmarks' call rates.
+        self.record_passthrough = record_passthrough
+        self.records: List[InjectionRecord] = []
+        self.injection_count = 0
+        self.passthrough_count = 0
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        function: str,
+        args: Sequence[Any],
+        injected: bool,
+        call_count: int,
+        node: str = "",
+        module: str = "",
+        fault: Optional[FaultSpec] = None,
+        trigger_ids: Optional[Sequence[str]] = None,
+        stack: Optional[Sequence[StackFrame]] = None,
+        source: str = "",
+        sim_time: float = 0.0,
+    ) -> Optional[InjectionRecord]:
+        if injected:
+            self.injection_count += 1
+        else:
+            self.passthrough_count += 1
+            if not self.record_passthrough:
+                return None
+        record = InjectionRecord(
+            index=self._next_index,
+            function=function,
+            args=tuple(args),
+            injected=injected,
+            call_count=call_count,
+            node=node,
+            module=module,
+            fault=fault,
+            trigger_ids=list(trigger_ids or []),
+            stack=list(stack or []),
+            source=source,
+            sim_time=sim_time,
+        )
+        self._next_index += 1
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def injections(self, function: Optional[str] = None) -> List[InjectionRecord]:
+        return [
+            record
+            for record in self.records
+            if record.injected and (function is None or record.function == function)
+        ]
+
+    def last_injection(self) -> Optional[InjectionRecord]:
+        for record in reversed(self.records):
+            if record.injected:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.injection_count = 0
+        self.passthrough_count = 0
+        self._next_index = 0
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.records]
+
+    def summary(self) -> str:
+        lines = [
+            f"injection log: {self.injection_count} injections, "
+            f"{self.passthrough_count} pass-throughs"
+        ]
+        for record in self.injections():
+            lines.append("  " + record.describe())
+            if record.stack:
+                for stack_line in format_stack(record.stack).splitlines():
+                    lines.append("      " + stack_line)
+        return "\n".join(lines)
+
+
+__all__ = ["InjectionLog", "InjectionRecord"]

@@ -1,0 +1,62 @@
+"""Deterministic failure replay (§2, §3.2).
+
+The LFI log contains everything needed to re-trigger an observed injection
+in a program that is driven deterministically by its environment: the
+function, the call count at which the injection happened, and the fault that
+was injected.  ``build_replay_scenario`` turns a log record into a scenario
+whose call-count trigger pins the injection to exactly that call — the same
+mechanism the paper points at for debugging with breakpoints attached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.injection.log import InjectionLog, InjectionRecord
+from repro.core.scenario.model import Scenario
+from repro.oslib.libc import LIBC_FUNCTIONS
+
+
+def build_replay_scenario(record: InjectionRecord, name: Optional[str] = None) -> Scenario:
+    """Build a scenario that replays exactly one logged injection."""
+    if not record.injected or record.fault is None:
+        raise ValueError("cannot build a replay scenario from a pass-through record")
+    scenario = Scenario(name=name or f"replay-{record.function}-{record.call_count}")
+    scenario.metadata.update(
+        {
+            "replay_of": record.index,
+            "original_triggers": list(record.trigger_ids),
+            "source": record.source,
+        }
+    )
+    trigger_id = f"replay_{record.function}_{record.call_count}"
+    scenario.declare_trigger(trigger_id, "CallCountTrigger", {"nth": record.call_count})
+    argc = LIBC_FUNCTIONS[record.function].argc if record.function in LIBC_FUNCTIONS else None
+    scenario.associate(record.function, [trigger_id], fault=record.fault, argc=argc)
+    return scenario
+
+
+def build_replay_scenarios(log: InjectionLog) -> List[Scenario]:
+    """One replay scenario per injection in the log."""
+    return [build_replay_scenario(record) for record in log.injections()]
+
+
+def replay_script(records: Iterable[InjectionRecord]) -> str:
+    """Render a human-readable replay script (the paper's 'failure replay scripts')."""
+    lines = ["# LFI failure replay script", "#"]
+    for record in records:
+        if not record.injected or record.fault is None:
+            continue
+        lines.append(
+            f"# step: on call #{record.call_count} to {record.function}, "
+            f"{record.fault.describe()}"
+        )
+        lines.append(
+            f"lfi replay --function {record.function} --call {record.call_count} "
+            f"--return {record.fault.return_value}"
+            + (f" --errno {record.fault.errno_name}" if record.fault.errno is not None else "")
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["build_replay_scenario", "build_replay_scenarios", "replay_script"]

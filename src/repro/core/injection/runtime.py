@@ -1,0 +1,160 @@
+"""Trigger evaluation runtime (§4.3).
+
+Responsibilities:
+
+* turn a :class:`~repro.core.scenario.model.Scenario` into per-function
+  evaluation plans with **O(1)** lookup by function name;
+* **lazily** instantiate and initialize each trigger right before its first
+  evaluation;
+* evaluate conjunctions with short-circuiting and disjunctions across
+  repeated ``<function>`` associations;
+* count evaluations so the overhead experiments (Tables 5 and 6) can report
+  triggerings per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.scenario.model import FunctionPlan, Scenario
+from repro.core.triggers.base import Trigger
+from repro.core.triggers.registry import (
+    TriggerRegistry,
+    default_registry,
+    ensure_stock_triggers_registered,
+)
+
+
+@dataclass
+class InjectionDecision:
+    """Outcome of consulting the runtime about one intercepted call."""
+
+    inject: bool
+    fault: Optional[FaultSpec] = None
+    plan: Optional[FunctionPlan] = None
+    fired_triggers: List[str] = field(default_factory=list)
+
+    @classmethod
+    def no_injection(cls) -> "InjectionDecision":
+        return cls(inject=False)
+
+
+@dataclass
+class _PlanState:
+    plan: FunctionPlan
+    trigger_ids: List[str]
+
+
+class InjectionRuntime:
+    """Evaluates a scenario's triggers for intercepted calls."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        registry: Optional[TriggerRegistry] = None,
+        shared_objects: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        ensure_stock_triggers_registered()
+        self.scenario = scenario
+        self.registry = registry or default_registry()
+        #: Objects injectable into trigger parameters by name (e.g. the
+        #: central controller for distributed triggers): a parameter whose
+        #: value is ``"@name"`` is replaced by ``shared_objects["name"]``.
+        self.shared_objects = dict(shared_objects or {})
+
+        self._plans_by_function: Dict[str, List[_PlanState]] = {}
+        for plan in scenario.plans:
+            self._plans_by_function.setdefault(plan.function, []).append(
+                _PlanState(plan=plan, trigger_ids=list(plan.trigger_ids))
+            )
+
+        #: Trigger instances, created lazily on first use (§4.3).
+        self._instances: Dict[str, Trigger] = {}
+        self.trigger_evaluations = 0
+        self.decisions = 0
+        self.injections = 0
+
+    # ------------------------------------------------------------------
+    # trigger instantiation
+    # ------------------------------------------------------------------
+    def _resolve_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        resolved: Dict[str, Any] = {}
+        for key, value in params.items():
+            if isinstance(value, str) and value.startswith("@") and value[1:] in self.shared_objects:
+                resolved[key] = self.shared_objects[value[1:]]
+            else:
+                resolved[key] = value
+        return resolved
+
+    def trigger_instance(self, trigger_id: str) -> Trigger:
+        """Return (lazily creating) the instance for a declared trigger."""
+        instance = self._instances.get(trigger_id)
+        if instance is not None:
+            return instance
+        declaration = self.scenario.triggers.get(trigger_id)
+        if declaration is None:
+            raise KeyError(f"scenario {self.scenario.name!r} has no trigger {trigger_id!r}")
+        instance = self.registry.lookup(declaration.class_name)()
+        instance.init(self._resolve_params(declaration.params))
+        self._instances[trigger_id] = instance
+        return instance
+
+    def instantiated_triggers(self) -> Dict[str, Trigger]:
+        return dict(self._instances)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def handles(self, function: str) -> bool:
+        """True when the scenario intercepts *function* at all."""
+        return function in self._plans_by_function
+
+    def intercepted_functions(self) -> List[str]:
+        return sorted(self._plans_by_function)
+
+    def decide(self, ctx: CallContext) -> InjectionDecision:
+        """Evaluate all plans for this call; first agreeing plan that injects wins."""
+        plans = self._plans_by_function.get(ctx.function)
+        if not plans:
+            return InjectionDecision.no_injection()
+        self.decisions += 1
+
+        for state in plans:
+            fired: List[str] = []
+            agreed = True
+            if not state.trigger_ids:
+                # No triggers referenced: the association fires on every call
+                # (useful for unconditional observe/inject plans).
+                agreed = True
+            for trigger_id in state.trigger_ids:
+                trigger = self.trigger_instance(trigger_id)
+                self.trigger_evaluations += 1
+                if trigger.eval(ctx):
+                    fired.append(trigger_id)
+                else:
+                    agreed = False
+                    break  # short-circuit: remaining triggers are not invoked
+            if agreed and state.plan.injects:
+                self.injections += 1
+                return InjectionDecision(
+                    inject=True,
+                    fault=state.plan.fault,
+                    plan=state.plan,
+                    fired_triggers=fired,
+                )
+        return InjectionDecision.no_injection()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all instantiated triggers (between test runs)."""
+        for trigger in self._instances.values():
+            trigger.reset()
+        self.trigger_evaluations = 0
+        self.decisions = 0
+        self.injections = 0
+
+
+__all__ = ["InjectionDecision", "InjectionRuntime"]

@@ -1,0 +1,31 @@
+"""Library profiler (§2).
+
+The profiler answers "which errors can this library externalize?" without
+source code or documentation: it statically analyses the library binary to
+infer, for every exported function, (a) the error return values and (b) the
+``errno`` side effects that can accompany them.  The result is a *fault
+profile* (an XML document in LFI), which both the injector and the call-site
+analyzer consume.
+"""
+
+from repro.core.profiler.fault_profile import (
+    ErrorSpecification,
+    FaultProfile,
+    FunctionProfile,
+    parse_profile_xml,
+    profile_to_xml,
+)
+from repro.core.profiler.spec_profiles import reference_profile, reference_profiles
+from repro.core.profiler.static_profiler import LibraryProfiler, profile_library
+
+__all__ = [
+    "ErrorSpecification",
+    "FaultProfile",
+    "FunctionProfile",
+    "LibraryProfiler",
+    "parse_profile_xml",
+    "profile_library",
+    "profile_to_xml",
+    "reference_profile",
+    "reference_profiles",
+]

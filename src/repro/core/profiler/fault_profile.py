@@ -1,0 +1,165 @@
+"""Fault profile model and XML serialization.
+
+A fault profile describes, per exported library function, the error return
+values and accompanying errno side effects a caller can observe — e.g.
+"``read`` can return ``-1`` with errno ``EAGAIN``/``EBADF``/``EINTR``/...".
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+from xml.dom import minidom
+
+from repro.oslib.errno_codes import errno_name, errno_value
+
+
+@dataclass(frozen=True)
+class ErrorSpecification:
+    """One externalized error: a return value plus possible errno names."""
+
+    return_value: int
+    errnos: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if not self.errnos:
+            return f"return {self.return_value}"
+        return f"return {self.return_value} with errno in {{{', '.join(self.errnos)}}}"
+
+
+@dataclass
+class FunctionProfile:
+    """Fault profile of one library function."""
+
+    name: str
+    error_returns: List[ErrorSpecification] = field(default_factory=list)
+    #: Human-readable description of the success return ("byte count", ...).
+    success: str = "value"
+    #: True when errors are reported through the return value itself
+    #: (pthread/apr style) rather than through errno.
+    errno_via_return: bool = False
+
+    def error_values(self) -> Tuple[int, ...]:
+        return tuple(spec.return_value for spec in self.error_returns)
+
+    def all_errnos(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for spec in self.error_returns:
+            for name in spec.errnos:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def primary_fault(self) -> Optional[Tuple[int, Optional[int]]]:
+        """The default (return value, errno) pair to inject for this function."""
+        if not self.error_returns:
+            return None
+        spec = self.error_returns[0]
+        errno = errno_value(spec.errnos[0]) if spec.errnos else None
+        return spec.return_value, errno
+
+
+@dataclass
+class FaultProfile:
+    """Fault profile of one shared library."""
+
+    library: str
+    functions: Dict[str, FunctionProfile] = field(default_factory=dict)
+
+    def add(self, profile: FunctionProfile) -> None:
+        self.functions[profile.name] = profile
+
+    def function(self, name: str) -> Optional[FunctionProfile]:
+        return self.functions.get(name)
+
+    def error_values(self, function: str) -> Tuple[int, ...]:
+        profile = self.functions.get(function)
+        return profile.error_values() if profile else ()
+
+    def merge(self, other: "FaultProfile") -> "FaultProfile":
+        merged = FaultProfile(library=f"{self.library}+{other.library}")
+        merged.functions.update(self.functions)
+        merged.functions.update(other.functions)
+        return merged
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def merge_profiles(profiles: Iterable[FaultProfile]) -> FaultProfile:
+    """Merge several library profiles into one lookup table."""
+    merged = FaultProfile(library="merged")
+    for profile in profiles:
+        merged.functions.update(profile.functions)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# XML serialization
+# ----------------------------------------------------------------------
+def profile_to_xml(profile: FaultProfile, pretty: bool = True) -> str:
+    root = ElementTree.Element("faultprofile", {"library": profile.library})
+    for function in sorted(profile.functions.values(), key=lambda item: item.name):
+        function_element = ElementTree.SubElement(
+            root,
+            "function",
+            {
+                "name": function.name,
+                "success": function.success,
+                "errno_via_return": "true" if function.errno_via_return else "false",
+            },
+        )
+        for specification in function.error_returns:
+            error_element = ElementTree.SubElement(
+                function_element, "error", {"return": str(specification.return_value)}
+            )
+            for name in specification.errnos:
+                errno_element = ElementTree.SubElement(error_element, "errno")
+                errno_element.text = name
+    raw = ElementTree.tostring(root, encoding="unicode")
+    if not pretty:
+        return raw
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def parse_profile_xml(text: str) -> FaultProfile:
+    root = ElementTree.fromstring(text)
+    if root.tag != "faultprofile":
+        raise ValueError(f"expected <faultprofile> root element, found <{root.tag}>")
+    profile = FaultProfile(library=root.get("library", "unknown"))
+    for function_element in root.findall("function"):
+        name = function_element.get("name", "")
+        error_returns: List[ErrorSpecification] = []
+        for error_element in function_element.findall("error"):
+            return_value = int(error_element.get("return", "0"), 0)
+            errnos = tuple(
+                (errno_element.text or "").strip()
+                for errno_element in error_element.findall("errno")
+                if (errno_element.text or "").strip()
+            )
+            # Normalize numeric errnos into names for consistency.
+            errnos = tuple(errno_name(errno_value(item)) for item in errnos)
+            error_returns.append(ErrorSpecification(return_value=return_value, errnos=errnos))
+        profile.add(
+            FunctionProfile(
+                name=name,
+                error_returns=error_returns,
+                success=function_element.get("success", "value"),
+                errno_via_return=function_element.get("errno_via_return", "false") == "true",
+            )
+        )
+    return profile
+
+
+__all__ = [
+    "ErrorSpecification",
+    "FaultProfile",
+    "FunctionProfile",
+    "merge_profiles",
+    "parse_profile_xml",
+    "profile_to_xml",
+]

@@ -1,0 +1,216 @@
+"""Static library profiler: infer fault profiles from machine code (§2).
+
+The profiler analyses each exported function of a library binary and infers:
+
+* the **constant return values** the function can produce (paths that end in
+  ``mov r0, <imm>; ret``) versus **computed** returns (paths whose final
+  definition of ``r0`` is not a constant), and
+* the **errno side effects**: constants stored to the well-known ``errno``
+  address on the same path as a constant return.
+
+Heuristics for deciding which constants are *error* returns (the real LFI
+profiler faces the same ambiguity on x86 libc):
+
+1. a constant returned on a path that also stores to ``errno`` is an error
+   return, tagged with those errno values;
+2. a negative constant is an error return;
+3. constant ``0`` is an error return when some other path returns a
+   computed value (the NULL convention of pointer-returning functions);
+4. if the function has no errno stores and no computed returns, non-zero
+   constants are error returns and ``0`` is the success status
+   (pthread/apr status-code convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.profiler.fault_profile import (
+    ErrorSpecification,
+    FaultProfile,
+    FunctionProfile,
+)
+from repro.isa import layout
+from repro.isa.binary import BinaryImage
+from repro.isa.instructions import Imm, Instruction, Mem, Opcode, Reg
+from repro.oslib.errno_codes import errno_name
+
+#: Marker used internally for non-constant return values.
+_COMPUTED = "computed"
+
+
+@dataclass
+class _ReturnPath:
+    """One ``ret`` reached with either a constant or a computed value."""
+
+    constant: Optional[int]  # None means computed
+    errnos: Tuple[int, ...] = ()
+
+
+@dataclass
+class ProfiledFunction:
+    """Raw analysis result for one function (before heuristics)."""
+
+    name: str
+    return_paths: List[_ReturnPath] = field(default_factory=list)
+    errno_stores: Set[int] = field(default_factory=set)
+
+    @property
+    def has_computed_return(self) -> bool:
+        return any(path.constant is None for path in self.return_paths)
+
+
+class LibraryProfiler:
+    """Profile every exported function of a library binary."""
+
+    def __init__(self, binary: BinaryImage) -> None:
+        self.binary = binary
+
+    # ------------------------------------------------------------------
+    def profile(self, functions: Optional[Sequence[str]] = None) -> FaultProfile:
+        profile = FaultProfile(library=self.binary.name)
+        names = list(functions) if functions is not None else sorted(self.binary.functions)
+        for name in names:
+            raw = self.analyze_function(name)
+            profile.add(self._apply_heuristics(raw))
+        return profile
+
+    # ------------------------------------------------------------------
+    # raw per-function analysis
+    # ------------------------------------------------------------------
+    def analyze_function(self, name: str) -> ProfiledFunction:
+        instructions = list(self.binary.iter_function_instructions(name))
+        result = ProfiledFunction(name=name)
+        blocks = self._split_blocks(instructions)
+        for block in blocks:
+            errnos = self._errno_stores_in_block(block)
+            result.errno_stores.update(errnos)
+            last = block[-1][1]
+            if last.opcode is not Opcode.RET:
+                continue
+            constant = self._return_constant(block)
+            result.return_paths.append(_ReturnPath(constant=constant, errnos=tuple(sorted(errnos))))
+        return result
+
+    @staticmethod
+    def _split_blocks(
+        instructions: List[Tuple[int, Instruction]]
+    ) -> List[List[Tuple[int, Instruction]]]:
+        """Split a function body into basic blocks (linear, label-free split)."""
+        # Leaders: first instruction, every jump target, every instruction
+        # following a block terminator.
+        leaders = set()
+        addresses = [address for address, _ in instructions]
+        if not addresses:
+            return []
+        leaders.add(addresses[0])
+        address_set = set(addresses)
+        for address, instruction in instructions:
+            target = instruction.jump_target()
+            if target is not None and target.address in address_set:
+                leaders.add(target.address)
+            if instruction.opcode.terminates_block:
+                following = address + 1
+                if following in address_set:
+                    leaders.add(following)
+        blocks: List[List[Tuple[int, Instruction]]] = []
+        current: List[Tuple[int, Instruction]] = []
+        for address, instruction in instructions:
+            if address in leaders and current:
+                blocks.append(current)
+                current = []
+            current.append((address, instruction))
+        if current:
+            blocks.append(current)
+        return blocks
+
+    @staticmethod
+    def _errno_stores_in_block(block: List[Tuple[int, Instruction]]) -> Set[int]:
+        stores: Set[int] = set()
+        for _address, instruction in block:
+            if instruction.opcode is not Opcode.MOV or len(instruction.operands) != 2:
+                continue
+            destination, source = instruction.operands
+            if (
+                isinstance(destination, Mem)
+                and destination.base is None
+                and destination.offset == layout.ERRNO_ADDRESS
+                and isinstance(source, Imm)
+            ):
+                stores.add(source.value)
+        return stores
+
+    @staticmethod
+    def _return_constant(block: List[Tuple[int, Instruction]]) -> Optional[int]:
+        """Find the last definition of r0 before the block's ``ret``."""
+        for _address, instruction in reversed(block[:-1]):
+            if instruction.opcode in (Opcode.MOV, Opcode.LEA) and instruction.operands:
+                destination = instruction.operands[0]
+                if isinstance(destination, Reg) and destination.name == "r0":
+                    source = instruction.operands[1]
+                    if isinstance(source, Imm):
+                        return source.value
+                    return None
+            if instruction.opcode in (
+                Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+                Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NEG, Opcode.NOT,
+                Opcode.POP, Opcode.CALL,
+            ) and instruction.operands:
+                destination = instruction.operands[0]
+                if isinstance(destination, Reg) and destination.name == "r0":
+                    return None
+                if instruction.opcode is Opcode.CALL:
+                    return None
+        return None
+
+    # ------------------------------------------------------------------
+    # heuristics
+    # ------------------------------------------------------------------
+    def _apply_heuristics(self, raw: ProfiledFunction) -> FunctionProfile:
+        constant_paths = [path for path in raw.return_paths if path.constant is not None]
+        has_computed = raw.has_computed_return
+        any_errno_store = bool(raw.errno_stores)
+
+        errors: Dict[int, Set[str]] = {}
+        success_constants: List[int] = []
+
+        for path in constant_paths:
+            value = path.constant
+            assert value is not None
+            if path.errnos:
+                errors.setdefault(value, set()).update(errno_name(code) for code in path.errnos)
+            elif value < 0:
+                errors.setdefault(value, set())
+            elif value == 0 and has_computed:
+                errors.setdefault(value, set())
+            elif not any_errno_store and not has_computed and value != 0:
+                errors.setdefault(value, set())
+            else:
+                success_constants.append(value)
+
+        error_returns = [
+            ErrorSpecification(return_value=value, errnos=tuple(sorted(names)))
+            for value, names in sorted(errors.items())
+        ]
+        errno_via_return = bool(error_returns) and not any_errno_store and not has_computed
+        if has_computed:
+            success = "value"
+        elif success_constants:
+            success = f"constant {sorted(set(success_constants))[0]}"
+        else:
+            success = "void"
+        return FunctionProfile(
+            name=raw.name,
+            error_returns=error_returns,
+            success=success,
+            errno_via_return=errno_via_return,
+        )
+
+
+def profile_library(binary: BinaryImage, functions: Optional[Sequence[str]] = None) -> FaultProfile:
+    """Convenience wrapper: profile *binary* and return its fault profile."""
+    return LibraryProfiler(binary).profile(functions)
+
+
+__all__ = ["LibraryProfiler", "ProfiledFunction", "profile_library"]

@@ -1,0 +1,17 @@
+"""The fault-injection scenario language (§4)."""
+
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import FunctionPlan, Scenario, TriggerDecl
+from repro.core.scenario.validate import ScenarioValidationError, validate_scenario
+from repro.core.scenario.xml_io import parse_scenario_xml, scenario_to_xml
+
+__all__ = [
+    "FunctionPlan",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioValidationError",
+    "TriggerDecl",
+    "parse_scenario_xml",
+    "scenario_to_xml",
+    "validate_scenario",
+]

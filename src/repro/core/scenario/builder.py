@@ -1,0 +1,83 @@
+"""Fluent programmatic builder for scenarios.
+
+Scenario files can be written by hand in XML, but the paper expects most
+scenarios to come from tools (the call-site analyzer) or from short test
+scripts; this builder is the Python-side convenience for the latter::
+
+    scenario = (
+        ScenarioBuilder("pipe-read")
+        .trigger("readTrig", "ReadPipe", low=1024, high=4096)
+        .trigger("mutexTrig", "WithMutex")
+        .inject("read", ["readTrig", "mutexTrig"], return_value=-1, errno="EINVAL", argc=3)
+        .observe("pthread_mutex_lock", ["mutexTrig"])
+        .observe("pthread_mutex_unlock", ["mutexTrig"])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.core.injection.faults import FaultSpec
+from repro.core.scenario.model import Scenario
+from repro.oslib.errno_codes import errno_value
+from repro.oslib.libc import LIBC_FUNCTIONS
+
+
+class ScenarioBuilder:
+    """Build :class:`Scenario` objects step by step."""
+
+    def __init__(self, name: str = "scenario") -> None:
+        self._scenario = Scenario(name=name)
+
+    def trigger(self, trigger_id: str, class_name: str, **params: Any) -> "ScenarioBuilder":
+        self._scenario.declare_trigger(trigger_id, class_name, params)
+        return self
+
+    def trigger_with_params(
+        self, trigger_id: str, class_name: str, params: Dict[str, Any]
+    ) -> "ScenarioBuilder":
+        self._scenario.declare_trigger(trigger_id, class_name, params)
+        return self
+
+    def inject(
+        self,
+        function: str,
+        trigger_ids: Sequence[str],
+        return_value: int,
+        errno: Optional[Union[int, str]] = None,
+        argc: Optional[int] = None,
+    ) -> "ScenarioBuilder":
+        """Associate triggers with *function* and inject on agreement."""
+        errno_int: Optional[int] = None
+        if errno is not None:
+            errno_int = errno if isinstance(errno, int) else errno_value(errno)
+        if argc is None and function in LIBC_FUNCTIONS:
+            argc = LIBC_FUNCTIONS[function].argc
+        fault = FaultSpec(return_value=int(return_value), errno=errno_int)
+        self._scenario.associate(function, trigger_ids, fault=fault, argc=argc)
+        return self
+
+    def observe(
+        self, function: str, trigger_ids: Sequence[str], argc: Optional[int] = None
+    ) -> "ScenarioBuilder":
+        """Associate triggers with *function* without ever injecting.
+
+        This is the "return=unused" form: the triggers see the call (so they
+        can update their state) but the call always passes through.
+        """
+        if argc is None and function in LIBC_FUNCTIONS:
+            argc = LIBC_FUNCTIONS[function].argc
+        self._scenario.associate(function, trigger_ids, fault=None, argc=argc)
+        return self
+
+    def metadata(self, **values: Any) -> "ScenarioBuilder":
+        self._scenario.metadata.update(values)
+        return self
+
+    def build(self) -> Scenario:
+        return self._scenario
+
+
+__all__ = ["ScenarioBuilder"]

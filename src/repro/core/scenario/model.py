@@ -1,0 +1,114 @@
+"""In-memory model of fault-injection scenarios.
+
+A scenario has two constructs (§4.1):
+
+* **trigger declarations** — create a named trigger instance from a trigger
+  class, optionally with initialization parameters;
+* **function associations** — link trigger instances to an intercepted
+  library function and specify the fault (return value + errno) to inject
+  when all referenced triggers agree.
+
+Associating several triggers within one ``<function>`` element means
+conjunction; repeating ``<function>`` elements for the same function means
+disjunction (§4.2).  Setting the return value to ``"unused"`` declares an
+association that exists only so a stateful trigger sees the call (e.g. the
+mutex lock/unlock bookkeeping of the WithMutex trigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.injection.faults import FaultSpec
+
+
+@dataclass
+class TriggerDecl:
+    """Declaration of one named trigger instance."""
+
+    trigger_id: str
+    class_name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionPlan:
+    """One ``<function>`` association."""
+
+    function: str
+    trigger_ids: List[str] = field(default_factory=list)
+    #: Fault to inject; ``None`` reproduces the "unused" return/errno case.
+    fault: Optional[FaultSpec] = None
+    #: Number of original arguments to forward to triggers (the paper's
+    #: ``argc`` attribute; informational for the Python reproduction since
+    #: argument marshalling is handled by the VM/facade).
+    argc: Optional[int] = None
+
+    @property
+    def injects(self) -> bool:
+        return self.fault is not None
+
+
+@dataclass
+class Scenario:
+    """A complete fault-injection scenario."""
+
+    name: str = "scenario"
+    triggers: Dict[str, TriggerDecl] = field(default_factory=dict)
+    plans: List[FunctionPlan] = field(default_factory=list)
+    #: Free-form provenance (e.g. which analyzer finding produced it).
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def declare_trigger(
+        self, trigger_id: str, class_name: str, params: Optional[Dict[str, Any]] = None
+    ) -> TriggerDecl:
+        if trigger_id in self.triggers:
+            raise ValueError(f"duplicate trigger id {trigger_id!r} in scenario {self.name!r}")
+        declaration = TriggerDecl(trigger_id=trigger_id, class_name=class_name, params=dict(params or {}))
+        self.triggers[trigger_id] = declaration
+        return declaration
+
+    def associate(
+        self,
+        function: str,
+        trigger_ids: Sequence[str],
+        fault: Optional[FaultSpec] = None,
+        argc: Optional[int] = None,
+    ) -> FunctionPlan:
+        plan = FunctionPlan(
+            function=function, trigger_ids=list(trigger_ids), fault=fault, argc=argc
+        )
+        self.plans.append(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def functions(self) -> List[str]:
+        seen: List[str] = []
+        for plan in self.plans:
+            if plan.function not in seen:
+                seen.append(plan.function)
+        return seen
+
+    def plans_for(self, function: str) -> List[FunctionPlan]:
+        return [plan for plan in self.plans if plan.function == function]
+
+    def injecting_plans(self) -> List[FunctionPlan]:
+        return [plan for plan in self.plans if plan.injects]
+
+    def describe(self) -> str:
+        lines = [f"scenario {self.name!r}:"]
+        for trigger_id, declaration in self.triggers.items():
+            lines.append(f"  trigger {trigger_id} = {declaration.class_name}({declaration.params})")
+        for plan in self.plans:
+            fault = plan.fault.describe() if plan.fault else "observe only"
+            lines.append(f"  {plan.function}: [{', '.join(plan.trigger_ids)}] -> {fault}")
+        return "\n".join(lines)
+
+
+__all__ = ["FunctionPlan", "Scenario", "TriggerDecl"]

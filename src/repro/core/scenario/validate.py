@@ -1,0 +1,77 @@
+"""Structural validation of scenarios before they reach the runtime."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.scenario.model import Scenario
+from repro.core.triggers.registry import TriggerRegistry, default_registry
+from repro.oslib.libc import LIBC_FUNCTIONS
+
+
+class ScenarioValidationError(Exception):
+    """Raised when a scenario cannot possibly run correctly."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def validate_scenario(
+    scenario: Scenario,
+    registry: Optional[TriggerRegistry] = None,
+    known_functions: Optional[set] = None,
+    strict_functions: bool = False,
+) -> List[str]:
+    """Validate *scenario*; returns a list of warnings.
+
+    Hard errors (undeclared trigger references, unknown trigger classes,
+    plans with no triggers that would inject unconditionally into every
+    call without that being explicit) raise :class:`ScenarioValidationError`.
+    Unknown library functions are warnings by default because LFI can
+    intercept arbitrary libraries; pass ``strict_functions=True`` to make
+    them errors.
+    """
+    registry = registry or default_registry()
+    known_functions = known_functions if known_functions is not None else set(LIBC_FUNCTIONS)
+    problems: List[str] = []
+    warnings: List[str] = []
+
+    if not scenario.plans:
+        problems.append("scenario has no <function> associations")
+
+    for trigger_id, declaration in scenario.triggers.items():
+        if not registry.known(declaration.class_name):
+            problems.append(
+                f"trigger {trigger_id!r} uses unknown class {declaration.class_name!r}"
+            )
+
+    referenced = set()
+    for plan in scenario.plans:
+        for trigger_id in plan.trigger_ids:
+            referenced.add(trigger_id)
+            if trigger_id not in scenario.triggers:
+                problems.append(
+                    f"function {plan.function!r} references undeclared trigger {trigger_id!r}"
+                )
+        if plan.function not in known_functions:
+            message = f"function {plan.function!r} is not a known library function"
+            if strict_functions:
+                problems.append(message)
+            else:
+                warnings.append(message)
+        if plan.injects and not plan.trigger_ids:
+            warnings.append(
+                f"function {plan.function!r} injects unconditionally (no triggers referenced)"
+            )
+
+    for trigger_id in scenario.triggers:
+        if trigger_id not in referenced:
+            warnings.append(f"trigger {trigger_id!r} is declared but never referenced")
+
+    if problems:
+        raise ScenarioValidationError(problems)
+    return warnings
+
+
+__all__ = ["ScenarioValidationError", "validate_scenario"]

@@ -1,0 +1,177 @@
+"""XML serialization of fault-injection scenarios (§4.1).
+
+The format follows the paper's examples::
+
+    <scenario name="pipe-read">
+      <trigger id="readTrig2" class="ReadPipe">
+        <args>
+          <low>1024</low>
+          <high>4096</high>
+        </args>
+      </trigger>
+      <trigger id="mutexTrig" class="WithMutex" />
+
+      <function name="read" argc="3" return="-1" errno="EINVAL">
+        <reftrigger ref="readTrig2" />
+        <reftrigger ref="mutexTrig" />
+      </function>
+      <function name="pthread_mutex_lock" return="unused" errno="unused">
+        <reftrigger ref="mutexTrig" />
+      </function>
+    </scenario>
+
+``<args>`` children are converted to a plain dictionary; repeated elements
+of the same name become a list (which is how the call-stack trigger receives
+several ``<frame>`` specs).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import Any, Dict, Optional, Union
+from xml.dom import minidom
+
+from repro.core.injection.faults import FaultSpec
+from repro.core.scenario.model import FunctionPlan, Scenario, TriggerDecl
+from repro.oslib.errno_codes import errno_name
+
+
+class ScenarioParseError(Exception):
+    """Raised when a scenario document is malformed."""
+
+
+# ----------------------------------------------------------------------
+# generic element <-> python conversion for <args>
+# ----------------------------------------------------------------------
+def _element_to_value(element: ElementTree.Element) -> Union[str, Dict[str, Any]]:
+    children = list(element)
+    if not children:
+        return (element.text or "").strip()
+    result: Dict[str, Any] = {}
+    for child in children:
+        value = _element_to_value(child)
+        if child.tag in result:
+            existing = result[child.tag]
+            if not isinstance(existing, list):
+                result[child.tag] = [existing]
+            result[child.tag].append(value)
+        else:
+            result[child.tag] = value
+    return result
+
+
+def _value_to_elements(parent: ElementTree.Element, key: str, value: Any) -> None:
+    if isinstance(value, list):
+        for item in value:
+            _value_to_elements(parent, key, item)
+        return
+    child = ElementTree.SubElement(parent, key)
+    if isinstance(value, dict):
+        for sub_key, sub_value in value.items():
+            _value_to_elements(child, sub_key, sub_value)
+    else:
+        child.text = str(value)
+
+
+def args_to_dict(args_element: Optional[ElementTree.Element]) -> Dict[str, Any]:
+    if args_element is None:
+        return {}
+    value = _element_to_value(args_element)
+    if isinstance(value, str):
+        return {} if not value else {"value": value}
+    return value
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def parse_scenario_xml(text: str) -> Scenario:
+    """Parse a scenario document into a :class:`Scenario`."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise ScenarioParseError(f"malformed scenario XML: {error}") from error
+    if root.tag != "scenario":
+        raise ScenarioParseError(f"expected <scenario> root element, found <{root.tag}>")
+
+    scenario = Scenario(name=root.get("name", "scenario"))
+    for trigger_element in root.findall("trigger"):
+        trigger_id = trigger_element.get("id")
+        class_name = trigger_element.get("class")
+        if not trigger_id or not class_name:
+            raise ScenarioParseError("<trigger> requires 'id' and 'class' attributes")
+        params = args_to_dict(trigger_element.find("args"))
+        scenario.declare_trigger(trigger_id, class_name, params)
+
+    for function_element in root.findall("function"):
+        name = function_element.get("name")
+        if not name:
+            raise ScenarioParseError("<function> requires a 'name' attribute")
+        return_attr = function_element.get("return", function_element.get("retval", "unused"))
+        errno_attr = function_element.get("errno", "unused")
+        argc_attr = function_element.get("argc")
+        fault: Optional[FaultSpec] = None
+        if return_attr is not None and return_attr.strip().lower() != "unused":
+            fault = FaultSpec.from_strings(return_attr, errno_attr)
+        trigger_ids = []
+        for reference in function_element.findall("reftrigger"):
+            ref = reference.get("ref")
+            if not ref:
+                raise ScenarioParseError("<reftrigger> requires a 'ref' attribute")
+            if ref not in scenario.triggers:
+                raise ScenarioParseError(
+                    f"<reftrigger ref={ref!r}> references an undeclared trigger"
+                )
+            trigger_ids.append(ref)
+        scenario.associate(
+            name,
+            trigger_ids,
+            fault=fault,
+            argc=int(argc_attr) if argc_attr is not None else None,
+        )
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def scenario_to_xml(scenario: Scenario, pretty: bool = True) -> str:
+    """Serialize a :class:`Scenario` back to the XML language."""
+    root = ElementTree.Element("scenario", {"name": scenario.name})
+    for declaration in scenario.triggers.values():
+        trigger_element = ElementTree.SubElement(
+            root, "trigger", {"id": declaration.trigger_id, "class": declaration.class_name}
+        )
+        serializable = {
+            key: value
+            for key, value in declaration.params.items()
+            if isinstance(value, (str, int, float, dict, list))
+        }
+        if serializable:
+            args_element = ElementTree.SubElement(trigger_element, "args")
+            for key, value in serializable.items():
+                _value_to_elements(args_element, key, value)
+
+    for plan in scenario.plans:
+        attributes = {"name": plan.function}
+        if plan.argc is not None:
+            attributes["argc"] = str(plan.argc)
+        if plan.fault is not None:
+            attributes["return"] = str(plan.fault.return_value)
+            attributes["errno"] = (
+                errno_name(plan.fault.errno) if plan.fault.errno is not None else "unused"
+            )
+        else:
+            attributes["return"] = "unused"
+            attributes["errno"] = "unused"
+        function_element = ElementTree.SubElement(root, "function", attributes)
+        for trigger_id in plan.trigger_ids:
+            ElementTree.SubElement(function_element, "reftrigger", {"ref": trigger_id})
+
+    raw = ElementTree.tostring(root, encoding="unicode")
+    if not pretty:
+        return raw
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+__all__ = ["ScenarioParseError", "args_to_dict", "parse_scenario_xml", "scenario_to_xml"]

@@ -1,0 +1,58 @@
+"""Fault-injection triggers (§3).
+
+A trigger decides, for every intercepted library call it is associated
+with, whether a fault should be injected.  This package provides:
+
+* the :class:`~repro.core.triggers.base.Trigger` interface and the
+  ``declare_trigger`` registration decorator (the ``DECLARE_TRIGGER`` macro
+  analog),
+* the registry that scenario files reference triggers through by class name,
+* the six stock triggers from §3.2 (call stack, program state, call count,
+  singleton, random, distributed),
+* composition (conjunction / disjunction / negation) with short-circuit
+  evaluation (§4.2-§4.3), and
+* the custom triggers used as running examples in the paper (ReadPipe,
+  WithMutex, ReadPipe1K4KwithMutex, close-after-unlock).
+"""
+
+from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
+from repro.core.triggers.registry import TriggerRegistry, default_registry
+from repro.core.triggers.callcount import CallCountTrigger
+from repro.core.triggers.callstack import CallStackTrigger, FrameSpec
+from repro.core.triggers.composite import (
+    ConjunctionTrigger,
+    DisjunctionTrigger,
+    NegationTrigger,
+)
+from repro.core.triggers.distributed import DistributedTrigger
+from repro.core.triggers.random_trigger import RandomTrigger
+from repro.core.triggers.singleton import SingletonTrigger
+from repro.core.triggers.state import ProgramStateTrigger
+from repro.core.triggers.custom import (
+    CloseAfterMutexUnlockTrigger,
+    ReadPipe1K4KwithMutexTrigger,
+    ReadPipeTrigger,
+    WithMutexTrigger,
+)
+
+__all__ = [
+    "CallCountTrigger",
+    "CallStackTrigger",
+    "CloseAfterMutexUnlockTrigger",
+    "ConjunctionTrigger",
+    "DisjunctionTrigger",
+    "DistributedTrigger",
+    "FrameSpec",
+    "NegationTrigger",
+    "ProgramStateTrigger",
+    "RandomTrigger",
+    "ReadPipe1K4KwithMutexTrigger",
+    "ReadPipeTrigger",
+    "SingletonTrigger",
+    "Trigger",
+    "TriggerError",
+    "TriggerRegistry",
+    "WithMutexTrigger",
+    "declare_trigger",
+    "default_registry",
+]

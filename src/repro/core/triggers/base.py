@@ -1,0 +1,80 @@
+"""The Trigger interface (§3.1).
+
+The C++ interface in the paper is::
+
+    class Trigger {
+        virtual void Init(xmlNodePtr initData) {}
+        virtual bool Eval(const string& libFuncName, ...) = 0;
+    }
+
+The Python analog replaces the variadic ``Eval`` with a single
+:class:`~repro.core.injection.context.CallContext` argument carrying the
+function name, the original call arguments and lazy access to the stack and
+program state.  ``init`` receives the parameters from the scenario's
+``<args>`` element, already converted to plain Python values.
+
+Triggers may keep state across calls (the paper's mutex-tracking example
+does), so the runtime also calls :meth:`Trigger.reset` between test runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Type
+
+from repro.core.injection.context import CallContext
+
+
+class TriggerError(Exception):
+    """Raised for malformed trigger parameters or unknown trigger classes."""
+
+
+class Trigger(ABC):
+    """Base class for all triggers."""
+
+    #: Name under which the trigger is registered (set by ``declare_trigger``).
+    trigger_name: str = ""
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        """Receive scenario parameters before the first ``eval`` call.
+
+        The default implementation accepts no parameters; triggers that are
+        parametrizable override this.  Called lazily, right before the first
+        evaluation (§4.3).
+        """
+
+    @abstractmethod
+    def eval(self, ctx: CallContext) -> bool:
+        """Return True when a fault should be injected for this call."""
+
+    def reset(self) -> None:
+        """Clear accumulated state between test runs (optional)."""
+
+    # -- bookkeeping helpers -------------------------------------------
+    def describe(self) -> str:
+        return self.trigger_name or type(self).__name__
+
+
+def declare_trigger(name: Optional[str] = None):
+    """Class decorator mirroring the paper's ``DECLARE_TRIGGER`` macro.
+
+    Registers the class in the default registry under *name* (or the class
+    name) so scenario files can reference it directly::
+
+        @declare_trigger("ReadPipe")
+        class ReadPipeTrigger(Trigger):
+            ...
+    """
+
+    def decorate(cls: Type[Trigger]) -> Type[Trigger]:
+        from repro.core.triggers.registry import default_registry
+
+        trigger_name = name or cls.__name__
+        cls.trigger_name = trigger_name
+        default_registry().register(trigger_name, cls)
+        return cls
+
+    return decorate
+
+
+__all__ = ["Trigger", "TriggerError", "declare_trigger"]

@@ -1,0 +1,107 @@
+"""Trigger composition (§4.2) with short-circuit evaluation (§4.3).
+
+Within one ``<function>`` element, multiple ``<reftrigger>`` references form
+a **conjunction**: all triggers must agree before a fault is injected, and
+evaluation stops at the first trigger that says no.  Multiple ``<function>``
+elements for the same library function form a **disjunction**.  Negation
+simply inverts a trigger's answer.  These three operators compose into
+arbitrary combinations, which is what makes stock triggers reusable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.injection.context import CallContext
+from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
+
+
+class _CompositeTrigger(Trigger):
+    """Common plumbing for conjunction/disjunction."""
+
+    def __init__(self, children: Optional[Sequence[Trigger]] = None) -> None:
+        self.children: List[Trigger] = list(children or [])
+        #: Number of child evaluations actually performed (short-circuiting
+        #: makes this smaller than len(children) * calls).
+        self.child_evaluations = 0
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        children = params.get("children")
+        if children is not None:
+            if not all(isinstance(child, Trigger) for child in children):
+                raise TriggerError("composite trigger children must be Trigger instances")
+            self.children = list(children)
+        if not self.children:
+            raise TriggerError(f"{type(self).__name__} requires at least one child trigger")
+
+    def reset(self) -> None:
+        self.child_evaluations = 0
+        for child in self.children:
+            child.reset()
+
+
+@declare_trigger("ConjunctionTrigger")
+class ConjunctionTrigger(_CompositeTrigger):
+    """All children must return True; evaluation stops at the first False."""
+
+    def eval(self, ctx: CallContext) -> bool:
+        for child in self.children:
+            self.child_evaluations += 1
+            if not child.eval(ctx):
+                return False
+        return True
+
+
+@declare_trigger("DisjunctionTrigger")
+class DisjunctionTrigger(_CompositeTrigger):
+    """Any child returning True fires; evaluation stops at the first True."""
+
+    def eval(self, ctx: CallContext) -> bool:
+        for child in self.children:
+            self.child_evaluations += 1
+            if child.eval(ctx):
+                return True
+        return False
+
+
+@declare_trigger("NegationTrigger")
+class NegationTrigger(Trigger):
+    """Invert the decision of the wrapped trigger."""
+
+    def __init__(self, inner: Optional[Trigger] = None) -> None:
+        self.inner = inner
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        inner = params.get("inner", params.get("child"))
+        if inner is not None:
+            if not isinstance(inner, Trigger):
+                raise TriggerError("NegationTrigger 'inner' must be a Trigger instance")
+            self.inner = inner
+        if self.inner is None:
+            raise TriggerError("NegationTrigger requires an inner trigger")
+
+    def eval(self, ctx: CallContext) -> bool:
+        assert self.inner is not None
+        return not self.inner.eval(ctx)
+
+    def reset(self) -> None:
+        if self.inner is not None:
+            self.inner.reset()
+
+
+def conjunction(triggers: Iterable[Trigger]) -> Trigger:
+    """Collapse an iterable of triggers into a single decision point.
+
+    A single trigger is returned unchanged, so the common case (one
+    ``<reftrigger>`` per function) costs nothing extra per call.
+    """
+    items = list(triggers)
+    if len(items) == 1:
+        return items[0]
+    composite = ConjunctionTrigger(items)
+    return composite
+
+
+__all__ = ["ConjunctionTrigger", "DisjunctionTrigger", "NegationTrigger", "conjunction"]

@@ -1,0 +1,212 @@
+"""Custom triggers used as running examples in the paper.
+
+* :class:`ReadPipeTrigger` — parametrized version of the pipe-read example
+  of §3.1/§4.1: fire for ``read`` calls whose descriptor is a pipe and whose
+  requested size falls within ``[low, high]``.
+* :class:`WithMutexTrigger` — fire for any call made while the calling
+  thread holds a POSIX mutex; tracks ``pthread_mutex_lock``/``unlock``.
+* :class:`ReadPipe1K4KwithMutexTrigger` — the exact hard-coded composite
+  sketched in §3.1 (pipe, 1 KB-4 KB, mutex held), kept for fidelity even
+  though composition of the two triggers above is the recommended spelling.
+* :class:`CloseAfterMutexUnlockTrigger` — the parametrized trigger built in
+  §7.1 step 3 for the MySQL double-unlock bug: inject into ``close`` calls
+  that happen within a configurable distance of the last mutex unlock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.injection.context import CallContext
+from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
+
+
+def _descriptor_is_pipe(ctx: CallContext, fd: Any) -> bool:
+    """Check the descriptor type with fstat, as the paper's trigger does."""
+    if ctx.os is None or not isinstance(fd, int):
+        return False
+    try:
+        stat = ctx.os.fs.fstat(fd)
+    except Exception:  # genuine EBADF and friends simply mean "not a pipe"
+        return False
+    return stat.is_fifo()
+
+
+@declare_trigger("ReadPipe")
+class ReadPipeTrigger(Trigger):
+    """Fire for ``read`` calls on pipes requesting between low and high bytes."""
+
+    def __init__(self, low: int = 1024, high: int = 4096) -> None:
+        self.low = low
+        self.high = high
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        self.low = int(params.get("low", self.low))
+        self.high = int(params.get("high", self.high))
+        if self.low > self.high:
+            raise TriggerError(f"ReadPipe low ({self.low}) must not exceed high ({self.high})")
+
+    def eval(self, ctx: CallContext) -> bool:
+        if ctx.function != "read":
+            return False
+        fd = ctx.arg(0)
+        size = ctx.arg(2)
+        if not isinstance(size, int) or not self.low <= size <= self.high:
+            return False
+        return _descriptor_is_pipe(ctx, fd)
+
+
+@declare_trigger("WithMutex")
+class WithMutexTrigger(Trigger):
+    """Fire for any call made while the caller holds at least one mutex.
+
+    The trigger is stateful: it must also be associated (with ``return`` set
+    to "unused") with ``pthread_mutex_lock`` and ``pthread_mutex_unlock`` so
+    it can maintain the lock count, exactly as in the paper's example
+    scenario.
+    """
+
+    def __init__(self) -> None:
+        self._lock_count = 0
+
+    def eval(self, ctx: CallContext) -> bool:
+        if ctx.function == "pthread_mutex_lock":
+            self._lock_count += 1
+            return False
+        if ctx.function == "pthread_mutex_unlock":
+            if self._lock_count > 0:
+                self._lock_count -= 1
+            return False
+        return self._lock_count > 0
+
+    def reset(self) -> None:
+        self._lock_count = 0
+
+    @property
+    def lock_count(self) -> int:
+        return self._lock_count
+
+
+@declare_trigger("ReadPipe1K4KwithMutex")
+class ReadPipe1K4KwithMutexTrigger(Trigger):
+    """The hard-coded example trigger from §3.1 (1 KB-4 KB pipe read + mutex)."""
+
+    def __init__(self) -> None:
+        self._lock_count = 0
+
+    def eval(self, ctx: CallContext) -> bool:
+        if ctx.function == "pthread_mutex_lock":
+            self._lock_count += 1
+            return False
+        if ctx.function == "pthread_mutex_unlock":
+            if self._lock_count > 0:
+                self._lock_count -= 1
+            return False
+        if ctx.function != "read":
+            return False
+        if self._lock_count <= 0:
+            return False
+        size = ctx.arg(2)
+        if not isinstance(size, int) or not 1024 <= size <= 4096:
+            return False
+        return _descriptor_is_pipe(ctx, ctx.arg(0))
+
+    def reset(self) -> None:
+        self._lock_count = 0
+
+
+@declare_trigger("CloseAfterMutexUnlock")
+class CloseAfterMutexUnlockTrigger(Trigger):
+    """Inject into ``close`` calls issued shortly after a mutex unlock.
+
+    ``distance`` bounds how far the ``close`` may be from the most recent
+    ``pthread_mutex_unlock``: it is measured in intercepted library calls
+    (and additionally in source lines when both call sites carry line
+    information), which reproduces the "maximum distance in lines of code"
+    parametrization of §7.1 and yields the 100%-precision scenario of
+    Table 2.
+    """
+
+    def __init__(self, distance: int = 2, target: str = "close") -> None:
+        self.distance = distance
+        self.target = target
+        self._last_unlock_index: Optional[int] = None
+        self._last_unlock_line: Optional[int] = None
+        self._last_unlock_file: str = ""
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        self.distance = int(params.get("distance", self.distance))
+        self.target = str(params.get("target", self.target))
+        if self.distance < 0:
+            raise TriggerError(f"distance must be >= 0, got {self.distance}")
+
+    def eval(self, ctx: CallContext) -> bool:
+        if ctx.function == "pthread_mutex_unlock":
+            self._last_unlock_index = ctx.global_index
+            source = ctx.source
+            self._last_unlock_file = getattr(source, "file", "") if source else ""
+            self._last_unlock_line = getattr(source, "line", None) if source else None
+            return False
+        if ctx.function != self.target:
+            return False
+        if self._last_unlock_index is None:
+            return False
+        call_distance = ctx.global_index - self._last_unlock_index
+        if call_distance <= self.distance:
+            return True
+        source = ctx.source
+        if (
+            source is not None
+            and self._last_unlock_line is not None
+            and getattr(source, "file", "") == self._last_unlock_file
+        ):
+            line_distance = abs(getattr(source, "line", 0) - self._last_unlock_line)
+            return line_distance <= self.distance
+        return False
+
+    def reset(self) -> None:
+        self._last_unlock_index = None
+        self._last_unlock_line = None
+        self._last_unlock_file = ""
+
+
+@declare_trigger("ArgumentEquals")
+class ArgumentEqualsTrigger(Trigger):
+    """Fire when a positional argument of the intercepted call equals a value.
+
+    This is the shape of the paper's MySQL overhead trigger 1 ("inject when
+    the ``cmd`` argument is ``F_GETLK``"): purely argument-based, no state.
+    """
+
+    def __init__(self, index: int = 0, value: Any = 0) -> None:
+        self.index = index
+        self.value = value
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        self.index = int(params.get("index", self.index))
+        if "value" in params:
+            raw = params["value"]
+            if isinstance(raw, str):
+                try:
+                    self.value = int(raw, 0)
+                except ValueError:
+                    self.value = raw
+            else:
+                self.value = raw
+        if self.index < 0:
+            raise TriggerError(f"argument index must be >= 0, got {self.index}")
+
+    def eval(self, ctx: CallContext) -> bool:
+        return ctx.arg(self.index, default=None) == self.value
+
+
+__all__ = [
+    "ArgumentEqualsTrigger",
+    "CloseAfterMutexUnlockTrigger",
+    "ReadPipe1K4KwithMutexTrigger",
+    "ReadPipeTrigger",
+    "WithMutexTrigger",
+]

@@ -1,0 +1,55 @@
+"""Random trigger (§3.2).
+
+Injects with a configurable probability.  The paper uses it for the MySQL
+random-injection campaign (1,000 tests, 35 distinct crashes) and as the
+loss model for the PBFT network-degradation study (Figure 3).  A seed makes
+experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.core.injection.context import CallContext
+from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
+
+
+@declare_trigger("RandomTrigger")
+class RandomTrigger(Trigger):
+    """Inject with probability ``probability`` on every evaluation."""
+
+    def __init__(self) -> None:
+        self.probability = 0.0
+        self._rng = random.Random(0)
+        self._seed: Optional[int] = None
+        self.evaluations = 0
+        self.fired = 0
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        self.probability = float(params.get("probability", params.get("p", 0.0)))
+        if not 0.0 <= self.probability <= 1.0:
+            raise TriggerError(
+                f"RandomTrigger probability must be in [0, 1], got {self.probability}"
+            )
+        seed = params.get("seed")
+        self._seed = int(seed) if seed is not None else None
+        self._rng = random.Random(self._seed)
+
+    def eval(self, ctx: CallContext) -> bool:
+        self.evaluations += 1
+        if self.probability <= 0.0:
+            return False
+        fire = self._rng.random() < self.probability
+        if fire:
+            self.fired += 1
+        return fire
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self.evaluations = 0
+        self.fired = 0
+
+
+__all__ = ["RandomTrigger"]

@@ -1,0 +1,80 @@
+"""Trigger registry (the Registry-pattern piece of §6).
+
+The paper wants ``Class.forName``-like behaviour: drop a trigger class into
+a known location and reference it from scenarios by class name.  Here the
+registry maps names to classes; ``declare_trigger`` performs the automatic
+registration that the C++ static-initializer trick performs in LFI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+from repro.core.triggers.base import Trigger, TriggerError
+
+
+class TriggerRegistry:
+    """Maps trigger class names to classes and instantiates them."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Trigger]] = {}
+
+    def register(self, name: str, cls: Type[Trigger]) -> None:
+        if not issubclass(cls, Trigger):
+            raise TriggerError(f"{cls!r} does not implement the Trigger interface")
+        self._classes[name] = cls
+
+    def unregister(self, name: str) -> None:
+        self._classes.pop(name, None)
+
+    def known(self, name: str) -> bool:
+        return name in self._classes
+
+    def names(self) -> list:
+        return sorted(self._classes)
+
+    def lookup(self, name: str) -> Type[Trigger]:
+        cls = self._classes.get(name)
+        if cls is None:
+            raise TriggerError(
+                f"unknown trigger class {name!r} (registered: {', '.join(self.names()) or 'none'})"
+            )
+        return cls
+
+    def create(self, name: str, params: Optional[Dict[str, Any]] = None) -> Trigger:
+        """Instantiate and initialize a trigger by class name."""
+        instance = self.lookup(name)()
+        instance.init(params or {})
+        return instance
+
+
+_DEFAULT_REGISTRY: Optional[TriggerRegistry] = None
+
+
+def default_registry() -> TriggerRegistry:
+    """The process-wide registry used by ``declare_trigger`` and scenarios."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = TriggerRegistry()
+    return _DEFAULT_REGISTRY
+
+
+def ensure_stock_triggers_registered() -> TriggerRegistry:
+    """Import the stock/custom trigger modules so their classes register."""
+    # Imports are intentionally local: importing the modules runs their
+    # ``declare_trigger`` decorators, which is all that is needed.
+    from repro.core.triggers import (  # noqa: F401  (imported for side effects)
+        callcount,
+        callstack,
+        composite,
+        custom,
+        distributed,
+        random_trigger,
+        singleton,
+        state,
+    )
+
+    return default_registry()
+
+
+__all__ = ["TriggerRegistry", "default_registry", "ensure_stock_triggers_registered"]

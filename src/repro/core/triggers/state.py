@@ -1,0 +1,89 @@
+"""Program state-based trigger (§3.2).
+
+Injects when a relationship between program variables holds, e.g.
+``numConnections == maxConnections``.  The stock trigger supports comparing
+a variable against a literal or against another variable with the usual
+relational operators; the paper's Apache/MySQL specializations (checking
+``thread_count`` or a request's ``method_number``) are thin subclasses or
+parametrizations of this trigger.
+
+Variables are read through :meth:`CallContext.read_state`, which the VM
+wires to the binary's global symbols and the Python-level servers wire to
+their exported state dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.injection.context import CallContext
+from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@declare_trigger("ProgramStateTrigger")
+class ProgramStateTrigger(Trigger):
+    """Compare a program variable against a literal or another variable."""
+
+    def __init__(
+        self,
+        variable: str = "",
+        op: str = "==",
+        value: Optional[Any] = None,
+        other_variable: Optional[str] = None,
+    ) -> None:
+        self.variable = variable
+        self.op = op
+        self.value = value
+        self.other_variable = other_variable
+
+    def init(self, params: Optional[Dict[str, Any]] = None) -> None:
+        params = params or {}
+        self.variable = str(params.get("variable", self.variable))
+        self.op = str(params.get("op", params.get("operator", self.op)))
+        if "value" in params:
+            self.value = _coerce(params["value"])
+        if "other" in params or "other_variable" in params:
+            self.other_variable = str(params.get("other", params.get("other_variable")))
+        if not self.variable:
+            raise TriggerError("ProgramStateTrigger requires a 'variable' parameter")
+        if self.op not in _OPERATORS:
+            raise TriggerError(f"unknown operator {self.op!r}")
+        if self.value is None and self.other_variable is None:
+            raise TriggerError("ProgramStateTrigger requires 'value' or 'other_variable'")
+
+    def eval(self, ctx: CallContext) -> bool:
+        left = ctx.read_state(self.variable)
+        if left is None:
+            return False
+        if self.other_variable is not None:
+            right = ctx.read_state(self.other_variable)
+            if right is None:
+                return False
+        else:
+            right = self.value
+        try:
+            return _OPERATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+
+def _coerce(value: Any) -> Any:
+    """Convert scenario-file strings into ints where possible."""
+    if isinstance(value, str):
+        try:
+            return int(value, 0)
+        except ValueError:
+            return value
+    return value
+
+
+__all__ = ["ProgramStateTrigger"]

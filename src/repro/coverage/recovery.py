@@ -1,0 +1,159 @@
+"""Automatic identification of recovery-code regions.
+
+A *recovery region* is the code the program runs only when a library call
+reports an error: the branch of an error-return check that corresponds to
+the error values in the library's fault profile.  The paper identified these
+blocks manually in lcov output; here they are derived from the binary:
+
+1. for every call site of a profiled function, find the checks the dataflow
+   analysis reports (``cmp`` of a return-value copy against a literal plus a
+   conditional jump);
+2. decide which side of the branch the *error* values fall on by evaluating
+   the comparison with the profile's error return values;
+3. the basic block on the error side (and the straight-line blocks reachable
+   only from it, up to a small budget) is the recovery region for that site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis.cfg import build_partial_cfg
+from repro.core.analysis.dataflow import CheckSite, analyze_return_value_checks
+from repro.core.profiler.fault_profile import FaultProfile
+from repro.isa.binary import BinaryImage, CallSite
+from repro.isa.instructions import Opcode
+
+Line = Tuple[str, int]
+
+
+@dataclass
+class RecoveryRegion:
+    """Recovery code guarding one library call site."""
+
+    call_site: CallSite
+    addresses: Set[int] = field(default_factory=set)
+    lines: Set[Line] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.addresses)
+
+
+@dataclass
+class RecoveryMap:
+    """All recovery regions of one binary."""
+
+    binary: str
+    regions: List[RecoveryRegion] = field(default_factory=list)
+
+    def all_lines(self) -> Set[Line]:
+        lines: Set[Line] = set()
+        for region in self.regions:
+            lines.update(region.lines)
+        return lines
+
+    def all_addresses(self) -> Set[int]:
+        addresses: Set[int] = set()
+        for region in self.regions:
+            addresses.update(region.addresses)
+        return addresses
+
+    def region_count(self) -> int:
+        return len(self.regions)
+
+
+def _condition_holds(value: int, literal: int, jump: Opcode) -> bool:
+    """Would the conditional jump be taken for ``value <op> literal``?"""
+    difference = value - literal
+    if jump is Opcode.JE:
+        return difference == 0
+    if jump is Opcode.JNE:
+        return difference != 0
+    if jump is Opcode.JL:
+        return difference < 0
+    if jump is Opcode.JLE:
+        return difference <= 0
+    if jump is Opcode.JG:
+        return difference > 0
+    if jump is Opcode.JGE:
+        return difference >= 0
+    return False
+
+
+def _error_successor(
+    binary: BinaryImage, check: CheckSite, error_values: Sequence[int]
+) -> Optional[int]:
+    """Which address does control reach when the return value is an error?"""
+    jump = binary.instructions[check.jump_address]
+    target = jump.jump_target()
+    target_address = target.address if target is not None else None
+    fallthrough = check.jump_address + 1
+    taken = [
+        _condition_holds(value, check.literal, check.jump_opcode) for value in error_values
+    ]
+    if all(taken) and target_address is not None:
+        return target_address
+    if not any(taken):
+        return fallthrough
+    # Mixed: be conservative and report the fallthrough side.
+    return fallthrough
+
+
+def _collect_region(
+    binary: BinaryImage, start: int, budget: int = 40
+) -> Tuple[Set[int], Set[Line]]:
+    """Collect the straight-line block starting at *start* (and its lines)."""
+    addresses: Set[int] = set()
+    lines: Set[Line] = set()
+    address = start
+    while binary.has_address(address) and len(addresses) < budget:
+        instruction = binary.instructions[address]
+        addresses.add(address)
+        location = binary.source_of(address)
+        if location is not None:
+            lines.add((location.file, location.line))
+        if instruction.opcode in (Opcode.RET, Opcode.HALT):
+            break
+        if instruction.opcode is Opcode.JMP:
+            break
+        if instruction.opcode.is_conditional_jump:
+            break
+        address += 1
+    return addresses, lines
+
+
+def identify_recovery_regions(
+    binary: BinaryImage,
+    profile: FaultProfile,
+    functions: Optional[Sequence[str]] = None,
+    max_instructions: int = 100,
+) -> RecoveryMap:
+    """Find recovery regions for every (profiled) library call in *binary*."""
+    recovery = RecoveryMap(binary=binary.name)
+    targets = list(functions) if functions is not None else sorted(binary.called_imports())
+    for function in targets:
+        function_profile = profile.function(function)
+        if function_profile is None or not function_profile.error_returns:
+            continue
+        error_values = list(function_profile.error_values())
+        for site in binary.call_sites(function):
+            cfg = build_partial_cfg(binary, site.address + 1, max_instructions=max_instructions)
+            checks = analyze_return_value_checks(binary, site.address, cfg=cfg)
+            if not checks.check_sites:
+                continue
+            region = RecoveryRegion(call_site=site)
+            for check in checks.check_sites:
+                error_start = _error_successor(binary, check, error_values)
+                if error_start is None:
+                    continue
+                addresses, lines = _collect_region(binary, error_start)
+                region.addresses.update(addresses)
+                region.lines.update(lines)
+            if region.addresses:
+                recovery.regions.append(region)
+    return recovery
+
+
+__all__ = ["RecoveryMap", "RecoveryRegion", "identify_recovery_regions"]

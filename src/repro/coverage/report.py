@@ -1,0 +1,121 @@
+"""Coverage reports in the shape of the paper's Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.coverage.recovery import RecoveryMap
+from repro.coverage.tracker import CoverageTracker
+from repro.isa.binary import BinaryImage
+
+Line = Tuple[str, int]
+
+
+@dataclass
+class CoverageReport:
+    """Coverage of one binary under one configuration (with or without LFI)."""
+
+    binary: str
+    configuration: str
+    total_lines: int
+    covered_lines: int
+    recovery_lines: int
+    recovery_covered: int
+    covered_line_set: Set[Line]
+    recovery_covered_set: Set[Line]
+
+    @property
+    def total_coverage(self) -> float:
+        return self.covered_lines / self.total_lines if self.total_lines else 0.0
+
+    @property
+    def recovery_coverage(self) -> float:
+        return self.recovery_covered / self.recovery_lines if self.recovery_lines else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.binary} [{self.configuration}]: total {self.total_coverage:.1%} "
+            f"({self.covered_lines}/{self.total_lines} lines), recovery "
+            f"{self.recovery_coverage:.1%} ({self.recovery_covered}/{self.recovery_lines} lines)"
+        )
+
+
+def build_report(
+    binary: BinaryImage,
+    tracker: CoverageTracker,
+    recovery: RecoveryMap,
+    configuration: str,
+) -> CoverageReport:
+    all_lines = set(binary.lines())
+    covered = tracker.covered_lines(binary) & all_lines
+    recovery_lines = recovery.all_lines() & all_lines
+    recovery_covered = covered & recovery_lines
+    return CoverageReport(
+        binary=binary.name,
+        configuration=configuration,
+        total_lines=len(all_lines),
+        covered_lines=len(covered),
+        recovery_lines=len(recovery_lines),
+        recovery_covered=len(recovery_covered),
+        covered_line_set=covered,
+        recovery_covered_set=recovery_covered,
+    )
+
+
+@dataclass
+class CoverageComparison:
+    """The Table 3 row shape: baseline test suite vs. test suite + LFI."""
+
+    binary: str
+    baseline: CoverageReport
+    with_lfi: CoverageReport
+
+    @property
+    def additional_recovery_fraction(self) -> float:
+        """Recovery code newly covered thanks to LFI, as a fraction of all recovery code.
+
+        This is the "Additional recovery code covered" row of Table 3: the
+        share of recovery lines that the test suite only reaches when LFI
+        injects the corresponding faults.
+        """
+        total = self.with_lfi.recovery_lines or self.baseline.recovery_lines
+        if not total:
+            return 0.0
+        extra = self.with_lfi.recovery_covered - self.baseline.recovery_covered
+        return max(extra, 0) / total
+
+    @property
+    def relative_recovery_improvement(self) -> float:
+        """Extra recovery coverage relative to what the baseline already covered."""
+        baseline_covered = self.baseline.recovery_covered
+        extra = self.with_lfi.recovery_covered - baseline_covered
+        if baseline_covered:
+            return extra / baseline_covered
+        return 1.0 if extra else 0.0
+
+    @property
+    def additional_lines_covered(self) -> int:
+        return len(self.with_lfi.covered_line_set - self.baseline.covered_line_set)
+
+    def row(self) -> dict:
+        return {
+            "system": self.binary,
+            "additional_recovery_code_covered": self.additional_recovery_fraction,
+            "additional_loc_covered_by_lfi": self.additional_lines_covered,
+            "total_coverage_without_lfi": self.baseline.total_coverage,
+            "total_coverage_with_lfi": self.with_lfi.total_coverage,
+            "recovery_coverage_without_lfi": self.baseline.recovery_coverage,
+            "recovery_coverage_with_lfi": self.with_lfi.recovery_coverage,
+        }
+
+
+def compare_coverage(
+    baseline: CoverageReport, with_lfi: CoverageReport, binary: Optional[str] = None
+) -> CoverageComparison:
+    return CoverageComparison(
+        binary=binary or baseline.binary, baseline=baseline, with_lfi=with_lfi
+    )
+
+
+__all__ = ["CoverageComparison", "CoverageReport", "build_report", "compare_coverage"]

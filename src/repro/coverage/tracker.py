@@ -1,0 +1,76 @@
+"""Instruction/line coverage tracker for VM executions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.isa.binary import BinaryImage
+
+Line = Tuple[str, int]
+
+
+class CoverageTracker:
+    """Records executed instruction addresses; aggregates across runs."""
+
+    def __init__(self) -> None:
+        self._addresses: Set[int] = set()
+        self._hit_counts: Dict[int, int] = {}
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    # recording (called by the VM on every instruction)
+    # ------------------------------------------------------------------
+    def record(self, address: int) -> None:
+        self._addresses.add(address)
+        self._hit_counts[address] = self._hit_counts.get(address, 0) + 1
+
+    def finish_run(self) -> None:
+        self.runs += 1
+
+    def merge(self, other: "CoverageTracker") -> None:
+        self._addresses.update(other._addresses)
+        for address, count in other._hit_counts.items():
+            self._hit_counts[address] = self._hit_counts.get(address, 0) + count
+        self.runs += other.runs
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def covered_addresses(self) -> Set[int]:
+        return set(self._addresses)
+
+    def hit_count(self, address: int) -> int:
+        return self._hit_counts.get(address, 0)
+
+    def covered_lines(self, binary: BinaryImage) -> Set[Line]:
+        lines: Set[Line] = set()
+        for address in self._addresses:
+            location = binary.source_of(address)
+            if location is not None:
+                lines.add((location.file, location.line))
+        return lines
+
+    def instruction_coverage(self, binary: BinaryImage) -> float:
+        if not len(binary):
+            return 0.0
+        covered = sum(1 for address in self._addresses if binary.has_address(address))
+        return covered / len(binary)
+
+    def line_coverage(self, binary: BinaryImage) -> float:
+        all_lines = set(binary.lines())
+        if not all_lines:
+            return 0.0
+        return len(self.covered_lines(binary) & all_lines) / len(all_lines)
+
+    def lines_covered_of(self, binary: BinaryImage, lines: Iterable[Line]) -> Set[Line]:
+        wanted = set(lines)
+        return self.covered_lines(binary) & wanted
+
+    def clear(self) -> None:
+        self._addresses.clear()
+        self._hit_counts.clear()
+        self.runs = 0
+
+
+__all__ = ["CoverageTracker", "Line"]

@@ -1,0 +1,23 @@
+"""Distributed fault-injection support (§3.2, §7.3).
+
+A central controller with a global view of a distributed system decides
+whether the distributed triggers installed on individual nodes should fire.
+The policies here are the ones the paper's PBFT experiments need: uniform
+packet loss, silencing one replica, and the rotating 500-fault DoS attack.
+"""
+
+from repro.distributed.central_controller import (
+    CentralController,
+    PacketLossPolicy,
+    Policy,
+    RotatingAttackPolicy,
+    SilenceNodePolicy,
+)
+
+__all__ = [
+    "CentralController",
+    "PacketLossPolicy",
+    "Policy",
+    "RotatingAttackPolicy",
+    "SilenceNodePolicy",
+]

@@ -1,0 +1,162 @@
+"""Central controller for distributed triggers.
+
+Each node-local :class:`~repro.core.triggers.distributed.DistributedTrigger`
+forwards (node, function, args) to one shared :class:`CentralController`,
+which applies a :class:`Policy` with a global view of the whole system.  The
+three policies provided are the ones §7.3 uses against PBFT:
+
+* :class:`PacketLossPolicy` — drop each intercepted ``sendto``/``recvfrom``
+  with a fixed probability (the degraded-network study of Figure 3);
+* :class:`SilenceNodePolicy` — fail *all* communication of one replica,
+  rendering it inactive;
+* :class:`RotatingAttackPolicy` — inject N consecutive faults into one
+  replica's communication, then move to the next replica, and so on — the
+  attack aimed at confusing the reconfiguration (view change) protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.injection.context import CallContext
+
+#: The communication functions the PBFT experiments target.
+DEFAULT_TARGET_FUNCTIONS: Tuple[str, ...] = ("sendto", "recvfrom")
+
+
+class Policy(ABC):
+    """A global injection policy."""
+
+    @abstractmethod
+    def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
+        """Decide whether this node's call should fail."""
+
+    def reset(self) -> None:
+        """Clear accumulated state between experiments."""
+
+
+@dataclass
+class PacketLossPolicy(Policy):
+    """Fail communication calls with a fixed probability (degraded network)."""
+
+    probability: float = 0.0
+    seed: Optional[int] = 0
+    functions: Tuple[str, ...] = DEFAULT_TARGET_FUNCTIONS
+    nodes: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        self._rng = Random(self.seed)
+
+    def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
+        if function not in self.functions:
+            return False
+        if self.nodes is not None and node not in self.nodes:
+            return False
+        return self._rng.random() < self.probability
+
+    def reset(self) -> None:
+        self._rng = Random(self.seed)
+
+
+@dataclass
+class SilenceNodePolicy(Policy):
+    """Fail every communication call made by one node (a silenced replica)."""
+
+    node: str = ""
+    functions: Tuple[str, ...] = DEFAULT_TARGET_FUNCTIONS
+
+    def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
+        return node == self.node and function in self.functions
+
+    def reset(self) -> None:  # stateless
+        return
+
+
+@dataclass
+class RotatingAttackPolicy(Policy):
+    """Inject ``burst`` consecutive faults per node, rotating through nodes."""
+
+    nodes: Sequence[str] = ()
+    burst: int = 500
+    functions: Tuple[str, ...] = DEFAULT_TARGET_FUNCTIONS
+    _position: int = field(default=0, init=False)
+    _injected_in_burst: int = field(default=0, init=False)
+
+    def current_victim(self) -> Optional[str]:
+        if not self.nodes:
+            return None
+        return self.nodes[self._position % len(self.nodes)]
+
+    def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
+        if function not in self.functions or not self.nodes:
+            return False
+        victim = self.current_victim()
+        if node != victim:
+            return False
+        self._injected_in_burst += 1
+        if self._injected_in_burst >= self.burst:
+            self._position += 1
+            self._injected_in_burst = 0
+        return True
+
+    def reset(self) -> None:
+        self._position = 0
+        self._injected_in_burst = 0
+
+
+class CentralController:
+    """Receives trigger consultations from all nodes and applies one policy."""
+
+    def __init__(self, policy: Optional[Policy] = None) -> None:
+        self.policy = policy
+        self.consultations = 0
+        self.injections_by_node: Dict[str, int] = {}
+        self.consultations_by_node: Dict[str, int] = {}
+        self.history: List[Tuple[str, str, bool]] = []
+        #: Bound how much history is kept (long experiments).
+        self.history_limit = 10_000
+
+    def set_policy(self, policy: Optional[Policy]) -> None:
+        self.policy = policy
+
+    def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
+        self.consultations += 1
+        self.consultations_by_node[node] = self.consultations_by_node.get(node, 0) + 1
+        decision = False
+        if self.policy is not None:
+            decision = self.policy.should_inject(node, function, args, ctx)
+        if decision:
+            self.injections_by_node[node] = self.injections_by_node.get(node, 0) + 1
+        if len(self.history) < self.history_limit:
+            self.history.append((node, function, decision))
+        return decision
+
+    def reset(self) -> None:
+        if self.policy is not None:
+            self.policy.reset()
+        self.consultations = 0
+        self.injections_by_node.clear()
+        self.consultations_by_node.clear()
+        self.history.clear()
+
+    def summary(self) -> str:
+        per_node = ", ".join(
+            f"{node}: {count}" for node, count in sorted(self.injections_by_node.items())
+        )
+        return (
+            f"central controller: {self.consultations} consultations, "
+            f"injections by node: {{{per_node}}}"
+        )
+
+
+__all__ = [
+    "CentralController",
+    "DEFAULT_TARGET_FUNCTIONS",
+    "PacketLossPolicy",
+    "Policy",
+    "RotatingAttackPolicy",
+    "SilenceNodePolicy",
+]

@@ -1,0 +1,70 @@
+"""Table 2 — precision of three triggers targeting the MySQL close bug.
+
+Runs the merge-big workload repeatedly under each of the three injection
+scenarios from §7.1 and reports how often the double-unlock bug was
+activated (the paper's definition of precision for this experiment).
+"""
+
+from __future__ import annotations
+
+from repro.core.controller.target import WorkloadRequest
+from repro.experiments.common import TableResult
+from repro.targets.mini_mysql import MiniMySQLTarget
+from repro.targets.mini_mysql.scenarios import (
+    close_after_unlock_scenario,
+    random_close_in_module_scenario,
+    random_close_scenario,
+)
+
+
+def _precision(target: MiniMySQLTarget, scenario_factory, runs: int) -> float:
+    activations = 0
+    for index in range(runs):
+        scenario = scenario_factory(index)
+        result = target.run(WorkloadRequest(workload="merge-big", scenario=scenario))
+        if target.outcome_is_double_unlock(result.outcome):
+            activations += 1
+    return activations / runs if runs else 0.0
+
+
+def run(runs: int = 100, probability: float = 0.1, distance: int = 2) -> TableResult:
+    """Reproduce Table 2 with *runs* executions of merge-big per scenario."""
+    target = MiniMySQLTarget()
+    table = TableResult(
+        name="Table 2",
+        description="Precision of three triggers targeting the MySQL close bug",
+        columns=["trigger scenario", "precision"],
+        paper_reference={
+            "Random (10%)": 0.16,
+            "Random (10%) within bug's file": 0.45,
+            "Close after mutex unlock": 1.00,
+        },
+    )
+
+    random_precision = _precision(
+        target, lambda index: random_close_scenario(probability, seed=index), runs
+    )
+    in_file_precision = _precision(
+        target, lambda index: random_close_in_module_scenario(probability, seed=index), runs
+    )
+    custom_precision = _precision(
+        target, lambda index: close_after_unlock_scenario(distance), max(runs // 5, 1)
+    )
+
+    table.add_row(**{"trigger scenario": f"Random ({probability:.0%})", "precision": random_precision})
+    table.add_row(
+        **{
+            "trigger scenario": f"Random ({probability:.0%}) within bug's file",
+            "precision": in_file_precision,
+        }
+    )
+    table.add_row(
+        **{"trigger scenario": "Close after mutex unlock", "precision": custom_precision}
+    )
+    table.add_note(
+        "precision = fraction of merge-big runs in which the double-unlock abort was activated"
+    )
+    return table
+
+
+__all__ = ["run"]

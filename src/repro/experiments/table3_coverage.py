@@ -1,0 +1,113 @@
+"""Table 3 — automated improvement in recovery-code coverage.
+
+Methodology, mirroring §7.1:
+
+1. run each target's default test suite and measure line coverage (gcov
+   analog), identifying the recovery regions guarded by error-return checks;
+2. run the call-site analyzer, trim its scenarios to the library functions
+   "known to fail on occasion" (the paper used ~25; we use the per-target
+   coverage function lists), including the *checked* sites — those are the
+   ones with recovery code to exercise;
+3. re-run the same test suite once per scenario with the fault injected and
+   merge the coverage;
+4. report the additional recovery code covered, the additional lines, and
+   the total coverage with and without LFI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.analysis.analyzer import CallSiteAnalyzer
+from repro.core.controller.target import WorkloadRequest
+from repro.core.profiler.spec_profiles import combined_reference_profile
+from repro.coverage.recovery import identify_recovery_regions
+from repro.coverage.report import CoverageComparison, build_report, compare_coverage
+from repro.coverage.tracker import CoverageTracker
+from repro.experiments.common import TableResult
+from repro.targets.base import CompiledTarget
+from repro.targets.mini_bind.target import COVERAGE_FUNCTIONS as BIND_FUNCTIONS
+from repro.targets.mini_bind.target import MiniBindTarget
+from repro.targets.mini_git.target import COVERAGE_FUNCTIONS as GIT_FUNCTIONS
+from repro.targets.mini_git.target import MiniGitTarget
+
+
+def _run_suite_with_coverage(target: CompiledTarget, scenario=None) -> CoverageTracker:
+    result = target.run(
+        WorkloadRequest(workload="default-tests", scenario=scenario, collect_coverage=True)
+    )
+    tracker: CoverageTracker = result.stats["coverage"]
+    return tracker
+
+
+def measure_target(
+    target: CompiledTarget, functions: Sequence[str]
+) -> Tuple[CoverageComparison, int]:
+    """Return (coverage comparison, number of scenarios run) for one target."""
+    binary = target.binary()
+    profile = combined_reference_profile()
+    recovery = identify_recovery_regions(binary, profile, functions=list(functions))
+
+    baseline_tracker = _run_suite_with_coverage(target)
+    baseline_report = build_report(binary, baseline_tracker, recovery, "test suite")
+
+    analyzer = CallSiteAnalyzer(profile=profile)
+    analysis = analyzer.analyze(binary, functions=list(functions))
+    scenarios = analyzer.generate_scenarios(
+        analysis, include_partial=True, include_checked=True
+    )
+
+    merged = CoverageTracker()
+    merged.merge(baseline_tracker)
+    for scenario in scenarios:
+        merged.merge(_run_suite_with_coverage(target, scenario))
+    lfi_report = build_report(binary, merged, recovery, "test suite + LFI")
+    return compare_coverage(baseline_report, lfi_report), len(scenarios)
+
+
+def run() -> TableResult:
+    """Reproduce Table 3 for the Git and BIND analogs."""
+    table = TableResult(
+        name="Table 3",
+        description="Automated improvement in recovery-code coverage",
+        columns=[
+            "system",
+            "additional recovery code covered",
+            "additional LOC covered by LFI",
+            "total coverage without LFI",
+            "total coverage with LFI",
+            "scenarios",
+        ],
+        paper_reference={
+            "git_additional_recovery": 0.35,
+            "bind_additional_recovery": 0.60,
+            "git_total_without": 0.787,
+            "git_total_with": 0.796,
+            "bind_total_without": 0.612,
+            "bind_total_with": 0.618,
+        },
+    )
+    targets: List[Tuple[CompiledTarget, Sequence[str]]] = [
+        (MiniGitTarget(), GIT_FUNCTIONS),
+        (MiniBindTarget(), BIND_FUNCTIONS),
+    ]
+    for target, functions in targets:
+        comparison, scenario_count = measure_target(target, functions)
+        table.add_row(
+            system=target.name,
+            **{
+                "additional recovery code covered": comparison.additional_recovery_fraction,
+                "additional LOC covered by LFI": comparison.additional_lines_covered,
+                "total coverage without LFI": comparison.baseline.total_coverage,
+                "total coverage with LFI": comparison.with_lfi.total_coverage,
+            },
+            scenarios=scenario_count,
+        )
+    table.add_note(
+        "coverage is measured over source lines of the compiled analogs; recovery regions are "
+        "identified automatically from error-return checks instead of manual lcov inspection"
+    )
+    return table
+
+
+__all__ = ["measure_target", "run"]

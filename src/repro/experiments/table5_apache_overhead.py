@@ -1,0 +1,77 @@
+"""Table 5 — running time of the Apache analog with 0-5 triggers installed.
+
+The gate is put in observe-only mode (§7.4: "we did not actually inject
+faults, but allowed the triggers to pass the calls through"), so the numbers
+isolate the cost of evaluating increasingly long trigger conjunctions on
+every intercepted ``apr_file_read``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import TableResult
+from repro.targets.mini_apache import MiniApacheTarget
+from repro.targets.mini_apache.scenarios import overhead_scenario
+from repro.workloads.ab import run_apache_bench
+
+
+def run(requests: int = 300, repeats: int = 3, max_triggers: int = 5) -> TableResult:
+    """Reproduce Table 5 (static HTML and PHP workloads, 0-5 triggers)."""
+    target = MiniApacheTarget()
+    table = TableResult(
+        name="Table 5",
+        description="Apache running time under the LFI trigger mechanism (observe-only)",
+        columns=["configuration", "static HTML (s)", "PHP (s)",
+                 "static overhead", "PHP overhead", "triggerings/s (static)"],
+        paper_reference={
+            "baseline_static": 0.179, "baseline_php": 1.562,
+            "five_triggers_static": 0.188, "five_triggers_php": 1.589,
+        },
+    )
+
+    def measure(page: str, trigger_count: Optional[int]) -> tuple:
+        scenario = overhead_scenario(trigger_count) if trigger_count else None
+        best = None
+        triggerings = 0.0
+        for _ in range(repeats):
+            result = run_apache_bench(
+                target, page=page, requests=requests, scenario=scenario, observe_only=True
+            )
+            if best is None or result.wall_seconds < best:
+                best = result.wall_seconds
+                triggerings = result.triggerings_per_second
+        return best or 0.0, triggerings
+
+    baseline_static, _ = measure("static", None)
+    baseline_php, _ = measure("php", None)
+    table.add_row(
+        configuration="Baseline (no LFI)",
+        **{
+            "static HTML (s)": baseline_static,
+            "PHP (s)": baseline_php,
+            "static overhead": 0.0,
+            "PHP overhead": 0.0,
+            "triggerings/s (static)": 0.0,
+        },
+    )
+    for count in range(1, max_triggers + 1):
+        static_seconds, triggerings = measure("static", count)
+        php_seconds, _ = measure("php", count)
+        table.add_row(
+            configuration=f"{count} trigger{'s' if count > 1 else ''}",
+            **{
+                "static HTML (s)": static_seconds,
+                "PHP (s)": php_seconds,
+                "static overhead": static_seconds / baseline_static - 1 if baseline_static else 0.0,
+                "PHP overhead": php_seconds / baseline_php - 1 if baseline_php else 0.0,
+                "triggerings/s (static)": triggerings,
+            },
+        )
+    table.add_note(
+        f"each configuration serves {requests} requests; best of {repeats} repeats per cell"
+    )
+    return table
+
+
+__all__ = ["run"]

@@ -1,0 +1,56 @@
+"""Synthetic instruction-set architecture used as the binary substrate.
+
+The LFI paper operates on x86 binaries: the library profiler and the call
+site analyzer disassemble machine code, build control-flow graphs and track
+copies of the return register.  This package provides an equivalent, fully
+self-contained substrate: a small register machine with mov/cmp/branch/call
+semantics, a binary image format with symbol tables, import tables and a
+DWARF-like line table, a two-pass assembler, a disassembler and a dynamic
+linker model (LD_PRELOAD-style resolution order).
+
+Public entry points:
+
+* :class:`repro.isa.instructions.Instruction` and the operand classes
+  (:class:`Reg`, :class:`Imm`, :class:`Mem`, :class:`Label`,
+  :class:`DataRef`, :class:`ImportRef`).
+* :class:`repro.isa.binary.BinaryImage` — a loaded program or library.
+* :class:`repro.isa.assembler.Assembler` / :func:`assemble_text`.
+* :class:`repro.isa.disassembler.Disassembler`.
+* :class:`repro.isa.linker.DynamicLinker`.
+"""
+
+from repro.isa.instructions import (
+    DataRef,
+    Imm,
+    ImportRef,
+    Instruction,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.isa.binary import BinaryImage, SourceLocation, Symbol
+from repro.isa.assembler import Assembler, AssemblyError, assemble_text
+from repro.isa.disassembler import Disassembler, format_instruction
+from repro.isa.linker import DynamicLinker, ResolvedImport
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "BinaryImage",
+    "DataRef",
+    "Disassembler",
+    "DynamicLinker",
+    "Imm",
+    "ImportRef",
+    "Instruction",
+    "Label",
+    "Mem",
+    "Opcode",
+    "Reg",
+    "ResolvedImport",
+    "SourceLocation",
+    "Symbol",
+    "assemble_text",
+    "format_instruction",
+]

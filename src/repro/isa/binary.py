@@ -1,0 +1,223 @@
+"""Binary image format: the synthetic analog of an ELF object.
+
+A :class:`BinaryImage` bundles the pieces the LFI tool chain needs from a
+real binary:
+
+* the instruction stream (for disassembly, CFG construction and dataflow),
+* a symbol table of exported functions (what the profiler analyses),
+* an import table (the program/library boundary where faults are injected),
+* an initialized data segment with data symbols, and
+* a line table mapping instruction addresses back to source file/line — the
+  stand-in for DWARF debug information that call-stack triggers and analyzer
+  reports use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.instructions import ImportRef, Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A source coordinate attached to an instruction (DWARF analog)."""
+
+    file: str
+    line: int
+    function: str = ""
+
+    def __str__(self) -> str:
+        if self.function:
+            return f"{self.file}:{self.line} ({self.function})"
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An entry in the symbol table."""
+
+    name: str
+    address: int
+    kind: str = "func"  # "func" or "data"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Extent of a function in the code segment (``end`` is exclusive)."""
+
+    name: str
+    start: int
+    end: int
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call to an imported library function found in a program binary."""
+
+    address: int
+    callee: str
+    caller: str
+    source: Optional[SourceLocation] = None
+
+    def __str__(self) -> str:
+        loc = f" at {self.source}" if self.source else ""
+        return f"call {self.callee} @ {self.address:#x} in {self.caller}{loc}"
+
+
+class BinaryImage:
+    """A fully laid out program or library image."""
+
+    def __init__(
+        self,
+        name: str,
+        instructions: List[Instruction],
+        symbols: Dict[str, int],
+        imports: Iterable[str],
+        data_words: Optional[Dict[int, int]] = None,
+        data_symbols: Optional[Dict[str, int]] = None,
+        line_table: Optional[Dict[int, SourceLocation]] = None,
+        functions: Optional[Dict[str, FunctionInfo]] = None,
+        entry: str = "main",
+    ) -> None:
+        self.name = name
+        self.instructions = instructions
+        self.symbols = dict(symbols)
+        self.imports = tuple(sorted(set(imports)))
+        self.data_words: Dict[int, int] = dict(data_words or {})
+        self.data_symbols: Dict[str, int] = dict(data_symbols or {})
+        self.line_table: Dict[int, SourceLocation] = dict(line_table or {})
+        self.entry = entry
+        if functions is None:
+            functions = self._infer_functions()
+        self.functions: Dict[str, FunctionInfo] = dict(functions)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _infer_functions(self) -> Dict[str, FunctionInfo]:
+        """Derive function extents from the symbol table when not provided."""
+        starts = sorted(
+            (addr, name) for name, addr in self.symbols.items()
+        )
+        infos: Dict[str, FunctionInfo] = {}
+        for index, (start, name) in enumerate(starts):
+            end = (
+                starts[index + 1][0]
+                if index + 1 < len(starts)
+                else len(self.instructions)
+            )
+            infos[name] = FunctionInfo(name=name, start=start, end=end)
+        return infos
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def instruction_at(self, address: int) -> Instruction:
+        if not 0 <= address < len(self.instructions):
+            raise IndexError(f"address {address:#x} outside code segment of {self.name}")
+        return self.instructions[address]
+
+    def has_address(self, address: int) -> bool:
+        return 0 <= address < len(self.instructions)
+
+    def function_containing(self, address: int) -> Optional[FunctionInfo]:
+        for info in self.functions.values():
+            if info.contains(address):
+                return info
+        return None
+
+    def source_of(self, address: int) -> Optional[SourceLocation]:
+        return self.line_table.get(address)
+
+    @property
+    def exported_functions(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.symbols))
+
+    def entry_address(self, name: Optional[str] = None) -> int:
+        target = name or self.entry
+        if target not in self.symbols:
+            raise KeyError(f"{self.name} does not export {target!r}")
+        return self.symbols[target]
+
+    # ------------------------------------------------------------------
+    # call-site discovery (used by the call-site analyzer, §5)
+    # ------------------------------------------------------------------
+    def call_sites(self, callee: Optional[str] = None) -> List[CallSite]:
+        """Return all library call sites, optionally filtered by callee name."""
+        sites: List[CallSite] = []
+        for address, instruction in enumerate(self.instructions):
+            if instruction.opcode is not Opcode.CALL or not instruction.operands:
+                continue
+            target = instruction.operands[0]
+            if not isinstance(target, ImportRef):
+                continue
+            if callee is not None and target.name != callee:
+                continue
+            caller = self.function_containing(address)
+            sites.append(
+                CallSite(
+                    address=address,
+                    callee=target.name,
+                    caller=caller.name if caller else "?",
+                    source=self.source_of(address),
+                )
+            )
+        return sites
+
+    def called_imports(self) -> Dict[str, int]:
+        """Histogram of imported functions by number of call sites."""
+        counts: Dict[str, int] = {}
+        for site in self.call_sites():
+            counts[site.callee] = counts.get(site.callee, 0) + 1
+        return counts
+
+    def iter_function_instructions(
+        self, name: str
+    ) -> Iterator[Tuple[int, Instruction]]:
+        info = self.functions.get(name)
+        if info is None:
+            raise KeyError(f"{self.name} has no function {name!r}")
+        for address in range(info.start, info.end):
+            yield address, self.instructions[address]
+
+    # ------------------------------------------------------------------
+    # line-level helpers (coverage, reports)
+    # ------------------------------------------------------------------
+    def lines(self) -> Dict[Tuple[str, int], List[int]]:
+        """Map each (file, line) to the instruction addresses it produced."""
+        table: Dict[Tuple[str, int], List[int]] = {}
+        for address, location in self.line_table.items():
+            table.setdefault((location.file, location.line), []).append(address)
+        return table
+
+    def addresses_for_line(self, file: str, line: int) -> List[int]:
+        return [
+            address
+            for address, location in self.line_table.items()
+            if location.file == file and location.line == line
+        ]
+
+    # ------------------------------------------------------------------
+    # stats / display
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        return (
+            f"BinaryImage({self.name}: {len(self.instructions)} instructions, "
+            f"{len(self.symbols)} symbols, {len(self.imports)} imports, "
+            f"{len(self.data_words)} data words)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.summary()

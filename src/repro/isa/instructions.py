@@ -1,0 +1,253 @@
+"""Instruction and operand model of the synthetic ISA.
+
+The machine is a word-addressed register machine with eight general purpose
+registers (``r0`` .. ``r7``), a stack pointer ``sp`` and a frame pointer
+``bp``.  ``r0`` doubles as the return-value register (the analog of ``eax``
+in the paper's x86 setting), which is what the call-site analyzer tracks.
+
+Instructions occupy exactly one address each, which keeps the address
+arithmetic of the call-site analyzer (partial CFGs limited to 100 post-call
+instructions) simple without losing anything the analysis cares about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
+    from repro.isa.binary import SourceLocation
+
+
+GENERAL_REGISTERS: Tuple[str, ...] = ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7")
+SPECIAL_REGISTERS: Tuple[str, ...] = ("sp", "bp")
+ALL_REGISTERS: Tuple[str, ...] = GENERAL_REGISTERS + SPECIAL_REGISTERS
+
+#: Register that carries function return values (tracked by the analyzer).
+RETURN_REGISTER = "r0"
+
+
+class Opcode(enum.Enum):
+    """Mnemonics understood by the assembler, VM, and analyzer."""
+
+    MOV = "mov"
+    PUSH = "push"
+    POP = "pop"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NEG = "neg"
+    NOT = "not"
+    CMP = "cmp"
+    TEST = "test"
+    JMP = "jmp"
+    JE = "je"
+    JNE = "jne"
+    JL = "jl"
+    JLE = "jle"
+    JG = "jg"
+    JGE = "jge"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+    NOP = "nop"
+    LEA = "lea"
+
+    @property
+    def is_conditional_jump(self) -> bool:
+        return self in _CONDITIONAL_JUMPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self is Opcode.JMP or self in _CONDITIONAL_JUMPS
+
+    @property
+    def is_equality_jump(self) -> bool:
+        """Jumps whose condition is pure equality (used for Chk_eq)."""
+        return self in (Opcode.JE, Opcode.JNE)
+
+    @property
+    def is_inequality_jump(self) -> bool:
+        """Jumps whose condition is an ordering relation (used for Chk_ineq)."""
+        return self in (Opcode.JL, Opcode.JLE, Opcode.JG, Opcode.JGE)
+
+    @property
+    def terminates_block(self) -> bool:
+        return self in (Opcode.JMP, Opcode.RET, Opcode.HALT) or self.is_conditional_jump
+
+
+_CONDITIONAL_JUMPS = frozenset(
+    {Opcode.JE, Opcode.JNE, Opcode.JL, Opcode.JLE, Opcode.JG, Opcode.JGE}
+)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_REGISTERS:
+            raise ValueError(f"unknown register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (literal) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand addressed as ``[base + offset]``.
+
+    ``base`` may be ``None`` for absolute addressing (``[offset]``), which is
+    how globals and the ``errno`` location are accessed.  A ``symbol`` names
+    a data-segment symbol whose address the assembler adds to ``offset``
+    during layout (after resolution ``symbol`` is cleared).
+    """
+
+    base: Optional[str] = None
+    offset: int = 0
+    symbol: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.base is not None and self.base not in ALL_REGISTERS:
+            raise ValueError(f"unknown base register {self.base!r}")
+
+    def __str__(self) -> str:
+        if self.symbol is not None:
+            return f"[${self.symbol}+{self.offset}]" if self.offset else f"[${self.symbol}]"
+        if self.base is None:
+            return f"[{self.offset}]"
+        if self.offset == 0:
+            return f"[{self.base}]"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"[{self.base}{sign}{abs(self.offset)}]"
+
+    def resolved(self, symbol_address: int) -> "Mem":
+        return Mem(base=self.base, offset=self.offset + symbol_address, symbol=None)
+
+
+@dataclass(frozen=True)
+class Label:
+    """A code label operand (branch or local call target).
+
+    ``address`` is filled in by the assembler once layout is known.
+    """
+
+    name: str
+    address: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.address is None:
+            return self.name
+        return f"{self.name}<{self.address}>"
+
+    def resolved(self, address: int) -> "Label":
+        return Label(self.name, address)
+
+
+@dataclass(frozen=True)
+class DataRef:
+    """A reference to a symbol in the data segment (string or global)."""
+
+    name: str
+    address: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.address is None:
+            return f"${self.name}"
+        return f"${self.name}<{self.address}>"
+
+    def resolved(self, address: int) -> "DataRef":
+        return DataRef(self.name, address)
+
+
+@dataclass(frozen=True)
+class ImportRef:
+    """A reference to a function imported from a shared library.
+
+    Calls through :class:`ImportRef` are the program/library boundary where
+    LFI interposes.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Union[Reg, Imm, Mem, Label, DataRef, ImportRef]
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    ``address`` is assigned by the assembler.  ``source`` carries optional
+    debug information (the DWARF analog the paper relies on for call-stack
+    triggers keyed on file/line).
+    """
+
+    opcode: Opcode
+    operands: Tuple[Operand, ...] = ()
+    address: Optional[int] = None
+    label: Optional[str] = None
+    source: Optional["SourceLocation"] = None
+    comment: str = ""
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        text = self.opcode.value if not ops else f"{self.opcode.value} {ops}"
+        if self.label:
+            text = f"{self.label}: {text}"
+        return text
+
+    # -- convenience predicates used throughout the analyzer -------------
+
+    @property
+    def is_library_call(self) -> bool:
+        return self.opcode is Opcode.CALL and bool(self.operands) and isinstance(
+            self.operands[0], ImportRef
+        )
+
+    @property
+    def is_local_call(self) -> bool:
+        return self.opcode is Opcode.CALL and bool(self.operands) and isinstance(
+            self.operands[0], Label
+        )
+
+    @property
+    def called_name(self) -> Optional[str]:
+        """Name of the called function, for both local and library calls."""
+        if self.opcode is not Opcode.CALL or not self.operands:
+            return None
+        target = self.operands[0]
+        if isinstance(target, (ImportRef, Label)):
+            return target.name
+        return None
+
+    def jump_target(self) -> Optional[Label]:
+        if self.opcode.is_jump and self.operands and isinstance(self.operands[0], Label):
+            return self.operands[0]
+        return None
+
+
+def make(opcode: Opcode, *operands: Operand, **kwargs) -> Instruction:
+    """Small helper to build instructions fluently in code generators."""
+    return Instruction(opcode=opcode, operands=tuple(operands), **kwargs)

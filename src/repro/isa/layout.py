@@ -1,0 +1,46 @@
+"""Memory layout constants shared by the assembler, VM, libc, and analyzer.
+
+The machine is word addressed; every address below refers to a word slot.
+Code lives at low addresses (one instruction per address), the data segment
+holds globals and string literals, the heap grows upward and the stack grows
+downward from :data:`STACK_TOP`.
+
+``errno`` is a single well-known word in the data segment, mirroring the
+thread-local ``errno`` of libc.  The library profiler recognizes stores to
+this address as errno side effects, and compiled programs read it from the
+same address, so errno-check analysis works on machine code alone.
+"""
+
+from __future__ import annotations
+
+#: First address of the code segment (instruction index 0).
+CODE_BASE = 0x0000
+
+#: First address of the data segment (globals, string literals).
+DATA_BASE = 0x10_0000
+
+#: Well-known absolute address of the ``errno`` variable.
+ERRNO_ADDRESS = DATA_BASE - 1
+
+#: First address handed out by ``malloc``.
+HEAP_BASE = 0x20_0000
+
+#: Size of the heap region, in words.
+HEAP_SIZE = 0x10_0000
+
+#: Initial stack pointer; the stack grows towards lower addresses.
+STACK_TOP = 0x40_0000
+
+#: Lowest address the stack may reach before the VM reports an overflow.
+STACK_LIMIT = 0x38_0000
+
+#: Addresses below this value are considered unmapped; loads or stores there
+#: raise a segmentation fault (this is how NULL-pointer dereferences from
+#: unchecked ``malloc``/``opendir``/``fopen`` returns crash, as in the paper's
+#: Table 1 bugs).
+NULL_GUARD_LIMIT = 0x100
+
+
+def is_null_page(address: int) -> bool:
+    """Return True when *address* falls in the guarded NULL page."""
+    return 0 <= address < NULL_GUARD_LIMIT or address < 0

@@ -1,0 +1,35 @@
+"""mini-C: a small C-like language compiled to the synthetic ISA.
+
+The simulated target applications (the BIND/Git analogs and the compiled
+PBFT checkpoint module) are written in this language so that the LFI
+call-site analyzer operates on *real compiled control flow*: error checks
+written as ``if (fd < 0)`` or ``if (ptr == 0)`` in mini-C become the
+``cmp``/conditional-jump patterns that Algorithm 1's dataflow analysis
+tracks, and omitted checks become genuinely unchecked call sites.
+
+Language summary
+----------------
+* single ``int`` word type; pointers and handles are just words
+* globals (optionally arrays), locals (optionally arrays), parameters
+* ``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``
+* expressions: integer and string literals, variables, assignment, calls,
+  ``+ - * / %``, comparisons, ``&& || !``, unary ``-``, dereference ``*p``,
+  address-of ``&x``, indexing ``a[i]``
+* calls to functions not defined in the file are treated as imports from
+  shared libraries — the program/library boundary where LFI injects faults
+
+Public API: :func:`repro.minicc.compiler.compile_source`.
+"""
+
+from repro.minicc.compiler import CompilationError, compile_source
+from repro.minicc.lexer import LexerError, tokenize
+from repro.minicc.parser import ParseError, parse
+
+__all__ = [
+    "CompilationError",
+    "LexerError",
+    "ParseError",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,191 @@
+"""Abstract syntax tree for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class IntLiteral(Node):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Node):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str = ""
+    operand: Optional[Node] = None
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class Assignment(Node):
+    target: Optional[Node] = None  # VarRef, Deref, or Index
+    value: Optional[Node] = None
+
+
+@dataclass
+class Deref(Node):
+    pointer: Optional[Node] = None
+
+
+@dataclass
+class AddressOf(Node):
+    variable: Optional[Node] = None  # VarRef only
+
+
+@dataclass
+class Index(Node):
+    base: Optional[Node] = None
+    index: Optional[Node] = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    array_size: Optional[int] = None
+    initializer: Optional[Node] = None
+
+
+@dataclass
+class ExprStatement(Node):
+    expression: Optional[Node] = None
+
+
+@dataclass
+class If(Node):
+    condition: Optional[Node] = None
+    then_body: Optional["Block"] = None
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class While(Node):
+    condition: Optional[Node] = None
+    body: Optional["Block"] = None
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None        # statement or None
+    condition: Optional[Node] = None   # expression or None
+    step: Optional[Node] = None        # expression or None
+    body: Optional["Block"] = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    array_size: Optional[int] = None
+    initializer: int = 0
+
+
+@dataclass
+class Parameter(Node):
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    parameters: List[Parameter] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    def function_names(self) -> List[str]:
+        return [function.name for function in self.functions]
+
+
+__all__ = [
+    "AddressOf",
+    "Assignment",
+    "BinaryOp",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "Deref",
+    "ExprStatement",
+    "For",
+    "FunctionDef",
+    "GlobalDecl",
+    "If",
+    "Index",
+    "IntLiteral",
+    "Node",
+    "Parameter",
+    "Program",
+    "Return",
+    "StringLiteral",
+    "UnaryOp",
+    "VarDecl",
+    "VarRef",
+    "While",
+]

@@ -1,0 +1,566 @@
+"""Code generator: mini-C AST to synthetic machine code.
+
+The generator deliberately produces the instruction patterns the LFI
+call-site analyzer expects from compiled C:
+
+* a library call leaves its result in ``r0``;
+* assignments spill the result to a stack slot or a global;
+* ``if (x < 0)`` / ``if (p == 0)`` compile to ``cmp`` of a return-value copy
+  against a literal followed by a conditional jump (an *inequality* or
+  *equality* check respectively, feeding Chk_ineq / Chk_eq in Algorithm 1);
+* omitted checks simply produce no ``cmp`` — a genuinely unchecked site.
+
+Every emitted instruction carries a source location, which is the DWARF
+analog used by call-stack triggers, the analyzer's reports, and the
+coverage tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import layout
+from repro.isa.assembler import Assembler
+from repro.isa.binary import BinaryImage, SourceLocation
+from repro.isa.instructions import DataRef, Imm, ImportRef, Label, Mem, Opcode, Reg
+from repro.minicc import ast_nodes as ast
+from repro.minicc.semantic import ERRNO_VARIABLE, ProgramSymbols, SemanticError
+
+_R0 = Reg("r0")
+_R1 = Reg("r1")
+_R2 = Reg("r2")
+_SP = Reg("sp")
+_BP = Reg("bp")
+
+#: Conditional jump taken when the comparison holds.
+_JUMP_WHEN_TRUE = {
+    "==": Opcode.JE,
+    "!=": Opcode.JNE,
+    "<": Opcode.JL,
+    "<=": Opcode.JLE,
+    ">": Opcode.JG,
+    ">=": Opcode.JGE,
+}
+
+#: Conditional jump taken when the comparison does NOT hold.
+_JUMP_WHEN_FALSE = {
+    "==": Opcode.JNE,
+    "!=": Opcode.JE,
+    "<": Opcode.JGE,
+    "<=": Opcode.JG,
+    ">": Opcode.JLE,
+    ">=": Opcode.JL,
+}
+
+_COMPARISON_OPS = frozenset(_JUMP_WHEN_TRUE)
+
+_ARITHMETIC_OPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+}
+
+
+@dataclass
+class _LocalSlot:
+    offset: int            # address is bp - offset
+    is_array: bool = False
+    size: int = 1
+
+
+@dataclass
+class _FunctionContext:
+    name: str
+    parameters: Dict[str, int] = field(default_factory=dict)  # name -> index
+    locals: Dict[str, _LocalSlot] = field(default_factory=dict)
+    frame_size: int = 0
+    break_labels: List[str] = field(default_factory=list)
+    continue_labels: List[str] = field(default_factory=list)
+
+
+class CodeGenerator:
+    """Translate one checked mini-C program into a :class:`BinaryImage`."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: ProgramSymbols,
+        name: str,
+        source_file: Optional[str] = None,
+        entry: str = "main",
+    ) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.assembler = Assembler(name, entry=entry)
+        self.source_file = source_file or f"{name}.c"
+        self._defined_functions = set(program.function_names())
+        self._strings: Dict[str, str] = {}
+        self._label_counter = 0
+        self._current: Optional[_FunctionContext] = None
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def generate(self) -> BinaryImage:
+        for declaration in self.program.globals:
+            self.assembler.add_global(
+                declaration.name,
+                size=declaration.array_size or 1,
+                initial=declaration.initializer,
+            )
+        for function in self.program.functions:
+            self._generate_function(function)
+        return self.assembler.finish()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _new_label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def _location(self, node: ast.Node) -> SourceLocation:
+        function = self._current.name if self._current is not None else ""
+        return SourceLocation(file=self.source_file, line=node.line, function=function)
+
+    def _emit(self, node: ast.Node, opcode: Opcode, *operands) -> None:
+        self.assembler.emit(opcode, *operands, source=self._location(node))
+
+    def _intern_string(self, text: str) -> str:
+        label = self._strings.get(text)
+        if label is None:
+            label = f"str_{len(self._strings)}"
+            self._strings[text] = label
+            self.assembler.add_string(label, text)
+        return label
+
+    # ------------------------------------------------------------------
+    # function layout
+    # ------------------------------------------------------------------
+    def _layout_function(self, function: ast.FunctionDef) -> _FunctionContext:
+        context = _FunctionContext(name=function.name)
+        for index, parameter in enumerate(function.parameters):
+            context.parameters[parameter.name] = index
+        running = 0
+
+        def place_declarations(block: ast.Block) -> None:
+            nonlocal running
+            for statement in block.statements:
+                if isinstance(statement, ast.VarDecl):
+                    size = statement.array_size or 1
+                    running += size
+                    context.locals[statement.name] = _LocalSlot(
+                        offset=running, is_array=statement.array_size is not None, size=size
+                    )
+                elif isinstance(statement, ast.If):
+                    place_declarations(statement.then_body)
+                    if statement.else_body is not None:
+                        place_declarations(statement.else_body)
+                elif isinstance(statement, ast.While):
+                    place_declarations(statement.body)
+                elif isinstance(statement, ast.For):
+                    if isinstance(statement.init, ast.VarDecl):
+                        size = statement.init.array_size or 1
+                        running += size
+                        context.locals[statement.init.name] = _LocalSlot(
+                            offset=running,
+                            is_array=statement.init.array_size is not None,
+                            size=size,
+                        )
+                    place_declarations(statement.body)
+                elif isinstance(statement, ast.Block):
+                    place_declarations(statement)
+
+        assert function.body is not None
+        place_declarations(function.body)
+        context.frame_size = running
+        return context
+
+    # ------------------------------------------------------------------
+    # function generation
+    # ------------------------------------------------------------------
+    def _generate_function(self, function: ast.FunctionDef) -> None:
+        context = self._layout_function(function)
+        self._current = context
+        self.assembler.begin_function(function.name)
+
+        # Prologue.
+        self._emit(function, Opcode.PUSH, _BP)
+        self._emit(function, Opcode.MOV, _BP, _SP)
+        if context.frame_size:
+            self._emit(function, Opcode.SUB, _SP, Imm(context.frame_size))
+
+        assert function.body is not None
+        self._generate_block(function.body)
+
+        # Implicit `return 0` for functions that fall off the end.
+        self._emit(function, Opcode.MOV, _R0, Imm(0))
+        self._emit_epilogue(function)
+        self.assembler.end_function()
+        self._current = None
+
+    def _emit_epilogue(self, node: ast.Node) -> None:
+        self._emit(node, Opcode.MOV, _SP, _BP)
+        self._emit(node, Opcode.POP, _BP)
+        self._emit(node, Opcode.RET)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _generate_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._generate_statement(statement)
+
+    def _generate_statement(self, node: ast.Node) -> None:
+        if isinstance(node, ast.VarDecl):
+            if node.initializer is not None:
+                self._generate_expression(node.initializer)
+                self._store_variable(node, node.name)
+        elif isinstance(node, ast.ExprStatement):
+            if node.expression is not None:
+                self._generate_expression(node.expression)
+        elif isinstance(node, ast.If):
+            self._generate_if(node)
+        elif isinstance(node, ast.While):
+            self._generate_while(node)
+        elif isinstance(node, ast.For):
+            self._generate_for(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._generate_expression(node.value)
+            else:
+                self._emit(node, Opcode.MOV, _R0, Imm(0))
+            self._emit_epilogue(node)
+        elif isinstance(node, ast.Break):
+            assert self._current is not None
+            if not self._current.break_labels:
+                raise SemanticError("break outside of a loop", node.line)
+            self._emit(node, Opcode.JMP, Label(self._current.break_labels[-1]))
+        elif isinstance(node, ast.Continue):
+            assert self._current is not None
+            if not self._current.continue_labels:
+                raise SemanticError("continue outside of a loop", node.line)
+            self._emit(node, Opcode.JMP, Label(self._current.continue_labels[-1]))
+        elif isinstance(node, ast.Block):
+            self._generate_block(node)
+        else:
+            raise SemanticError(f"cannot generate statement {type(node).__name__}", node.line)
+
+    def _generate_if(self, node: ast.If) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        target = else_label if node.else_body is not None else end_label
+        self._branch_if_false(node.condition, target)
+        self._generate_block(node.then_body)
+        if node.else_body is not None:
+            self._emit(node, Opcode.JMP, Label(end_label))
+            self.assembler.mark_label(else_label)
+            self._generate_block(node.else_body)
+        self.assembler.mark_label(end_label)
+        # A label must precede an instruction; emit a NOP anchor only when the
+        # block would otherwise end the function (handled by the implicit
+        # return emitted by the caller), so nothing to do here.
+
+    def _generate_while(self, node: ast.While) -> None:
+        assert self._current is not None
+        start_label = self._new_label("while")
+        end_label = self._new_label("endwhile")
+        self.assembler.mark_label(start_label)
+        self._branch_if_false(node.condition, end_label)
+        self._current.break_labels.append(end_label)
+        self._current.continue_labels.append(start_label)
+        self._generate_block(node.body)
+        self._current.break_labels.pop()
+        self._current.continue_labels.pop()
+        self._emit(node, Opcode.JMP, Label(start_label))
+        self.assembler.mark_label(end_label)
+
+    def _generate_for(self, node: ast.For) -> None:
+        assert self._current is not None
+        start_label = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end_label = self._new_label("endfor")
+        if node.init is not None:
+            self._generate_statement(node.init)
+        self.assembler.mark_label(start_label)
+        if node.condition is not None:
+            self._branch_if_false(node.condition, end_label)
+        self._current.break_labels.append(end_label)
+        self._current.continue_labels.append(step_label)
+        self._generate_block(node.body)
+        self._current.break_labels.pop()
+        self._current.continue_labels.pop()
+        self.assembler.mark_label(step_label)
+        if node.step is not None:
+            self._generate_expression(node.step)
+        self._emit(node, Opcode.JMP, Label(start_label))
+        self.assembler.mark_label(end_label)
+
+    # ------------------------------------------------------------------
+    # conditions (branching form, used by if/while/for)
+    # ------------------------------------------------------------------
+    def _branch_if_false(self, condition: ast.Node, target: str) -> None:
+        if isinstance(condition, ast.BinaryOp) and condition.op in _COMPARISON_OPS:
+            self._compare_operands(condition)
+            self._emit(condition, _JUMP_WHEN_FALSE[condition.op], Label(target))
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.op == "&&":
+            self._branch_if_false(condition.left, target)
+            self._branch_if_false(condition.right, target)
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.op == "||":
+            true_label = self._new_label("or_true")
+            self._branch_if_true(condition.left, true_label)
+            self._branch_if_false(condition.right, target)
+            self.assembler.mark_label(true_label)
+            return
+        if isinstance(condition, ast.UnaryOp) and condition.op == "!":
+            self._branch_if_true(condition.operand, target)
+            return
+        self._generate_expression(condition)
+        self._emit(condition, Opcode.CMP, _R0, Imm(0))
+        self._emit(condition, Opcode.JE, Label(target))
+
+    def _branch_if_true(self, condition: ast.Node, target: str) -> None:
+        if isinstance(condition, ast.BinaryOp) and condition.op in _COMPARISON_OPS:
+            self._compare_operands(condition)
+            self._emit(condition, _JUMP_WHEN_TRUE[condition.op], Label(target))
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.op == "&&":
+            false_label = self._new_label("and_false")
+            self._branch_if_false(condition.left, false_label)
+            self._branch_if_true(condition.right, target)
+            self.assembler.mark_label(false_label)
+            return
+        if isinstance(condition, ast.BinaryOp) and condition.op == "||":
+            self._branch_if_true(condition.left, target)
+            self._branch_if_true(condition.right, target)
+            return
+        if isinstance(condition, ast.UnaryOp) and condition.op == "!":
+            self._branch_if_false(condition.operand, target)
+            return
+        self._generate_expression(condition)
+        self._emit(condition, Opcode.CMP, _R0, Imm(0))
+        self._emit(condition, Opcode.JNE, Label(target))
+
+    def _compare_operands(self, node: ast.BinaryOp) -> None:
+        """Leave flags set for ``left <op> right``.
+
+        When the right-hand side is a literal the comparison is emitted as
+        ``cmp <copy-of-left>, <literal>`` directly, which is the exact shape
+        the call-site analyzer's dataflow pass looks for.
+        """
+        if isinstance(node.right, ast.IntLiteral):
+            self._generate_expression(node.left)
+            self._emit(node, Opcode.CMP, _R0, Imm(node.right.value))
+            return
+        if isinstance(node.right, ast.UnaryOp) and node.right.op == "-" and isinstance(
+            node.right.operand, ast.IntLiteral
+        ):
+            self._generate_expression(node.left)
+            self._emit(node, Opcode.CMP, _R0, Imm(-node.right.operand.value))
+            return
+        self._generate_expression(node.left)
+        self._emit(node, Opcode.PUSH, _R0)
+        self._generate_expression(node.right)
+        self._emit(node, Opcode.MOV, _R1, _R0)
+        self._emit(node, Opcode.POP, _R0)
+        self._emit(node, Opcode.CMP, _R0, _R1)
+
+    # ------------------------------------------------------------------
+    # expressions (value form, result in r0)
+    # ------------------------------------------------------------------
+    def _generate_expression(self, node: ast.Node) -> None:
+        if isinstance(node, ast.IntLiteral):
+            self._emit(node, Opcode.MOV, _R0, Imm(node.value))
+        elif isinstance(node, ast.StringLiteral):
+            self._emit(node, Opcode.MOV, _R0, DataRef(self._intern_string(node.value)))
+        elif isinstance(node, ast.VarRef):
+            self._load_variable(node, node.name)
+        elif isinstance(node, ast.UnaryOp):
+            self._generate_unary(node)
+        elif isinstance(node, ast.BinaryOp):
+            self._generate_binary(node)
+        elif isinstance(node, ast.Assignment):
+            self._generate_assignment(node)
+        elif isinstance(node, ast.Deref):
+            self._generate_expression(node.pointer)
+            self._emit(node, Opcode.MOV, _R1, _R0)
+            self._emit(node, Opcode.MOV, _R0, Mem("r1", 0))
+        elif isinstance(node, ast.AddressOf):
+            assert isinstance(node.variable, ast.VarRef)
+            self._load_address(node, node.variable.name)
+        elif isinstance(node, ast.Index):
+            self._generate_index_address(node)
+            self._emit(node, Opcode.MOV, _R1, _R0)
+            self._emit(node, Opcode.MOV, _R0, Mem("r1", 0))
+        elif isinstance(node, ast.Call):
+            self._generate_call(node)
+        else:
+            raise SemanticError(f"cannot generate expression {type(node).__name__}", node.line)
+
+    def _generate_unary(self, node: ast.UnaryOp) -> None:
+        self._generate_expression(node.operand)
+        if node.op == "-":
+            self._emit(node, Opcode.NEG, _R0)
+        elif node.op == "!":
+            self._emit(node, Opcode.NOT, _R0)
+        else:
+            raise SemanticError(f"unknown unary operator {node.op!r}", node.line)
+
+    def _generate_binary(self, node: ast.BinaryOp) -> None:
+        if node.op in _ARITHMETIC_OPS:
+            self._generate_expression(node.left)
+            self._emit(node, Opcode.PUSH, _R0)
+            self._generate_expression(node.right)
+            self._emit(node, Opcode.MOV, _R1, _R0)
+            self._emit(node, Opcode.POP, _R0)
+            self._emit(node, _ARITHMETIC_OPS[node.op], _R0, _R1)
+            return
+        if node.op in _COMPARISON_OPS:
+            self._compare_operands(node)
+            end_label = self._new_label("cmp_end")
+            self._emit(node, Opcode.MOV, _R0, Imm(1))
+            self._emit(node, _JUMP_WHEN_TRUE[node.op], Label(end_label))
+            self._emit(node, Opcode.MOV, _R0, Imm(0))
+            self.assembler.mark_label(end_label)
+            self._emit(node, Opcode.NOP)
+            return
+        if node.op in ("&&", "||"):
+            false_label = self._new_label("bool_false")
+            true_label = self._new_label("bool_true")
+            end_label = self._new_label("bool_end")
+            if node.op == "&&":
+                self._branch_if_false(node, false_label)
+            else:
+                self._branch_if_true(node, true_label)
+                self._emit(node, Opcode.JMP, Label(false_label))
+                self.assembler.mark_label(true_label)
+            if node.op == "&&":
+                self._emit(node, Opcode.MOV, _R0, Imm(1))
+                self._emit(node, Opcode.JMP, Label(end_label))
+                self.assembler.mark_label(false_label)
+                self._emit(node, Opcode.MOV, _R0, Imm(0))
+            else:
+                self._emit(node, Opcode.MOV, _R0, Imm(1))
+                self._emit(node, Opcode.JMP, Label(end_label))
+                self.assembler.mark_label(false_label)
+                self._emit(node, Opcode.MOV, _R0, Imm(0))
+            self.assembler.mark_label(end_label)
+            self._emit(node, Opcode.NOP)
+            return
+        raise SemanticError(f"unknown binary operator {node.op!r}", node.line)
+
+    def _generate_assignment(self, node: ast.Assignment) -> None:
+        target = node.target
+        if isinstance(target, ast.VarRef):
+            self._generate_expression(node.value)
+            self._store_variable(node, target.name)
+            return
+        if isinstance(target, ast.Deref):
+            self._generate_expression(node.value)
+            self._emit(node, Opcode.PUSH, _R0)
+            self._generate_expression(target.pointer)
+            self._emit(node, Opcode.MOV, _R1, _R0)
+            self._emit(node, Opcode.POP, _R0)
+            self._emit(node, Opcode.MOV, Mem("r1", 0), _R0)
+            return
+        if isinstance(target, ast.Index):
+            self._generate_expression(node.value)
+            self._emit(node, Opcode.PUSH, _R0)
+            self._generate_index_address(target)
+            self._emit(node, Opcode.MOV, _R1, _R0)
+            self._emit(node, Opcode.POP, _R0)
+            self._emit(node, Opcode.MOV, Mem("r1", 0), _R0)
+            return
+        raise SemanticError("invalid assignment target", node.line)
+
+    def _generate_index_address(self, node: ast.Index) -> None:
+        """Leave the address of ``base[index]`` in r0."""
+        self._generate_expression(node.base)
+        self._emit(node, Opcode.PUSH, _R0)
+        self._generate_expression(node.index)
+        self._emit(node, Opcode.MOV, _R1, _R0)
+        self._emit(node, Opcode.POP, _R0)
+        self._emit(node, Opcode.ADD, _R0, _R1)
+
+    def _generate_call(self, node: ast.Call) -> None:
+        for argument in reversed(node.args):
+            self._generate_expression(argument)
+            self._emit(node, Opcode.PUSH, _R0)
+        if node.name in self._defined_functions:
+            self._emit(node, Opcode.CALL, Label(node.name))
+        else:
+            self._emit(node, Opcode.CALL, ImportRef(node.name))
+        if node.args:
+            self._emit(node, Opcode.ADD, _SP, Imm(len(node.args)))
+
+    # ------------------------------------------------------------------
+    # variable access
+    # ------------------------------------------------------------------
+    def _variable_kind(self, name: str) -> Tuple[str, object]:
+        assert self._current is not None
+        if name == ERRNO_VARIABLE:
+            return "errno", None
+        if name in self._current.locals:
+            return "local", self._current.locals[name]
+        if name in self._current.parameters:
+            return "param", self._current.parameters[name]
+        if name in self.symbols.globals:
+            return "global", self.symbols.globals[name]
+        raise SemanticError(f"use of undeclared variable {name!r}", 0)
+
+    def _load_variable(self, node: ast.Node, name: str) -> None:
+        kind, info = self._variable_kind(name)
+        if kind == "errno":
+            self._emit(node, Opcode.MOV, _R0, Mem(None, layout.ERRNO_ADDRESS))
+        elif kind == "local":
+            slot = info
+            if slot.is_array:
+                self._emit(node, Opcode.MOV, _R0, _BP)
+                self._emit(node, Opcode.SUB, _R0, Imm(slot.offset))
+            else:
+                self._emit(node, Opcode.MOV, _R0, Mem("bp", -slot.offset))
+        elif kind == "param":
+            self._emit(node, Opcode.MOV, _R0, Mem("bp", 2 + int(info)))
+        else:  # global
+            if info is not None:  # array: value is its address
+                self._emit(node, Opcode.MOV, _R0, DataRef(name))
+            else:
+                self._emit(node, Opcode.MOV, _R0, Mem(None, 0, symbol=name))
+
+    def _store_variable(self, node: ast.Node, name: str) -> None:
+        kind, info = self._variable_kind(name)
+        if kind == "errno":
+            self._emit(node, Opcode.MOV, Mem(None, layout.ERRNO_ADDRESS), _R0)
+        elif kind == "local":
+            slot = info
+            if slot.is_array:
+                raise SemanticError(f"cannot assign to array {name!r}", node.line)
+            self._emit(node, Opcode.MOV, Mem("bp", -slot.offset), _R0)
+        elif kind == "param":
+            self._emit(node, Opcode.MOV, Mem("bp", 2 + int(info)), _R0)
+        else:
+            if info is not None:
+                raise SemanticError(f"cannot assign to array {name!r}", node.line)
+            self._emit(node, Opcode.MOV, Mem(None, 0, symbol=name), _R0)
+
+    def _load_address(self, node: ast.Node, name: str) -> None:
+        kind, info = self._variable_kind(name)
+        if kind == "errno":
+            self._emit(node, Opcode.MOV, _R0, Imm(layout.ERRNO_ADDRESS))
+        elif kind == "local":
+            slot = info
+            self._emit(node, Opcode.MOV, _R0, _BP)
+            self._emit(node, Opcode.SUB, _R0, Imm(slot.offset))
+        elif kind == "param":
+            self._emit(node, Opcode.MOV, _R0, _BP)
+            self._emit(node, Opcode.ADD, _R0, Imm(2 + int(info)))
+        else:
+            self._emit(node, Opcode.MOV, _R0, DataRef(name))
+
+
+__all__ = ["CodeGenerator"]

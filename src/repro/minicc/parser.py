@@ -1,0 +1,338 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised for syntactically invalid mini-C input."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        expected = text if text is not None else kind
+        found = self._current.text or self._current.kind
+        raise ParseError(f"expected {expected!r}, found {found!r}", self._current.line)
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._check("eof"):
+            line = self._current.line
+            self._expect("keyword", "int")
+            name = self._expect("ident").text
+            if self._check("op", "("):
+                program.functions.append(self._finish_function(name, line))
+            else:
+                program.globals.append(self._finish_global(name, line))
+        return program
+
+    def _finish_global(self, name: str, line: int) -> ast.GlobalDecl:
+        array_size: Optional[int] = None
+        initializer = 0
+        if self._accept("op", "["):
+            array_size = self._integer_literal()
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            sign = -1 if self._accept("op", "-") else 1
+            initializer = sign * self._integer_literal()
+        self._expect("op", ";")
+        return ast.GlobalDecl(line=line, name=name, array_size=array_size, initializer=initializer)
+
+    def _integer_literal(self) -> int:
+        token = self._expect("int")
+        return int(token.text, 0)
+
+    def _finish_function(self, name: str, line: int) -> ast.FunctionDef:
+        self._expect("op", "(")
+        parameters: List[ast.Parameter] = []
+        if not self._check("op", ")"):
+            while True:
+                param_line = self._current.line
+                self._expect("keyword", "int")
+                param_name = self._expect("ident").text
+                parameters.append(ast.Parameter(line=param_line, name=param_name))
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FunctionDef(line=line, name=name, parameters=parameters, body=body)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("op", "{")
+        block = ast.Block(line=start.line)
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", start.line)
+            block.statements.append(self._parse_statement())
+        self._expect("op", "}")
+        return block
+
+    def _parse_statement(self) -> ast.Node:
+        token = self._current
+
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+
+        if token.kind == "keyword":
+            if token.text == "int":
+                return self._parse_var_decl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self._advance()
+                value: Optional[ast.Node] = None
+                if not self._check("op", ";"):
+                    value = self._parse_expression()
+                self._expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+
+        expression = self._parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStatement(line=token.line, expression=expression)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect("keyword", "int")
+        name = self._expect("ident").text
+        array_size: Optional[int] = None
+        initializer: Optional[ast.Node] = None
+        if self._accept("op", "["):
+            array_size = self._integer_literal()
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            initializer = self._parse_expression()
+        self._expect("op", ";")
+        return ast.VarDecl(line=start.line, name=name, array_size=array_size, initializer=initializer)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("keyword", "if")
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        then_body = self._as_block(self._parse_statement())
+        else_body: Optional[ast.Block] = None
+        if self._accept("keyword", "else"):
+            else_body = self._as_block(self._parse_statement())
+        return ast.If(line=start.line, condition=condition, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect("keyword", "while")
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        body = self._as_block(self._parse_statement())
+        return ast.While(line=start.line, condition=condition, body=body)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Node] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int"):
+                init = self._parse_var_decl()
+            else:
+                init = ast.ExprStatement(line=self._current.line, expression=self._parse_expression())
+                self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        condition: Optional[ast.Node] = None
+        if not self._check("op", ";"):
+            condition = self._parse_expression()
+        self._expect("op", ";")
+        step: Optional[ast.Node] = None
+        if not self._check("op", ")"):
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._as_block(self._parse_statement())
+        return ast.For(line=start.line, init=init, condition=condition, step=step, body=body)
+
+    @staticmethod
+    def _as_block(statement: ast.Node) -> ast.Block:
+        if isinstance(statement, ast.Block):
+            return statement
+        return ast.Block(line=statement.line, statements=[statement])
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ast.Node:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Node:
+        left = self._parse_logical_or()
+        if self._check("op", "="):
+            token = self._advance()
+            if not isinstance(left, (ast.VarRef, ast.Deref, ast.Index)):
+                raise ParseError("invalid assignment target", token.line)
+            value = self._parse_assignment()
+            return ast.Assignment(line=token.line, target=left, value=value)
+        return left
+
+    def _parse_logical_or(self) -> ast.Node:
+        node = self._parse_logical_and()
+        while self._check("op", "||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            node = ast.BinaryOp(line=token.line, op="||", left=node, right=right)
+        return node
+
+    def _parse_logical_and(self) -> ast.Node:
+        node = self._parse_equality()
+        while self._check("op", "&&"):
+            token = self._advance()
+            right = self._parse_equality()
+            node = ast.BinaryOp(line=token.line, op="&&", left=node, right=right)
+        return node
+
+    def _parse_equality(self) -> ast.Node:
+        node = self._parse_relational()
+        while self._check("op", "==") or self._check("op", "!="):
+            token = self._advance()
+            right = self._parse_relational()
+            node = ast.BinaryOp(line=token.line, op=token.text, left=node, right=right)
+        return node
+
+    def _parse_relational(self) -> ast.Node:
+        node = self._parse_additive()
+        while any(self._check("op", op) for op in ("<", "<=", ">", ">=")):
+            token = self._advance()
+            right = self._parse_additive()
+            node = ast.BinaryOp(line=token.line, op=token.text, left=node, right=right)
+        return node
+
+    def _parse_additive(self) -> ast.Node:
+        node = self._parse_multiplicative()
+        while self._check("op", "+") or self._check("op", "-"):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            node = ast.BinaryOp(line=token.line, op=token.text, left=node, right=right)
+        return node
+
+    def _parse_multiplicative(self) -> ast.Node:
+        node = self._parse_unary()
+        while any(self._check("op", op) for op in ("*", "/", "%")):
+            token = self._advance()
+            right = self._parse_unary()
+            node = ast.BinaryOp(line=token.line, op=token.text, left=node, right=right)
+        return node
+
+    def _parse_unary(self) -> ast.Node:
+        token = self._current
+        if self._check("op", "-"):
+            self._advance()
+            return ast.UnaryOp(line=token.line, op="-", operand=self._parse_unary())
+        if self._check("op", "!"):
+            self._advance()
+            return ast.UnaryOp(line=token.line, op="!", operand=self._parse_unary())
+        if self._check("op", "*"):
+            self._advance()
+            return ast.Deref(line=token.line, pointer=self._parse_unary())
+        if self._check("op", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            if not isinstance(operand, ast.VarRef):
+                raise ParseError("'&' requires a variable", token.line)
+            return ast.AddressOf(line=token.line, variable=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Node:
+        node = self._parse_primary()
+        while True:
+            if self._check("op", "["):
+                token = self._advance()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                node = ast.Index(line=token.line, base=node, index=index)
+                continue
+            if self._check("op", "(") and isinstance(node, ast.VarRef):
+                token = self._advance()
+                args: List[ast.Node] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                node = ast.Call(line=token.line, name=node.name, args=args)
+                continue
+            break
+        return node
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=int(token.text, 0))
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(line=token.line, value=token.text)
+        if token.kind == "ident":
+            self._advance()
+            return ast.VarRef(line=token.line, name=token.text)
+        if self._check("op", "("):
+            self._advance()
+            node = self._parse_expression()
+            self._expect("op", ")")
+            return node
+        raise ParseError(f"unexpected token {token.text or token.kind!r}", token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C source text into a :class:`~repro.minicc.ast_nodes.Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+__all__ = ["ParseError", "Parser", "parse"]

@@ -1,0 +1,214 @@
+"""Semantic checks for mini-C programs.
+
+The checker catches the mistakes that would otherwise turn into confusing
+code-generation or runtime errors: use of undeclared variables, duplicate
+declarations, wrong arity for calls to locally defined functions,
+``break``/``continue`` outside loops, and assignment to non-lvalues (the
+parser already rejects most of the latter).  Calls to functions that are not
+defined in the file are *not* errors — they become library imports, which is
+precisely the program/library boundary LFI targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.minicc import ast_nodes as ast
+
+#: Name usable like a variable in mini-C that maps to the libc errno word.
+ERRNO_VARIABLE = "errno"
+
+
+class SemanticError(Exception):
+    """Raised when a mini-C program is structurally invalid."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class FunctionSymbols:
+    """Name resolution result for one function."""
+
+    name: str
+    parameters: List[str] = field(default_factory=list)
+    locals: Dict[str, Optional[int]] = field(default_factory=dict)  # name -> array size or None
+    called_imports: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ProgramSymbols:
+    """Name resolution result for the whole program."""
+
+    globals: Dict[str, Optional[int]] = field(default_factory=dict)
+    functions: Dict[str, FunctionSymbols] = field(default_factory=dict)
+    imports: Set[str] = field(default_factory=set)
+
+
+class SemanticChecker:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.symbols = ProgramSymbols()
+        self._defined_functions = {function.name for function in program.functions}
+        self._function_arity = {
+            function.name: len(function.parameters) for function in program.functions
+        }
+
+    # ------------------------------------------------------------------
+    def check(self) -> ProgramSymbols:
+        for declaration in self.program.globals:
+            if declaration.name in self.symbols.globals:
+                raise SemanticError(f"duplicate global {declaration.name!r}", declaration.line)
+            if declaration.name in self._defined_functions:
+                raise SemanticError(
+                    f"global {declaration.name!r} collides with a function name", declaration.line
+                )
+            self.symbols.globals[declaration.name] = declaration.array_size
+
+        seen_functions: Set[str] = set()
+        for function in self.program.functions:
+            if function.name in seen_functions:
+                raise SemanticError(f"duplicate function {function.name!r}", function.line)
+            seen_functions.add(function.name)
+            self.symbols.functions[function.name] = self._check_function(function)
+
+        for function_symbols in self.symbols.functions.values():
+            self.symbols.imports.update(function_symbols.called_imports)
+        return self.symbols
+
+    # ------------------------------------------------------------------
+    def _check_function(self, function: ast.FunctionDef) -> FunctionSymbols:
+        symbols = FunctionSymbols(name=function.name)
+        for parameter in function.parameters:
+            if parameter.name in symbols.parameters:
+                raise SemanticError(
+                    f"duplicate parameter {parameter.name!r} in {function.name!r}", parameter.line
+                )
+            symbols.parameters.append(parameter.name)
+        assert function.body is not None
+        self._check_block(function.body, symbols, loop_depth=0)
+        return symbols
+
+    def _check_block(self, block: ast.Block, symbols: FunctionSymbols, loop_depth: int) -> None:
+        for statement in block.statements:
+            self._check_statement(statement, symbols, loop_depth)
+
+    def _check_statement(self, node: ast.Node, symbols: FunctionSymbols, loop_depth: int) -> None:
+        if isinstance(node, ast.VarDecl):
+            if node.name in symbols.locals or node.name in symbols.parameters:
+                raise SemanticError(f"duplicate local {node.name!r}", node.line)
+            if node.array_size is not None and node.array_size <= 0:
+                raise SemanticError(f"array {node.name!r} must have positive size", node.line)
+            symbols.locals[node.name] = node.array_size
+            if node.initializer is not None:
+                if node.array_size is not None:
+                    raise SemanticError(
+                        f"array {node.name!r} cannot have a scalar initializer", node.line
+                    )
+                self._check_expression(node.initializer, symbols)
+        elif isinstance(node, ast.ExprStatement):
+            if node.expression is not None:
+                self._check_expression(node.expression, symbols)
+        elif isinstance(node, ast.If):
+            self._check_expression(node.condition, symbols)
+            self._check_block(node.then_body, symbols, loop_depth)
+            if node.else_body is not None:
+                self._check_block(node.else_body, symbols, loop_depth)
+        elif isinstance(node, ast.While):
+            self._check_expression(node.condition, symbols)
+            self._check_block(node.body, symbols, loop_depth + 1)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self._check_statement(node.init, symbols, loop_depth)
+            if node.condition is not None:
+                self._check_expression(node.condition, symbols)
+            if node.step is not None:
+                self._check_expression(node.step, symbols)
+            self._check_block(node.body, symbols, loop_depth + 1)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._check_expression(node.value, symbols)
+        elif isinstance(node, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                keyword = "break" if isinstance(node, ast.Break) else "continue"
+                raise SemanticError(f"{keyword!r} outside of a loop", node.line)
+        elif isinstance(node, ast.Block):
+            self._check_block(node, symbols, loop_depth)
+        else:
+            raise SemanticError(f"unexpected statement node {type(node).__name__}", node.line)
+
+    # ------------------------------------------------------------------
+    def _check_expression(self, node: Optional[ast.Node], symbols: FunctionSymbols) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.IntLiteral, ast.StringLiteral)):
+            return
+        if isinstance(node, ast.VarRef):
+            self._check_variable(node.name, node.line, symbols)
+            return
+        if isinstance(node, ast.UnaryOp):
+            self._check_expression(node.operand, symbols)
+            return
+        if isinstance(node, ast.BinaryOp):
+            self._check_expression(node.left, symbols)
+            self._check_expression(node.right, symbols)
+            return
+        if isinstance(node, ast.Assignment):
+            self._check_expression(node.target, symbols)
+            self._check_expression(node.value, symbols)
+            return
+        if isinstance(node, ast.Deref):
+            self._check_expression(node.pointer, symbols)
+            return
+        if isinstance(node, ast.AddressOf):
+            assert isinstance(node.variable, ast.VarRef)
+            self._check_variable(node.variable.name, node.line, symbols)
+            return
+        if isinstance(node, ast.Index):
+            self._check_expression(node.base, symbols)
+            self._check_expression(node.index, symbols)
+            return
+        if isinstance(node, ast.Call):
+            for argument in node.args:
+                self._check_expression(argument, symbols)
+            if node.name in self._defined_functions:
+                expected = self._function_arity[node.name]
+                if len(node.args) != expected:
+                    raise SemanticError(
+                        f"call to {node.name!r} passes {len(node.args)} arguments, "
+                        f"expected {expected}",
+                        node.line,
+                    )
+            else:
+                symbols.called_imports.add(node.name)
+            return
+        raise SemanticError(f"unexpected expression node {type(node).__name__}", node.line)
+
+    def _check_variable(self, name: str, line: int, symbols: FunctionSymbols) -> None:
+        if name == ERRNO_VARIABLE:
+            return
+        if name in symbols.locals or name in symbols.parameters:
+            return
+        if name in self.symbols.globals:
+            return
+        if name in self._defined_functions:
+            # Bare references to functions only make sense as call targets;
+            # the parser folds those into Call nodes, so this is an error.
+            raise SemanticError(f"function {name!r} used as a variable", line)
+        raise SemanticError(f"use of undeclared variable {name!r}", line)
+
+
+def check(program: ast.Program) -> ProgramSymbols:
+    return SemanticChecker(program).check()
+
+
+__all__ = [
+    "ERRNO_VARIABLE",
+    "FunctionSymbols",
+    "ProgramSymbols",
+    "SemanticChecker",
+    "SemanticError",
+    "check",
+]

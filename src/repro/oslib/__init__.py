@@ -1,0 +1,45 @@
+"""Simulated operating system and libc substrate.
+
+The paper injects faults at the boundary between applications and shared
+libraries (primarily GNU libc).  This package provides that boundary for the
+reproduction:
+
+* :mod:`repro.oslib.errno_codes` — the errno namespace.
+* :mod:`repro.oslib.fs` — an in-memory filesystem with file descriptors,
+  directories, pipes and symlinks.
+* :mod:`repro.oslib.heap` — the ``malloc`` arena used by compiled programs.
+* :mod:`repro.oslib.net` — a datagram network connecting simulated nodes.
+* :mod:`repro.oslib.sync` — POSIX-mutex semantics including the
+  double-unlock abort that the MySQL bug in Table 1 relies on.
+* :mod:`repro.oslib.env` — process environment (``setenv``/``getenv``).
+* :mod:`repro.oslib.os_model` — :class:`SimOS`, bundling all of the above
+  plus a simulated clock and stdout/stderr streams.
+* :mod:`repro.oslib.libc` — the libc function specification (names, arity,
+  error returns, errno side effects) and the word-level implementations used
+  when programs run inside the VM.
+* :mod:`repro.oslib.facade` — a Pythonic libc facade used by the
+  Python-level simulated servers (MySQL, Apache, PBFT); every call is routed
+  through the fault-injection gate.
+* :mod:`repro.oslib.libc_binary` — emits a synthetic ``libc.so`` binary so
+  that the LFI profiler can infer the fault profile by static analysis.
+"""
+
+from repro.oslib.errno_codes import Errno, errno_name, errno_value
+from repro.oslib.errors import MutexAbort, OSFault, SimExit
+from repro.oslib.os_model import SimOS
+from repro.oslib.libc import LIBC_FUNCTIONS, LibcFunctionSpec, SimLibc
+from repro.oslib.facade import LibcFacade
+
+__all__ = [
+    "Errno",
+    "LIBC_FUNCTIONS",
+    "LibcFacade",
+    "LibcFunctionSpec",
+    "MutexAbort",
+    "OSFault",
+    "SimExit",
+    "SimLibc",
+    "SimOS",
+    "errno_name",
+    "errno_value",
+]

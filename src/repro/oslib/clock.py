@@ -1,0 +1,40 @@
+"""Simulated clock.
+
+Throughput experiments (Figure 3, the DoS study, Tables 5 and 6) run on
+simulated time so they are fast and deterministic: message latency, request
+processing cost and retransmission timeouts all advance this clock instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative amount {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+__all__ = ["SimClock"]

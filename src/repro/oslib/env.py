@@ -1,0 +1,58 @@
+"""Process environment (``setenv``/``getenv``/``unsetenv``).
+
+The Git bug from Table 1 ("running an external command with an incomplete
+environment, due to failed ``setenv``") needs an environment whose updates
+can fail and a way for later code to observe the incomplete state, so the
+environment keeps a record of failed updates for the bug detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.oslib.errno_codes import Errno
+from repro.oslib.errors import OSFault
+
+
+class SimEnvironment:
+    """A string-to-string environment with bounded capacity."""
+
+    def __init__(self, initial: Optional[Dict[str, str]] = None, capacity: int = 1024) -> None:
+        self._vars: Dict[str, str] = dict(initial or {})
+        self.capacity = capacity
+        #: Records of (name, value) updates that failed (for bug oracles).
+        self.failed_updates: List[Tuple[str, str]] = []
+
+    def getenv(self, name: str) -> Optional[str]:
+        return self._vars.get(name)
+
+    def setenv(self, name: str, value: str, overwrite: bool = True) -> int:
+        if not name or "=" in name:
+            raise OSFault(Errno.EINVAL, f"setenv name {name!r}")
+        if name in self._vars and not overwrite:
+            return 0
+        if name not in self._vars and len(self._vars) >= self.capacity:
+            raise OSFault(Errno.ENOMEM, "environment full")
+        self._vars[name] = value
+        return 0
+
+    def unsetenv(self, name: str) -> int:
+        if not name or "=" in name:
+            raise OSFault(Errno.EINVAL, f"unsetenv name {name!r}")
+        self._vars.pop(name, None)
+        return 0
+
+    def snapshot(self) -> Dict[str, str]:
+        return dict(self._vars)
+
+    def record_failed_update(self, name: str, value: str) -> None:
+        self.failed_updates.append((name, value))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+
+__all__ = ["SimEnvironment"]

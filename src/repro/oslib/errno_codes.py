@@ -1,0 +1,92 @@
+"""The errno namespace used by the simulated libc.
+
+Values follow the common Linux numbering so that fault profiles, scenarios
+and logs read naturally (``EINTR = 4``, ``EIO = 5``, ...).  The paper's
+profiler reports errno side effects by name; we keep a bidirectional mapping
+between names and values for the XML profile/scenario formats.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Errno(enum.IntEnum):
+    """POSIX error numbers (Linux values)."""
+
+    OK = 0
+    EPERM = 1
+    ENOENT = 2
+    ESRCH = 3
+    EINTR = 4
+    EIO = 5
+    ENXIO = 6
+    E2BIG = 7
+    ENOEXEC = 8
+    EBADF = 9
+    ECHILD = 10
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    ENOTBLK = 15
+    EBUSY = 16
+    EEXIST = 17
+    EXDEV = 18
+    ENODEV = 19
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    ETXTBSY = 26
+    EFBIG = 27
+    ENOSPC = 28
+    ESPIPE = 29
+    EROFS = 30
+    EMLINK = 31
+    EPIPE = 32
+    EDOM = 33
+    ERANGE = 34
+    EDEADLK = 35
+    ENAMETOOLONG = 36
+    ENOLCK = 37
+    ENOSYS = 38
+    ENOTEMPTY = 39
+    ELOOP = 40
+    EMSGSIZE = 90
+    ECONNRESET = 104
+    ECONNREFUSED = 111
+    ENETDOWN = 100
+    ENETUNREACH = 101
+    ETIMEDOUT = 110
+    EADDRINUSE = 98
+
+
+_NAME_BY_VALUE: Dict[int, str] = {member.value: member.name for member in Errno}
+_VALUE_BY_NAME: Dict[str, int] = {member.name: member.value for member in Errno}
+
+
+def errno_name(value: int) -> str:
+    """Return the symbolic name of an errno value (``"E???"`` if unknown)."""
+    return _NAME_BY_VALUE.get(int(value), f"E?{int(value)}")
+
+
+def errno_value(name: str) -> int:
+    """Return the numeric errno for a symbolic name.
+
+    Accepts either a symbolic name (``"EINTR"``) or a decimal string, which
+    makes scenario files forgiving about how the side effect is written.
+    """
+    key = name.strip()
+    if key in _VALUE_BY_NAME:
+        return _VALUE_BY_NAME[key]
+    try:
+        return int(key, 0)
+    except ValueError as exc:
+        raise KeyError(f"unknown errno {name!r}") from exc
+
+
+__all__ = ["Errno", "errno_name", "errno_value"]

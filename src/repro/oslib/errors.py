@@ -1,0 +1,66 @@
+"""Exception types raised by the simulated OS and libc."""
+
+from __future__ import annotations
+
+from repro.oslib.errno_codes import Errno, errno_name
+
+
+class OSFault(Exception):
+    """A genuine (non-injected) failure of a simulated OS operation.
+
+    The libc layer converts these into the appropriate C-style error return
+    (e.g. ``-1`` / ``NULL``) plus an ``errno`` side effect, exactly like a
+    real libc wraps kernel errors.
+    """
+
+    def __init__(self, errno: int, message: str = "") -> None:
+        self.errno = int(errno)
+        self.message = message
+        super().__init__(f"{errno_name(self.errno)}: {message}" if message else errno_name(self.errno))
+
+
+class MutexAbort(Exception):
+    """Raised when mutex discipline is violated (e.g. double unlock).
+
+    Models the process abort that error-checking pthread mutexes cause; the
+    MySQL double-unlock bug from Table 1 manifests through this exception.
+    """
+
+    def __init__(self, mutex_id: int, reason: str) -> None:
+        self.mutex_id = mutex_id
+        self.reason = reason
+        super().__init__(f"mutex {mutex_id:#x}: {reason}")
+
+
+class SimExit(Exception):
+    """Raised by ``exit()`` / ``abort()`` to unwind the simulated process."""
+
+    def __init__(self, code: int, aborted: bool = False, reason: str = "") -> None:
+        self.code = int(code)
+        self.aborted = aborted
+        self.reason = reason
+        super().__init__(f"exit({code})" + (" [abort]" if aborted else ""))
+
+
+class NetworkUnavailable(OSFault):
+    """Raised when a datagram operation cannot complete."""
+
+    def __init__(self, message: str = "network unavailable") -> None:
+        super().__init__(Errno.ENETDOWN, message)
+
+
+class MemoryFault(Exception):
+    """An invalid memory access (the simulated SIGSEGV).
+
+    Raised by the VM memory when code (or a libc routine acting on the
+    program's behalf, e.g. ``readdir`` on a NULL directory pointer) touches
+    the guarded NULL page or an otherwise invalid address.
+    """
+
+    def __init__(self, address: int, reason: str = "invalid memory access") -> None:
+        self.address = address
+        self.reason = reason
+        super().__init__(f"{reason} at address {address:#x}")
+
+
+__all__ = ["MemoryFault", "MutexAbort", "NetworkUnavailable", "OSFault", "SimExit"]

@@ -1,0 +1,118 @@
+"""Generate synthetic shared-library binaries for the profiler to analyse.
+
+The LFI profiler (§2) works by static analysis of the *library* binary: it
+infers which error codes a function can return and which ``errno`` values it
+can set.  To exercise that analysis end to end we emit a machine-code image
+for each simulated library whose control flow encodes exactly the error
+behaviour in :data:`repro.oslib.libc.LIBC_FUNCTIONS` — one error block per
+(return value, errno) pair, plus a "computed" success path.
+
+The runtime implementation (:class:`~repro.oslib.libc.SimLibc`) honours the
+same specification, so a profile inferred from these binaries is also an
+accurate description of runtime behaviour — the property the paper relies on
+when it says injected faults must reflect the library's true behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa import layout
+from repro.isa.assembler import Assembler
+from repro.isa.binary import BinaryImage, SourceLocation
+from repro.isa.instructions import Imm, Label, Mem, Opcode, Reg
+from repro.oslib.errno_codes import errno_value
+from repro.oslib.libc import LIBC_FUNCTIONS, LibcFunctionSpec
+
+
+def _error_cases(spec: LibcFunctionSpec) -> List[Tuple[int, Optional[str]]]:
+    """Expand the spec into one (return value, errno name or None) per block."""
+    cases: List[Tuple[int, Optional[str]]] = []
+    for error_return in spec.error_returns:
+        if error_return.errnos:
+            for name in error_return.errnos:
+                cases.append((error_return.value, name))
+        else:
+            cases.append((error_return.value, None))
+    return cases
+
+
+def _emit_function(assembler: Assembler, spec: LibcFunctionSpec, library_file: str) -> None:
+    """Emit one library function following the layout described above."""
+    assembler.begin_function(spec.name)
+    source = SourceLocation(file=library_file, line=1, function=spec.name)
+    cases = _error_cases(spec)
+
+    # Dispatch on the opaque condition register r7: 0 means success, the
+    # values 1..N select one of the error paths.  The VM never executes this
+    # code (the runtime libc is native), so the dispatch only has to be
+    # *analysable*, not *reachable* in any particular way.
+    assembler.emit(Opcode.CMP, Reg("r7"), Imm(0), source=source)
+    assembler.emit(Opcode.JE, Label("success"), source=source)
+    for index in range(len(cases)):
+        assembler.emit(Opcode.CMP, Reg("r7"), Imm(index + 1), source=source)
+        assembler.emit(Opcode.JE, Label(f"err{index}"), source=source)
+    assembler.emit(Opcode.JMP, Label("success"), source=source)
+
+    for index, (value, errno_name) in enumerate(cases):
+        assembler.mark_label(f"err{index}")
+        if errno_name is not None and not spec.errno_via_return:
+            assembler.emit(
+                Opcode.MOV,
+                Mem(base=None, offset=layout.ERRNO_ADDRESS),
+                Imm(errno_value(errno_name)),
+                source=source,
+                comment=f"errno = {errno_name}",
+            )
+        assembler.emit(Opcode.MOV, Reg("r0"), Imm(value), source=source)
+        assembler.emit(Opcode.RET, source=source)
+
+    assembler.mark_label("success")
+    if spec.success == "void" or spec.errno_via_return:
+        # Status-code style functions (pthread_*, apr_*) return 0 on success;
+        # void functions simply leave 0 in r0.
+        assembler.emit(Opcode.MOV, Reg("r0"), Imm(0), source=source)
+    else:
+        # A non-constant ("computed") return value: the profiler reports it
+        # as the success value rather than an error code.
+        assembler.emit(Opcode.MOV, Reg("r0"), Reg("r6"), source=source)
+    assembler.emit(Opcode.RET, source=source)
+    assembler.end_function()
+
+
+def library_soname(library: str) -> str:
+    return f"{library}.so"
+
+
+def build_library_binary(
+    library: str = "libc", functions: Optional[Iterable[str]] = None
+) -> BinaryImage:
+    """Build the synthetic shared object for *library*.
+
+    ``functions`` optionally restricts which exports are emitted (useful in
+    tests); by default every function the spec assigns to the library is
+    included.
+    """
+    soname = library_soname(library)
+    assembler = Assembler(soname, entry="")
+    selected = [
+        spec
+        for spec in LIBC_FUNCTIONS.values()
+        if spec.library == library and (functions is None or spec.name in set(functions))
+    ]
+    if not selected:
+        raise ValueError(f"no functions found for library {library!r}")
+    for spec in sorted(selected, key=lambda item: item.name):
+        _emit_function(assembler, spec, library_file=f"{library}.c")
+    return assembler.finish()
+
+
+def build_all_library_binaries() -> Dict[str, BinaryImage]:
+    """Build every simulated shared library, keyed by soname."""
+    images: Dict[str, BinaryImage] = {}
+    for library in sorted({spec.library for spec in LIBC_FUNCTIONS.values()}):
+        images[library_soname(library)] = build_library_binary(library)
+    return images
+
+
+__all__ = ["build_all_library_binaries", "build_library_binary", "library_soname"]

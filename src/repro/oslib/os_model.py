@@ -1,0 +1,78 @@
+"""The per-process simulated OS state.
+
+A :class:`SimOS` bundles everything one simulated process can touch through
+libc: the filesystem, heap, network endpoint, environment, mutex table,
+clock and the standard output/error streams.  Distributed experiments
+(PBFT) create one ``SimOS`` per node, sharing a single
+:class:`~repro.oslib.net.SimNetwork` and :class:`~repro.oslib.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.oslib.clock import SimClock
+from repro.oslib.env import SimEnvironment
+from repro.oslib.fs import SimFileSystem
+from repro.oslib.heap import SimHeap
+from repro.oslib.net import SimNetwork
+from repro.oslib.sync import MutexTable
+
+
+class SimOS:
+    """All OS-visible state of one simulated process."""
+
+    def __init__(
+        self,
+        name: str = "process",
+        network: Optional[SimNetwork] = None,
+        clock: Optional[SimClock] = None,
+        environment: Optional[Dict[str, str]] = None,
+        heap_capacity: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.fs = SimFileSystem()
+        self.heap = SimHeap() if heap_capacity is None else SimHeap(capacity=heap_capacity)
+        self.network = network if network is not None else SimNetwork()
+        self.clock = clock if clock is not None else SimClock()
+        self.env = SimEnvironment(environment)
+        self.mutexes = MutexTable()
+        self.stdout: List[str] = []
+        self.stderr: List[str] = []
+        #: Exit status recorded by ``exit``/``abort`` (None while running).
+        self.exit_code: Optional[int] = None
+        self.aborted = False
+        #: Free-form counters used by target applications and bug oracles.
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # convenience used by targets, workloads, and oracles
+    # ------------------------------------------------------------------
+    def write_stdout(self, text: str) -> None:
+        self.stdout.append(text)
+
+    def write_stderr(self, text: str) -> None:
+        self.stderr.append(text)
+
+    def stdout_text(self) -> str:
+        return "".join(self.stdout)
+
+    def stderr_text(self) -> str:
+        return "".join(self.stderr)
+
+    def bump(self, counter: str, amount: int = 1) -> int:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+        return self.counters[counter]
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def reset_streams(self) -> None:
+        self.stdout.clear()
+        self.stderr.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimOS({self.name!r})"
+
+
+__all__ = ["SimOS"]

@@ -1,0 +1,115 @@
+"""POSIX mutex semantics for the simulated process.
+
+Two of the paper's artifacts depend on mutex behaviour:
+
+* the ``WithMutex`` custom trigger counts ``pthread_mutex_lock`` /
+  ``pthread_mutex_unlock`` calls to know whether the caller holds a lock, and
+* the MySQL bug in Table 1 is a **double unlock**: error-handling code after
+  a failed ``close`` releases a mutex that the normal path already released,
+  which crashes the process (error-checking mutexes abort).
+
+:class:`MutexTable` reproduces that behaviour: unlocking a mutex that is not
+held raises :class:`~repro.oslib.errors.MutexAbort`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.oslib.errno_codes import Errno
+from repro.oslib.errors import MutexAbort, OSFault
+
+
+@dataclass
+class Mutex:
+    mutex_id: int
+    locked: bool = False
+    owner: Optional[int] = None
+    lock_count: int = 0
+    history: List[str] = field(default_factory=list)
+
+
+class MutexTable:
+    """All mutexes of one simulated process."""
+
+    def __init__(self, strict: bool = True) -> None:
+        #: When True (default), unlock of a non-held mutex aborts the process,
+        #: matching glibc error-checking mutexes and the MySQL crash.
+        self.strict = strict
+        self._mutexes: Dict[int, Mutex] = {}
+        self.total_locks = 0
+        self.total_unlocks = 0
+
+    def _mutex(self, mutex_id: int, create: bool = False) -> Mutex:
+        mutex = self._mutexes.get(mutex_id)
+        if mutex is None:
+            if not create and self.strict:
+                # Lazily create anyway: programs commonly use statically
+                # initialized mutexes that were never explicitly init'ed.
+                pass
+            mutex = Mutex(mutex_id=mutex_id)
+            self._mutexes[mutex_id] = mutex
+        return mutex
+
+    # ------------------------------------------------------------------
+    def init(self, mutex_id: int) -> int:
+        self._mutexes[mutex_id] = Mutex(mutex_id=mutex_id)
+        return 0
+
+    def destroy(self, mutex_id: int) -> int:
+        mutex = self._mutexes.get(mutex_id)
+        if mutex is None:
+            raise OSFault(Errno.EINVAL, f"destroy of unknown mutex {mutex_id:#x}")
+        if mutex.locked:
+            raise OSFault(Errno.EBUSY, f"destroy of locked mutex {mutex_id:#x}")
+        del self._mutexes[mutex_id]
+        return 0
+
+    def lock(self, mutex_id: int, thread_id: int = 1) -> int:
+        mutex = self._mutex(mutex_id, create=True)
+        if mutex.locked and mutex.owner == thread_id:
+            raise OSFault(Errno.EDEADLK, f"relock of mutex {mutex_id:#x}")
+        mutex.locked = True
+        mutex.owner = thread_id
+        mutex.lock_count += 1
+        mutex.history.append("lock")
+        self.total_locks += 1
+        return 0
+
+    def unlock(self, mutex_id: int, thread_id: int = 1) -> int:
+        mutex = self._mutex(mutex_id, create=True)
+        if not mutex.locked:
+            mutex.history.append("bad-unlock")
+            if self.strict:
+                raise MutexAbort(mutex_id, "unlock of a mutex that is not locked (double unlock)")
+            raise OSFault(Errno.EPERM, f"unlock of unlocked mutex {mutex_id:#x}")
+        if mutex.owner != thread_id:
+            mutex.history.append("bad-unlock")
+            if self.strict:
+                raise MutexAbort(mutex_id, "unlock by a thread that does not own the mutex")
+            raise OSFault(Errno.EPERM, f"unlock by non-owner of mutex {mutex_id:#x}")
+        mutex.locked = False
+        mutex.owner = None
+        mutex.history.append("unlock")
+        self.total_unlocks += 1
+        return 0
+
+    # ------------------------------------------------------------------
+    def is_locked(self, mutex_id: int) -> bool:
+        mutex = self._mutexes.get(mutex_id)
+        return bool(mutex and mutex.locked)
+
+    def held_count(self, thread_id: int = 1) -> int:
+        return sum(
+            1
+            for mutex in self._mutexes.values()
+            if mutex.locked and mutex.owner == thread_id
+        )
+
+    def history(self, mutex_id: int) -> List[str]:
+        mutex = self._mutexes.get(mutex_id)
+        return list(mutex.history) if mutex else []
+
+
+__all__ = ["Mutex", "MutexTable"]

@@ -1,0 +1,38 @@
+"""Simulated systems under test.
+
+The paper evaluates LFI on four real systems (BIND, Git, MySQL, PBFT) plus
+Apache for the overhead study.  This package provides faithful stand-ins:
+
+* :mod:`repro.targets.mini_bind` — a DNS-server analog, compiled from mini-C,
+  with the two BIND bugs from Table 1 planted (unchecked
+  ``xmlNewTextWriterDoc`` in the statistics channel, assertion-failing
+  recovery after a failed ``malloc`` in ``dst_lib_init``).
+* :mod:`repro.targets.mini_git` — a version-control analog, compiled from
+  mini-C, with the five Git bugs from Table 1 planted (failed ``setenv``
+  causing data loss, ``readdir`` on a NULL ``opendir`` result, three
+  unchecked ``malloc`` calls in the xdiff merge code).
+* :mod:`repro.targets.mini_mysql` — a Python-level database server with the
+  two MySQL bugs (double mutex unlock after a failed ``close``, crash on a
+  failed ``errmsg.sys`` read), plus the SysBench-style OLTP workload used by
+  the overhead experiment.
+* :mod:`repro.targets.mini_apache` — a Python-level web server with the
+  request pipeline and the five triggers used by the Table 5 overhead
+  experiment.
+* :mod:`repro.targets.pbft` — a Python implementation of the PBFT
+  replication protocol (3f+1 replicas, pre-prepare/prepare/commit,
+  checkpoints, view change) plus a compiled checkpoint-writer module, with
+  the two PBFT bugs from Table 1 planted.
+
+Every target implements :class:`repro.core.controller.target.TargetAdapter`
+and carries machine-readable ground truth (``//@check:`` annotations in the
+mini-C sources, ``KNOWN_BUGS`` tables) used by the accuracy and bug-count
+benchmarks.
+"""
+
+from repro.targets.base import (
+    CompiledTarget,
+    GroundTruthEntry,
+    extract_ground_truth,
+)
+
+__all__ = ["CompiledTarget", "GroundTruthEntry", "extract_ground_truth"]

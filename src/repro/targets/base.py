@@ -1,0 +1,210 @@
+"""Shared infrastructure for the compiled (mini-C) targets.
+
+A compiled target provides mini-C source, an OS fixture (the files and
+directories its workloads expect), a set of named workloads (each a sequence
+of entry-point invocations, mirroring a test-suite run), and optional
+post-run oracles that detect silent failures such as data loss.
+
+Ground truth for the Table 4 accuracy experiment is embedded in the sources
+as ``//@check:`` annotations on library-call lines:
+
+* ``//@check:yes``          — the return value is checked (analyzer should say checked)
+* ``//@check:no``           — the return value is not checked
+* ``//@check:interproc``    — checked, but only inside a helper function, so
+  the intra-procedural analyzer is *expected* to misreport it (a false
+  positive, like the BIND ``open`` site in the paper's Table 4)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller.monitor import (
+    Outcome,
+    OutcomeKind,
+    RunResult,
+    classify_exit_status,
+)
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.coverage.tracker import CoverageTracker
+from repro.isa.binary import BinaryImage
+from repro.minicc import compile_source
+from repro.oslib.libc import SimLibc
+from repro.oslib.os_model import SimOS
+from repro.vm.machine import Machine
+
+
+# ----------------------------------------------------------------------
+# ground-truth annotations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One annotated library call site in a target's source."""
+
+    function: str
+    line: int
+    checked: bool
+    interprocedural: bool = False
+
+    @property
+    def analyzer_expected_to_err(self) -> bool:
+        """True when the intra-procedural analyzer is expected to get it wrong."""
+        return self.interprocedural
+
+
+_ANNOTATION_RE = re.compile(r"//@check:(?P<verdict>yes|no|interproc)\b")
+_CALL_RE = re.compile(r"\b(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\(")
+
+
+def extract_ground_truth(source: str, functions: Optional[Sequence[str]] = None
+                         ) -> List[GroundTruthEntry]:
+    """Parse ``//@check:`` annotations out of mini-C source text."""
+    wanted = set(functions) if functions is not None else None
+    entries: List[GroundTruthEntry] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        annotation = _ANNOTATION_RE.search(line)
+        if not annotation:
+            continue
+        verdict = annotation.group("verdict")
+        code = line[: annotation.start()]
+        called: Optional[str] = None
+        for match in _CALL_RE.finditer(code):
+            name = match.group("name")
+            if name in ("if", "while", "for", "return"):
+                continue
+            called = name
+            if wanted is None or name in wanted:
+                break
+        if called is None:
+            continue
+        if wanted is not None and called not in wanted:
+            continue
+        entries.append(
+            GroundTruthEntry(
+                function=called,
+                line=line_number,
+                checked=verdict in ("yes", "interproc"),
+                interprocedural=verdict == "interproc",
+            )
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# workload plans and known bugs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadStep:
+    """One entry-point invocation within a workload."""
+
+    entry: str = "main"
+    args: Tuple[int, ...] = ()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class KnownBug:
+    """Ground-truth description of a planted bug (for the Table 1 benchmark)."""
+
+    identifier: str
+    system: str
+    library_function: str
+    kind: OutcomeKind
+    description: str
+
+
+# ----------------------------------------------------------------------
+# the compiled-target adapter
+# ----------------------------------------------------------------------
+class CompiledTarget:
+    """Base class for targets written in mini-C and run inside the VM."""
+
+    #: Subclasses set these.
+    name: str = "target"
+    source_file: Optional[str] = None
+    known_bugs: Tuple[KnownBug, ...] = ()
+    #: Functions relevant to the Table 4 accuracy experiment.
+    accuracy_functions: Tuple[str, ...] = ()
+
+    _binary_cache: Dict[str, BinaryImage] = {}
+
+    # -- pieces subclasses provide -------------------------------------
+    def source(self) -> str:
+        raise NotImplementedError
+
+    def make_os(self) -> SimOS:
+        raise NotImplementedError
+
+    def workload_plan(self, workload: str) -> List[WorkloadStep]:
+        raise NotImplementedError
+
+    def workloads(self) -> List[str]:
+        raise NotImplementedError
+
+    def check_oracles(self, os: SimOS) -> Optional[Outcome]:
+        """Post-run oracle; return a failure outcome for silent failures."""
+        return None
+
+    # -- common implementation ------------------------------------------
+    def binary(self) -> BinaryImage:
+        cached = CompiledTarget._binary_cache.get(self.name)
+        if cached is None:
+            cached = compile_source(
+                self.source(), name=self.name, source_file=self.source_file
+            )
+            CompiledTarget._binary_cache[self.name] = cached
+        return cached
+
+    def ground_truth(self) -> List[GroundTruthEntry]:
+        functions = self.accuracy_functions or None
+        return extract_ground_truth(self.source(), functions)
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        """Execute one workload, optionally under an injection scenario."""
+        binary = self.binary()
+        os = self.make_os()
+        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        libc = SimLibc(os)
+        coverage = CoverageTracker() if request.collect_coverage else None
+
+        outcome = Outcome(kind=OutcomeKind.NORMAL)
+        steps_run = 0
+        for step in self.workload_plan(request.workload):
+            machine = Machine(binary, os=os, libc=libc, gate=gate, coverage=coverage)
+            status = machine.run(entry=step.entry, args=step.args)
+            steps_run += 1
+            step_outcome = classify_exit_status(status)
+            if step_outcome.kind in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.HANG):
+                outcome = step_outcome
+                break
+            if step_outcome.kind is OutcomeKind.ERROR_EXIT and outcome.kind is OutcomeKind.NORMAL:
+                # Error exits are recorded but do not stop the test suite,
+                # like a failing test case in a larger suite.
+                outcome = step_outcome
+        if coverage is not None:
+            coverage.finish_run()
+
+        if not outcome.is_high_impact:
+            oracle = self.check_oracles(os)
+            if oracle is not None:
+                outcome = oracle
+
+        stats = {
+            "steps_run": steps_run,
+            "library_calls": gate.total_calls,
+            "os": os,
+        }
+        if coverage is not None:
+            stats["coverage"] = coverage
+        return RunResult(outcome=outcome, log=gate.log, stats=stats)
+
+
+__all__ = [
+    "CompiledTarget",
+    "GroundTruthEntry",
+    "KnownBug",
+    "WorkloadStep",
+    "extract_ground_truth",
+]

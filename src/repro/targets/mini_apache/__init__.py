@@ -1,0 +1,5 @@
+"""The Apache analog (Python-level server target, used by the overhead study)."""
+
+from repro.targets.mini_apache.target import MiniApacheTarget
+
+__all__ = ["MiniApacheTarget"]

@@ -1,0 +1,174 @@
+"""The Apache analog: request pipeline of a small static/PHP web server.
+
+Every file access goes through the APR-style calls (``apr_stat``,
+``apr_file_read``) of the libc facade, mirroring how Apache reads content
+through the Apache Portable Runtime — which is the function the Table 5
+triggers intercept.  The function names matter: the paper's third trigger
+requires ``ap_process_request_internal`` to appear on the call stack, and
+the Python-level call-stack provider reports Python function names, so the
+pipeline uses the same names Apache does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.oslib import fs as fsmod
+from repro.oslib.facade import LibcFacade
+from repro.oslib.os_model import SimOS
+
+#: Apache method numbers (subset of httpd.h).
+M_GET = 0
+M_PUT = 1
+M_POST = 2
+
+#: Mutex guarding the access log (gives the WithMutex trigger state to track).
+LOG_MUTEX = 0x71
+
+
+@dataclass
+class HttpRequest:
+    """The request_rec analog."""
+
+    uri: str
+    method: str = "GET"
+    body: bytes = b""
+
+    @property
+    def method_number(self) -> int:
+        return {"GET": M_GET, "PUT": M_PUT, "POST": M_POST}.get(self.method.upper(), M_GET)
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+class ApacheServer:
+    """Apache 2.2 analog serving static HTML and simulated PHP."""
+
+    def __init__(self, os: SimOS, libc: Optional[LibcFacade] = None,
+                 document_root: str = "/var/www/html") -> None:
+        self.os = os
+        self.libc = libc if libc is not None else LibcFacade(os, node="httpd")
+        self.document_root = document_root
+        self.requests_handled = 0
+        self.errors = 0
+        self.current_method_number = M_GET
+        #: Iterations of simulated interpreter work per PHP request; this is
+        #: what makes the PHP workload measurably slower than static HTML.
+        self.php_work_factor = 24
+
+    # ------------------------------------------------------------------
+    # program state exposed to triggers
+    # ------------------------------------------------------------------
+    def read_state(self, name: str) -> Optional[int]:
+        values = {
+            "request_method_number": self.current_method_number,
+            "requests_handled": self.requests_handled,
+            "errors": self.errors,
+        }
+        return values.get(name)
+
+    # ------------------------------------------------------------------
+    # request pipeline
+    # ------------------------------------------------------------------
+    def handle_connection(self, request: HttpRequest) -> HttpResponse:
+        """Top of the pipeline (ap_read_request + ap_process_request)."""
+        response = self.ap_process_request_internal(request)
+        self.requests_handled += 1
+        if response.status >= 500:
+            self.errors += 1
+        return response
+
+    def ap_process_request_internal(self, request: HttpRequest) -> HttpResponse:
+        """Core request processing (the function named by trigger 3)."""
+        self.current_method_number = request.method_number
+        path = self.map_to_storage(request.uri)
+        if path is None:
+            return HttpResponse(status=404, body=b"not found")
+        if request.uri.endswith(".php"):
+            response = self.php_handler(request, path)
+        else:
+            response = self.default_handler(request, path)
+        self.log_request(request, response)
+        return response
+
+    def map_to_storage(self, uri: str) -> Optional[str]:
+        path = f"{self.document_root}{uri}"
+        status, _stat = self.libc.apr_stat(path)
+        if status != 0:
+            return None
+        if not self.os.fs.exists(path):
+            return None
+        return path
+
+    # ------------------------------------------------------------------
+    # content handlers
+    # ------------------------------------------------------------------
+    def _read_whole_file(self, path: str, chunk: int = 4096) -> Optional[bytes]:
+        fd = self.libc.open(path, fsmod.O_RDONLY)
+        if fd < 0:
+            return None
+        content = bytearray()
+        while True:
+            status, data = self.libc.apr_file_read(fd, chunk)
+            if status != 0 or not data:
+                break
+            content.extend(data)
+        self.libc.close(fd)
+        return bytes(content)
+
+    def default_handler(self, request: HttpRequest, path: str) -> HttpResponse:
+        """Serve a static file."""
+        content = self._read_whole_file(path)
+        if content is None:
+            return HttpResponse(status=500, body=b"error reading content")
+        # Response assembly (ETag computation) models the per-request work a
+        # real server does besides the file read itself.
+        etag = 0
+        for byte in content:
+            etag = (etag * 33 + byte) & 0xFFFFFFFF
+        headers = {"Content-Type": "text/html", "ETag": f"{etag:08x}",
+                   "Content-Length": str(len(content))}
+        return HttpResponse(status=200, body=content, headers=headers)
+
+    def php_handler(self, request: HttpRequest, path: str) -> HttpResponse:
+        """Simulate mod_php: read the script, then do interpreter work."""
+        script = self._read_whole_file(path)
+        if script is None:
+            return HttpResponse(status=500, body=b"error reading script")
+        # Includes are read while holding the logging mutex, which gives the
+        # WithMutex trigger (trigger 5) a held-mutex apr_file_read to match.
+        self.libc.mutex_lock(LOG_MUTEX)
+        include = self._read_whole_file(f"{self.document_root}/include.php", chunk=1024)
+        self.libc.mutex_unlock(LOG_MUTEX)
+        if include is None:
+            include = b""
+
+        checksum = 0
+        body_source = script + include + request.body
+        for _ in range(self.php_work_factor):
+            for byte in body_source:
+                checksum = (checksum * 31 + byte) & 0xFFFFFFFF
+        body = f"<html>dynamic page, checksum {checksum:08x}</html>".encode()
+        return HttpResponse(status=200, body=body, headers={"Content-Type": "text/html"})
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log_request(self, request: HttpRequest, response: HttpResponse) -> None:
+        self.libc.mutex_lock(LOG_MUTEX)
+        fd = self.libc.open("/var/log/apache2/access.log",
+                            fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_APPEND)
+        if fd >= 0:
+            line = f"{request.method} {request.uri} {response.status}\n".encode()
+            self.libc.write(fd, line)
+            self.libc.close(fd)
+        self.libc.mutex_unlock(LOG_MUTEX)
+
+
+__all__ = ["ApacheServer", "HttpRequest", "HttpResponse", "LOG_MUTEX", "M_GET", "M_POST", "M_PUT"]

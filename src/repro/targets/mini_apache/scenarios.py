@@ -1,0 +1,72 @@
+"""Apache overhead scenarios (Table 5).
+
+``overhead_scenario(n)`` builds the cumulative 1-5 trigger scenario from
+§7.4 on ``apr_file_read``:
+
+1. descriptor-type check (the paper's apr_stat-based custom trigger —
+   expressed here with the stock argument/descriptor machinery);
+2. call-stack check that the caller is Apache's core (not a loaded module);
+3. call-stack check that ``ap_process_request_internal`` is on the stack;
+4. program-state check that the request uses the HTTP POST method;
+5. a WithMutex composition targeting reads made while a mutex is held.
+
+Table 5 runs these with the gate in observe-only mode: triggers are
+evaluated on every intercepted call but no fault is injected, isolating the
+trigger mechanism's overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.targets.mini_apache.httpd_core import M_POST
+
+
+def overhead_scenario(trigger_count: int) -> Scenario:
+    """Build the cumulative Table 5 scenario with 1-5 triggers."""
+    if not 1 <= trigger_count <= 5:
+        raise ValueError(f"trigger_count must be between 1 and 5, got {trigger_count}")
+    builder = ScenarioBuilder(f"apache-apr-file-read-overhead-{trigger_count}")
+    trigger_ids = []
+
+    # Trigger 1: only descriptor reads of a certain kind (argument-based).
+    builder.trigger("fd_kind", "ArgumentEquals", index=1, value=0)
+    trigger_ids.append("fd_kind")
+    # Trigger 2: the caller must be Apache's core module.
+    if trigger_count >= 2:
+        builder.trigger_with_params(
+            "apache_core", "CallStackTrigger", {"frame": {"module": "httpd_core"}}
+        )
+        trigger_ids.append("apache_core")
+    # Trigger 3: the call happens while processing a request.
+    if trigger_count >= 3:
+        builder.trigger_with_params(
+            "in_request",
+            "CallStackTrigger",
+            {"frame": {"function": "ap_process_request_internal"}},
+        )
+        trigger_ids.append("in_request")
+    # Trigger 4: only for POST requests (program state).
+    if trigger_count >= 4:
+        builder.trigger(
+            "post_only",
+            "ProgramStateTrigger",
+            variable="request_method_number",
+            op="==",
+            value=M_POST,
+        )
+        trigger_ids.append("post_only")
+    # Trigger 5: only while the caller holds a mutex.
+    if trigger_count >= 5:
+        builder.trigger("with_mutex", "WithMutex")
+        trigger_ids.append("with_mutex")
+
+    builder.inject("apr_file_read", trigger_ids, return_value=70008, errno=None)
+    if trigger_count >= 5:
+        builder.observe("pthread_mutex_lock", ["with_mutex"])
+        builder.observe("pthread_mutex_unlock", ["with_mutex"])
+    builder.metadata(table5_triggers=trigger_count)
+    return builder.build()
+
+
+__all__ = ["overhead_scenario"]

@@ -1,0 +1,81 @@
+"""Target adapter for the Apache analog."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.controller.monitor import RunResult, run_python_workload
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.oslib.facade import LibcFacade
+from repro.oslib.os_model import SimOS
+from repro.targets.mini_apache.httpd_core import ApacheServer, HttpRequest
+
+STATIC_PAGE = "/index.html"
+PHP_PAGE = "/app.php"
+
+
+class MiniApacheTarget:
+    """Apache 2.2.14 analog used by the Table 5 overhead experiment."""
+
+    name = "mini_apache"
+    known_bugs = ()
+
+    def binary(self):
+        return None
+
+    # ------------------------------------------------------------------
+    def make_os(self) -> SimOS:
+        os = SimOS(self.name)
+        fs = os.fs
+        fs.make_dirs("/var/www/html")
+        fs.make_dirs("/var/log/apache2")
+        fs.add_file(
+            "/var/www/html/index.html",
+            b"<html><body>" + b"static content " * 250 + b"</body></html>",
+        )
+        fs.add_file(
+            "/var/www/html/app.php",
+            b"<?php echo render_dashboard(load_rows()); ?>" * 16,
+        )
+        fs.add_file("/var/www/html/include.php", b"<?php function helper() {} ?>")
+        return os
+
+    def make_server(self, request: WorkloadRequest) -> ApacheServer:
+        os = self.make_os()
+        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        libc = LibcFacade(os, gate=gate, node="httpd")
+        server = ApacheServer(os, libc)
+        gate.add_state_provider(server.read_state)
+        return server
+
+    # ------------------------------------------------------------------
+    def workloads(self) -> List[str]:
+        return ["ab-static", "ab-php"]
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        server = self.make_server(request)
+        gate = server.libc.gate
+        options = request.options
+        requests = int(options.get("requests", 100))
+        post_every = int(options.get("post_every", 10))
+        uri = STATIC_PAGE if request.workload == "ab-static" else PHP_PAGE
+
+        def workload() -> int:
+            for index in range(requests):
+                method = "POST" if post_every and index % post_every == 0 else "GET"
+                response = server.handle_connection(HttpRequest(uri=uri, method=method))
+                if response.status >= 500:
+                    return 1
+            return 0
+
+        outcome = run_python_workload(workload)
+        stats = {
+            "library_calls": gate.total_calls,
+            "requests_handled": server.requests_handled,
+            "intercepted_calls": gate.intercepted_calls,
+            "server": server,
+        }
+        return RunResult(outcome=outcome, log=gate.log, stats=stats)
+
+
+__all__ = ["MiniApacheTarget", "PHP_PAGE", "STATIC_PAGE"]

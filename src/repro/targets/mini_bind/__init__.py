@@ -1,0 +1,5 @@
+"""The BIND analog (compiled target)."""
+
+from repro.targets.mini_bind.target import KNOWN_BUGS, MiniBindTarget
+
+__all__ = ["KNOWN_BUGS", "MiniBindTarget"]

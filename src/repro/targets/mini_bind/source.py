@@ -1,0 +1,454 @@
+'''mini-C source of the BIND analog (a small authoritative DNS server).
+
+The program mirrors the BIND subsystems the paper's evaluation touches:
+
+* ``statschannel`` — the HTTP statistics channel that renders XML via
+  libxml2; the call to ``xmlNewTextWriterDoc`` is unchecked, so a failure
+  leads to a NULL-writer dereference (Table 1, BIND crash in
+  ``statschannel.c``).
+* ``dst_api`` — the crypto-key subsystem; ``dst_lib_init`` checks its
+  ``malloc`` but its recovery path calls ``dst_lib_destroy`` before the
+  ``dst_initialized`` flag is set, tripping the assertion (Table 1, BIND
+  abort in ``dst_api.c``).
+* configuration loading, query serving, zone-journal maintenance and
+  shutdown — providing the mix of checked/unchecked ``malloc``/``open``/
+  ``close``/``unlink`` call sites behind the Table 4 accuracy counts and the
+  Table 3 recovery-coverage measurement.
+
+``//@check:`` annotations are the machine-readable ground truth used by the
+accuracy benchmark; they document whether each call's error return is
+genuinely checked in the code (``interproc`` marks a check hidden inside a
+helper, which the intra-procedural analyzer is expected to miss).
+'''
+
+BIND_SOURCE = r"""
+/* ------------------------------------------------------------------ */
+/* globals                                                             */
+/* ------------------------------------------------------------------ */
+int dst_initialized = 0;
+int server_running = 0;
+int query_count = 0;
+int cache_entries = 0;
+int journal_rotations = 0;
+int config_fd = -1;
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                       */
+/* ------------------------------------------------------------------ */
+int validate_descriptor(int fd) {
+    if (fd < 0) {
+        return 0;
+    }
+    return 1;
+}
+
+int log_message(int code) {
+    puts("named: event logged");
+    return code;
+}
+
+/* ------------------------------------------------------------------ */
+/* memory pools (dst_api.c / mem.c analog)                             */
+/* ------------------------------------------------------------------ */
+int pool_alloc(int size) {
+    int block;
+    block = malloc(size);                      //@check:yes
+    if (block == 0) {
+        log_message(-1);
+        return 0;
+    }
+    return block;
+}
+
+int pool_alloc_zeroed(int size) {
+    int block;
+    block = malloc(size);                      //@check:yes
+    if (block == 0) {
+        return 0;
+    }
+    memset(block, 0, size);
+    return block;
+}
+
+int cache_insert(int key) {
+    int entry;
+    entry = malloc(8);                         //@check:no
+    *entry = key;
+    cache_entries = cache_entries + 1;
+    return entry;
+}
+
+int names_table_grow(int count) {
+    int table;
+    table = malloc(count * 4);                 //@check:yes
+    if (table == 0) {
+        puts("named: out of memory growing name table");
+        return 0;
+    }
+    return table;
+}
+
+int message_buffer_new() {
+    int buffer;
+    buffer = malloc(512);                      //@check:no
+    *buffer = 0;
+    return buffer;
+}
+
+int dst_lib_destroy() {
+    if (dst_initialized == 0) {
+        assert_fail("dst_initialized == ISC_TRUE");
+    }
+    dst_initialized = 0;
+    return 0;
+}
+
+int dst_lib_init() {
+    int ctx;
+    int keytable;
+    ctx = malloc(64);                          //@check:yes
+    if (ctx == 0) {
+        /* Recovery code: tear down the dst structures.  The flag has not
+           been set yet, so dst_lib_destroy trips its assertion (Table 1). */
+        dst_lib_destroy();
+        return -1;
+    }
+    keytable = malloc(128);                    //@check:yes
+    if (keytable == 0) {
+        free(ctx);
+        return -1;
+    }
+    dst_initialized = 1;
+    return 0;
+}
+
+int tsig_key_create(int name) {
+    int key;
+    key = malloc(96);                          //@check:yes
+    if (key == 0) {
+        return -1;
+    }
+    *key = name;
+    return 0;
+}
+
+int view_create(int zone_count) {
+    int view;
+    int zones;
+    view = malloc(32);                         //@check:yes
+    if (view == 0) {
+        return -1;
+    }
+    zones = malloc(zone_count * 2);            //@check:yes
+    if (zones == 0) {
+        free(view);
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* configuration loading (named/server.c analog)                       */
+/* ------------------------------------------------------------------ */
+int config_open() {
+    int fd;
+    fd = open("/etc/bind/named.conf", 0);      //@check:yes
+    if (fd < 0) {
+        puts("named: cannot open named.conf");
+        return -1;
+    }
+    return fd;
+}
+
+int config_open_rndc_key() {
+    int fd;
+    fd = open("/etc/bind/rndc.key", 0);        //@check:interproc
+    if (validate_descriptor(fd) == 0) {
+        puts("named: cannot open rndc.key");
+        return -1;
+    }
+    return fd;
+}
+
+int config_read(int fd) {
+    int buffer[128];
+    int n;
+    n = read(fd, buffer, 96);
+    if (n < 0) {
+        puts("named: error reading configuration");
+        return -1;
+    }
+    return n;
+}
+
+int load_configuration() {
+    int fd;
+    int keyfd;
+    int status;
+    fd = config_open();
+    if (fd < 0) {
+        return -1;
+    }
+    config_fd = fd;
+    status = config_read(fd);
+    if (status < 0) {
+        close(fd);                             //@check:no
+        return -1;
+    }
+    keyfd = config_open_rndc_key();
+    if (keyfd >= 0) {
+        status = close(keyfd);                 //@check:yes
+        if (status < 0) {
+            log_message(status);
+        }
+    }
+    status = close(fd);                        //@check:yes
+    if (status < 0) {
+        puts("named: close of named.conf failed");
+        return -1;
+    }
+    config_fd = -1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* zone loading and journal maintenance                                */
+/* ------------------------------------------------------------------ */
+int zone_load(int index) {
+    int fd;
+    int n;
+    int buffer[64];
+    fd = open("/var/bind/zones/example.zone", 0);   //@check:yes
+    if (fd == -1) {
+        puts("named: zone file missing");
+        return -1;
+    }
+    n = read(fd, buffer, 48);
+    if (n < 0) {
+        close(fd);                             //@check:no
+        return -1;
+    }
+    n = close(fd);                             //@check:yes
+    if (n < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+int journal_rollforward() {
+    int fd;
+    int n;
+    int buffer[32];
+    fd = open("/var/bind/zones/example.jnl", 0);    //@check:no
+    n = read(fd, buffer, 16);
+    if (n < 0) {
+        puts("named: journal read failed");
+    }
+    close(fd);                                 //@check:no
+    return 0;
+}
+
+int journal_cleanup() {
+    int status;
+    status = unlink("/var/bind/zones/example.jnl.old");   //@check:yes
+    if (status < 0) {
+        puts("named: could not remove old journal");
+        return -1;
+    }
+    journal_rotations = journal_rotations + 1;
+    return 0;
+}
+
+int journal_compact() {
+    int status;
+    status = unlink("/var/bind/zones/example.jnl.tmp");   //@check:yes
+    if (status == -1) {
+        log_message(status);
+        return -1;
+    }
+    return 0;
+}
+
+int pid_file_remove() {
+    unlink("/var/run/named.pid");              //@check:no
+    return 0;
+}
+
+int lock_file_remove() {
+    int status;
+    status = unlink("/var/run/named.lock");    //@check:yes
+    if (status < 0) {
+        if (errno == 2) {
+            return 0;
+        }
+        puts("named: cannot remove lock file");
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* query serving (query.c analog)                                      */
+/* ------------------------------------------------------------------ */
+int answer_query(int query_id) {
+    int entry;
+    int buffer;
+    entry = cache_insert(query_id);
+    buffer = message_buffer_new();
+    *buffer = query_id;
+    query_count = query_count + 1;
+    return 0;
+}
+
+int serve_queries(int how_many) {
+    int fd;
+    int i;
+    int n;
+    int status;
+    int buffer[32];
+    fd = open("/var/bind/queries.txt", 0);     //@check:yes
+    if (fd < 0) {
+        puts("named: no query workload");
+        return -1;
+    }
+    i = 0;
+    while (i < how_many) {
+        n = read(fd, buffer, 8);
+        if (n < 0) {
+            puts("named: query read error, dropping request");
+            i = i + 1;
+            continue;
+        }
+        answer_query(i);
+        i = i + 1;
+    }
+    status = close(fd);                        //@check:yes
+    if (status < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* statistics channel (statschannel.c analog)                          */
+/* ------------------------------------------------------------------ */
+int render_stats(int fd) {
+    int writer;
+    int doc[1];
+    writer = xmlNewTextWriterDoc(doc, 0);      //@check:no
+    /* BUG (Table 1): writer is used without checking for NULL; if the
+       xmlNewTextWriterDoc call fails the next call dereferences NULL. */
+    xmlTextWriterStartDocument(writer, 0);
+    xmlTextWriterWriteString(writer, "server statistics");
+    xmlTextWriterEndDocument(writer);
+    xmlFreeTextWriter(writer);
+    write(fd, "HTTP/1.1 200 OK", 15);
+    return 0;
+}
+
+int stats_channel_request() {
+    int fd;
+    int status;
+    fd = open("/var/bind/stats.http", 66);     //@check:yes
+    if (fd < 0) {
+        puts("named: cannot open stats socket");
+        return -1;
+    }
+    render_stats(fd);
+    status = close(fd);                        //@check:yes
+    if (status < 0) {
+        log_message(status);
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* server lifecycle                                                    */
+/* ------------------------------------------------------------------ */
+int server_startup() {
+    int status;
+    status = load_configuration();
+    if (status < 0) {
+        return -1;
+    }
+    status = dst_lib_init();
+    if (status < 0) {
+        puts("named: dst subsystem unavailable");
+    }
+    status = view_create(4);
+    if (status < 0) {
+        return -1;
+    }
+    status = tsig_key_create(7);
+    if (status < 0) {
+        puts("named: tsig key creation failed");
+    }
+    status = names_table_grow(16);
+    if (status == 0) {
+        return -1;
+    }
+    server_running = 1;
+    return 0;
+}
+
+int server_shutdown() {
+    int status;
+    int scratch;
+    scratch = pool_alloc(64);
+    if (scratch == 0) {
+        puts("named: shutdown without scratch buffer");
+    }
+    status = pid_file_remove();
+    status = lock_file_remove();
+    if (status < 0) {
+        log_message(status);
+    }
+    server_running = 0;
+    return 0;
+}
+
+int zone_maintenance() {
+    int status;
+    status = zone_load(0);
+    if (status < 0) {
+        puts("named: zone load failed");
+    }
+    status = journal_rollforward();
+    status = journal_cleanup();
+    if (status < 0) {
+        log_message(status);
+    }
+    status = journal_compact();
+    if (status < 0) {
+        log_message(status);
+    }
+    status = pool_alloc_zeroed(256);
+    if (status == 0) {
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* entry point: command codes select the subsystem to exercise         */
+/* ------------------------------------------------------------------ */
+int main(int command) {
+    if (command == 1) {
+        return server_startup();
+    }
+    if (command == 2) {
+        return serve_queries(4);
+    }
+    if (command == 3) {
+        return stats_channel_request();
+    }
+    if (command == 4) {
+        return zone_maintenance();
+    }
+    if (command == 5) {
+        return server_shutdown();
+    }
+    puts("named: unknown command");
+    return 2;
+}
+"""

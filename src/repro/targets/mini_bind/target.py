@@ -1,0 +1,107 @@
+"""Target adapter for the BIND analog."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.controller.monitor import OutcomeKind
+from repro.oslib.os_model import SimOS
+from repro.targets.base import CompiledTarget, KnownBug, WorkloadStep
+from repro.targets.mini_bind.source import BIND_SOURCE
+
+KNOWN_BUGS = (
+    KnownBug(
+        identifier="bind-statschannel-xml",
+        system="mini_bind",
+        library_function="xmlNewTextWriterDoc",
+        kind=OutcomeKind.CRASH,
+        description=(
+            "Crash if the call to xmlNewTextWriterDoc fails while a user is "
+            "retrieving statistics over HTTP (NULL writer dereferenced)."
+        ),
+    ),
+    KnownBug(
+        identifier="bind-dst-lib-init-malloc",
+        system="mini_bind",
+        library_function="malloc",
+        kind=OutcomeKind.ABORT,
+        description=(
+            "Abort due to incorrectly handled malloc failure in dst_lib_init: "
+            "the recovery path calls dst_lib_destroy before dst_initialized is "
+            "set, tripping the assertion."
+        ),
+    ),
+)
+
+#: The trimmed list of libc functions used for the Table 3 coverage run
+#: ("approximately 25 library calls that are known to fail on occasion").
+COVERAGE_FUNCTIONS = (
+    "open", "read", "close", "malloc", "unlink", "write", "fopen", "fstat",
+)
+
+
+class MiniBindTarget(CompiledTarget):
+    """BIND 9.6.1 analog: authoritative DNS server with a stats channel."""
+
+    name = "mini_bind"
+    source_file = "mini_bind.c"
+    known_bugs = KNOWN_BUGS
+    accuracy_functions = ("malloc", "unlink", "open", "close")
+
+    def source(self) -> str:
+        return BIND_SOURCE
+
+    def make_os(self) -> SimOS:
+        os = SimOS(self.name)
+        fs = os.fs
+        fs.make_dirs("/etc/bind")
+        fs.make_dirs("/var/bind/zones")
+        fs.make_dirs("/var/run")
+        fs.add_file("/etc/bind/named.conf", b"options { directory /var/bind; };\n" * 3)
+        fs.add_file("/etc/bind/rndc.key", b"key rndc-key { secret abcd; };\n")
+        fs.add_file(
+            "/var/bind/zones/example.zone",
+            b"example.com. IN SOA ns1 admin 1 2 3 4 5\nwww IN A 192.0.2.7\n",
+        )
+        fs.add_file("/var/bind/zones/example.jnl", b"journal-entry-1\n")
+        fs.add_file("/var/bind/zones/example.jnl.old", b"old-journal\n")
+        fs.add_file("/var/bind/zones/example.jnl.tmp", b"tmp-journal\n")
+        fs.add_file("/var/run/named.pid", b"4242\n")
+        fs.add_file("/var/run/named.lock", b"\n")
+        fs.add_file("/var/bind/queries.txt", b"www.example.com A\nmail.example.com MX\n" * 4)
+        return os
+
+    def workloads(self) -> List[str]:
+        return ["default-tests", "queries", "stats", "maintenance"]
+
+    def workload_plan(self, workload: str) -> List[WorkloadStep]:
+        plans = {
+            # The default test suite exercises every subsystem once, which is
+            # the baseline for the Table 3 coverage measurement.
+            "default-tests": [
+                WorkloadStep(args=(1,), description="server startup"),
+                WorkloadStep(args=(2,), description="serve DNS queries"),
+                WorkloadStep(args=(3,), description="statistics channel request"),
+                WorkloadStep(args=(4,), description="zone maintenance"),
+                WorkloadStep(args=(5,), description="server shutdown"),
+            ],
+            "queries": [
+                WorkloadStep(args=(1,), description="server startup"),
+                WorkloadStep(args=(2,), description="serve DNS queries"),
+            ],
+            "stats": [
+                WorkloadStep(args=(1,), description="server startup"),
+                WorkloadStep(args=(3,), description="statistics channel request"),
+            ],
+            "maintenance": [
+                WorkloadStep(args=(1,), description="server startup"),
+                WorkloadStep(args=(4,), description="zone maintenance"),
+                WorkloadStep(args=(5,), description="server shutdown"),
+            ],
+        }
+        if workload not in plans:
+            raise KeyError(f"mini_bind has no workload {workload!r}")
+        return plans[workload]
+
+
+__all__ = ["COVERAGE_FUNCTIONS", "KNOWN_BUGS", "MiniBindTarget"]

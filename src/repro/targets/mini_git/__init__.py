@@ -1,0 +1,5 @@
+"""The Git analog (compiled target)."""
+
+from repro.targets.mini_git.target import KNOWN_BUGS, MiniGitTarget
+
+__all__ = ["KNOWN_BUGS", "MiniGitTarget"]

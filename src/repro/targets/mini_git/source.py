@@ -1,0 +1,383 @@
+'''mini-C source of the Git analog (a small content-tracking tool).
+
+Planted bugs (Table 1):
+
+* ``setup_work_tree`` does not check ``setenv``; a later external command
+  then runs with an incomplete environment and silently deletes an object
+  file — the data-loss bug.
+* ``collect_refs`` does not check ``opendir``; ``readdir`` is then called
+  with a NULL directory pointer and crashes inside the library.
+* ``xdiff_merge`` (twice) and ``xdiff_patience`` (once) use ``malloc``
+  results without checking them — the three unchecked-malloc crashes in
+  ``xdiff/xmerge.c`` and ``xdiff/xpatience.c``.
+
+The remaining functions provide the checked ``malloc``/``close``/
+``readlink`` call sites behind Git's rows of Table 4 (the paper found Git's
+``close`` handling to be consistently checked) and the recovery code
+measured in Table 3.
+'''
+
+GIT_SOURCE = r"""
+/* ------------------------------------------------------------------ */
+/* globals                                                             */
+/* ------------------------------------------------------------------ */
+int objects_written = 0;
+int refs_seen = 0;
+int merge_conflicts = 0;
+int index_dirty = 0;
+
+int die(int code) {
+    puts("fatal: internal error");
+    exit(128);
+    return code;
+}
+
+/* ------------------------------------------------------------------ */
+/* object store (sha1_file.c analog)                                   */
+/* ------------------------------------------------------------------ */
+int object_buffer_new(int size) {
+    int buffer;
+    buffer = malloc(size);                      //@check:yes
+    if (buffer == 0) {
+        die(12);
+        return 0;
+    }
+    return buffer;
+}
+
+int write_object(int object_id) {
+    int fd;
+    int status;
+    int buffer;
+    buffer = object_buffer_new(64);
+    *buffer = object_id;
+    fd = open("/repo/.git/objects/incoming", 65);
+    if (fd < 0) {
+        puts("error: unable to create object file");
+        return -1;
+    }
+    status = write(fd, buffer, 16);
+    if (status < 0) {
+        close(fd);                              //@check:no
+        return -1;
+    }
+    status = close(fd);                         //@check:yes
+    if (status < 0) {
+        puts("error: close failed while writing object");
+        return -1;
+    }
+    objects_written = objects_written + 1;
+    return 0;
+}
+
+int read_object(int object_id) {
+    int fd;
+    int n;
+    int status;
+    int buffer[64];
+    fd = open("/repo/.git/objects/blob1", 0);
+    if (fd < 0) {
+        return -1;
+    }
+    n = read(fd, buffer, 32);
+    if (n < 0) {
+        close(fd);                              //@check:no
+        return -1;
+    }
+    status = close(fd);                         //@check:yes
+    if (status == -1) {
+        return -1;
+    }
+    return n;
+}
+
+/* ------------------------------------------------------------------ */
+/* environment handling (run-command.c analog)                         */
+/* ------------------------------------------------------------------ */
+int setup_work_tree() {
+    setenv("GIT_WORK_TREE", "/repo", 1);        /* checked */
+    /* BUG (Table 1): the objects-directory variable is not checked; if the
+       setenv fails, child commands run with an incomplete environment. */
+    setenv("GIT_OBJECT_DIRECTORY", "/repo/.git/objects", 1);
+    return 0;
+}
+
+int run_external_command(int command) {
+    int objdir;
+    objdir = getenv("GIT_OBJECT_DIRECTORY");
+    if (objdir == 0) {
+        /* The child command falls back to a wrong path and ends up pruning
+           a live object: silent data loss. */
+        unlink("/repo/.git/objects/blob1");
+        return 0;
+    }
+    puts("running external command");
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* refs enumeration (refs.c analog)                                    */
+/* ------------------------------------------------------------------ */
+int collect_refs() {
+    int dir;
+    int entry;
+    dir = opendir("/repo/.git/refs/heads");
+    /* BUG (Table 1): opendir's return value is not checked; when it fails,
+       readdir dereferences a NULL DIR pointer and crashes. */
+    while (entry = readdir(dir)) {
+        refs_seen = refs_seen + 1;
+    }
+    closedir(dir);
+    return refs_seen;
+}
+
+int resolve_symbolic_ref() {
+    int n;
+    int buffer[64];
+    n = readlink("/repo/.git/HEAD", buffer, 48);   //@check:yes
+    if (n < 0) {
+        puts("error: cannot resolve HEAD");
+        return -1;
+    }
+    return n;
+}
+
+int resolve_link_target(int which) {
+    int n;
+    int buffer[64];
+    n = readlink("/repo/link-to-readme", buffer, 32);    //@check:yes
+    if (n == -1) {
+        return -1;
+    }
+    return n;
+}
+
+int check_symref_format() {
+    int n;
+    int buffer[32];
+    n = readlink("/repo/.git/HEAD", buffer, 16);   //@check:yes
+    if (n < 0) {
+        return 0;
+    }
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* index handling (read-cache.c analog)                                */
+/* ------------------------------------------------------------------ */
+int read_index() {
+    int fd;
+    int n;
+    int status;
+    int buffer[64];
+    int entries;
+    fd = open("/repo/.git/index", 0);
+    if (fd < 0) {
+        puts("warning: no index file");
+        return 0;
+    }
+    entries = malloc(256);                      //@check:yes
+    if (entries == 0) {
+        close(fd);                              //@check:no
+        return -1;
+    }
+    n = read(fd, buffer, 48);
+    if (n < 0) {
+        free(entries);
+        close(fd);                              //@check:no
+        return -1;
+    }
+    status = close(fd);                         //@check:yes
+    if (status < 0) {
+        return -1;
+    }
+    return n;
+}
+
+int write_index() {
+    int fd;
+    int status;
+    fd = open("/repo/.git/index.lock", 65);
+    if (fd < 0) {
+        return -1;
+    }
+    status = write(fd, "DIRC", 4);
+    if (status < 0) {
+        close(fd);                              //@check:no
+        return -1;
+    }
+    status = close(fd);                         //@check:yes
+    if (status < 0) {
+        puts("error: unable to write index");
+        return -1;
+    }
+    index_dirty = 0;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* merge machinery (xdiff/xmerge.c and xdiff/xpatience.c analogs)      */
+/* ------------------------------------------------------------------ */
+int xdiff_merge(int size_a, int size_b) {
+    int result_a;
+    int result_b;
+    int i;
+    result_a = malloc(size_a);                  //@check:no
+    /* BUG (Table 1, xmerge.c line 567 analog): result used unchecked. */
+    *result_a = 1;
+    result_b = malloc(size_b);                  //@check:no
+    /* BUG (Table 1, xmerge.c line 571 analog): result used unchecked. */
+    i = 0;
+    while (i < 4) {
+        result_b[i] = i;
+        i = i + 1;
+    }
+    merge_conflicts = 0;
+    return 0;
+}
+
+int xdiff_patience(int lines) {
+    int table;
+    table = malloc(lines * 2);                  //@check:no
+    /* BUG (Table 1, xpatience.c line 191 analog): result used unchecked. */
+    memset(table, 0, 8);
+    return 0;
+}
+
+int xdiff_prepare(int lines) {
+    int records;
+    records = malloc(lines);                    //@check:yes
+    if (records == 0) {
+        return -1;
+    }
+    return records;
+}
+
+int merge_blobs() {
+    int status;
+    int prepared;
+    prepared = xdiff_prepare(32);
+    if (prepared == -1) {
+        return -1;
+    }
+    status = xdiff_merge(24, 16);
+    if (status < 0) {
+        return -1;
+    }
+    status = xdiff_patience(12);
+    if (status < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* porcelain commands                                                  */
+/* ------------------------------------------------------------------ */
+int cmd_status() {
+    int count;
+    int head;
+    count = collect_refs();
+    if (count < 0) {
+        return 1;
+    }
+    head = resolve_symbolic_ref();
+    if (head < 0) {
+        return 1;
+    }
+    read_index();
+    puts("on branch master");
+    return 0;
+}
+
+int cmd_add() {
+    int scratch;
+    scratch = object_buffer_new(128);
+    if (scratch == 0) {
+        return 1;
+    }
+    index_dirty = 1;
+    return write_index();
+}
+
+int cmd_commit() {
+    int status;
+    status = write_object(7);
+    if (status < 0) {
+        return 1;
+    }
+    status = write_index();
+    if (status < 0) {
+        return 1;
+    }
+    puts("committed");
+    return 0;
+}
+
+int cmd_merge() {
+    int status;
+    status = read_object(3);
+    if (status < 0) {
+        return 1;
+    }
+    status = merge_blobs();
+    if (status < 0) {
+        return 1;
+    }
+    puts("merge completed");
+    return 0;
+}
+
+int cmd_checkout() {
+    int target;
+    int fmt;
+    target = resolve_link_target(1);
+    if (target < 0) {
+        return 1;
+    }
+    fmt = check_symref_format();
+    if (fmt == 0) {
+        puts("detached HEAD");
+    }
+    return 0;
+}
+
+int cmd_gc() {
+    int status;
+    status = setup_work_tree();
+    if (status < 0) {
+        return 1;
+    }
+    status = run_external_command(2);
+    if (status < 0) {
+        return 1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* entry point                                                         */
+/* ------------------------------------------------------------------ */
+int main(int command) {
+    if (command == 1) {
+        return cmd_status();
+    }
+    if (command == 2) {
+        return cmd_add();
+    }
+    if (command == 3) {
+        return cmd_commit();
+    }
+    if (command == 4) {
+        return cmd_merge();
+    }
+    if (command == 5) {
+        return cmd_checkout();
+    }
+    if (command == 6) {
+        return cmd_gc();
+    }
+    puts("usage: git <command>");
+    return 129;
+}
+"""

@@ -1,0 +1,123 @@
+"""Target adapter for the Git analog."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller.monitor import Outcome, OutcomeKind
+from repro.oslib.os_model import SimOS
+from repro.targets.base import CompiledTarget, KnownBug, WorkloadStep
+from repro.targets.mini_git.source import GIT_SOURCE
+
+KNOWN_BUGS = (
+    KnownBug(
+        identifier="git-setenv-data-loss",
+        system="mini_git",
+        library_function="setenv",
+        kind=OutcomeKind.DATA_LOSS,
+        description=(
+            "Data loss caused by running an external command with an incomplete "
+            "environment after a failed setenv (a live object file is pruned)."
+        ),
+    ),
+    KnownBug(
+        identifier="git-opendir-readdir-null",
+        system="mini_git",
+        library_function="opendir",
+        kind=OutcomeKind.CRASH,
+        description=(
+            "Crash due to calling readdir with the NULL pointer returned by a "
+            "previously failed opendir call."
+        ),
+    ),
+    KnownBug(
+        identifier="git-xmerge-malloc-1",
+        system="mini_git",
+        library_function="malloc",
+        kind=OutcomeKind.CRASH,
+        description="Crash due to unhandled malloc return value (xdiff merge, first buffer).",
+    ),
+    KnownBug(
+        identifier="git-xmerge-malloc-2",
+        system="mini_git",
+        library_function="malloc",
+        kind=OutcomeKind.CRASH,
+        description="Crash due to unhandled malloc return value (xdiff merge, second buffer).",
+    ),
+    KnownBug(
+        identifier="git-xpatience-malloc",
+        system="mini_git",
+        library_function="malloc",
+        kind=OutcomeKind.CRASH,
+        description="Crash due to unhandled malloc return value (xdiff patience table).",
+    ),
+)
+
+#: Functions used for the Table 3 coverage run.
+COVERAGE_FUNCTIONS = (
+    "open", "read", "close", "malloc", "readlink", "write", "setenv", "opendir",
+)
+
+
+class MiniGitTarget(CompiledTarget):
+    """Git 1.6.5.4 analog: status/add/commit/merge/checkout/gc commands."""
+
+    name = "mini_git"
+    source_file = "mini_git.c"
+    known_bugs = KNOWN_BUGS
+    accuracy_functions = ("malloc", "close", "readlink")
+
+    def source(self) -> str:
+        return GIT_SOURCE
+
+    def make_os(self) -> SimOS:
+        os = SimOS(self.name)
+        fs = os.fs
+        fs.make_dirs("/repo/.git/objects")
+        fs.make_dirs("/repo/.git/refs/heads")
+        fs.add_file("/repo/.git/objects/blob1", b"blob 11\x00hello world")
+        fs.add_file("/repo/.git/refs/heads/master", b"0123abcd\n")
+        fs.add_file("/repo/.git/refs/heads/topic", b"4567ef01\n")
+        fs.add_file("/repo/.git/index", b"DIRC0001entry-a entry-b\n")
+        fs.add_file("/repo/README.md", b"# project\n")
+        fs.add_symlink("/repo/.git/HEAD", "/repo/.git/refs/heads/master")
+        fs.add_symlink("/repo/link-to-readme", "/repo/README.md")
+        return os
+
+    def workloads(self) -> List[str]:
+        return ["default-tests", "status", "commit", "merge", "gc"]
+
+    def workload_plan(self, workload: str) -> List[WorkloadStep]:
+        plans = {
+            "default-tests": [
+                WorkloadStep(args=(1,), description="git status"),
+                WorkloadStep(args=(2,), description="git add"),
+                WorkloadStep(args=(3,), description="git commit"),
+                WorkloadStep(args=(4,), description="git merge"),
+                WorkloadStep(args=(5,), description="git checkout"),
+                WorkloadStep(args=(6,), description="git gc"),
+            ],
+            "status": [WorkloadStep(args=(1,), description="git status")],
+            "commit": [
+                WorkloadStep(args=(2,), description="git add"),
+                WorkloadStep(args=(3,), description="git commit"),
+            ],
+            "merge": [WorkloadStep(args=(4,), description="git merge")],
+            "gc": [WorkloadStep(args=(6,), description="git gc")],
+        }
+        if workload not in plans:
+            raise KeyError(f"mini_git has no workload {workload!r}")
+        return plans[workload]
+
+    def check_oracles(self, os: SimOS) -> Optional[Outcome]:
+        """Detect the silent data loss caused by the failed-setenv bug."""
+        if not os.fs.exists("/repo/.git/objects/blob1"):
+            return Outcome(
+                kind=OutcomeKind.DATA_LOSS,
+                detail="object file /repo/.git/objects/blob1 was pruned by an external "
+                       "command running with an incomplete environment",
+            )
+        return None
+
+
+__all__ = ["COVERAGE_FUNCTIONS", "KNOWN_BUGS", "MiniGitTarget"]

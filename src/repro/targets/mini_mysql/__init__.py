@@ -1,0 +1,5 @@
+"""The MySQL analog (Python-level server target)."""
+
+from repro.targets.mini_mysql.target import KNOWN_BUGS, MiniMySQLTarget
+
+__all__ = ["KNOWN_BUGS", "MiniMySQLTarget"]

@@ -1,0 +1,95 @@
+"""MyISAM-like storage engine module of the MySQL analog.
+
+Lives in its own module on purpose: the Table 2 precision experiment's second
+scenario restricts injection to ``close`` calls issued *from the file the bug
+lives in*, which the call-stack trigger expresses as "some frame's module is
+``myisam``" — exactly how the paper narrowed injections to the buggy file.
+
+``mi_create`` reproduces the MySQL double-unlock bug from Table 1: the error
+handling that runs after a failed ``close`` releases resources, including a
+mutex that the normal path has already released, which aborts the process
+(error-checking mutexes treat a double unlock as fatal).
+"""
+
+from __future__ import annotations
+
+from repro.oslib import fs as fsmod
+from repro.oslib.facade import LibcFacade
+
+#: The storage-engine global mutex (THR_LOCK_myisam analog).
+MYISAM_LOCK = 0x51
+
+
+class MyISAMEngine:
+    """Table creation and maintenance for the MySQL analog."""
+
+    def __init__(self, libc: LibcFacade, data_dir: str = "/var/lib/mysql/data") -> None:
+        self.libc = libc
+        self.data_dir = data_dir
+        self.tables_created = 0
+        self.create_errors = 0
+
+    # ------------------------------------------------------------------
+    def mi_create(self, table_name: str) -> int:
+        """Create a MyISAM table (index + data file).
+
+        Mirrors mi_create(): the index file is written under the storage
+        engine mutex; the mutex is released on the normal path, and the
+        error-handling path after a failed ``close`` releases "all"
+        resources — including that mutex, a second time.
+        """
+        libc = self.libc
+        index_path = f"{self.data_dir}/{table_name}.MYI"
+        data_path = f"{self.data_dir}/{table_name}.MYD"
+
+        libc.mutex_lock(MYISAM_LOCK)
+        index_fd = libc.open(index_path, fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_TRUNC)
+        if index_fd < 0:
+            libc.mutex_unlock(MYISAM_LOCK)
+            self.create_errors += 1
+            return -1
+        libc.write(index_fd, b"MYI" + table_name.encode())
+        data_fd = libc.open(data_path, fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_TRUNC)
+        if data_fd < 0:
+            libc.close(index_fd)
+            libc.mutex_unlock(MYISAM_LOCK)
+            self.create_errors += 1
+            return -1
+        libc.write(data_fd, b"MYD")
+        libc.close(data_fd)
+
+        # Normal path: the mutex is released before the final close.
+        libc.mutex_unlock(MYISAM_LOCK)
+        status = libc.close(index_fd)
+        if status < 0:
+            # BUG (Table 1): the error path releases every resource the
+            # function acquired, including the mutex that was already
+            # released above — a double unlock, which aborts the server.
+            return self._mi_create_cleanup(index_path, data_path)
+        self.tables_created += 1
+        return 0
+
+    def _mi_create_cleanup(self, index_path: str, data_path: str) -> int:
+        libc = self.libc
+        libc.unlink(index_path)
+        libc.unlink(data_path)
+        libc.mutex_unlock(MYISAM_LOCK)  # double unlock -> MutexAbort
+        self.create_errors += 1
+        return -1
+
+    # ------------------------------------------------------------------
+    def mi_repair(self, table_name: str) -> int:
+        """Rewrite a table's data file (exercises checked close handling)."""
+        libc = self.libc
+        path = f"{self.data_dir}/{table_name}.MYD"
+        fd = libc.open(path, fsmod.O_WRONLY | fsmod.O_CREAT)
+        if fd < 0:
+            return -1
+        libc.write(fd, b"repaired")
+        status = libc.close(fd)
+        if status < 0:
+            return -1
+        return 0
+
+
+__all__ = ["MYISAM_LOCK", "MyISAMEngine"]

@@ -1,0 +1,124 @@
+"""Scenario builders for the MySQL experiments (Tables 1, 2, and 6).
+
+* :func:`random_close_scenario` — blanket random injection into ``close``
+  (Table 2, first row).
+* :func:`random_close_in_module_scenario` — random injection restricted to
+  ``close`` calls issued from the storage-engine module (Table 2, second
+  row: "within the bug's file").
+* :func:`close_after_unlock_scenario` — the custom close-after-mutex-unlock
+  trigger with a configurable distance (Table 2, third row; 100% precision).
+* :func:`random_campaign_scenario` — the random-injection campaign the paper
+  used to find the MySQL bugs in Table 1.
+* :func:`fcntl_overhead_scenario` — the cumulative 1-4 trigger scenarios of
+  the Table 6 overhead measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.oslib.libc import F_GETLK
+
+
+def random_close_scenario(probability: float = 0.1, seed: Optional[int] = None) -> Scenario:
+    """Inject into every ``close`` call with the given probability."""
+    return (
+        ScenarioBuilder("mysql-random-close")
+        .trigger("rand", "RandomTrigger", probability=probability, seed=seed)
+        .inject("close", ["rand"], return_value=-1, errno="EIO")
+        .metadata(table2_row="random")
+        .build()
+    )
+
+
+def random_close_in_module_scenario(
+    probability: float = 0.1, seed: Optional[int] = None, module: str = "myisam"
+) -> Scenario:
+    """Random injection limited to ``close`` calls made from the bug's file."""
+    return (
+        ScenarioBuilder("mysql-random-close-in-file")
+        .trigger_with_params("infile", "CallStackTrigger", {"frame": {"module": module}})
+        .trigger("rand", "RandomTrigger", probability=probability, seed=seed)
+        .inject("close", ["infile", "rand"], return_value=-1, errno="EIO")
+        .metadata(table2_row="random-within-file")
+        .build()
+    )
+
+
+def close_after_unlock_scenario(distance: int = 2) -> Scenario:
+    """The §7.1 custom trigger: fail ``close`` calls right after a mutex unlock."""
+    return (
+        ScenarioBuilder("mysql-close-after-unlock")
+        .trigger("after_unlock", "CloseAfterMutexUnlock", distance=distance)
+        .trigger("once", "SingletonTrigger")
+        .inject("close", ["after_unlock", "once"], return_value=-1, errno="EIO")
+        .observe("pthread_mutex_lock", ["after_unlock"])
+        .observe("pthread_mutex_unlock", ["after_unlock"])
+        .metadata(table2_row="close-after-mutex-unlock")
+        .build()
+    )
+
+
+def random_campaign_scenario(
+    function: str, probability: float = 0.05, seed: Optional[int] = None,
+    return_value: int = -1, errno: str = "EIO",
+) -> Scenario:
+    """One random-injection test targeting a single libc function."""
+    return (
+        ScenarioBuilder(f"mysql-random-{function}")
+        .trigger("rand", "RandomTrigger", probability=probability, seed=seed)
+        .inject(function, ["rand"], return_value=return_value, errno=errno)
+        .metadata(campaign="random", target_function=function)
+        .build()
+    )
+
+
+def fcntl_overhead_scenario(trigger_count: int) -> Scenario:
+    """Cumulative Table 6 scenario with 1-4 triggers on ``fcntl``.
+
+    The triggers match the paper's list: argument check (cmd == F_GETLK),
+    two program-state checks (``thread_count`` > 64 and
+    ``shutdown_in_progress``), and a call-stack check restricting injection
+    to calls made from the main server module.
+    """
+    if not 1 <= trigger_count <= 4:
+        raise ValueError(f"trigger_count must be between 1 and 4, got {trigger_count}")
+    builder = ScenarioBuilder(f"mysql-fcntl-overhead-{trigger_count}")
+    trigger_ids = []
+
+    builder.trigger("arg_getlk", "ArgumentEquals", index=1, value=F_GETLK)
+    trigger_ids.append("arg_getlk")
+    if trigger_count >= 2:
+        builder.trigger(
+            "many_threads", "ProgramStateTrigger", variable="thread_count", op=">", value=64
+        )
+        trigger_ids.append("many_threads")
+    if trigger_count >= 3:
+        builder.trigger(
+            "shutting_down",
+            "ProgramStateTrigger",
+            variable="shutdown_in_progress",
+            op="==",
+            value=1,
+        )
+        trigger_ids.append("shutting_down")
+    if trigger_count >= 4:
+        builder.trigger_with_params(
+            "from_server", "CallStackTrigger", {"frame": {"module": "server"}}
+        )
+        trigger_ids.append("from_server")
+
+    builder.inject("fcntl", trigger_ids, return_value=-1, errno="EDEADLK")
+    builder.metadata(table6_triggers=trigger_count)
+    return builder.build()
+
+
+__all__ = [
+    "close_after_unlock_scenario",
+    "fcntl_overhead_scenario",
+    "random_campaign_scenario",
+    "random_close_in_module_scenario",
+    "random_close_scenario",
+]

@@ -1,0 +1,233 @@
+"""The MySQL analog: a small single-process database server.
+
+Everything the server does to its environment goes through the
+:class:`~repro.oslib.facade.LibcFacade`, so LFI can intercept it.  The
+server exposes the two global state variables the paper's overhead triggers
+inspect (``thread_count`` and ``shutdown_in_progress``) through
+:meth:`MySQLServer.read_state`.
+
+Planted bugs (Table 1):
+
+* ``load_error_messages`` — if reading ``errmsg.sys`` fails with a low-level
+  I/O error, the error is logged but an uninitialized message index is then
+  accessed, crashing the server (the missing-file case, by contrast, is
+  handled: that is the already-fixed upstream bug the paper references).
+* ``MyISAMEngine.mi_create`` (in :mod:`repro.targets.mini_mysql.myisam`) —
+  double mutex unlock after a failed ``close``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.oslib import fs as fsmod
+from repro.oslib.errno_codes import Errno
+from repro.oslib.facade import LibcFacade
+from repro.oslib.libc import F_GETLK, F_SETLK
+from repro.oslib.os_model import SimOS
+from repro.targets.mini_mysql.myisam import MyISAMEngine
+
+ERRMSG_PATH = "/var/lib/mysql/share/errmsg.sys"
+QUERY_CACHE_PATH = "/var/lib/mysql/cache/query_cache.dat"
+GENERAL_LOG_PATH = "/var/lib/mysql/log/general.log"
+TABLE_PATH = "/var/lib/mysql/data/sbtest.MYD"
+
+
+class MySQLServer:
+    """A miniature MySQL 5.1 standing in for the real server."""
+
+    def __init__(self, os: SimOS, libc: Optional[LibcFacade] = None) -> None:
+        self.os = os
+        self.libc = libc if libc is not None else LibcFacade(os, node="mysqld")
+        self.engine = MyISAMEngine(self.libc)
+
+        # Globals inspected by program-state triggers (§7.4, Table 6).
+        self.thread_count = 0
+        self.shutdown_in_progress = 0
+        self.max_connections = 151
+
+        self.error_messages: Optional[Dict[int, str]] = None
+        self.queries_executed = 0
+        self.transactions_committed = 0
+        self.started = False
+        #: Rounds of per-row processing work (parsing/plan evaluation analog)
+        #: per query; this keeps the query cost realistic relative to the
+        #: trigger-evaluation cost measured in Table 6.
+        self.query_work_factor = 20
+
+    # ------------------------------------------------------------------
+    # program state exposed to triggers
+    # ------------------------------------------------------------------
+    def read_state(self, name: str) -> Optional[int]:
+        values = {
+            "thread_count": self.thread_count,
+            "shutdown_in_progress": self.shutdown_in_progress,
+            "max_connections": self.max_connections,
+            "queries_executed": self.queries_executed,
+        }
+        return values.get(name)
+
+    # ------------------------------------------------------------------
+    # startup / shutdown
+    # ------------------------------------------------------------------
+    def startup(self) -> int:
+        self.load_error_messages()
+        self.thread_count = 1
+        self.started = True
+        return 0
+
+    def shutdown(self) -> int:
+        self.shutdown_in_progress = 1
+        self.flush_query_cache()
+        self.thread_count = 0
+        self.started = False
+        return 0
+
+    def load_error_messages(self) -> int:
+        """Load errmsg.sys; reproduces the Table 1 read-failure crash."""
+        libc = self.libc
+        fd = libc.open(ERRMSG_PATH, fsmod.O_RDONLY)
+        if fd < 0:
+            if libc.errno == Errno.ENOENT:
+                # The missing-file case is handled gracefully (the upstream
+                # bug the paper cites as already fixed).
+                self.os.write_stderr("mysqld: errmsg.sys not found, using builtin messages\n")
+                self.error_messages = {}
+                return 0
+            self.os.write_stderr("mysqld: cannot open errmsg.sys\n")
+            self.error_messages = {}
+            return -1
+        data = libc.read(fd, 4096)
+        if data is None:
+            # BUG (Table 1): the read failure (e.g. EIO) is logged, but the
+            # code then goes on to use the uninitialized message index.
+            self.os.write_stderr("mysqld: error reading errmsg.sys\n")
+            libc.close(fd)
+            first_message = self.error_messages[0]  # crashes: index is None
+            return len(first_message)
+        libc.close(fd)
+        messages: Dict[int, str] = {}
+        for index, line in enumerate(data.decode("latin-1").splitlines()):
+            messages[index] = line
+        self.error_messages = messages
+        return 0
+
+    # ------------------------------------------------------------------
+    # housekeeping used by the merge-big workload
+    # ------------------------------------------------------------------
+    def flush_query_cache(self) -> int:
+        """Write the query cache out; two close calls, both failures abort the flush."""
+        libc = self.libc
+        fd = libc.open(QUERY_CACHE_PATH, fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_TRUNC)
+        if fd < 0:
+            return -1
+        libc.write(fd, b"cache-segment-1")
+        if libc.close(fd) < 0:
+            self.os.write_stderr("mysqld: query cache flush failed\n")
+            return -1
+        fd = libc.open(QUERY_CACHE_PATH, fsmod.O_WRONLY | fsmod.O_APPEND)
+        if fd < 0:
+            return -1
+        libc.write(fd, b"cache-segment-2")
+        if libc.close(fd) < 0:
+            self.os.write_stderr("mysqld: query cache flush failed\n")
+            return -1
+        return 0
+
+    def rotate_general_log(self) -> int:
+        libc = self.libc
+        fd = libc.open(GENERAL_LOG_PATH, fsmod.O_WRONLY | fsmod.O_APPEND | fsmod.O_CREAT)
+        if fd < 0:
+            return -1
+        libc.write(fd, b"log rotated\n")
+        if libc.close(fd) < 0:
+            self.os.write_stderr("mysqld: log rotation failed\n")
+            return -1
+        return 0
+
+    # ------------------------------------------------------------------
+    # query execution (SysBench OLTP workload)
+    # ------------------------------------------------------------------
+    def _process_row(self, row: bytes) -> int:
+        """Simulated parse/plan/evaluate work over one row."""
+        checksum = 0
+        for _ in range(self.query_work_factor):
+            for byte in row:
+                checksum = (checksum * 31 + byte) & 0xFFFFFFFF
+        return checksum
+
+    def execute_read_query(self, key: int) -> int:
+        libc = self.libc
+        fd = libc.open(TABLE_PATH, fsmod.O_RDONLY)
+        if fd < 0:
+            return -1
+        libc.fcntl(fd, F_GETLK)
+        row = libc.read(fd, 64)
+        libc.close(fd)
+        if row is None:
+            return -1
+        self._process_row(row)
+        self.queries_executed += 1
+        return len(row)
+
+    def execute_write_query(self, key: int, value: bytes = b"x" * 32) -> int:
+        libc = self.libc
+        fd = libc.open(TABLE_PATH, fsmod.O_RDWR)
+        if fd < 0:
+            return -1
+        libc.fcntl(fd, F_GETLK)
+        libc.fcntl(fd, F_SETLK)
+        self._process_row(value)
+        written = libc.write(fd, value)
+        status = libc.close(fd)
+        if written < 0 or status < 0:
+            return -1
+        self.queries_executed += 1
+        return written
+
+    def run_transaction(self, read_only: bool, size: int = 4) -> int:
+        """One SysBench-style OLTP transaction (a handful of point queries)."""
+        self.thread_count += 1
+        try:
+            for index in range(size):
+                if self.execute_read_query(index) < 0:
+                    return -1
+            if not read_only:
+                if self.execute_write_query(0) < 0:
+                    return -1
+            self.transactions_committed += 1
+            return 0
+        finally:
+            self.thread_count -= 1
+
+    # ------------------------------------------------------------------
+    # the merge-big test-suite component (Table 2)
+    # ------------------------------------------------------------------
+    def run_merge_big(self, iterations: int = 5) -> int:
+        """The workload used to measure trigger precision in Table 2.
+
+        Each iteration flushes the query cache, rotates the general log, and
+        creates a merge table.  A failed close during the housekeeping steps
+        fails the whole test-suite component before the table creation is
+        reached — which is why blanket random injection reaches the buggy
+        close only rarely (the paper's 16% precision row), while injection
+        restricted to the storage-engine file reaches it far more often.
+        """
+        failures = 0
+        for index in range(iterations):
+            if self.flush_query_cache() < 0:
+                return -1
+            if self.rotate_general_log() < 0:
+                return -1
+            if self.engine.mi_create(f"merge_big_{index}") < 0:
+                failures += 1
+        return -failures if failures else 0
+
+
+__all__ = [
+    "ERRMSG_PATH",
+    "GENERAL_LOG_PATH",
+    "MySQLServer",
+    "QUERY_CACHE_PATH",
+    "TABLE_PATH",
+]

@@ -1,0 +1,23 @@
+"""The PBFT analog: a Practical Byzantine Fault Tolerance replication system.
+
+Two pieces:
+
+* a Python implementation of the protocol (client, replicas, pre-prepare/
+  prepare/commit, checkpoints, view change) running over the simulated
+  datagram network — used for the Figure 3 degraded-network study, the DoS
+  study, and the recvfrom/fopen bugs of Table 1;
+* a compiled (mini-C) checkpoint-writer module whose ``fopen`` call sites
+  feed the PBFT row of the Table 4 accuracy experiment and reproduce the
+  fwrite-on-NULL crash at the machine-code level.
+"""
+
+from repro.targets.pbft.cluster import PBFTCluster, WorkloadResult
+from repro.targets.pbft.target import KNOWN_BUGS, PBFTCheckpointTarget, PBFTTarget
+
+__all__ = [
+    "KNOWN_BUGS",
+    "PBFTCheckpointTarget",
+    "PBFTCluster",
+    "PBFTTarget",
+    "WorkloadResult",
+]

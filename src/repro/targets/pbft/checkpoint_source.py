@@ -1,0 +1,98 @@
+'''mini-C source of the PBFT simple-server checkpoint/state module.
+
+This is the compiled counterpart of the replica's file handling: it provides
+the six ``fopen`` call sites behind the PBFT row of Table 4 and reproduces,
+at the machine-code level, the Table 1 crash where a checkpoint is written
+through a NULL ``FILE*`` returned by an unchecked ``fopen``.
+'''
+
+PBFT_CHECKPOINT_SOURCE = r"""
+int checkpoints_written = 0;
+int state_loaded = 0;
+
+/* The shutdown path writes the final checkpoint without checking fopen.   */
+int write_shutdown_checkpoint() {
+    int handle;
+    handle = fopen("/var/pbft/replica0/shutdown.ckp", "w");   //@check:no
+    /* BUG (Table 1): handle is used without a NULL check. */
+    fwrite("view=0 seq=128", 1, 14, handle);
+    fclose(handle);
+    checkpoints_written = checkpoints_written + 1;
+    return 0;
+}
+
+int write_periodic_checkpoint(int sequence) {
+    int handle;
+    int written;
+    handle = fopen("/var/pbft/replica0/periodic.ckp", "w");   //@check:yes
+    if (handle == 0) {
+        puts("replica: cannot open checkpoint file");
+        return -1;
+    }
+    written = fwrite("seq", 1, 3, handle);
+    if (written == 0) {
+        fclose(handle);
+        return -1;
+    }
+    fclose(handle);
+    checkpoints_written = checkpoints_written + 1;
+    return 0;
+}
+
+int read_checkpoint() {
+    int handle;
+    int buffer[32];
+    int items;
+    handle = fopen("/var/pbft/replica0/periodic.ckp", "r");   //@check:yes
+    if (handle == 0) {
+        return -1;
+    }
+    items = fread(buffer, 1, 16, handle);
+    fclose(handle);
+    state_loaded = 1;
+    return items;
+}
+
+int load_config() {
+    int handle;
+    int buffer[32];
+    handle = fopen("/etc/pbft/config", "r");                  //@check:yes
+    if (handle == 0) {
+        puts("replica: missing configuration");
+        return -1;
+    }
+    fread(buffer, 1, 24, handle);
+    fclose(handle);
+    return 0;
+}
+
+int rotate_log() {
+    int old_handle;
+    int new_handle;
+    old_handle = fopen("/var/pbft/replica0/replica.log", "r");     //@check:yes
+    if (old_handle == 0) {
+        return -1;
+    }
+    fclose(old_handle);
+    new_handle = fopen("/var/pbft/replica0/replica.log.1", "w");   //@check:yes
+    if (new_handle == 0) {
+        return -1;
+    }
+    fwrite("rotated", 1, 7, new_handle);
+    fclose(new_handle);
+    return 0;
+}
+
+int main(int command) {
+    if (command == 1) {
+        load_config();
+        read_checkpoint();
+        return write_periodic_checkpoint(16);
+    }
+    if (command == 2) {
+        rotate_log();
+        return write_shutdown_checkpoint();
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,100 @@
+"""PBFT client: sends requests and waits for f+1 matching replies."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.oslib.errno_codes import Errno
+from repro.oslib.facade import LibcFacade
+from repro.targets.pbft import messages as proto
+from repro.targets.pbft.messages import Message, request_message
+
+
+class Client:
+    """The simple_client analog driving the cluster with one request at a time."""
+
+    def __init__(
+        self,
+        libc: LibcFacade,
+        addresses: Dict[str, int],
+        total_replicas: int = 4,
+        faults_tolerated: int = 1,
+        name: str = "client0",
+    ) -> None:
+        self.name = name
+        self.libc = libc
+        self.addresses = addresses
+        self.n = total_replicas
+        self.f = faults_tolerated
+        self.socket_fd = libc.socket()
+        libc.bind(self.socket_fd, addresses[name])
+
+        self.next_request_id = 1
+        self.current_request: Optional[Message] = None
+        self.replies: Set[str] = set()
+        self.rounds_waiting = 0
+        self.completed_requests = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    def replica_names(self) -> List[str]:
+        return [f"replica{i}" for i in range(self.n)]
+
+    def primary_name(self, view: int = 0) -> str:
+        return f"replica{view % self.n}"
+
+    # ------------------------------------------------------------------
+    def start_request(self, payload: str) -> Message:
+        request = request_message(self.name, self.next_request_id, payload)
+        self.next_request_id += 1
+        self.current_request = request
+        self.replies = set()
+        self.rounds_waiting = 0
+        self.libc.sendto(self.socket_fd, request.encode(), self.addresses[self.primary_name()])
+        return request
+
+    def retransmit(self) -> None:
+        """Broadcast the outstanding request to every replica (client timeout)."""
+        if self.current_request is None:
+            return
+        self.retransmissions += 1
+        for replica in self.replica_names():
+            self.libc.sendto(
+                self.socket_fd, self.current_request.encode(), self.addresses[replica]
+            )
+
+    # ------------------------------------------------------------------
+    def collect_replies(self) -> bool:
+        """Drain the socket; return True when the request is complete."""
+        if self.current_request is None:
+            return True
+        while True:
+            result = self.libc.recvfrom(self.socket_fd)
+            if result is None:
+                if self.libc.errno not in (Errno.EAGAIN, 0):
+                    # The client tolerates receive errors by retrying later.
+                    break
+                break
+            payload, _source = result
+            if not payload:
+                break
+            message = Message.decode(payload)
+            if (
+                message.type == proto.REPLY
+                and message.request_id == self.current_request.request_id
+            ):
+                self.replies.add(message.sender)
+        if len(self.replies) >= self.f + 1:
+            self.current_request = None
+            self.completed_requests += 1
+            return True
+        return False
+
+    def note_waiting_round(self, retransmit_after: int) -> None:
+        self.rounds_waiting += 1
+        if self.rounds_waiting >= retransmit_after:
+            self.retransmit()
+            self.rounds_waiting = 0
+
+
+__all__ = ["Client"]

@@ -1,0 +1,219 @@
+"""The PBFT cluster: a round-based discrete-event simulation.
+
+Four replicas (f = 1) and one client share a simulated datagram network and
+a simulated clock, matching the paper's PBFT setup (simple_client /
+simple_server).  Execution proceeds in rounds:
+
+1. the client starts (or retransmits) its current request;
+2. every replica drains its socket, runs the protocol state machine, and
+   retransmits its newest unfinished phase message;
+3. the clock advances by a base tick plus a per-message processing cost.
+
+The per-message cost term is what makes throughput sensitive to *how much*
+communication happens, which the DoS study relies on (silencing one replica
+removes its messages and slightly improves throughput; the rotating attack
+forces view changes and collapses it).  A request that makes no progress for
+``sync_patience`` rounds completes through a state-transfer fallback (PBFT's
+state synchronization), which is what bounds the worst-case slowdown under
+extreme packet loss in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.controller.monitor import Outcome, OutcomeKind, classify_exception
+from repro.oslib.clock import SimClock
+from repro.oslib.facade import LibcFacade
+from repro.oslib.net import SimNetwork
+from repro.oslib.os_model import SimOS
+from repro.targets.pbft.client import Client
+from repro.targets.pbft.replica import Replica
+
+
+@dataclass
+class WorkloadResult:
+    """Result of driving the cluster with a closed-loop request workload."""
+
+    requests_completed: int = 0
+    simulated_seconds: float = 0.0
+    rounds: int = 0
+    messages_sent: int = 0
+    view_changes: int = 0
+    state_transfers: int = 0
+    crashed_replicas: List[str] = field(default_factory=list)
+    outcome: Outcome = field(default_factory=lambda: Outcome(kind=OutcomeKind.NORMAL))
+
+    @property
+    def throughput(self) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.requests_completed / self.simulated_seconds
+
+
+class PBFTCluster:
+    """Builds and drives one PBFT deployment."""
+
+    ROUND_TICK = 0.001            # seconds of simulated time per round
+    PER_MESSAGE_COST = 0.00003    # processing cost per handled message
+    CLIENT_RETRANSMIT_AFTER = 4   # rounds before the client rebroadcasts
+    VIEW_CHANGE_PATIENCE = 6      # rounds without progress before a view change
+    SYNC_PATIENCE = 8             # rounds before the state-transfer fallback
+    #: The state-transfer fallback moves bulk data over the same lossy
+    #: network, so its cost grows with the observed drop rate (bounded).
+    SYNC_BASE_COST = 0.08
+    SYNC_MAX_ROUNDS = 8.0
+
+    def __init__(
+        self,
+        replicas: int = 4,
+        faults_tolerated: int = 1,
+        gate=None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.n = replicas
+        self.f = faults_tolerated
+        self.clock = clock if clock is not None else SimClock()
+        self.network = SimNetwork()
+        self.gate = gate
+
+        self.addresses: Dict[str, int] = {}
+        for index in range(replicas):
+            self.addresses[f"replica{index}"] = 100 + index
+        self.addresses["client0"] = 900
+
+        self.replicas: List[Replica] = []
+        self.oses: Dict[str, SimOS] = {}
+        for index in range(replicas):
+            name = f"replica{index}"
+            os = SimOS(name, network=self.network, clock=self.clock)
+            os.fs.make_dirs(f"/var/pbft/{name}")
+            libc = LibcFacade(os, gate=gate, node=name)
+            self.oses[name] = os
+            self.replicas.append(
+                Replica(index, replicas, libc, self.addresses, faults_tolerated)
+            )
+        client_os = SimOS("client0", network=self.network, clock=self.clock)
+        self.oses["client0"] = client_os
+        self.client = Client(
+            LibcFacade(client_os, gate=gate, node="client0"),
+            self.addresses,
+            total_replicas=replicas,
+            faults_tolerated=faults_tolerated,
+        )
+
+        self.view_changes = 0
+        self.state_transfers = 0
+
+    # ------------------------------------------------------------------
+    def alive_replicas(self) -> List[Replica]:
+        return [replica for replica in self.replicas if not replica.crashed]
+
+    def _observed_drop_rate(self) -> float:
+        """Fraction of intercepted communication calls that were injected."""
+        if self.gate is None or self.gate.intercepted_calls == 0:
+            return 0.0
+        return self.gate.injected_calls / self.gate.intercepted_calls
+
+    def _state_transfer(self, payload: str) -> None:
+        """Fallback completion path (PBFT state transfer) for stuck requests."""
+        self.state_transfers += 1
+        for replica in self.alive_replicas():
+            replica.executed_requests.append((replica.last_executed + 1, payload))
+            replica.last_executed += 1
+            replica.rounds_without_progress = 0
+            replica.pending_client_request = None
+        self.client.current_request = None
+        self.client.completed_requests += 1
+        # Bulk state transfer over the same degraded network: its cost grows
+        # with the drop rate but is bounded (the transfer uses its own
+        # acknowledgement/retry machinery).
+        drop_rate = self._observed_drop_rate()
+        transfer_rounds = min(self.SYNC_MAX_ROUNDS, self.SYNC_BASE_COST / max(1.0 - drop_rate, 0.02))
+        self.clock.advance(self.ROUND_TICK * transfer_rounds)
+
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        requests: int = 20,
+        payload: str = "op",
+        max_rounds: int = 20_000,
+        stop_on_crash: bool = True,
+    ) -> WorkloadResult:
+        """Drive the cluster with a closed-loop single-client workload."""
+        result = WorkloadResult()
+        start_time = self.clock.now
+        start_sent = self.network.sent_count
+
+        try:
+            for request_index in range(requests):
+                self.client.start_request(f"{payload}-{request_index}")
+                rounds_for_request = 0
+                while True:
+                    if result.rounds >= max_rounds:
+                        result.outcome = Outcome(
+                            kind=OutcomeKind.HANG,
+                            detail=f"request {request_index} still incomplete after "
+                                   f"{max_rounds} rounds",
+                        )
+                        self._finalize(result, start_time, start_sent)
+                        return result
+                    messages_this_round = self._run_round()
+                    result.rounds += 1
+                    rounds_for_request += 1
+                    if self.client.collect_replies():
+                        break
+                    self.client.note_waiting_round(self.CLIENT_RETRANSMIT_AFTER)
+                    for replica in self.alive_replicas():
+                        replica.note_round_without_progress()
+                        if replica.maybe_start_view_change(self.VIEW_CHANGE_PATIENCE):
+                            self.view_changes += 1
+                    if rounds_for_request >= self.SYNC_PATIENCE:
+                        self._state_transfer(f"{payload}-{request_index}")
+                        break
+                    if stop_on_crash and len(self.alive_replicas()) < 2 * self.f + 1:
+                        result.outcome = Outcome(
+                            kind=OutcomeKind.CRASH,
+                            detail="too few live replicas to make progress",
+                        )
+                        self._finalize(result, start_time, start_sent)
+                        return result
+                result.requests_completed += 1
+        except Exception as error:  # noqa: BLE001 - classified below
+            result.outcome = classify_exception(error)
+        self._finalize(result, start_time, start_sent)
+        return result
+
+    def _run_round(self) -> int:
+        """One simulation round: every live replica processes its inbox."""
+        messages = 0
+        for replica in self.replicas:
+            if replica.crashed:
+                continue
+            try:
+                messages += replica.process_round()
+            except Exception as error:  # noqa: BLE001 - a replica crash
+                replica.crashed = True
+                replica.crash_reason = classify_exception(error)  # type: ignore[attr-defined]
+        self.clock.advance(self.ROUND_TICK + self.PER_MESSAGE_COST * messages)
+        return messages
+
+    def _finalize(self, result: WorkloadResult, start_time: float, start_sent: int) -> None:
+        result.simulated_seconds = self.clock.now - start_time
+        result.messages_sent = self.network.sent_count - start_sent
+        result.view_changes = self.view_changes
+        result.state_transfers = self.state_transfers
+        result.crashed_replicas = [r.name for r in self.replicas if r.crashed]
+        if result.crashed_replicas and result.outcome.kind is OutcomeKind.NORMAL:
+            crashed = result.crashed_replicas[0]
+            reason = getattr(
+                next(r for r in self.replicas if r.name == crashed), "crash_reason", None
+            )
+            result.outcome = Outcome(
+                kind=reason.kind if reason is not None else OutcomeKind.CRASH,
+                detail=f"{crashed}: {reason.detail if reason is not None else 'crashed'}",
+            )
+
+
+__all__ = ["PBFTCluster", "WorkloadResult"]

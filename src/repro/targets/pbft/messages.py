@@ -1,0 +1,104 @@
+"""PBFT protocol messages and their wire encoding.
+
+Messages travel over the simulated datagram network as compact JSON, so the
+network, the loss-injection triggers, and the replicas all deal in plain
+bytes — the same boundary the paper injects faults at (``sendto`` /
+``recvfrom``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+# Message types.
+REQUEST = "request"
+PRE_PREPARE = "pre-prepare"
+PREPARE = "prepare"
+COMMIT = "commit"
+REPLY = "reply"
+CHECKPOINT = "checkpoint"
+VIEW_CHANGE = "view-change"
+NEW_VIEW = "new-view"
+
+ALL_TYPES = (REQUEST, PRE_PREPARE, PREPARE, COMMIT, REPLY, CHECKPOINT, VIEW_CHANGE, NEW_VIEW)
+
+
+@dataclass
+class Message:
+    """One protocol message."""
+
+    type: str
+    sender: str
+    view: int = 0
+    sequence: int = 0
+    request_id: int = 0
+    client: str = ""
+    payload: str = ""
+    result: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        return json.dumps(
+            {
+                "type": self.type,
+                "sender": self.sender,
+                "view": self.view,
+                "sequence": self.sequence,
+                "request_id": self.request_id,
+                "client": self.client,
+                "payload": self.payload,
+                "result": self.result,
+                "extra": self.extra,
+            },
+            separators=(",", ":"),
+        ).encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        if not data:
+            raise ValueError("empty datagram cannot be decoded as a PBFT message")
+        raw = json.loads(data.decode())
+        if raw.get("type") not in ALL_TYPES:
+            raise ValueError(f"unknown message type {raw.get('type')!r}")
+        return cls(
+            type=raw["type"],
+            sender=raw.get("sender", ""),
+            view=int(raw.get("view", 0)),
+            sequence=int(raw.get("sequence", 0)),
+            request_id=int(raw.get("request_id", 0)),
+            client=raw.get("client", ""),
+            payload=raw.get("payload", ""),
+            result=raw.get("result", ""),
+            extra=raw.get("extra", {}),
+        )
+
+    def key(self) -> tuple:
+        return (self.type, self.view, self.sequence, self.sender)
+
+    def describe(self) -> str:
+        return (
+            f"{self.type} v={self.view} n={self.sequence} from {self.sender}"
+            + (f" req={self.request_id}" if self.request_id else "")
+        )
+
+
+def request_message(client: str, request_id: int, payload: str) -> Message:
+    return Message(type=REQUEST, sender=client, client=client, request_id=request_id, payload=payload)
+
+
+__all__ = [
+    "ALL_TYPES",
+    "CHECKPOINT",
+    "COMMIT",
+    "Message",
+    "NEW_VIEW",
+    "PREPARE",
+    "PRE_PREPARE",
+    "REPLY",
+    "REQUEST",
+    "VIEW_CHANGE",
+    "request_message",
+]

@@ -1,0 +1,364 @@
+"""A PBFT replica.
+
+The replica implements the normal-case three-phase protocol (pre-prepare,
+prepare, commit), periodic checkpointing, and the view-change mechanism that
+replaces an unresponsive primary.  All communication and file I/O goes
+through the :class:`~repro.oslib.facade.LibcFacade`, so the distributed
+triggers can fail individual ``sendto``/``recvfrom``/``fopen`` calls.
+
+Planted bugs (Table 1):
+
+* :meth:`Replica.drain_messages` — a failed ``recvfrom`` that is *not*
+  ``EAGAIN`` is treated as if a datagram had been received; the empty buffer
+  is then parsed and the replica crashes ("crash caused by a failed
+  recvfrom call").
+* :meth:`Replica.write_checkpoint` — the ``fopen`` return value is not
+  checked before ``fwrite``, so a failed open crashes the replica while it
+  writes its checkpoint ("fwrite with a NULL pointer returned by a
+  previously failed fopen").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.oslib.errno_codes import Errno
+from repro.oslib.facade import LibcFacade
+from repro.targets.pbft import messages as proto
+from repro.targets.pbft.messages import Message
+
+
+@dataclass
+class RequestState:
+    """Per-(view, sequence) protocol state."""
+
+    request: Optional[Message] = None
+    pre_prepared: bool = False
+    prepares: Set[str] = field(default_factory=set)
+    commits: Set[str] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+    last_prepare: Optional[Message] = None
+    last_commit: Optional[Message] = None
+
+
+class Replica:
+    """One PBFT replica (3f+1 of these form the cluster)."""
+
+    CHECKPOINT_INTERVAL = 16
+
+    def __init__(
+        self,
+        replica_id: int,
+        total_replicas: int,
+        libc: LibcFacade,
+        addresses: Dict[str, int],
+        faults_tolerated: int = 1,
+    ) -> None:
+        self.replica_id = replica_id
+        self.name = f"replica{replica_id}"
+        self.n = total_replicas
+        self.f = faults_tolerated
+        self.libc = libc
+        self.addresses = addresses  # node name -> network address
+
+        self.view = 0
+        self.next_sequence = 1
+        self.last_executed = 0
+        self.socket_fd = libc.socket()
+        libc.bind(self.socket_fd, addresses[self.name])
+
+        self.states: Dict[int, RequestState] = {}
+        self.executed_requests: List[Tuple[int, str]] = []
+        self.view_change_votes: Dict[int, Set[str]] = {}
+        self.rounds_without_progress = 0
+        self.pending_client_request: Optional[Message] = None
+        self.messages_processed = 0
+        self.checkpoints_written = 0
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # role helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_primary(self) -> bool:
+        return self.replica_id == self.view % self.n
+
+    def primary_name(self, view: Optional[int] = None) -> str:
+        view = self.view if view is None else view
+        return f"replica{view % self.n}"
+
+    def peer_names(self) -> List[str]:
+        return [f"replica{i}" for i in range(self.n) if i != self.replica_id]
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, message: Message, destination: str) -> None:
+        self.libc.sendto(self.socket_fd, message.encode(), self.addresses[destination])
+
+    def multicast(self, message: Message) -> None:
+        for peer in self.peer_names():
+            self.send(message, peer)
+
+    def drain_messages(self) -> List[Message]:
+        """Pull every queued datagram off the socket."""
+        received: List[Message] = []
+        while True:
+            result = self.libc.recvfrom(self.socket_fd)
+            if result is None:
+                if self.libc.errno in (Errno.EAGAIN, 0):
+                    break
+                # BUG (Table 1): any other receive error is treated as if a
+                # datagram had arrived; parsing the empty buffer crashes.
+                received.append(Message.decode(b""))
+                continue
+            payload, _source = result
+            if not payload:
+                break
+            received.append(Message.decode(payload))
+        return received
+
+    # ------------------------------------------------------------------
+    # main per-round processing
+    # ------------------------------------------------------------------
+    def process_round(self) -> int:
+        """Handle all pending messages; returns how many were processed."""
+        if self.crashed:
+            return 0
+        handled = 0
+        for message in self.drain_messages():
+            self.handle_message(message)
+            handled += 1
+        self.messages_processed += handled
+        self.retransmit_pending()
+        return handled
+
+    def handle_message(self, message: Message) -> None:
+        handlers = {
+            proto.REQUEST: self.on_request,
+            proto.PRE_PREPARE: self.on_pre_prepare,
+            proto.PREPARE: self.on_prepare,
+            proto.COMMIT: self.on_commit,
+            proto.VIEW_CHANGE: self.on_view_change,
+            proto.NEW_VIEW: self.on_new_view,
+            proto.CHECKPOINT: self.on_checkpoint,
+        }
+        handler = handlers.get(message.type)
+        if handler is not None:
+            handler(message)
+
+    # ------------------------------------------------------------------
+    # protocol phases
+    # ------------------------------------------------------------------
+    def _state(self, sequence: int) -> RequestState:
+        state = self.states.get(sequence)
+        if state is None:
+            state = RequestState()
+            self.states[sequence] = state
+        return state
+
+    def on_request(self, message: Message) -> None:
+        self.pending_client_request = message
+        if not self.is_primary:
+            # Backups forward the request to the primary and start expecting
+            # progress; lack of progress eventually triggers a view change.
+            self.send(message, self.primary_name())
+            return
+        # Avoid re-assigning a sequence number to a retransmitted request.
+        for sequence, state in self.states.items():
+            if state.request is not None and state.request.request_id == message.request_id \
+                    and state.request.client == message.client:
+                if not state.executed:
+                    self._send_pre_prepare(sequence, state)
+                return
+        sequence = self.next_sequence
+        self.next_sequence += 1
+        state = self._state(sequence)
+        state.request = message
+        state.pre_prepared = True
+        self._send_pre_prepare(sequence, state)
+        self._record_prepare(sequence, self.name)
+
+    def _send_pre_prepare(self, sequence: int, state: RequestState) -> None:
+        assert state.request is not None
+        pre_prepare = Message(
+            type=proto.PRE_PREPARE,
+            sender=self.name,
+            view=self.view,
+            sequence=sequence,
+            request_id=state.request.request_id,
+            client=state.request.client,
+            payload=state.request.payload,
+        )
+        state.last_prepare = pre_prepare
+        self.multicast(pre_prepare)
+
+    def on_pre_prepare(self, message: Message) -> None:
+        if message.view != self.view:
+            return
+        state = self._state(message.sequence)
+        state.request = Message(
+            type=proto.REQUEST,
+            sender=message.client,
+            client=message.client,
+            request_id=message.request_id,
+            payload=message.payload,
+        )
+        state.pre_prepared = True
+        prepare = Message(
+            type=proto.PREPARE,
+            sender=self.name,
+            view=self.view,
+            sequence=message.sequence,
+            request_id=message.request_id,
+            client=message.client,
+            payload=message.payload,
+        )
+        state.last_prepare = prepare
+        self.multicast(prepare)
+        self._record_prepare(message.sequence, self.name)
+        self._record_prepare(message.sequence, message.sender)
+
+    def on_prepare(self, message: Message) -> None:
+        if message.view != self.view:
+            return
+        self._record_prepare(message.sequence, message.sender)
+
+    def _record_prepare(self, sequence: int, sender: str) -> None:
+        state = self._state(sequence)
+        state.prepares.add(sender)
+        if not state.prepared and state.pre_prepared and len(state.prepares) >= 2 * self.f:
+            state.prepared = True
+            commit = Message(
+                type=proto.COMMIT,
+                sender=self.name,
+                view=self.view,
+                sequence=sequence,
+                request_id=state.request.request_id if state.request else 0,
+                client=state.request.client if state.request else "",
+            )
+            state.last_commit = commit
+            self.multicast(commit)
+            self._record_commit(sequence, self.name)
+
+    def on_commit(self, message: Message) -> None:
+        if message.view != self.view:
+            return
+        self._record_commit(message.sequence, message.sender)
+
+    def _record_commit(self, sequence: int, sender: str) -> None:
+        state = self._state(sequence)
+        state.commits.add(sender)
+        if (
+            not state.executed
+            and state.prepared
+            and len(state.commits) >= 2 * self.f + 1
+        ):
+            state.committed = True
+            self.execute(sequence, state)
+
+    # ------------------------------------------------------------------
+    # execution, checkpoints
+    # ------------------------------------------------------------------
+    def execute(self, sequence: int, state: RequestState) -> None:
+        assert state.request is not None
+        state.executed = True
+        self.last_executed = max(self.last_executed, sequence)
+        result = f"ok:{state.request.payload}"
+        self.executed_requests.append((sequence, state.request.payload))
+        self.rounds_without_progress = 0
+        self.pending_client_request = None
+        reply = Message(
+            type=proto.REPLY,
+            sender=self.name,
+            view=self.view,
+            sequence=sequence,
+            request_id=state.request.request_id,
+            client=state.request.client,
+            result=result,
+        )
+        self.send(reply, state.request.client)
+        if self.last_executed % self.CHECKPOINT_INTERVAL == 0:
+            self.write_checkpoint()
+
+    def write_checkpoint(self) -> None:
+        """Persist protocol state; reproduces the unchecked-fopen bug."""
+        path = f"/var/pbft/{self.name}/checkpoint_{self.last_executed}.ckp"
+        handle = self.libc.fopen(path, "w")
+        # BUG (Table 1): the fopen result is not checked; a NULL FILE* is
+        # passed straight to fwrite, which crashes the replica.
+        payload = f"view={self.view} executed={self.last_executed}\n".encode()
+        self.libc.fwrite(handle, payload)
+        self.libc.fclose(handle)
+        self.checkpoints_written += 1
+        announcement = Message(
+            type=proto.CHECKPOINT,
+            sender=self.name,
+            view=self.view,
+            sequence=self.last_executed,
+        )
+        self.multicast(announcement)
+
+    def on_checkpoint(self, message: Message) -> None:
+        # Checkpoint certificates are only counted; garbage collection of the
+        # message log is not modelled.
+        return
+
+    # ------------------------------------------------------------------
+    # retransmission and view changes
+    # ------------------------------------------------------------------
+    def retransmit_pending(self) -> None:
+        """Re-multicast the newest unfinished phase message (loss tolerance)."""
+        for sequence, state in sorted(self.states.items()):
+            if state.executed:
+                continue
+            if state.last_commit is not None:
+                self.multicast(state.last_commit)
+            elif state.last_prepare is not None:
+                self.multicast(state.last_prepare)
+            break
+
+    def note_round_without_progress(self) -> None:
+        if self.pending_client_request is None:
+            return
+        self.rounds_without_progress += 1
+
+    def maybe_start_view_change(self, patience: int) -> bool:
+        """Vote for a view change when the primary makes no progress."""
+        if self.rounds_without_progress < patience or self.is_primary:
+            return False
+        new_view = self.view + 1
+        vote = Message(type=proto.VIEW_CHANGE, sender=self.name, view=new_view,
+                       sequence=self.last_executed)
+        self.multicast(vote)
+        self.view_change_votes.setdefault(new_view, set()).add(self.name)
+        self.rounds_without_progress = 0
+        return True
+
+    def on_view_change(self, message: Message) -> None:
+        votes = self.view_change_votes.setdefault(message.view, set())
+        votes.add(message.sender)
+        votes.add(self.name)
+        if message.view <= self.view:
+            return
+        if len(votes) >= 2 * self.f + 1 and self.primary_name(message.view) == self.name:
+            self.view = message.view
+            new_view = Message(type=proto.NEW_VIEW, sender=self.name, view=self.view,
+                               sequence=self.last_executed)
+            self.multicast(new_view)
+            # Re-propose the pending request in the new view.
+            if self.pending_client_request is not None:
+                self.on_request(self.pending_client_request)
+
+    def on_new_view(self, message: Message) -> None:
+        if message.view > self.view:
+            self.view = message.view
+            self.rounds_without_progress = 0
+            if self.pending_client_request is not None:
+                self.send(self.pending_client_request, self.primary_name())
+
+
+__all__ = ["Replica", "RequestState"]

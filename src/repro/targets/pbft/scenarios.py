@@ -1,0 +1,100 @@
+"""Scenario builders for the PBFT experiments (§7.3 and Table 1).
+
+All of them install a ``DistributedTrigger`` on ``sendto``/``recvfrom`` and
+delegate the decision to a shared
+:class:`~repro.distributed.central_controller.CentralController`, exactly as
+§3.2 describes: the node-local trigger only forwards the call, the policy
+with the global view decides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.distributed.central_controller import (
+    CentralController,
+    PacketLossPolicy,
+    RotatingAttackPolicy,
+    SilenceNodePolicy,
+)
+
+
+def _distributed_scenario(name: str, errno: str = "EAGAIN") -> ScenarioBuilder:
+    builder = ScenarioBuilder(name)
+    builder.trigger_with_params("remote", "DistributedTrigger", {"controller": "@controller"})
+    builder.inject("sendto", ["remote"], return_value=-1, errno=errno)
+    builder.inject("recvfrom", ["remote"], return_value=-1, errno=errno)
+    return builder
+
+
+def packet_loss_experiment(
+    probability: float, seed: Optional[int] = 0, nodes: Optional[Sequence[str]] = None
+) -> tuple:
+    """(scenario, controller) pair for the Figure 3 degraded-network study."""
+    controller = CentralController(
+        PacketLossPolicy(probability=probability, seed=seed, nodes=tuple(nodes) if nodes else None)
+    )
+    scenario = (
+        _distributed_scenario(f"pbft-loss-{probability}")
+        .metadata(experiment="figure3", probability=probability)
+        .build()
+    )
+    return scenario, controller
+
+
+def silence_replica_experiment(node: str = "replica3") -> tuple:
+    """(scenario, controller) pair for the single-replica DoS study."""
+    controller = CentralController(SilenceNodePolicy(node=node))
+    scenario = (
+        _distributed_scenario(f"pbft-silence-{node}")
+        .metadata(experiment="dos-silence", node=node)
+        .build()
+    )
+    return scenario, controller
+
+
+def rotating_attack_experiment(
+    nodes: Sequence[str] = ("replica0", "replica1", "replica2"), burst: int = 500
+) -> tuple:
+    """(scenario, controller) pair for the rotating 500-fault DoS attack."""
+    controller = CentralController(RotatingAttackPolicy(nodes=tuple(nodes), burst=burst))
+    scenario = (
+        _distributed_scenario("pbft-rotating-attack")
+        .metadata(experiment="dos-rotating", burst=burst)
+        .build()
+    )
+    return scenario, controller
+
+
+def recvfrom_failure_scenario(node: str = "replica1", nth: int = 5) -> Scenario:
+    """Fail one replica's n-th ``recvfrom`` with a hard error (Table 1 bug)."""
+    return (
+        ScenarioBuilder(f"pbft-recvfrom-failure-{node}")
+        .trigger_with_params("on_node", "CallStackTrigger", {"frame": {"module": "replica"}})
+        .trigger("count", "CallCountTrigger", nth=nth)
+        .inject("recvfrom", ["on_node", "count"], return_value=-1, errno="ENETDOWN")
+        .metadata(bug="pbft-recvfrom-crash", node=node)
+        .build()
+    )
+
+
+def checkpoint_fopen_scenario(nth: int = 1) -> Scenario:
+    """Fail a replica's checkpoint ``fopen`` (Table 1 fwrite-on-NULL bug)."""
+    return (
+        ScenarioBuilder("pbft-checkpoint-fopen")
+        .trigger("count", "CallCountTrigger", nth=nth)
+        .inject("fopen", ["count"], return_value=0, errno="ENOENT")
+        .metadata(bug="pbft-fopen-fwrite-crash")
+        .build()
+    )
+
+
+__all__ = [
+    "checkpoint_fopen_scenario",
+    "packet_loss_experiment",
+    "recvfrom_failure_scenario",
+    "rotating_attack_experiment",
+    "silence_replica_experiment",
+]

@@ -1,0 +1,16 @@
+"""Virtual machine that executes synthetic binaries.
+
+The VM plays the role of the hardware + dynamic loader in the paper's
+setting: it runs target programs compiled to the synthetic ISA, routes every
+``call @libfunc`` through the fault-injection gate (the LD_PRELOAD shim
+analog), keeps the call stack that call-stack triggers inspect, mirrors
+``errno`` into program-visible memory, and turns invalid memory accesses,
+aborts and explicit exits into the process outcomes that the LFI controller
+monitors (normal exit, crash, abort).
+"""
+
+from repro.vm.machine import Machine
+from repro.vm.memory import Memory
+from repro.vm.outcome import ExitKind, ExitStatus
+
+__all__ = ["ExitKind", "ExitStatus", "Machine", "Memory"]

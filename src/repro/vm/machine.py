@@ -1,0 +1,408 @@
+"""The virtual machine executing synthetic binaries.
+
+Calling convention (matching what the mini-C code generator emits):
+
+* arguments are pushed right-to-left, so at the moment of ``call`` the first
+  argument sits at ``[sp]``, the second at ``[sp+1]`` and so on;
+* the caller removes the arguments after the call (``add sp, argc``);
+* the return value is delivered in ``r0``;
+* local calls push a return address; library calls (``call @name``) never
+  enter synthetic code — the VM reads the arguments straight off the stack,
+  routes the call through the fault-injection gate (when installed) and the
+  simulated libc, and writes the result into ``r0``, mirroring how the LFI
+  stub either injects an error or tail-jumps to the original function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.frames import StackFrame
+from repro.isa import layout
+from repro.isa.binary import BinaryImage
+from repro.isa.instructions import (
+    DataRef,
+    Imm,
+    ImportRef,
+    Instruction,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
+from repro.oslib.libc import LIBC_FUNCTIONS, LibcResult, SimLibc
+from repro.oslib.os_model import SimOS
+from repro.vm.memory import Memory
+from repro.vm.outcome import ExitKind, ExitStatus
+
+#: Sentinel return address marking the bottom of the call stack.
+_RETURN_SENTINEL = -1
+
+
+class VMError(Exception):
+    """An execution error that is the VM's fault rather than the program's."""
+
+
+@dataclass
+class Frame:
+    """One activation record, kept for backtraces (call-stack triggers)."""
+
+    function: str
+    call_address: Optional[int]
+    return_address: int
+
+
+class Machine:
+    """Executes one program image against one simulated OS."""
+
+    def __init__(
+        self,
+        binary: BinaryImage,
+        os: Optional[SimOS] = None,
+        libc: Optional[SimLibc] = None,
+        gate: Optional[Any] = None,
+        coverage: Optional[Any] = None,
+        max_steps: int = 5_000_000,
+    ) -> None:
+        self.binary = binary
+        self.os = os if os is not None else SimOS(binary.name)
+        self.libc = libc if libc is not None else SimLibc(self.os)
+        self.gate = gate
+        self.coverage = coverage
+        self.max_steps = max_steps
+
+        self.memory = Memory(binary.data_words)
+        self.registers: Dict[str, int] = {name: 0 for name in
+                                          ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "sp", "bp")}
+        self.zero_flag = False
+        self.sign_flag = False
+        self.pc = 0
+        self.steps = 0
+        self.frames: List[Frame] = []
+        self.library_call_counts: Dict[str, int] = {}
+        self.trace: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def enable_trace(self) -> None:
+        self.trace = []
+
+    def run(self, entry: Optional[str] = None, args: Sequence[int] = ()) -> ExitStatus:
+        """Run the program from *entry* until it exits, crashes, or times out."""
+        entry_name = entry or self.binary.entry
+        try:
+            start = self.binary.entry_address(entry_name)
+        except KeyError as exc:
+            raise VMError(str(exc)) from exc
+
+        self.registers["sp"] = layout.STACK_TOP
+        self.registers["bp"] = layout.STACK_TOP
+        for value in reversed(list(args)):
+            self._push(int(value))
+        self._push(_RETURN_SENTINEL)
+        self.pc = start
+        self.frames = [Frame(function=entry_name, call_address=None, return_address=_RETURN_SENTINEL)]
+
+        try:
+            return self._loop()
+        except SimExit as exit_request:
+            kind = ExitKind.ABORT if exit_request.aborted else (
+                ExitKind.NORMAL if exit_request.code == 0 else ExitKind.ERROR_EXIT
+            )
+            return self._status(kind, code=exit_request.code, reason=exit_request.reason)
+        except MutexAbort as abort:
+            return self._status(ExitKind.ABORT, code=134, reason=str(abort))
+        except MemoryFault as fault:
+            return self._status(ExitKind.SEGFAULT, code=139, reason=str(fault))
+        except ZeroDivisionError:
+            return self._status(ExitKind.SEGFAULT, code=136, reason="division by zero (SIGFPE)")
+        except OSFault as fault:
+            # An OS fault escaping the libc layer is a VM-level problem.
+            return self._status(ExitKind.VM_ERROR, code=70, reason=f"unhandled OS fault: {fault}")
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> ExitStatus:
+        while True:
+            if self.steps >= self.max_steps:
+                return self._status(
+                    ExitKind.MAX_STEPS, code=124, reason=f"exceeded {self.max_steps} steps"
+                )
+            if not self.binary.has_address(self.pc):
+                return self._status(
+                    ExitKind.SEGFAULT, code=139, reason=f"jump outside code segment ({self.pc:#x})"
+                )
+            instruction = self.binary.instructions[self.pc]
+            self.steps += 1
+            if self.coverage is not None:
+                self.coverage.record(self.pc)
+            if self.trace is not None:
+                self.trace.append(self.pc)
+            finished = self._execute(instruction)
+            if finished is not None:
+                return finished
+
+    # ------------------------------------------------------------------
+    # instruction execution
+    # ------------------------------------------------------------------
+    def _execute(self, instruction: Instruction) -> Optional[ExitStatus]:
+        opcode = instruction.opcode
+        operands = instruction.operands
+
+        if opcode is Opcode.NOP:
+            self.pc += 1
+        elif opcode is Opcode.MOV:
+            self._write(operands[0], self._value(operands[1]))
+            self.pc += 1
+        elif opcode is Opcode.LEA:
+            self._write(operands[0], self._address_of(operands[1]))
+            self.pc += 1
+        elif opcode is Opcode.PUSH:
+            self._push(self._value(operands[0]))
+            self.pc += 1
+        elif opcode is Opcode.POP:
+            self._write(operands[0], self._pop())
+            self.pc += 1
+        elif opcode in _ARITHMETIC:
+            self._write(operands[0], _ARITHMETIC[opcode](self._value(operands[0]), self._value(operands[1])))
+            self.pc += 1
+        elif opcode is Opcode.NEG:
+            self._write(operands[0], -self._value(operands[0]))
+            self.pc += 1
+        elif opcode is Opcode.NOT:
+            self._write(operands[0], 0 if self._value(operands[0]) else 1)
+            self.pc += 1
+        elif opcode is Opcode.CMP:
+            difference = self._value(operands[0]) - self._value(operands[1])
+            self.zero_flag = difference == 0
+            self.sign_flag = difference < 0
+            self.pc += 1
+        elif opcode is Opcode.TEST:
+            value = self._value(operands[0]) & self._value(operands[1])
+            self.zero_flag = value == 0
+            self.sign_flag = value < 0
+            self.pc += 1
+        elif opcode is Opcode.JMP:
+            self.pc = self._branch_target(operands[0])
+        elif opcode.is_conditional_jump:
+            if self._condition(opcode):
+                self.pc = self._branch_target(operands[0])
+            else:
+                self.pc += 1
+        elif opcode is Opcode.CALL:
+            self._call(instruction)
+        elif opcode is Opcode.RET:
+            return self._ret()
+        elif opcode is Opcode.HALT:
+            code = self.registers["r0"]
+            kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
+            return self._status(kind, code=code)
+        else:  # pragma: no cover - defensive
+            raise VMError(f"unhandled opcode {opcode}")
+        return None
+
+    def _condition(self, opcode: Opcode) -> bool:
+        if opcode is Opcode.JE:
+            return self.zero_flag
+        if opcode is Opcode.JNE:
+            return not self.zero_flag
+        if opcode is Opcode.JL:
+            return self.sign_flag
+        if opcode is Opcode.JLE:
+            return self.sign_flag or self.zero_flag
+        if opcode is Opcode.JG:
+            return not self.sign_flag and not self.zero_flag
+        if opcode is Opcode.JGE:
+            return not self.sign_flag
+        raise VMError(f"not a conditional jump: {opcode}")
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+    def _value(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return self.registers[operand.name]
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Mem):
+            return self.memory.load(self._address_of(operand))
+        if isinstance(operand, Label):
+            if operand.address is None:
+                raise VMError(f"unresolved label {operand.name!r}")
+            return operand.address
+        if isinstance(operand, DataRef):
+            if operand.address is None:
+                raise VMError(f"unresolved data symbol {operand.name!r}")
+            return operand.address
+        raise VMError(f"cannot read operand {operand!r}")
+
+    def _address_of(self, operand) -> int:
+        if isinstance(operand, Mem):
+            base = self.registers[operand.base] if operand.base is not None else 0
+            return base + operand.offset
+        if isinstance(operand, DataRef):
+            if operand.address is None:
+                raise VMError(f"unresolved data symbol {operand.name!r}")
+            return operand.address
+        raise VMError(f"operand {operand!r} has no address")
+
+    def _write(self, operand, value: int) -> None:
+        if isinstance(operand, Reg):
+            self.registers[operand.name] = int(value)
+            return
+        if isinstance(operand, Mem):
+            self.memory.store(self._address_of(operand), int(value))
+            return
+        raise VMError(f"cannot write to operand {operand!r}")
+
+    def _branch_target(self, operand) -> int:
+        if isinstance(operand, Label) and operand.address is not None:
+            return operand.address
+        return self._value(operand)
+
+    def _push(self, value: int) -> None:
+        self.registers["sp"] -= 1
+        if self.registers["sp"] < layout.STACK_LIMIT:
+            raise MemoryFault(self.registers["sp"], "stack overflow")
+        self.memory.store(self.registers["sp"], int(value))
+
+    def _pop(self) -> int:
+        value = self.memory.load(self.registers["sp"])
+        self.registers["sp"] += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _call(self, instruction: Instruction) -> None:
+        target = instruction.operands[0]
+        if isinstance(target, ImportRef):
+            self._library_call(target.name, instruction)
+            self.pc += 1
+            return
+        if isinstance(target, Label):
+            if target.address is None:
+                raise VMError(f"unresolved call target {target.name!r}")
+            self._push(self.pc + 1)
+            self.frames.append(
+                Frame(function=target.name, call_address=self.pc, return_address=self.pc + 1)
+            )
+            self.pc = target.address
+            return
+        raise VMError(f"unsupported call target {target!r}")
+
+    def _ret(self) -> Optional[ExitStatus]:
+        return_address = self._pop()
+        if return_address == _RETURN_SENTINEL:
+            code = self.registers["r0"]
+            kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
+            return self._status(kind, code=code)
+        if self.frames:
+            self.frames.pop()
+        self.pc = return_address
+        return None
+
+    def _library_call(self, name: str, instruction: Instruction) -> None:
+        spec = LIBC_FUNCTIONS.get(name)
+        if spec is None:
+            raise VMError(f"call to unknown library function {name!r}")
+        argc = spec.argc
+        sp = self.registers["sp"]
+        args: Tuple[int, ...] = tuple(self.memory.load(sp + index) for index in range(argc))
+        self.library_call_counts[name] = self.library_call_counts.get(name, 0) + 1
+
+        call_address = self.pc
+        invoke: Callable[[], LibcResult] = lambda: self.libc.call(name, args, self.memory)
+        apply_fault = lambda return_value, errno: self.libc.apply_injected_fault(
+            name, return_value, errno, self.memory
+        )
+        if self.gate is None:
+            result = invoke()
+        else:
+            context = {
+                "node": self.os.name,
+                "module": self.binary.name,
+                "machine": self,
+                "call_address": call_address,
+                "source": self.binary.source_of(call_address),
+                "stack": lambda: self.backtrace(call_address),
+                "state": self.read_program_state,
+                "os": self.os,
+            }
+            result = self.gate.call(name, args, invoke, apply_fault=apply_fault, context=context)
+        self.registers["r0"] = int(result.value)
+
+    # ------------------------------------------------------------------
+    # introspection used by triggers and reports
+    # ------------------------------------------------------------------
+    def backtrace(self, call_address: Optional[int] = None) -> List[StackFrame]:
+        """Return the current call stack, innermost frame first."""
+        frames: List[StackFrame] = []
+        address = call_address
+        for frame in reversed(self.frames):
+            source = self.binary.source_of(address) if address is not None else None
+            frames.append(
+                StackFrame(
+                    module=self.binary.name,
+                    function=frame.function,
+                    offset=address,
+                    file=source.file if source else "",
+                    line=source.line if source else None,
+                )
+            )
+            address = frame.call_address
+        return frames
+
+    def read_program_state(self, name: str) -> Optional[int]:
+        """Read a global variable by symbol name (program state triggers)."""
+        address = self.binary.data_symbols.get(name)
+        if address is None:
+            return None
+        return self.memory.peek(address)
+
+    # ------------------------------------------------------------------
+    def _status(self, kind: ExitKind, code: int = 0, reason: str = "") -> ExitStatus:
+        source = self.binary.source_of(self.pc)
+        if kind in (ExitKind.NORMAL, ExitKind.ERROR_EXIT) and self.os.exit_code is None:
+            self.os.exit_code = code
+        if kind in (ExitKind.SEGFAULT, ExitKind.ABORT):
+            self.os.aborted = True
+        return ExitStatus(
+            kind=kind,
+            code=code,
+            reason=reason,
+            steps=self.steps,
+            pc=self.pc,
+            source=str(source) if source else "",
+            stdout=self.os.stdout_text(),
+            stderr=self.os.stderr_text(),
+        )
+
+
+def _signed_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    return int(a / b)  # C-style truncation towards zero
+
+
+def _signed_mod(a: int, b: int) -> int:
+    return a - _signed_div(a, b) * b
+
+
+_ARITHMETIC = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _signed_div,
+    Opcode.MOD: _signed_mod,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+}
+
+
+__all__ = ["Frame", "Machine", "VMError"]

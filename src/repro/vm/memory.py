@@ -1,0 +1,67 @@
+"""Word-addressed memory with a guarded NULL page.
+
+Loads and stores in the NULL page raise
+:class:`~repro.oslib.errors.MemoryFault`, which the VM reports as a
+segmentation fault — this is the mechanism behind every "crash due to
+unchecked NULL return" bug in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa import layout
+from repro.oslib.errors import MemoryFault
+
+
+class Memory:
+    """Sparse word-addressed memory."""
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
+        self._words: Dict[int, int] = dict(initial or {})
+        self.load_count = 0
+        self.store_count = 0
+
+    def load(self, address: int) -> int:
+        address = int(address)
+        if layout.is_null_page(address):
+            raise MemoryFault(address, "load from unmapped (NULL page) address")
+        self.load_count += 1
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        address = int(address)
+        if layout.is_null_page(address):
+            raise MemoryFault(address, "store to unmapped (NULL page) address")
+        self.store_count += 1
+        self._words[address] = int(value)
+
+    # Unchecked variants used by debuggers/tests to peek without counting.
+    def peek(self, address: int, default: int = 0) -> int:
+        return self._words.get(int(address), default)
+
+    def poke(self, address: int, value: int) -> None:
+        self._words[int(address)] = int(value)
+
+    def read_string(self, address: int, limit: int = 4096) -> str:
+        chars = []
+        for offset in range(limit):
+            word = self.load(address + offset)
+            if word == 0:
+                break
+            chars.append(chr(word & 0x10FFFF))
+        return "".join(chars)
+
+    def write_string(self, address: int, text: str) -> None:
+        for index, char in enumerate(text):
+            self.store(address + index, ord(char))
+        self.store(address + len(text), 0)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._words)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+__all__ = ["Memory"]

@@ -1,0 +1,61 @@
+"""Process outcome reported by the VM after running a program.
+
+The LFI controller monitors whether the program under test "terminates
+normally or with an error exit code" (§2); crashes and aborts are the
+high-impact outcomes the evaluation counts as bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ExitKind(enum.Enum):
+    NORMAL = "normal"
+    ERROR_EXIT = "error-exit"
+    SEGFAULT = "segfault"
+    ABORT = "abort"
+    MAX_STEPS = "max-steps"
+    VM_ERROR = "vm-error"
+
+    @property
+    def is_failure(self) -> bool:
+        return self not in (ExitKind.NORMAL,)
+
+    @property
+    def is_crash(self) -> bool:
+        return self in (ExitKind.SEGFAULT, ExitKind.ABORT, ExitKind.VM_ERROR)
+
+
+@dataclass
+class ExitStatus:
+    """Final state of one simulated process execution."""
+
+    kind: ExitKind
+    code: int = 0
+    reason: str = ""
+    steps: int = 0
+    pc: Optional[int] = None
+    source: str = ""
+    stdout: str = ""
+    stderr: str = ""
+    details: dict = field(default_factory=dict)
+
+    @property
+    def crashed(self) -> bool:
+        return self.kind.is_crash
+
+    @property
+    def failed(self) -> bool:
+        return self.kind.is_failure
+
+    def describe(self) -> str:
+        location = f" at pc={self.pc:#x}" if self.pc is not None else ""
+        if self.source:
+            location += f" ({self.source})"
+        return f"{self.kind.value} (code={self.code}){location}: {self.reason}".rstrip(": ")
+
+
+__all__ = ["ExitKind", "ExitStatus"]

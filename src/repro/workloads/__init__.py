@@ -1,0 +1,16 @@
+"""Workload generators used by the evaluation.
+
+* :mod:`repro.workloads.ab` — the Apache Benchmark (AB) analog driving the
+  Apache target (Table 5).
+* :mod:`repro.workloads.sysbench` — the SysBench OLTP analog driving the
+  MySQL target (Table 6).
+
+The compiled targets carry their own test-suite workloads (declared through
+``workload_plan``), and the PBFT cluster drives itself with a closed-loop
+client, so those need no separate generator here.
+"""
+
+from repro.workloads.ab import ABResult, run_apache_bench
+from repro.workloads.sysbench import SysbenchResult, run_sysbench
+
+__all__ = ["ABResult", "SysbenchResult", "run_apache_bench", "run_sysbench"]

@@ -1,0 +1,68 @@
+"""Apache Benchmark (AB) analog.
+
+Issues a fixed number of requests against the Apache target and reports the
+wall-clock running time — the measurement of the paper's Table 5 (running
+time of the server while the LFI trigger mechanism evaluates triggers on
+every intercepted ``apr_file_read``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controller.target import WorkloadRequest
+from repro.core.scenario.model import Scenario
+
+
+@dataclass
+class ABResult:
+    """Result of one AB run."""
+
+    workload: str
+    requests: int
+    wall_seconds: float
+    library_calls: int
+    intercepted_calls: int
+    failed: bool
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def triggerings_per_second(self) -> float:
+        return self.intercepted_calls / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def run_apache_bench(
+    target,
+    page: str = "static",
+    requests: int = 1000,
+    scenario: Optional[Scenario] = None,
+    observe_only: bool = True,
+    post_every: int = 10,
+) -> ABResult:
+    """Run the AB workload against *target* (a :class:`MiniApacheTarget`)."""
+    workload = "ab-static" if page == "static" else "ab-php"
+    request = WorkloadRequest(
+        workload=workload,
+        scenario=scenario,
+        observe_only=observe_only,
+        options={"requests": requests, "post_every": post_every},
+    )
+    start = time.perf_counter()
+    result = target.run(request)
+    elapsed = time.perf_counter() - start
+    return ABResult(
+        workload=workload,
+        requests=requests,
+        wall_seconds=elapsed,
+        library_calls=result.stats.get("library_calls", 0),
+        intercepted_calls=result.stats.get("intercepted_calls", 0),
+        failed=result.outcome.is_failure,
+    )
+
+
+__all__ = ["ABResult", "run_apache_bench"]

@@ -1,0 +1,60 @@
+"""SysBench OLTP analog.
+
+Runs a fixed number of OLTP transactions (read-only or read-write) against
+the MySQL target and reports transactions per second of wall-clock time —
+the measurement of the paper's Table 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controller.target import WorkloadRequest
+from repro.core.scenario.model import Scenario
+
+
+@dataclass
+class SysbenchResult:
+    """Result of one SysBench OLTP run."""
+
+    mode: str
+    transactions: int
+    wall_seconds: float
+    library_calls: int
+    failed: bool
+
+    @property
+    def transactions_per_second(self) -> float:
+        return self.transactions / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def run_sysbench(
+    target,
+    read_only: bool = True,
+    transactions: int = 200,
+    scenario: Optional[Scenario] = None,
+    observe_only: bool = True,
+) -> SysbenchResult:
+    """Run the OLTP workload against *target* (a :class:`MiniMySQLTarget`)."""
+    workload = "sysbench-readonly" if read_only else "sysbench-readwrite"
+    request = WorkloadRequest(
+        workload=workload,
+        scenario=scenario,
+        observe_only=observe_only,
+        options={"transactions": transactions},
+    )
+    start = time.perf_counter()
+    result = target.run(request)
+    elapsed = time.perf_counter() - start
+    return SysbenchResult(
+        mode="read-only" if read_only else "read-write",
+        transactions=result.stats.get("transactions", transactions),
+        wall_seconds=elapsed,
+        library_calls=result.stats.get("library_calls", 0),
+        failed=result.outcome.is_failure,
+    )
+
+
+__all__ = ["SysbenchResult", "run_sysbench"]

@@ -1,0 +1,223 @@
+"""Tests for the call-site analyzer: CFG, dataflow, Algorithm 1, errno checks."""
+
+import pytest
+
+from repro.core.analysis.analyzer import CallSiteAnalyzer
+from repro.core.analysis.cfg import build_partial_cfg
+from repro.core.analysis.classifier import classify_call_sites, classify_check_result
+from repro.core.analysis.dataflow import CheckResult, analyze_return_value_checks
+from repro.core.analysis.errno_analysis import analyze_errno_checks, classify_errno_handling
+from repro.core.analysis.scenario_gen import generate_injection_scenarios
+from repro.core.profiler.spec_profiles import combined_reference_profile
+from repro.minicc import compile_source
+
+SOURCE = """
+int do_read_ineq(int fd) {
+    int n;
+    int buffer[8];
+    n = read(fd, buffer, 4);
+    if (n < 0) { return -1; }
+    return n;
+}
+
+int do_open_eq() {
+    int fd;
+    fd = open("/etc/x", 0);
+    if (fd == -1) { return -1; }
+    return fd;
+}
+
+int do_malloc_unchecked() {
+    int p;
+    p = malloc(8);
+    *p = 1;
+    return 0;
+}
+
+int do_malloc_checked_in_loop(int n) {
+    int p;
+    int i;
+    p = malloc(n);
+    i = 0;
+    while (i < 3) {
+        if (p == 0) { return -1; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int checks_wrong_constant(int fd) {
+    int n;
+    n = close(fd);
+    if (n == 7) { return 1; }
+    return 0;
+}
+
+int checks_errno_after_read(int fd) {
+    int n;
+    int buffer[4];
+    n = read(fd, buffer, 2);
+    if (n < 0) {
+        if (errno == 4) { return 1; }
+        return -1;
+    }
+    return n;
+}
+
+int main() {
+    int fd;
+    fd = do_open_eq();
+    do_read_ineq(fd);
+    do_malloc_unchecked();
+    do_malloc_checked_in_loop(4);
+    checks_wrong_constant(fd);
+    checks_errno_after_read(fd);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_source(SOURCE, name="analysis_toy")
+
+
+def site_of(binary, function, caller):
+    return next(s for s in binary.call_sites(function) if s.caller == caller)
+
+
+class TestCFG:
+    def test_partial_cfg_structure(self, binary):
+        site = site_of(binary, "read", "do_read_ineq")
+        cfg = build_partial_cfg(binary, site.address + 1)
+        assert cfg.entry == site.address + 1
+        assert len(cfg.blocks) >= 2
+        assert cfg.instruction_count <= 100
+        entry_block = cfg.block_at(cfg.entry)
+        assert entry_block is not None
+        assert all(
+            successor in cfg.blocks
+            for block in cfg.blocks.values()
+            for successor in block.successors
+        )
+
+    def test_budget_truncation(self, binary):
+        site = binary.call_sites("open")[0]
+        cfg = build_partial_cfg(binary, site.address + 1, max_instructions=5)
+        assert cfg.instruction_count <= 5
+
+    def test_predecessors_consistent(self, binary):
+        site = site_of(binary, "malloc", "do_malloc_checked_in_loop")
+        cfg = build_partial_cfg(binary, site.address + 1)
+        for start, block in cfg.blocks.items():
+            for successor in block.successors:
+                assert any(p.start == start for p in cfg.predecessors(successor))
+
+
+class TestDataflow:
+    def test_inequality_check_detected(self, binary):
+        site = site_of(binary, "read", "do_read_ineq")
+        checks = analyze_return_value_checks(binary, site.address)
+        assert 0 in checks.chk_ineq
+        assert checks.checked
+        assert checks.check_sites  # where the cmp/jump happened
+
+    def test_equality_check_detected(self, binary):
+        site = site_of(binary, "open", "do_open_eq")
+        checks = analyze_return_value_checks(binary, site.address)
+        assert -1 in checks.chk_eq
+
+    def test_unchecked_has_no_checks(self, binary):
+        site = site_of(binary, "malloc", "do_malloc_unchecked")
+        checks = analyze_return_value_checks(binary, site.address)
+        assert not checks.checked
+
+    def test_check_found_through_loop(self, binary):
+        site = site_of(binary, "malloc", "do_malloc_checked_in_loop")
+        checks = analyze_return_value_checks(binary, site.address)
+        assert 0 in checks.chk_eq
+        assert checks.iterations >= 1
+
+
+class TestClassifier:
+    def test_algorithm1_categories(self):
+        assert classify_check_result(CheckResult(chk_eq={-1}), [-1]) == "checked"
+        assert classify_check_result(CheckResult(chk_ineq={0}), [-1]) == "checked"
+        assert classify_check_result(CheckResult(chk_eq={0}), [0, -1]) == "partial"
+        assert classify_check_result(CheckResult(chk_eq={7}), [-1]) == "unchecked"
+        assert classify_check_result(CheckResult(), [-1]) == "unchecked"
+
+    def test_wrong_constant_is_unchecked(self, binary):
+        classification = classify_call_sites(binary, "close", [-1])
+        wrong = [s for s in classification.all_sites()
+                 if s.site.caller == "checks_wrong_constant"]
+        assert wrong[0].category == "unchecked"
+
+    def test_per_function_classification(self, binary):
+        classification = classify_call_sites(binary, "malloc", [0])
+        assert classification.site_count() == 2
+        assert len(classification.unchecked) == 1
+        assert len(classification.fully_checked) == 1
+        assert "malloc" in classification.summary()
+
+
+class TestErrnoAnalysis:
+    def test_errno_check_detected(self, binary):
+        site = site_of(binary, "read", "checks_errno_after_read")
+        result = analyze_errno_checks(binary, site.address)
+        assert result.reads_errno
+        assert 4 in result.checked_values  # EINTR
+
+    def test_errno_not_checked_elsewhere(self, binary):
+        site = site_of(binary, "read", "do_read_ineq")
+        result = analyze_errno_checks(binary, site.address)
+        assert not result.checked_values
+
+    def test_site_reports(self, binary):
+        reports = classify_errno_handling(binary, "read", ["EINTR", "EIO"])
+        by_caller = {report.site.caller: report for report in reports}
+        assert "EINTR" in by_caller["checks_errno_after_read"].checked
+        assert "EIO" in by_caller["checks_errno_after_read"].missing
+        assert not by_caller["do_read_ineq"].complete
+
+
+class TestAnalyzerFacade:
+    def test_report_and_scenarios(self, binary):
+        analyzer = CallSiteAnalyzer()
+        report = analyzer.analyze(binary)
+        assert report.call_sites_analyzed > 0
+        assert report.analysis_seconds >= 0
+        assert report.classification("malloc") is not None
+        unchecked = report.unchecked_sites()
+        assert any(site.site.callee == "malloc" for site in unchecked)
+
+        scenarios = analyzer.generate_scenarios(report)
+        assert scenarios
+        for scenario in scenarios:
+            assert scenario.metadata["category"] in ("unchecked", "partial")
+            plan = scenario.injecting_plans()[0]
+            assert plan.trigger_ids  # pinned by a call-stack trigger
+
+    def test_function_filter(self, binary):
+        analyzer = CallSiteAnalyzer()
+        report = analyzer.analyze(binary, functions=["malloc"])
+        assert list(report.classifications) == ["malloc"]
+        scenarios = analyzer.generate_scenarios(report, functions=["malloc"])
+        assert all(s.metadata["target_function"] == "malloc" for s in scenarios)
+
+    def test_every_errno_expansion(self, binary):
+        analyzer = CallSiteAnalyzer()
+        report = analyzer.analyze(binary, functions=["malloc"])
+        single = analyzer.generate_scenarios(report)
+        expanded = analyzer.generate_scenarios(report, every_errno=True)
+        assert len(expanded) >= len(single)
+
+    def test_scenario_generation_helper(self, binary):
+        profile = combined_reference_profile()
+        classification = classify_call_sites(binary, "malloc", profile.error_values("malloc"))
+        scenarios = generate_injection_scenarios([classification], profile)
+        assert len(scenarios) == 1  # only the unchecked site
+        scenarios = generate_injection_scenarios(
+            [classification], profile, include_checked=True
+        )
+        assert len(scenarios) == 2

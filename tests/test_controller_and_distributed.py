@@ -1,0 +1,200 @@
+"""Tests for the LFI controller, campaigns, bug reports, and distributed policies."""
+
+import pytest
+
+from repro.core.controller.campaign import TestCampaign as InjectionCampaign
+from repro.core.controller.controller import LFIController
+from repro.core.controller.monitor import (
+    Outcome,
+    OutcomeKind,
+    RunResult,
+    classify_exception,
+    classify_exit_status,
+    run_python_workload,
+)
+from repro.core.controller.report import build_bug_report, format_bug_report
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.core.injection.context import CallContext
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.distributed import (
+    CentralController,
+    PacketLossPolicy,
+    RotatingAttackPolicy,
+    SilenceNodePolicy,
+)
+from repro.minicc import compile_source
+from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
+from repro.oslib.os_model import SimOS
+from repro.vm import ExitKind, Machine
+from repro.vm.outcome import ExitStatus
+
+
+class TestMonitor:
+    def test_exit_status_mapping(self):
+        assert classify_exit_status(ExitStatus(kind=ExitKind.NORMAL)).kind is OutcomeKind.NORMAL
+        assert classify_exit_status(ExitStatus(kind=ExitKind.SEGFAULT)).kind is OutcomeKind.CRASH
+        assert classify_exit_status(ExitStatus(kind=ExitKind.ABORT)).kind is OutcomeKind.ABORT
+        assert classify_exit_status(ExitStatus(kind=ExitKind.MAX_STEPS)).kind is OutcomeKind.HANG
+        assert classify_exit_status(
+            ExitStatus(kind=ExitKind.ERROR_EXIT, code=2)
+        ).kind is OutcomeKind.ERROR_EXIT
+
+    def test_exception_mapping(self):
+        assert classify_exception(MemoryFault(0)).kind is OutcomeKind.CRASH
+        assert classify_exception(MutexAbort(1, "double unlock")).kind is OutcomeKind.ABORT
+        assert classify_exception(SimExit(0)).kind is OutcomeKind.NORMAL
+        assert classify_exception(SimExit(3)).kind is OutcomeKind.ERROR_EXIT
+        assert classify_exception(SimExit(134, aborted=True)).kind is OutcomeKind.ABORT
+        assert classify_exception(OSFault(5)).kind is OutcomeKind.ERROR_EXIT
+        assert classify_exception(ValueError("boom")).kind is OutcomeKind.CRASH
+
+    def test_run_python_workload(self):
+        assert run_python_workload(lambda: None).kind is OutcomeKind.NORMAL
+        assert run_python_workload(lambda: 3).kind is OutcomeKind.ERROR_EXIT
+        custom = Outcome(kind=OutcomeKind.DATA_LOSS, detail="oracle")
+        assert run_python_workload(lambda: custom) is custom
+
+        def crash():
+            raise RuntimeError("unexpected")
+
+        assert run_python_workload(crash).kind is OutcomeKind.CRASH
+        assert Outcome(kind=OutcomeKind.DATA_LOSS).is_high_impact
+        assert not Outcome(kind=OutcomeKind.ERROR_EXIT).is_high_impact
+
+
+TOY_SOURCE = """
+int main() {
+    int p;
+    int fd;
+    fd = open("/cfg", 0);
+    if (fd < 0) { return 1; }
+    p = malloc(16);
+    *p = 7;
+    close(fd);
+    return 0;
+}
+"""
+
+
+class ToyTarget:
+    """Small compiled target used to exercise the controller end to end."""
+
+    name = "toy"
+
+    def __init__(self):
+        self._binary = compile_source(TOY_SOURCE, name="toy")
+
+    def binary(self):
+        return self._binary
+
+    def workloads(self):
+        return ["default"]
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        os = SimOS("toy")
+        os.fs.add_file("/cfg", b"x")
+        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        machine = Machine(self._binary, os=os, gate=gate)
+        status = machine.run()
+        return RunResult(outcome=classify_exit_status(status), log=gate.log)
+
+
+class TestCampaignAndController:
+    def test_campaign_runs_each_scenario(self):
+        target = ToyTarget()
+        scenarios = [
+            ScenarioBuilder("fail-malloc").trigger("once", "SingletonTrigger")
+            .inject("malloc", ["once"], return_value=0, errno="ENOMEM").build(),
+            ScenarioBuilder("fail-open").trigger("once", "SingletonTrigger")
+            .inject("open", ["once"], return_value=-1, errno="ENOENT").build(),
+        ]
+        campaign = InjectionCampaign(target, workload="default").run(scenarios)
+        assert campaign.scenarios_run() == 2
+        assert campaign.baseline is not None
+        assert campaign.baseline.outcome.kind is OutcomeKind.NORMAL
+        kinds = {outcome.scenario.name: outcome.outcome.kind for outcome in campaign.outcomes}
+        assert kinds["fail-malloc"] is OutcomeKind.CRASH
+        assert kinds["fail-open"] is OutcomeKind.ERROR_EXIT
+        assert len(campaign.high_impact_failures()) == 1
+        assert "toy" in campaign.summary()
+
+    def test_bug_report_deduplication(self):
+        target = ToyTarget()
+        scenario = (
+            ScenarioBuilder("fail-malloc").trigger("once", "SingletonTrigger")
+            .inject("malloc", ["once"], return_value=0, errno="ENOMEM")
+            .metadata(target_function="malloc", source="toy.c:7").build()
+        )
+        campaign = InjectionCampaign(target, workload="default").run([scenario, scenario])
+        bugs = build_bug_report(campaign)
+        assert len(bugs) == 1
+        assert bugs[0].function == "malloc" and bugs[0].occurrences == 2
+        assert "malloc" in format_bug_report(bugs)
+        assert format_bug_report([]) == "no injection-exposed failures"
+
+    def test_controller_end_to_end(self):
+        controller = LFIController(ToyTarget())
+        profile = controller.profile_libraries()
+        assert "malloc" in profile and "open" in profile
+        analysis = controller.analyze_target()
+        assert analysis.call_sites_analyzed >= 3
+        report = controller.test_automatically(workloads=["default"])
+        assert report.scenarios
+        assert any(bug.function == "malloc" for bug in report.bugs)
+        assert "toy" in report.summary()
+
+    def test_controller_with_python_target_skips_analysis(self):
+        class PythonOnlyTarget:
+            name = "pyonly"
+
+            def binary(self):
+                return None
+
+            def workloads(self):
+                return ["default"]
+
+            def run(self, request):
+                return RunResult(outcome=Outcome(kind=OutcomeKind.NORMAL))
+
+        controller = LFIController(PythonOnlyTarget())
+        assert controller.analyze_target() is None
+        assert controller.generate_scenarios() == []
+
+
+class TestDistributedPolicies:
+    def ctx(self, function="sendto"):
+        return CallContext(function=function)
+
+    def test_packet_loss_policy(self):
+        policy = PacketLossPolicy(probability=1.0, seed=0)
+        assert policy.should_inject("replica0", "sendto", (), self.ctx())
+        assert not policy.should_inject("replica0", "fopen", (), self.ctx("fopen"))
+        restricted = PacketLossPolicy(probability=1.0, nodes=("replica1",))
+        assert not restricted.should_inject("replica0", "sendto", (), self.ctx())
+
+    def test_silence_policy(self):
+        policy = SilenceNodePolicy(node="replica2")
+        assert policy.should_inject("replica2", "recvfrom", (), self.ctx("recvfrom"))
+        assert not policy.should_inject("replica1", "recvfrom", (), self.ctx("recvfrom"))
+
+    def test_rotating_policy_rotates_after_burst(self):
+        policy = RotatingAttackPolicy(nodes=("a", "b"), burst=2)
+        assert policy.current_victim() == "a"
+        assert policy.should_inject("a", "sendto", (), self.ctx())
+        assert policy.should_inject("a", "sendto", (), self.ctx())
+        assert policy.current_victim() == "b"
+        assert not policy.should_inject("a", "sendto", (), self.ctx())
+        assert policy.should_inject("b", "sendto", (), self.ctx())
+        policy.reset()
+        assert policy.current_victim() == "a"
+
+    def test_central_controller_accounting(self):
+        controller = CentralController(SilenceNodePolicy(node="replica0"))
+        context = self.ctx()
+        assert controller.should_inject("replica0", "sendto", (), context)
+        assert not controller.should_inject("replica1", "sendto", (), context)
+        assert controller.consultations == 2
+        assert controller.injections_by_node == {"replica0": 1}
+        assert "replica0" in controller.summary()
+        controller.reset()
+        assert controller.consultations == 0

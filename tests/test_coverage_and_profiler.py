@@ -1,0 +1,176 @@
+"""Tests for the library profiler, coverage tracking, and recovery identification."""
+
+import pytest
+
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.core.profiler.fault_profile import (
+    ErrorSpecification,
+    FaultProfile,
+    FunctionProfile,
+    merge_profiles,
+    parse_profile_xml,
+    profile_to_xml,
+)
+from repro.core.profiler.spec_profiles import (
+    combined_reference_profile,
+    reference_profile,
+    reference_profiles,
+)
+from repro.core.profiler.static_profiler import profile_library
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.coverage.recovery import identify_recovery_regions
+from repro.coverage.report import build_report, compare_coverage
+from repro.coverage.tracker import CoverageTracker
+from repro.minicc import compile_source
+from repro.oslib.libc import LIBC_FUNCTIONS
+from repro.oslib.libc_binary import build_library_binary
+from repro.oslib.os_model import SimOS
+from repro.vm import Machine
+
+
+class TestFaultProfileModel:
+    def test_function_profile_queries(self):
+        profile = FunctionProfile(
+            name="read",
+            error_returns=[ErrorSpecification(-1, ("EINTR", "EIO"))],
+        )
+        assert profile.error_values() == (-1,)
+        assert profile.all_errnos() == ("EINTR", "EIO")
+        assert profile.primary_fault() == (-1, 4)
+
+    def test_library_profile_and_merge(self):
+        a = FaultProfile("libc")
+        a.add(FunctionProfile("read", [ErrorSpecification(-1, ("EIO",))]))
+        b = FaultProfile("libxml2")
+        b.add(FunctionProfile("xmlNewTextWriterDoc", [ErrorSpecification(0, ())]))
+        merged = merge_profiles([a, b])
+        assert "read" in merged and "xmlNewTextWriterDoc" in merged
+        assert merged.error_values("read") == (-1,)
+        assert len(merged) == 2
+
+    def test_xml_roundtrip(self):
+        original = reference_profile("libc")
+        text = profile_to_xml(original)
+        parsed = parse_profile_xml(text)
+        assert set(parsed.functions) == set(original.functions)
+        for name, function in original.functions.items():
+            restored = parsed.function(name)
+            assert restored.error_values() == function.error_values()
+            assert set(restored.all_errnos()) == set(function.all_errnos())
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ValueError):
+            parse_profile_xml("<wrong/>")
+
+
+class TestStaticProfiler:
+    @pytest.mark.parametrize("library", ["libc", "libpthread", "libxml2", "libapr"])
+    def test_inference_matches_reference(self, library):
+        inferred = profile_library(build_library_binary(library))
+        reference = reference_profile(library)
+        for name, expected in reference.functions.items():
+            actual = inferred.function(name)
+            assert actual is not None, name
+            expected_set = {
+                (e.return_value, tuple(sorted(e.errnos))) for e in expected.error_returns
+            }
+            actual_set = {
+                (e.return_value, tuple(sorted(e.errnos))) for e in actual.error_returns
+            }
+            assert actual_set == expected_set, name
+
+    def test_reference_profiles_cover_all_functions(self):
+        combined = combined_reference_profile()
+        assert set(combined.functions) == set(LIBC_FUNCTIONS)
+        per_library = reference_profiles()
+        assert set(per_library) == {"libapr", "libc", "libpthread", "libxml2"}
+
+
+RECOVERY_SOURCE = """
+int main(int fail_mode) {
+    int fd;
+    int n;
+    int buffer[8];
+    fd = open("/etc/app.conf", 0);
+    if (fd < 0) {
+        puts("recovering: using defaults");
+        return 0;
+    }
+    n = read(fd, buffer, 4);
+    if (n < 0) {
+        puts("recovering: retry later");
+        close(fd);
+        return 0;
+    }
+    close(fd);
+    return 0;
+}
+"""
+
+
+class TestCoverage:
+    def build(self):
+        return compile_source(RECOVERY_SOURCE, name="recovery_demo")
+
+    def run_with_coverage(self, binary, os, scenario=None):
+        tracker = CoverageTracker()
+        gate = make_gate(scenario)
+        machine = Machine(binary, os=os, gate=gate, coverage=tracker)
+        machine.run()
+        tracker.finish_run()
+        return tracker
+
+    def test_tracker_basics(self):
+        binary = self.build()
+        os = SimOS("r")
+        os.fs.add_file("/etc/app.conf", b"key=value")
+        tracker = self.run_with_coverage(binary, os)
+        assert 0.0 < tracker.instruction_coverage(binary) <= 1.0
+        assert tracker.runs == 1
+        assert tracker.covered_lines(binary)
+        assert tracker.hit_count(binary.entry_address()) >= 1
+
+    def test_recovery_regions_identified(self):
+        binary = self.build()
+        recovery = identify_recovery_regions(binary, combined_reference_profile())
+        assert recovery.region_count() >= 2  # open and read recovery branches
+        lines = recovery.all_lines()
+        assert any(line for line in lines)
+
+    def test_injection_increases_recovery_coverage(self):
+        binary = self.build()
+        profile = combined_reference_profile()
+        recovery = identify_recovery_regions(binary, profile)
+
+        os = SimOS("r")
+        os.fs.add_file("/etc/app.conf", b"key=value")
+        baseline_tracker = self.run_with_coverage(binary, os)
+        baseline = build_report(binary, baseline_tracker, recovery, "baseline")
+        assert baseline.recovery_coverage == 0.0  # happy path covers no recovery
+
+        scenario = (
+            ScenarioBuilder("fail-read")
+            .trigger("once", "SingletonTrigger")
+            .inject("read", ["once"], return_value=-1, errno="EIO")
+            .build()
+        )
+        os2 = SimOS("r")
+        os2.fs.add_file("/etc/app.conf", b"key=value")
+        merged = CoverageTracker()
+        merged.merge(baseline_tracker)
+        merged.merge(self.run_with_coverage(binary, os2, scenario))
+        with_lfi = build_report(binary, merged, recovery, "with LFI")
+        comparison = compare_coverage(baseline, with_lfi)
+        assert with_lfi.recovery_coverage > baseline.recovery_coverage
+        assert comparison.additional_recovery_fraction > 0
+        assert comparison.additional_lines_covered > 0
+        assert comparison.row()["system"] == "recovery_demo"
+
+    def test_merge_and_clear(self):
+        tracker_a, tracker_b = CoverageTracker(), CoverageTracker()
+        tracker_a.record(1)
+        tracker_b.record(2)
+        tracker_a.merge(tracker_b)
+        assert tracker_a.covered_addresses == {1, 2}
+        tracker_a.clear()
+        assert not tracker_a.covered_addresses

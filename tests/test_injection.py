@@ -1,0 +1,248 @@
+"""Tests for the injection runtime, the library-call gate, logs, and replay."""
+
+import pytest
+
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.injection.gate import LibraryCallGate
+from repro.core.injection.log import InjectionLog
+from repro.core.injection.replay import build_replay_scenario, build_replay_scenarios, replay_script
+from repro.core.injection.runtime import InjectionRuntime
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.triggers.base import Trigger
+from repro.oslib.errno_codes import Errno
+from repro.oslib.libc import LibcResult
+
+
+def simple_scenario(nth=1):
+    return (
+        ScenarioBuilder("simple")
+        .trigger("count", "CallCountTrigger", nth=nth)
+        .inject("read", ["count"], return_value=-1, errno="EINTR")
+        .build()
+    )
+
+
+class TestRuntime:
+    def test_o1_lookup_and_decision(self):
+        runtime = InjectionRuntime(simple_scenario(nth=2))
+        assert runtime.handles("read") and not runtime.handles("write")
+        assert runtime.intercepted_functions() == ["read"]
+        first = runtime.decide(CallContext(function="read"))
+        second = runtime.decide(CallContext(function="read"))
+        assert not first.inject and second.inject
+        assert second.fault == FaultSpec(-1, int(Errno.EINTR))
+        assert second.fired_triggers == ["count"]
+        assert runtime.injections == 1
+
+    def test_lazy_instantiation(self):
+        runtime = InjectionRuntime(simple_scenario())
+        assert runtime.instantiated_triggers() == {}
+        runtime.decide(CallContext(function="read"))
+        assert set(runtime.instantiated_triggers()) == {"count"}
+
+    def test_conjunction_short_circuit(self):
+        scenario = (
+            ScenarioBuilder("conj")
+            .trigger("never", "RandomTrigger", probability=0.0)
+            .trigger("once", "SingletonTrigger")
+            .inject("read", ["never", "once"], return_value=-1, errno="EIO")
+            .build()
+        )
+        runtime = InjectionRuntime(scenario)
+        for _ in range(5):
+            assert not runtime.decide(CallContext(function="read")).inject
+        singleton = runtime.trigger_instance("once")
+        assert singleton.injections_granted == 0  # never evaluated
+
+    def test_disjunction_across_plans(self):
+        scenario = (
+            ScenarioBuilder("disj")
+            .trigger("third", "CallCountTrigger", nth=3)
+            .trigger("first", "CallCountTrigger", nth=1)
+            .inject("close", ["third"], return_value=-1, errno="EIO")
+            .inject("close", ["first"], return_value=-1, errno="EBADF")
+            .build()
+        )
+        runtime = InjectionRuntime(scenario)
+        first = runtime.decide(CallContext(function="close"))
+        assert first.inject and first.fault.errno == int(Errno.EBADF)
+
+    def test_observe_only_association_updates_state(self):
+        scenario = (
+            ScenarioBuilder("mutex")
+            .trigger("withmutex", "WithMutex")
+            .inject("read", ["withmutex"], return_value=-1, errno="EIO")
+            .observe("pthread_mutex_lock", ["withmutex"])
+            .observe("pthread_mutex_unlock", ["withmutex"])
+            .build()
+        )
+        runtime = InjectionRuntime(scenario)
+        assert not runtime.decide(CallContext(function="read")).inject
+        assert not runtime.decide(CallContext(function="pthread_mutex_lock")).inject
+        assert runtime.decide(CallContext(function="read")).inject
+
+    def test_shared_objects_resolution(self):
+        class StubController:
+            def should_inject(self, node, function, args, ctx):
+                return True
+
+        scenario = (
+            ScenarioBuilder("dist")
+            .trigger_with_params("remote", "DistributedTrigger", {"controller": "@controller"})
+            .inject("sendto", ["remote"], return_value=-1, errno="EAGAIN")
+            .build()
+        )
+        runtime = InjectionRuntime(scenario, shared_objects={"controller": StubController()})
+        assert runtime.decide(CallContext(function="sendto", node="replica0")).inject
+
+    def test_reset(self):
+        runtime = InjectionRuntime(simple_scenario(nth=1))
+        assert runtime.decide(CallContext(function="read")).inject
+        runtime.reset()
+        assert runtime.trigger_evaluations == 0
+        assert runtime.decide(CallContext(function="read")).inject
+
+    def test_unknown_trigger_reference(self):
+        runtime = InjectionRuntime(simple_scenario())
+        with pytest.raises(KeyError):
+            runtime.trigger_instance("ghost")
+
+
+class TestGate:
+    def invoke_ok(self):
+        return LibcResult(value=100, errno=None)
+
+    def test_no_runtime_passthrough(self):
+        gate = LibraryCallGate()
+        result = gate.call("read", (1, 2, 3), self.invoke_ok)
+        assert result.value == 100 and not result.injected
+        assert gate.total_calls == 1 and gate.intercepted_calls == 0
+
+    def test_injection_path_with_apply_fault(self):
+        gate = LibraryCallGate(runtime=InjectionRuntime(simple_scenario(nth=1)))
+        applied = {}
+
+        def apply_fault(value, errno):
+            applied["fault"] = (value, errno)
+            return LibcResult(value=value, errno=errno, injected=True)
+
+        result = gate.call("read", (3, 0, 64), self.invoke_ok, apply_fault=apply_fault)
+        assert result.injected and result.value == -1
+        assert applied["fault"] == (-1, int(Errno.EINTR))
+        assert gate.injected_calls == 1
+        assert gate.log.injection_count == 1
+        record = gate.log.injections()[0]
+        assert record.function == "read" and record.call_count == 1
+
+    def test_injection_without_apply_fault(self):
+        gate = LibraryCallGate(runtime=InjectionRuntime(simple_scenario(nth=1)))
+        result = gate.call("read", (), self.invoke_ok)
+        assert result.injected and result.errno == int(Errno.EINTR)
+
+    def test_observe_only_never_injects(self):
+        gate = LibraryCallGate(runtime=InjectionRuntime(simple_scenario(nth=1)), observe_only=True)
+        result = gate.call("read", (), self.invoke_ok)
+        assert not result.injected and result.value == 100
+        assert gate.injected_calls == 0 and gate.intercepted_calls == 1
+
+    def test_unhandled_function_skips_context_building(self):
+        gate = LibraryCallGate(runtime=InjectionRuntime(simple_scenario()))
+        result = gate.call("write", (), self.invoke_ok)
+        assert result.value == 100
+        assert gate.intercepted_calls == 0
+
+    def test_per_function_call_counts(self):
+        gate = LibraryCallGate()
+        for _ in range(3):
+            gate.call("read", (), self.invoke_ok)
+        gate.call("close", (), self.invoke_ok)
+        assert gate.call_counts == {"read": 3, "close": 1}
+        gate.reset_counters()
+        assert gate.total_calls == 0
+
+    def test_python_stack_capture(self):
+        scenario = (
+            ScenarioBuilder("stack")
+            .trigger_with_params("cs", "CallStackTrigger",
+                                 {"frame": {"function": "application_level_helper"}})
+            .inject("read", ["cs"], return_value=-1, errno="EIO")
+            .build()
+        )
+        gate = LibraryCallGate(runtime=InjectionRuntime(scenario))
+
+        def application_level_helper():
+            return gate.call("read", (), self.invoke_ok)
+
+        assert application_level_helper().injected
+        assert not gate.call("read", (), self.invoke_ok).injected
+
+    def test_state_provider_wiring(self):
+        scenario = (
+            ScenarioBuilder("state")
+            .trigger("s", "ProgramStateTrigger", variable="shutting_down", op="==", value=1)
+            .inject("fcntl", ["s"], return_value=-1, errno="EDEADLK")
+            .build()
+        )
+        gate = LibraryCallGate(runtime=InjectionRuntime(scenario))
+        state = {"shutting_down": 0}
+        gate.add_state_provider(lambda name: state.get(name))
+        assert not gate.call("fcntl", (1, 5), self.invoke_ok).injected
+        state["shutting_down"] = 1
+        assert gate.call("fcntl", (1, 5), self.invoke_ok).injected
+
+
+class TestLogAndReplay:
+    def make_log(self):
+        log = InjectionLog()
+        log.record("read", (3, 0, 8), injected=False, call_count=1)
+        log.record(
+            "read", (3, 0, 8), injected=True, call_count=2,
+            fault=FaultSpec(-1, int(Errno.EINTR)), trigger_ids=["t"], node="mysqld",
+            source="server.c:10",
+        )
+        return log
+
+    def test_log_counts_and_queries(self):
+        log = self.make_log()
+        assert log.injection_count == 1 and log.passthrough_count == 1
+        assert len(log.records) == 1  # passthrough not recorded by default
+        assert log.last_injection().call_count == 2
+        assert "EINTR" in log.summary()
+        assert log.to_dicts()[0]["function"] == "read"
+        log.clear()
+        assert log.injection_count == 0
+
+    def test_record_passthrough_mode(self):
+        log = InjectionLog(record_passthrough=True)
+        log.record("read", (), injected=False, call_count=1)
+        assert len(log.records) == 1
+
+    def test_replay_scenario(self):
+        log = self.make_log()
+        record = log.last_injection()
+        replay = build_replay_scenario(record)
+        assert replay.plans[0].function == "read"
+        assert replay.plans[0].fault.errno == int(Errno.EINTR)
+        declaration = list(replay.triggers.values())[0]
+        assert declaration.class_name == "CallCountTrigger"
+        assert declaration.params["nth"] == 2
+        assert len(build_replay_scenarios(log)) == 1
+        script = replay_script(log.records)
+        assert "--call 2" in script
+
+    def test_replay_requires_injection(self):
+        log = InjectionLog(record_passthrough=True)
+        record = log.record("read", (), injected=False, call_count=1)
+        with pytest.raises(ValueError):
+            build_replay_scenario(record)
+
+    def test_replayed_injection_reproduces_decision(self):
+        runtime = InjectionRuntime(simple_scenario(nth=3))
+        gate = LibraryCallGate(runtime=runtime)
+        for _ in range(4):
+            gate.call("read", (), lambda: LibcResult(value=1))
+        replay = build_replay_scenario(gate.log.last_injection())
+        replay_runtime = InjectionRuntime(replay)
+        decisions = [replay_runtime.decide(CallContext(function="read")).inject for _ in range(4)]
+        assert decisions == [False, False, True, False]

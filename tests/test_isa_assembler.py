@@ -1,0 +1,251 @@
+"""Unit tests for the assembler, operand model, disassembler, and linker."""
+
+import pytest
+
+from repro.isa import layout
+from repro.isa.assembler import Assembler, AssemblyError, assemble_text
+from repro.isa.disassembler import Disassembler, format_instruction
+from repro.isa.instructions import (
+    DataRef,
+    Imm,
+    ImportRef,
+    Instruction,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.isa.linker import DynamicLinker, SimpleLibrary, UnresolvedSymbolError
+
+
+SAMPLE = """
+.func main
+    push 64
+    call @malloc
+    add sp, 1
+    cmp r0, 0
+    je fail
+    mov r1, r0
+    push $greeting
+    call @puts
+    add sp, 1
+    mov r0, 0
+    halt
+fail:
+    mov r0, 1
+    halt
+.endfunc
+.func helper
+    mov r0, [bp+2]
+    ret
+.endfunc
+.string greeting "hello"
+.global counter 2 = 7
+"""
+
+
+class TestOperands:
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            Reg("r9")
+
+    def test_mem_validation(self):
+        with pytest.raises(ValueError):
+            Mem(base="zz", offset=0)
+
+    def test_mem_str_forms(self):
+        assert str(Mem(None, 16)) == "[16]"
+        assert str(Mem("bp", -3)) == "[bp-3]"
+        assert str(Mem("sp", 2)) == "[sp+2]"
+        assert str(Mem(None, 0, symbol="counter")) == "[$counter]"
+        assert str(Mem(None, 1, symbol="counter")) == "[$counter+1]"
+
+    def test_label_resolution(self):
+        label = Label("target")
+        assert label.address is None
+        resolved = label.resolved(12)
+        assert resolved.address == 12 and resolved.name == "target"
+
+    def test_instruction_predicates(self):
+        call = Instruction(Opcode.CALL, (ImportRef("read"),))
+        assert call.is_library_call and not call.is_local_call
+        assert call.called_name == "read"
+        local = Instruction(Opcode.CALL, (Label("helper", 4),))
+        assert local.is_local_call and local.called_name == "helper"
+        jump = Instruction(Opcode.JE, (Label("x", 9),))
+        assert jump.jump_target().address == 9
+
+    def test_opcode_classification(self):
+        assert Opcode.JE.is_equality_jump and not Opcode.JE.is_inequality_jump
+        assert Opcode.JL.is_inequality_jump
+        assert Opcode.JMP.is_jump and not Opcode.JMP.is_conditional_jump
+        assert Opcode.RET.terminates_block
+
+
+class TestTextAssembler:
+    def test_assembles_sample(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        assert binary.name == "sample"
+        assert set(binary.symbols) == {"main", "helper"}
+        assert "malloc" in binary.imports and "puts" in binary.imports
+        assert binary.entry_address("main") == 0
+
+    def test_labels_resolved(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        je = next(i for i in binary.instructions if i.opcode is Opcode.JE)
+        target = je.operands[0]
+        assert isinstance(target, Label) and target.address is not None
+        # The label "fail" points at "mov r0, 1".
+        fail_instruction = binary.instructions[target.address]
+        assert fail_instruction.opcode is Opcode.MOV
+        assert fail_instruction.operands[1] == Imm(1)
+
+    def test_string_and_global_layout(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        greeting = binary.data_symbols["greeting"]
+        assert binary.data_words[greeting] == ord("h")
+        assert binary.data_words[greeting + 5] == 0  # NUL terminator
+        counter = binary.data_symbols["counter"]
+        assert binary.data_words[counter] == 7
+        assert binary.data_words[counter + 1] == 7
+        assert greeting >= layout.DATA_BASE
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_text(".func main\n    frobnicate r0\n.endfunc")
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_text(".func main\n    jmp nowhere\n.endfunc")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_text(".func main\n    ret\n.endfunc\n.func main\n    ret\n.endfunc")
+
+    def test_comments_and_inline_labels(self):
+        binary = assemble_text(
+            ".func main\nstart: mov r0, 5 ; set result\n    jmp start # loop\n.endfunc"
+        )
+        assert len(binary.instructions) == 2
+
+    def test_function_scoped_labels(self):
+        text = """
+.func one
+loop:
+    jmp loop
+.endfunc
+.func two
+loop:
+    jmp loop
+.endfunc
+"""
+        binary = assemble_text(text)
+        first, second = binary.instructions[0], binary.instructions[1]
+        assert first.operands[0].address == 0
+        assert second.operands[0].address == 1
+
+
+class TestProgrammaticAssembler:
+    def test_emit_outside_function_rejected(self):
+        assembler = Assembler("x")
+        with pytest.raises(AssemblyError):
+            assembler.emit(Opcode.NOP)
+
+    def test_duplicate_label_rejected(self):
+        assembler = Assembler("x")
+        assembler.begin_function("main")
+        assembler.mark_label("here")
+        with pytest.raises(AssemblyError):
+            assembler.mark_label("here")
+
+    def test_unclosed_function_rejected(self):
+        assembler = Assembler("x")
+        assembler.begin_function("main")
+        assembler.emit(Opcode.RET)
+        with pytest.raises(AssemblyError):
+            assembler.finish()
+
+    def test_mem_symbol_resolution(self):
+        assembler = Assembler("x")
+        assembler.add_global("state", initial=3)
+        assembler.begin_function("main")
+        assembler.emit(Opcode.MOV, Reg("r0"), Mem(None, 0, symbol="state"))
+        assembler.emit(Opcode.HALT)
+        assembler.end_function()
+        binary = assembler.finish()
+        operand = binary.instructions[0].operands[1]
+        assert operand.symbol is None
+        assert operand.offset == binary.data_symbols["state"]
+
+    def test_unknown_mem_symbol_rejected(self):
+        assembler = Assembler("x")
+        assembler.begin_function("main")
+        assembler.emit(Opcode.MOV, Reg("r0"), Mem(None, 0, symbol="ghost"))
+        assembler.emit(Opcode.HALT)
+        assembler.end_function()
+        with pytest.raises(AssemblyError):
+            assembler.finish()
+
+    def test_dataref_resolution(self):
+        assembler = Assembler("x")
+        assembler.add_string("msg", "ab")
+        assembler.begin_function("main")
+        assembler.emit(Opcode.MOV, Reg("r0"), DataRef("msg"))
+        assembler.emit(Opcode.HALT)
+        assembler.end_function()
+        binary = assembler.finish()
+        assert binary.instructions[0].operands[1].address == binary.data_symbols["msg"]
+
+
+class TestDisassembler:
+    def test_format_instruction_resolves_targets(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        listing = Disassembler(binary).disassemble()
+        assert "<fail>" in listing
+        assert "call @malloc" in listing or "@malloc" in listing
+
+    def test_function_listing(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        text = Disassembler(binary).disassemble_function("helper")
+        assert text.startswith("<helper>:")
+        assert "[bp+2]" in text
+
+    def test_call_summary(self):
+        binary = assemble_text(SAMPLE, name="sample")
+        summary = Disassembler(binary).call_summary()
+        assert "malloc" in summary and "puts" in summary
+
+    def test_format_single(self):
+        instruction = Instruction(Opcode.MOV, (Reg("r0"), Imm(3)), address=7)
+        assert "mov r0, 3" in format_instruction(instruction)
+
+
+class TestLinker:
+    def test_preload_takes_precedence(self):
+        real = SimpleLibrary("libc", {"read": "real-read", "write": "real-write"})
+        shim = SimpleLibrary("lfi-shim", {"read": "shim-read"})
+        linker = DynamicLinker(libraries=[real], preload=[shim])
+        resolved = linker.resolve("read")
+        assert resolved.provider == "lfi-shim" and resolved.preloaded
+        assert linker.resolve("write").provider == "libc"
+
+    def test_unresolved_symbol(self):
+        linker = DynamicLinker(libraries=[SimpleLibrary("libc", {})])
+        with pytest.raises(UnresolvedSymbolError):
+            linker.resolve("nonexistent")
+        assert linker.try_resolve("nonexistent") is None
+
+    def test_search_order_and_cache_invalidation(self):
+        linker = DynamicLinker()
+        linker.add_library(SimpleLibrary("libc", {"read": 1}))
+        assert linker.resolve("read").provider == "libc"
+        linker.preload_library(SimpleLibrary("shim", {"read": 2}))
+        assert linker.search_order[0] == "shim"
+        assert linker.resolve("read").provider == "shim"
+        linker.remove_preloaded("shim")
+        assert linker.resolve("read").provider == "libc"
+
+    def test_resolve_all(self):
+        linker = DynamicLinker(libraries=[SimpleLibrary("libc", {"a": 1, "b": 2})])
+        resolved = linker.resolve_all(["a", "b"])
+        assert set(resolved) == {"a", "b"}

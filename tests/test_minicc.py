@@ -1,0 +1,261 @@
+"""Tests for the mini-C lexer, parser, semantic checker, and code generator."""
+
+import pytest
+
+from repro.minicc import CompilationError, compile_source, parse, tokenize
+from repro.minicc import ast_nodes as ast
+from repro.minicc.lexer import LexerError
+from repro.minicc.parser import ParseError
+from repro.minicc.semantic import SemanticChecker, SemanticError
+from repro.oslib.os_model import SimOS
+from repro.vm import ExitKind, Machine
+
+
+def run_program(source, entry="main", args=(), os=None):
+    binary = compile_source(source, name="t")
+    machine = Machine(binary, os=os or SimOS("t"))
+    return machine.run(entry=entry, args=args), machine
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize('int x = 42; // comment\nif (x >= 10) { puts("hi\\n"); }')
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "eof"
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert ">=" in texts and "{" in texts
+        strings = [t.text for t in tokens if t.kind == "string"]
+        assert strings == ["hi\n"]
+
+    def test_hex_and_char_literals(self):
+        tokens = tokenize("x = 0x10 + 'A';")
+        values = [t.text for t in tokens if t.kind == "int"]
+        assert values == ["0x10", str(ord("A"))]
+
+    def test_block_comment_line_tracking(self):
+        tokens = tokenize("/* one\ntwo */ int x;")
+        assert tokens[0].line == 2
+
+    def test_errors(self):
+        with pytest.raises(LexerError):
+            tokenize('"unterminated')
+        with pytest.raises(LexerError):
+            tokenize("`")
+        with pytest.raises(LexerError):
+            tokenize("/* unterminated")
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse("int g = 3;\nint main() { int x; x = g + 1; return x; }")
+        assert [g.name for g in program.globals] == ["g"]
+        assert program.function_names() == ["main"]
+        body = program.function("main").body
+        assert isinstance(body.statements[0], ast.VarDecl)
+
+    def test_expression_precedence(self):
+        program = parse("int main() { return 1 + 2 * 3; }")
+        expression = program.function("main").body.statements[0].value
+        assert isinstance(expression, ast.BinaryOp) and expression.op == "+"
+        assert isinstance(expression.right, ast.BinaryOp) and expression.right.op == "*"
+
+    def test_control_flow_forms(self):
+        program = parse(
+            "int main() { int i; for (i = 0; i < 3; i = i + 1) { if (i == 1) { continue; } } "
+            "while (i > 0) { i = i - 1; break; } return 0; }"
+        )
+        statements = program.function("main").body.statements
+        assert any(isinstance(s, ast.For) for s in statements)
+        assert any(isinstance(s, ast.While) for s in statements)
+
+    def test_pointer_and_index_forms(self):
+        program = parse("int main() { int a[4]; int p; p = &a; *p = 1; a[2] = 3; return a[2]; }")
+        assert program.function("main") is not None
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")  # missing semicolon
+        with pytest.raises(ParseError):
+            parse("int main() { 3 = x; }")  # bad assignment target
+        with pytest.raises(ParseError):
+            parse("int main() { &5; }")
+
+
+class TestSemantic:
+    def check(self, source):
+        return SemanticChecker(parse(source)).check()
+
+    def test_collects_imports(self):
+        symbols = self.check("int main() { int fd; fd = open(\"/x\", 0); close(fd); return 0; }")
+        assert symbols.imports == {"open", "close"}
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            self.check("int a; int a; int main() { return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return ghost; }")
+
+    def test_errno_is_builtin(self):
+        symbols = self.check("int main() { if (errno == 4) { return 1; } return 0; }")
+        assert "main" in symbols.functions
+
+    def test_local_function_arity_checked(self):
+        with pytest.raises(SemanticError):
+            self.check("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { break; return 0; }")
+
+    def test_duplicate_local_and_parameter(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x; int x; return 0; }")
+        with pytest.raises(SemanticError):
+            self.check("int f(int a, int a) { return 0; } int main() { return f(1,1); }")
+
+    def test_function_used_as_variable(self):
+        with pytest.raises(SemanticError):
+            self.check("int f() { return 1; } int main() { return f + 1; }")
+
+
+class TestCodegenExecution:
+    def test_arithmetic_and_comparisons(self):
+        status, _ = run_program(
+            "int main() { int a; a = 7 * 3 - 4 / 2; if (a == 19) { return 0; } return 1; }"
+        )
+        assert status.kind is ExitKind.NORMAL
+
+    def test_loops_and_break_continue(self):
+        source = """
+        int main() {
+            int i;
+            int total;
+            total = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 8) { break; }
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        status, _ = run_program(source)
+        assert status.code == 0 + 1 + 2 + 4 + 5 + 6 + 7
+
+    def test_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """
+        status, _ = run_program(source)
+        assert status.code == 55
+
+    def test_arrays_pointers_and_address_of(self):
+        source = """
+        int main() {
+            int values[5];
+            int i;
+            int p;
+            for (i = 0; i < 5; i = i + 1) { values[i] = i * i; }
+            p = &values;
+            if (*p != 0) { return 1; }
+            if (values[4] != 16) { return 2; }
+            return 0;
+        }
+        """
+        status, _ = run_program(source)
+        assert status.kind is ExitKind.NORMAL
+
+    def test_globals_and_logical_operators(self):
+        source = """
+        int flag = 0;
+        int limit = 10;
+        int main() {
+            int x;
+            x = 5;
+            if (x > 0 && x < limit) { flag = 1; }
+            if (x == 3 || flag == 1) { return 0; }
+            return 1;
+        }
+        """
+        status, _ = run_program(source)
+        assert status.kind is ExitKind.NORMAL
+
+    def test_unary_not_and_negation(self):
+        status, _ = run_program(
+            "int main() { int x; x = -5; if (!0 && x == -5 && !(x == 4)) { return 0; } return 1; }"
+        )
+        assert status.kind is ExitKind.NORMAL
+
+    def test_string_literals_and_library_calls(self):
+        os = SimOS("t")
+        status, machine = run_program(
+            'int main() { puts("first"); puts("second"); return 0; }', os=os
+        )
+        assert status.kind is ExitKind.NORMAL
+        assert os.stdout_text() == "first\nsecond\n"
+
+    def test_errno_variable_reads_libc_errno(self):
+        source = """
+        int main() {
+            int fd;
+            fd = open("/does/not/exist", 0);
+            if (fd < 0) {
+                if (errno == 2) { return 0; }
+                return 2;
+            }
+            return 1;
+        }
+        """
+        status, _ = run_program(source)
+        assert status.kind is ExitKind.NORMAL
+
+    def test_while_with_assignment_condition(self):
+        os = SimOS("t")
+        os.fs.make_dirs("/data")
+        os.fs.add_file("/data/a.txt", b"")
+        os.fs.add_file("/data/b.txt", b"")
+        source = """
+        int main() {
+            int dir;
+            int entry;
+            int count;
+            count = 0;
+            dir = opendir("/data");
+            if (dir == 0) { return 9; }
+            while (entry = readdir(dir)) { count = count + 1; }
+            closedir(dir);
+            return count;
+        }
+        """
+        status, _ = run_program(source, os=os)
+        assert status.code == 2
+
+    def test_argument_passing_order(self):
+        source = """
+        int weighted(int a, int b, int c) { return a * 100 + b * 10 + c; }
+        int main() { return weighted(1, 2, 3); }
+        """
+        status, _ = run_program(source)
+        assert status.code == 123
+
+    def test_main_receives_argument(self):
+        status, _ = run_program("int main(int command) { return command * 2; }", args=(21,))
+        assert status.code == 42
+
+    def test_compilation_error_wrapping(self):
+        with pytest.raises(CompilationError):
+            compile_source("int main() { return ghost; }")
+        with pytest.raises(CompilationError):
+            compile_source("int main() { @ }")
+
+    def test_division_semantics_and_modulo(self):
+        status, _ = run_program(
+            "int main() { if (7 / 2 == 3 && 7 % 3 == 1 && -6 / 4 == -1) { return 0; } return 1; }"
+        )
+        assert status.kind is ExitKind.NORMAL

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.injection.context import CallContext
+from repro.core.injection.faults import FaultSpec
+from repro.core.injection.runtime import InjectionRuntime
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.xml_io import parse_scenario_xml, scenario_to_xml
+from repro.core.triggers.callcount import CallCountTrigger
+from repro.core.triggers.singleton import SingletonTrigger
+from repro.isa import layout
+from repro.isa.assembler import Assembler
+from repro.isa.instructions import Imm, Opcode, Reg
+from repro.oslib.errno_codes import Errno, errno_name, errno_value
+from repro.oslib.fs import O_CREAT, O_RDWR, SimFileSystem
+from repro.oslib.heap import SimHeap
+from repro.oslib.sync import MutexTable
+from repro.vm.memory import Memory
+
+_identifier = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12)
+
+
+class TestErrnoProperties:
+    @given(st.sampled_from(list(Errno)))
+    def test_name_value_roundtrip(self, errno):
+        assert errno_value(errno_name(errno.value)) == errno.value
+
+
+class TestMemoryProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=layout.DATA_BASE, max_value=layout.DATA_BASE + 500),
+            st.integers(min_value=-(2**31), max_value=2**31),
+            max_size=30,
+        )
+    )
+    def test_store_load_roundtrip(self, contents):
+        memory = Memory()
+        for address, value in contents.items():
+            memory.store(address, value)
+        for address, value in contents.items():
+            assert memory.load(address) == value
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=0x2000), max_size=40))
+    def test_string_roundtrip(self, text):
+        memory = Memory()
+        memory.write_string(layout.DATA_BASE, text)
+        assert memory.read_string(layout.DATA_BASE) == text
+
+
+class TestHeapProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=40))
+    def test_allocations_are_disjoint(self, sizes):
+        heap = SimHeap(base=0x1000, capacity=64 * 64)
+        regions = []
+        for size in sizes:
+            address = heap.malloc(size)
+            regions.append((address, size))
+        for index, (address, size) in enumerate(regions):
+            for other_address, other_size in regions[index + 1:]:
+                assert address + size <= other_address or other_address + other_size <= address
+
+    @given(st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=30))
+    def test_bytes_in_use_accounting(self, sizes):
+        heap = SimHeap(base=0x1000, capacity=10_000)
+        addresses = [heap.malloc(size) for size in sizes]
+        assert heap.bytes_in_use == sum(sizes)
+        for address in addresses:
+            heap.free(address)
+        assert heap.bytes_in_use == 0
+
+
+class TestFilesystemProperties:
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    def test_write_then_read_back(self, first, second):
+        fs = SimFileSystem()
+        fs.make_dirs("/data")
+        fd = fs.open("/data/blob", O_RDWR | O_CREAT)
+        fs.write(fd, first)
+        fs.write(fd, second)
+        fs.lseek(fd, 0)
+        assert fs.read(fd, len(first) + len(second)) == first + second
+        fs.close(fd)
+        assert fs.file_contents("/data/blob") == first + second
+
+
+class TestMutexProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=20))
+    def test_balanced_lock_unlock_never_aborts(self, mutex_ids):
+        table = MutexTable()
+        for mutex_id in mutex_ids:
+            if table.is_locked(mutex_id):
+                table.unlock(mutex_id)
+            else:
+                table.lock(mutex_id)
+        # Drain: unlock whatever is still held; this must never raise.
+        for mutex_id in set(mutex_ids):
+            if table.is_locked(mutex_id):
+                table.unlock(mutex_id)
+        assert table.held_count() == 0
+
+
+class TestTriggerProperties:
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=100))
+    def test_call_count_fires_exactly_once(self, nth, calls):
+        trigger = CallCountTrigger()
+        trigger.init({"nth": nth})
+        fired = sum(trigger.eval(CallContext(function="f")) for _ in range(calls))
+        assert fired == (1 if calls >= nth else 0)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=40))
+    def test_singleton_never_exceeds_maximum(self, maximum, calls):
+        trigger = SingletonTrigger()
+        trigger.init({"max": maximum})
+        fired = sum(trigger.eval(CallContext(function="f")) for _ in range(calls))
+        assert fired == min(maximum, calls)
+
+
+class TestScenarioXmlProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                _identifier,
+                st.sampled_from(["read", "close", "malloc", "fopen", "sendto"]),
+                st.integers(min_value=-5, max_value=5),
+                st.sampled_from(["EIO", "EINTR", "ENOMEM", "ENOENT"]),
+            ),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda item: item[0],
+        )
+    )
+    @settings(max_examples=40)
+    def test_xml_roundtrip_preserves_structure(self, entries):
+        builder = ScenarioBuilder("generated")
+        for trigger_id, function, return_value, errno in entries:
+            builder.trigger(trigger_id, "SingletonTrigger")
+            builder.inject(function, [trigger_id], return_value=return_value, errno=errno)
+        scenario = builder.build()
+        parsed = parse_scenario_xml(scenario_to_xml(scenario))
+        assert set(parsed.triggers) == set(scenario.triggers)
+        assert [plan.function for plan in parsed.plans] == [plan.function for plan in scenario.plans]
+        for original, restored in zip(scenario.plans, parsed.plans):
+            assert restored.fault == original.fault
+            assert restored.trigger_ids == original.trigger_ids
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.sampled_from(["EIO", "EINTR", "EAGAIN", "ENOMEM"]))
+    def test_fault_spec_string_roundtrip(self, value, errno):
+        fault = FaultSpec.from_strings(str(value), errno)
+        assert fault.return_value == value
+        assert errno_name(fault.errno) == errno
+
+
+class TestRuntimeProperties:
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30)
+    def test_injections_never_exceed_singleton_budget(self, budget, calls):
+        scenario = (
+            ScenarioBuilder("budgeted")
+            .trigger("once", "SingletonTrigger", max=budget)
+            .inject("read", ["once"], return_value=-1, errno="EIO")
+            .build()
+        )
+        runtime = InjectionRuntime(scenario)
+        injected = sum(
+            runtime.decide(CallContext(function="read")).inject for _ in range(calls)
+        )
+        assert injected == min(budget, calls)
+        assert runtime.injections == injected
+
+
+class TestAssemblerProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=20))
+    def test_emitted_program_addresses_are_sequential(self, values):
+        assembler = Assembler("prop")
+        assembler.begin_function("main")
+        for value in values:
+            assembler.emit(Opcode.MOV, Reg("r0"), Imm(value))
+        assembler.emit(Opcode.HALT)
+        assembler.end_function()
+        binary = assembler.finish()
+        assert [instruction.address for instruction in binary.instructions] == list(
+            range(len(values) + 1)
+        )
+        assert binary.functions["main"].size == len(values) + 1

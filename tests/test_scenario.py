@@ -1,0 +1,164 @@
+"""Tests for the fault-injection scenario language: model, builder, XML, validation."""
+
+import pytest
+
+from repro.core.injection.faults import FaultSpec
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
+from repro.core.scenario.validate import ScenarioValidationError, validate_scenario
+from repro.core.scenario.xml_io import ScenarioParseError, parse_scenario_xml, scenario_to_xml
+from repro.core.triggers.registry import ensure_stock_triggers_registered
+
+PAPER_EXAMPLE = """
+<scenario name="pipe-read">
+  <trigger id="readTrig2" class="ReadPipe">
+    <args>
+      <low>1024</low>
+      <high>4096</high>
+    </args>
+  </trigger>
+  <trigger id="mutexTrig" class="WithMutex" />
+  <function name="read" argc="3" return="-1" errno="EINVAL">
+    <reftrigger ref="readTrig2" />
+    <reftrigger ref="mutexTrig" />
+  </function>
+  <function name="pthread_mutex_lock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig" />
+  </function>
+  <function name="pthread_mutex_unlock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig" />
+  </function>
+</scenario>
+"""
+
+
+class TestFaultSpec:
+    def test_from_strings(self):
+        fault = FaultSpec.from_strings("-1", "EINTR")
+        assert fault.return_value == -1 and fault.errno == 4
+        assert FaultSpec.from_strings("0", "unused").errno is None
+        assert FaultSpec.from_strings("0x10", None).return_value == 16
+
+    def test_describe(self):
+        assert "EINTR" in FaultSpec(-1, 4).describe()
+        assert FaultSpec(0).describe() == "return 0"
+
+
+class TestModelAndBuilder:
+    def test_builder_produces_paper_shape(self):
+        scenario = (
+            ScenarioBuilder("pipe-read")
+            .trigger("readTrig2", "ReadPipe", low=1024, high=4096)
+            .trigger("mutexTrig", "WithMutex")
+            .inject("read", ["readTrig2", "mutexTrig"], return_value=-1, errno="EINVAL")
+            .observe("pthread_mutex_lock", ["mutexTrig"])
+            .observe("pthread_mutex_unlock", ["mutexTrig"])
+            .build()
+        )
+        assert set(scenario.triggers) == {"readTrig2", "mutexTrig"}
+        assert scenario.functions() == ["read", "pthread_mutex_lock", "pthread_mutex_unlock"]
+        read_plan = scenario.plans_for("read")[0]
+        assert read_plan.injects and read_plan.argc == 3
+        assert not scenario.plans_for("pthread_mutex_lock")[0].injects
+        assert len(scenario.injecting_plans()) == 1
+        assert "pipe-read" in scenario.describe()
+
+    def test_duplicate_trigger_id_rejected(self):
+        scenario = Scenario("x")
+        scenario.declare_trigger("t", "RandomTrigger")
+        with pytest.raises(ValueError):
+            scenario.declare_trigger("t", "RandomTrigger")
+
+    def test_builder_metadata(self):
+        scenario = ScenarioBuilder("m").trigger("t", "RandomTrigger", probability=0.1) \
+            .inject("read", ["t"], return_value=-1, errno=5).metadata(origin="test").build()
+        assert scenario.metadata["origin"] == "test"
+        assert scenario.plans[0].fault.errno == 5
+
+
+class TestXml:
+    def test_parse_paper_example(self):
+        scenario = parse_scenario_xml(PAPER_EXAMPLE)
+        assert scenario.name == "pipe-read"
+        assert scenario.triggers["readTrig2"].params == {"low": "1024", "high": "4096"}
+        read_plan = scenario.plans_for("read")[0]
+        assert read_plan.fault.return_value == -1
+        assert read_plan.fault.errno == 22  # EINVAL
+        assert read_plan.trigger_ids == ["readTrig2", "mutexTrig"]
+        assert scenario.plans_for("pthread_mutex_lock")[0].fault is None
+
+    def test_roundtrip(self):
+        original = parse_scenario_xml(PAPER_EXAMPLE)
+        text = scenario_to_xml(original)
+        again = parse_scenario_xml(text)
+        assert set(again.triggers) == set(original.triggers)
+        assert [p.function for p in again.plans] == [p.function for p in original.plans]
+        assert again.plans_for("read")[0].fault == original.plans_for("read")[0].fault
+
+    def test_nested_frame_args_roundtrip(self):
+        scenario = (
+            ScenarioBuilder("frames")
+            .trigger_with_params(
+                "cs", "CallStackTrigger",
+                {"frame": [{"module": "prog", "offset": 16}, {"module": "prog", "line": 9}]},
+            )
+            .inject("fopen", ["cs"], return_value=0, errno="ENOENT")
+            .build()
+        )
+        parsed = parse_scenario_xml(scenario_to_xml(scenario))
+        frames = parsed.triggers["cs"].params["frame"]
+        assert isinstance(frames, list) and len(frames) == 2
+        assert frames[0]["module"] == "prog"
+
+    def test_parse_errors(self):
+        with pytest.raises(ScenarioParseError):
+            parse_scenario_xml("<notascenario/>")
+        with pytest.raises(ScenarioParseError):
+            parse_scenario_xml("<scenario><trigger class='X'/></scenario>")
+        with pytest.raises(ScenarioParseError):
+            parse_scenario_xml(
+                "<scenario><function name='read' return='-1'>"
+                "<reftrigger ref='ghost'/></function></scenario>"
+            )
+        with pytest.raises(ScenarioParseError):
+            parse_scenario_xml("not xml at all <<<")
+
+
+class TestValidation:
+    def setup_method(self):
+        ensure_stock_triggers_registered()
+
+    def test_valid_scenario_produces_no_errors(self):
+        scenario = parse_scenario_xml(PAPER_EXAMPLE)
+        warnings = validate_scenario(scenario)
+        assert warnings == []
+
+    def test_unknown_trigger_class(self):
+        scenario = Scenario("bad")
+        scenario.declare_trigger("t", "NoSuchTriggerClass")
+        scenario.associate("read", ["t"], fault=FaultSpec(-1, 5))
+        with pytest.raises(ScenarioValidationError):
+            validate_scenario(scenario)
+
+    def test_unknown_function_warning_vs_strict(self):
+        scenario = (
+            ScenarioBuilder("w").trigger("t", "RandomTrigger", probability=0.5)
+            .inject("frobnicate", ["t"], return_value=-1).build()
+        )
+        warnings = validate_scenario(scenario)
+        assert any("frobnicate" in warning for warning in warnings)
+        with pytest.raises(ScenarioValidationError):
+            validate_scenario(scenario, strict_functions=True)
+
+    def test_unreferenced_trigger_warning(self):
+        scenario = (
+            ScenarioBuilder("w").trigger("used", "RandomTrigger", probability=0.5)
+            .trigger("unused", "SingletonTrigger")
+            .inject("read", ["used"], return_value=-1).build()
+        )
+        warnings = validate_scenario(scenario)
+        assert any("unused" in warning for warning in warnings)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ScenarioValidationError):
+            validate_scenario(Scenario("empty"))

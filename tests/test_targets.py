@@ -1,0 +1,228 @@
+"""Integration tests for the five simulated targets."""
+
+import pytest
+
+from repro.core.analysis.analyzer import CallSiteAnalyzer
+from repro.core.controller import LFIController
+from repro.core.controller.monitor import OutcomeKind
+from repro.core.controller.target import WorkloadRequest
+from repro.targets.base import extract_ground_truth
+from repro.targets.mini_apache import MiniApacheTarget
+from repro.targets.mini_apache.scenarios import overhead_scenario
+from repro.targets.mini_bind import MiniBindTarget
+from repro.targets.mini_git import MiniGitTarget
+from repro.targets.mini_mysql import MiniMySQLTarget
+from repro.targets.mini_mysql.scenarios import (
+    close_after_unlock_scenario,
+    fcntl_overhead_scenario,
+    random_campaign_scenario,
+)
+from repro.targets.pbft import PBFTCheckpointTarget, PBFTTarget
+from repro.targets.pbft.scenarios import (
+    checkpoint_fopen_scenario,
+    packet_loss_experiment,
+    recvfrom_failure_scenario,
+    silence_replica_experiment,
+)
+
+
+class TestGroundTruthAnnotations:
+    def test_extraction(self):
+        source = """
+        int f() {
+            int p;
+            p = malloc(4);      //@check:yes
+            if (p == 0) { return -1; }
+            close(p);           //@check:no
+            open("/x", 0);      //@check:interproc
+            return 0;
+        }
+        """
+        entries = extract_ground_truth(source)
+        by_function = {entry.function: entry for entry in entries}
+        assert by_function["malloc"].checked
+        assert not by_function["close"].checked
+        assert by_function["open"].interprocedural and by_function["open"].checked
+
+    @pytest.mark.parametrize("target_class", [MiniBindTarget, MiniGitTarget, PBFTCheckpointTarget])
+    def test_targets_carry_annotations(self, target_class):
+        target = target_class()
+        entries = target.ground_truth()
+        assert entries
+        functions = {entry.function for entry in entries}
+        assert functions <= set(target.accuracy_functions)
+
+
+class TestCompiledTargets:
+    @pytest.mark.parametrize("target_class", [MiniBindTarget, MiniGitTarget, PBFTCheckpointTarget])
+    def test_baseline_test_suite_passes(self, target_class):
+        target = target_class()
+        result = target.run(WorkloadRequest(workload="default-tests"))
+        assert result.outcome.kind is OutcomeKind.NORMAL, result.outcome.describe()
+        assert result.stats["library_calls"] > 0
+
+    def test_bind_automatic_pipeline_finds_both_bugs(self):
+        controller = LFIController(MiniBindTarget())
+        report = controller.test_automatically(
+            workloads=["default-tests"], include_checked=True
+        )
+        functions = {bug.function for bug in report.bugs}
+        kinds = {bug.kind for bug in report.bugs}
+        assert "xmlNewTextWriterDoc" in functions
+        assert "malloc" in functions
+        assert OutcomeKind.ABORT in kinds  # the dst_lib_init recovery bug
+
+    def test_git_automatic_pipeline_finds_all_five_bugs(self):
+        controller = LFIController(MiniGitTarget())
+        report = controller.test_automatically(workloads=["default-tests"])
+        functions = {bug.function for bug in report.bugs}
+        assert {"malloc", "opendir", "setenv"} <= functions
+        malloc_crashes = [bug for bug in report.bugs if bug.function == "malloc"]
+        assert len(malloc_crashes) >= 3
+        assert any(bug.kind is OutcomeKind.DATA_LOSS for bug in report.bugs)
+
+    def test_bind_analyzer_accuracy_functions(self):
+        target = MiniBindTarget()
+        report = CallSiteAnalyzer().analyze(target.binary(), functions=["open"])
+        classification = report.classification("open")
+        assert classification.site_count() == 6
+        assert len(classification.unchecked) == 2  # one genuine + one interprocedural FP
+
+    def test_pbft_checkpoint_unchecked_fopen(self):
+        target = PBFTCheckpointTarget()
+        report = CallSiteAnalyzer().analyze(target.binary(), functions=["fopen"])
+        classification = report.classification("fopen")
+        assert classification.site_count() == 6
+        assert len(classification.unchecked) == 1
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            MiniBindTarget().workload_plan("nonexistent")
+
+
+class TestMySQLTarget:
+    def test_baseline_workloads(self):
+        target = MiniMySQLTarget()
+        for workload in target.workloads():
+            result = target.run(WorkloadRequest(workload=workload, options={"transactions": 5}))
+            assert result.outcome.kind is OutcomeKind.NORMAL, (workload, result.outcome.describe())
+
+    def test_double_unlock_bug_with_custom_trigger(self):
+        target = MiniMySQLTarget()
+        result = target.run(
+            WorkloadRequest(workload="merge-big", scenario=close_after_unlock_scenario(2))
+        )
+        assert target.outcome_is_double_unlock(result.outcome)
+        assert result.log.injection_count == 1
+
+    def test_errmsg_read_crash(self):
+        target = MiniMySQLTarget()
+        scenario = random_campaign_scenario("read", probability=1.0, seed=0, errno="EIO")
+        result = target.run(WorkloadRequest(workload="startup", scenario=scenario))
+        assert result.outcome.kind is OutcomeKind.CRASH
+
+    def test_missing_errmsg_file_is_handled(self):
+        target = MiniMySQLTarget()
+        server = target.make_server(WorkloadRequest(workload="startup"))
+        server.os.fs.unlink("/var/lib/mysql/share/errmsg.sys")
+        assert server.startup() == 0
+        assert server.error_messages == {}
+
+    def test_observe_only_overhead_scenarios_do_not_change_behaviour(self):
+        target = MiniMySQLTarget()
+        for count in range(1, 5):
+            result = target.run(
+                WorkloadRequest(
+                    workload="sysbench-readwrite",
+                    scenario=fcntl_overhead_scenario(count),
+                    observe_only=True,
+                    options={"transactions": 5},
+                )
+            )
+            assert result.outcome.kind is OutcomeKind.NORMAL
+        with pytest.raises(ValueError):
+            fcntl_overhead_scenario(9)
+
+
+class TestApacheTarget:
+    def test_serves_static_and_php(self):
+        target = MiniApacheTarget()
+        for workload in target.workloads():
+            result = target.run(WorkloadRequest(workload=workload, options={"requests": 5}))
+            assert result.outcome.kind is OutcomeKind.NORMAL
+            assert result.stats["requests_handled"] == 5
+
+    def test_overhead_scenarios_observe_only(self):
+        target = MiniApacheTarget()
+        for count in range(1, 6):
+            result = target.run(
+                WorkloadRequest(
+                    workload="ab-static",
+                    scenario=overhead_scenario(count),
+                    observe_only=True,
+                    options={"requests": 5},
+                )
+            )
+            assert result.outcome.kind is OutcomeKind.NORMAL
+            assert result.stats["intercepted_calls"] > 0
+        with pytest.raises(ValueError):
+            overhead_scenario(0)
+
+    def test_missing_page_is_404_not_failure(self):
+        target = MiniApacheTarget()
+        server = target.make_server(WorkloadRequest(workload="ab-static"))
+        from repro.targets.mini_apache.httpd_core import HttpRequest
+
+        response = server.handle_connection(HttpRequest(uri="/missing.html"))
+        assert response.status == 404
+
+
+class TestPBFTTarget:
+    def test_baseline_cluster_completes_requests(self):
+        target = PBFTTarget()
+        result = target.run(WorkloadRequest(workload="simple", options={"requests": 10}))
+        assert result.outcome.kind is OutcomeKind.NORMAL
+        assert result.stats["requests_completed"] == 10
+        assert result.stats["throughput"] > 0
+        cluster = result.stats["cluster"]
+        executed = [len(replica.executed_requests) for replica in cluster.replicas]
+        assert all(count == 10 for count in executed)  # replicas agree
+
+    def test_packet_loss_slows_but_completes(self):
+        target = PBFTTarget()
+        baseline = target.run(WorkloadRequest(workload="simple", options={"requests": 10}))
+        scenario, controller = packet_loss_experiment(0.8, seed=1)
+        degraded = target.run(
+            WorkloadRequest(workload="simple", scenario=scenario,
+                            options={"requests": 10, "shared_objects": {"controller": controller}})
+        )
+        assert degraded.outcome.kind is OutcomeKind.NORMAL
+        assert degraded.stats["simulated_seconds"] > baseline.stats["simulated_seconds"]
+
+    def test_silencing_replica_keeps_quorum(self):
+        target = PBFTTarget()
+        scenario, controller = silence_replica_experiment("replica3")
+        result = target.run(
+            WorkloadRequest(workload="simple", scenario=scenario,
+                            options={"requests": 10, "shared_objects": {"controller": controller}})
+        )
+        assert result.outcome.kind is OutcomeKind.NORMAL
+        assert result.stats["requests_completed"] == 10
+
+    def test_recvfrom_bug_crashes_a_replica(self):
+        target = PBFTTarget()
+        result = target.run(
+            WorkloadRequest(workload="simple", scenario=recvfrom_failure_scenario(nth=5),
+                            options={"requests": 5})
+        )
+        assert result.outcome.kind is OutcomeKind.CRASH
+        assert result.stats["crashed_replicas"]
+
+    def test_checkpoint_fopen_bug(self):
+        target = PBFTTarget()
+        result = target.run(
+            WorkloadRequest(workload="simple", scenario=checkpoint_fopen_scenario(),
+                            options={"requests": 20})
+        )
+        assert result.outcome.kind is OutcomeKind.CRASH
+        assert "FILE*" in result.outcome.detail

@@ -1,0 +1,306 @@
+"""Tests for the trigger framework: interface, registry, stock and custom triggers."""
+
+import pytest
+
+from repro.core.injection.context import CallContext
+from repro.core.triggers import (
+    CallCountTrigger,
+    CallStackTrigger,
+    CloseAfterMutexUnlockTrigger,
+    ConjunctionTrigger,
+    DisjunctionTrigger,
+    FrameSpec,
+    NegationTrigger,
+    ProgramStateTrigger,
+    RandomTrigger,
+    ReadPipe1K4KwithMutexTrigger,
+    ReadPipeTrigger,
+    SingletonTrigger,
+    Trigger,
+    TriggerError,
+    WithMutexTrigger,
+    declare_trigger,
+)
+from repro.core.triggers.custom import ArgumentEqualsTrigger
+from repro.core.triggers.distributed import DistributedTrigger
+from repro.core.triggers.registry import default_registry, ensure_stock_triggers_registered
+from repro.common.frames import StackFrame
+from repro.oslib.os_model import SimOS
+
+
+def ctx(function="read", args=(), **kwargs):
+    return CallContext(function=function, args=args, **kwargs)
+
+
+class TestRegistry:
+    def test_stock_triggers_registered(self):
+        registry = ensure_stock_triggers_registered()
+        for name in ("CallStackTrigger", "RandomTrigger", "SingletonTrigger",
+                     "CallCountTrigger", "ProgramStateTrigger", "DistributedTrigger",
+                     "ReadPipe", "WithMutex", "CloseAfterMutexUnlock"):
+            assert registry.known(name), name
+
+    def test_create_initializes(self):
+        registry = ensure_stock_triggers_registered()
+        trigger = registry.create("CallCountTrigger", {"nth": 3})
+        assert isinstance(trigger, CallCountTrigger) and trigger.nth == 3
+
+    def test_unknown_class(self):
+        with pytest.raises(TriggerError):
+            default_registry().lookup("NoSuchTrigger")
+
+    def test_declare_trigger_decorator(self):
+        @declare_trigger("TestOnlyAlways")
+        class AlwaysTrigger(Trigger):
+            def eval(self, context):
+                return True
+
+        registry = default_registry()
+        assert registry.known("TestOnlyAlways")
+        assert registry.create("TestOnlyAlways").eval(ctx())
+        registry.unregister("TestOnlyAlways")
+
+    def test_non_trigger_rejected(self):
+        with pytest.raises(TriggerError):
+            default_registry().register("Bogus", object)  # type: ignore[arg-type]
+
+
+class TestCallCountAndSingleton:
+    def test_nth_call(self):
+        trigger = CallCountTrigger()
+        trigger.init({"nth": 3})
+        results = [trigger.eval(ctx()) for _ in range(5)]
+        assert results == [False, False, True, False, False]
+        trigger.reset()
+        assert trigger.eval(ctx()) is False
+
+    def test_every(self):
+        trigger = CallCountTrigger()
+        trigger.init({"nth": 2, "every": 3})
+        results = [trigger.eval(ctx()) for _ in range(8)]
+        assert results == [False, True, False, False, True, False, False, True]
+
+    def test_invalid_params(self):
+        with pytest.raises(TriggerError):
+            CallCountTrigger().init({"nth": 0})
+
+    def test_singleton(self):
+        trigger = SingletonTrigger()
+        trigger.init({"max": 2})
+        assert [trigger.eval(ctx()) for _ in range(4)] == [True, True, False, False]
+        assert trigger.injections_granted == 2
+        trigger.reset()
+        assert trigger.eval(ctx()) is True
+
+
+class TestRandom:
+    def test_probability_bounds(self):
+        with pytest.raises(TriggerError):
+            RandomTrigger().init({"probability": 1.5})
+
+    def test_deterministic_with_seed(self):
+        a, b = RandomTrigger(), RandomTrigger()
+        a.init({"probability": 0.5, "seed": 7})
+        b.init({"probability": 0.5, "seed": 7})
+        assert [a.eval(ctx()) for _ in range(50)] == [b.eval(ctx()) for _ in range(50)]
+
+    def test_extremes(self):
+        never = RandomTrigger()
+        never.init({"probability": 0.0})
+        always = RandomTrigger()
+        always.init({"probability": 1.0, "seed": 1})
+        assert not any(never.eval(ctx()) for _ in range(20))
+        assert all(always.eval(ctx()) for _ in range(20))
+
+    def test_reset_replays_sequence(self):
+        trigger = RandomTrigger()
+        trigger.init({"probability": 0.5, "seed": 3})
+        first = [trigger.eval(ctx()) for _ in range(20)]
+        trigger.reset()
+        assert [trigger.eval(ctx()) for _ in range(20)] == first
+
+
+class TestCallStack:
+    STACK = [
+        StackFrame(module="mini_bind", function="render_stats", offset=0x315,
+                   file="mini_bind.c", line=315),
+        StackFrame(module="mini_bind", function="stats_channel_request", offset=0x340,
+                   file="mini_bind.c", line=330),
+        StackFrame(module="mini_bind", function="main", offset=0x400, file="mini_bind.c", line=400),
+    ]
+
+    def make_context(self):
+        return ctx(stack_provider=lambda: list(self.STACK))
+
+    def test_contains_mode(self):
+        trigger = CallStackTrigger()
+        trigger.init({"frame": {"module": "mini_bind", "function": "stats_channel_request"}})
+        assert trigger.eval(self.make_context())
+        trigger = CallStackTrigger()
+        trigger.init({"frame": {"module": "other"}})
+        assert not trigger.eval(self.make_context())
+
+    def test_offset_and_line_matching(self):
+        trigger = CallStackTrigger()
+        trigger.init({"frame": {"module": "mini_bind", "offset": "0x315"}})
+        assert trigger.eval(self.make_context())
+        trigger = CallStackTrigger()
+        trigger.init({"frame": {"file": "mini_bind.c", "line": 330}})
+        assert trigger.eval(self.make_context())
+
+    def test_top_mode(self):
+        trigger = CallStackTrigger()
+        trigger.init({
+            "frame": [{"function": "render_stats"}, {"function": "stats_channel_request"}],
+            "mode": "top",
+        })
+        assert trigger.eval(self.make_context())
+        trigger = CallStackTrigger()
+        trigger.init({"frame": [{"function": "main"}], "mode": "top"})
+        assert not trigger.eval(self.make_context())
+
+    def test_multiple_required_frames(self):
+        trigger = CallStackTrigger()
+        trigger.init({"frame": [{"function": "render_stats"}, {"function": "main"}]})
+        assert trigger.eval(self.make_context())
+
+    def test_requires_frames(self):
+        with pytest.raises(TriggerError):
+            CallStackTrigger().init({})
+        with pytest.raises(TriggerError):
+            CallStackTrigger().init({"frame": {"module": "x"}, "mode": "sideways"})
+
+    def test_empty_stack_never_matches(self):
+        trigger = CallStackTrigger(frames=[FrameSpec(module="x")])
+        assert not trigger.eval(ctx())
+
+
+class TestProgramState:
+    def reader(self, values):
+        return lambda name: values.get(name)
+
+    def test_compare_to_literal(self):
+        trigger = ProgramStateTrigger()
+        trigger.init({"variable": "thread_count", "op": ">", "value": "64"})
+        context = ctx(state_reader=self.reader({"thread_count": 100}))
+        assert trigger.eval(context)
+        context = ctx(state_reader=self.reader({"thread_count": 10}))
+        assert not trigger.eval(context)
+
+    def test_compare_two_variables(self):
+        trigger = ProgramStateTrigger()
+        trigger.init({"variable": "numConnections", "op": "==", "other": "maxConnections"})
+        context = ctx(state_reader=self.reader({"numConnections": 5, "maxConnections": 5}))
+        assert trigger.eval(context)
+
+    def test_unknown_variable_is_false(self):
+        trigger = ProgramStateTrigger()
+        trigger.init({"variable": "ghost", "value": 1})
+        assert not trigger.eval(ctx(state_reader=self.reader({})))
+        assert not trigger.eval(ctx())  # no reader at all
+
+    def test_invalid_params(self):
+        with pytest.raises(TriggerError):
+            ProgramStateTrigger().init({"variable": "x", "op": "~", "value": 1})
+        with pytest.raises(TriggerError):
+            ProgramStateTrigger().init({"variable": "x"})
+
+
+class TestComposition:
+    class Flag(Trigger):
+        def __init__(self, value):
+            self.value = value
+            self.calls = 0
+
+        def eval(self, context):
+            self.calls += 1
+            return self.value
+
+    def test_conjunction_short_circuit(self):
+        no = self.Flag(False)
+        yes = self.Flag(True)
+        conjunction = ConjunctionTrigger([no, yes])
+        assert not conjunction.eval(ctx())
+        assert no.calls == 1 and yes.calls == 0  # short-circuited
+
+    def test_disjunction_short_circuit(self):
+        yes = self.Flag(True)
+        other = self.Flag(True)
+        disjunction = DisjunctionTrigger([yes, other])
+        assert disjunction.eval(ctx())
+        assert other.calls == 0
+
+    def test_negation(self):
+        negation = NegationTrigger(self.Flag(False))
+        assert negation.eval(ctx())
+        with pytest.raises(TriggerError):
+            NegationTrigger().init({})
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(TriggerError):
+            ConjunctionTrigger().init({})
+
+
+class TestCustomTriggers:
+    def test_argument_equals(self):
+        trigger = ArgumentEqualsTrigger()
+        trigger.init({"index": 1, "value": 5})
+        assert trigger.eval(ctx(function="fcntl", args=(3, 5)))
+        assert not trigger.eval(ctx(function="fcntl", args=(3, 4)))
+        assert not trigger.eval(ctx(function="fcntl", args=(3,)))
+
+    def test_with_mutex_tracks_lock_state(self):
+        trigger = WithMutexTrigger()
+        assert not trigger.eval(ctx(function="read"))
+        trigger.eval(ctx(function="pthread_mutex_lock", args=(1,)))
+        assert trigger.eval(ctx(function="read"))
+        trigger.eval(ctx(function="pthread_mutex_unlock", args=(1,)))
+        assert not trigger.eval(ctx(function="read"))
+
+    def test_read_pipe_trigger(self):
+        os = SimOS("p")
+        read_fd, _write_fd = os.fs.make_pipe()
+        regular = os.fs.open("/f.txt", 0o100 | 1)  # O_CREAT|O_WRONLY via add
+        trigger = ReadPipeTrigger()
+        trigger.init({"low": 1024, "high": 4096})
+        assert trigger.eval(ctx(function="read", args=(read_fd, 0, 2048), os=os))
+        assert not trigger.eval(ctx(function="read", args=(read_fd, 0, 10), os=os))
+        assert not trigger.eval(ctx(function="read", args=(regular, 0, 2048), os=os))
+        assert not trigger.eval(ctx(function="write", args=(read_fd, 0, 2048), os=os))
+        with pytest.raises(TriggerError):
+            ReadPipeTrigger().init({"low": 10, "high": 1})
+
+    def test_read_pipe_with_mutex_composite(self):
+        os = SimOS("p")
+        read_fd, _ = os.fs.make_pipe()
+        trigger = ReadPipe1K4KwithMutexTrigger()
+        call = ctx(function="read", args=(read_fd, 0, 2048), os=os)
+        assert not trigger.eval(call)  # no mutex held yet
+        trigger.eval(ctx(function="pthread_mutex_lock", args=(9,)))
+        assert trigger.eval(call)
+
+    def test_close_after_unlock_by_call_distance(self):
+        trigger = CloseAfterMutexUnlockTrigger()
+        trigger.init({"distance": 2})
+        assert not trigger.eval(ctx(function="close", global_index=1))
+        trigger.eval(ctx(function="pthread_mutex_unlock", global_index=5))
+        assert trigger.eval(ctx(function="close", global_index=6))
+        assert not trigger.eval(ctx(function="close", global_index=20))
+
+    def test_distributed_trigger_delegates(self):
+        class FakeController:
+            def __init__(self):
+                self.seen = []
+
+            def should_inject(self, node, function, args, context):
+                self.seen.append((node, function))
+                return node == "replica1"
+
+        controller = FakeController()
+        trigger = DistributedTrigger()
+        trigger.init({"controller": controller})
+        assert trigger.eval(ctx(function="sendto", node="replica1"))
+        assert not trigger.eval(ctx(function="sendto", node="replica2"))
+        assert controller.seen[0] == ("replica1", "sendto")
+        with pytest.raises(TriggerError):
+            DistributedTrigger().init({})
