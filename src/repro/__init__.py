@@ -19,6 +19,28 @@ Quick tour (see ``examples/quickstart.py`` for a runnable version)::
     report = controller.test_automatically(workloads=["default-tests"])
     print(report.summary())
 
+**Parallel campaigns.** Scenario runs are independent, so every campaign
+entry point — ``TestCampaign.run``, ``LFIController.run_campaign`` /
+``test_automatically``, and the experiment harnesses — accepts a
+``parallelism=`` knob: ``None``/``"serial"`` (the default), an integer
+worker count (a process pool — the backend that scales these CPU-bound
+targets with cores), ``"threads[:N]"``, ``"processes[:N]"``, or an
+:class:`~repro.core.controller.executor.ExecutionBackend` instance to share
+one pool across campaigns.  Results keep submission order and per-run seeds
+are derived deterministically — stochastic triggers declared without an
+explicit seed get one derived from ``(campaign seed, submission index,
+trigger id)`` — so parallel campaigns are bit-identical to serial ones::
+
+    report = controller.test_automatically(parallelism="processes:4")
+
+**Artifact cache.** Building and profiling the synthetic shared libraries
+is memoized process-wide in :mod:`repro.core.profiler.cache`
+(``cached_library_binary``, ``cached_merged_profile``, ...): the first
+controller or experiment in a process pays the assemble + disassemble + CFG
+cost, every later one shares the artifacts.  Cached objects are shared —
+treat them as immutable; ``clear_artifact_cache()`` resets the cache in
+tests.
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,
@@ -33,12 +55,25 @@ The main layers:
 
 from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
 from repro.core.controller.controller import ControllerReport, LFIController
+from repro.core.controller.executor import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.core.controller.target import WorkloadRequest
 from repro.core.injection.context import CallContext
 from repro.core.injection.faults import FaultSpec
 from repro.core.injection.gate import LibraryCallGate
 from repro.core.injection.log import InjectionLog
 from repro.core.injection.runtime import InjectionRuntime
+from repro.core.profiler.cache import (
+    cached_all_library_binaries,
+    cached_library_binary,
+    cached_merged_profile,
+    clear_artifact_cache,
+)
 from repro.core.profiler.static_profiler import LibraryProfiler, profile_library
 from repro.core.scenario.builder import ScenarioBuilder
 from repro.core.scenario.model import Scenario
@@ -56,6 +91,7 @@ __all__ = [
     "CallContext",
     "CallSiteAnalyzer",
     "ControllerReport",
+    "ExecutionBackend",
     "FaultSpec",
     "InjectionLog",
     "InjectionRuntime",
@@ -63,17 +99,25 @@ __all__ = [
     "LibraryCallGate",
     "LibraryProfiler",
     "Machine",
+    "ProcessPoolBackend",
     "Scenario",
     "ScenarioBuilder",
+    "SerialBackend",
     "SimOS",
+    "ThreadPoolBackend",
     "Trigger",
     "WorkloadRequest",
     "build_all_library_binaries",
     "build_library_binary",
+    "cached_all_library_binaries",
+    "cached_library_binary",
+    "cached_merged_profile",
+    "clear_artifact_cache",
     "compile_source",
     "declare_trigger",
     "parse_scenario_xml",
     "profile_library",
+    "resolve_backend",
     "scenario_to_xml",
     "__version__",
 ]

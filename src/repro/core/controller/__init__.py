@@ -9,6 +9,15 @@ under injection into bug candidates.
 
 from repro.core.controller.campaign import CampaignResult, ScenarioOutcome, TestCampaign
 from repro.core.controller.controller import LFIController
+from repro.core.controller.executor import (
+    ExecutionBackend,
+    ExecutionTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+    run_requests,
+)
 from repro.core.controller.monitor import Outcome, OutcomeKind, RunResult, classify_exception
 from repro.core.controller.report import BugCandidate, build_bug_report
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
@@ -16,14 +25,21 @@ from repro.core.controller.target import TargetAdapter, WorkloadRequest
 __all__ = [
     "BugCandidate",
     "CampaignResult",
+    "ExecutionBackend",
+    "ExecutionTask",
     "LFIController",
     "Outcome",
     "OutcomeKind",
+    "ProcessPoolBackend",
     "RunResult",
     "ScenarioOutcome",
+    "SerialBackend",
     "TargetAdapter",
     "TestCampaign",
+    "ThreadPoolBackend",
     "WorkloadRequest",
     "build_bug_report",
     "classify_exception",
+    "resolve_backend",
+    "run_requests",
 ]

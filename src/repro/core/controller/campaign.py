@@ -5,6 +5,13 @@ introduced" (§2): each analyzer-generated scenario (or hand-written
 scenario) is applied to a fresh instance of the target, the workload runs,
 and the outcome plus the injection log are recorded.  The result feeds the
 bug report (Table 1) and the coverage comparison (Table 3).
+
+Scenario runs are independent of one another (every run gets a pristine
+target instance), so a campaign is an embarrassingly parallel batch.  The
+``parallelism`` knob hands the batch to an
+:class:`~repro.core.controller.executor.ExecutionBackend`; results keep
+submission order and per-run seeds are derived deterministically, so a
+parallel campaign's :class:`CampaignResult` is identical to a serial one's.
 """
 
 from __future__ import annotations
@@ -12,6 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.controller.executor import (
+    ExecutionTask,
+    ParallelismSpec,
+    backend_scope,
+    derive_run_seed,
+)
 from repro.core.controller.monitor import Outcome, OutcomeKind, RunResult
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.scenario.model import Scenario
@@ -80,9 +93,18 @@ class CampaignResult:
 class TestCampaign:
     """Run a set of scenarios against one target."""
 
-    def __init__(self, target: TargetAdapter, workload: str = "default") -> None:
+    def __init__(
+        self,
+        target: TargetAdapter,
+        workload: str = "default",
+        parallelism: ParallelismSpec = None,
+    ) -> None:
         self.target = target
         self.workload = workload
+        #: Default execution policy for :meth:`run` — a spec (``"threads:4"``,
+        #: a worker count, ...) or an :class:`ExecutionBackend` instance; an
+        #: explicit ``parallelism=`` argument to :meth:`run` overrides it.
+        self.parallelism = parallelism
 
     def run_baseline(self, collect_coverage: bool = False, **options) -> RunResult:
         """Run the workload with no LFI interference (sanity check / baseline)."""
@@ -100,20 +122,39 @@ class TestCampaign:
         scenarios: Iterable[Scenario],
         collect_coverage: bool = False,
         include_baseline: bool = True,
+        seed: Optional[int] = None,
+        parallelism: ParallelismSpec = None,
         **options,
     ) -> CampaignResult:
+        scenario_list = list(scenarios)
         campaign = CampaignResult(target=self.target.name)
         if include_baseline:
             campaign.baseline = self.run_baseline(collect_coverage=collect_coverage, **options)
-        for scenario in scenarios:
-            result = self.target.run(
-                WorkloadRequest(
+
+        tasks = [
+            ExecutionTask(
+                index=index,
+                target=self.target,
+                request=WorkloadRequest(
                     workload=self.workload,
                     scenario=scenario,
                     collect_coverage=collect_coverage,
                     options=dict(options),
-                )
+                ),
+                seed=derive_run_seed(seed, index),
             )
+            for index, scenario in enumerate(scenario_list)
+        ]
+
+        spec = parallelism if parallelism is not None else self.parallelism
+        backend, owned = backend_scope(spec)
+        try:
+            results = backend.run_tasks(tasks)
+        finally:
+            if owned:
+                backend.close()
+
+        for scenario, result in zip(scenario_list, results):
             campaign.outcomes.append(
                 ScenarioOutcome(scenario=scenario, workload=self.workload, result=result)
             )

@@ -14,6 +14,13 @@ code":
 Python-level targets (no binary) skip step 2 and instead use the scenarios
 the target declares for itself (e.g. random-injection campaigns, which is
 also how the paper found the MySQL bugs).
+
+Step 1 is served from the process-wide artifact cache
+(:mod:`repro.core.profiler.cache`), so repeated controllers stop paying the
+assemble + disassemble + CFG cost, and steps 4-5 accept a ``parallelism=``
+spec (see :func:`repro.core.controller.executor.resolve_backend`) that
+fans scenario runs out over threads or processes with results identical to
+a serial run.
 """
 
 from __future__ import annotations
@@ -23,12 +30,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
 from repro.core.controller.campaign import CampaignResult, TestCampaign
+from repro.core.controller.executor import ParallelismSpec, backend_scope
 from repro.core.controller.report import BugCandidate, build_bug_report
 from repro.core.controller.target import TargetAdapter
-from repro.core.profiler.fault_profile import FaultProfile, merge_profiles
-from repro.core.profiler.static_profiler import profile_library
+from repro.core.profiler.cache import cached_merged_profile
+from repro.core.profiler.fault_profile import FaultProfile
 from repro.core.scenario.model import Scenario
-from repro.oslib.libc_binary import build_all_library_binaries
 
 
 @dataclass
@@ -63,34 +70,46 @@ class LFIController:
         target: TargetAdapter,
         profile: Optional[FaultProfile] = None,
         max_cfg_instructions: int = 100,
+        parallelism: ParallelismSpec = None,
     ) -> None:
         self.target = target
         self._profile = profile
         self.max_cfg_instructions = max_cfg_instructions
+        #: Default campaign execution policy; per-call ``parallelism=``
+        #: arguments override it.
+        self.parallelism = parallelism
+        self._analyzer: Optional[CallSiteAnalyzer] = None
 
     # ------------------------------------------------------------------
     # step 1: library profiling
     # ------------------------------------------------------------------
     def profile_libraries(self) -> FaultProfile:
-        """Profile every simulated shared library from its binary."""
+        """Profile every simulated shared library from its binary.
+
+        Served from the process-wide artifact cache: the first controller in
+        a process pays the assemble + profile cost, later ones share it.
+        """
         if self._profile is None:
-            profiles = [
-                profile_library(binary) for binary in build_all_library_binaries().values()
-            ]
-            self._profile = merge_profiles(profiles)
+            self._profile = cached_merged_profile()
         return self._profile
 
     # ------------------------------------------------------------------
     # step 2: call-site analysis
     # ------------------------------------------------------------------
+    def _call_site_analyzer(self) -> CallSiteAnalyzer:
+        """The controller's single analyzer instance (profile attached)."""
+        if self._analyzer is None:
+            self._analyzer = CallSiteAnalyzer(
+                profile=self.profile_libraries(),
+                max_instructions=self.max_cfg_instructions,
+            )
+        return self._analyzer
+
     def analyze_target(self, functions: Optional[Sequence[str]] = None) -> Optional[AnalysisReport]:
         binary = self.target.binary()
         if binary is None:
             return None
-        analyzer = CallSiteAnalyzer(
-            profile=self.profile_libraries(), max_instructions=self.max_cfg_instructions
-        )
-        return analyzer.analyze(binary, functions=functions)
+        return self._call_site_analyzer().analyze(binary, functions=functions)
 
     # ------------------------------------------------------------------
     # step 3: scenario generation
@@ -107,10 +126,7 @@ class LFIController:
             analysis = self.analyze_target(functions=functions)
         if analysis is None:
             return []
-        analyzer = CallSiteAnalyzer(
-            profile=self.profile_libraries(), max_instructions=self.max_cfg_instructions
-        )
-        return analyzer.generate_scenarios(
+        return self._call_site_analyzer().generate_scenarios(
             analysis,
             include_partial=include_partial,
             include_checked=include_checked,
@@ -125,10 +141,15 @@ class LFIController:
         self,
         scenarios: Sequence[Scenario],
         workload: Optional[str] = None,
+        parallelism: ParallelismSpec = None,
         **options,
     ) -> CampaignResult:
         workload_name = workload or (self.target.workloads()[0] if self.target.workloads() else "default")
-        campaign = TestCampaign(self.target, workload=workload_name)
+        campaign = TestCampaign(
+            self.target,
+            workload=workload_name,
+            parallelism=parallelism if parallelism is not None else self.parallelism,
+        )
         return campaign.run(scenarios, **options)
 
     def test_automatically(
@@ -138,6 +159,7 @@ class LFIController:
         include_partial: bool = True,
         include_checked: bool = False,
         extra_scenarios: Optional[Sequence[Scenario]] = None,
+        parallelism: ParallelismSpec = None,
     ) -> ControllerReport:
         """The fully automatic pipeline used by the Table 1 experiments.
 
@@ -145,6 +167,9 @@ class LFIController:
         sites — i.e. it injects faults whose recovery code exists, which is
         how recovery-code bugs such as BIND's ``dst_lib_init`` abort and
         MySQL's double unlock manifest.
+
+        ``parallelism`` selects the campaign execution backend; one backend
+        is shared across all selected workloads.
         """
         profile = self.profile_libraries()
         analysis = self.analyze_target(functions=functions)
@@ -166,11 +191,19 @@ class LFIController:
             scenarios=scenarios,
         )
         selected_workloads = list(workloads) if workloads else (self.target.workloads() or ["default"])
+        spec = parallelism if parallelism is not None else self.parallelism
+        backend, owned = backend_scope(spec)
         all_bugs: List[BugCandidate] = []
-        for workload in selected_workloads:
-            campaign = TestCampaign(self.target, workload=workload).run(scenarios)
-            report.campaigns[workload] = campaign
-            all_bugs.extend(build_bug_report(campaign))
+        try:
+            for workload in selected_workloads:
+                campaign = TestCampaign(self.target, workload=workload, parallelism=backend).run(
+                    scenarios
+                )
+                report.campaigns[workload] = campaign
+                all_bugs.extend(build_bug_report(campaign))
+        finally:
+            if owned:
+                backend.close()
 
         # Deduplicate across workloads by (function, location, kind).
         deduplicated: Dict[tuple, BugCandidate] = {}

@@ -1,0 +1,290 @@
+"""Execution backends for scenario x workload batches.
+
+LFI's evaluation (§7) is embarrassingly parallel: every injection scenario
+runs against a *fresh* instance of the target, so nothing but wall-clock
+time couples one run to the next.  The executor makes that parallelism an
+explicit, swappable policy:
+
+* :class:`SerialBackend` — run tasks inline, in submission order (the
+  historical behaviour, and the reference semantics);
+* :class:`ThreadPoolBackend` — a ``concurrent.futures`` thread pool, useful
+  when target runs block on anything other than the interpreter;
+* :class:`ProcessPoolBackend` — a process pool (fork-based where the
+  platform allows it) that scales CPU-bound campaigns with cores.
+
+Two properties make parallel campaigns **bit-identical** to serial ones:
+
+1. **Deterministic ordering** — results are returned sorted by *submission*
+   index, never by completion order.  A campaign's ``outcomes`` list is
+   therefore independent of scheduling.
+2. **Per-run seed threading** — when a campaign seed is given, each task's
+   seed is derived from ``(campaign seed, submission index)`` via
+   :func:`derive_run_seed` *before* the task is handed to the backend, so a
+   run's randomness does not depend on which worker picks it up or when.
+
+Backends are context managers; pools are created lazily on first use and
+can be shared across campaigns (the experiment harnesses create one backend
+per table and reuse it for every target).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent import futures
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.controller.monitor import RunResult
+from repro.core.controller.target import TargetAdapter, WorkloadRequest
+
+#: Spec values accepted wherever a ``parallelism=`` knob is exposed.
+ParallelismSpec = Union[None, int, str, "ExecutionBackend"]
+
+
+# ----------------------------------------------------------------------
+# tasks and seed threading
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionTask:
+    """One workload run: a target, a request, and its submission index."""
+
+    index: int
+    target: TargetAdapter
+    request: WorkloadRequest
+    #: Per-run seed (already derived from the campaign seed and ``index``);
+    #: ``None`` leaves the request untouched.
+    seed: Optional[int] = None
+
+
+def derive_run_seed(base_seed: Optional[int], index: int) -> Optional[int]:
+    """Derive the seed for the *index*-th submitted run of a campaign.
+
+    The derivation depends only on the campaign seed and the submission
+    index — never on worker identity or completion order — which is what
+    keeps parallel campaigns bit-identical to serial ones.
+    """
+    if base_seed is None:
+        return None
+    # splitmix64-style finalizer: decorrelates adjacent indices.
+    value = (base_seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 27
+    return value & 0x7FFFFFFF
+
+
+def execute_task(task: ExecutionTask) -> RunResult:
+    """Run one task (module-level so process pools can import it)."""
+    request = task.request
+    if task.seed is not None:
+        options = dict(request.options)
+        options.setdefault("run_seed", task.seed)
+        request = replace(request, options=options)
+    return task.target.run(request)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class ExecutionBackend(ABC):
+    """Strategy for executing a batch of independent tasks."""
+
+    name: str = "backend"
+
+    @abstractmethod
+    def map(self, fn: Callable[..., Any], argument_tuples: Sequence[Tuple]) -> List[Any]:
+        """Apply *fn* to every argument tuple; results in submission order."""
+
+    def run_tasks(self, tasks: Sequence[ExecutionTask]) -> List[RunResult]:
+        """Execute campaign tasks; results ordered by submission index."""
+        ordered = sorted(tasks, key=lambda task: task.index)
+        return self.map(execute_task, [(task,) for task in ordered])
+
+    def close(self) -> None:
+        """Release pool resources (no-op for poolless backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline, in submission order (reference semantics)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[..., Any], argument_tuples: Sequence[Tuple]) -> List[Any]:
+        return [fn(*arguments) for arguments in argument_tuples]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared plumbing for the ``concurrent.futures`` backends."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+        self._pool: Optional[futures.Executor] = None
+
+    def _make_pool(self) -> futures.Executor:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> futures.Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map(self, fn: Callable[..., Any], argument_tuples: Sequence[Tuple]) -> List[Any]:
+        if not argument_tuples:
+            return []
+        pool = self._ensure_pool()
+        # Submit in order, collect in order: completion order never leaks
+        # into the result list.
+        pending = [pool.submit(fn, *arguments) for arguments in argument_tuples]
+        return [future.result() for future in pending]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Thread-pool execution (shared interpreter, shared artifact cache)."""
+
+    name = "threads"
+
+    def _make_pool(self) -> futures.Executor:
+        workers = self.workers or min(32, (os.cpu_count() or 1) * 2)
+        return futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="lfi-campaign"
+        )
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Process-pool execution for CPU-bound campaigns.
+
+    Targets, requests, and results cross process boundaries, so they must be
+    picklable (every shipped target is).  Fork start method is preferred so
+    workers inherit already-built artifacts (compiled binaries, profiles).
+    """
+
+    name = "processes"
+
+    def _make_pool(self) -> futures.Executor:
+        workers = self.workers or (os.cpu_count() or 1)
+        mp_context = None
+        try:
+            import multiprocessing
+
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+        except (ImportError, ValueError):  # pragma: no cover - exotic platforms
+            mp_context = None
+        return futures.ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+
+# ----------------------------------------------------------------------
+# spec resolution
+# ----------------------------------------------------------------------
+def resolve_backend(spec: ParallelismSpec) -> ExecutionBackend:
+    """Turn a ``parallelism=`` spec into a backend.
+
+    Accepted specs:
+
+    * ``None``, ``0``, ``1``, ``"serial"`` — :class:`SerialBackend`;
+    * an ``int > 1`` (or ``True``) — :class:`ProcessPoolBackend` with that
+      many workers: the targets are pure-Python and CPU-bound, so processes
+      are the spec that actually scales with cores (threads serialize on
+      the GIL);
+    * ``"threads"`` / ``"threads:N"`` — :class:`ThreadPoolBackend`, for
+      targets that block on something other than the interpreter, or whose
+      tasks/results cannot cross a process boundary;
+    * ``"processes"`` / ``"processes:N"`` — :class:`ProcessPoolBackend`;
+    * an :class:`ExecutionBackend` instance — returned unchanged (the caller
+      keeps ownership of its pool).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, bool):  # guard against parallelism=True accidents
+        return ProcessPoolBackend() if spec else SerialBackend()
+    if isinstance(spec, int):
+        return SerialBackend() if spec <= 1 else ProcessPoolBackend(spec)
+    if isinstance(spec, str):
+        kind, _, count = spec.partition(":")
+        workers = None
+        if count:
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"invalid worker count in parallelism spec {spec!r}"
+                ) from None
+            if workers < 0:
+                raise ValueError(f"negative worker count in parallelism spec {spec!r}")
+        kind = kind.strip().lower()
+        if kind in ("", "serial", "none"):
+            return SerialBackend()
+        if kind in ("thread", "threads", "process", "processes", "procs"):
+            if workers == 0:
+                # Consistent with the integer spec: zero workers means serial.
+                return SerialBackend()
+            if kind in ("thread", "threads"):
+                return ThreadPoolBackend(workers)
+            return ProcessPoolBackend(workers)
+        raise ValueError(f"unknown parallelism spec {spec!r}")
+    raise TypeError(f"unsupported parallelism spec {spec!r}")
+
+
+def backend_scope(spec: ParallelismSpec) -> Tuple[ExecutionBackend, bool]:
+    """Resolve *spec* and report whether the caller owns the backend.
+
+    Returns ``(backend, owned)``: ``owned`` is True when the backend was
+    created here (the caller should ``close()`` it after use) and False when
+    the caller passed an existing backend in (its pool is left alone).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec, False
+    return resolve_backend(spec), True
+
+
+def run_requests(
+    target: TargetAdapter,
+    requests: Sequence[WorkloadRequest],
+    parallelism: ParallelismSpec = None,
+) -> List[RunResult]:
+    """Run a batch of workload requests against *target* on a backend.
+
+    The one-stop entry point for experiment harnesses: *requests* are
+    submitted in order, results come back in the same order, and a backend
+    created here from a spec is closed afterwards (a passed-in
+    :class:`ExecutionBackend` instance is reused and left open).
+    """
+    tasks = [
+        ExecutionTask(index=index, target=target, request=request)
+        for index, request in enumerate(requests)
+    ]
+    backend, owned = backend_scope(parallelism)
+    try:
+        return backend.run_tasks(tasks)
+    finally:
+        if owned:
+            backend.close()
+
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionTask",
+    "ParallelismSpec",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "backend_scope",
+    "derive_run_seed",
+    "execute_task",
+    "resolve_backend",
+    "run_requests",
+]

@@ -53,13 +53,20 @@ class TargetAdapter(Protocol):
 
 
 def make_gate(scenario: Optional[Scenario], observe_only: bool = False,
-              shared_objects: Optional[Dict[str, Any]] = None) -> LibraryCallGate:
-    """Standard gate construction used by the target adapters."""
+              shared_objects: Optional[Dict[str, Any]] = None,
+              run_seed: Optional[int] = None) -> LibraryCallGate:
+    """Standard gate construction used by the target adapters.
+
+    ``run_seed`` is the per-run seed a campaign threads through
+    ``WorkloadRequest.options["run_seed"]`` (see
+    :func:`repro.core.controller.executor.derive_run_seed`); it seeds
+    otherwise-unseeded stochastic triggers so campaigns are reproducible.
+    """
     from repro.core.injection.runtime import InjectionRuntime
 
     runtime = None
     if scenario is not None:
-        runtime = InjectionRuntime(scenario, shared_objects=shared_objects)
+        runtime = InjectionRuntime(scenario, shared_objects=shared_objects, run_seed=run_seed)
     return LibraryCallGate(runtime=runtime, observe_only=observe_only)
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.common.frames import StackFrame
 from repro.core.injection.context import CallContext
@@ -31,15 +31,18 @@ from repro.core.injection.runtime import InjectionRuntime
 from repro.oslib.libc import LibcResult
 
 
-def _python_stack_provider(skip_modules: Tuple[str, ...]) -> Callable[[], List[StackFrame]]:
+def _python_stack_provider(skip_files: FrozenSet[str]) -> Callable[[], List[StackFrame]]:
     """Build a provider that snapshots the current Python call stack.
 
     Used for the Python-level simulated servers, where the "program" is
     Python code: frames from the gate/facade machinery itself are skipped so
     triggers see the application's stack, mirroring how a real backtrace
-    starts at the intercepted call site.  The provider walks raw frame
-    objects (no source-line loading), keeping trigger evaluation cheap — the
-    §7.4 experiments measure exactly this cost.
+    starts at the intercepted call site.  Internal frames are identified by
+    the *full path* of their source file, not the basename — an application
+    module that happens to be called ``runtime.py`` or ``context.py`` must
+    stay visible to stack triggers.  The provider walks raw frame objects
+    (no source-line loading), keeping trigger evaluation cheap — the §7.4
+    experiments measure exactly this cost.
     """
 
     def provider(max_depth: int = 16) -> List[StackFrame]:
@@ -47,9 +50,9 @@ def _python_stack_provider(skip_modules: Tuple[str, ...]) -> Callable[[], List[S
         frame = sys._getframe(1)
         while frame is not None and len(frames) < max_depth:
             filename = frame.f_code.co_filename
-            basename = os.path.basename(filename)
-            module = basename[:-3] if basename.endswith(".py") else basename
-            if module not in skip_modules:
+            if _normalized_path(filename) not in skip_files:
+                basename = os.path.basename(filename)
+                module = basename[:-3] if basename.endswith(".py") else basename
                 frames.append(
                     StackFrame(
                         module=module,
@@ -64,7 +67,32 @@ def _python_stack_provider(skip_modules: Tuple[str, ...]) -> Callable[[], List[S
     return provider
 
 
-_GATE_INTERNAL_MODULES = ("gate", "facade", "runtime", "context")
+#: Normalized-path memo so per-frame filtering stays a dict lookup.
+_PATH_CACHE: Dict[str, str] = {}
+
+
+def _normalized_path(filename: str) -> str:
+    normalized = _PATH_CACHE.get(filename)
+    if normalized is None:
+        normalized = os.path.normcase(os.path.normpath(os.path.abspath(filename)))
+        _PATH_CACHE[filename] = normalized
+    return normalized
+
+
+def _gate_internal_files() -> FrozenSet[str]:
+    """Source files of the interception machinery itself (by package path)."""
+    injection_dir = os.path.dirname(os.path.abspath(__file__))
+    files = {
+        os.path.join(injection_dir, name + ".py")
+        for name in ("gate", "runtime", "context")
+    }
+    files.add(
+        os.path.join(os.path.dirname(os.path.dirname(injection_dir)), "oslib", "facade.py")
+    )
+    return frozenset(_normalized_path(path) for path in files)
+
+
+_GATE_INTERNAL_FILES = _gate_internal_files()
 
 
 class LibraryCallGate:
@@ -88,6 +116,9 @@ class LibraryCallGate:
         self.total_calls = 0
         self.intercepted_calls = 0
         self.injected_calls = 0
+        #: Calls whose triggers agreed to inject but that passed through
+        #: because the gate is in observe-only mode (§7.4 accounting).
+        self.observed_injections = 0
         #: Extra program state exposed to ProgramStateTrigger for Python-level
         #: targets (the VM provides its own reader based on global symbols).
         self.state_providers: List[Callable[[str], Optional[Any]]] = []
@@ -106,6 +137,7 @@ class LibraryCallGate:
         self.total_calls = 0
         self.intercepted_calls = 0
         self.injected_calls = 0
+        self.observed_injections = 0
 
     # ------------------------------------------------------------------
     # the interception path
@@ -157,6 +189,11 @@ class LibraryCallGate:
             )
             return result
 
+        # Pass-through (triggers disagreed, or observe-only suppressed the
+        # injection).  Fired triggers are recorded here too: §7.4-style
+        # observe-only runs count trigger activations from the log.
+        if decision.inject and self.observe_only:
+            self.observed_injections += 1
         self.log.record(
             function=name,
             args=args,
@@ -164,6 +201,7 @@ class LibraryCallGate:
             call_count=count,
             node=ctx.node,
             module=ctx.module,
+            trigger_ids=decision.fired_triggers,
             source=str(ctx.source) if ctx.source else "",
             sim_time=self._sim_time(context),
         )
@@ -177,7 +215,7 @@ class LibraryCallGate:
     ) -> CallContext:
         stack_provider = raw.get("stack")
         if stack_provider is None and self.capture_python_stack:
-            stack_provider = _python_stack_provider(_GATE_INTERNAL_MODULES)
+            stack_provider = _python_stack_provider(_GATE_INTERNAL_FILES)
 
         state_reader = raw.get("state")
         if state_reader is None and self.state_providers:

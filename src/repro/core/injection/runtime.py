@@ -14,6 +14,7 @@ Responsibilities:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -56,6 +57,7 @@ class InjectionRuntime:
         scenario: Scenario,
         registry: Optional[TriggerRegistry] = None,
         shared_objects: Optional[Dict[str, Any]] = None,
+        run_seed: Optional[int] = None,
     ) -> None:
         ensure_stock_triggers_registered()
         self.scenario = scenario
@@ -64,6 +66,12 @@ class InjectionRuntime:
         #: central controller for distributed triggers): a parameter whose
         #: value is ``"@name"`` is replaced by ``shared_objects["name"]``.
         self.shared_objects = dict(shared_objects or {})
+        #: Per-run seed threaded down from the campaign executor.  Triggers
+        #: that consume randomness (``consumes_run_seed``) and were declared
+        #: without an explicit ``seed`` get one derived from this value and
+        #: their trigger id, so parallel campaigns stay bit-identical to
+        #: serial ones even for stochastic scenarios.
+        self.run_seed = run_seed
 
         self._plans_by_function: Dict[str, List[_PlanState]] = {}
         for plan in scenario.plans:
@@ -89,6 +97,11 @@ class InjectionRuntime:
                 resolved[key] = value
         return resolved
 
+    def _derived_trigger_seed(self, trigger_id: str) -> int:
+        """Seed for one trigger: stable in (run seed, trigger id) only."""
+        assert self.run_seed is not None
+        return (self.run_seed ^ zlib.crc32(trigger_id.encode("utf-8"))) & 0x7FFFFFFF
+
     def trigger_instance(self, trigger_id: str) -> Trigger:
         """Return (lazily creating) the instance for a declared trigger."""
         instance = self._instances.get(trigger_id)
@@ -97,8 +110,12 @@ class InjectionRuntime:
         declaration = self.scenario.triggers.get(trigger_id)
         if declaration is None:
             raise KeyError(f"scenario {self.scenario.name!r} has no trigger {trigger_id!r}")
-        instance = self.registry.lookup(declaration.class_name)()
-        instance.init(self._resolve_params(declaration.params))
+        trigger_class = self.registry.lookup(declaration.class_name)
+        params = self._resolve_params(declaration.params)
+        if self.run_seed is not None and trigger_class.consumes_run_seed:
+            params.setdefault("seed", self._derived_trigger_seed(trigger_id))
+        instance = trigger_class()
+        instance.init(params)
         self._instances[trigger_id] = instance
         return instance
 
@@ -122,6 +139,10 @@ class InjectionRuntime:
             return InjectionDecision.no_injection()
         self.decisions += 1
 
+        #: Triggers that fired for fully-agreed *observe* associations
+        #: (``injects=False``): reported on the non-injecting decision so
+        #: their activations reach the log.
+        observed_fired: List[str] = []
         for state in plans:
             fired: List[str] = []
             agreed = True
@@ -137,15 +158,24 @@ class InjectionRuntime:
                 else:
                     agreed = False
                     break  # short-circuit: remaining triggers are not invoked
-            if agreed and state.plan.injects:
-                self.injections += 1
-                return InjectionDecision(
-                    inject=True,
-                    fault=state.plan.fault,
-                    plan=state.plan,
-                    fired_triggers=fired,
-                )
-        return InjectionDecision.no_injection()
+            if agreed:
+                if state.plan.injects:
+                    self.injections += 1
+                    # Activations of earlier observe plans on this same call
+                    # ride along so log-derived counts do not lose them.
+                    for trigger_id in fired:
+                        if trigger_id not in observed_fired:
+                            observed_fired.append(trigger_id)
+                    return InjectionDecision(
+                        inject=True,
+                        fault=state.plan.fault,
+                        plan=state.plan,
+                        fired_triggers=observed_fired,
+                    )
+                for trigger_id in fired:
+                    if trigger_id not in observed_fired:
+                        observed_fired.append(trigger_id)
+        return InjectionDecision(inject=False, fired_triggers=observed_fired)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

@@ -8,6 +8,14 @@ profile* (an XML document in LFI), which both the injector and the call-site
 analyzer consume.
 """
 
+from repro.core.profiler.cache import (
+    artifact_cache_stats,
+    cached_all_library_binaries,
+    cached_library_binary,
+    cached_library_profile,
+    cached_merged_profile,
+    clear_artifact_cache,
+)
 from repro.core.profiler.fault_profile import (
     ErrorSpecification,
     FaultProfile,
@@ -23,6 +31,12 @@ __all__ = [
     "FaultProfile",
     "FunctionProfile",
     "LibraryProfiler",
+    "artifact_cache_stats",
+    "cached_all_library_binaries",
+    "cached_library_binary",
+    "cached_library_profile",
+    "cached_merged_profile",
+    "clear_artifact_cache",
     "parse_profile_xml",
     "profile_library",
     "profile_to_xml",

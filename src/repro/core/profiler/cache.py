@@ -1,0 +1,185 @@
+"""Process-wide memoized cache for profiling artifacts.
+
+Assembling the synthetic shared libraries and statically profiling them is
+pure work: the output depends only on the library specifications in
+:data:`repro.oslib.libc.LIBC_FUNCTIONS`.  Yet every :class:`LFIController`
+instance — and therefore every experiment harness and benchmark — used to
+re-run the assemble → disassemble → CFG pipeline from scratch.
+
+This module computes each artifact **once per process** and shares it:
+
+* :func:`cached_library_binary` / :func:`cached_all_library_binaries` —
+  the synthetic ``.so`` images from
+  :func:`repro.oslib.libc_binary.build_library_binary`;
+* :func:`cached_library_profile` — the static fault profile inferred from a
+  library binary;
+* :func:`cached_merged_profile` — all per-library profiles merged, the
+  shape :meth:`LFIController.profile_libraries` needs.
+
+Entries are keyed by ``(library name, spec fingerprint)`` where the
+fingerprint hashes the library's error-return specification, so a mutated
+spec (tests do this) transparently misses the cache instead of returning a
+stale artifact.  Cached objects are **shared** — treat them as immutable.
+
+Thread-safe: a single lock guards the maps, so campaigns running under
+:class:`~repro.core.controller.executor.ThreadPoolBackend` profile at most
+once.  Process-pool workers forked after the first build inherit the warm
+cache for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profiler.fault_profile import FaultProfile, merge_profiles
+from repro.core.profiler.static_profiler import profile_library
+from repro.isa.binary import BinaryImage
+from repro.oslib.libc import LIBC_FUNCTIONS
+from repro.oslib.libc_binary import build_library_binary, library_soname
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the artifact cache (observability + tests)."""
+
+    binary_hits: int = 0
+    binary_misses: int = 0
+    profile_hits: int = 0
+    profile_misses: int = 0
+    merged_hits: int = 0
+    merged_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.binary_hits + self.profile_hits + self.merged_hits
+
+    @property
+    def misses(self) -> int:
+        return self.binary_misses + self.profile_misses + self.merged_misses
+
+
+_LOCK = threading.RLock()
+_BINARIES: Dict[Tuple[str, str], BinaryImage] = {}
+_PROFILES: Dict[Tuple[str, str], FaultProfile] = {}
+_MERGED: Dict[Tuple[Tuple[str, str], ...], FaultProfile] = {}
+_STATS = CacheStats()
+
+
+def known_libraries() -> List[str]:
+    """Names of every simulated library declared in the libc spec."""
+    return sorted({spec.library for spec in LIBC_FUNCTIONS.values()})
+
+
+def library_spec_fingerprint(library: str) -> str:
+    """Stable digest of one library's error-behaviour specification."""
+    entries = []
+    for spec in sorted(LIBC_FUNCTIONS.values(), key=lambda item: item.name):
+        if spec.library != library:
+            continue
+        entries.append(
+            (
+                spec.name,
+                spec.success,
+                spec.errno_via_return,
+                tuple(
+                    (error.value, tuple(error.errnos)) for error in spec.error_returns
+                ),
+            )
+        )
+    return hashlib.sha256(repr(entries).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# cached artifacts
+# ----------------------------------------------------------------------
+def cached_library_binary(library: str = "libc") -> BinaryImage:
+    """The synthetic shared object for *library*, built at most once."""
+    key = (library, library_spec_fingerprint(library))
+    with _LOCK:
+        binary = _BINARIES.get(key)
+        if binary is not None:
+            _STATS.binary_hits += 1
+            return binary
+        _STATS.binary_misses += 1
+        binary = build_library_binary(library)
+        _BINARIES[key] = binary
+        return binary
+
+
+def cached_all_library_binaries() -> Dict[str, BinaryImage]:
+    """Every simulated shared library, keyed by soname (images are shared)."""
+    return {
+        library_soname(library): cached_library_binary(library)
+        for library in known_libraries()
+    }
+
+
+def cached_library_profile(library: str = "libc") -> FaultProfile:
+    """The static fault profile of *library*, inferred at most once."""
+    key = (library, library_spec_fingerprint(library))
+    with _LOCK:
+        profile = _PROFILES.get(key)
+        if profile is not None:
+            _STATS.profile_hits += 1
+            return profile
+        _STATS.profile_misses += 1
+        profile = profile_library(cached_library_binary(library))
+        _PROFILES[key] = profile
+        return profile
+
+
+def cached_merged_profile(libraries: Optional[Sequence[str]] = None) -> FaultProfile:
+    """Merged static profile of *libraries* (default: all known)."""
+    names = list(libraries) if libraries is not None else known_libraries()
+    key = tuple((name, library_spec_fingerprint(name)) for name in names)
+    with _LOCK:
+        merged = _MERGED.get(key)
+        if merged is not None:
+            _STATS.merged_hits += 1
+            return merged
+        _STATS.merged_misses += 1
+        merged = merge_profiles([cached_library_profile(name) for name in names])
+        _MERGED[key] = merged
+        return merged
+
+
+# ----------------------------------------------------------------------
+# maintenance
+# ----------------------------------------------------------------------
+def clear_artifact_cache() -> None:
+    """Drop every cached artifact and reset the counters (tests)."""
+    with _LOCK:
+        _BINARIES.clear()
+        _PROFILES.clear()
+        _MERGED.clear()
+        global _STATS
+        _STATS = CacheStats()
+
+
+def artifact_cache_stats() -> CacheStats:
+    """A snapshot of the current hit/miss counters."""
+    with _LOCK:
+        return CacheStats(
+            binary_hits=_STATS.binary_hits,
+            binary_misses=_STATS.binary_misses,
+            profile_hits=_STATS.profile_hits,
+            profile_misses=_STATS.profile_misses,
+            merged_hits=_STATS.merged_hits,
+            merged_misses=_STATS.merged_misses,
+        )
+
+
+__all__ = [
+    "CacheStats",
+    "artifact_cache_stats",
+    "cached_all_library_binaries",
+    "cached_library_binary",
+    "cached_library_profile",
+    "cached_merged_profile",
+    "clear_artifact_cache",
+    "known_libraries",
+    "library_spec_fingerprint",
+]

@@ -35,6 +35,13 @@ class Trigger(ABC):
     #: Name under which the trigger is registered (set by ``declare_trigger``).
     trigger_name: str = ""
 
+    #: True for triggers whose ``init`` accepts a ``seed`` parameter.  When a
+    #: campaign threads a per-run seed (``TestCampaign.run(seed=...)``), the
+    #: injection runtime derives a seed for each such trigger that was
+    #: declared *without* an explicit one, making otherwise-unseeded
+    #: stochastic triggers reproducible and schedule-independent.
+    consumes_run_seed: bool = False
+
     def init(self, params: Optional[Dict[str, Any]] = None) -> None:
         """Receive scenario parameters before the first ``eval`` call.
 

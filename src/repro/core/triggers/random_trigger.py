@@ -19,6 +19,8 @@ from repro.core.triggers.base import Trigger, TriggerError, declare_trigger
 class RandomTrigger(Trigger):
     """Inject with probability ``probability`` on every evaluation."""
 
+    consumes_run_seed = True
+
     def __init__(self) -> None:
         self.probability = 0.0
         self._rng = random.Random(0)

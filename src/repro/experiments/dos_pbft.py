@@ -8,30 +8,67 @@
    replica's communication, then the next replica's, and so on, aiming to
    confuse the view-change protocol.  Throughput drops by a factor of ~2.2x
    in the paper.
+
+Each trial builds its own central controller (the policies are
+deterministic, so a fresh controller is equivalent to the old shared-then-
+reset one), which makes the trial grid an independent batch a
+``parallelism=`` spec can fan out over an execution backend.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.core.controller.executor import (
+    ExecutionBackend,
+    ParallelismSpec,
+    backend_scope,
+    run_requests,
+)
 from repro.core.controller.target import WorkloadRequest
 from repro.experiments.common import TableResult
 from repro.targets.pbft import PBFTTarget
 from repro.targets.pbft.scenarios import rotating_attack_experiment, silence_replica_experiment
 
 
-def _throughput(target: PBFTTarget, scenario=None, controller=None, requests: int = 30,
-                trials: int = 3) -> float:
-    values = []
-    for _ in range(trials):
-        options = {"requests": requests}
-        if controller is not None:
-            options["shared_objects"] = {"controller": controller}
-            controller.reset()
-        result = target.run(WorkloadRequest(workload="simple", scenario=scenario, options=options))
-        values.append(result.stats["throughput"])
+def _attack_request(attack: Optional[str], requests: int, burst: int) -> WorkloadRequest:
+    """Build one trial's request with a fresh scenario + controller pair."""
+    if attack is None:
+        return WorkloadRequest(workload="simple", options={"requests": requests})
+    if attack == "silence":
+        scenario, controller = silence_replica_experiment("replica3")
+    elif attack == "rotating":
+        scenario, controller = rotating_attack_experiment(burst=burst)
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown attack {attack!r}")
+    return WorkloadRequest(
+        workload="simple",
+        scenario=scenario,
+        options={"requests": requests, "shared_objects": {"controller": controller}},
+    )
+
+
+def _throughput(
+    target: PBFTTarget,
+    attack: Optional[str],
+    backend: ExecutionBackend,
+    requests: int = 30,
+    trials: int = 3,
+    burst: int = 100,
+) -> float:
+    results = run_requests(
+        target, [_attack_request(attack, requests, burst) for _ in range(trials)], backend
+    )
+    values: List[float] = [result.stats["throughput"] for result in results]
     return sum(values) / len(values)
 
 
-def run(requests: int = 30, trials: int = 3, burst: int = 100) -> TableResult:
+def run(
+    requests: int = 30,
+    trials: int = 3,
+    burst: int = 100,
+    parallelism: ParallelismSpec = None,
+) -> TableResult:
     """Reproduce the two DoS scenarios of §7.3."""
     target = PBFTTarget()
     table = TableResult(
@@ -41,14 +78,21 @@ def run(requests: int = 30, trials: int = 3, burst: int = 100) -> TableResult:
         paper_reference={"silence_one_replica": 1.12, "rotating_attack_drop": 2.2},
     )
 
-    baseline = _throughput(target, requests=requests, trials=trials)
+    backend, owned = backend_scope(parallelism)
+    try:
+        baseline = _throughput(target, None, backend, requests=requests, trials=trials)
+        silenced = _throughput(target, "silence", backend, requests=requests, trials=trials)
+        rotating = _throughput(
+            target, "rotating", backend, requests=requests, trials=trials, burst=burst
+        )
+    finally:
+        if owned:
+            backend.close()
+
     table.add_row(
         attack="Baseline (no attack)",
         **{"throughput (req/s)": baseline, "relative to baseline": 1.0},
     )
-
-    scenario, controller = silence_replica_experiment("replica3")
-    silenced = _throughput(target, scenario, controller, requests=requests, trials=trials)
     table.add_row(
         attack="Silence one replica (all its communication fails)",
         **{
@@ -56,9 +100,6 @@ def run(requests: int = 30, trials: int = 3, burst: int = 100) -> TableResult:
             "relative to baseline": silenced / baseline if baseline else 0.0,
         },
     )
-
-    scenario, controller = rotating_attack_experiment(burst=burst)
-    rotating = _throughput(target, scenario, controller, requests=requests, trials=trials)
     table.add_row(
         attack=f"Rotating attack ({burst} consecutive faults per replica)",
         **{

@@ -5,38 +5,38 @@ probability through a distributed trigger consulting the central controller
 (a degraded — but not malicious — network).  Throughput is measured on the
 simulated clock, and the slowdown factor is relative to the baseline run
 without LFI interference, averaged over several trials as in the paper.
+
+Every trial builds a fresh cluster and a fresh central controller, so the
+(probability x trial) grid is an independent batch: a ``parallelism=`` spec
+hands it to an execution backend, with per-trial seeds fixed up front so
+results are identical regardless of scheduling.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.controller.executor import ParallelismSpec, run_requests
 from repro.core.controller.target import WorkloadRequest
 from repro.experiments.common import TableResult
 from repro.targets.pbft import PBFTTarget
-from repro.targets.pbft.scenarios import packet_loss_experiment
+from repro.targets.pbft.scenarios import packet_loss_workload_request
 
 #: The x axis of Figure 3.
 DEFAULT_LOSS_PROBABILITIES = (0.0, 0.1, 0.8, 0.9, 0.95, 0.99)
 
 
-def _run_once(target: PBFTTarget, probability: Optional[float], seed: int, requests: int):
+def _trial_request(probability: Optional[float], seed: int, requests: int) -> WorkloadRequest:
     if probability is None:
-        return target.run(WorkloadRequest(workload="simple", options={"requests": requests}))
-    scenario, controller = packet_loss_experiment(probability, seed=seed)
-    return target.run(
-        WorkloadRequest(
-            workload="simple",
-            scenario=scenario,
-            options={"requests": requests, "shared_objects": {"controller": controller}},
-        )
-    )
+        return WorkloadRequest(workload="simple", options={"requests": requests})
+    return packet_loss_workload_request(probability, seed=seed, requests=requests)
 
 
 def run(
     requests: int = 30,
     trials: int = 3,
     probabilities: Sequence[float] = DEFAULT_LOSS_PROBABILITIES,
+    parallelism: ParallelismSpec = None,
 ) -> TableResult:
     """Reproduce Figure 3 (slowdown factor vs. packet-loss probability)."""
     target = PBFTTarget()
@@ -47,19 +47,26 @@ def run(
         paper_reference={"max_slowdown_at_p99": 4.17, "trials": 7},
     )
 
-    baseline_seconds = []
-    for trial in range(trials):
-        result = _run_once(target, None, trial, requests)
-        baseline_seconds.append(result.stats["simulated_seconds"])
+    # One flat batch: `trials` baseline runs, then `trials` runs per point.
+    points: list = [None] + list(probabilities)
+    results = run_requests(
+        target,
+        [
+            _trial_request(probability, seed=trial, requests=requests)
+            for probability in points
+            for trial in range(trials)
+        ],
+        parallelism,
+    )
+
+    grouped = [results[index * trials:(index + 1) * trials] for index in range(len(points))]
+    baseline_seconds = [result.stats["simulated_seconds"] for result in grouped[0]]
     baseline = sum(baseline_seconds) / len(baseline_seconds)
 
-    for probability in probabilities:
-        times, transfers, view_changes = [], 0, 0
-        for trial in range(trials):
-            result = _run_once(target, probability, trial, requests)
-            times.append(result.stats["simulated_seconds"])
-            transfers += result.stats["state_transfers"]
-            view_changes += result.stats["view_changes"]
+    for probability, group in zip(points[1:], grouped[1:]):
+        times = [result.stats["simulated_seconds"] for result in group]
+        transfers = sum(result.stats["state_transfers"] for result in group)
+        view_changes = sum(result.stats["view_changes"] for result in group)
         slowdown = (sum(times) / len(times)) / baseline if baseline else 0.0
         table.add_row(
             **{

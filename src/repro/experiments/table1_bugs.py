@@ -13,13 +13,26 @@ scenarios against the running PBFT deployment.
 
 Each known (planted) bug is matched against the failures the campaign
 exposed, so the table reports, per bug, whether LFI found it.
+
+The whole experiment is one scenario x workload batch per system, so it
+accepts a ``parallelism=`` spec (see
+:func:`repro.core.controller.executor.resolve_backend`); one execution
+backend is shared by every campaign, and the library profiles come from the
+process-wide artifact cache, so only the first campaign pays the profiling
+cost.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import LFIController
+from repro.core.controller.executor import (
+    ExecutionBackend,
+    ParallelismSpec,
+    backend_scope,
+    run_requests,
+)
 from repro.core.controller.monitor import OutcomeKind
 from repro.core.controller.report import BugCandidate
 from repro.core.controller.target import WorkloadRequest
@@ -47,15 +60,19 @@ def _bug_matches(bug: KnownBug, candidates: List[BugCandidate]) -> bool:
     return False
 
 
-def _compiled_target_bugs(target, include_checked: bool = True) -> List[BugCandidate]:
+def _compiled_target_bugs(
+    target, include_checked: bool = True, backend: Optional[ExecutionBackend] = None
+) -> List[BugCandidate]:
     controller = LFIController(target)
     report = controller.test_automatically(
-        workloads=["default-tests"], include_checked=include_checked
+        workloads=["default-tests"], include_checked=include_checked, parallelism=backend
     )
     return report.bugs
 
 
-def _mysql_bugs(random_tests: int = 40) -> List[BugCandidate]:
+def _mysql_bugs(
+    random_tests: int = 40, backend: Optional[ExecutionBackend] = None
+) -> List[BugCandidate]:
     """Random-injection campaign + the custom close-after-unlock trigger."""
     target = MiniMySQLTarget()
     candidates: Dict[Tuple[str, OutcomeKind], BugCandidate] = {}
@@ -74,49 +91,67 @@ def _mysql_bugs(random_tests: int = 40) -> List[BugCandidate]:
             )
         candidates[key].occurrences += 1
 
+    # Build the whole random campaign up front (every scenario carries its
+    # own seed), hand the batch to the backend, and fold the results back in
+    # submission order — identical to the historical serial loop.
     functions = ("read", "close", "open", "write", "fcntl")
+    requests: List[WorkloadRequest] = []
+    task_functions: List[str] = []
     for index in range(random_tests):
         function = functions[index % len(functions)]
         scenario = random_campaign_scenario(function, probability=0.2, seed=index)
         for workload in ("startup", "merge-big"):
-            result = target.run(WorkloadRequest(workload=workload, scenario=scenario))
-            note(function, result.outcome)
+            requests.append(WorkloadRequest(workload=workload, scenario=scenario))
+            task_functions.append(function)
     # The paper then wrote a call-stack / custom trigger to reproduce the
     # double-unlock crash deterministically.
-    result = target.run(
+    requests.append(
         WorkloadRequest(workload="merge-big", scenario=close_after_unlock_scenario(2))
     )
-    note("close", result.outcome)
+    task_functions.append("close")
+
+    results = run_requests(target, requests, backend)
+    for function, result in zip(task_functions, results):
+        note(function, result.outcome)
     return list(candidates.values())
 
 
-def _pbft_runtime_bugs() -> List[BugCandidate]:
+def _pbft_runtime_bugs(backend: Optional[ExecutionBackend] = None) -> List[BugCandidate]:
     target = PBFTTarget()
-    candidates: List[BugCandidate] = []
-    result = target.run(
-        WorkloadRequest(workload="simple", scenario=recvfrom_failure_scenario(nth=5),
-                        options={"requests": 5})
+    results = run_requests(
+        target,
+        [
+            WorkloadRequest(
+                workload="simple",
+                scenario=recvfrom_failure_scenario(nth=5),
+                options={"requests": 5},
+            ),
+            WorkloadRequest(
+                workload="simple",
+                scenario=checkpoint_fopen_scenario(),
+                options={"requests": 20},
+            ),
+        ],
+        backend,
     )
-    if result.outcome.is_high_impact:
+
+    candidates: List[BugCandidate] = []
+    if results[0].outcome.is_high_impact:
         candidates.append(
             BugCandidate(target="pbft", function="recvfrom", location="replica receive loop",
-                         kind=result.outcome.kind, description=result.outcome.detail,
+                         kind=results[0].outcome.kind, description=results[0].outcome.detail,
                          occurrences=1)
         )
-    result = target.run(
-        WorkloadRequest(workload="simple", scenario=checkpoint_fopen_scenario(),
-                        options={"requests": 20})
-    )
-    if result.outcome.is_high_impact:
+    if results[1].outcome.is_high_impact:
         candidates.append(
             BugCandidate(target="pbft", function="fopen", location="replica checkpoint writer",
-                         kind=result.outcome.kind, description=result.outcome.detail,
+                         kind=results[1].outcome.kind, description=results[1].outcome.detail,
                          occurrences=1)
         )
     return candidates
 
 
-def run(random_tests: int = 25) -> TableResult:
+def run(random_tests: int = 25, parallelism: ParallelismSpec = None) -> TableResult:
     """Reproduce Table 1: which of the planted bugs does LFI expose?"""
     table = TableResult(
         name="Table 1",
@@ -125,12 +160,18 @@ def run(random_tests: int = 25) -> TableResult:
         paper_reference={"bugs_reported": 11},
     )
 
-    findings: Dict[str, List[BugCandidate]] = {
-        "mini_bind": _compiled_target_bugs(MiniBindTarget()),
-        "mini_git": _compiled_target_bugs(MiniGitTarget()),
-        "mini_mysql": _mysql_bugs(random_tests),
-        "pbft": _pbft_runtime_bugs() + _compiled_target_bugs(PBFTCheckpointTarget()),
-    }
+    backend, owned = backend_scope(parallelism)
+    try:
+        findings: Dict[str, List[BugCandidate]] = {
+            "mini_bind": _compiled_target_bugs(MiniBindTarget(), backend=backend),
+            "mini_git": _compiled_target_bugs(MiniGitTarget(), backend=backend),
+            "mini_mysql": _mysql_bugs(random_tests, backend=backend),
+            "pbft": _pbft_runtime_bugs(backend=backend)
+            + _compiled_target_bugs(PBFTCheckpointTarget(), backend=backend),
+        }
+    finally:
+        if owned:
+            backend.close()
 
     all_known: List[KnownBug] = []
     all_known.extend(MiniBindTarget.known_bugs)

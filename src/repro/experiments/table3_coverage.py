@@ -16,9 +16,15 @@ Methodology, mirroring §7.1:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.analysis.analyzer import CallSiteAnalyzer
+from repro.core.controller.executor import (
+    ExecutionBackend,
+    ParallelismSpec,
+    backend_scope,
+    run_requests,
+)
 from repro.core.controller.target import WorkloadRequest
 from repro.core.profiler.spec_profiles import combined_reference_profile
 from repro.coverage.recovery import identify_recovery_regions
@@ -32,18 +38,25 @@ from repro.targets.mini_git.target import COVERAGE_FUNCTIONS as GIT_FUNCTIONS
 from repro.targets.mini_git.target import MiniGitTarget
 
 
-def _run_suite_with_coverage(target: CompiledTarget, scenario=None) -> CoverageTracker:
+def _run_suite_with_coverage(target: CompiledTarget) -> CoverageTracker:
     result = target.run(
-        WorkloadRequest(workload="default-tests", scenario=scenario, collect_coverage=True)
+        WorkloadRequest(workload="default-tests", scenario=None, collect_coverage=True)
     )
     tracker: CoverageTracker = result.stats["coverage"]
     return tracker
 
 
 def measure_target(
-    target: CompiledTarget, functions: Sequence[str]
+    target: CompiledTarget,
+    functions: Sequence[str],
+    backend: Optional[ExecutionBackend] = None,
 ) -> Tuple[CoverageComparison, int]:
-    """Return (coverage comparison, number of scenarios run) for one target."""
+    """Return (coverage comparison, number of scenarios run) for one target.
+
+    The per-scenario suite re-runs are an independent batch; *backend*
+    (serial when ``None``) executes them, and coverage is merged in
+    submission order so the comparison is schedule-independent.
+    """
     binary = target.binary()
     profile = combined_reference_profile()
     recovery = identify_recovery_regions(binary, profile, functions=list(functions))
@@ -57,15 +70,24 @@ def measure_target(
         analysis, include_partial=True, include_checked=True
     )
 
+    results = run_requests(
+        target,
+        [
+            WorkloadRequest(workload="default-tests", scenario=scenario, collect_coverage=True)
+            for scenario in scenarios
+        ],
+        backend,
+    )
+
     merged = CoverageTracker()
     merged.merge(baseline_tracker)
-    for scenario in scenarios:
-        merged.merge(_run_suite_with_coverage(target, scenario))
+    for result in results:
+        merged.merge(result.stats["coverage"])
     lfi_report = build_report(binary, merged, recovery, "test suite + LFI")
     return compare_coverage(baseline_report, lfi_report), len(scenarios)
 
 
-def run() -> TableResult:
+def run(parallelism: ParallelismSpec = None) -> TableResult:
     """Reproduce Table 3 for the Git and BIND analogs."""
     table = TableResult(
         name="Table 3",
@@ -91,8 +113,16 @@ def run() -> TableResult:
         (MiniGitTarget(), GIT_FUNCTIONS),
         (MiniBindTarget(), BIND_FUNCTIONS),
     ]
-    for target, functions in targets:
-        comparison, scenario_count = measure_target(target, functions)
+    backend, owned = backend_scope(parallelism)
+    try:
+        measurements = [
+            (target, measure_target(target, functions, backend=backend))
+            for target, functions in targets
+        ]
+    finally:
+        if owned:
+            backend.close()
+    for target, (comparison, scenario_count) in measurements:
         table.add_row(
             system=target.name,
             **{

@@ -165,7 +165,8 @@ class CompiledTarget:
         """Execute one workload, optionally under an injection scenario."""
         binary = self.binary()
         os = self.make_os()
-        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        gate = make_gate(request.scenario, observe_only=request.observe_only,
+                         run_seed=request.options.get("run_seed"))
         libc = SimLibc(os)
         coverage = CoverageTracker() if request.collect_coverage else None
 

@@ -42,7 +42,8 @@ class MiniApacheTarget:
 
     def make_server(self, request: WorkloadRequest) -> ApacheServer:
         os = self.make_os()
-        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        gate = make_gate(request.scenario, observe_only=request.observe_only,
+                         run_seed=request.options.get("run_seed"))
         libc = LibcFacade(os, gate=gate, node="httpd")
         server = ApacheServer(os, libc)
         gate.add_state_provider(server.read_state)

@@ -65,7 +65,8 @@ class MiniMySQLTarget:
 
     def make_server(self, request: WorkloadRequest) -> MySQLServer:
         os = self.make_os()
-        gate = make_gate(request.scenario, observe_only=request.observe_only)
+        gate = make_gate(request.scenario, observe_only=request.observe_only,
+                         run_seed=request.options.get("run_seed"))
         libc = LibcFacade(os, gate=gate, node="mysqld")
         server = MySQLServer(os, libc)
         gate.add_state_provider(server.read_state)

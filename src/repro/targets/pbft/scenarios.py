@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.controller.target import WorkloadRequest
 from repro.core.scenario.builder import ScenarioBuilder
 from repro.core.scenario.model import Scenario
 from repro.distributed.central_controller import (
@@ -68,6 +69,29 @@ def rotating_attack_experiment(
     return scenario, controller
 
 
+def packet_loss_workload_request(
+    probability: float,
+    seed: Optional[int] = 0,
+    requests: int = 30,
+    workload: str = "simple",
+    nodes: Optional[Sequence[str]] = None,
+) -> WorkloadRequest:
+    """Executor-ready request for one degraded-network trial.
+
+    Builds a *fresh* scenario + central-controller pair, so batches of
+    trials can be handed to any
+    :class:`~repro.core.controller.executor.ExecutionBackend` without
+    sharing mutable policy state between concurrent runs; the seed pins the
+    loss pattern, keeping parallel batches identical to serial ones.
+    """
+    scenario, controller = packet_loss_experiment(probability, seed=seed, nodes=nodes)
+    return WorkloadRequest(
+        workload=workload,
+        scenario=scenario,
+        options={"requests": requests, "shared_objects": {"controller": controller}},
+    )
+
+
 def recvfrom_failure_scenario(node: str = "replica1", nth: int = 5) -> Scenario:
     """Fail one replica's n-th ``recvfrom`` with a hard error (Table 1 bug)."""
     return (
@@ -94,6 +118,7 @@ def checkpoint_fopen_scenario(nth: int = 1) -> Scenario:
 __all__ = [
     "checkpoint_fopen_scenario",
     "packet_loss_experiment",
+    "packet_loss_workload_request",
     "recvfrom_failure_scenario",
     "rotating_attack_experiment",
     "silence_replica_experiment",

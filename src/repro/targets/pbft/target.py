@@ -50,8 +50,10 @@ class PBFTTarget:
         scenario: Optional[Scenario] = None,
         shared_objects: Optional[Dict[str, Any]] = None,
         observe_only: bool = False,
+        run_seed: Optional[int] = None,
     ) -> PBFTCluster:
-        gate = make_gate(scenario, observe_only=observe_only, shared_objects=shared_objects)
+        gate = make_gate(scenario, observe_only=observe_only, shared_objects=shared_objects,
+                         run_seed=run_seed)
         return PBFTCluster(replicas=4, faults_tolerated=1, gate=gate)
 
     def run(self, request: WorkloadRequest) -> RunResult:
@@ -61,6 +63,7 @@ class PBFTTarget:
             scenario=request.scenario,
             shared_objects=shared_objects,
             observe_only=request.observe_only,
+            run_seed=options.get("run_seed"),
         )
         requests = int(options.get("requests", 20 if request.workload == "simple" else 80))
         workload_result = cluster.run_workload(requests=requests)

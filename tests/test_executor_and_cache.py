@@ -1,0 +1,413 @@
+"""Tests for the campaign execution backends, the artifact cache, and the
+injection-gate / controller fixes that shipped with them."""
+
+import os
+
+import pytest
+
+from repro.core.controller.campaign import TestCampaign as InjectionCampaign
+from repro.core.controller.controller import LFIController
+from repro.core.controller.executor import (
+    ExecutionTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    derive_run_seed,
+    resolve_backend,
+)
+from repro.core.controller.monitor import OutcomeKind, RunResult, classify_exit_status
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.core.injection.gate import (
+    _GATE_INTERNAL_FILES,
+    _python_stack_provider,
+    LibraryCallGate,
+)
+from repro.core.injection.log import InjectionLog
+from repro.core.injection.runtime import InjectionRuntime
+from repro.core.profiler.cache import (
+    artifact_cache_stats,
+    cached_all_library_binaries,
+    cached_library_binary,
+    cached_library_profile,
+    cached_merged_profile,
+    clear_artifact_cache,
+)
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.minicc import compile_source
+from repro.oslib.os_model import SimOS
+from repro.vm.machine import Machine
+
+TOY_SOURCE = """
+int main() {
+    int p;
+    int fd;
+    fd = open("/cfg", 0);
+    if (fd < 0) { return 1; }
+    p = malloc(16);
+    *p = 7;
+    close(fd);
+    return 0;
+}
+"""
+
+_TOY_BINARY = None
+
+
+def _toy_binary():
+    global _TOY_BINARY
+    if _TOY_BINARY is None:
+        _TOY_BINARY = compile_source(TOY_SOURCE, name="toy")
+    return _TOY_BINARY
+
+
+class ToyTarget:
+    """Module-level (hence picklable) compiled target for backend tests."""
+
+    name = "toy"
+
+    def binary(self):
+        return _toy_binary()
+
+    def workloads(self):
+        return ["default", "repeat"]
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        os_state = SimOS("toy")
+        os_state.fs.add_file("/cfg", b"x")
+        gate = make_gate(request.scenario, observe_only=request.observe_only,
+                         run_seed=request.options.get("run_seed"))
+        machine = Machine(self.binary(), os=os_state, gate=gate)
+        status = machine.run()
+        result = RunResult(outcome=classify_exit_status(status), log=gate.log)
+        result.stats["run_seed"] = request.options.get("run_seed")
+        return result
+
+
+def _scenarios():
+    return [
+        ScenarioBuilder("fail-malloc").trigger("once", "SingletonTrigger")
+        .inject("malloc", ["once"], return_value=0, errno="ENOMEM").build(),
+        ScenarioBuilder("fail-open").trigger("once", "SingletonTrigger")
+        .inject("open", ["once"], return_value=-1, errno="ENOENT").build(),
+        ScenarioBuilder("fail-close").trigger("once", "SingletonTrigger")
+        .inject("close", ["once"], return_value=-1, errno="EIO").build(),
+    ]
+
+
+def _campaign_signature(campaign):
+    return [
+        (
+            outcome.scenario.name,
+            outcome.workload,
+            outcome.outcome.kind,
+            outcome.outcome.detail,
+            outcome.result.injections,
+        )
+        for outcome in campaign.outcomes
+    ]
+
+
+class TestBackends:
+    def test_resolve_backend_specs(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend(1), SerialBackend)
+        assert isinstance(resolve_backend(False), SerialBackend)
+        # The targets are CPU-bound pure Python: integer counts (and True)
+        # select the process pool, the backend that scales with cores.
+        assert isinstance(resolve_backend(4), ProcessPoolBackend)
+        assert resolve_backend(4).workers == 4
+        assert isinstance(resolve_backend(True), ProcessPoolBackend)
+        assert isinstance(resolve_backend("threads"), ThreadPoolBackend)
+        assert resolve_backend("threads:3").workers == 3
+        assert isinstance(resolve_backend("threads:0"), SerialBackend)
+        assert isinstance(resolve_backend("processes:0"), SerialBackend)
+        assert isinstance(resolve_backend("processes:2"), ProcessPoolBackend)
+        backend = ThreadPoolBackend(2)
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        with pytest.raises(ValueError):
+            resolve_backend("threads:abc")
+        with pytest.raises(ValueError):
+            resolve_backend("threads:-2")
+        with pytest.raises(TypeError):
+            resolve_backend(3.5)
+
+    def test_map_preserves_submission_order(self):
+        with ThreadPoolBackend(4) as backend:
+            results = backend.map(lambda value: value * 2, [(i,) for i in range(20)])
+        assert results == [i * 2 for i in range(20)]
+
+    def test_serial_thread_process_campaigns_identical(self):
+        scenarios = _scenarios()
+        target = ToyTarget()
+        serial = InjectionCampaign(target).run(scenarios)
+        threaded = InjectionCampaign(target, parallelism="threads:3").run(scenarios)
+        with ProcessPoolBackend(2) as backend:
+            processed = InjectionCampaign(target, parallelism=backend).run(scenarios)
+        reference = _campaign_signature(serial)
+        assert _campaign_signature(threaded) == reference
+        assert _campaign_signature(processed) == reference
+        assert serial.by_kind() == threaded.by_kind() == processed.by_kind()
+
+    def test_controller_reports_identical_across_backends(self):
+        def report_signature(report):
+            return [
+                (bug.function, bug.location, bug.kind, bug.occurrences, tuple(bug.scenarios))
+                for bug in report.bugs
+            ]
+
+        serial = LFIController(ToyTarget()).test_automatically(workloads=["default"])
+        threaded = LFIController(ToyTarget(), parallelism="threads:4").test_automatically(
+            workloads=["default"]
+        )
+        assert report_signature(threaded) == report_signature(serial)
+        assert serial.bugs and any(bug.function == "malloc" for bug in serial.bugs)
+
+    def test_seed_threading_is_deterministic_and_order_free(self):
+        assert derive_run_seed(None, 3) is None
+        seeds = [derive_run_seed(42, index) for index in range(8)]
+        assert seeds == [derive_run_seed(42, index) for index in range(8)]
+        assert len(set(seeds)) == len(seeds)
+
+        scenarios = _scenarios()
+        serial = InjectionCampaign(ToyTarget()).run(scenarios, seed=42)
+        threaded = InjectionCampaign(ToyTarget(), parallelism="threads:3").run(scenarios, seed=42)
+        serial_seeds = [outcome.result.stats["run_seed"] for outcome in serial.outcomes]
+        threaded_seeds = [outcome.result.stats["run_seed"] for outcome in threaded.outcomes]
+        assert serial_seeds == threaded_seeds == seeds[: len(scenarios)]
+        # No campaign seed -> requests untouched (historical behaviour).
+        unseeded = InjectionCampaign(ToyTarget()).run(scenarios)
+        assert all(outcome.result.stats["run_seed"] is None for outcome in unseeded.outcomes)
+
+    def test_task_failure_propagates(self):
+        class BrokenTarget:
+            name = "broken"
+
+            def workloads(self):
+                return ["default"]
+
+            def binary(self):
+                return None
+
+            def run(self, request):
+                raise OSError("target harness itself broke")
+
+        scenarios = _scenarios()[:1]
+        with pytest.raises(OSError):
+            InjectionCampaign(BrokenTarget()).run(scenarios, include_baseline=False)
+        with pytest.raises(OSError):
+            InjectionCampaign(BrokenTarget(), parallelism="threads:2").run(
+                scenarios, include_baseline=False
+            )
+
+
+class TestStochasticSeedThreading:
+    def _random_scenario(self, seed=None):
+        params = {"probability": 0.5}
+        if seed is not None:
+            params["seed"] = seed
+        return (
+            ScenarioBuilder("random-close")
+            .trigger_with_params("r", "RandomTrigger", params)
+            .inject("close", ["r"], return_value=-1, errno="EIO")
+            .build()
+        )
+
+    def test_runtime_derives_seed_for_unseeded_random_triggers(self):
+        runtime = InjectionRuntime(self._random_scenario(), run_seed=5)
+        trigger = runtime.trigger_instance("r")
+        assert trigger._seed is not None
+        # Deterministic in (run seed, trigger id): a second runtime with the
+        # same run seed derives the same trigger seed.
+        again = InjectionRuntime(self._random_scenario(), run_seed=5)
+        assert again.trigger_instance("r")._seed == trigger._seed
+        # An explicit scenario seed always wins over the derived one.
+        explicit = InjectionRuntime(self._random_scenario(seed=9), run_seed=5)
+        assert explicit.trigger_instance("r")._seed == 9
+        # Without a run seed, unseeded triggers stay unseeded (historical).
+        unseeded = InjectionRuntime(self._random_scenario())
+        assert unseeded.trigger_instance("r")._seed is None
+
+    def test_seeded_campaigns_reproducible_and_backend_independent(self):
+        scenarios = [self._random_scenario() for _ in range(6)]
+        first = InjectionCampaign(ToyTarget()).run(scenarios, seed=7, include_baseline=False)
+        second = InjectionCampaign(ToyTarget()).run(scenarios, seed=7, include_baseline=False)
+        threaded = InjectionCampaign(ToyTarget(), parallelism="threads:3").run(
+            scenarios, seed=7, include_baseline=False
+        )
+        assert _campaign_signature(first) == _campaign_signature(second)
+        assert _campaign_signature(threaded) == _campaign_signature(first)
+
+
+class TestCrossWorkloadDedup:
+    def test_occurrences_merge_without_duplicate_candidates(self):
+        report = LFIController(ToyTarget()).test_automatically(
+            workloads=["default", "repeat"]
+        )
+        malloc_bugs = [bug for bug in report.bugs if bug.function == "malloc"]
+        assert len(malloc_bugs) == 1
+        bug = malloc_bugs[0]
+        # Both workloads exposed the same (function, location, kind) bug:
+        # occurrences merged, scenario list extended, candidate not repeated.
+        assert bug.occurrences == 2
+        assert len(bug.scenarios) == 2
+        keys = [(candidate.function, candidate.location, candidate.kind)
+                for candidate in report.bugs]
+        assert len(keys) == len(set(keys))
+        assert set(report.campaigns) == {"default", "repeat"}
+
+
+class TestArtifactCache:
+    def setup_method(self):
+        clear_artifact_cache()
+
+    def teardown_method(self):
+        clear_artifact_cache()
+
+    def test_binaries_and_profiles_hit_after_first_build(self):
+        first = cached_library_binary("libc")
+        stats = artifact_cache_stats()
+        assert stats.binary_misses == 1 and stats.binary_hits == 0
+        assert cached_library_binary("libc") is first
+        assert artifact_cache_stats().binary_hits == 1
+
+        profile = cached_library_profile("libc")
+        assert cached_library_profile("libc") is profile
+        merged = cached_merged_profile()
+        assert cached_merged_profile() is merged
+        assert "malloc" in merged and "read" in merged
+
+    def test_all_binaries_share_cached_images(self):
+        images = cached_all_library_binaries()
+        assert "libc.so" in images
+        again = cached_all_library_binaries()
+        assert all(again[name] is images[name] for name in images)
+
+    def test_controllers_share_one_profile(self):
+        clear_artifact_cache()
+        first = LFIController(ToyTarget()).profile_libraries()
+        misses_after_first = artifact_cache_stats().misses
+        second = LFIController(ToyTarget()).profile_libraries()
+        assert second is first
+        assert artifact_cache_stats().misses == misses_after_first
+
+    def test_explicit_profile_bypasses_cache(self):
+        sentinel = cached_merged_profile()
+        controller = LFIController(ToyTarget(), profile=sentinel)
+        assert controller.profile_libraries() is sentinel
+
+    def test_controller_reuses_single_analyzer(self):
+        controller = LFIController(ToyTarget())
+        analysis = controller.analyze_target()
+        analyzer = controller._analyzer
+        assert analyzer is not None
+        controller.generate_scenarios(analysis)
+        controller.analyze_target()
+        assert controller._analyzer is analyzer
+
+
+class TestGateFixes:
+    def _observe_gate(self, nth=1):
+        scenario = (
+            ScenarioBuilder("observe")
+            .trigger("count", "CallCountTrigger", nth=nth)
+            .inject("read", ["count"], return_value=-1, errno="EIO")
+            .build()
+        )
+        log = InjectionLog(record_passthrough=True)
+        return LibraryCallGate(
+            runtime=InjectionRuntime(scenario), log=log, observe_only=True
+        )
+
+    def test_observe_only_records_fired_triggers(self):
+        from repro.oslib.libc import LibcResult
+
+        gate = self._observe_gate(nth=2)
+        invoke = lambda: LibcResult(value=100)
+        gate.call("read", (), invoke)
+        gate.call("read", (), invoke)
+        records = gate.log.records
+        assert [record.injected for record in records] == [False, False]
+        # First call: trigger did not fire.  Second call: trigger fired but
+        # observe-only suppressed the injection — the activation must still
+        # be countable from the log (§7.4 methodology).
+        assert records[0].trigger_ids == []
+        assert records[1].trigger_ids == ["count"]
+        assert gate.observed_injections == 1
+        assert gate.injected_calls == 0
+        gate.reset_counters()
+        assert gate.observed_injections == 0
+
+    def test_observe_association_records_fired_triggers(self):
+        from repro.oslib.libc import LibcResult
+
+        # ``observe`` associations (injects=False) must also surface their
+        # fired triggers to the log — not just observe-only gates.
+        scenario = (
+            ScenarioBuilder("observe-assoc")
+            .trigger("count", "CallCountTrigger", nth=1)
+            .observe("read", ["count"])
+            .build()
+        )
+        log = InjectionLog(record_passthrough=True)
+        gate = LibraryCallGate(runtime=InjectionRuntime(scenario), log=log)
+        gate.call("read", (), lambda: LibcResult(value=100))
+        assert log.records[0].injected is False
+        assert log.records[0].trigger_ids == ["count"]
+
+    def test_stack_provider_keeps_app_frames_with_colliding_basenames(self, tmp_path):
+        # An *application* module that happens to be called runtime.py must
+        # stay visible to stack triggers; only the gate's own files are
+        # filtered (by full path, not basename).
+        app_file = tmp_path / "runtime.py"
+        source = (
+            "def application_entry(capture):\n"
+            "    return capture()\n"
+        )
+        app_file.write_text(source)
+        code = compile(source, str(app_file), "exec")
+        namespace = {}
+        exec(code, namespace)
+
+        provider = _python_stack_provider(_GATE_INTERNAL_FILES)
+        frames = namespace["application_entry"](provider)
+        assert any(
+            frame.module == "runtime" and frame.function == "application_entry"
+            for frame in frames
+        )
+
+    def test_stack_provider_still_hides_gate_internals(self):
+        from repro.oslib.libc import LibcResult
+
+        scenario = (
+            ScenarioBuilder("stack")
+            .trigger_with_params("cs", "CallStackTrigger", {"frame": {"function": "caller"}})
+            .inject("read", ["cs"], return_value=-1, errno="EIO")
+            .build()
+        )
+        gate = LibraryCallGate(runtime=InjectionRuntime(scenario))
+
+        def caller():
+            return gate.call("read", (), lambda: LibcResult(value=100))
+
+        result = caller()
+        assert result.injected
+        record = gate.log.injections()[0]
+        internal_basenames = {os.path.basename(path) for path in _GATE_INTERNAL_FILES}
+        assert record.stack, "stack should have been captured"
+        assert all(frame.file not in internal_basenames for frame in record.stack)
+
+
+class TestProcessPoolArtifactInheritance:
+    def test_forked_workers_return_equivalent_results(self):
+        # The pool is created after the binary cache is warm; fork workers
+        # inherit it, and results cross the process boundary intact.
+        scenarios = _scenarios()
+        serial = InjectionCampaign(ToyTarget()).run(scenarios, include_baseline=False)
+        with ProcessPoolBackend(2) as backend:
+            forked = InjectionCampaign(ToyTarget(), parallelism=backend).run(
+                scenarios, include_baseline=False
+            )
+        assert _campaign_signature(forked) == _campaign_signature(serial)
