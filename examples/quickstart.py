@@ -26,13 +26,21 @@ Two knobs worth knowing about:
   are memoized process-wide (``repro.core.profiler.cache``), so the first
   controller pays the assemble + profile cost and every later controller,
   experiment, or benchmark in the same process reuses the artifacts.
+* ``explore()`` — instead of one scenario per suspicious site,
+  systematically cover the whole (call site x error return x errno) space
+  with a pluggable strategy, deduplicated failures, and a resumable
+  JSON-lines result store (see the walkthrough at the bottom and
+  ``repro.core.exploration``).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import LFIController, compile_source
+import os
+import tempfile
+
+from repro import ExhaustiveStrategy, LFIController, ResultStore, compile_source
 from repro.core.controller.monitor import RunResult, classify_exit_status
 from repro.core.controller.target import WorkloadRequest, make_gate
 from repro.oslib.os_model import SimOS
@@ -118,6 +126,39 @@ def main() -> None:
     report = controller.test_automatically(workloads=["default"], parallelism="processes:2")
     print()
     print(report.summary())
+
+    # ------------------------------------------------------------------
+    # Fault-space exploration: the systematic alternative to step 3-4.
+    #
+    # ``explore()`` enumerates EVERY (call site x error return x errno)
+    # combination, schedules it in priority order (unchecked sites first,
+    # novel fault classes before repeats), deduplicates equivalent failures
+    # by (function, errno, outcome, stack fingerprint), and checkpoints
+    # each completed run in a JSON-lines store.
+    store_path = os.path.join(tempfile.gettempdir(), "quickstart-exploration.jsonl")
+    if os.path.exists(store_path):
+        os.unlink(store_path)
+    exploration = controller.explore(
+        strategy=ExhaustiveStrategy(),      # or BoundarySampleStrategy(),
+        store=ResultStore(store_path),      # RandomSampleStrategy(seed=0)
+        analysis=analysis,                  # reuse step 2's analysis
+        seed=7,
+    )
+    print()
+    print(exploration.summary())
+
+    # The store makes exploration resumable: running again with the same
+    # store replays everything from disk and executes nothing new.  Kill a
+    # long campaign at any point and it picks up where it left off.
+    resumed = controller.explore(
+        strategy=ExhaustiveStrategy(), store=ResultStore(store_path),
+        analysis=analysis, seed=7,
+    )
+    print(
+        f"\nresumed exploration: {resumed.executed} scenario runs executed, "
+        f"{resumed.resumed} replayed from {store_path}"
+    )
+    os.unlink(store_path)
 
 
 if __name__ == "__main__":

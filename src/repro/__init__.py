@@ -33,6 +33,22 @@ trigger id)`` — so parallel campaigns are bit-identical to serial ones::
 
     report = controller.test_automatically(parallelism="processes:4")
 
+**Fault-space exploration.** :meth:`LFIController.explore` (backed by
+:mod:`repro.core.exploration`) turns the hand-built scenario lists into
+systematic coverage of the whole (call site x error return x errno) space:
+a pluggable strategy — :class:`~repro.core.exploration.ExhaustiveStrategy`,
+:class:`~repro.core.exploration.BoundarySampleStrategy`, or a seeded
+:class:`~repro.core.exploration.RandomSampleStrategy` — selects the points
+to run, the campaign executor schedules them in priority order (unchecked
+sites first, novel (function, errno) fault classes before repeats),
+failures deduplicate by ``(function, errno, outcome, stack fingerprint)``,
+and every completed run is checkpointed in a JSON-lines
+:class:`~repro.core.exploration.ResultStore` so an interrupted exploration
+resumes without re-running finished scenarios::
+
+    report = controller.explore(store=ResultStore("bind.jsonl"), seed=7)
+    print(report.summary())
+
 **Artifact cache.** Building and profiling the synthetic shared libraries
 is memoized process-wide in :mod:`repro.core.profiler.cache`
 (``cached_library_binary``, ``cached_merged_profile``, ...): the first
@@ -63,6 +79,16 @@ from repro.core.controller.executor import (
     resolve_backend,
 )
 from repro.core.controller.target import WorkloadRequest
+from repro.core.exploration import (
+    BoundarySampleStrategy,
+    ExhaustiveStrategy,
+    ExplorationEngine,
+    ExplorationReport,
+    ExplorationStrategy,
+    RandomSampleStrategy,
+    ResultStore,
+    enumerate_fault_space,
+)
 from repro.core.injection.context import CallContext
 from repro.core.injection.faults import FaultSpec
 from repro.core.injection.gate import LibraryCallGate
@@ -88,10 +114,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "BoundarySampleStrategy",
     "CallContext",
     "CallSiteAnalyzer",
     "ControllerReport",
     "ExecutionBackend",
+    "ExhaustiveStrategy",
+    "ExplorationEngine",
+    "ExplorationReport",
+    "ExplorationStrategy",
     "FaultSpec",
     "InjectionLog",
     "InjectionRuntime",
@@ -100,6 +131,8 @@ __all__ = [
     "LibraryProfiler",
     "Machine",
     "ProcessPoolBackend",
+    "RandomSampleStrategy",
+    "ResultStore",
     "Scenario",
     "ScenarioBuilder",
     "SerialBackend",
@@ -115,6 +148,7 @@ __all__ = [
     "clear_artifact_cache",
     "compile_source",
     "declare_trigger",
+    "enumerate_fault_space",
     "parse_scenario_xml",
     "profile_library",
     "resolve_backend",

@@ -14,6 +14,9 @@ Subpackages:
   generation (§5).
 * :mod:`repro.core.controller` — the LFI controller orchestrating test
   campaigns and monitoring outcomes (§2).
+* :mod:`repro.core.exploration` — systematic fault-space exploration:
+  (site x errno) enumeration, pluggable selection strategies, failure
+  deduplication, and a resumable JSON-lines result store (§5, §7.1).
 """
 
 from repro.core.injection.context import CallContext

@@ -19,7 +19,7 @@ from repro.core.scenario.model import Scenario
 from repro.oslib.errno_codes import errno_value
 
 
-def _fault_candidates(profile: FunctionProfile) -> List[Dict[str, Optional[int]]]:
+def fault_candidates(profile: FunctionProfile) -> List[Dict[str, Optional[int]]]:
     """All (return value, errno) pairs worth injecting for a function."""
     candidates: List[Dict[str, Optional[int]]] = []
     for specification in profile.error_returns:
@@ -33,6 +33,40 @@ def _fault_candidates(profile: FunctionProfile) -> List[Dict[str, Optional[int]]
     return candidates
 
 
+def scenario_for_fault(
+    binary_name: str,
+    classified: ClassifiedSite,
+    function: str,
+    return_value: int,
+    errno: Optional[int],
+    name: Optional[str] = None,
+    once: bool = True,
+) -> Scenario:
+    """Build the scenario injecting one specific fault at one call site."""
+    site = classified.site
+    builder = ScenarioBuilder(name or f"{binary_name}-{function}-{site.address:#x}")
+    trigger_id = f"site_{site.address:x}"
+    frame: Dict[str, object] = {"module": binary_name, "offset": site.address}
+    if site.source is not None:
+        frame["file"] = site.source.file
+        frame["line"] = site.source.line
+    builder.trigger_with_params(trigger_id, "CallStackTrigger", {"frame": frame})
+    trigger_ids = [trigger_id]
+    if once:
+        builder.trigger(f"{trigger_id}_once", "SingletonTrigger")
+        trigger_ids.append(f"{trigger_id}_once")
+    builder.inject(function, trigger_ids, return_value=int(return_value), errno=errno)
+    builder.metadata(
+        target_binary=binary_name,
+        target_function=function,
+        call_site=site.address,
+        caller=site.caller,
+        category=classified.category,
+        source=str(site.source) if site.source else "",
+    )
+    return builder.build()
+
+
 def scenario_for_site(
     binary_name: str,
     classified: ClassifiedSite,
@@ -41,7 +75,7 @@ def scenario_for_site(
     once: bool = True,
 ) -> List[Scenario]:
     """Build injection scenario(s) targeting one classified call site."""
-    faults = _fault_candidates(profile)
+    faults = fault_candidates(profile)
     if not faults:
         return []
     if not every_errno:
@@ -51,33 +85,17 @@ def scenario_for_site(
     site = classified.site
     for index, fault in enumerate(faults):
         suffix = f"-{index}" if len(faults) > 1 else ""
-        name = f"{binary_name}-{profile.name}-{site.address:#x}{suffix}"
-        builder = ScenarioBuilder(name)
-        trigger_id = f"site_{site.address:x}"
-        frame: Dict[str, object] = {"module": binary_name, "offset": site.address}
-        if site.source is not None:
-            frame["file"] = site.source.file
-            frame["line"] = site.source.line
-        builder.trigger_with_params(trigger_id, "CallStackTrigger", {"frame": frame})
-        trigger_ids = [trigger_id]
-        if once:
-            builder.trigger(f"{trigger_id}_once", "SingletonTrigger")
-            trigger_ids.append(f"{trigger_id}_once")
-        builder.inject(
-            profile.name,
-            trigger_ids,
-            return_value=int(fault["return_value"]),
-            errno=fault["errno"],
+        scenarios.append(
+            scenario_for_fault(
+                binary_name,
+                classified,
+                profile.name,
+                return_value=int(fault["return_value"]),
+                errno=fault["errno"],
+                name=f"{binary_name}-{profile.name}-{site.address:#x}{suffix}",
+                once=once,
+            )
         )
-        builder.metadata(
-            target_binary=binary_name,
-            target_function=profile.name,
-            call_site=site.address,
-            caller=site.caller,
-            category=classified.category,
-            source=str(site.source) if site.source else "",
-        )
-        scenarios.append(builder.build())
     return scenarios
 
 
@@ -122,4 +140,9 @@ def generate_injection_scenarios(
     return scenarios
 
 
-__all__ = ["generate_injection_scenarios", "scenario_for_site"]
+__all__ = [
+    "fault_candidates",
+    "generate_injection_scenarios",
+    "scenario_for_fault",
+    "scenario_for_site",
+]

@@ -33,6 +33,10 @@ from repro.core.controller.campaign import CampaignResult, TestCampaign
 from repro.core.controller.executor import ParallelismSpec, backend_scope
 from repro.core.controller.report import BugCandidate, build_bug_report
 from repro.core.controller.target import TargetAdapter
+from repro.core.exploration.engine import ExplorationEngine, ExplorationReport
+from repro.core.exploration.space import FaultPoint, enumerate_fault_space
+from repro.core.exploration.store import ResultStore
+from repro.core.exploration.strategy import ExplorationStrategy
 from repro.core.profiler.cache import cached_merged_profile
 from repro.core.profiler.fault_profile import FaultProfile
 from repro.core.scenario.model import Scenario
@@ -133,6 +137,86 @@ class LFIController:
             every_errno=every_errno,
             functions=functions,
         )
+
+    # ------------------------------------------------------------------
+    # fault-space exploration (systematic alternative to steps 3-4)
+    # ------------------------------------------------------------------
+    def fault_space(
+        self,
+        analysis: Optional[AnalysisReport] = None,
+        functions: Optional[Sequence[str]] = None,
+        include_partial: bool = True,
+        include_checked: bool = False,
+    ) -> List[FaultPoint]:
+        """Enumerate the target's injectable fault space.
+
+        The full (call site x error return x errno) cross product from the
+        analyzer output and the library fault profiles — the space
+        :meth:`explore` covers.  Raises for Python-level targets, whose
+        scenarios are not derived from binary analysis.  *functions* narrows
+        the space whether the analysis is computed here or passed in.
+        """
+        if analysis is None:
+            analysis = self.analyze_target(functions=functions)
+        if analysis is None:
+            raise ValueError(
+                f"target {self.target.name!r} has no binary to analyze; "
+                "fault-space exploration needs analyzer output"
+            )
+        classifications = list(analysis.classifications.values())
+        if functions is not None:
+            wanted = set(functions)
+            classifications = [
+                classification
+                for classification in classifications
+                if classification.function in wanted
+            ]
+        return enumerate_fault_space(
+            classifications,
+            self.profile_libraries(),
+            include_partial=include_partial,
+            include_checked=include_checked,
+        )
+
+    def explore(
+        self,
+        strategy: Optional[ExplorationStrategy] = None,
+        store: Optional[ResultStore] = None,
+        workload: Optional[str] = None,
+        analysis: Optional[AnalysisReport] = None,
+        functions: Optional[Sequence[str]] = None,
+        include_partial: bool = True,
+        include_checked: bool = False,
+        seed: Optional[int] = None,
+        parallelism: ParallelismSpec = None,
+        max_runs: Optional[int] = None,
+    ) -> ExplorationReport:
+        """Systematically explore the target's fault space (PR 2 tentpole).
+
+        Enumerates every injectable (call site x error return x errno)
+        point, lets *strategy* (exhaustive by default) pick the subset to
+        run, schedules it through the campaign executor in priority order,
+        deduplicates equivalent failures, and checkpoints completed runs in
+        *store* so a second ``explore()`` with the same store resumes
+        instead of re-running.  Pass a precomputed *analysis* to skip the
+        call-site analysis step (e.g. when resuming or sweeping several
+        strategies over one target).  See :mod:`repro.core.exploration`.
+        """
+        points = self.fault_space(
+            analysis=analysis,
+            functions=functions,
+            include_partial=include_partial,
+            include_checked=include_checked,
+        )
+        engine = ExplorationEngine(
+            self.target,
+            strategy=strategy,
+            store=store,
+            parallelism=parallelism if parallelism is not None else self.parallelism,
+            seed=seed,
+            workload=workload,
+        )
+        return engine.explore(points, max_runs=max_runs)
 
     # ------------------------------------------------------------------
     # steps 4-5: campaigns and reports

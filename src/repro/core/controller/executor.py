@@ -33,7 +33,7 @@ import os
 from abc import ABC, abstractmethod
 from concurrent import futures
 from dataclasses import dataclass, replace
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.controller.monitor import RunResult
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
@@ -101,6 +101,22 @@ class ExecutionBackend(ABC):
         ordered = sorted(tasks, key=lambda task: task.index)
         return self.map(execute_task, [(task,) for task in ordered])
 
+    def run_tasks_iter(
+        self, tasks: Sequence[ExecutionTask]
+    ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
+        """Yield ``(task, result)`` pairs incrementally, as runs complete.
+
+        Unlike :meth:`run_tasks`, pairs arrive in **completion** order
+        (pools yield whatever finishes first; the serial backend yields
+        after each task) — the caller gets each pair while the rest of the
+        batch is still running, which is what lets the exploration engine
+        checkpoint completed runs the moment they exist.  Callers needing
+        submission order must reassemble by ``task.index``.  The base
+        implementation degrades to the eager :meth:`run_tasks`.
+        """
+        ordered = sorted(tasks, key=lambda task: task.index)
+        yield from zip(ordered, self.map(execute_task, [(task,) for task in ordered]))
+
     def close(self) -> None:
         """Release pool resources (no-op for poolless backends)."""
 
@@ -118,6 +134,12 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[..., Any], argument_tuples: Sequence[Tuple]) -> List[Any]:
         return [fn(*arguments) for arguments in argument_tuples]
+
+    def run_tasks_iter(
+        self, tasks: Sequence[ExecutionTask]
+    ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
+        for task in sorted(tasks, key=lambda task: task.index):
+            yield task, execute_task(task)
 
 
 class _PoolBackend(ExecutionBackend):
@@ -143,6 +165,19 @@ class _PoolBackend(ExecutionBackend):
         # into the result list.
         pending = [pool.submit(fn, *arguments) for arguments in argument_tuples]
         return [future.result() for future in pending]
+
+    def run_tasks_iter(
+        self, tasks: Sequence[ExecutionTask]
+    ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
+        ordered = sorted(tasks, key=lambda task: task.index)
+        if not ordered:
+            return
+        pool = self._ensure_pool()
+        # Completion order, not submission order: a slow head-of-line task
+        # must not delay checkpointing of tasks that already finished.
+        future_to_task = {pool.submit(execute_task, task): task for task in ordered}
+        for future in futures.as_completed(future_to_task):
+            yield future_to_task[future], future.result()
 
     def close(self) -> None:
         if self._pool is not None:

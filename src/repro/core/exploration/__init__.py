@@ -1,0 +1,104 @@
+"""Fault-space exploration: systematic, resumable injection campaigns.
+
+Where :mod:`repro.core.analysis.scenario_gen` emits one scenario per
+suspicious call site, this subsystem makes the *whole* fault space a
+first-class object and explores it the way §5/§7.1 envision — exhaustively
+when affordable, prunably when not, and restartably always.
+
+**The space** (:mod:`~repro.core.exploration.space`).
+:func:`~repro.core.exploration.space.enumerate_fault_space` crosses the
+analyzer's classified call sites with every (error return, errno) pair of
+the library fault profile; each element is a
+:class:`~repro.core.exploration.space.FaultPoint` with a stable key like
+``mini_bind:open@0x1a4:rv=-1:errno=ENOENT``.
+:func:`~repro.core.exploration.space.priority_order` schedules unchecked
+sites before partially checked before checked, and within each band puts
+the first occurrence of each novel (function, return value, errno) fault
+class ahead of repeats.
+
+**Strategies** (:mod:`~repro.core.exploration.strategy`).  A strategy picks
+*which* scheduled points to run, deterministically:
+
+* :class:`~repro.core.exploration.strategy.ExhaustiveStrategy` — every
+  point exactly once (the full sweep);
+* :class:`~repro.core.exploration.strategy.BoundarySampleStrategy` — the
+  first and last fault candidate per call site (the errno-range edges);
+* :class:`~repro.core.exploration.strategy.RandomSampleStrategy` — a
+  seeded fraction/count sample, stable in its seed.
+
+**Resume semantics** (:mod:`~repro.core.exploration.store`).  Every
+completed run is appended to a JSON-lines
+:class:`~repro.core.exploration.store.ResultStore` and flushed before the
+next run starts.  On the next ``explore()`` with the same store, completed
+point keys are replayed from disk and only the remainder executes; per-run
+seeds derive from each point's position in the full schedule, so a resumed
+run gets the seed it would have received uninterrupted.  A torn final line
+(hard kill mid-write) is discarded and that single run re-executes.
+
+**Deduplication** (:mod:`~repro.core.exploration.dedup`).  Injection-exposed
+failures (a fault was actually injected and the run failed) are grouped by
+``(function, errno, outcome kind, stack fingerprint)`` — the
+fingerprint hashes the injected call's stack frames — so one underlying bug
+reached from many fault points (or across resumed runs) reports once.
+
+Entry points: :meth:`repro.core.controller.controller.LFIController.explore`
+for end-to-end use, or :class:`~repro.core.exploration.engine.ExplorationEngine`
+directly when the fault space comes from elsewhere::
+
+    from repro import LFIController
+    from repro.core.exploration import ExhaustiveStrategy, ResultStore
+
+    controller = LFIController(MiniBindTarget())
+    report = controller.explore(
+        strategy=ExhaustiveStrategy(),
+        store=ResultStore("bind-exploration.jsonl"),
+        seed=7,
+        parallelism="processes:4",
+    )
+    print(report.summary())   # re-running resumes: 0 executed, all replayed
+"""
+
+from repro.core.exploration.dedup import (
+    FailureDeduplicator,
+    UniqueFailure,
+    stack_fingerprint,
+)
+from repro.core.exploration.engine import (
+    ExplorationEngine,
+    ExplorationOutcome,
+    ExplorationReport,
+)
+from repro.core.exploration.space import (
+    CATEGORY_RANK,
+    FaultPoint,
+    enumerate_fault_space,
+    priority_order,
+)
+from repro.core.exploration.store import ResultStore, StoredResult
+from repro.core.exploration.strategy import (
+    BoundarySampleStrategy,
+    ExhaustiveStrategy,
+    ExplorationStrategy,
+    RandomSampleStrategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "BoundarySampleStrategy",
+    "CATEGORY_RANK",
+    "ExhaustiveStrategy",
+    "ExplorationEngine",
+    "ExplorationOutcome",
+    "ExplorationReport",
+    "ExplorationStrategy",
+    "FailureDeduplicator",
+    "FaultPoint",
+    "RandomSampleStrategy",
+    "ResultStore",
+    "StoredResult",
+    "UniqueFailure",
+    "enumerate_fault_space",
+    "priority_order",
+    "resolve_strategy",
+    "stack_fingerprint",
+]

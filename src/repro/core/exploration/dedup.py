@@ -1,0 +1,102 @@
+"""Failure deduplication across exploration runs.
+
+Different fault points frequently expose the *same* underlying bug — e.g.
+every unchecked ``puts`` site on one error path crashes at the same store
+instruction.  Exploration reports would drown the novel findings, so
+failures are grouped by a four-part equivalence key:
+
+``(function, errno, outcome kind, stack fingerprint)``
+
+The stack fingerprint hashes the frames of the injected call (module,
+function, line — not raw addresses, which shift between builds) so two
+crashes reached through the same path collapse even when exposed by
+different scenarios or in different campaign runs.  Results replayed from
+the store carry their fingerprint with them, so resuming never double
+counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.frames import StackFrame
+from repro.core.controller.monitor import Outcome, OutcomeKind
+
+FailureKey = Tuple[str, Optional[int], OutcomeKind, str]
+
+
+def stack_fingerprint(stack: Sequence[StackFrame], fallback: str = "") -> str:
+    """Stable hex fingerprint of a call stack (empty stack -> *fallback*)."""
+    if not stack:
+        return zlib.crc32(fallback.encode("utf-8")).to_bytes(4, "big").hex() if fallback else ""
+    text = "|".join(f"{frame.module}:{frame.function}:{frame.line}" for frame in stack)
+    return zlib.crc32(text.encode("utf-8")).to_bytes(4, "big").hex()
+
+
+@dataclass
+class UniqueFailure:
+    """One equivalence class of observed failures."""
+
+    function: str
+    errno: Optional[int]
+    kind: OutcomeKind
+    fingerprint: str
+    detail: str = ""
+    occurrences: int = 0
+    scenarios: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> FailureKey:
+        return (self.function, self.errno, self.kind, self.fingerprint)
+
+    def describe(self) -> str:
+        errno = self.errno if self.errno is not None else "-"
+        return (
+            f"{self.function} (errno {errno}) -> {self.kind.value} "
+            f"[stack {self.fingerprint or '?'}] x{self.occurrences}"
+        )
+
+
+class FailureDeduplicator:
+    """Accumulates failures, keeping one representative per equivalence class."""
+
+    def __init__(self) -> None:
+        self._unique: Dict[FailureKey, UniqueFailure] = {}
+
+    def add(
+        self,
+        function: str,
+        errno: Optional[int],
+        outcome: Outcome,
+        fingerprint: str,
+        scenario: str = "",
+    ) -> bool:
+        """Record one failure; True when its equivalence class is novel."""
+        key: FailureKey = (function, errno, outcome.kind, fingerprint)
+        existing = self._unique.get(key)
+        novel = existing is None
+        if existing is None:
+            existing = UniqueFailure(
+                function=function,
+                errno=errno,
+                kind=outcome.kind,
+                fingerprint=fingerprint,
+                detail=outcome.detail,
+            )
+            self._unique[key] = existing
+        existing.occurrences += 1
+        if scenario and scenario not in existing.scenarios:
+            existing.scenarios.append(scenario)
+        return novel
+
+    def unique(self) -> List[UniqueFailure]:
+        """Unique failures in first-seen order."""
+        return list(self._unique.values())
+
+    def __len__(self) -> int:
+        return len(self._unique)
+
+
+__all__ = ["FailureDeduplicator", "FailureKey", "UniqueFailure", "stack_fingerprint"]

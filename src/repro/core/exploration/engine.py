@@ -1,0 +1,302 @@
+"""The fault-space exploration engine.
+
+Ties the subsystem together: take an enumerated fault space, order it by
+testing priority, let a strategy pick the points to run, schedule them
+through a PR 1 execution backend, deduplicate the failures, and checkpoint
+every completed run in the result store so interrupted explorations resume
+instead of restarting.
+
+Determinism contract (the property the tests pin down):
+
+* the schedule — ordering, selection, per-run seeds — is a pure function of
+  (fault space, strategy, exploration seed); execution results never feed
+  back into it;
+* per-run seeds derive from each point's position in the *full* schedule
+  (:func:`~repro.core.controller.executor.derive_run_seed`), so a resumed
+  run receives exactly the seed it would have received in an uninterrupted
+  exploration;
+* backends return results in submission order, so parallel explorations are
+  bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.controller.executor import (
+    ExecutionTask,
+    ParallelismSpec,
+    backend_scope,
+    derive_run_seed,
+)
+from repro.core.controller.monitor import Outcome, RunResult
+from repro.core.controller.target import TargetAdapter, WorkloadRequest
+from repro.core.exploration.dedup import FailureDeduplicator, UniqueFailure, stack_fingerprint
+from repro.core.exploration.space import FaultPoint, priority_order
+from repro.core.exploration.store import ResultStore, StoredResult
+from repro.core.exploration.strategy import ExplorationStrategy, resolve_strategy
+
+
+@dataclass
+class ExplorationOutcome:
+    """One completed fault point: fresh from a run or replayed from the store."""
+
+    point: FaultPoint
+    index: int
+    outcome: Outcome
+    injections: int = 0
+    fingerprint: str = ""
+    resumed: bool = False
+    run_seed: Optional[int] = None
+    scenario_name: str = ""
+
+    @property
+    def exposed_failure(self) -> bool:
+        return self.injections > 0 and self.outcome.is_high_impact
+
+    def describe(self) -> str:
+        origin = "store" if self.resumed else "run"
+        return f"[{origin}] {self.point.key}: {self.outcome.describe()}"
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one :meth:`ExplorationEngine.explore` call produced."""
+
+    target: str
+    workload: str
+    strategy: str
+    space_size: int
+    selected: int
+    executed: int
+    resumed: int
+    pending: int
+    outcomes: List[ExplorationOutcome] = field(default_factory=list)
+    unique_failures: List[UniqueFailure] = field(default_factory=list)
+    store: Optional[ResultStore] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every selected point has a recorded result."""
+        return self.pending == 0
+
+    def failures(self) -> List[ExplorationOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.outcome.is_failure]
+
+    def to_bug_candidates(self) -> List["BugCandidate"]:
+        """High-impact unique failures as Table 1 style bug candidates.
+
+        The location is the failure's stack fingerprint, so the cross-
+        workload deduplication in ``LFIController.test_automatically`` and
+        the Table 1 harness keeps distinct crash paths distinct.
+        """
+        from repro.core.controller.report import BugCandidate
+
+        candidates: List[BugCandidate] = []
+        for failure in self.unique_failures:
+            if not failure.kind.is_high_impact:
+                continue
+            candidates.append(
+                BugCandidate(
+                    target=self.target,
+                    function=failure.function,
+                    location=f"stack:{failure.fingerprint}" if failure.fingerprint else "",
+                    kind=failure.kind,
+                    description=failure.detail,
+                    scenarios=list(failure.scenarios),
+                    occurrences=failure.occurrences,
+                )
+            )
+        return candidates
+
+    def summary(self) -> str:
+        lines = [
+            f"exploration of {self.target} [{self.workload}] via {self.strategy}: "
+            f"{self.selected}/{self.space_size} points selected — "
+            f"{self.executed} run, {self.resumed} resumed from store, {self.pending} pending",
+            f"  {len(self.failures())} failures, {len(self.unique_failures)} unique",
+        ]
+        for failure in self.unique_failures:
+            lines.append("    - " + failure.describe())
+        if self.store is not None:
+            lines.append("  " + self.store.summary())
+        return "\n".join(lines)
+
+
+class ExplorationEngine:
+    """Schedules fault-space exploration campaigns against one target."""
+
+    def __init__(
+        self,
+        target: TargetAdapter,
+        strategy: Optional[ExplorationStrategy] = None,
+        store: Optional[ResultStore] = None,
+        parallelism: ParallelismSpec = None,
+        seed: Optional[int] = None,
+        workload: Optional[str] = None,
+        once: bool = True,
+    ) -> None:
+        self.target = target
+        self.strategy = resolve_strategy(strategy)
+        self.store = store if store is not None else ResultStore()
+        self.parallelism = parallelism
+        self.seed = seed
+        self.workload = workload or (target.workloads()[0] if target.workloads() else "default")
+        self.once = once
+
+    # ------------------------------------------------------------------
+    def schedule(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
+        """The deterministic schedule: priority order, then strategy selection."""
+        return self.strategy.select(priority_order(points))
+
+    def _run_key(self, point: FaultPoint) -> str:
+        return f"{self.workload}|{point.key}"
+
+    def _fingerprint(self, result: RunResult, point: FaultPoint) -> str:
+        record = result.log.last_injection() if result.log is not None else None
+        fallback = result.outcome.location or result.outcome.detail or point.key
+        if record is not None and record.stack:
+            return stack_fingerprint(record.stack)
+        return stack_fingerprint([], fallback=fallback)
+
+    # ------------------------------------------------------------------
+    def explore(
+        self, points: Sequence[FaultPoint], max_runs: Optional[int] = None
+    ) -> ExplorationReport:
+        """Run (or resume) one exploration over *points*.
+
+        ``max_runs`` bounds how many *new* scenario runs this call performs —
+        completed work replayed from the store is free — which both supports
+        incremental budgeted exploration and lets tests model interruption.
+        """
+        schedule = self.schedule(points)
+        completed = self.store.completed_keys()
+
+        pending: List[tuple] = []  # (global index, point)
+        for index, point in enumerate(schedule):
+            key = self._run_key(point)
+            if key not in completed:
+                pending.append((index, point))
+                continue
+            # Validate resumability *before* executing anything: a replayed
+            # result must carry exactly the seed this schedule would derive,
+            # otherwise the merged report would be reproducible by no seed.
+            stored = self.store.get(key)
+            expected_seed = derive_run_seed(self.seed, index)
+            if stored.run_seed != expected_seed:
+                raise ValueError(
+                    f"result store seed mismatch for {key!r}: stored run_seed "
+                    f"{stored.run_seed!r}, this exploration derives "
+                    f"{expected_seed!r} — resume with the original seed and "
+                    "strategy, or start a fresh store"
+                )
+        if max_runs is not None:
+            pending = pending[:max_runs]
+
+        points_by_index = dict(pending)
+        tasks = [
+            ExecutionTask(
+                index=index,
+                target=self.target,
+                request=WorkloadRequest(
+                    workload=self.workload, scenario=point.scenario(once=self.once)
+                ),
+                seed=derive_run_seed(self.seed, index),
+            )
+            for index, point in pending
+        ]
+        backend, owned = backend_scope(self.parallelism)
+        fresh: dict = {}
+        try:
+            # Stream results and checkpoint each one in the store the moment
+            # it is available: a kill mid-campaign loses only in-flight work.
+            for task, result in backend.run_tasks_iter(tasks):
+                point = points_by_index[task.index]
+                stored = StoredResult(
+                    key=self._run_key(point),
+                    index=task.index,
+                    scenario=task.request.scenario.name,
+                    function=point.function,
+                    return_value=point.return_value,
+                    errno=point.errno,
+                    category=point.category,
+                    workload=self.workload,
+                    outcome=result.outcome.kind.value,
+                    detail=result.outcome.detail,
+                    exit_code=result.outcome.exit_code,
+                    location=result.outcome.location,
+                    injections=result.injections,
+                    fingerprint=self._fingerprint(result, point),
+                    run_seed=task.seed,
+                )
+                self.store.append(stored)
+                fresh[task.index] = (point, result, stored)
+        finally:
+            if owned:
+                backend.close()
+
+        # Assemble outcomes in schedule order, merging store replays with
+        # fresh runs; later duplicates of one key collapse onto the store.
+        outcomes: List[ExplorationOutcome] = []
+        executed = resumed = still_pending = 0
+        deduplicator = FailureDeduplicator()
+        for index, point in enumerate(schedule):
+            if index in fresh:
+                _, result, stored = fresh[index]
+                outcome = ExplorationOutcome(
+                    point=point,
+                    index=index,
+                    outcome=result.outcome,
+                    injections=result.injections,
+                    fingerprint=stored.fingerprint,
+                    resumed=False,
+                    run_seed=stored.run_seed,
+                    scenario_name=stored.scenario,
+                )
+                executed += 1
+            else:
+                stored = self.store.get(self._run_key(point))
+                if stored is None:
+                    still_pending += 1
+                    continue
+                outcome = ExplorationOutcome(
+                    point=point,
+                    index=index,
+                    outcome=stored.to_outcome(),
+                    injections=stored.injections,
+                    fingerprint=stored.fingerprint,
+                    resumed=True,
+                    run_seed=stored.run_seed,
+                    scenario_name=stored.scenario,
+                )
+                resumed += 1
+            outcomes.append(outcome)
+            # Only *injection-exposed* failures count — a run that fails
+            # without its fault ever being injected is a workload problem,
+            # not a finding (same gate as the campaign bug report).
+            if outcome.outcome.is_failure and outcome.injections > 0:
+                deduplicator.add(
+                    function=point.function,
+                    errno=point.errno,
+                    outcome=outcome.outcome,
+                    fingerprint=outcome.fingerprint,
+                    scenario=outcome.scenario_name,
+                )
+
+        return ExplorationReport(
+            target=self.target.name,
+            workload=self.workload,
+            strategy=self.strategy.describe(),
+            space_size=len(points),
+            selected=len(schedule),
+            executed=executed,
+            resumed=resumed,
+            pending=still_pending,
+            outcomes=outcomes,
+            unique_failures=deduplicator.unique(),
+            store=self.store,
+        )
+
+
+__all__ = ["ExplorationEngine", "ExplorationOutcome", "ExplorationReport"]

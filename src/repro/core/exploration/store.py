@@ -1,0 +1,144 @@
+"""Incremental campaign state: a JSON-lines result store.
+
+Every completed scenario run is appended to the store as one JSON object on
+one line, flushed immediately — a crashed or killed exploration therefore
+loses at most the run that was in flight.  On startup the engine asks the
+store which point keys are already completed and schedules only the rest,
+so an interrupted exploration resumes without re-running finished work.
+
+The line format is self-describing (plain JSON, stable keys), so stores can
+be inspected with standard tools (``jq``, ``grep``) and merged by simple
+concatenation.  A store opened without a path keeps results in memory only
+— same API, no persistence — which is what one-shot campaigns use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from repro.core.controller.monitor import Outcome, OutcomeKind
+
+
+@dataclass
+class StoredResult:
+    """One completed scenario run, as persisted to the store."""
+
+    key: str
+    index: int
+    scenario: str
+    function: str
+    return_value: int
+    errno: Optional[int]
+    category: str
+    workload: str
+    outcome: str
+    detail: str = ""
+    exit_code: int = 0
+    location: str = ""
+    injections: int = 0
+    fingerprint: str = ""
+    run_seed: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def outcome_kind(self) -> OutcomeKind:
+        return OutcomeKind(self.outcome)
+
+    def to_outcome(self) -> Outcome:
+        """Rebuild the full outcome — a resumed result must be
+        indistinguishable from a fresh one, exit code and location included."""
+        return Outcome(
+            kind=self.outcome_kind,
+            detail=self.detail,
+            exit_code=self.exit_code,
+            location=self.location,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StoredResult":
+        known = {name for name in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        fields = {key: value for key, value in payload.items() if key in known}
+        extra = {key: value for key, value in payload.items() if key not in known}
+        if extra:
+            fields.setdefault("extra", {}).update(extra)
+        return cls(**fields)
+
+
+class ResultStore:
+    """Append-only JSON-lines persistence for exploration results."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._results: List[StoredResult] = []
+        self._by_key: Dict[str, StoredResult] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line is expected after a hard kill: the
+                    # run it described re-executes on resume.
+                    continue
+                result = StoredResult.from_dict(payload)
+                self._remember(result)
+
+    def _remember(self, result: StoredResult) -> None:
+        if result.key in self._by_key:
+            return  # first completion wins; duplicates are idempotent
+        self._results.append(result)
+        self._by_key[result.key] = result
+
+    # ------------------------------------------------------------------
+    def append(self, result: StoredResult) -> None:
+        """Record one completed run (persisted immediately when backed)."""
+        if result.key in self._by_key:
+            return
+        self._remember(result)
+        if self.path is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def completed_keys(self) -> Set[str]:
+        return set(self._by_key)
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        return self._by_key.get(key)
+
+    def results(self) -> List[StoredResult]:
+        """All stored results, in completion (file) order."""
+        return list(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __iter__(self) -> Iterator[StoredResult]:
+        return iter(self._results)
+
+    def summary(self) -> str:
+        where = self.path if self.path is not None else "<memory>"
+        return f"result store {where}: {len(self._results)} completed runs"
+
+
+__all__ = ["ResultStore", "StoredResult"]

@@ -1,0 +1,141 @@
+"""Pluggable selection strategies over the enumerated fault space.
+
+A strategy decides *which* fault points of the enumerated space a campaign
+actually runs; it never reorders them (scheduling priority belongs to
+:func:`repro.core.exploration.space.priority_order`).  Strategies must be
+deterministic functions of (point list, their own configuration) — the
+resume machinery depends on a killed exploration re-selecting exactly the
+same points when it restarts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exploration.space import FaultPoint
+
+
+class ExplorationStrategy(ABC):
+    """Select the subset of the fault space one exploration will run."""
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def select(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
+        """Return the points to run, preserving the given order."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ExhaustiveStrategy(ExplorationStrategy):
+    """Run every enumerated point exactly once (the §7.1 full sweep)."""
+
+    name = "exhaustive"
+
+    def select(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
+        return list(points)
+
+
+class BoundarySampleStrategy(ExplorationStrategy):
+    """Run the boundary faults of each call site.
+
+    For every call site, keep the first and last fault candidate of its
+    profile order (the extremes of the declared error space).  Sites with
+    one or two candidates are kept whole, so the strategy degenerates to
+    exhaustive on small profiles while pruning wide errno lists to their
+    edges.
+    """
+
+    name = "boundary-sample"
+
+    def select(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
+        extremes: Dict[Tuple[str, str, int], Tuple[int, int]] = {}
+        for point in points:
+            site_key = (point.binary, point.function, point.address)
+            low, high = extremes.get(site_key, (point.fault_index, point.fault_index))
+            extremes[site_key] = (min(low, point.fault_index), max(high, point.fault_index))
+        return [
+            point
+            for point in points
+            if point.fault_index in extremes[(point.binary, point.function, point.address)]
+        ]
+
+
+class RandomSampleStrategy(ExplorationStrategy):
+    """Run a seeded random sample of the space.
+
+    ``fraction`` keeps that share of the points (rounded up, so a non-empty
+    space always yields at least one run); ``count`` caps the sample at an
+    absolute size instead.  The sample depends only on ``seed`` and the
+    point list, and the selected points keep their original (priority)
+    order.
+    """
+
+    name = "random-sample"
+
+    def __init__(
+        self,
+        seed: int,
+        fraction: Optional[float] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if fraction is None and count is None:
+            fraction = 0.25
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if count is not None and count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self.seed = seed
+        self.fraction = fraction
+        self.count = count
+
+    def select(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
+        total = len(points)
+        if total == 0:
+            return []
+        if self.count is not None:
+            size = min(self.count, total)
+        else:
+            size = max(1, round(self.fraction * total))
+            size = min(size, total)
+        chosen = set(Random(self.seed).sample(range(total), size))
+        return [point for index, point in enumerate(points) if index in chosen]
+
+    def describe(self) -> str:
+        budget = f"count={self.count}" if self.count is not None else f"fraction={self.fraction}"
+        return f"{self.name}({budget}, seed={self.seed})"
+
+
+def resolve_strategy(spec) -> ExplorationStrategy:
+    """Turn a strategy spec into a strategy instance.
+
+    Accepted specs: ``None``/``"exhaustive"``, ``"boundary"``/
+    ``"boundary-sample"``, ``"random"``/``"random-sample"`` (seed 0), or an
+    :class:`ExplorationStrategy` instance (returned unchanged).
+    """
+    if spec is None:
+        return ExhaustiveStrategy()
+    if isinstance(spec, ExplorationStrategy):
+        return spec
+    if isinstance(spec, str):
+        normalized = spec.strip().lower()
+        if normalized in ("", "exhaustive", "all"):
+            return ExhaustiveStrategy()
+        if normalized in ("boundary", "boundary-sample"):
+            return BoundarySampleStrategy()
+        if normalized in ("random", "random-sample"):
+            return RandomSampleStrategy(seed=0)
+        raise ValueError(f"unknown exploration strategy {spec!r}")
+    raise TypeError(f"unsupported exploration strategy spec {spec!r}")
+
+
+__all__ = [
+    "BoundarySampleStrategy",
+    "ExhaustiveStrategy",
+    "ExplorationStrategy",
+    "RandomSampleStrategy",
+    "resolve_strategy",
+]

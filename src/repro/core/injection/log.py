@@ -49,13 +49,70 @@ class InjectionRecord:
             "call_count": self.call_count,
             "node": self.node,
             "module": self.module,
+            # ``has_fault`` disambiguates errno-only faults (a real fault
+            # whose errno is None) from pass-through records: both serialize
+            # ``errno: null``, and return_value alone cannot tell them apart.
+            "has_fault": self.fault is not None,
             "return_value": self.fault.return_value if self.fault else None,
             "errno": self.fault.errno if self.fault else None,
             "triggers": list(self.trigger_ids),
             "stack": [frame.describe() for frame in self.stack],
+            "frames": [
+                {
+                    "module": frame.module,
+                    "function": frame.function,
+                    "offset": frame.offset,
+                    "file": frame.file,
+                    "line": frame.line,
+                }
+                for frame in self.stack
+            ],
             "source": self.source,
             "sim_time": self.sim_time,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "InjectionRecord":
+        """Rebuild a record from :meth:`to_dict` output (e.g. a JSON log).
+
+        Faults are reconstructed whenever the record carried one — keyed on
+        ``has_fault``/``injected`` plus the return value, *not* on the errno
+        field, so errno-only error-return specs (``errno=None``) come back
+        as faults instead of degrading to pass-through records.
+        """
+        fault: Optional[FaultSpec] = None
+        has_fault = payload.get("has_fault")
+        if has_fault is None:  # logs written before the marker existed
+            has_fault = bool(payload.get("injected")) and payload.get("return_value") is not None
+        if has_fault:
+            fault = FaultSpec(
+                return_value=int(payload.get("return_value", 0) or 0),
+                errno=payload.get("errno"),
+            )
+        stack = [
+            StackFrame(
+                module=frame.get("module", ""),
+                function=frame.get("function", ""),
+                offset=frame.get("offset"),
+                file=frame.get("file", ""),
+                line=frame.get("line"),
+            )
+            for frame in payload.get("frames", [])
+        ]
+        return cls(
+            index=int(payload.get("index", 0)),
+            function=payload.get("function", ""),
+            args=tuple(payload.get("args", ())),
+            injected=bool(payload.get("injected", False)),
+            call_count=int(payload.get("call_count", 0)),
+            node=payload.get("node", ""),
+            module=payload.get("module", ""),
+            fault=fault,
+            trigger_ids=list(payload.get("triggers", [])),
+            stack=stack,
+            source=payload.get("source", ""),
+            sim_time=float(payload.get("sim_time", 0.0)),
+        )
 
 
 class InjectionLog:

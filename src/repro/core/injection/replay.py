@@ -18,7 +18,16 @@ from repro.oslib.libc import LIBC_FUNCTIONS
 
 
 def build_replay_scenario(record: InjectionRecord, name: Optional[str] = None) -> Scenario:
-    """Build a scenario that replays exactly one logged injection."""
+    """Build a scenario that replays exactly one logged injection.
+
+    The scenario's metadata carries the record's full trigger context —
+    which triggers fired, at which call count, on which node — for *every*
+    fault, including errno-only error-return specs (``fault.errno is
+    None``, e.g. the apr-style functions that report errors through the
+    return value): those used to be easy to conflate with pass-through
+    records once a log had been serialized, losing the trigger metadata on
+    the way back in (see :meth:`InjectionRecord.from_dict`).
+    """
     if not record.injected or record.fault is None:
         raise ValueError("cannot build a replay scenario from a pass-through record")
     scenario = Scenario(name=name or f"replay-{record.function}-{record.call_count}")
@@ -26,6 +35,10 @@ def build_replay_scenario(record: InjectionRecord, name: Optional[str] = None) -
         {
             "replay_of": record.index,
             "original_triggers": list(record.trigger_ids),
+            "original_call_count": record.call_count,
+            "original_node": record.node,
+            "original_return_value": record.fault.return_value,
+            "original_errno": record.fault.errno,
             "source": record.source,
         }
     )

@@ -23,6 +23,15 @@ The format follows the paper's examples::
 ``<args>`` children are converted to a plain dictionary; repeated elements
 of the same name become a list (which is how the call-stack trigger receives
 several ``<frame>`` specs).
+
+Round-trip fidelity: hand-written documents stay plain (untyped text values
+parse as strings, exactly as the paper's examples read), but documents
+*emitted* by :func:`scenario_to_xml` annotate non-string leaf values with a
+``type`` attribute (``int``/``float``/``bool``/``null``) and list membership
+with a ``many`` attribute, and persist ``scenario.metadata`` in a
+``<metadata>`` element — so ``parse_scenario_xml(scenario_to_xml(s))``
+reconstructs *s* exactly, including trigger parameter types, metadata, and
+errno-only faults (``errno="unused"`` with a concrete return value).
 """
 
 from __future__ import annotations
@@ -43,34 +52,113 @@ class ScenarioParseError(Exception):
 # ----------------------------------------------------------------------
 # generic element <-> python conversion for <args>
 # ----------------------------------------------------------------------
-def _element_to_value(element: ElementTree.Element) -> Union[str, Dict[str, Any]]:
+def _leaf_to_value(element: ElementTree.Element) -> Any:
+    """Decode one childless element, honouring its ``type`` annotation."""
+    text = (element.text or "").strip()
+    declared = element.get("type")
+    if declared is None:
+        return text  # hand-written documents: plain strings (historical)
+    if declared == "str":
+        return element.text or ""
+    if declared == "int":
+        return int(text, 0)
+    if declared == "float":
+        return float(text)
+    if declared == "bool":
+        return text == "true"
+    if declared == "null":
+        return None
+    if declared == "dict":
+        return {}  # annotated empty mapping (no children to recurse into)
+    raise ScenarioParseError(f"unknown value type {declared!r} in <{element.tag}>")
+
+
+def _element_to_value(element: ElementTree.Element) -> Any:
     children = list(element)
     if not children:
-        return (element.text or "").strip()
+        return _leaf_to_value(element)
     result: Dict[str, Any] = {}
+    tuple_keys = set()
     for child in children:
+        if child.get("tuple") == "true":
+            tuple_keys.add(child.tag)
+        if child.get("many") == "empty":
+            result[child.tag] = []
+            continue
         value = _element_to_value(child)
         if child.tag in result:
             existing = result[child.tag]
             if not isinstance(existing, list):
                 result[child.tag] = [existing]
             result[child.tag].append(value)
+        elif child.get("many") == "item":
+            # Single-element lists survive: the writer marks each member.
+            result[child.tag] = [value]
         else:
             result[child.tag] = value
+    for key in tuple_keys:
+        if isinstance(result.get(key), list):
+            result[key] = tuple(result[key])
     return result
 
 
-def _value_to_elements(parent: ElementTree.Element, key: str, value: Any) -> None:
-    if isinstance(value, list):
+def _type_label(value: Any) -> Optional[str]:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if value is None:
+        return "null"
+    return None
+
+
+def _value_to_elements(
+    parent: ElementTree.Element, key: str, value: Any, in_list: bool = False,
+    in_tuple: bool = False,
+) -> None:
+    if isinstance(value, (list, tuple)):
+        if in_list:
+            # The repeated-element encoding cannot tell [[a], [b]] from
+            # [a, b]; refuse rather than silently flatten.
+            raise ValueError(
+                f"cannot serialize directly nested list under <{key}>; "
+                "wrap inner lists in a dict"
+            )
+        is_tuple = isinstance(value, tuple)
+        if not value:
+            attributes = {"many": "empty"}
+            if is_tuple:
+                attributes["tuple"] = "true"
+            ElementTree.SubElement(parent, key, attributes)
+            return
         for item in value:
-            _value_to_elements(parent, key, item)
+            _value_to_elements(parent, key, item, in_list=True, in_tuple=is_tuple)
         return
-    child = ElementTree.SubElement(parent, key)
+    attributes: Dict[str, str] = {}
+    if in_list:
+        attributes["many"] = "item"
+        if in_tuple:
+            attributes["tuple"] = "true"
+    label = _type_label(value)
+    if label is not None:
+        attributes["type"] = label
+    child = ElementTree.SubElement(parent, key, attributes)
     if isinstance(value, dict):
+        if not value:
+            child.set("type", "dict")
         for sub_key, sub_value in value.items():
             _value_to_elements(child, sub_key, sub_value)
-    else:
-        child.text = str(value)
+    elif isinstance(value, str):
+        if value != value.strip():
+            # Preserve significant whitespace through the pretty-printer.
+            child.set("type", "str")
+        child.text = value
+    elif isinstance(value, bool):
+        child.text = "true" if value else "false"
+    elif value is not None:
+        child.text = repr(value)
 
 
 def args_to_dict(args_element: Optional[ElementTree.Element]) -> Dict[str, Any]:
@@ -129,6 +217,12 @@ def parse_scenario_xml(text: str) -> Scenario:
             fault=fault,
             argc=int(argc_attr) if argc_attr is not None else None,
         )
+
+    metadata_element = root.find("metadata")
+    if metadata_element is not None:
+        value = _element_to_value(metadata_element)
+        if isinstance(value, dict):
+            scenario.metadata.update(value)
     return scenario
 
 
@@ -145,7 +239,7 @@ def scenario_to_xml(scenario: Scenario, pretty: bool = True) -> str:
         serializable = {
             key: value
             for key, value in declaration.params.items()
-            if isinstance(value, (str, int, float, dict, list))
+            if value is None or isinstance(value, (str, int, float, dict, list, tuple))
         }
         if serializable:
             args_element = ElementTree.SubElement(trigger_element, "args")
@@ -167,6 +261,16 @@ def scenario_to_xml(scenario: Scenario, pretty: bool = True) -> str:
         function_element = ElementTree.SubElement(root, "function", attributes)
         for trigger_id in plan.trigger_ids:
             ElementTree.SubElement(function_element, "reftrigger", {"ref": trigger_id})
+
+    serializable_metadata = {
+        key: value
+        for key, value in scenario.metadata.items()
+        if value is None or isinstance(value, (str, int, float, dict, list, tuple))
+    }
+    if serializable_metadata:
+        metadata_element = ElementTree.SubElement(root, "metadata")
+        for key, value in serializable_metadata.items():
+            _value_to_elements(metadata_element, key, value)
 
     raw = ElementTree.tostring(root, encoding="unicode")
     if not pretty:

@@ -24,9 +24,11 @@ cost.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import LFIController
+from repro.core.exploration.store import ResultStore
 from repro.core.controller.executor import (
     ExecutionBackend,
     ParallelismSpec,
@@ -61,13 +63,28 @@ def _bug_matches(bug: KnownBug, candidates: List[BugCandidate]) -> bool:
 
 
 def _compiled_target_bugs(
-    target, include_checked: bool = True, backend: Optional[ExecutionBackend] = None
+    target,
+    include_checked: bool = True,
+    backend: Optional[ExecutionBackend] = None,
+    exploration: bool = False,
+    store: Optional[ResultStore] = None,
 ) -> List[BugCandidate]:
     controller = LFIController(target)
-    report = controller.test_automatically(
+    if exploration:
+        # Systematic sweep of the whole (site x errno) space instead of the
+        # one-scenario-per-site pipeline; a shared *store* makes the sweep
+        # resumable across interrupted experiment runs.
+        report = controller.explore(
+            workload="default-tests",
+            include_checked=include_checked,
+            parallelism=backend,
+            store=store,
+        )
+        return report.to_bug_candidates()
+    auto_report = controller.test_automatically(
         workloads=["default-tests"], include_checked=include_checked, parallelism=backend
     )
-    return report.bugs
+    return auto_report.bugs
 
 
 def _mysql_bugs(
@@ -151,8 +168,21 @@ def _pbft_runtime_bugs(backend: Optional[ExecutionBackend] = None) -> List[BugCa
     return candidates
 
 
-def run(random_tests: int = 25, parallelism: ParallelismSpec = None) -> TableResult:
-    """Reproduce Table 1: which of the planted bugs does LFI expose?"""
+def run(
+    random_tests: int = 25,
+    parallelism: ParallelismSpec = None,
+    exploration: bool = False,
+    store_dir: Optional[str] = None,
+) -> TableResult:
+    """Reproduce Table 1: which of the planted bugs does LFI expose?
+
+    ``exploration=True`` drives the compiled targets through the
+    fault-space exploration engine (exhaustive (site x errno) sweep with
+    failure deduplication) instead of the one-scenario-per-site pipeline;
+    ``store_dir`` additionally persists per-target result stores there, so
+    an interrupted experiment resumes without re-running completed
+    scenarios.
+    """
     table = TableResult(
         name="Table 1",
         description="Bugs found automatically by LFI",
@@ -160,14 +190,28 @@ def run(random_tests: int = 25, parallelism: ParallelismSpec = None) -> TableRes
         paper_reference={"bugs_reported": 11},
     )
 
+    def target_store(name: str) -> Optional[ResultStore]:
+        if not exploration or store_dir is None:
+            return None
+        return ResultStore(os.path.join(store_dir, f"table1-{name}.jsonl"))
+
     backend, owned = backend_scope(parallelism)
     try:
         findings: Dict[str, List[BugCandidate]] = {
-            "mini_bind": _compiled_target_bugs(MiniBindTarget(), backend=backend),
-            "mini_git": _compiled_target_bugs(MiniGitTarget(), backend=backend),
+            "mini_bind": _compiled_target_bugs(
+                MiniBindTarget(), backend=backend, exploration=exploration,
+                store=target_store("mini_bind"),
+            ),
+            "mini_git": _compiled_target_bugs(
+                MiniGitTarget(), backend=backend, exploration=exploration,
+                store=target_store("mini_git"),
+            ),
             "mini_mysql": _mysql_bugs(random_tests, backend=backend),
             "pbft": _pbft_runtime_bugs(backend=backend)
-            + _compiled_target_bugs(PBFTCheckpointTarget(), backend=backend),
+            + _compiled_target_bugs(
+                PBFTCheckpointTarget(), backend=backend, exploration=exploration,
+                store=target_store("pbft_checkpoint"),
+            ),
         }
     finally:
         if owned:

@@ -26,6 +26,8 @@ from repro.core.controller.executor import (
     run_requests,
 )
 from repro.core.controller.target import WorkloadRequest
+from repro.core.exploration.space import enumerate_fault_space, priority_order
+from repro.core.exploration.strategy import ExplorationStrategy
 from repro.core.profiler.spec_profiles import combined_reference_profile
 from repro.coverage.recovery import identify_recovery_regions
 from repro.coverage.report import CoverageComparison, build_report, compare_coverage
@@ -50,12 +52,21 @@ def measure_target(
     target: CompiledTarget,
     functions: Sequence[str],
     backend: Optional[ExecutionBackend] = None,
+    strategy: Optional[ExplorationStrategy] = None,
 ) -> Tuple[CoverageComparison, int]:
     """Return (coverage comparison, number of scenarios run) for one target.
 
     The per-scenario suite re-runs are an independent batch; *backend*
     (serial when ``None``) executes them, and coverage is merged in
     submission order so the comparison is schedule-independent.
+
+    When *strategy* is given, the scenarios come from the fault-space
+    exploration subsystem instead of the analyzer's default
+    one-scenario-per-site generation: the full (site x errno) space is
+    enumerated, priority ordered, and pruned by the strategy — e.g.
+    ``ExhaustiveStrategy()`` sweeps every errno of every site into the
+    coverage merge, ``BoundarySampleStrategy()`` keeps the errno-range
+    edges.
     """
     binary = target.binary()
     profile = combined_reference_profile()
@@ -66,9 +77,18 @@ def measure_target(
 
     analyzer = CallSiteAnalyzer(profile=profile)
     analysis = analyzer.analyze(binary, functions=list(functions))
-    scenarios = analyzer.generate_scenarios(
-        analysis, include_partial=True, include_checked=True
-    )
+    if strategy is not None:
+        points = enumerate_fault_space(
+            analysis.classifications.values(),
+            profile,
+            include_partial=True,
+            include_checked=True,
+        )
+        scenarios = [point.scenario() for point in strategy.select(priority_order(points))]
+    else:
+        scenarios = analyzer.generate_scenarios(
+            analysis, include_partial=True, include_checked=True
+        )
 
     results = run_requests(
         target,
@@ -87,8 +107,15 @@ def measure_target(
     return compare_coverage(baseline_report, lfi_report), len(scenarios)
 
 
-def run(parallelism: ParallelismSpec = None) -> TableResult:
-    """Reproduce Table 3 for the Git and BIND analogs."""
+def run(
+    parallelism: ParallelismSpec = None,
+    strategy: Optional[ExplorationStrategy] = None,
+) -> TableResult:
+    """Reproduce Table 3 for the Git and BIND analogs.
+
+    *strategy* (optional) selects scenarios via the fault-space exploration
+    subsystem — see :func:`measure_target`.
+    """
     table = TableResult(
         name="Table 3",
         description="Automated improvement in recovery-code coverage",
@@ -116,7 +143,7 @@ def run(parallelism: ParallelismSpec = None) -> TableResult:
     backend, owned = backend_scope(parallelism)
     try:
         measurements = [
-            (target, measure_target(target, functions, backend=backend))
+            (target, measure_target(target, functions, backend=backend, strategy=strategy))
             for target, functions in targets
         ]
     finally:

@@ -17,6 +17,12 @@ from repro.experiments import (
     table6_mysql_overhead,
 )
 from repro.experiments.common import TableResult, format_table, geometric_mean
+from repro.core.exploration import BoundarySampleStrategy, ResultStore
+from repro.experiments.table1_bugs import _compiled_target_bugs
+from repro.experiments.table3_coverage import measure_target
+from repro.targets.mini_bind import MiniBindTarget
+from repro.targets.mini_git.target import COVERAGE_FUNCTIONS as GIT_FUNCTIONS
+from repro.targets.mini_git.target import MiniGitTarget
 
 
 class TestCommon:
@@ -33,6 +39,43 @@ class TestCommon:
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([]) is None
+
+
+class TestExplorationWiring:
+    """The exploration modes of the Table 1 / Table 3 harnesses."""
+
+    def test_table1_exploration_mode_finds_bind_bugs_and_resumes(self, tmp_path):
+        store_path = str(tmp_path / "table1-mini_bind.jsonl")
+        bugs = _compiled_target_bugs(
+            MiniBindTarget(), exploration=True, store=ResultStore(store_path)
+        )
+        functions = {bug.function for bug in bugs}
+        assert {"malloc", "xmlNewTextWriterDoc"} <= functions
+        assert all(bug.kind.is_high_impact for bug in bugs)
+        completed = len(ResultStore(store_path))
+        assert completed > 0
+
+        # Re-running against the same store resumes: same candidates, and
+        # the store does not grow (zero scenarios re-ran).
+        again = _compiled_target_bugs(
+            MiniBindTarget(), exploration=True, store=ResultStore(store_path)
+        )
+        assert {(b.function, b.kind, b.location) for b in again} == {
+            (b.function, b.kind, b.location) for b in bugs
+        }
+        assert len(ResultStore(store_path)) == completed
+
+    def test_table3_strategy_mode_still_improves_recovery_coverage(self):
+        default_comparison, default_count = measure_target(MiniGitTarget(), GIT_FUNCTIONS)
+        pruned_comparison, pruned_count = measure_target(
+            MiniGitTarget(), GIT_FUNCTIONS, strategy=BoundarySampleStrategy()
+        )
+        assert 0 < pruned_count <= default_count * 2  # boundary may add errnos
+        assert pruned_comparison.additional_recovery_fraction > 0.30
+        assert (
+            pruned_comparison.with_lfi.total_coverage
+            > pruned_comparison.baseline.total_coverage
+        )
 
 
 class TestHarnesses:

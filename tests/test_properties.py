@@ -7,6 +7,7 @@ from repro.core.injection.context import CallContext
 from repro.core.injection.faults import FaultSpec
 from repro.core.injection.runtime import InjectionRuntime
 from repro.core.scenario.builder import ScenarioBuilder
+from repro.core.scenario.model import Scenario
 from repro.core.scenario.xml_io import parse_scenario_xml, scenario_to_xml
 from repro.core.triggers.callcount import CallCountTrigger
 from repro.core.triggers.singleton import SingletonTrigger
@@ -152,6 +153,122 @@ class TestScenarioXmlProperties:
         fault = FaultSpec.from_strings(str(value), errno)
         assert fault.return_value == value
         assert errno_name(fault.errno) == errno
+
+
+#: XML-safe printable text (attribute values and text nodes; no control
+#: chars, which XML 1.0 cannot represent).
+_xml_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=16
+)
+_scalar_value = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _xml_text,
+)
+#: Nested values as trigger params / metadata carry them: scalars, dicts,
+#: and lists of either (directly nested lists are not representable in the
+#: repeated-element XML encoding, matching real trigger parameters).
+_non_list_value = st.recursive(
+    _scalar_value,
+    lambda children: st.dictionaries(
+        _identifier,
+        st.one_of(
+            children,
+            st.lists(children, max_size=3),
+            st.lists(children, max_size=3).map(tuple),
+        ),
+        max_size=3,
+    ),
+    max_leaves=6,
+)
+_param_value = st.one_of(
+    _non_list_value,
+    st.lists(_non_list_value, max_size=3),
+    st.lists(_non_list_value, max_size=3).map(tuple),
+)
+_errno_values = st.one_of(st.none(), st.sampled_from([int(errno) for errno in Errno]))
+
+
+@st.composite
+def _scenarios(draw):
+    scenario = Scenario(name=draw(_xml_text))
+    trigger_ids = draw(
+        st.lists(_identifier, min_size=0, max_size=4, unique=True)
+    )
+    for trigger_id in trigger_ids:
+        scenario.declare_trigger(
+            trigger_id,
+            draw(_identifier),
+            draw(st.dictionaries(_identifier, _param_value, max_size=3)),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        fault = None
+        if draw(st.booleans()):
+            # errno=None exercises the errno-only error-return spec path.
+            fault = FaultSpec(
+                return_value=draw(st.integers(min_value=-(2**31), max_value=2**31)),
+                errno=draw(_errno_values),
+            )
+        refs = draw(st.lists(st.sampled_from(trigger_ids), max_size=3, unique=True)) if trigger_ids else []
+        scenario.associate(
+            draw(_identifier),
+            refs,
+            fault=fault,
+            argc=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=8))),
+        )
+    scenario.metadata.update(draw(st.dictionaries(_identifier, _param_value, max_size=3)))
+    return scenario
+
+
+class TestScenarioFullRoundTripProperties:
+    """Arbitrary scenarios survive xml_io write -> read unchanged."""
+
+    @given(_scenarios())
+    @settings(max_examples=60)
+    def test_write_read_identity(self, scenario):
+        for pretty in (False, True):
+            parsed = parse_scenario_xml(scenario_to_xml(scenario, pretty=pretty))
+            assert parsed.name == scenario.name
+            assert parsed.triggers == scenario.triggers
+            assert parsed.plans == scenario.plans
+            assert parsed.metadata == scenario.metadata
+
+    @given(_scenarios())
+    @settings(max_examples=20)
+    def test_roundtrip_is_idempotent(self, scenario):
+        once = parse_scenario_xml(scenario_to_xml(scenario))
+        twice = parse_scenario_xml(scenario_to_xml(once))
+        assert twice.triggers == once.triggers
+        assert twice.plans == once.plans
+        assert twice.metadata == once.metadata
+
+    def test_directly_nested_lists_are_rejected_not_flattened(self):
+        import pytest
+
+        scenario = Scenario(name="nested")
+        scenario.metadata["a"] = [[1, 2], [3]]
+        with pytest.raises(ValueError):
+            scenario_to_xml(scenario)
+
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.lists(_identifier, min_size=1, max_size=2, unique=True),
+    )
+    def test_errno_only_fault_survives(self, return_value, trigger_ids):
+        # Errno-only error-return specs (errno=None but a real fault) must
+        # not collapse into observe associations on the way through XML.
+        scenario = Scenario(name="errno-only")
+        for trigger_id in trigger_ids:
+            scenario.declare_trigger(trigger_id, "SingletonTrigger", {})
+        scenario.associate(
+            "apr_file_read", trigger_ids, fault=FaultSpec(return_value, None)
+        )
+        parsed = parse_scenario_xml(scenario_to_xml(scenario))
+        assert parsed.plans[0].injects
+        assert parsed.plans[0].fault == FaultSpec(return_value, None)
+        assert parsed.plans[0].trigger_ids == trigger_ids
 
 
 class TestRuntimeProperties:
