@@ -25,7 +25,16 @@ Two knobs worth knowing about:
 * the **artifact cache** — library binaries and their static fault profiles
   are memoized process-wide (``repro.core.profiler.cache``), so the first
   controller pays the assemble + profile cost and every later controller,
-  experiment, or benchmark in the same process reuses the artifacts.
+  experiment, or benchmark in the same process reuses the artifacts.  Since
+  the VM's predecoded program is cached on the image itself, the cache now
+  also shares the compiled closure array across every run of a campaign.
+* the **execution engine** — ``Machine(..., engine=...)`` picks between
+  ``"compiled"`` (the default: each instruction predecoded once per image
+  into a specialized closure; ~4x the interpreter's steps/sec, see
+  ``benchmarks/bench_vm_speed.py``) and ``"reference"`` (the original
+  decode-as-you-go interpreter, kept as a differential-testing oracle).
+  Compiled targets accept the same knob through
+  ``WorkloadRequest(options={"engine": ...})``.
 * ``explore()`` — instead of one scenario per suspicious site,
   systematically cover the whole (call site x error return x errno) space
   with a pluggable strategy, deduplicated failures, and a resumable

@@ -57,6 +57,24 @@ cost, every later one shares the artifacts.  Cached objects are shared —
 treat them as immutable; ``clear_artifact_cache()`` resets the cache in
 tests.
 
+**VM execution engines.** The VM ships two engines behind one
+:class:`Machine` API.  ``engine="compiled"`` (the default) predecodes each
+instruction once per image into a specialized closure
+(:mod:`repro.vm.dispatch`): operands become register-slot indices and
+captured constants, library calls skip context construction entirely when
+no injection runtime handles the function, and the compiled program is
+cached on the :class:`~repro.isa.binary.BinaryImage` so every campaign run
+sharing an image (the artifact cache, ``CompiledTarget``'s binary cache)
+reuses it — ``benchmarks/bench_vm_speed.py`` measures >= 4x the reference
+throughput (``BENCH_vm.json``).  ``engine="reference"`` keeps the original
+decode-as-you-go interpreter as a behavioural oracle;
+``tests/test_vm_dispatch.py`` asserts both engines produce identical exit
+statuses, traces, coverage, call counts, and injection logs — including on
+randomly generated mini-C programs::
+
+    machine = Machine(binary, engine="reference")   # the slow oracle
+    target.run(WorkloadRequest(options={"engine": "reference"}))
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,

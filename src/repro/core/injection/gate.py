@@ -94,6 +94,11 @@ def _gate_internal_files() -> FrozenSet[str]:
 
 _GATE_INTERNAL_FILES = _gate_internal_files()
 
+#: The provider is stateless (it snapshots the stack only when called), so
+#: one shared instance serves every gate and every intercepted call —
+#: building it per call was pure allocation overhead on the hot path.
+_DEFAULT_STACK_PROVIDER = _python_stack_provider(_GATE_INTERNAL_FILES)
+
 
 class LibraryCallGate:
     """Interception point between programs and the simulated libraries."""
@@ -142,6 +147,18 @@ class LibraryCallGate:
     # ------------------------------------------------------------------
     # the interception path
     # ------------------------------------------------------------------
+    def count_call(self, name: str) -> int:
+        """Count one intercepted call; returns the per-function count.
+
+        The single home of the per-call accounting invariant: ``call``
+        uses it, and the VM's compiled-engine fast path calls it directly
+        when pass-through needs no context (so the two paths cannot drift).
+        """
+        count = self.call_counts.get(name, 0) + 1
+        self.call_counts[name] = count
+        self.total_calls += 1
+        return count
+
     def call(
         self,
         name: str,
@@ -150,9 +167,7 @@ class LibraryCallGate:
         apply_fault: Optional[Callable[[int, Optional[int]], LibcResult]] = None,
         context: Optional[Dict[str, Any]] = None,
     ) -> LibcResult:
-        count = self.call_counts.get(name, 0) + 1
-        self.call_counts[name] = count
-        self.total_calls += 1
+        count = self.count_call(name)
 
         runtime = self.runtime
         if runtime is None or not runtime.handles(name):
@@ -213,20 +228,16 @@ class LibraryCallGate:
     def _build_context(
         self, name: str, args: Tuple[Any, ...], count: int, raw: Dict[str, Any]
     ) -> CallContext:
+        # Both fallbacks are hoisted off the per-call path: the stack
+        # provider is a module-level singleton, and the composed state
+        # reader is a bound method that walks the live provider list.
         stack_provider = raw.get("stack")
         if stack_provider is None and self.capture_python_stack:
-            stack_provider = _python_stack_provider(_GATE_INTERNAL_FILES)
+            stack_provider = _DEFAULT_STACK_PROVIDER
 
         state_reader = raw.get("state")
         if state_reader is None and self.state_providers:
-            providers = list(self.state_providers)
-
-            def state_reader(variable: str) -> Optional[Any]:
-                for provider in providers:
-                    value = provider(variable)
-                    if value is not None:
-                        return value
-                return None
+            state_reader = self._read_state
 
         source = raw.get("source")
         return CallContext(
@@ -245,6 +256,14 @@ class LibraryCallGate:
                     if key not in ("stack", "state", "source", "node", "module",
                                    "call_address", "os")},
         )
+
+    def _read_state(self, variable: str) -> Optional[Any]:
+        """First non-None answer from the registered state providers."""
+        for provider in self.state_providers:
+            value = provider(variable)
+            if value is not None:
+                return value
+        return None
 
     @staticmethod
     def _sim_time(context: Optional[Dict[str, Any]]) -> float:

@@ -21,6 +21,13 @@ fingerprint hashes the library's error-return specification, so a mutated
 spec (tests do this) transparently misses the cache instead of returning a
 stale artifact.  Cached objects are **shared** — treat them as immutable.
 
+Sharing compounds with the VM's predecoded execution engine: the
+closure-threaded program that :mod:`repro.vm.dispatch` compiles for a
+:class:`BinaryImage` is cached *on the image*, so every campaign run that
+receives a cached image also inherits its compiled program — the
+assemble → disassemble → CFG pipeline **and** instruction predecoding are
+both once-per-process costs.
+
 Thread-safe: a single lock guards the maps, so campaigns running under
 :class:`~repro.core.controller.executor.ThreadPoolBackend` profile at most
 once.  Process-pool workers forked after the first build inherit the warm

@@ -1,51 +1,99 @@
-"""Instruction/line coverage tracker for VM executions."""
+"""Instruction/line coverage tracker for VM executions.
+
+``record`` is on the VM's per-step hot path (every executed instruction
+calls it), so the tracker keeps hit counts in a flat array indexed by
+instruction address — one bounds check plus one increment per step — and
+only materializes the address *set* lazily when a query asks for it.
+Addresses the dense array should not cover (negative, or far beyond any
+code segment) fall back to a sparse dict.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.isa.binary import BinaryImage
 
 Line = Tuple[str, int]
+
+#: Implicit growth cap for the dense count array: code addresses are
+#: instruction indices (tens of thousands at most), so anything beyond this
+#: is a stray address that must not cost megabytes of zeros.  ``reserve``
+#: may still size the array past this explicitly.
+_DENSE_GROWTH_LIMIT = 1 << 16
 
 
 class CoverageTracker:
     """Records executed instruction addresses; aggregates across runs."""
 
     def __init__(self) -> None:
-        self._addresses: Set[int] = set()
-        self._hit_counts: Dict[int, int] = {}
+        #: Hit counts indexed by address; grown on demand.
+        self._counts: List[int] = []
+        #: Counts for addresses the array cannot index (negatives).
+        self._extra: Dict[int, int] = {}
         self.runs = 0
 
     # ------------------------------------------------------------------
     # recording (called by the VM on every instruction)
     # ------------------------------------------------------------------
     def record(self, address: int) -> None:
-        self._addresses.add(address)
-        self._hit_counts[address] = self._hit_counts.get(address, 0) + 1
+        counts = self._counts
+        if 0 <= address < len(counts):
+            counts[address] += 1
+        else:
+            self._add(address, 1)
+
+    def reserve(self, size: int) -> None:
+        """Pre-size the count array (the VM calls this with the image size)."""
+        counts = self._counts
+        if size > len(counts):
+            counts.extend([0] * (size - len(counts)))
+            if self._extra:
+                # Keep the invariant that an address lives in exactly one
+                # store: migrate sparse entries the array now covers.
+                for address in [a for a in self._extra if 0 <= a < size]:
+                    counts[address] += self._extra.pop(address)
+
+    def _add(self, address: int, count: int) -> None:
+        counts = self._counts
+        if 0 <= address < len(counts):
+            counts[address] += count
+        elif 0 <= address < _DENSE_GROWTH_LIMIT:
+            counts.extend([0] * (address + 1 - len(counts)))
+            counts[address] += count
+        else:
+            self._extra[address] = self._extra.get(address, 0) + count
 
     def finish_run(self) -> None:
         self.runs += 1
 
     def merge(self, other: "CoverageTracker") -> None:
-        self._addresses.update(other._addresses)
-        for address, count in other._hit_counts.items():
-            self._hit_counts[address] = self._hit_counts.get(address, 0) + count
+        for address, count in other._items():
+            self._add(address, count)
         self.runs += other.runs
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (sets materialized lazily from the count array)
     # ------------------------------------------------------------------
+    def _items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (address, hit count) pairs for every covered address."""
+        for address, count in enumerate(self._counts):
+            if count:
+                yield address, count
+        yield from self._extra.items()
+
     @property
     def covered_addresses(self) -> Set[int]:
-        return set(self._addresses)
+        return {address for address, _ in self._items()}
 
     def hit_count(self, address: int) -> int:
-        return self._hit_counts.get(address, 0)
+        if 0 <= address < len(self._counts):
+            return self._counts[address]
+        return self._extra.get(address, 0)
 
     def covered_lines(self, binary: BinaryImage) -> Set[Line]:
         lines: Set[Line] = set()
-        for address in self._addresses:
+        for address, _ in self._items():
             location = binary.source_of(address)
             if location is not None:
                 lines.add((location.file, location.line))
@@ -54,7 +102,7 @@ class CoverageTracker:
     def instruction_coverage(self, binary: BinaryImage) -> float:
         if not len(binary):
             return 0.0
-        covered = sum(1 for address in self._addresses if binary.has_address(address))
+        covered = sum(1 for address, _ in self._items() if binary.has_address(address))
         return covered / len(binary)
 
     def line_coverage(self, binary: BinaryImage) -> float:
@@ -68,8 +116,8 @@ class CoverageTracker:
         return self.covered_lines(binary) & wanted
 
     def clear(self) -> None:
-        self._addresses.clear()
-        self._hit_counts.clear()
+        self._counts = []
+        self._extra.clear()
         self.runs = 0
 
 

@@ -14,6 +14,7 @@ real binary:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -79,7 +80,7 @@ class BinaryImage:
     def __init__(
         self,
         name: str,
-        instructions: List[Instruction],
+        instructions: Iterable[Instruction],
         symbols: Dict[str, int],
         imports: Iterable[str],
         data_words: Optional[Dict[int, int]] = None,
@@ -89,7 +90,10 @@ class BinaryImage:
         entry: str = "main",
     ) -> None:
         self.name = name
-        self.instructions = instructions
+        #: Stored as a tuple: the instruction stream is immutable once laid
+        #: out, which is what lets the VM cache a compiled closure array on
+        #: the image without any staleness hazard.
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
         self.symbols = dict(symbols)
         self.imports = tuple(sorted(set(imports)))
         self.data_words: Dict[int, int] = dict(data_words or {})
@@ -99,6 +103,10 @@ class BinaryImage:
         if functions is None:
             functions = self._infer_functions()
         self.functions: Dict[str, FunctionInfo] = dict(functions)
+        #: Sorted (starts, infos, max size) table for bisect-based address →
+        #: function lookup; built lazily, assumes ``functions`` is not
+        #: mutated after construction (nothing in the tool chain does).
+        self._range_table: Optional[Tuple[List[int], List[FunctionInfo], int]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -119,6 +127,21 @@ class BinaryImage:
         return infos
 
     # ------------------------------------------------------------------
+    # pickling (images cross process boundaries under ProcessPoolBackend)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop derived caches: the VM's compiled closure array is not
+        picklable, and the range table is cheap to rebuild on first use."""
+        state = dict(self.__dict__)
+        state.pop("_compiled_program", None)
+        state["_range_table"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._range_table = None
+
+    # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -133,9 +156,29 @@ class BinaryImage:
         return 0 <= address < len(self.instructions)
 
     def function_containing(self, address: int) -> Optional[FunctionInfo]:
-        for info in self.functions.values():
-            if info.contains(address):
+        """Function whose extent covers *address* (bisect over a range table).
+
+        Called once per call site by the analyzer, so this is O(log n) on a
+        start-sorted table instead of a linear scan over every function.
+        The backwards walk is bounded by the largest function size, which
+        keeps the lookup correct even for degenerate (zero-size or
+        overlapping) extents hand-built in tests.
+        """
+        table = self._range_table
+        if table is None:
+            infos = sorted(self.functions.values(), key=lambda info: (info.start, info.end))
+            starts = [info.start for info in infos]
+            max_size = max((info.end - info.start for info in infos), default=0)
+            table = (starts, infos, max_size)
+            self._range_table = table
+        starts, infos, max_size = table
+        index = bisect_right(starts, address) - 1
+        lowest = address - max_size
+        while index >= 0 and starts[index] > lowest:
+            info = infos[index]
+            if info.start <= address < info.end:
                 return info
+            index -= 1
         return None
 
     def source_of(self, address: int) -> Optional[SourceLocation]:

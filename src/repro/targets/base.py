@@ -170,10 +170,15 @@ class CompiledTarget:
         libc = SimLibc(os)
         coverage = CoverageTracker() if request.collect_coverage else None
 
+        # "compiled" (closure-threaded, the default) or "reference" (the
+        # decode-as-you-go oracle); the differential suite runs both.
+        engine = request.options.get("engine")
+
         outcome = Outcome(kind=OutcomeKind.NORMAL)
         steps_run = 0
         for step in self.workload_plan(request.workload):
-            machine = Machine(binary, os=os, libc=libc, gate=gate, coverage=coverage)
+            machine = Machine(binary, os=os, libc=libc, gate=gate, coverage=coverage,
+                              engine=engine)
             status = machine.run(entry=step.entry, args=step.args)
             steps_run += 1
             step_outcome = classify_exit_status(status)

@@ -7,10 +7,27 @@ analog), keeps the call stack that call-stack triggers inspect, mirrors
 ``errno`` into program-visible memory, and turns invalid memory accesses,
 aborts and explicit exits into the process outcomes that the LFI controller
 monitors (normal exit, crash, abort).
+
+Execution engines: ``Machine(..., engine="compiled")`` (the default) runs a
+program predecoded by :mod:`repro.vm.dispatch` into an array of
+per-instruction closures, cached on the image so campaigns compile each
+binary once per process; ``engine="reference"`` is the original interpreter
+kept as a behavioural oracle for differential testing.
 """
 
-from repro.vm.machine import Machine
+from repro.vm.dispatch import RegisterFile, compile_program, compiled_program
+from repro.vm.machine import Frame, Machine, VMError
 from repro.vm.memory import Memory
 from repro.vm.outcome import ExitKind, ExitStatus
 
-__all__ = ["ExitKind", "ExitStatus", "Machine", "Memory"]
+__all__ = [
+    "ExitKind",
+    "ExitStatus",
+    "Frame",
+    "Machine",
+    "Memory",
+    "RegisterFile",
+    "VMError",
+    "compile_program",
+    "compiled_program",
+]

@@ -1,0 +1,785 @@
+"""Predecoded, closure-threaded execution engine for the VM.
+
+The reference interpreter in :mod:`repro.vm.machine` re-decodes every
+instruction on every step: an ``isinstance`` chain per operand and an
+opcode if/elif ladder per instruction.  That decode cost is pure overhead —
+the instruction stream never changes after the assembler lays it out — and
+it is the throughput ceiling for everything built on top of the VM: the
+parallel campaign executor, the fault-space exploration engine, and the
+overhead experiments all schedule thousands of runs through :class:`Machine`.
+
+This module removes the per-step decode by compiling each
+:class:`~repro.isa.instructions.Instruction` **once, at load time**, into a
+specialized Python closure:
+
+* register operands become list-slot indices (``m.regs[3]``),
+* immediates, resolved labels, and data symbols become captured constants,
+* the fall-through program counter is folded in as ``addr + 1``,
+* arithmetic is bound to a concrete operator at compile time, and
+* library calls capture their callee name and arity, so the interception
+  fast path can skip context/lambda construction entirely when no
+  injection runtime handles the function.
+
+A compiled step closure receives the machine and returns either the next
+program counter (an ``int``) or an **exit triple** ``(ExitKind, code,
+reason)``; traps (memory faults, division by zero, ``SimExit``) still
+propagate as exceptions, exactly as in the reference engine.
+
+The compiled program is cached on the :class:`~repro.isa.binary.BinaryImage`
+itself (:func:`compiled_program`), so images shared through the process-wide
+artifact cache or :class:`~repro.targets.base.CompiledTarget`'s binary cache
+are compiled once per process no matter how many runs a campaign schedules.
+
+Behavioural contract: a compiled program must be **observably identical** to
+the reference interpreter — same :class:`~repro.vm.outcome.ExitStatus`
+(including step counts and fault reasons), same trace, coverage, library
+call counts, and injection log.  ``tests/test_vm_dispatch.py`` enforces this
+differentially, including on randomly generated mini-C programs.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.isa import layout
+from repro.isa.binary import BinaryImage
+from repro.isa.instructions import (
+    DataRef,
+    Imm,
+    ImportRef,
+    Instruction,
+    Label,
+    Mem,
+    Opcode,
+    Reg,
+)
+from repro.oslib.errors import MemoryFault
+from repro.oslib.libc import LIBC_FUNCTIONS
+from repro.vm.outcome import ExitKind
+
+#: Register file layout: a fixed list of slots replaces the name-keyed dict.
+REGISTER_NAMES: Tuple[str, ...] = (
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "sp", "bp",
+)
+REG_SLOT = {name: slot for slot, name in enumerate(REGISTER_NAMES)}
+R0_SLOT = REG_SLOT["r0"]
+SP_SLOT = REG_SLOT["sp"]
+BP_SLOT = REG_SLOT["bp"]
+
+#: Sentinel return address marking the bottom of the call stack.
+RETURN_SENTINEL = -1
+
+_STACK_LIMIT = layout.STACK_LIMIT
+
+#: What a compiled step returns: the next pc, or an (kind, code, reason)
+#: exit triple the main loop turns into an ExitStatus.
+ExitTriple = Tuple[ExitKind, int, str]
+StepFn = Callable[[Any], Union[int, ExitTriple]]
+
+
+class VMError(Exception):
+    """An execution error that is the VM's fault rather than the program's."""
+
+
+@dataclass
+class Frame:
+    """One activation record, kept for backtraces (call-stack triggers)."""
+
+    function: str
+    call_address: Optional[int]
+    return_address: int
+
+
+class RegisterFile:
+    """Dict-like view over a machine's slot-indexed register list.
+
+    Kept for API compatibility with the old ``Dict[str, int]`` register
+    file: reads and writes go straight through to the underlying slots.
+    """
+
+    __slots__ = ("_slots",)
+
+    def __init__(self, slots: List[int]) -> None:
+        self._slots = slots
+
+    def __getitem__(self, name: str) -> int:
+        return self._slots[REG_SLOT[name]]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._slots[REG_SLOT[name]] = int(value)
+
+    def __contains__(self, name: object) -> bool:
+        return name in REG_SLOT
+
+    def __iter__(self):
+        return iter(REGISTER_NAMES)
+
+    def __len__(self) -> int:
+        return len(REGISTER_NAMES)
+
+    def keys(self) -> Tuple[str, ...]:
+        return REGISTER_NAMES
+
+    def values(self) -> List[int]:
+        return list(self._slots)
+
+    def items(self) -> List[Tuple[str, int]]:
+        slots = self._slots
+        return [(name, slots[REG_SLOT[name]]) for name in REGISTER_NAMES]
+
+    def as_dict(self) -> dict:
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterFile({self.as_dict()})"
+
+
+def _signed_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    return int(a / b)  # C-style truncation towards zero
+
+
+def _signed_mod(a: int, b: int) -> int:
+    return a - _signed_div(a, b) * b
+
+
+ARITHMETIC = {
+    Opcode.ADD: operator.add,
+    Opcode.SUB: operator.sub,
+    Opcode.MUL: operator.mul,
+    Opcode.DIV: _signed_div,
+    Opcode.MOD: _signed_mod,
+    Opcode.AND: operator.and_,
+    Opcode.OR: operator.or_,
+    Opcode.XOR: operator.xor,
+}
+
+
+# ----------------------------------------------------------------------
+# operand compilation
+# ----------------------------------------------------------------------
+def _raiser(message: str) -> StepFn:
+    """A step/reader that defers an error to execution time.
+
+    The reference interpreter only reports unresolved operands or unknown
+    callees when the instruction actually executes; compiling them into
+    raising closures preserves that behaviour for dead code.
+    """
+
+    def raise_error(m, *_ignored):
+        raise VMError(message)
+
+    return raise_error
+
+
+def _compile_reader(op) -> Callable[[Any], int]:
+    """Compile an operand into a value reader (the `_value` analog)."""
+    if isinstance(op, Reg):
+        slot = REG_SLOT[op.name]
+        return lambda m: m.regs[slot]
+    if isinstance(op, Imm):
+        value = op.value
+        return lambda m: value
+    if isinstance(op, Mem):
+        if op.base is None:
+            address = op.offset
+            return lambda m: m._mem_load(address)
+        base = REG_SLOT[op.base]
+        offset = op.offset
+        if offset:
+            return lambda m: m._mem_load(m.regs[base] + offset)
+        return lambda m: m._mem_load(m.regs[base])
+    if isinstance(op, Label):
+        if op.address is None:
+            return _raiser(f"unresolved label {op.name!r}")
+        address = op.address
+        return lambda m: address
+    if isinstance(op, DataRef):
+        if op.address is None:
+            return _raiser(f"unresolved data symbol {op.name!r}")
+        address = op.address
+        return lambda m: address
+    return _raiser(f"cannot read operand {op!r}")
+
+
+def _compile_address(op) -> Callable[[Any], int]:
+    """Compile an operand into an address reader (the `_address_of` analog)."""
+    if isinstance(op, Mem):
+        if op.base is None:
+            offset = op.offset
+            return lambda m: offset
+        base = REG_SLOT[op.base]
+        offset = op.offset
+        if offset:
+            return lambda m: m.regs[base] + offset
+        return lambda m: m.regs[base]
+    if isinstance(op, DataRef):
+        if op.address is None:
+            return _raiser(f"unresolved data symbol {op.name!r}")
+        address = op.address
+        return lambda m: address
+    return _raiser(f"operand {op!r} has no address")
+
+
+def _compile_writer(op) -> Callable[[Any, int], None]:
+    """Compile an operand into a value writer (the `_write` analog)."""
+    if isinstance(op, Reg):
+        slot = REG_SLOT[op.name]
+
+        def write_reg(m, value):
+            m.regs[slot] = value
+
+        return write_reg
+    if isinstance(op, Mem):
+        address_of = _compile_address(op)
+
+        def write_mem(m, value):
+            m._mem_store(address_of(m), value)
+
+        return write_mem
+    return _raiser(f"cannot write to operand {op!r}")
+
+
+def _branch_reader(op) -> Callable[[Any], int]:
+    """Compile a branch-target operand (resolved labels fold to constants)."""
+    if isinstance(op, Label) and op.address is not None:
+        address = op.address
+        return lambda m: address
+    return _compile_reader(op)
+
+
+# ----------------------------------------------------------------------
+# per-opcode compilation
+# ----------------------------------------------------------------------
+def _compile_mov(ins: Instruction, next_pc: int) -> StepFn:
+    dst, src = ins.operands[0], ins.operands[1]
+    if isinstance(dst, Reg):
+        d = REG_SLOT[dst.name]
+        if isinstance(src, Imm):
+            value = src.value
+
+            def mov_ri(m):
+                m.regs[d] = value
+                return next_pc
+
+            return mov_ri
+        if isinstance(src, Reg):
+            s = REG_SLOT[src.name]
+
+            def mov_rr(m):
+                regs = m.regs
+                regs[d] = regs[s]
+                return next_pc
+
+            return mov_rr
+        if isinstance(src, Mem) and src.base is not None:
+            base = REG_SLOT[src.base]
+            offset = src.offset
+
+            def mov_rm(m):
+                regs = m.regs
+                regs[d] = m._mem_load(regs[base] + offset)
+                return next_pc
+
+            return mov_rm
+        read = _compile_reader(src)
+
+        def mov_rx(m):
+            m.regs[d] = read(m)
+            return next_pc
+
+        return mov_rx
+    if isinstance(dst, Mem):
+        read = _compile_reader(src)
+        if dst.base is not None:
+            base = REG_SLOT[dst.base]
+            offset = dst.offset
+
+            def mov_mx(m):
+                value = read(m)
+                m._mem_store(m.regs[base] + offset, value)
+                return next_pc
+
+            return mov_mx
+        address = dst.offset
+
+        def mov_ax(m):
+            m._mem_store(address, read(m))
+            return next_pc
+
+        return mov_ax
+    return _raiser(f"cannot write to operand {dst!r}")
+
+
+def _compile_lea(ins: Instruction, next_pc: int) -> StepFn:
+    dst, src = ins.operands[0], ins.operands[1]
+    address_of = _compile_address(src)
+    if isinstance(dst, Reg):
+        d = REG_SLOT[dst.name]
+
+        def lea_r(m):
+            m.regs[d] = address_of(m)
+            return next_pc
+
+        return lea_r
+    write = _compile_writer(dst)
+
+    def lea_x(m):
+        write(m, address_of(m))
+        return next_pc
+
+    return lea_x
+
+
+def _compile_push(ins: Instruction, next_pc: int) -> StepFn:
+    src = ins.operands[0]
+    if isinstance(src, Imm):
+        value = src.value
+
+        def push_imm(m):
+            regs = m.regs
+            sp = regs[SP_SLOT] - 1
+            regs[SP_SLOT] = sp
+            if sp < _STACK_LIMIT:
+                raise MemoryFault(sp, "stack overflow")
+            m._mem_store(sp, value)
+            return next_pc
+
+        return push_imm
+    if isinstance(src, Reg):
+        s = REG_SLOT[src.name]
+
+        def push_reg(m):
+            regs = m.regs
+            value = regs[s]
+            sp = regs[SP_SLOT] - 1
+            regs[SP_SLOT] = sp
+            if sp < _STACK_LIMIT:
+                raise MemoryFault(sp, "stack overflow")
+            m._mem_store(sp, value)
+            return next_pc
+
+        return push_reg
+    read = _compile_reader(src)
+
+    def push_x(m):
+        value = read(m)
+        regs = m.regs
+        sp = regs[SP_SLOT] - 1
+        regs[SP_SLOT] = sp
+        if sp < _STACK_LIMIT:
+            raise MemoryFault(sp, "stack overflow")
+        m._mem_store(sp, value)
+        return next_pc
+
+    return push_x
+
+
+def _compile_pop(ins: Instruction, next_pc: int) -> StepFn:
+    dst = ins.operands[0]
+    if isinstance(dst, Reg):
+        d = REG_SLOT[dst.name]
+
+        def pop_reg(m):
+            regs = m.regs
+            sp = regs[SP_SLOT]
+            value = m._mem_load(sp)
+            regs[SP_SLOT] = sp + 1
+            regs[d] = value
+            return next_pc
+
+        return pop_reg
+    write = _compile_writer(dst)
+
+    def pop_x(m):
+        regs = m.regs
+        sp = regs[SP_SLOT]
+        value = m._mem_load(sp)
+        regs[SP_SLOT] = sp + 1
+        write(m, value)
+        return next_pc
+
+    return pop_x
+
+
+def _compile_arithmetic(ins: Instruction, next_pc: int) -> StepFn:
+    opcode = ins.opcode
+    dst, src = ins.operands[0], ins.operands[1]
+    if isinstance(dst, Reg):
+        d = REG_SLOT[dst.name]
+        if opcode is Opcode.ADD and isinstance(src, Imm):
+            value = src.value
+
+            def add_ri(m):
+                m.regs[d] += value
+                return next_pc
+
+            return add_ri
+        if opcode is Opcode.SUB and isinstance(src, Imm):
+            value = src.value
+
+            def sub_ri(m):
+                m.regs[d] -= value
+                return next_pc
+
+            return sub_ri
+        apply = ARITHMETIC[opcode]
+        if isinstance(src, Reg):
+            s = REG_SLOT[src.name]
+
+            def arith_rr(m):
+                regs = m.regs
+                regs[d] = apply(regs[d], regs[s])
+                return next_pc
+
+            return arith_rr
+        read = _compile_reader(src)
+
+        def arith_rx(m):
+            regs = m.regs
+            regs[d] = apply(regs[d], read(m))
+            return next_pc
+
+        return arith_rx
+    apply = ARITHMETIC[opcode]
+    read_dst = _compile_reader(dst)
+    read_src = _compile_reader(src)
+    write = _compile_writer(dst)
+
+    def arith_xx(m):
+        write(m, apply(read_dst(m), read_src(m)))
+        return next_pc
+
+    return arith_xx
+
+
+def _compile_compare(ins: Instruction, next_pc: int) -> StepFn:
+    a, b = ins.operands[0], ins.operands[1]
+    if ins.opcode is Opcode.CMP:
+        if isinstance(a, Reg) and isinstance(b, Imm):
+            sa = REG_SLOT[a.name]
+            value = b.value
+
+            def cmp_ri(m):
+                difference = m.regs[sa] - value
+                m.zero_flag = difference == 0
+                m.sign_flag = difference < 0
+                return next_pc
+
+            return cmp_ri
+        if isinstance(a, Reg) and isinstance(b, Reg):
+            sa = REG_SLOT[a.name]
+            sb = REG_SLOT[b.name]
+
+            def cmp_rr(m):
+                regs = m.regs
+                difference = regs[sa] - regs[sb]
+                m.zero_flag = difference == 0
+                m.sign_flag = difference < 0
+                return next_pc
+
+            return cmp_rr
+        read_a = _compile_reader(a)
+        read_b = _compile_reader(b)
+
+        def cmp_xx(m):
+            difference = read_a(m) - read_b(m)
+            m.zero_flag = difference == 0
+            m.sign_flag = difference < 0
+            return next_pc
+
+        return cmp_xx
+    read_a = _compile_reader(a)
+    read_b = _compile_reader(b)
+
+    def test_xx(m):
+        value = read_a(m) & read_b(m)
+        m.zero_flag = value == 0
+        m.sign_flag = value < 0
+        return next_pc
+
+    return test_xx
+
+
+def _compile_jump(ins: Instruction, next_pc: int) -> StepFn:
+    opcode = ins.opcode
+    target_op = ins.operands[0]
+    if opcode is Opcode.JMP:
+        if isinstance(target_op, Label) and target_op.address is not None:
+            target = target_op.address
+            return lambda m: target
+        read_target = _branch_reader(target_op)
+        return lambda m: read_target(m)
+    if isinstance(target_op, Label) and target_op.address is not None:
+        target = target_op.address
+        if opcode is Opcode.JE:
+            return lambda m: target if m.zero_flag else next_pc
+        if opcode is Opcode.JNE:
+            return lambda m: next_pc if m.zero_flag else target
+        if opcode is Opcode.JL:
+            return lambda m: target if m.sign_flag else next_pc
+        if opcode is Opcode.JLE:
+            return lambda m: target if (m.sign_flag or m.zero_flag) else next_pc
+        if opcode is Opcode.JG:
+            return lambda m: next_pc if (m.sign_flag or m.zero_flag) else target
+        if opcode is Opcode.JGE:
+            return lambda m: next_pc if m.sign_flag else target
+    read_target = _branch_reader(target_op)
+    condition = _CONDITIONS[opcode]
+
+    def jcc_dynamic(m):
+        if condition(m):
+            return read_target(m)
+        return next_pc
+
+    return jcc_dynamic
+
+
+_CONDITIONS = {
+    Opcode.JE: lambda m: m.zero_flag,
+    Opcode.JNE: lambda m: not m.zero_flag,
+    Opcode.JL: lambda m: m.sign_flag,
+    Opcode.JLE: lambda m: m.sign_flag or m.zero_flag,
+    Opcode.JG: lambda m: not m.sign_flag and not m.zero_flag,
+    Opcode.JGE: lambda m: not m.sign_flag,
+}
+
+
+def _compile_local_call(target: Label, addr: int) -> StepFn:
+    if target.address is None:
+        return _raiser(f"unresolved call target {target.name!r}")
+    function = target.name
+    target_pc = target.address
+    return_address = addr + 1
+
+    def call_local(m):
+        regs = m.regs
+        sp = regs[SP_SLOT] - 1
+        regs[SP_SLOT] = sp
+        if sp < _STACK_LIMIT:
+            raise MemoryFault(sp, "stack overflow")
+        m._mem_store(sp, return_address)
+        m.frames.append(
+            Frame(function=function, call_address=addr, return_address=return_address)
+        )
+        return target_pc
+
+    return call_local
+
+
+def _compile_import_call(name: str, addr: int) -> StepFn:
+    next_pc = addr + 1
+    spec = LIBC_FUNCTIONS.get(name)
+    if spec is None:
+        return _raiser(f"call to unknown library function {name!r}")
+    argc = spec.argc
+
+    def call_import(m):
+        regs = m.regs
+        if argc:
+            load = m._mem_load
+            sp = regs[SP_SLOT]
+            if argc == 1:
+                args = (load(sp),)
+            elif argc == 2:
+                args = (load(sp), load(sp + 1))
+            elif argc == 3:
+                args = (load(sp), load(sp + 1), load(sp + 2))
+            else:
+                args = tuple(load(sp + index) for index in range(argc))
+        else:
+            args = ()
+        gate = m.gate
+        if gate is None:
+            counts = m._local_call_counts
+            counts[name] = counts.get(name, 0) + 1
+            result = m.libc.call(name, args, m.memory)
+        elif m._gate_is_standard:
+            runtime = gate.runtime
+            if runtime is not None and name in (
+                m._handled_mask
+                if runtime is m._mask_runtime
+                else m._refresh_handled_mask(runtime)
+            ):
+                result = m._gated_library_call(name, args, addr)
+            else:
+                # Interception fast path: the runtime will not inject into
+                # this function, so skip context/lambda construction — only
+                # the gate's own count-then-pass-through bookkeeping runs.
+                gate.count_call(name)
+                result = m.libc.call(name, args, m.memory)
+        else:
+            result = m._gated_library_call(name, args, addr)
+        regs[R0_SLOT] = int(result.value)
+        return next_pc
+
+    return call_import
+
+
+def _compile_instruction(ins: Instruction, addr: int) -> StepFn:
+    opcode = ins.opcode
+    next_pc = addr + 1
+
+    if opcode is Opcode.NOP:
+        return lambda m: next_pc
+    if opcode is Opcode.MOV:
+        return _compile_mov(ins, next_pc)
+    if opcode is Opcode.LEA:
+        return _compile_lea(ins, next_pc)
+    if opcode is Opcode.PUSH:
+        return _compile_push(ins, next_pc)
+    if opcode is Opcode.POP:
+        return _compile_pop(ins, next_pc)
+    if opcode in ARITHMETIC:
+        return _compile_arithmetic(ins, next_pc)
+    if opcode is Opcode.NEG:
+        dst = ins.operands[0]
+        if isinstance(dst, Reg):
+            d = REG_SLOT[dst.name]
+
+            def neg_r(m):
+                regs = m.regs
+                regs[d] = -regs[d]
+                return next_pc
+
+            return neg_r
+        read = _compile_reader(dst)
+        write = _compile_writer(dst)
+
+        def neg_x(m):
+            write(m, -read(m))
+            return next_pc
+
+        return neg_x
+    if opcode is Opcode.NOT:
+        dst = ins.operands[0]
+        if isinstance(dst, Reg):
+            d = REG_SLOT[dst.name]
+
+            def not_r(m):
+                regs = m.regs
+                regs[d] = 0 if regs[d] else 1
+                return next_pc
+
+            return not_r
+        read = _compile_reader(dst)
+        write = _compile_writer(dst)
+
+        def not_x(m):
+            write(m, 0 if read(m) else 1)
+            return next_pc
+
+        return not_x
+    if opcode in (Opcode.CMP, Opcode.TEST):
+        return _compile_compare(ins, next_pc)
+    if opcode is Opcode.JMP or opcode.is_conditional_jump:
+        return _compile_jump(ins, next_pc)
+    if opcode is Opcode.CALL:
+        target = ins.operands[0] if ins.operands else None
+        if isinstance(target, ImportRef):
+            return _compile_import_call(target.name, addr)
+        if isinstance(target, Label):
+            return _compile_local_call(target, addr)
+        return _raiser(f"unsupported call target {target!r}")
+    if opcode is Opcode.RET:
+
+        def ret(m):
+            regs = m.regs
+            sp = regs[SP_SLOT]
+            return_address = m._mem_load(sp)
+            regs[SP_SLOT] = sp + 1
+            if return_address == RETURN_SENTINEL:
+                code = regs[R0_SLOT]
+                kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
+                return (kind, code, "")
+            frames = m.frames
+            if frames:
+                frames.pop()
+            return return_address
+
+        return ret
+    if opcode is Opcode.HALT:
+
+        def halt(m):
+            code = m.regs[R0_SLOT]
+            kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
+            return (kind, code, "")
+
+        return halt
+    return _raiser(f"unhandled opcode {opcode}")  # pragma: no cover - defensive
+
+
+# ----------------------------------------------------------------------
+# whole-program compilation + per-image cache
+# ----------------------------------------------------------------------
+def compile_program(binary: BinaryImage) -> List[StepFn]:
+    """Compile every instruction of *binary* into a step-closure array.
+
+    Also records the set of import names the instruction stream actually
+    calls on the image (``_import_call_names``): the machine's handled-import
+    mask intersects against it, and deriving it from the instructions —
+    rather than trusting ``binary.imports`` — keeps the interception fast
+    path safe even for hand-constructed images with an incomplete import
+    table.
+    """
+    program: List[StepFn] = []
+    import_names = set()
+    for addr, ins in enumerate(binary.instructions):
+        if (
+            ins.opcode is Opcode.CALL
+            and ins.operands
+            and isinstance(ins.operands[0], ImportRef)
+        ):
+            import_names.add(ins.operands[0].name)
+        try:
+            step = _compile_instruction(ins, addr)
+        except (IndexError, KeyError) as error:
+            # Malformed hand-built instructions (missing operands, unknown
+            # register names) fail in the reference engine only when they
+            # execute; defer the same exception to execution time so dead
+            # malformed code stays as harmless as it is under the oracle.
+            # Anything else is a compiler defect and must fail fast here.
+            step = _deferred_exception(type(error), error.args)
+        program.append(step)
+    binary._import_call_names = frozenset(import_names)
+    return program
+
+
+def _deferred_exception(exc_type, exc_args) -> StepFn:
+    def raise_at_execution(m):
+        raise exc_type(*exc_args)
+
+    return raise_at_execution
+
+
+def compiled_program(binary: BinaryImage) -> List[StepFn]:
+    """The compiled program for *binary*, built at most once per image.
+
+    The closure array is cached on the image itself, so every sharing layer
+    — the process-wide artifact cache, :class:`CompiledTarget`'s binary
+    cache, campaign workers reusing one image — gets the predecoded program
+    for free.  ``BinaryImage`` stores its instruction stream as a tuple, so
+    the cache cannot go stale; the length guard is belt-and-braces for
+    exotic images built outside the tool chain.
+    """
+    program = getattr(binary, "_compiled_program", None)
+    if program is None or len(program) != len(binary.instructions):
+        program = compile_program(binary)
+        binary._compiled_program = program
+    return program
+
+
+__all__ = [
+    "ARITHMETIC",
+    "Frame",
+    "REGISTER_NAMES",
+    "REG_SLOT",
+    "RETURN_SENTINEL",
+    "RegisterFile",
+    "VMError",
+    "compile_program",
+    "compiled_program",
+]

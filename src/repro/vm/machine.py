@@ -11,12 +11,23 @@ Calling convention (matching what the mini-C code generator emits):
   routes the call through the fault-injection gate (when installed) and the
   simulated libc, and writes the result into ``r0``, mirroring how the LFI
   stub either injects an error or tail-jumps to the original function.
+
+Two execution engines share this machine state:
+
+* ``engine="compiled"`` (the default) drives an array of per-instruction
+  closures predecoded once per image by :mod:`repro.vm.dispatch` — operands
+  resolved to register slots, immediates, and precomputed addresses at load
+  time.  This is the fast path every campaign and experiment runs on.
+* ``engine="reference"`` is the original decode-as-you-go interpreter,
+  kept as the behavioural oracle: the differential suite asserts both
+  engines produce identical exit status, traces, coverage, and injection
+  logs on every program.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.frames import StackFrame
 from repro.isa import layout
@@ -34,24 +45,25 @@ from repro.isa.instructions import (
 from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
 from repro.oslib.libc import LIBC_FUNCTIONS, LibcResult, SimLibc
 from repro.oslib.os_model import SimOS
+from repro.vm.dispatch import (
+    ARITHMETIC as _ARITHMETIC,
+    Frame,
+    R0_SLOT,
+    REG_SLOT,
+    RETURN_SENTINEL as _RETURN_SENTINEL,
+    RegisterFile,
+    SP_SLOT,
+    VMError,
+    compiled_program,
+)
 from repro.vm.memory import Memory
 from repro.vm.outcome import ExitKind, ExitStatus
 
-#: Sentinel return address marking the bottom of the call stack.
-_RETURN_SENTINEL = -1
+#: Sentinel marking "no runtime seen yet" for the handled-import mask cache
+#: (the runtime itself may legitimately be ``None``).
+_NO_RUNTIME = object()
 
-
-class VMError(Exception):
-    """An execution error that is the VM's fault rather than the program's."""
-
-
-@dataclass
-class Frame:
-    """One activation record, kept for backtraces (call-stack triggers)."""
-
-    function: str
-    call_address: Optional[int]
-    return_address: int
+_ENGINES = ("compiled", "reference")
 
 
 class Machine:
@@ -65,6 +77,7 @@ class Machine:
         gate: Optional[Any] = None,
         coverage: Optional[Any] = None,
         max_steps: int = 5_000_000,
+        engine: Optional[str] = None,
     ) -> None:
         self.binary = binary
         self.os = os if os is not None else SimOS(binary.name)
@@ -72,21 +85,69 @@ class Machine:
         self.gate = gate
         self.coverage = coverage
         self.max_steps = max_steps
+        self.engine = engine or "compiled"
+        if self.engine not in _ENGINES:
+            raise VMError(
+                f"unknown engine {self.engine!r} (expected one of {_ENGINES})"
+            )
 
         self.memory = Memory(binary.data_words)
-        self.registers: Dict[str, int] = {name: 0 for name in
-                                          ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "sp", "bp")}
+        #: Fixed-slot register file (see dispatch.REG_SLOT for the layout);
+        #: ``registers`` is a name-keyed view over the same slots.
+        self.regs: List[int] = [0] * len(REG_SLOT)
+        self.registers = RegisterFile(self.regs)
         self.zero_flag = False
         self.sign_flag = False
         self.pc = 0
         self.steps = 0
         self.frames: List[Frame] = []
-        self.library_call_counts: Dict[str, int] = {}
         self.trace: Optional[List[int]] = None
+
+        # Bound-method caches for the compiled engine's hot path.
+        self._mem_load = self.memory.load
+        self._mem_store = self.memory.store
+        self._program = compiled_program(binary) if self.engine == "compiled" else None
+
+        # Library-call bookkeeping.  When a gate with its own per-function
+        # counters is installed the VM reads through to it instead of
+        # double-counting; only the gate-less (and counter-less custom gate)
+        # path counts locally.
+        self._local_call_counts: Dict[str, int] = {}
+        gate_counts = getattr(gate, "call_counts", None) if gate is not None else None
+        self._count_locally = not isinstance(gate_counts, dict)
+        # The interception fast path only applies to the stock gate class:
+        # a subclass (or duck-typed stand-in) may override ``call`` and must
+        # therefore see every library call.
+        self._gate_is_standard = (
+            gate is not None and type(gate).__name__ == "LibraryCallGate"
+            and type(gate).__module__ == "repro.core.injection.gate"
+        )
+        #: Handled-import mask: which of this image's imports the currently
+        #: installed injection runtime intercepts.  Recomputed only when the
+        #: runtime object changes (e.g. ``install_runtime`` between runs).
+        self._mask_runtime: Any = _NO_RUNTIME
+        self._handled_mask: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    @property
+    def library_call_counts(self) -> Mapping[str, int]:
+        """Per-function library call counts (read-only view).
+
+        Reads through to the gate's counters when a counting gate is
+        installed (the gate is the single source of truth for interception
+        accounting); falls back to the VM's own counts otherwise.  The view
+        is read-only so callers cannot corrupt gate accounting shared
+        across the runs of a campaign.
+        """
+        gate = self.gate
+        if gate is not None:
+            counts = getattr(gate, "call_counts", None)
+            if isinstance(counts, dict):
+                return MappingProxyType(counts)
+        return MappingProxyType(self._local_call_counts)
+
     def enable_trace(self) -> None:
         self.trace = []
 
@@ -98,8 +159,8 @@ class Machine:
         except KeyError as exc:
             raise VMError(str(exc)) from exc
 
-        self.registers["sp"] = layout.STACK_TOP
-        self.registers["bp"] = layout.STACK_TOP
+        self.regs[SP_SLOT] = layout.STACK_TOP
+        self.regs[REG_SLOT["bp"]] = layout.STACK_TOP
         for value in reversed(list(args)):
             self._push(int(value))
         self._push(_RETURN_SENTINEL)
@@ -107,6 +168,8 @@ class Machine:
         self.frames = [Frame(function=entry_name, call_address=None, return_address=_RETURN_SENTINEL)]
 
         try:
+            if self._program is not None:
+                return self._loop_compiled()
             return self._loop()
         except SimExit as exit_request:
             kind = ExitKind.ABORT if exit_request.aborted else (
@@ -124,7 +187,55 @@ class Machine:
             return self._status(ExitKind.VM_ERROR, code=70, reason=f"unhandled OS fault: {fault}")
 
     # ------------------------------------------------------------------
-    # main loop
+    # compiled main loop (closure-threaded dispatch)
+    # ------------------------------------------------------------------
+    def _loop_compiled(self) -> ExitStatus:
+        program = self._program
+        size = len(program)
+        max_steps = self.max_steps
+        coverage = self.coverage
+        record = coverage.record if coverage is not None else None
+        if record is not None:
+            reserve = getattr(coverage, "reserve", None)
+            if reserve is not None:
+                reserve(size)
+        trace = self.trace
+        append = trace.append if trace is not None else None
+        pc = self.pc
+        steps = self.steps
+        try:
+            while True:
+                self.pc = pc
+                if steps >= max_steps:
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.MAX_STEPS, code=124, reason=f"exceeded {max_steps} steps"
+                    )
+                if pc < 0 or pc >= size:
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.SEGFAULT, code=139,
+                        reason=f"jump outside code segment ({pc:#x})",
+                    )
+                steps += 1
+                if record is not None:
+                    record(pc)
+                if append is not None:
+                    append(pc)
+                result = program[pc](self)
+                if type(result) is int:
+                    pc = result
+                    continue
+                self.steps = steps
+                kind, code, reason = result
+                return self._status(kind, code=code, reason=reason)
+        finally:
+            # Traps (memory faults, SimExit, ...) unwind through here before
+            # run()'s handlers build the final status from machine state.
+            self.steps = steps
+
+    # ------------------------------------------------------------------
+    # reference main loop (decode-as-you-go oracle)
     # ------------------------------------------------------------------
     def _loop(self) -> ExitStatus:
         while True:
@@ -147,7 +258,7 @@ class Machine:
                 return finished
 
     # ------------------------------------------------------------------
-    # instruction execution
+    # instruction execution (reference engine)
     # ------------------------------------------------------------------
     def _execute(self, instruction: Instruction) -> Optional[ExitStatus]:
         opcode = instruction.opcode
@@ -198,7 +309,7 @@ class Machine:
         elif opcode is Opcode.RET:
             return self._ret()
         elif opcode is Opcode.HALT:
-            code = self.registers["r0"]
+            code = self.regs[R0_SLOT]
             kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
             return self._status(kind, code=code)
         else:  # pragma: no cover - defensive
@@ -221,11 +332,11 @@ class Machine:
         raise VMError(f"not a conditional jump: {opcode}")
 
     # ------------------------------------------------------------------
-    # operand helpers
+    # operand helpers (reference engine)
     # ------------------------------------------------------------------
     def _value(self, operand) -> int:
         if isinstance(operand, Reg):
-            return self.registers[operand.name]
+            return self.regs[REG_SLOT[operand.name]]
         if isinstance(operand, Imm):
             return operand.value
         if isinstance(operand, Mem):
@@ -242,7 +353,7 @@ class Machine:
 
     def _address_of(self, operand) -> int:
         if isinstance(operand, Mem):
-            base = self.registers[operand.base] if operand.base is not None else 0
+            base = self.regs[REG_SLOT[operand.base]] if operand.base is not None else 0
             return base + operand.offset
         if isinstance(operand, DataRef):
             if operand.address is None:
@@ -252,7 +363,7 @@ class Machine:
 
     def _write(self, operand, value: int) -> None:
         if isinstance(operand, Reg):
-            self.registers[operand.name] = int(value)
+            self.regs[REG_SLOT[operand.name]] = int(value)
             return
         if isinstance(operand, Mem):
             self.memory.store(self._address_of(operand), int(value))
@@ -265,14 +376,16 @@ class Machine:
         return self._value(operand)
 
     def _push(self, value: int) -> None:
-        self.registers["sp"] -= 1
-        if self.registers["sp"] < layout.STACK_LIMIT:
-            raise MemoryFault(self.registers["sp"], "stack overflow")
-        self.memory.store(self.registers["sp"], int(value))
+        sp = self.regs[SP_SLOT] - 1
+        self.regs[SP_SLOT] = sp
+        if sp < layout.STACK_LIMIT:
+            raise MemoryFault(sp, "stack overflow")
+        self.memory.store(sp, int(value))
 
     def _pop(self) -> int:
-        value = self.memory.load(self.registers["sp"])
-        self.registers["sp"] += 1
+        sp = self.regs[SP_SLOT]
+        value = self.memory.load(sp)
+        self.regs[SP_SLOT] = sp + 1
         return value
 
     # ------------------------------------------------------------------
@@ -281,7 +394,7 @@ class Machine:
     def _call(self, instruction: Instruction) -> None:
         target = instruction.operands[0]
         if isinstance(target, ImportRef):
-            self._library_call(target.name, instruction)
+            self._library_call(target.name)
             self.pc += 1
             return
         if isinstance(target, Label):
@@ -298,7 +411,7 @@ class Machine:
     def _ret(self) -> Optional[ExitStatus]:
         return_address = self._pop()
         if return_address == _RETURN_SENTINEL:
-            code = self.registers["r0"]
+            code = self.regs[R0_SLOT]
             kind = ExitKind.NORMAL if code == 0 else ExitKind.ERROR_EXIT
             return self._status(kind, code=code)
         if self.frames:
@@ -306,35 +419,63 @@ class Machine:
         self.pc = return_address
         return None
 
-    def _library_call(self, name: str, instruction: Instruction) -> None:
+    def _library_call(self, name: str) -> None:
         spec = LIBC_FUNCTIONS.get(name)
         if spec is None:
             raise VMError(f"call to unknown library function {name!r}")
-        argc = spec.argc
-        sp = self.registers["sp"]
-        args: Tuple[int, ...] = tuple(self.memory.load(sp + index) for index in range(argc))
-        self.library_call_counts[name] = self.library_call_counts.get(name, 0) + 1
-
-        call_address = self.pc
-        invoke: Callable[[], LibcResult] = lambda: self.libc.call(name, args, self.memory)
-        apply_fault = lambda return_value, errno: self.libc.apply_injected_fault(
-            name, return_value, errno, self.memory
+        sp = self.regs[SP_SLOT]
+        args: Tuple[int, ...] = tuple(
+            self.memory.load(sp + index) for index in range(spec.argc)
         )
         if self.gate is None:
-            result = invoke()
+            counts = self._local_call_counts
+            counts[name] = counts.get(name, 0) + 1
+            result = self.libc.call(name, args, self.memory)
         else:
-            context = {
-                "node": self.os.name,
-                "module": self.binary.name,
-                "machine": self,
-                "call_address": call_address,
-                "source": self.binary.source_of(call_address),
-                "stack": lambda: self.backtrace(call_address),
-                "state": self.read_program_state,
-                "os": self.os,
-            }
-            result = self.gate.call(name, args, invoke, apply_fault=apply_fault, context=context)
-        self.registers["r0"] = int(result.value)
+            result = self._gated_library_call(name, args, self.pc)
+        self.regs[R0_SLOT] = int(result.value)
+
+    def _refresh_handled_mask(self, runtime: Any) -> frozenset:
+        """Recompute which of this image's imports *runtime* intercepts."""
+        self._mask_runtime = runtime
+        if runtime is None:
+            self._handled_mask = frozenset()
+        else:
+            called = getattr(self.binary, "_import_call_names", None)
+            if called is None:
+                called = frozenset(self.binary.imports)
+            intercepted = getattr(runtime, "intercepted_functions", None)
+            if intercepted is None:
+                # Duck-typed runtime exposing only handles()/decide(): treat
+                # every import as handled so each call takes the full gate
+                # path, exactly as the reference engine would route it.
+                self._handled_mask = called
+            else:
+                self._handled_mask = frozenset(intercepted()) & called
+        return self._handled_mask
+
+    def _gated_library_call(self, name: str, args: Tuple[int, ...], call_address: int) -> LibcResult:
+        """Route one library call through the installed gate (slow path)."""
+        if self._count_locally:
+            counts = self._local_call_counts
+            counts[name] = counts.get(name, 0) + 1
+        libc = self.libc
+        memory = self.memory
+        invoke = lambda: libc.call(name, args, memory)
+        apply_fault = lambda return_value, errno: libc.apply_injected_fault(
+            name, return_value, errno, memory
+        )
+        context = {
+            "node": self.os.name,
+            "module": self.binary.name,
+            "machine": self,
+            "call_address": call_address,
+            "source": self.binary.source_of(call_address),
+            "stack": lambda: self.backtrace(call_address),
+            "state": self.read_program_state,
+            "os": self.os,
+        }
+        return self.gate.call(name, args, invoke, apply_fault=apply_fault, context=context)
 
     # ------------------------------------------------------------------
     # introspection used by triggers and reports
@@ -381,28 +522,6 @@ class Machine:
             stdout=self.os.stdout_text(),
             stderr=self.os.stderr_text(),
         )
-
-
-def _signed_div(a: int, b: int) -> int:
-    if b == 0:
-        raise ZeroDivisionError("integer division by zero")
-    return int(a / b)  # C-style truncation towards zero
-
-
-def _signed_mod(a: int, b: int) -> int:
-    return a - _signed_div(a, b) * b
-
-
-_ARITHMETIC = {
-    Opcode.ADD: lambda a, b: a + b,
-    Opcode.SUB: lambda a, b: a - b,
-    Opcode.MUL: lambda a, b: a * b,
-    Opcode.DIV: _signed_div,
-    Opcode.MOD: _signed_mod,
-    Opcode.AND: lambda a, b: a & b,
-    Opcode.OR: lambda a, b: a | b,
-    Opcode.XOR: lambda a, b: a ^ b,
-}
 
 
 __all__ = ["Frame", "Machine", "VMError"]

@@ -4,6 +4,21 @@ Loads and stores in the NULL page raise
 :class:`~repro.oslib.errors.MemoryFault`, which the VM reports as a
 segmentation fault — this is the mechanism behind every "crash due to
 unchecked NULL return" bug in the paper's Table 1.
+
+Two backing stores sit behind one address space:
+
+* a flat array for the hot top of the stack segment (where every ``push``,
+  ``pop``, spilled local, and library-call argument read lands), and
+* a sparse dict for everything else (data segment, heap, and the cold
+  remainder of a very deep stack).
+
+The split is invisible to callers: the VM always passes plain ``int``
+addresses and values, so the old defensive ``int()`` coercions on the hot
+path are gone (``peek``/``poke``, the debugger-facing entry points, still
+coerce).  One caveat of the array backing: a stack slot explicitly written
+with ``0`` is indistinguishable from one never touched, so ``snapshot()``
+and ``len()`` only report *non-zero* stack words, and ``peek`` returns its
+``default`` for a stack slot holding ``0``.
 """
 
 from __future__ import annotations
@@ -13,35 +28,66 @@ from typing import Dict, Optional
 from repro.isa import layout
 from repro.oslib.errors import MemoryFault
 
+#: Addresses below this are the guarded NULL page (negatives included:
+#: ``address < _NULL_LIMIT`` is exactly ``layout.is_null_page(address)``).
+_NULL_LIMIT = layout.NULL_GUARD_LIMIT
+
+#: The array-backed window: the top 16K words of the stack segment.  Mini-C
+#: programs use a few hundred words of stack; anything deeper silently falls
+#: back to the sparse dict.
+_STACK_TOP = layout.STACK_TOP
+_STACK_WINDOW = 1 << 14
+_STACK_BASE = _STACK_TOP - _STACK_WINDOW
+
 
 class Memory:
-    """Sparse word-addressed memory."""
+    """Sparse word-addressed memory with an array-backed stack window."""
 
     def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
         self._words: Dict[int, int] = dict(initial or {})
+        self._stack = [0] * _STACK_WINDOW
         self.load_count = 0
         self.store_count = 0
+        if self._words:
+            # Initial images normally only populate the data segment, but
+            # route any stack-window words to the array so both stores never
+            # disagree about one address.
+            for address in [a for a in self._words if _STACK_BASE <= a < _STACK_TOP]:
+                self._stack[address - _STACK_BASE] = self._words.pop(address)
 
     def load(self, address: int) -> int:
-        address = int(address)
-        if layout.is_null_page(address):
+        if _STACK_BASE <= address < _STACK_TOP:
+            self.load_count += 1
+            return self._stack[address - _STACK_BASE]
+        if address < _NULL_LIMIT:
             raise MemoryFault(address, "load from unmapped (NULL page) address")
         self.load_count += 1
         return self._words.get(address, 0)
 
     def store(self, address: int, value: int) -> None:
-        address = int(address)
-        if layout.is_null_page(address):
+        if _STACK_BASE <= address < _STACK_TOP:
+            self.store_count += 1
+            self._stack[address - _STACK_BASE] = value
+            return
+        if address < _NULL_LIMIT:
             raise MemoryFault(address, "store to unmapped (NULL page) address")
         self.store_count += 1
-        self._words[address] = int(value)
+        self._words[address] = value
 
     # Unchecked variants used by debuggers/tests to peek without counting.
     def peek(self, address: int, default: int = 0) -> int:
-        return self._words.get(int(address), default)
+        address = int(address)
+        if _STACK_BASE <= address < _STACK_TOP:
+            value = self._stack[address - _STACK_BASE]
+            return value if value else default
+        return self._words.get(address, default)
 
     def poke(self, address: int, value: int) -> None:
-        self._words[int(address)] = int(value)
+        address = int(address)
+        if _STACK_BASE <= address < _STACK_TOP:
+            self._stack[address - _STACK_BASE] = int(value)
+            return
+        self._words[address] = int(value)
 
     def read_string(self, address: int, limit: int = 4096) -> str:
         chars = []
@@ -58,10 +104,14 @@ class Memory:
         self.store(address + len(text), 0)
 
     def snapshot(self) -> Dict[int, int]:
-        return dict(self._words)
+        merged = dict(self._words)
+        for index, value in enumerate(self._stack):
+            if value:
+                merged[_STACK_BASE + index] = value
+        return merged
 
     def __len__(self) -> int:
-        return len(self._words)
+        return len(self._words) + sum(1 for value in self._stack if value)
 
 
 __all__ = ["Memory"]
