@@ -40,6 +40,22 @@ Two knobs worth knowing about:
   with a pluggable strategy, deduplicated failures, and a resumable
   JSON-lines result store (see the walkthrough at the bottom and
   ``repro.core.exploration``).
+* **snapshot-accelerated campaigns** — compiled-target runs are
+  forkserver-style by default (``repro.vm.snapshot``): a resident boot
+  template is restored per request in O(dirty words) via copy-on-write
+  memory instead of rebuilding the OS fixture/libc/machine, and serial
+  campaigns additionally *share prefixes*: the analyzer's (site x errno)
+  scenario families differ only in the injected fault, so the group's
+  common prefix — boot plus every instruction up to the trigger site —
+  executes once, a ``MidRunCapture`` freezes the machine at the injection
+  point, and each sibling scenario resumes there with its own fault (or,
+  if the trigger never fires under the workload, simply inherits the probe
+  run's result).  Results are bit-identical to the per-scenario rebuild
+  path (``tests/test_snapshot.py``), which stays selectable via
+  ``WorkloadRequest(options={"snapshots": False})`` and
+  ``campaign.run(..., share_prefixes=False)``;
+  ``benchmarks/bench_snapshot.py`` tracks the >= 2x campaign-throughput
+  win in ``BENCH_snapshot.json``.
 
 Run with::
 
@@ -168,6 +184,29 @@ def main() -> None:
         f"{resumed.resumed} replayed from {store_path}"
     )
     os.unlink(store_path)
+
+    # ------------------------------------------------------------------
+    # Snapshot-accelerated campaigns (forkserver-style execution).
+    #
+    # Compiled targets run from a resident boot template by default, and
+    # serial campaigns group scenarios that differ only in the injected
+    # fault so their common prefix executes once.  Both accelerations are
+    # bit-identical to the reference rebuild path — prove it here.
+    from repro.core.controller.campaign import TestCampaign
+    from repro.targets.mini_git import MiniGitTarget
+
+    git = MiniGitTarget()
+    git_controller = LFIController(git)
+    git_scenarios = git_controller.generate_scenarios(git_controller.analyze_target())
+    campaign = TestCampaign(git, workload="status")
+    accelerated = campaign.run(git_scenarios, seed=1, include_baseline=False)
+    reference = campaign.run(git_scenarios, seed=1, include_baseline=False,
+                             share_prefixes=False, snapshots=False)
+    assert [o.outcome.kind for o in accelerated.outcomes] == \
+           [o.outcome.kind for o in reference.outcomes]
+    print(f"\nsnapshot-accelerated campaign over {len(git_scenarios)} mini_git "
+          f"scenarios: outcomes identical to the rebuild path "
+          f"(see benchmarks/bench_snapshot.py for the throughput win)")
 
 
 if __name__ == "__main__":

@@ -75,6 +75,31 @@ randomly generated mini-C programs::
     machine = Machine(binary, engine="reference")   # the slow oracle
     target.run(WorkloadRequest(options={"engine": "reference"}))
 
+**Forkserver-style snapshots.** Every compiled-target run is served from a
+resident *boot template* by default (:mod:`repro.vm.snapshot`): the OS
+fixture, libc, and machine are built once per (target, workload), their
+boot state captured by :class:`~repro.vm.snapshot.MachineSnapshot`, and
+each request restores it in **O(dirty words)** via the copy-on-write
+journal inside :class:`~repro.vm.memory.Memory` instead of rebuilding.  On
+top of that, serial campaigns and explorations share *prefixes*
+(:mod:`repro.core.controller.prefix`): scenarios that differ only in the
+injected fault — the analyzer's (site x errno) families — are grouped, the
+group's probe runs once while a
+:class:`~repro.vm.snapshot.MidRunCapture` snapshots the machine at the
+exact instruction where the trigger fires, and every sibling scenario
+resumes from that point with its own fault; scenarios whose trigger never
+fires under a workload are answered by replicating the probe.  All of it
+is observably identical to the reference rebuild path —
+``tests/test_snapshot.py`` enforces bit-identical exit statuses, traces,
+coverage, call counts, and injection logs — and selectable::
+
+    target.run(WorkloadRequest(options={"snapshots": False}))   # reference path
+    campaign.run(scenarios, share_prefixes=False)               # per-scenario runs
+
+``benchmarks/bench_snapshot.py`` tracks the resulting campaign throughput
+in ``BENCH_snapshot.json`` (>= 2x the rebuild path on the mini_git sweep
+and the mini_apache trigger campaign).
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,
@@ -127,11 +152,13 @@ from repro.minicc.compiler import compile_source
 from repro.oslib.libc_binary import build_all_library_binaries, build_library_binary
 from repro.oslib.os_model import SimOS
 from repro.vm.machine import Machine
+from repro.vm.snapshot import BootTemplate, MachineSnapshot, MidRunCapture
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "BootTemplate",
     "BoundarySampleStrategy",
     "CallContext",
     "CallSiteAnalyzer",
@@ -148,6 +175,8 @@ __all__ = [
     "LibraryCallGate",
     "LibraryProfiler",
     "Machine",
+    "MachineSnapshot",
+    "MidRunCapture",
     "ProcessPoolBackend",
     "RandomSampleStrategy",
     "ResultStore",

@@ -9,6 +9,12 @@ under injection into bug candidates.
 
 from repro.core.controller.campaign import CampaignResult, ScenarioOutcome, TestCampaign
 from repro.core.controller.controller import LFIController
+from repro.core.controller.prefix import (
+    iter_shared_runs,
+    run_scenarios_shared,
+    scenario_group_key,
+    sharing_supported,
+)
 from repro.core.controller.executor import (
     ExecutionBackend,
     ExecutionTask,
@@ -40,6 +46,10 @@ __all__ = [
     "WorkloadRequest",
     "build_bug_report",
     "classify_exception",
+    "iter_shared_runs",
     "resolve_backend",
     "run_requests",
+    "run_scenarios_shared",
+    "scenario_group_key",
+    "sharing_supported",
 ]

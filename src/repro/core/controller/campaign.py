@@ -12,6 +12,13 @@ target instance), so a campaign is an embarrassingly parallel batch.  The
 :class:`~repro.core.controller.executor.ExecutionBackend`; results keep
 submission order and per-run seeds are derived deterministically, so a
 parallel campaign's :class:`CampaignResult` is identical to a serial one's.
+
+Serial campaigns against targets that declare deterministic execution
+additionally share prefixes (:mod:`repro.core.controller.prefix`): scenarios
+differing only in the injected fault are grouped so their common pre-trigger
+prefix executes once and only post-trigger suffixes run per fault — with
+results still bit-identical to the unshared path.  ``share_prefixes=False``
+forces the reference per-scenario path.
 """
 
 from __future__ import annotations
@@ -22,10 +29,12 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.controller.executor import (
     ExecutionTask,
     ParallelismSpec,
+    SerialBackend,
     backend_scope,
     derive_run_seed,
 )
 from repro.core.controller.monitor import Outcome, OutcomeKind, RunResult
+from repro.core.controller.prefix import run_scenarios_shared, sharing_supported
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.scenario.model import Scenario
 
@@ -124,32 +133,56 @@ class TestCampaign:
         include_baseline: bool = True,
         seed: Optional[int] = None,
         parallelism: ParallelismSpec = None,
+        share_prefixes: Optional[bool] = None,
         **options,
     ) -> CampaignResult:
+        """Run every scenario; see the module docstring for the knobs.
+
+        ``share_prefixes=None`` (default) enables prefix sharing for serial
+        campaigns against targets that declare ``prefix_shareable``;
+        ``False`` forces the reference per-scenario path and ``True``
+        requests sharing explicitly (still serial-only: parallel backends
+        fan out per scenario, where sharing would serialize the batch).
+        """
         scenario_list = list(scenarios)
         campaign = CampaignResult(target=self.target.name)
         if include_baseline:
             campaign.baseline = self.run_baseline(collect_coverage=collect_coverage, **options)
 
-        tasks = [
-            ExecutionTask(
-                index=index,
-                target=self.target,
-                request=WorkloadRequest(
-                    workload=self.workload,
-                    scenario=scenario,
-                    collect_coverage=collect_coverage,
-                    options=dict(options),
-                ),
-                seed=derive_run_seed(seed, index),
-            )
-            for index, scenario in enumerate(scenario_list)
-        ]
-
         spec = parallelism if parallelism is not None else self.parallelism
         backend, owned = backend_scope(spec)
         try:
-            results = backend.run_tasks(tasks)
+            serial = isinstance(backend, SerialBackend)
+            sharing = (
+                share_prefixes
+                if share_prefixes is not None
+                else sharing_supported(self.target)
+            )
+            if sharing and serial:
+                results = run_scenarios_shared(
+                    self.target,
+                    self.workload,
+                    scenario_list,
+                    seeds=[derive_run_seed(seed, index) for index in range(len(scenario_list))],
+                    collect_coverage=collect_coverage,
+                    options=dict(options),
+                )
+            else:
+                tasks = [
+                    ExecutionTask(
+                        index=index,
+                        target=self.target,
+                        request=WorkloadRequest(
+                            workload=self.workload,
+                            scenario=scenario,
+                            collect_coverage=collect_coverage,
+                            options=dict(options),
+                        ),
+                        seed=derive_run_seed(seed, index),
+                    )
+                    for index, scenario in enumerate(scenario_list)
+                ]
+                results = backend.run_tasks(tasks)
         finally:
             if owned:
                 backend.close()

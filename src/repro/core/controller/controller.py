@@ -190,6 +190,8 @@ class LFIController:
         seed: Optional[int] = None,
         parallelism: ParallelismSpec = None,
         max_runs: Optional[int] = None,
+        share_prefixes: Optional[bool] = None,
+        request_options: Optional[dict] = None,
     ) -> ExplorationReport:
         """Systematically explore the target's fault space (PR 2 tentpole).
 
@@ -215,6 +217,8 @@ class LFIController:
             parallelism=parallelism if parallelism is not None else self.parallelism,
             seed=seed,
             workload=workload,
+            share_prefixes=share_prefixes,
+            request_options=request_options,
         )
         return engine.explore(points, max_runs=max_runs)
 

@@ -1,0 +1,562 @@
+"""Prefix-sharing campaign scheduling.
+
+An LFI campaign runs one workload per fault scenario, and the analyzer
+generates its scenarios in families: one per (call site x error return x
+errno), all sharing the **same trigger composition** — same call-stack
+frame, same singleton — and differing only in the fault injected.  Every
+run in such a family executes an identical prefix (boot, fixtures, all
+instructions up to the trigger site) before the armed injection diverges.
+
+This module eliminates that redundancy at the schedule level:
+
+1. **Grouping** — :func:`scenario_group_key` fingerprints a scenario's
+   trigger declarations and plan structure *without* the fault values;
+   scenarios with equal keys under one workload form a group whose members
+   are interchangeable until the moment of injection.
+2. **Probe + resume** — the group's first member runs normally; for targets
+   exposing the :class:`~repro.targets.base.CompiledTarget` session API the
+   probe snapshots OS/gate/coverage state at the last workload-step
+   boundary before its trigger fires, and every other member restores that
+   boundary (its own gate is grafted with the shared interception state)
+   and executes **only the post-trigger suffix**.
+3. **Replication** — if the probe's trigger never fires, no member's fault
+   can ever be injected either, so the probe's result is replicated for the
+   whole group (with per-member log/coverage copies) — the common case for
+   sites a given workload does not exercise.
+
+Soundness rests on determinism: only scenarios built solely from
+deterministic trigger classes (:data:`SAFE_TRIGGER_CLASSES` — no random
+triggers, no ``@shared_object`` parameters) are grouped, and only targets
+that declare ``prefix_shareable`` (deterministic modulo the injected fault)
+participate.  Everything else runs on the plain per-scenario path.  The
+differential suite asserts shared campaigns are bit-identical to unshared
+ones.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.controller.monitor import (
+    Outcome,
+    OutcomeKind,
+    RunResult,
+    classify_exit_status,
+)
+from repro.core.controller.target import TargetAdapter, WorkloadRequest, make_gate
+from repro.core.injection.log import InjectionLog
+from repro.core.scenario.model import Scenario
+from repro.coverage.tracker import CoverageTracker
+from repro.vm.dispatch import R0_SLOT
+from repro.vm.snapshot import MidRunCapture, capture_gate_state, graft_gate_state
+
+#: Trigger classes whose behaviour is a deterministic function of the call
+#: stream (no randomness, no cross-run state): scenarios composed solely of
+#: these may share prefixes.
+SAFE_TRIGGER_CLASSES = frozenset(
+    {"CallStackTrigger", "CallCountTrigger", "SingletonTrigger"}
+)
+
+#: One scheduling entry: (submission index, scenario, derived run seed).
+Entry = Tuple[int, Optional[Scenario], Optional[int]]
+
+
+# ----------------------------------------------------------------------
+# grouping
+# ----------------------------------------------------------------------
+def scenario_group_key(scenario: Optional[Scenario]) -> Optional[str]:
+    """Fingerprint of a scenario minus its fault values, or ``None``.
+
+    ``None`` marks the scenario ineligible for sharing: no scenario at all,
+    a trigger class outside the deterministic safe set, or parameters that
+    reference shared objects (``"@name"``) whose behaviour the scheduler
+    cannot reason about.  Scenarios with equal keys run identically up to
+    (and including the decision of) their first injection.
+    """
+    if scenario is None:
+        return None
+    trigger_parts: List[tuple] = []
+    for trigger_id in sorted(scenario.triggers):
+        declaration = scenario.triggers[trigger_id]
+        if declaration.class_name not in SAFE_TRIGGER_CLASSES:
+            return None
+        try:
+            params = sorted(declaration.params.items())
+        except TypeError:
+            return None
+        for _, value in params:
+            if isinstance(value, str) and value.startswith("@"):
+                return None
+        trigger_parts.append((trigger_id, declaration.class_name, repr(params)))
+    plan_parts = [
+        (plan.function, tuple(plan.trigger_ids), plan.fault is not None, plan.argc)
+        for plan in scenario.plans
+    ]
+    return repr((tuple(trigger_parts), tuple(plan_parts)))
+
+
+def sharing_supported(target: TargetAdapter) -> bool:
+    """True when *target* declares deterministic, shareable execution."""
+    return bool(getattr(target, "prefix_shareable", False))
+
+
+def _has_session_api(target: Any) -> bool:
+    return all(
+        hasattr(target, name)
+        for name in ("open_session", "execute_plan", "finalize_run", "workload_plan")
+    )
+
+
+# ----------------------------------------------------------------------
+# result plumbing
+# ----------------------------------------------------------------------
+def seeded_options(options: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    merged = dict(options)
+    if seed is not None:
+        merged.setdefault("run_seed", seed)
+    return merged
+
+
+def _plain_run(
+    target: TargetAdapter,
+    workload: str,
+    scenario: Optional[Scenario],
+    seed: Optional[int],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> RunResult:
+    return target.run(
+        WorkloadRequest(
+            workload=workload,
+            scenario=scenario,
+            observe_only=observe_only,
+            collect_coverage=collect_coverage,
+            options=seeded_options(options, seed),
+        )
+    )
+
+
+def _clone_log(log: Optional[InjectionLog]) -> Optional[InjectionLog]:
+    if log is None:
+        return None
+    clone = InjectionLog(record_passthrough=log.record_passthrough)
+    clone.records = copy.deepcopy(log.records)
+    clone.injection_count = log.injection_count
+    clone.passthrough_count = log.passthrough_count
+    clone._next_index = log._next_index
+    return clone
+
+
+def replicate_result(result: RunResult) -> RunResult:
+    """A per-member copy of a replicated probe result.
+
+    The outcome and log are copied so group members never share mutable
+    state; a coverage tracker in the stats is cloned for the same reason.
+    Other stats values (the published OS among them) are identical final
+    states and may be shared read-only.
+    """
+    stats = dict(result.stats)
+    coverage = stats.get("coverage")
+    if coverage is not None and hasattr(coverage, "capture_state"):
+        clone = type(coverage)()
+        clone.restore_state(coverage.capture_state())
+        stats["coverage"] = clone
+    return RunResult(
+        outcome=replace(result.outcome),
+        log=_clone_log(result.log),
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# group execution
+# ----------------------------------------------------------------------
+def _resume_member_mid(
+    target: Any,
+    session: Any,
+    plan: Sequence[Any],
+    capture: MidRunCapture,
+    record: Dict[str, Any],
+    prior_outcome: Outcome,
+    scenario: Scenario,
+    seed: Optional[int],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+) -> RunResult:
+    """Resume one member from the probe's injection-point capture.
+
+    The capture holds machine state at the exact moment the shared trigger
+    agreed, *before* any fault was applied; the member's own fault is then
+    injected by replaying the gate's inject branch — side effect (errno),
+    log record, return-value write — and execution resumes at the next
+    instruction.  Every instruction of the common prefix is skipped.
+    """
+    gate = make_gate(
+        scenario, run_seed=seeded_options(options, seed).get("run_seed")
+    )
+    coverage = CoverageTracker() if collect_coverage else None
+    machine = capture.restore(gate, coverage)
+
+    fault = scenario.plans[record["plan_index"]].fault
+    gate.injected_calls += 1
+    result = machine.libc.apply_injected_fault(
+        record["name"], fault.return_value, fault.errno, machine.memory
+    )
+    result.injected = True
+    gate.log.record(
+        function=record["name"],
+        args=record["args"],
+        injected=True,
+        call_count=record["count"],
+        node=record["node"],
+        module=record["module"],
+        fault=fault,
+        trigger_ids=list(record["fired"]),
+        stack=list(record["stack"]),
+        source=record["source"],
+        sim_time=record["sim_time"],
+    )
+    machine.regs[R0_SLOT] = int(result.value)
+    machine.pc = capture.pc + 1
+    status = machine.resume()
+
+    step_index = record["step"]
+    steps_run = step_index + 1
+    outcome = replace(prior_outcome)
+    step_outcome = classify_exit_status(status)
+    if step_outcome.kind in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.HANG):
+        outcome = step_outcome
+        if coverage is not None:
+            coverage.finish_run()
+    else:
+        if step_outcome.kind is OutcomeKind.ERROR_EXIT and outcome.kind is OutcomeKind.NORMAL:
+            outcome = step_outcome
+        outcome, steps_run = target.execute_plan(
+            session, plan, gate, coverage,
+            start_index=step_index + 1, outcome=outcome,
+        )
+    return target.finalize_run(session, gate, coverage, outcome, steps_run)
+
+
+def _run_group_with_sessions(
+    target: Any,
+    workload: str,
+    members: Sequence[Entry],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> Dict[int, RunResult]:
+    """Probe + resume execution for session-capable (compiled) targets.
+
+    The probe (first member) runs in full; along the way it captures the
+    state every other member needs to skip the shared prefix — preferring
+    an instruction-level :class:`MidRunCapture` at the injection point
+    (available on snapshot-backed sessions) and falling back to the last
+    workload-step boundary before the trigger step.
+    """
+    results: Dict[int, RunResult] = {}
+    plan = target.workload_plan(workload)
+    engine = options.get("engine")
+    snapshots = bool(options.get("snapshots", True))
+    probe_index, probe_scenario, probe_seed = members[0]
+
+    session = target.open_session(workload, engine=engine, snapshots=snapshots)
+    session.shared = True
+    try:
+        probe_gate = make_gate(
+            probe_scenario,
+            observe_only=observe_only,
+            run_seed=seeded_options(options, probe_seed).get("run_seed"),
+        )
+        probe_coverage = CoverageTracker() if collect_coverage else None
+
+        # The hook runs before each workload step and keeps overwriting the
+        # boundary until an injection is observed: once step K injects, the
+        # last capture is exactly the state before step K — where members
+        # resume when no instruction-level capture is available.  On
+        # snapshot-backed sessions the instruction-level capture below is
+        # the resume point, so the boundary only tracks the accumulated
+        # outcome (full per-step OS/gate/coverage captures would be paid on
+        # every probe for nothing).
+        light_boundaries = session.template is not None
+        current_step = {"index": 0}
+        boundary: Dict[str, Any] = {"state": None, "locked": False}
+
+        def capture_boundary(index: int, steps_run: int, outcome) -> None:
+            current_step["index"] = index
+            if boundary["locked"]:
+                return
+            if probe_gate.injected_calls or probe_gate.observed_injections:
+                boundary["locked"] = True
+                return
+            if light_boundaries:
+                boundary["state"] = {
+                    "index": index,
+                    "outcome": replace(outcome),
+                    "full": False,
+                }
+                return
+            gate_state = capture_gate_state(probe_gate)
+            if gate_state is None:  # non-standard gate: give up on resuming
+                boundary["state"] = None
+                boundary["locked"] = True
+                return
+            boundary["state"] = {
+                "index": index,
+                "outcome": replace(outcome),
+                "full": True,
+                "os": session.capture_os_boundary(),
+                "gate": gate_state,
+                "coverage": (
+                    probe_coverage.capture_state()
+                    if probe_coverage is not None
+                    else None
+                ),
+            }
+
+        # On snapshot-backed sessions, additionally capture the machine at
+        # the exact injection point (mid-instruction-stream): the observer
+        # fires inside the gate, after the triggers agreed and before the
+        # probe's fault is applied, counted, or logged.
+        mid: Dict[str, Any] = {"capture": None, "record": None}
+        template = session.template
+        if template is not None:
+
+            def observe_injection(name, args, count, ctx, decision) -> None:
+                if mid["capture"] is not None:
+                    return
+                machine = ctx.extras.get("machine")
+                if machine is not template.machine:
+                    return
+                plan_index = next(
+                    (
+                        position
+                        for position, candidate in enumerate(probe_scenario.plans)
+                        if candidate is decision.plan
+                    ),
+                    None,
+                )
+                if plan_index is None:
+                    return
+                capture = MidRunCapture(
+                    machine, base_level=template.snapshot.memory_level
+                )
+                if capture.gate_state is None:
+                    return
+                clock = getattr(ctx.os, "clock", None)
+                mid["capture"] = capture
+                mid["record"] = {
+                    "step": current_step["index"],
+                    "name": name,
+                    "args": args,
+                    "count": count,
+                    "node": ctx.node,
+                    "module": ctx.module,
+                    "source": str(ctx.source) if ctx.source else "",
+                    "stack": list(ctx.stack),
+                    "sim_time": getattr(clock, "now", 0.0) if clock is not None else 0.0,
+                    "fired": list(decision.fired_triggers),
+                    "plan_index": plan_index,
+                }
+
+            probe_gate.inject_observer = observe_injection
+
+        outcome, steps_run = target.execute_plan(
+            session, plan, probe_gate, probe_coverage, boundary_hook=capture_boundary
+        )
+        probe_gate.inject_observer = None
+        results[probe_index] = target.finalize_run(
+            session, probe_gate, probe_coverage, outcome, steps_run
+        )
+
+        if not probe_gate.injected_calls:
+            # No fault was ever applied — either the shared trigger never
+            # agreed, or the gate observes without injecting.  Both ways the
+            # members' faults are dead weight and all runs are identical —
+            # replicate the probe.
+            for index, _scenario, _seed in members[1:]:
+                results[index] = replicate_result(results[probe_index])
+            return results
+
+        state = boundary["state"]
+        for index, scenario, seed in members[1:]:
+            if mid["capture"] is not None:
+                prior = (
+                    replace(state["outcome"])
+                    if state is not None
+                    else Outcome(kind=OutcomeKind.NORMAL)
+                )
+                results[index] = _resume_member_mid(
+                    target, session, plan,
+                    mid["capture"], mid["record"], prior,
+                    scenario, seed, collect_coverage, options,
+                )
+                continue
+            if state is None or not state["full"]:
+                # No usable capture (non-standard gate, or a light boundary
+                # whose instruction-level capture fell through): run plainly.
+                results[index] = _plain_run(
+                    target, workload, scenario, seed, collect_coverage, options,
+                    observe_only=observe_only,
+                )
+                continue
+            gate = make_gate(
+                scenario,
+                observe_only=observe_only,
+                run_seed=seeded_options(options, seed).get("run_seed"),
+            )
+            graft_gate_state(state["gate"], gate)
+            coverage = CoverageTracker() if collect_coverage else None
+            if coverage is not None and state["coverage"] is not None:
+                coverage.restore_state(state["coverage"])
+            session.restore_os_boundary(state["os"])
+            member_outcome, member_steps = target.execute_plan(
+                session,
+                plan,
+                gate,
+                coverage,
+                start_index=state["index"],
+                outcome=replace(state["outcome"]),
+            )
+            results[index] = target.finalize_run(
+                session, gate, coverage, member_outcome, member_steps
+            )
+        return results
+    finally:
+        session.close()
+
+
+def _run_group_replicating(
+    target: TargetAdapter,
+    workload: str,
+    members: Sequence[Entry],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> Dict[int, RunResult]:
+    """Probe + replication for Python-level targets (no session API).
+
+    Runs whose shared trigger never fires are identical, so one probe run
+    covers the whole group; once the probe injects, the members' faulted
+    suffixes genuinely diverge and each member runs in full.
+    """
+    results: Dict[int, RunResult] = {}
+    probe_index, probe_scenario, probe_seed = members[0]
+    probe = _plain_run(
+        target, workload, probe_scenario, probe_seed, collect_coverage, options,
+        observe_only=observe_only,
+    )
+    results[probe_index] = probe
+    if probe.injections == 0:
+        for index, _scenario, _seed in members[1:]:
+            results[index] = replicate_result(probe)
+        return results
+    for index, scenario, seed in members[1:]:
+        results[index] = _plain_run(
+            target, workload, scenario, seed, collect_coverage, options,
+            observe_only=observe_only,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+def iter_shared_runs(
+    target: TargetAdapter,
+    workload: str,
+    entries: Sequence[Entry],
+    collect_coverage: bool = False,
+    options: Optional[Dict[str, Any]] = None,
+    observe_only: bool = False,
+) -> Iterator[Tuple[int, RunResult]]:
+    """Run every entry, sharing prefixes within scenario groups.
+
+    Yields ``(submission index, result)`` pairs as they complete (group by
+    group, in first-appearance order) so callers can checkpoint
+    incrementally; the pairs cover every entry exactly once, and each
+    result is bit-identical to what the plain per-scenario path produces.
+    """
+    options = dict(options or {})
+    groups: Dict[str, List[Entry]] = {}
+    ordered_keys: List[str] = []
+    ungrouped: List[Entry] = []
+    for entry in entries:
+        key = scenario_group_key(entry[1])
+        if key is None:
+            ungrouped.append(entry)
+            continue
+        if key not in groups:
+            groups[key] = []
+            ordered_keys.append(key)
+        groups[key].append(entry)
+
+    for key in ordered_keys:
+        members = groups[key]
+        if len(members) == 1:
+            index, scenario, seed = members[0]
+            yield index, _plain_run(
+                target, workload, scenario, seed, collect_coverage, options,
+                observe_only=observe_only,
+            )
+            continue
+        if _has_session_api(target):
+            results = _run_group_with_sessions(
+                target, workload, members, collect_coverage, options,
+                observe_only=observe_only,
+            )
+        elif hasattr(target, "run_prefix_group"):
+            # The target implements its own forkserver-style group path
+            # (e.g. deepcopy-forking a Python-level server world).
+            results = target.run_prefix_group(
+                workload, members, collect_coverage, options,
+                observe_only=observe_only,
+            )
+        else:
+            results = _run_group_replicating(
+                target, workload, members, collect_coverage, options,
+                observe_only=observe_only,
+            )
+        for index in sorted(results):
+            yield index, results[index]
+
+    for index, scenario, seed in ungrouped:
+        yield index, _plain_run(
+            target, workload, scenario, seed, collect_coverage, options,
+            observe_only=observe_only,
+        )
+
+
+def run_scenarios_shared(
+    target: TargetAdapter,
+    workload: str,
+    scenarios: Sequence[Optional[Scenario]],
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    collect_coverage: bool = False,
+    options: Optional[Dict[str, Any]] = None,
+    observe_only: bool = False,
+) -> List[RunResult]:
+    """Eager wrapper over :func:`iter_shared_runs`, in submission order."""
+    entries: List[Entry] = [
+        (index, scenario, seeds[index] if seeds is not None else None)
+        for index, scenario in enumerate(scenarios)
+    ]
+    collected: Dict[int, RunResult] = {}
+    for index, result in iter_shared_runs(
+        target, workload, entries, collect_coverage=collect_coverage,
+        options=options, observe_only=observe_only,
+    ):
+        collected[index] = result
+    return [collected[index] for index in range(len(entries))]
+
+
+__all__ = [
+    "SAFE_TRIGGER_CLASSES",
+    "iter_shared_runs",
+    "run_scenarios_shared",
+    "scenario_group_key",
+    "sharing_supported",
+]

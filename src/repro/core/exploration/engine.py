@@ -27,10 +27,12 @@ from typing import List, Optional, Sequence
 from repro.core.controller.executor import (
     ExecutionTask,
     ParallelismSpec,
+    SerialBackend,
     backend_scope,
     derive_run_seed,
 )
 from repro.core.controller.monitor import Outcome, RunResult
+from repro.core.controller.prefix import iter_shared_runs, sharing_supported
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.exploration.dedup import FailureDeduplicator, UniqueFailure, stack_fingerprint
 from repro.core.exploration.space import FaultPoint, priority_order
@@ -136,6 +138,8 @@ class ExplorationEngine:
         seed: Optional[int] = None,
         workload: Optional[str] = None,
         once: bool = True,
+        share_prefixes: Optional[bool] = None,
+        request_options: Optional[dict] = None,
     ) -> None:
         self.target = target
         self.strategy = resolve_strategy(strategy)
@@ -144,6 +148,15 @@ class ExplorationEngine:
         self.seed = seed
         self.workload = workload or (target.workloads()[0] if target.workloads() else "default")
         self.once = once
+        #: ``None`` enables prefix sharing for serial explorations against
+        #: targets declaring deterministic execution; ``False`` forces the
+        #: reference per-point path (the two are bit-identical — sharing is
+        #: purely an execution-time optimization and never leaks into the
+        #: result store, whose keys and seeds stay path-independent).
+        self.share_prefixes = share_prefixes
+        #: Extra ``WorkloadRequest.options`` for every run (e.g.
+        #: ``{"engine": "reference"}`` or ``{"snapshots": False}``).
+        self.request_options = dict(request_options or {})
 
     # ------------------------------------------------------------------
     def schedule(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
@@ -195,43 +208,78 @@ class ExplorationEngine:
             pending = pending[:max_runs]
 
         points_by_index = dict(pending)
-        tasks = [
-            ExecutionTask(
+        scenarios_by_index = {
+            index: point.scenario(once=self.once) for index, point in pending
+        }
+        seeds_by_index = {
+            index: derive_run_seed(self.seed, index) for index, _ in pending
+        }
+
+        def checkpoint(index: int, result: RunResult) -> tuple:
+            """Persist one completed run; the stored record is a pure
+            function of (point, schedule seed, observables) — never of the
+            execution path, so snapshot/shared and fresh runs checkpoint
+            identically and resumes compose across paths."""
+            point = points_by_index[index]
+            stored = StoredResult(
+                key=self._run_key(point),
                 index=index,
-                target=self.target,
-                request=WorkloadRequest(
-                    workload=self.workload, scenario=point.scenario(once=self.once)
-                ),
-                seed=derive_run_seed(self.seed, index),
+                scenario=scenarios_by_index[index].name,
+                function=point.function,
+                return_value=point.return_value,
+                errno=point.errno,
+                category=point.category,
+                workload=self.workload,
+                outcome=result.outcome.kind.value,
+                detail=result.outcome.detail,
+                exit_code=result.outcome.exit_code,
+                location=result.outcome.location,
+                injections=result.injections,
+                fingerprint=self._fingerprint(result, point),
+                run_seed=seeds_by_index[index],
             )
-            for index, point in pending
-        ]
+            self.store.append(stored)
+            return point, result, stored
+
         backend, owned = backend_scope(self.parallelism)
         fresh: dict = {}
         try:
+            serial = isinstance(backend, SerialBackend)
+            sharing = (
+                self.share_prefixes
+                if self.share_prefixes is not None
+                else sharing_supported(self.target)
+            )
             # Stream results and checkpoint each one in the store the moment
             # it is available: a kill mid-campaign loses only in-flight work.
-            for task, result in backend.run_tasks_iter(tasks):
-                point = points_by_index[task.index]
-                stored = StoredResult(
-                    key=self._run_key(point),
-                    index=task.index,
-                    scenario=task.request.scenario.name,
-                    function=point.function,
-                    return_value=point.return_value,
-                    errno=point.errno,
-                    category=point.category,
-                    workload=self.workload,
-                    outcome=result.outcome.kind.value,
-                    detail=result.outcome.detail,
-                    exit_code=result.outcome.exit_code,
-                    location=result.outcome.location,
-                    injections=result.injections,
-                    fingerprint=self._fingerprint(result, point),
-                    run_seed=task.seed,
-                )
-                self.store.append(stored)
-                fresh[task.index] = (point, result, stored)
+            if sharing and serial:
+                entries = [
+                    (index, scenarios_by_index[index], seeds_by_index[index])
+                    for index, _ in pending
+                ]
+                for index, result in iter_shared_runs(
+                    self.target,
+                    self.workload,
+                    entries,
+                    options=dict(self.request_options),
+                ):
+                    fresh[index] = checkpoint(index, result)
+            else:
+                tasks = [
+                    ExecutionTask(
+                        index=index,
+                        target=self.target,
+                        request=WorkloadRequest(
+                            workload=self.workload,
+                            scenario=scenarios_by_index[index],
+                            options=dict(self.request_options),
+                        ),
+                        seed=seeds_by_index[index],
+                    )
+                    for index, _ in pending
+                ]
+                for task, result in backend.run_tasks_iter(tasks):
+                    fresh[task.index] = checkpoint(task.index, result)
         finally:
             if owned:
                 backend.close()

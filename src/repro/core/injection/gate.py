@@ -43,6 +43,13 @@ def _python_stack_provider(skip_files: FrozenSet[str]) -> Callable[[], List[Stac
     stay visible to stack triggers.  The provider walks raw frame objects
     (no source-line loading), keeping trigger evaluation cheap — the §7.4
     experiments measure exactly this cost.
+
+    The walk stops at the workload boundary
+    (:func:`repro.core.controller.monitor.run_python_workload`): frames
+    above it belong to the campaign harness, and differ between execution
+    backends and scheduling paths (serial, pools, prefix sharing) — a
+    program's recorded backtrace must not depend on which of those drove
+    the run.
     """
 
     def provider(max_depth: int = 16) -> List[StackFrame]:
@@ -50,7 +57,13 @@ def _python_stack_provider(skip_files: FrozenSet[str]) -> Callable[[], List[Stac
         frame = sys._getframe(1)
         while frame is not None and len(frames) < max_depth:
             filename = frame.f_code.co_filename
-            if _normalized_path(filename) not in skip_files:
+            normalized = _normalized_path(filename)
+            if (
+                frame.f_code.co_name == "run_python_workload"
+                and normalized == _WORKLOAD_BOUNDARY_FILE
+            ):
+                break
+            if normalized not in skip_files:
                 basename = os.path.basename(filename)
                 module = basename[:-3] if basename.endswith(".py") else basename
                 frames.append(
@@ -94,6 +107,16 @@ def _gate_internal_files() -> FrozenSet[str]:
 
 _GATE_INTERNAL_FILES = _gate_internal_files()
 
+#: Source file of ``run_python_workload`` — the frame at which the stack
+#: walk stops (everything above is campaign harness, not program).
+_WORKLOAD_BOUNDARY_FILE = _normalized_path(
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "controller",
+        "monitor.py",
+    )
+)
+
 #: The provider is stateless (it snapshots the stack only when called), so
 #: one shared instance serves every gate and every intercepted call —
 #: building it per call was pure allocation overhead on the hot path.
@@ -127,6 +150,13 @@ class LibraryCallGate:
         #: Extra program state exposed to ProgramStateTrigger for Python-level
         #: targets (the VM provides its own reader based on global symbols).
         self.state_providers: List[Callable[[str], Optional[Any]]] = []
+        #: Called as ``observer(name, args, count, ctx, decision)`` at the
+        #: moment an injection decision is made, *before* the fault is
+        #: applied, counted, or logged.  The prefix-sharing scheduler
+        #: installs this on a probe gate to snapshot machine state at the
+        #: exact divergence point; ``None`` (the default) costs one
+        #: attribute check per injection.
+        self.inject_observer: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -179,6 +209,8 @@ class LibraryCallGate:
 
         if decision.inject and not self.observe_only:
             assert decision.fault is not None
+            if self.inject_observer is not None:
+                self.inject_observer(name, args, count, ctx, decision)
             self.injected_calls += 1
             if apply_fault is not None:
                 result = apply_fault(decision.fault.return_value, decision.fault.errno)

@@ -14,7 +14,14 @@ This module computes each artifact **once per process** and shares it:
 * :func:`cached_library_profile` — the static fault profile inferred from a
   library binary;
 * :func:`cached_merged_profile` — all per-library profiles merged, the
-  shape :meth:`LFIController.profile_libraries` needs.
+  shape :meth:`LFIController.profile_libraries` needs;
+* :func:`cached_boot_template` — the forkserver-style boot snapshots of
+  :mod:`repro.vm.snapshot`: one resident machine + boot-state snapshot per
+  (target instance, workload, engine, libc-spec fingerprint), so a campaign
+  restores boot state in O(dirty words) instead of rebuilding the OS
+  fixture and machine per request.  Templates are keyed by target
+  *instance* (weakly, so they die with the target) because two instances of
+  one target class may carry different fixture configurations.
 
 Entries are keyed by ``(library name, spec fingerprint)`` where the
 fingerprint hashes the library's error-return specification, so a mutated
@@ -38,8 +45,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profiler.fault_profile import FaultProfile, merge_profiles
 from repro.core.profiler.static_profiler import profile_library
@@ -58,20 +66,29 @@ class CacheStats:
     profile_misses: int = 0
     merged_hits: int = 0
     merged_misses: int = 0
+    boot_hits: int = 0
+    boot_misses: int = 0
 
     @property
     def hits(self) -> int:
-        return self.binary_hits + self.profile_hits + self.merged_hits
+        return self.binary_hits + self.profile_hits + self.merged_hits + self.boot_hits
 
     @property
     def misses(self) -> int:
-        return self.binary_misses + self.profile_misses + self.merged_misses
+        return (
+            self.binary_misses + self.profile_misses + self.merged_misses
+            + self.boot_misses
+        )
 
 
 _LOCK = threading.RLock()
 _BINARIES: Dict[Tuple[str, str], BinaryImage] = {}
 _PROFILES: Dict[Tuple[str, str], FaultProfile] = {}
 _MERGED: Dict[Tuple[Tuple[str, str], ...], FaultProfile] = {}
+#: Boot templates per target instance (weak: templates die with the target).
+_BOOT_TEMPLATES: "weakref.WeakKeyDictionary[Any, Dict[Tuple, Any]]" = (
+    weakref.WeakKeyDictionary()
+)
 _STATS = CacheStats()
 
 
@@ -153,6 +170,66 @@ def cached_merged_profile(libraries: Optional[Sequence[str]] = None) -> FaultPro
         return merged
 
 
+#: Memo for :func:`libc_spec_fingerprint`, keyed by the identity of every
+#: spec object: specs are frozen dataclasses, so any mutation of the table
+#: replaces entries and changes the key — recomputing the digest then, and
+#: only then, keeps the boot-template key honest at dict-scan cost.
+_LIBC_FINGERPRINT: Tuple[Optional[tuple], str] = (None, "")
+
+
+def libc_spec_fingerprint() -> str:
+    """Combined digest of every known library's error-behaviour spec.
+
+    Part of the boot-template key: a libc spec mutated by a test must miss
+    the boot cache (the template's predecoded program and call semantics
+    were built against the old spec) rather than serve stale boot state.
+    This sits on the per-run session-open path, so the digest is memoized
+    behind an identity key over the spec table.
+    """
+    global _LIBC_FINGERPRINT
+    identity = tuple(sorted((name, id(spec)) for name, spec in LIBC_FUNCTIONS.items()))
+    cached_identity, cached_digest = _LIBC_FINGERPRINT
+    if identity == cached_identity:
+        return cached_digest
+    combined = hashlib.sha256()
+    for library in known_libraries():
+        combined.update(library.encode("utf-8"))
+        combined.update(library_spec_fingerprint(library).encode("utf-8"))
+    digest = combined.hexdigest()
+    _LIBC_FINGERPRINT = (identity, digest)
+    return digest
+
+
+def cached_boot_template(
+    owner: Any, key: Tuple, builder: Callable[[], Any]
+) -> Any:
+    """The boot template for (*owner*, *key*), built at most once.
+
+    *owner* is the target instance (held weakly); *key* is the
+    (workload, engine, spec-fingerprint) tuple computed by the target.  The
+    builder runs outside the cache lock — when two threads race, one
+    template wins and the loser's build is discarded, never a deadlock on a
+    slow OS fixture.
+    """
+    with _LOCK:
+        per_owner = _BOOT_TEMPLATES.get(owner)
+        if per_owner is None:
+            per_owner = {}
+            _BOOT_TEMPLATES[owner] = per_owner
+        template = per_owner.get(key)
+        if template is not None:
+            _STATS.boot_hits += 1
+            return template
+        _STATS.boot_misses += 1
+    template = builder()
+    with _LOCK:
+        per_owner = _BOOT_TEMPLATES.get(owner)
+        if per_owner is None:
+            per_owner = {}
+            _BOOT_TEMPLATES[owner] = per_owner
+        return per_owner.setdefault(key, template)
+
+
 # ----------------------------------------------------------------------
 # maintenance
 # ----------------------------------------------------------------------
@@ -162,6 +239,7 @@ def clear_artifact_cache() -> None:
         _BINARIES.clear()
         _PROFILES.clear()
         _MERGED.clear()
+        _BOOT_TEMPLATES.clear()
         global _STATS
         _STATS = CacheStats()
 
@@ -176,6 +254,8 @@ def artifact_cache_stats() -> CacheStats:
             profile_misses=_STATS.profile_misses,
             merged_hits=_STATS.merged_hits,
             merged_misses=_STATS.merged_misses,
+            boot_hits=_STATS.boot_hits,
+            boot_misses=_STATS.boot_misses,
         )
 
 
@@ -183,10 +263,12 @@ __all__ = [
     "CacheStats",
     "artifact_cache_stats",
     "cached_all_library_binaries",
+    "cached_boot_template",
     "cached_library_binary",
     "cached_library_profile",
     "cached_merged_profile",
     "clear_artifact_cache",
     "known_libraries",
+    "libc_spec_fingerprint",
     "library_spec_fingerprint",
 ]

@@ -120,5 +120,20 @@ class CoverageTracker:
         self._extra.clear()
         self.runs = 0
 
+    # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        return {
+            "counts": list(self._counts),
+            "extra": dict(self._extra),
+            "runs": self.runs,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._counts = list(state["counts"])
+        self._extra = dict(state["extra"])
+        self.runs = state["runs"]
+
 
 __all__ = ["CoverageTracker", "Line"]

@@ -33,6 +33,13 @@ class SimClock:
     def reset(self, start: float = 0.0) -> None:
         self._now = float(start)
 
+    # snapshot support (repro.vm.snapshot)
+    def capture_state(self) -> float:
+        return self._now
+
+    def restore_state(self, state: float) -> None:
+        self._now = float(state)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f})"
 

@@ -48,6 +48,19 @@ class SimEnvironment:
     def record_failed_update(self, name: str, value: str) -> None:
         self.failed_updates.append((name, value))
 
+    # snapshot support (repro.vm.snapshot)
+    def capture_state(self) -> dict:
+        return {
+            "vars": dict(self._vars),
+            "capacity": self.capacity,
+            "failed_updates": list(self.failed_updates),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._vars = dict(state["vars"])
+        self.capacity = state["capacity"]
+        self.failed_updates = list(state["failed_updates"])
+
     def __contains__(self, name: str) -> bool:
         return name in self._vars
 

@@ -6,6 +6,13 @@ layer (``fopen``/``fread``/``fwrite``).  Failures surface as
 :class:`~repro.oslib.errors.OSFault` carrying an errno, which the libc layer
 converts into error returns — the same externalized errors the LFI profiler
 reports and the injector simulates.
+
+:meth:`SimFileSystem.capture_state` / :meth:`SimFileSystem.restore_state`
+are the filesystem's contribution to the forkserver-style snapshot engine
+(:mod:`repro.vm.snapshot`): a structural copy of every file, symlink,
+directory, open descriptor (pipe ends keep sharing one buffer after a
+restore) and directory stream, detached from the live objects so a restored
+run cannot observe mutations made by a later fork.
 """
 
 from __future__ import annotations
@@ -367,6 +374,118 @@ class SimFileSystem:
 
     def open_descriptor_count(self) -> int:
         return len(self._descriptors)
+
+    # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Structural copy of the whole filesystem (files, fds, streams)."""
+        pipe_buffers: Dict[int, bytes] = {}
+        inline_files: Dict[int, tuple] = {}
+        descriptors: Dict[int, tuple] = {}
+        for fd, open_file in self._descriptors.items():
+            file_path = None
+            inline_key = None
+            if open_file.file is not None:
+                if self._files.get(open_file.file.path) is open_file.file:
+                    file_path = open_file.file.path
+                else:
+                    # Open-but-unlinked file: its contents only live behind
+                    # descriptors.  Keyed by object identity so several
+                    # descriptors of one unlinked file keep sharing a
+                    # single SimFile after a restore.
+                    inline_key = id(open_file.file)
+                    inline_files.setdefault(
+                        inline_key,
+                        (
+                            open_file.file.path,
+                            bytes(open_file.file.data),
+                            open_file.file.mode,
+                            open_file.file.read_only,
+                        ),
+                    )
+            pipe_key = None
+            if open_file.pipe_buffer is not None:
+                pipe_key = id(open_file.pipe_buffer)
+                pipe_buffers.setdefault(pipe_key, bytes(open_file.pipe_buffer))
+            descriptors[fd] = (
+                file_path,
+                inline_key,
+                open_file.flags,
+                open_file.offset,
+                open_file.is_pipe,
+                pipe_key,
+                open_file.is_socket,
+                open_file.closed,
+            )
+        return {
+            "files": {
+                path: (bytes(f.data), f.mode, f.read_only)
+                for path, f in self._files.items()
+            },
+            "symlinks": {
+                path: (link.target, link.mode) for path, link in self._symlinks.items()
+            },
+            "dirs": set(self._dirs),
+            "inodes": dict(self._inodes),
+            "descriptors": descriptors,
+            "inline_files": inline_files,
+            "pipe_buffers": pipe_buffers,
+            "dir_streams": {
+                handle: (stream.path, list(stream.entries), stream.position, stream.closed)
+                for handle, stream in self._dir_streams.items()
+            },
+            "next_fd": self._next_fd,
+            "next_dir_handle": self._next_dir_handle,
+            "next_inode": self._next_inode,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the filesystem from a :meth:`capture_state` snapshot."""
+        self._files = {
+            path: SimFile(path=path, data=bytearray(data), mode=mode, read_only=read_only)
+            for path, (data, mode, read_only) in state["files"].items()
+        }
+        self._symlinks = {
+            path: SimSymlink(path=path, target=target, mode=mode)
+            for path, (target, mode) in state["symlinks"].items()
+        }
+        self._dirs = set(state["dirs"])
+        self._inodes = dict(state["inodes"])
+        shared_buffers = {
+            key: bytearray(data) for key, data in state["pipe_buffers"].items()
+        }
+        shared_inline = {
+            key: SimFile(path=path, data=bytearray(data), mode=mode,
+                         read_only=read_only)
+            for key, (path, data, mode, read_only) in state["inline_files"].items()
+        }
+        self._descriptors = {}
+        for fd, entry in state["descriptors"].items():
+            (file_path, inline_key, flags, offset, is_pipe, pipe_key,
+             is_socket, closed) = entry
+            sim_file = None
+            if file_path is not None:
+                sim_file = self._files[file_path]
+            elif inline_key is not None:
+                sim_file = shared_inline[inline_key]
+            self._descriptors[fd] = OpenFile(
+                file=sim_file,
+                flags=flags,
+                offset=offset,
+                is_pipe=is_pipe,
+                pipe_buffer=shared_buffers[pipe_key] if pipe_key is not None else None,
+                is_socket=is_socket,
+                closed=closed,
+            )
+        self._dir_streams = {
+            handle: DirStream(path=path, entries=list(entries), position=position,
+                              closed=closed)
+            for handle, (path, entries, position, closed) in state["dir_streams"].items()
+        }
+        self._next_fd = state["next_fd"]
+        self._next_dir_handle = state["next_dir_handle"]
+        self._next_inode = state["next_inode"]
 
     # ------------------------------------------------------------------
     # pipes and sockets

@@ -79,6 +79,31 @@ class SimHeap:
         allocation.freed = True
         self._bytes_in_use -= allocation.size
 
+    # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        return {
+            "base": self.base,
+            "capacity": self.capacity,
+            "cursor": self._cursor,
+            "allocations": {
+                address: (alloc.size, alloc.freed)
+                for address, alloc in self._allocations.items()
+            },
+            "bytes_in_use": self._bytes_in_use,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.base = state["base"]
+        self.capacity = state["capacity"]
+        self._cursor = state["cursor"]
+        self._allocations = {
+            address: Allocation(address=address, size=size, freed=freed)
+            for address, (size, freed) in state["allocations"].items()
+        }
+        self._bytes_in_use = state["bytes_in_use"]
+
     def realloc(self, address: int, size: int) -> int:
         if address == 0:
             return self.malloc(size)

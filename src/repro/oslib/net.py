@@ -145,5 +145,46 @@ class SimNetwork:
         self.delivered_count = 0
         self.dropped_count = 0
 
+    # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Structural copy of every socket, queue, and counter.
+
+        Delivery hooks are observer callables owned by experiments; the hook
+        *list* is snapshotted (so hooks registered after the capture are
+        dropped on restore) but the callables themselves are shared.
+        """
+        return {
+            "latency": self.latency,
+            "next_fd": self._next_fd,
+            "sent": self.sent_count,
+            "delivered": self.delivered_count,
+            "dropped": self.dropped_count,
+            "hooks": list(self._delivery_hooks),
+            "sockets": {
+                fd: (sock.owner, sock.address, list(sock.queue), sock.closed)
+                for fd, sock in self._sockets.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.latency = state["latency"]
+        self._next_fd = state["next_fd"]
+        self.sent_count = state["sent"]
+        self.delivered_count = state["delivered"]
+        self.dropped_count = state["dropped"]
+        self._delivery_hooks = list(state["hooks"])
+        self._sockets = {}
+        self._bound = {}
+        for fd, (owner, address, queue, closed) in state["sockets"].items():
+            sock = Socket(fd=fd, owner=owner)
+            sock.address = address
+            sock.queue = deque(queue)  # Datagram is frozen: entries shareable
+            sock.closed = closed
+            self._sockets[fd] = sock
+            if address is not None and not closed:
+                self._bound[address] = sock
+
 
 __all__ = ["Datagram", "SimNetwork", "Socket"]

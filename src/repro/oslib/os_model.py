@@ -71,8 +71,119 @@ class SimOS:
         self.stdout.clear()
         self.stderr.clear()
 
+    def reset(self) -> None:
+        """Reset per-run oracle state for OS reuse across runs.
+
+        ``reset_streams`` alone leaks oracle state when the same OS instance
+        backs several runs: a previous run's counters, recorded exit code,
+        or abort flag would be misread as this run's behaviour.
+        """
+        self.reset_streams()
+        self.counters.clear()
+        self.exit_code = None
+        self.aborted = False
+
+    # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Capture every subsystem's state plus the process-level fields.
+
+        The shared substrates of distributed experiments (network, clock)
+        are captured too: for a single-process target they belong to this
+        OS, and for a multi-node cluster the caller snapshots each node —
+        restoring any one of them puts the shared objects back as well.
+        """
+        return {
+            "name": self.name,
+            "fs": self.fs.capture_state(),
+            "heap": self.heap.capture_state(),
+            "network": self.network.capture_state(),
+            "clock": self.clock.capture_state(),
+            "env": self.env.capture_state(),
+            "mutexes": self.mutexes.capture_state(),
+            "stdout": list(self.stdout),
+            "stderr": list(self.stderr),
+            "exit_code": self.exit_code,
+            "aborted": self.aborted,
+            "counters": dict(self.counters),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore this instance (in place) to a :meth:`capture_state` copy.
+
+        In-place restoration is deliberate: the VM, libc, and facade all
+        hold references to this object and its subsystems, and every one of
+        those references stays valid across a restore.
+        """
+        self.name = state["name"]
+        self.fs.restore_state(state["fs"])
+        self.heap.restore_state(state["heap"])
+        self.network.restore_state(state["network"])
+        self.clock.restore_state(state["clock"])
+        self.env.restore_state(state["env"])
+        self.mutexes.restore_state(state["mutexes"])
+        self.stdout[:] = state["stdout"]
+        self.stderr[:] = state["stderr"]
+        self.exit_code = state["exit_code"]
+        self.aborted = state["aborted"]
+        self.counters.clear()
+        self.counters.update(state["counters"])
+
+    def clone(self) -> "SimOS":
+        """A detached copy of this OS (used to publish post-run state)."""
+        copy = SimOS(self.name)
+        copy.restore_state(self.capture_state())
+        return copy
+
+    def lazy_clone(self) -> "LazyOSClone":
+        """A detached copy whose object graph is built on first access.
+
+        The state is captured now (this OS may be rewound for the next
+        fork the moment the call returns) but the SimOS reconstruction is
+        deferred: campaign runs publish their final OS in ``stats`` far
+        more often than anyone inspects it.
+        """
+        return LazyOSClone(self.capture_state())
+
+
+class LazyOSClone:
+    """A :class:`SimOS` stand-in hydrated from captured state on first use."""
+
+    __slots__ = ("_state", "_os")
+
+    def __init__(self, state: Dict[str, object]) -> None:
+        self._state = state
+        self._os = None
+
+    def _hydrate(self) -> SimOS:
+        if self._os is None:
+            os = SimOS(self._state["name"])
+            os.restore_state(self._state)
+            self._os = os
+        return self._os
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            # Never resolve internals through the proxy: during unpickling
+            # (pools ship RunResults across processes) ``__getattr__`` runs
+            # before the slots exist, and forwarding ``_state``/``_os``
+            # would recurse into ``_hydrate`` forever.
+            raise AttributeError(name)
+        return getattr(self._hydrate(), name)
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self._state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._state = state
+        self._os = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyOSClone({self._state['name']!r})"
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimOS({self.name!r})"
 
 
-__all__ = ["SimOS"]
+__all__ = ["LazyOSClone", "SimOS"]

@@ -96,6 +96,32 @@ class MutexTable:
         return 0
 
     # ------------------------------------------------------------------
+    # snapshot support (repro.vm.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        return {
+            "strict": self.strict,
+            "total_locks": self.total_locks,
+            "total_unlocks": self.total_unlocks,
+            "mutexes": {
+                mutex_id: (mutex.locked, mutex.owner, mutex.lock_count,
+                           list(mutex.history))
+                for mutex_id, mutex in self._mutexes.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.strict = state["strict"]
+        self.total_locks = state["total_locks"]
+        self.total_unlocks = state["total_unlocks"]
+        self._mutexes = {}
+        for mutex_id, (locked, owner, lock_count, history) in state["mutexes"].items():
+            self._mutexes[mutex_id] = Mutex(
+                mutex_id=mutex_id, locked=locked, owner=owner,
+                lock_count=lock_count, history=list(history),
+            )
+
+    # ------------------------------------------------------------------
     def is_locked(self, mutex_id: int) -> bool:
         mutex = self._mutexes.get(mutex_id)
         return bool(mutex and mutex.locked)

@@ -5,6 +5,18 @@ directories its workloads expect), a set of named workloads (each a sequence
 of entry-point invocations, mirroring a test-suite run), and optional
 post-run oracles that detect silent failures such as data loss.
 
+Execution is forkserver-style by default: :meth:`CompiledTarget.run` opens
+an execution *session* that restores a cached boot snapshot (OS fixture +
+libc + resident machine, see :mod:`repro.vm.snapshot`) instead of rebuilding
+them per request, and rewinds copy-on-write memory between workload steps.
+``WorkloadRequest.options["snapshots"] = False`` selects the reference
+fresh-build path, which the differential suite uses as the oracle — both
+paths are observably identical.  The session/plan decomposition
+(:meth:`open_session` / :meth:`execute_plan` / :meth:`finalize_run`) is also
+what the prefix-sharing campaign scheduler
+(:mod:`repro.core.controller.prefix`) drives to run a scenario group's
+common prefix once and only the post-trigger suffix per fault.
+
 Ground truth for the Table 4 accuracy experiment is embedded in the sources
 as ``//@check:`` annotations on library-call lines:
 
@@ -28,12 +40,14 @@ from repro.core.controller.monitor import (
     classify_exit_status,
 )
 from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.core.profiler.cache import cached_boot_template, libc_spec_fingerprint
 from repro.coverage.tracker import CoverageTracker
 from repro.isa.binary import BinaryImage
 from repro.minicc import compile_source
 from repro.oslib.libc import SimLibc
 from repro.oslib.os_model import SimOS
 from repro.vm.machine import Machine
+from repro.vm.snapshot import BootTemplate
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +130,88 @@ class KnownBug:
 
 
 # ----------------------------------------------------------------------
+# execution sessions (fresh-build or snapshot-backed)
+# ----------------------------------------------------------------------
+class ExecutionSession:
+    """One workload request's execution context.
+
+    Snapshot-backed sessions hold an acquired
+    :class:`~repro.vm.snapshot.BootTemplate`: the resident machine's boot
+    state is restored at session open (O(dirty words)) and its memory is
+    rewound before every workload step, replicating the fresh path's
+    machine-per-step semantics without rebuilding anything.  Fresh sessions
+    are the reference: a new OS fixture, libc, and one machine per step.
+    """
+
+    def __init__(
+        self,
+        target: "CompiledTarget",
+        binary: BinaryImage,
+        engine: Optional[str],
+        template: Optional[BootTemplate],
+    ) -> None:
+        self.binary = binary
+        self.engine = engine
+        self.template = template
+        #: Set by the prefix-sharing scheduler when one session serves
+        #: several scenario runs; forces :meth:`published_os` to detach.
+        self.shared = False
+        if template is not None:
+            machine = template.restore_boot()
+            self.os = machine.os
+            self.libc = machine.libc
+        else:
+            self.os = target.make_os()
+            self.libc = SimLibc(self.os)
+
+    @property
+    def snapshotted(self) -> bool:
+        return self.template is not None
+
+    def machine_for_step(self, gate, coverage) -> Machine:
+        """A machine in fresh-construction state, bound to this session's OS."""
+        if self.template is not None:
+            return self.template.fork_step(gate, coverage)
+        return Machine(
+            self.binary, os=self.os, libc=self.libc, gate=gate,
+            coverage=coverage, engine=self.engine,
+        )
+
+    # -- boundary support for the prefix-sharing scheduler ---------------
+    def capture_os_boundary(self) -> tuple:
+        """OS + libc state at a workload-step boundary (machine-free)."""
+        return (
+            self.os.capture_state(),
+            self.libc.errno,
+            list(self.libc.assert_messages),
+        )
+
+    def restore_os_boundary(self, boundary: tuple) -> None:
+        os_state, errno, assert_messages = boundary
+        self.os.restore_state(os_state)
+        self.libc.errno = errno
+        self.libc.assert_messages[:] = list(assert_messages)
+
+    def published_os(self):
+        """The OS to hand out in run stats.
+
+        A snapshot session's OS is the resident template's and will be
+        rewound by the next request (likewise a session shared across a
+        scenario group), so a detached clone is published instead — its
+        state captured now, its object graph hydrated lazily on first
+        access.  The plain fresh path keeps handing out its own OS.
+        """
+        if self.template is not None or self.shared:
+            return self.os.lazy_clone()
+        return self.os
+
+    def close(self) -> None:
+        if self.template is not None:
+            self.template.release()
+            self.template = None
+
+
+# ----------------------------------------------------------------------
 # the compiled-target adapter
 # ----------------------------------------------------------------------
 class CompiledTarget:
@@ -127,6 +223,9 @@ class CompiledTarget:
     known_bugs: Tuple[KnownBug, ...] = ()
     #: Functions relevant to the Table 4 accuracy experiment.
     accuracy_functions: Tuple[str, ...] = ()
+    #: Compiled runs are deterministic modulo the injected fault, so the
+    #: prefix-sharing campaign scheduler may group their scenarios.
+    prefix_shareable: bool = True
 
     _binary_cache: Dict[str, BinaryImage] = {}
 
@@ -161,24 +260,68 @@ class CompiledTarget:
         functions = self.accuracy_functions or None
         return extract_ground_truth(self.source(), functions)
 
-    def run(self, request: WorkloadRequest) -> RunResult:
-        """Execute one workload, optionally under an injection scenario."""
+    def open_session(
+        self,
+        workload: str,
+        engine: Optional[str] = None,
+        snapshots: bool = True,
+    ) -> ExecutionSession:
+        """Open an execution session: snapshot-backed when possible.
+
+        The boot template (OS fixture + libc + resident machine, boot state
+        snapshotted) is memoized process-wide, keyed by (workload, engine,
+        libc-spec fingerprint).  Templates are exclusive: losing the
+        acquisition race — e.g. a thread-pool campaign running this target
+        concurrently — falls back to the fresh-build path, which is
+        observably identical.
+        """
         binary = self.binary()
-        os = self.make_os()
-        gate = make_gate(request.scenario, observe_only=request.observe_only,
-                         run_seed=request.options.get("run_seed"))
-        libc = SimLibc(os)
-        coverage = CoverageTracker() if request.collect_coverage else None
+        template: Optional[BootTemplate] = None
+        if snapshots:
+            key = (workload, engine or "compiled", libc_spec_fingerprint())
+            template = cached_boot_template(
+                self,
+                key,
+                lambda: BootTemplate(
+                    Machine(binary, os=self.make_os(), engine=engine)
+                ),
+            )
+            if not template.try_acquire():
+                template = None
+        try:
+            return ExecutionSession(self, binary, engine, template)
+        except BaseException:
+            # A failing boot restore must not leave the template locked
+            # (that would silently demote every later request to the
+            # fresh-build path).
+            if template is not None:
+                template.release()
+            raise
 
-        # "compiled" (closure-threaded, the default) or "reference" (the
-        # decode-as-you-go oracle); the differential suite runs both.
-        engine = request.options.get("engine")
+    def execute_plan(
+        self,
+        session: ExecutionSession,
+        plan: List[WorkloadStep],
+        gate,
+        coverage,
+        start_index: int = 0,
+        outcome: Optional[Outcome] = None,
+        boundary_hook=None,
+    ) -> Tuple[Outcome, int]:
+        """Run *plan* (from *start_index*) inside *session*.
 
-        outcome = Outcome(kind=OutcomeKind.NORMAL)
-        steps_run = 0
-        for step in self.workload_plan(request.workload):
-            machine = Machine(binary, os=os, libc=libc, gate=gate, coverage=coverage,
-                              engine=engine)
+        ``boundary_hook(index, steps_run, outcome)`` fires before each step
+        — the prefix-sharing scheduler uses it to snapshot OS/gate state at
+        the last boundary before a scenario's trigger fires, which is where
+        the group's other scenarios later resume.
+        """
+        outcome = outcome if outcome is not None else Outcome(kind=OutcomeKind.NORMAL)
+        steps_run = start_index
+        for index in range(start_index, len(plan)):
+            if boundary_hook is not None:
+                boundary_hook(index, steps_run, outcome)
+            step = plan[index]
+            machine = session.machine_for_step(gate, coverage)
             status = machine.run(entry=step.entry, args=step.args)
             steps_run += 1
             step_outcome = classify_exit_status(status)
@@ -191,24 +334,54 @@ class CompiledTarget:
                 outcome = step_outcome
         if coverage is not None:
             coverage.finish_run()
+        return outcome, steps_run
 
+    def finalize_run(
+        self,
+        session: ExecutionSession,
+        gate,
+        coverage,
+        outcome: Outcome,
+        steps_run: int,
+    ) -> RunResult:
+        """Apply post-run oracles and assemble the :class:`RunResult`."""
         if not outcome.is_high_impact:
-            oracle = self.check_oracles(os)
+            oracle = self.check_oracles(session.os)
             if oracle is not None:
                 outcome = oracle
-
         stats = {
             "steps_run": steps_run,
             "library_calls": gate.total_calls,
-            "os": os,
+            "os": session.published_os(),
         }
         if coverage is not None:
             stats["coverage"] = coverage
         return RunResult(outcome=outcome, log=gate.log, stats=stats)
 
+    def run(self, request: WorkloadRequest) -> RunResult:
+        """Execute one workload, optionally under an injection scenario."""
+        plan = self.workload_plan(request.workload)
+        # "compiled" (closure-threaded, the default) or "reference" (the
+        # decode-as-you-go oracle); the differential suite runs both.
+        engine = request.options.get("engine")
+        session = self.open_session(
+            request.workload,
+            engine=engine,
+            snapshots=bool(request.options.get("snapshots", True)),
+        )
+        try:
+            gate = make_gate(request.scenario, observe_only=request.observe_only,
+                             run_seed=request.options.get("run_seed"))
+            coverage = CoverageTracker() if request.collect_coverage else None
+            outcome, steps_run = self.execute_plan(session, plan, gate, coverage)
+            return self.finalize_run(session, gate, coverage, outcome, steps_run)
+        finally:
+            session.close()
+
 
 __all__ = [
     "CompiledTarget",
+    "ExecutionSession",
     "GroundTruthEntry",
     "KnownBug",
     "WorkloadStep",

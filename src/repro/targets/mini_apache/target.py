@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import List
+import copy
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller.monitor import RunResult, run_python_workload
 from repro.core.controller.target import WorkloadRequest, make_gate
 from repro.oslib.facade import LibcFacade
 from repro.oslib.os_model import SimOS
-from repro.targets.mini_apache.httpd_core import ApacheServer, HttpRequest
+from repro.targets.mini_apache.httpd_core import ApacheServer, HttpRequest, HttpResponse
 
 STATIC_PAGE = "/index.html"
 PHP_PAGE = "/app.php"
@@ -19,6 +21,9 @@ class MiniApacheTarget:
 
     name = "mini_apache"
     known_bugs = ()
+    #: Request handling is deterministic modulo the injected fault, so the
+    #: prefix-sharing campaign scheduler may group this target's scenarios.
+    prefix_shareable = True
 
     def binary(self):
         return None
@@ -53,23 +58,42 @@ class MiniApacheTarget:
     def workloads(self) -> List[str]:
         return ["ab-static", "ab-php"]
 
-    def run(self, request: WorkloadRequest) -> RunResult:
-        server = self.make_server(request)
-        gate = server.libc.gate
-        options = request.options
+    @staticmethod
+    def _workload_params(workload: str, options: Dict[str, Any]) -> Tuple[str, int, int]:
         requests = int(options.get("requests", 100))
         post_every = int(options.get("post_every", 10))
-        uri = STATIC_PAGE if request.workload == "ab-static" else PHP_PAGE
+        uri = STATIC_PAGE if workload == "ab-static" else PHP_PAGE
+        return uri, requests, post_every
 
-        def workload() -> int:
-            for index in range(requests):
-                method = "POST" if post_every and index % post_every == 0 else "GET"
-                response = server.handle_connection(HttpRequest(uri=uri, method=method))
-                if response.status >= 500:
-                    return 1
-            return 0
+    @staticmethod
+    def _request_loop(
+        server: ApacheServer,
+        uri: str,
+        requests: int,
+        post_every: int,
+        start: int = 0,
+        boundary_hook=None,
+    ) -> int:
+        """Drive the ab-style request loop (shared by all execution paths).
 
-        outcome = run_python_workload(workload)
+        One code object serves plain runs, probes, and resumed forks, so
+        recorded backtraces are identical no matter which path drove the
+        run.  ``boundary_hook(index)`` fires before each request — the
+        prefix-sharing fork path uses it to snapshot the server world at
+        the last request boundary before a trigger fires.
+        """
+        for index in range(start, requests):
+            if boundary_hook is not None:
+                boundary_hook(index)
+            method = "POST" if post_every and index % post_every == 0 else "GET"
+            response = server.handle_connection(HttpRequest(uri=uri, method=method))
+            if response.status >= 500:
+                return 1
+        return 0
+
+    @staticmethod
+    def _result(server: ApacheServer, outcome) -> RunResult:
+        gate = server.libc.gate
         stats = {
             "library_calls": gate.total_calls,
             "requests_handled": server.requests_handled,
@@ -77,6 +101,102 @@ class MiniApacheTarget:
             "server": server,
         }
         return RunResult(outcome=outcome, log=gate.log, stats=stats)
+
+    def run(self, request: WorkloadRequest) -> RunResult:
+        server = self.make_server(request)
+        uri, requests, post_every = self._workload_params(request.workload, request.options)
+        outcome = run_python_workload(
+            partial(self._request_loop, server, uri, requests, post_every)
+        )
+        return self._result(server, outcome)
+
+    # ------------------------------------------------------------------
+    # prefix-sharing fork path (repro.core.controller.prefix)
+    # ------------------------------------------------------------------
+    def run_prefix_group(
+        self,
+        workload: str,
+        members: Sequence[Tuple[int, Any, Optional[int]]],
+        collect_coverage: bool,
+        options: Dict[str, Any],
+        observe_only: bool = False,
+    ) -> Dict[int, RunResult]:
+        """Run one scenario group forkserver-style.
+
+        The group's probe drives the request loop once, tracking only the
+        index of the last request boundary before its trigger fired (an
+        integer assignment per request).  If the trigger never fired, no
+        sibling can inject either and the probe's result is replicated.
+        Otherwise the deterministic prefix — requests before the trigger —
+        is replayed once into a pristine world, and each sibling scenario
+        deep-copies that world, swaps in its own fault (the only thing
+        distinguishing it from the probe), and processes only the
+        remaining requests.
+        """
+        from repro.core.controller.prefix import replicate_result, seeded_options
+
+        results: Dict[int, RunResult] = {}
+        probe_index, probe_scenario, probe_seed = members[0]
+        probe_request = WorkloadRequest(
+            workload=workload,
+            scenario=probe_scenario,
+            observe_only=observe_only,
+            collect_coverage=collect_coverage,
+            options=seeded_options(options, probe_seed),
+        )
+        server = self.make_server(probe_request)
+        gate = server.libc.gate
+        uri, requests, post_every = self._workload_params(workload, options)
+
+        boundary: Dict[str, Any] = {"request": 0, "locked": False}
+
+        def track_boundary(index: int) -> None:
+            if boundary["locked"]:
+                return
+            if gate.injected_calls or gate.observed_injections:
+                boundary["locked"] = True
+                return
+            boundary["request"] = index
+
+        outcome = run_python_workload(
+            partial(self._request_loop, server, uri, requests, post_every, 0,
+                    track_boundary)
+        )
+        results[probe_index] = self._result(server, outcome)
+
+        if not gate.injected_calls:
+            # No fault applied (trigger never agreed, or observe-only gate):
+            # the members' faults are dead weight and all runs are identical.
+            for index, _scenario, _seed in members[1:]:
+                results[index] = replicate_result(results[probe_index])
+            return results
+
+        # Re-materialize the shared prefix once: a fresh probe world driven
+        # up to (excluding) the request whose processing injected.  Request
+        # handling is deterministic, so this is exactly the state the probe
+        # held at that boundary.
+        prefix_world = self.make_server(probe_request)
+        run_python_workload(
+            partial(self._request_loop, prefix_world, uri, boundary["request"],
+                    post_every)
+        )
+
+        for index, scenario, seed in members[1:]:
+            fork = copy.deepcopy(prefix_world)
+            runtime = fork.libc.gate.runtime
+            # The forked runtime is the probe's minus its fault: swap in
+            # this member's faults (group membership guarantees the plan
+            # structure matches position for position).
+            for plan, member_plan in zip(runtime.scenario.plans, scenario.plans):
+                plan.fault = member_plan.fault
+            member_outcome = run_python_workload(
+                partial(
+                    self._request_loop, fork, uri, requests, post_every,
+                    boundary["request"],
+                )
+            )
+            results[index] = self._result(fork, member_outcome)
+        return results
 
 
 __all__ = ["MiniApacheTarget", "PHP_PAGE", "STATIC_PAGE"]

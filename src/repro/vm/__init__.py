@@ -13,21 +13,39 @@ program predecoded by :mod:`repro.vm.dispatch` into an array of
 per-instruction closures, cached on the image so campaigns compile each
 binary once per process; ``engine="reference"`` is the original interpreter
 kept as a behavioural oracle for differential testing.
+
+Snapshot/restore: :mod:`repro.vm.snapshot` adds forkserver-style execution
+on top — :class:`MachineSnapshot` captures full run state (registers, pc,
+flags, copy-on-write memory, OS, coverage, gate counters) and restores it
+in O(dirty words), and :class:`BootTemplate` keeps a resident machine whose
+boot snapshot replaces per-request target rebuilds.
 """
 
 from repro.vm.dispatch import RegisterFile, compile_program, compiled_program
 from repro.vm.machine import Frame, Machine, VMError
 from repro.vm.memory import Memory
 from repro.vm.outcome import ExitKind, ExitStatus
+from repro.vm.snapshot import (
+    BootTemplate,
+    MachineSnapshot,
+    MidRunCapture,
+    capture_gate_state,
+    graft_gate_state,
+)
 
 __all__ = [
+    "BootTemplate",
     "ExitKind",
     "ExitStatus",
     "Frame",
     "Machine",
+    "MachineSnapshot",
     "Memory",
+    "MidRunCapture",
     "RegisterFile",
     "VMError",
+    "capture_gate_state",
     "compile_program",
     "compiled_program",
+    "graft_gate_state",
 ]

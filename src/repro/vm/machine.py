@@ -22,6 +22,13 @@ Two execution engines share this machine state:
   kept as the behavioural oracle: the differential suite asserts both
   engines produce identical exit status, traces, coverage, and injection
   logs on every program.
+
+A machine is also a reusable *resident*: :mod:`repro.vm.snapshot` captures
+and restores its full state (registers, pc/flags, copy-on-write memory,
+OS, coverage, gate counters), :meth:`Machine.rebind` re-arms it with a new
+gate and coverage tracker for the next fork, and :meth:`Machine.resume`
+continues execution from a restored mid-run capture — the substrate of the
+forkserver-style campaign execution.
 """
 
 from __future__ import annotations
@@ -82,8 +89,6 @@ class Machine:
         self.binary = binary
         self.os = os if os is not None else SimOS(binary.name)
         self.libc = libc if libc is not None else SimLibc(self.os)
-        self.gate = gate
-        self.coverage = coverage
         self.max_steps = max_steps
         self.engine = engine or "compiled"
         if self.engine not in _ENGINES:
@@ -113,6 +118,19 @@ class Machine:
         # double-counting; only the gate-less (and counter-less custom gate)
         # path counts locally.
         self._local_call_counts: Dict[str, int] = {}
+        self.rebind(gate=gate, coverage=coverage)
+
+    def rebind(self, gate: Optional[Any], coverage: Optional[Any]) -> None:
+        """Attach a (possibly different) gate and coverage tracker.
+
+        Used by the snapshot engine to reuse one resident machine across
+        requests: each restored fork gets its own gate and tracker, and the
+        gate-dependent caches (counting mode, fast-path eligibility, the
+        handled-import mask) are recomputed here so they can never leak from
+        one fork into the next.
+        """
+        self.gate = gate
+        self.coverage = coverage
         gate_counts = getattr(gate, "call_counts", None) if gate is not None else None
         self._count_locally = not isinstance(gate_counts, dict)
         # The interception fast path only applies to the stock gate class:
@@ -166,7 +184,19 @@ class Machine:
         self._push(_RETURN_SENTINEL)
         self.pc = start
         self.frames = [Frame(function=entry_name, call_address=None, return_address=_RETURN_SENTINEL)]
+        return self._run_to_exit()
 
+    def resume(self) -> ExitStatus:
+        """Continue executing from the current machine state until exit.
+
+        The snapshot engine's mid-run resume path: after restoring a
+        :class:`~repro.vm.snapshot.MidRunCapture` (registers, pc, frames,
+        memory delta) the run picks up exactly where the capture was taken
+        — no entry setup, no argument pushing.
+        """
+        return self._run_to_exit()
+
+    def _run_to_exit(self) -> ExitStatus:
         try:
             if self._program is not None:
                 return self._loop_compiled()
@@ -218,6 +248,10 @@ class Machine:
                         reason=f"jump outside code segment ({pc:#x})",
                     )
                 steps += 1
+                # Mirrored into the instance (like ``pc`` above) so a
+                # mid-run snapshot taken inside a library call sees the
+                # true executed-instruction count.
+                self.steps = steps
                 if record is not None:
                     record(pc)
                 if append is not None:

@@ -1,4 +1,4 @@
-"""Word-addressed memory with a guarded NULL page.
+"""Word-addressed memory with a guarded NULL page and copy-on-write forks.
 
 Loads and stores in the NULL page raise
 :class:`~repro.oslib.errors.MemoryFault`, which the VM reports as a
@@ -15,15 +15,24 @@ Two backing stores sit behind one address space:
 The split is invisible to callers: the VM always passes plain ``int``
 addresses and values, so the old defensive ``int()`` coercions on the hot
 path are gone (``peek``/``poke``, the debugger-facing entry points, still
-coerce).  One caveat of the array backing: a stack slot explicitly written
-with ``0`` is indistinguishable from one never touched, so ``snapshot()``
-and ``len()`` only report *non-zero* stack words, and ``peek`` returns its
-``default`` for a stack slot holding ``0``.
+coerce).
+
+Copy-on-write checkpoints (the substrate of the forkserver-style snapshot
+engine in :mod:`repro.vm.snapshot`): after :meth:`Memory.checkpoint` the
+current contents become a shared base image and subsequent stores record
+the overwritten word in a per-fork overlay journal — the first write to an
+address saves its base value, later writes to the same address are free.
+:meth:`Memory.rewind` plays the journal backwards, so restoring a fork
+costs **O(dirty words)**, not O(image): a run that touched 200 words undoes
+200 entries no matter how large the data segment or stack window are.
+Checkpoints nest (boot snapshot below per-step snapshots); rewinding to a
+level discards every level above it and leaves that level active for the
+next fork.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.isa import layout
 from repro.oslib.errors import MemoryFault
@@ -39,6 +48,21 @@ _STACK_TOP = layout.STACK_TOP
 _STACK_WINDOW = 1 << 14
 _STACK_BASE = _STACK_TOP - _STACK_WINDOW
 
+#: Journal marker for "this address did not exist in the base image".
+_ABSENT = object()
+
+
+class _JournalFrame:
+    """Per-checkpoint overlay: first-touch original values since the mark."""
+
+    __slots__ = ("words", "stack", "load_count", "store_count")
+
+    def __init__(self, load_count: int, store_count: int) -> None:
+        self.words: Dict[int, object] = {}
+        self.stack: Dict[int, int] = {}
+        self.load_count = load_count
+        self.store_count = store_count
+
 
 class Memory:
     """Sparse word-addressed memory with an array-backed stack window."""
@@ -48,6 +72,11 @@ class Memory:
         self._stack = [0] * _STACK_WINDOW
         self.load_count = 0
         self.store_count = 0
+        #: Checkpoint journal (innermost last); ``None`` undo refs when no
+        #: checkpoint is active keep the non-snapshot store path branch-cheap.
+        self._journal: List[_JournalFrame] = []
+        self._word_undo: Optional[Dict[int, object]] = None
+        self._stack_undo: Optional[Dict[int, int]] = None
         if self._words:
             # Initial images normally only populate the data segment, but
             # route any stack-window words to the array so both stores never
@@ -67,26 +96,43 @@ class Memory:
     def store(self, address: int, value: int) -> None:
         if _STACK_BASE <= address < _STACK_TOP:
             self.store_count += 1
-            self._stack[address - _STACK_BASE] = value
+            index = address - _STACK_BASE
+            undo = self._stack_undo
+            if undo is not None and index not in undo:
+                undo[index] = self._stack[index]
+            self._stack[index] = value
             return
         if address < _NULL_LIMIT:
             raise MemoryFault(address, "store to unmapped (NULL page) address")
         self.store_count += 1
+        undo = self._word_undo
+        if undo is not None and address not in undo:
+            undo[address] = self._words.get(address, _ABSENT)
         self._words[address] = value
 
     # Unchecked variants used by debuggers/tests to peek without counting.
     def peek(self, address: int, default: int = 0) -> int:
         address = int(address)
         if _STACK_BASE <= address < _STACK_TOP:
-            value = self._stack[address - _STACK_BASE]
-            return value if value else default
+            # The whole stack window is mapped, so the stored word — zero
+            # included — is the answer; ``default`` only stands in for
+            # genuinely unmapped sparse addresses (keeps ``peek`` consistent
+            # with ``load``, which returns 0 for untouched stack slots).
+            return self._stack[address - _STACK_BASE]
         return self._words.get(address, default)
 
     def poke(self, address: int, value: int) -> None:
         address = int(address)
         if _STACK_BASE <= address < _STACK_TOP:
-            self._stack[address - _STACK_BASE] = int(value)
+            index = address - _STACK_BASE
+            undo = self._stack_undo
+            if undo is not None and index not in undo:
+                undo[index] = self._stack[index]
+            self._stack[index] = int(value)
             return
+        undo = self._word_undo
+        if undo is not None and address not in undo:
+            undo[address] = self._words.get(address, _ABSENT)
         self._words[address] = int(value)
 
     def read_string(self, address: int, limit: int = 4096) -> str:
@@ -103,6 +149,88 @@ class Memory:
             self.store(address + index, ord(char))
         self.store(address + len(text), 0)
 
+    # ------------------------------------------------------------------
+    # copy-on-write checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Mark the current contents as a shared base image; return the level.
+
+        Subsequent stores journal the first-touch original of each address
+        (the per-fork overlay); :meth:`rewind` with the returned level puts
+        the memory back to this exact state in O(dirty words).
+        """
+        frame = _JournalFrame(self.load_count, self.store_count)
+        self._journal.append(frame)
+        self._word_undo = frame.words
+        self._stack_undo = frame.stack
+        return len(self._journal) - 1
+
+    def rewind(self, level: int = 0) -> int:
+        """Restore the state captured by ``checkpoint()`` number *level*.
+
+        Checkpoints above *level* are discarded; *level* itself stays active
+        so the next fork can rewind to it again.  Returns the number of
+        dirty words undone (observability for the snapshot benchmarks).
+        """
+        journal = self._journal
+        if not 0 <= level < len(journal):
+            raise ValueError(
+                f"no memory checkpoint at level {level} (have {len(journal)})"
+            )
+        dirty = 0
+        words = self._words
+        stack = self._stack
+        for frame in reversed(journal[level:]):
+            dirty += len(frame.words) + len(frame.stack)
+            for index, value in frame.stack.items():
+                stack[index] = value
+            for address, value in frame.words.items():
+                if value is _ABSENT:
+                    words.pop(address, None)
+                else:
+                    words[address] = value
+        keep = journal[level]
+        del journal[level + 1 :]
+        keep.words.clear()
+        keep.stack.clear()
+        self.load_count = keep.load_count
+        self.store_count = keep.store_count
+        self._word_undo = keep.words
+        self._stack_undo = keep.stack
+        return dirty
+
+    def delta_since(self, level: int = 0) -> Dict[int, int]:
+        """Current values of every address written since checkpoint *level*.
+
+        The journal frames above *level* name exactly the dirty addresses;
+        the returned mapping pairs each with its **current** contents, so a
+        mid-run machine state can be re-materialized later — after the base
+        checkpoint has been rewound for other forks — by replaying the
+        delta over the base image (again O(dirty words)).
+        """
+        if not 0 <= level < len(self._journal):
+            raise ValueError(
+                f"no memory checkpoint at level {level} (have {len(self._journal)})"
+            )
+        delta: Dict[int, int] = {}
+        for frame in self._journal[level:]:
+            for address in frame.words:
+                delta[address] = self._words[address]
+            for index in frame.stack:
+                delta[_STACK_BASE + index] = self._stack[index]
+        return delta
+
+    @property
+    def checkpoint_depth(self) -> int:
+        return len(self._journal)
+
+    def dirty_word_count(self) -> int:
+        """Words the active fork has overwritten since its checkpoint."""
+        if self._word_undo is None:
+            return 0
+        return len(self._word_undo) + len(self._stack_undo or ())
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[int, int]:
         merged = dict(self._words)
         for index, value in enumerate(self._stack):
