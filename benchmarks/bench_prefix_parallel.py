@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Parallel prefix-group scheduling benchmark — writes ``BENCH_prefix_parallel.json``.
+
+Measures what PR 5 composes and deepens:
+
+1. **mini_git campaign sweep** — the automatic-testing shape across four
+   schedules: the plain per-scenario serial path, serial prefix sharing
+   (the PR 4 baseline semantics, now with prefix trees and errno-blind
+   suffix replication), a ``processes:N`` pool *without* sharing (exactly
+   what PR 4 silently degraded ``share_prefixes=True`` campaigns to when a
+   pool backend was selected), and the new group-per-task fan-out
+   (``share_prefixes=True`` + ``processes:N``).  The headline number is
+   ``group_fanout_vs_pooled_unshared`` — the cost of the old silent
+   downgrade — alongside ``group_fanout_vs_serial_shared``, the scaling
+   sharing now gets from the pool (bounded by the machine's core count:
+   on a single-core runner it hovers near 1x, on a 4-core runner it
+   approaches the worker count).
+2. **mini_apache fork path** — the §7.4-style injecting trigger campaign
+   whose scenario groups fork the server world per member: the legacy
+   ``copy.deepcopy`` fork against the PR 5 capture/restore state fork
+   (O(touched state)), plus a fork-only micro timing of both mechanisms.
+3. **prefix trees** — call-count variants of one site (the replay-scenario
+   shape): the plain path runs every variant in full; the tree shares the
+   sub-prefix up to each divergence and replicates errno-blind suffixes.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_prefix_parallel.py [--smoke] \
+        [--workers N] [--output BENCH_prefix_parallel.json]
+
+``--smoke`` shrinks the workloads for CI; the JSON schema is identical, so
+the perf trajectory accumulates across runs either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.controller.campaign import TestCampaign  # noqa: E402
+from repro.core.controller.controller import LFIController  # noqa: E402
+from repro.core.scenario.builder import ScenarioBuilder  # noqa: E402
+from repro.targets.mini_apache.target import MiniApacheTarget  # noqa: E402
+from repro.targets.mini_git import MiniGitTarget  # noqa: E402
+
+
+def _best(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# mini_git: four schedules of one campaign sweep
+# ----------------------------------------------------------------------
+def bench_mini_git_schedules(workloads, repeats: int, workers: int) -> dict:
+    target = MiniGitTarget()
+    controller = LFIController(target)
+    analysis = controller.analyze_target()
+    points = controller.fault_space(analysis=analysis, include_checked=True)
+    scenarios = [point.scenario() for point in points]
+
+    def sweep(share: bool, parallelism) -> None:
+        for workload in workloads:
+            TestCampaign(target, workload=workload).run(
+                scenarios, seed=3, include_baseline=False,
+                share_prefixes=share, parallelism=parallelism,
+            )
+
+    sweep(True, None)  # warm caches + boot templates outside the timed region
+    runs = len(scenarios) * len(workloads)
+    pool = f"processes:{workers}"
+    timings = {
+        "plain_serial": _best(lambda: sweep(False, None), repeats),
+        "serial_shared": _best(lambda: sweep(True, None), repeats),
+        "pooled_unshared": _best(lambda: sweep(False, pool), repeats),
+        "group_fanout": _best(lambda: sweep(True, pool), repeats),
+    }
+    return {
+        "scenarios": len(scenarios),
+        "workloads": list(workloads),
+        "runs": runs,
+        "workers": workers,
+        "runs_per_sec": {
+            name: round(runs / seconds, 1) for name, seconds in timings.items()
+        },
+        "speedups": {
+            "serial_shared_vs_plain": round(
+                timings["plain_serial"] / timings["serial_shared"], 2
+            ),
+            "group_fanout_vs_pooled_unshared": round(
+                timings["pooled_unshared"] / timings["group_fanout"], 2
+            ),
+            "group_fanout_vs_serial_shared": round(
+                timings["serial_shared"] / timings["group_fanout"], 2
+            ),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# mini_apache: deepcopy vs capture/restore world forks
+# ----------------------------------------------------------------------
+def _apache_scenarios(counts=(1, 6)):
+    scenarios = []
+    sites = [
+        ("_read_whole_file", "apr_file_read", -1, ["EIO", "EINTR", "EAGAIN"]),
+        ("php_handler", "apr_file_read", -1, ["EIO", "EINTR"]),
+        ("log_request", "write", -1, ["EIO", "ENOSPC"]),
+    ]
+    for caller, function, value, errnos in sites:
+        for nth in counts:
+            for errno in errnos:
+                builder = ScenarioBuilder(f"{caller}-{function}-{nth}-{errno}")
+                builder.trigger_with_params(
+                    "site", "CallStackTrigger",
+                    {"frame": {"module": "httpd_core", "function": caller}},
+                )
+                builder.trigger("count", "CallCountTrigger", nth=nth)
+                builder.trigger("once", "SingletonTrigger")
+                builder.inject(function, ["site", "count", "once"],
+                               return_value=value, errno=errno)
+                scenarios.append(builder.build())
+    return scenarios
+
+
+def bench_apache_fork(requests: int, repeats: int) -> dict:
+    target = MiniApacheTarget()
+    scenarios = _apache_scenarios()
+
+    def campaign(**options) -> None:
+        TestCampaign(target, workload="ab-php").run(
+            scenarios, include_baseline=False, requests=requests, **options
+        )
+
+    campaign(share_prefixes=True)  # warm
+    timings = {
+        "plain": _best(lambda: campaign(share_prefixes=False), repeats),
+        "deepcopy_fork": _best(
+            lambda: campaign(share_prefixes=True, fork="deepcopy"), repeats
+        ),
+        "state_fork": _best(lambda: campaign(share_prefixes=True), repeats),
+    }
+
+    # Fork-only micro timing: one prefix world, N forks each way.
+    from copy import deepcopy
+
+    from repro.core.controller.target import WorkloadRequest
+
+    request = WorkloadRequest(workload="ab-php", scenario=scenarios[0],
+                              options={"requests": requests})
+    world_server = target.make_server(request)
+    from functools import partial
+
+    from repro.core.controller.monitor import run_python_workload
+
+    uri, total, post_every = target._workload_params("ab-php", {"requests": requests})
+    run_python_workload(
+        partial(target._request_loop, world_server, uri, max(total // 2, 1), post_every)
+    )
+    forks = 50 if repeats > 1 else 10
+
+    def fork_deepcopy() -> None:
+        for _ in range(forks):
+            deepcopy(world_server)
+
+    captured = target._capture_world(world_server)
+
+    def fork_state() -> None:
+        for _ in range(forks):
+            fork = target.make_server(request, populate=False)
+            target._restore_world(fork, captured)
+
+    micro = {
+        "deepcopy": _best(fork_deepcopy, repeats),
+        "capture_restore": _best(fork_state, repeats),
+    }
+    return {
+        "scenarios": len(scenarios),
+        "requests": requests,
+        "campaign_sec": {k: round(v, 4) for k, v in timings.items()},
+        "speedups": {
+            "state_fork_vs_deepcopy": round(
+                timings["deepcopy_fork"] / timings["state_fork"], 2
+            ),
+            "state_fork_vs_plain": round(timings["plain"] / timings["state_fork"], 2),
+        },
+        "fork_micro": {
+            "forks": forks,
+            "deepcopy_forks_per_sec": round(forks / micro["deepcopy"], 1),
+            "capture_restore_forks_per_sec": round(
+                forks / micro["capture_restore"], 1
+            ),
+            "speedup": round(micro["deepcopy"] / micro["capture_restore"], 2),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# prefix trees: call-count variants of one site
+# ----------------------------------------------------------------------
+def bench_prefix_trees(workload: str, repeats: int) -> dict:
+    target = MiniGitTarget()
+    scenarios = []
+    for function in ("read", "open", "close"):
+        for nth in (1, 2, 3):
+            for errno in ("EIO", "EINTR"):
+                builder = ScenarioBuilder(f"{function}-{nth}-{errno}")
+                builder.trigger("count", "CallCountTrigger", nth=nth)
+                builder.inject(function, ["count"], return_value=-1, errno=errno)
+                scenarios.append(builder.build())
+
+    def campaign(share: bool) -> None:
+        TestCampaign(target, workload=workload).run(
+            scenarios, seed=5, include_baseline=False, share_prefixes=share
+        )
+
+    campaign(True)  # warm
+    timings = {
+        "plain": _best(lambda: campaign(False), repeats),
+        "tree_shared": _best(lambda: campaign(True), repeats),
+    }
+    return {
+        "scenarios": len(scenarios),
+        "workload": workload,
+        "sec": {k: round(v, 4) for k, v in timings.items()},
+        "speedup": round(timings["plain"] / timings["tree_shared"], 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workloads for CI smoke runs")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool worker count for the fan-out sweep")
+    parser.add_argument("--output", default="BENCH_prefix_parallel.json")
+    args = parser.parse_args()
+
+    repeats = 1 if args.smoke else 3
+    workloads = ("status",) if args.smoke else ("default-tests", "status", "gc")
+    requests = 8 if args.smoke else 40
+
+    report = {
+        "benchmark": "prefix_parallel",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "mini_git_schedules": bench_mini_git_schedules(
+            workloads, repeats, args.workers
+        ),
+        "mini_apache_fork": bench_apache_fork(requests, repeats),
+        "prefix_trees": bench_prefix_trees(
+            "status" if args.smoke else "default-tests", repeats
+        ),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

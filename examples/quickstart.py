@@ -43,19 +43,34 @@ Two knobs worth knowing about:
 * **snapshot-accelerated campaigns** — compiled-target runs are
   forkserver-style by default (``repro.vm.snapshot``): a resident boot
   template is restored per request in O(dirty words) via copy-on-write
-  memory instead of rebuilding the OS fixture/libc/machine, and serial
-  campaigns additionally *share prefixes*: the analyzer's (site x errno)
-  scenario families differ only in the injected fault, so the group's
-  common prefix — boot plus every instruction up to the trigger site —
-  executes once, a ``MidRunCapture`` freezes the machine at the injection
-  point, and each sibling scenario resumes there with its own fault (or,
-  if the trigger never fires under the workload, simply inherits the probe
-  run's result).  Results are bit-identical to the per-scenario rebuild
-  path (``tests/test_snapshot.py``), which stays selectable via
+  memory instead of rebuilding the OS fixture/libc/machine, and campaigns
+  additionally *share prefixes*: the analyzer's (site x errno) scenario
+  families differ only in the injected fault, so the group's common
+  prefix — boot plus every instruction up to the trigger site — executes
+  once, a ``MidRunCapture`` freezes the machine at the injection point,
+  and each sibling scenario resumes there with its own fault (or, if the
+  trigger never fires under the workload, simply inherits the probe run's
+  result).  Results are bit-identical to the per-scenario rebuild path
+  (``tests/test_snapshot.py``), which stays selectable via
   ``WorkloadRequest(options={"snapshots": False})`` and
   ``campaign.run(..., share_prefixes=False)``;
   ``benchmarks/bench_snapshot.py`` tracks the >= 2x campaign-throughput
   win in ``BENCH_snapshot.json``.
+* **parallel prefix groups, prefix trees, errno-blind suffixes** — prefix
+  sharing composes with the pool backends: ``share_prefixes=True`` with
+  ``parallelism="processes:4"`` ships each scenario group to a worker as
+  one task (``run_groups`` in ``repro.core.controller.executor``) — the
+  worker runs the probe and resumes the siblings locally, so the two
+  throughput levers multiply instead of cancelling.  Groups are
+  hierarchical: call-count variants of one site share the sub-prefix up to
+  their earliest divergence via nested mid-run captures, and suffixes that
+  never read ``errno`` (a libc errno-read counter proves it) collapse
+  errno-only variants into patched replicas of one run.  The mini_apache
+  server world forks by capture/restore instead of ``copy.deepcopy``.
+  Bit-identity across serial/threads/processes schedules is enforced by
+  ``tests/test_prefix_parallel.py``;
+  ``benchmarks/bench_prefix_parallel.py`` writes
+  ``BENCH_prefix_parallel.json``.
 
 Run with::
 
@@ -207,6 +222,20 @@ def main() -> None:
     print(f"\nsnapshot-accelerated campaign over {len(git_scenarios)} mini_git "
           f"scenarios: outcomes identical to the rebuild path "
           f"(see benchmarks/bench_snapshot.py for the throughput win)")
+
+    # ------------------------------------------------------------------
+    # Parallel prefix groups: sharing composes with the pool backends.
+    #
+    # Each scenario group ships to a worker as one task — the worker runs
+    # the group's probe and resumes the siblings locally — so a pooled
+    # shared campaign stays bit-identical to the serial shared one.
+    fanout = campaign.run(git_scenarios, seed=1, include_baseline=False,
+                          share_prefixes=True, parallelism="threads:2")
+    assert [o.outcome.kind for o in fanout.outcomes] == \
+           [o.outcome.kind for o in reference.outcomes]
+    print(f"group-per-task fan-out over {len(git_scenarios)} scenarios "
+          f"(threads:2): outcomes identical to serial "
+          f"(see benchmarks/bench_prefix_parallel.py)")
 
 
 if __name__ == "__main__":

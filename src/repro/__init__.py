@@ -81,24 +81,48 @@ fixture, libc, and machine are built once per (target, workload), their
 boot state captured by :class:`~repro.vm.snapshot.MachineSnapshot`, and
 each request restores it in **O(dirty words)** via the copy-on-write
 journal inside :class:`~repro.vm.memory.Memory` instead of rebuilding.  On
-top of that, serial campaigns and explorations share *prefixes*
+top of that, campaigns and explorations share *prefixes*
 (:mod:`repro.core.controller.prefix`): scenarios that differ only in the
 injected fault — the analyzer's (site x errno) families — are grouped, the
 group's probe runs once while a
 :class:`~repro.vm.snapshot.MidRunCapture` snapshots the machine at the
 exact instruction where the trigger fires, and every sibling scenario
 resumes from that point with its own fault; scenarios whose trigger never
-fires under a workload are answered by replicating the probe.  All of it
+fires under a workload are answered by replicating the probe.
+
+**Prefix trees and parallel groups.** Groups are hierarchical: call-count
+variants of one site (replay-style scenarios differing only in a
+``CallCountTrigger`` threshold) share the sub-prefix up to their earliest
+divergence — later variants resume from an earlier variant's capture with
+the call *passed through* and chain nested captures at their own injection
+points.  Suffixes that never read ``errno`` (tracked by a libc errno-read
+counter the compiled engine maintains for free via predecode
+specialization) make errno-only variants *suffix replicas*: one run, the
+logged errno patched per member.  Sharing also composes with every
+execution backend: each group ships to the pool as one
+:class:`~repro.core.controller.executor.GroupTask` (``run_groups`` /
+``run_groups_iter``), whose worker runs the probe and resumes the siblings
+locally, so ``share_prefixes=True, parallelism="processes:4"`` multiplies
+the two levers instead of silently dropping one.  The Python-level
+mini_apache target forks its server world the same way — captured once,
+restored per member in O(touched state), no ``copy.deepcopy``.  All of it
 is observably identical to the reference rebuild path —
-``tests/test_snapshot.py`` enforces bit-identical exit statuses, traces,
-coverage, call counts, and injection logs — and selectable::
+``tests/test_snapshot.py`` and ``tests/test_prefix_parallel.py`` enforce
+bit-identical exit statuses, traces, coverage, call counts, and injection
+logs across serial, threaded, and process-pooled schedules — and
+selectable::
 
     target.run(WorkloadRequest(options={"snapshots": False}))   # reference path
     campaign.run(scenarios, share_prefixes=False)               # per-scenario runs
+    campaign.run(scenarios, share_prefixes=True,                # group-per-task
+                 parallelism="processes:4")                     # fan-out
 
-``benchmarks/bench_snapshot.py`` tracks the resulting campaign throughput
-in ``BENCH_snapshot.json`` (>= 2x the rebuild path on the mini_git sweep
-and the mini_apache trigger campaign).
+``benchmarks/bench_snapshot.py`` tracks the snapshot-engine campaign
+throughput in ``BENCH_snapshot.json`` (>= 2x the rebuild path on the
+mini_git sweep and the mini_apache trigger campaign);
+``benchmarks/bench_prefix_parallel.py`` tracks the PR 5 composition in
+``BENCH_prefix_parallel.json`` (group fan-out vs the old silently-unshared
+pools, prefix-tree sweeps, and the capture/restore fork vs deepcopy).
 
 The main layers:
 

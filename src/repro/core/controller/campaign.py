@@ -13,12 +13,18 @@ target instance), so a campaign is an embarrassingly parallel batch.  The
 submission order and per-run seeds are derived deterministically, so a
 parallel campaign's :class:`CampaignResult` is identical to a serial one's.
 
-Serial campaigns against targets that declare deterministic execution
-additionally share prefixes (:mod:`repro.core.controller.prefix`): scenarios
-differing only in the injected fault are grouped so their common pre-trigger
-prefix executes once and only post-trigger suffixes run per fault — with
-results still bit-identical to the unshared path.  ``share_prefixes=False``
-forces the reference per-scenario path.
+Campaigns against targets that declare deterministic execution additionally
+share prefixes (:mod:`repro.core.controller.prefix`): scenarios differing
+only in the injected fault (or in a single call-count threshold — prefix
+trees) are grouped so their common pre-trigger prefix executes once and
+only post-trigger suffixes run per fault.  Sharing **composes with the
+pool backends**: each group becomes one
+:class:`~repro.core.controller.executor.GroupTask` whose worker runs the
+probe and resumes the siblings locally, so ``share_prefixes=True`` with
+``parallelism="processes:4"`` fans groups out instead of silently
+degrading to per-scenario runs — with results still bit-identical to both
+the serial shared and the unshared paths.  ``share_prefixes=False`` forces
+the reference per-scenario path.
 """
 
 from __future__ import annotations
@@ -34,7 +40,11 @@ from repro.core.controller.executor import (
     derive_run_seed,
 )
 from repro.core.controller.monitor import Outcome, OutcomeKind, RunResult
-from repro.core.controller.prefix import run_scenarios_shared, sharing_supported
+from repro.core.controller.prefix import (
+    build_group_tasks,
+    resolve_sharing,
+    run_scenarios_shared,
+)
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.scenario.model import Scenario
 
@@ -138,11 +148,13 @@ class TestCampaign:
     ) -> CampaignResult:
         """Run every scenario; see the module docstring for the knobs.
 
-        ``share_prefixes=None`` (default) enables prefix sharing for serial
+        ``share_prefixes=None`` (default) enables prefix sharing for
         campaigns against targets that declare ``prefix_shareable``;
-        ``False`` forces the reference per-scenario path and ``True``
-        requests sharing explicitly (still serial-only: parallel backends
-        fan out per scenario, where sharing would serialize the batch).
+        ``False`` forces the reference per-scenario path; ``True`` demands
+        sharing and raises on targets that do not declare deterministic
+        execution.  Sharing composes with every backend: serial campaigns
+        stream groups inline, pooled campaigns fan each group out as one
+        task (results stay bit-identical either way).
         """
         scenario_list = list(scenarios)
         campaign = CampaignResult(target=self.target.name)
@@ -152,13 +164,8 @@ class TestCampaign:
         spec = parallelism if parallelism is not None else self.parallelism
         backend, owned = backend_scope(spec)
         try:
-            serial = isinstance(backend, SerialBackend)
-            sharing = (
-                share_prefixes
-                if share_prefixes is not None
-                else sharing_supported(self.target)
-            )
-            if sharing and serial:
+            sharing = resolve_sharing(share_prefixes, self.target)
+            if sharing and isinstance(backend, SerialBackend):
                 results = run_scenarios_shared(
                     self.target,
                     self.workload,
@@ -167,6 +174,25 @@ class TestCampaign:
                     collect_coverage=collect_coverage,
                     options=dict(options),
                 )
+            elif sharing:
+                entries = [
+                    (index, scenario, derive_run_seed(seed, index))
+                    for index, scenario in enumerate(scenario_list)
+                ]
+                tasks = build_group_tasks(
+                    self.target, self.workload, entries,
+                    collect_coverage=collect_coverage, options=dict(options),
+                )
+                collected: Dict[int, RunResult] = {}
+                for group_results in backend.run_groups(tasks):
+                    collected.update(group_results)
+                missing = [i for i in range(len(scenario_list)) if i not in collected]
+                if missing:
+                    raise RuntimeError(
+                        f"group execution returned no result for scenario "
+                        f"indices {missing[:5]}{'...' if len(missing) > 5 else ''}"
+                    )
+                results = [collected[index] for index in range(len(scenario_list))]
             else:
                 tasks = [
                     ExecutionTask(
@@ -187,6 +213,13 @@ class TestCampaign:
             if owned:
                 backend.close()
 
+        if len(results) != len(scenario_list):
+            # A backend returning the wrong number of results is corrupted
+            # scheduling; silently zip-truncating would misattribute runs.
+            raise RuntimeError(
+                f"campaign executed {len(results)} runs for "
+                f"{len(scenario_list)} scenarios"
+            )
         for scenario, result in zip(scenario_list, results):
             campaign.outcomes.append(
                 ScenarioOutcome(scenario=scenario, workload=self.workload, result=result)

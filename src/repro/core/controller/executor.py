@@ -25,6 +25,13 @@ Two properties make parallel campaigns **bit-identical** to serial ones:
 Backends are context managers; pools are created lazily on first use and
 can be shared across campaigns (the experiment harnesses create one backend
 per table and reuse it for every target).
+
+Two task shapes exist.  :class:`ExecutionTask` is one scenario run — the
+plain per-scenario fan-out.  :class:`GroupTask` is one whole **prefix
+group** (see :mod:`repro.core.controller.prefix`): the worker runs the
+group's probe once and resumes every sibling locally, so prefix sharing and
+pool parallelism compose instead of cancelling — ``run_groups`` /
+``run_groups_iter`` are the group-per-task entry points.
 """
 
 from __future__ import annotations
@@ -32,8 +39,18 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent import futures
-from dataclasses import dataclass, replace
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.controller.monitor import RunResult
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
@@ -84,6 +101,45 @@ def execute_task(task: ExecutionTask) -> RunResult:
     return task.target.run(request)
 
 
+@dataclass
+class GroupTask:
+    """One prefix group scheduled as a single backend task.
+
+    The group-per-task fan-out unit: the whole scenario group — probe plus
+    resumable siblings — executes inside one worker, so prefix sharing
+    (:mod:`repro.core.controller.prefix`) composes with the pool backends
+    instead of forcing a serial campaign.  ``entries`` carries the members'
+    original submission indices (with per-run seeds already derived), which
+    is what keeps pooled-shared results reassemblable into submission order
+    and bit-identical to the serial shared path.
+    """
+
+    index: int
+    target: TargetAdapter
+    workload: str
+    entries: List[Tuple[int, Any, Optional[int]]]
+    collect_coverage: bool = False
+    options: Dict[str, Any] = field(default_factory=dict)
+    observe_only: bool = False
+
+
+def execute_group(task: GroupTask) -> Dict[int, RunResult]:
+    """Run one prefix group (module-level so process pools can import it)."""
+    # Imported lazily: the prefix scheduler sits above the executor in the
+    # module graph (campaigns import both), so the executor must not import
+    # it at module load.
+    from repro.core.controller.prefix import run_entry_group
+
+    return run_entry_group(
+        task.target,
+        task.workload,
+        task.entries,
+        collect_coverage=task.collect_coverage,
+        options=dict(task.options),
+        observe_only=task.observe_only,
+    )
+
+
 # ----------------------------------------------------------------------
 # backends
 # ----------------------------------------------------------------------
@@ -117,6 +173,29 @@ class ExecutionBackend(ABC):
         ordered = sorted(tasks, key=lambda task: task.index)
         yield from zip(ordered, self.map(execute_task, [(task,) for task in ordered]))
 
+    def run_groups(self, tasks: Sequence[GroupTask]) -> List[Dict[int, RunResult]]:
+        """Execute prefix-group tasks; results ordered by group index.
+
+        Each returned mapping pairs member submission indices with their
+        results; pooled backends run whole groups concurrently (one worker
+        executes a group's probe and resumes its siblings locally).
+        """
+        ordered = sorted(tasks, key=lambda task: task.index)
+        return self.map(execute_group, [(task,) for task in ordered])
+
+    def run_groups_iter(
+        self, tasks: Sequence[GroupTask]
+    ) -> Iterator[Tuple[GroupTask, Dict[int, RunResult]]]:
+        """Yield ``(group task, member results)`` pairs incrementally.
+
+        Pool backends yield groups in **completion** order (like
+        :meth:`run_tasks_iter`) so callers can checkpoint a finished
+        group's runs while slower groups are still executing; the base
+        implementation degrades to the eager :meth:`run_groups`.
+        """
+        ordered = sorted(tasks, key=lambda task: task.index)
+        yield from zip(ordered, self.map(execute_group, [(task,) for task in ordered]))
+
     def close(self) -> None:
         """Release pool resources (no-op for poolless backends)."""
 
@@ -141,6 +220,12 @@ class SerialBackend(ExecutionBackend):
         for task in sorted(tasks, key=lambda task: task.index):
             yield task, execute_task(task)
 
+    def run_groups_iter(
+        self, tasks: Sequence[GroupTask]
+    ) -> Iterator[Tuple[GroupTask, Dict[int, RunResult]]]:
+        for task in sorted(tasks, key=lambda task: task.index):
+            yield task, execute_group(task)
+
 
 class _PoolBackend(ExecutionBackend):
     """Shared plumbing for the ``concurrent.futures`` backends."""
@@ -164,20 +249,49 @@ class _PoolBackend(ExecutionBackend):
         # Submit in order, collect in order: completion order never leaks
         # into the result list.
         pending = [pool.submit(fn, *arguments) for arguments in argument_tuples]
-        return [future.result() for future in pending]
+        try:
+            return [future.result() for future in pending]
+        except BaseException:
+            # An early failure must not leak the batch: cancel everything
+            # still queued before re-raising (running/finished futures
+            # ignore the cancel).
+            for future in pending:
+                future.cancel()
+            raise
+
+    def _completed_iter(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Submit every item, yield ``(item, result)`` in completion order.
+
+        Outstanding futures are cancelled when the consumer stops early
+        (generator close) or a result raises — a half-consumed iteration
+        must not keep the pool grinding through abandoned work.
+        """
+        if not items:
+            return
+        pool = self._ensure_pool()
+        future_to_item = {pool.submit(fn, item): item for item in items}
+        try:
+            for future in futures.as_completed(future_to_item):
+                yield future_to_item[future], future.result()
+        finally:
+            for future in future_to_item:
+                future.cancel()
 
     def run_tasks_iter(
         self, tasks: Sequence[ExecutionTask]
     ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
-        ordered = sorted(tasks, key=lambda task: task.index)
-        if not ordered:
-            return
-        pool = self._ensure_pool()
         # Completion order, not submission order: a slow head-of-line task
         # must not delay checkpointing of tasks that already finished.
-        future_to_task = {pool.submit(execute_task, task): task for task in ordered}
-        for future in futures.as_completed(future_to_task):
-            yield future_to_task[future], future.result()
+        ordered = sorted(tasks, key=lambda task: task.index)
+        yield from self._completed_iter(execute_task, ordered)
+
+    def run_groups_iter(
+        self, tasks: Sequence[GroupTask]
+    ) -> Iterator[Tuple[GroupTask, Dict[int, RunResult]]]:
+        ordered = sorted(tasks, key=lambda task: task.index)
+        yield from self._completed_iter(execute_group, ordered)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -247,6 +361,10 @@ def resolve_backend(spec: ParallelismSpec) -> ExecutionBackend:
     if isinstance(spec, bool):  # guard against parallelism=True accidents
         return ProcessPoolBackend() if spec else SerialBackend()
     if isinstance(spec, int):
+        if spec < 0:
+            # A negative count is a caller bug (e.g. a sign slip computing
+            # workers); quietly degrading to serial would hide it.
+            raise ValueError(f"negative worker count in parallelism spec {spec!r}")
         return SerialBackend() if spec <= 1 else ProcessPoolBackend(spec)
     if isinstance(spec, str):
         kind, _, count = spec.partition(":")
@@ -313,12 +431,14 @@ def run_requests(
 __all__ = [
     "ExecutionBackend",
     "ExecutionTask",
+    "GroupTask",
     "ParallelismSpec",
     "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "backend_scope",
     "derive_run_seed",
+    "execute_group",
     "execute_task",
     "resolve_backend",
     "run_requests",

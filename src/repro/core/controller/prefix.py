@@ -9,20 +9,35 @@ instructions up to the trigger site) before the armed injection diverges.
 
 This module eliminates that redundancy at the schedule level:
 
-1. **Grouping** — :func:`scenario_group_key` fingerprints a scenario's
-   trigger declarations and plan structure *without* the fault values;
-   scenarios with equal keys under one workload form a group whose members
-   are interchangeable until the moment of injection.
-2. **Probe + resume** — the group's first member runs normally; for targets
-   exposing the :class:`~repro.targets.base.CompiledTarget` session API the
-   probe snapshots OS/gate/coverage state at the last workload-step
-   boundary before its trigger fires, and every other member restores that
-   boundary (its own gate is grafted with the shared interception state)
-   and executes **only the post-trigger suffix**.
+1. **Grouping** — :func:`scenario_group_key_parts` fingerprints a
+   scenario's trigger declarations and plan structure *without* the fault
+   values; scenarios with equal base keys under one workload form a group
+   whose members are interchangeable until the moment of injection.  The
+   key is **hierarchical**: call-count variants of one site (scenarios
+   identical except a single ``CallCountTrigger``'s ``nth``) share a base
+   key and carry a *rank* — the count at which they diverge — so a group
+   is a prefix *tree*, not just an errno family.
+2. **Probe + resume** — the group's first member (lowest rank) runs
+   normally; for targets exposing the
+   :class:`~repro.targets.base.CompiledTarget` session API the probe
+   snapshots OS/gate/coverage state at the last workload-step boundary
+   before its trigger fires, and every other member restores that boundary
+   (its own gate is grafted with the shared interception state) and
+   executes **only the post-trigger suffix**.  Snapshot-backed sessions
+   sharpen the resume point to the exact injection instruction
+   (:class:`~repro.vm.snapshot.MidRunCapture`); later-rank members resume
+   from the same capture with the call **passed through** instead of
+   faulted and run on to their own (later) injection point, where a
+   *nested* capture serves their own rank — each tree level pays only the
+   suffix between divergence points.
 3. **Replication** — if the probe's trigger never fires, no member's fault
-   can ever be injected either, so the probe's result is replicated for the
-   whole group (with per-member log/coverage copies) — the common case for
-   sites a given workload does not exercise.
+   can ever be injected either (ranks fire monotonically later), so the
+   probe's result is replicated for the whole group (with per-member
+   log/coverage copies).  Additionally, when an injected run's suffix
+   never reads ``errno`` (detected via the libc errno-read counter),
+   members differing from it only in the injected errno are **suffix
+   replicas**: their results are the source's with the logged fault errno
+   patched, bit-identical to running them.
 
 Soundness rests on determinism: only scenarios built solely from
 deterministic trigger classes (:data:`SAFE_TRIGGER_CLASSES` — no random
@@ -30,7 +45,9 @@ triggers, no ``@shared_object`` parameters) are grouped, and only targets
 that declare ``prefix_shareable`` (deterministic modulo the injected fault)
 participate.  Everything else runs on the plain per-scenario path.  The
 differential suite asserts shared campaigns are bit-identical to unshared
-ones.
+ones — serial and pooled (see ``run_groups`` in
+:mod:`repro.core.controller.executor`, which executes whole groups as
+backend tasks so sharing composes with the pool backends).
 """
 
 from __future__ import annotations
@@ -62,21 +79,60 @@ SAFE_TRIGGER_CLASSES = frozenset(
 #: One scheduling entry: (submission index, scenario, derived run seed).
 Entry = Tuple[int, Optional[Scenario], Optional[int]]
 
+#: A group's identity: (base fingerprint, rank).  Members with equal base
+#: fingerprints form one group; the rank orders their divergence points.
+KeyParts = Tuple[str, Tuple[int, ...]]
+
 
 # ----------------------------------------------------------------------
 # grouping
 # ----------------------------------------------------------------------
-def scenario_group_key(scenario: Optional[Scenario]) -> Optional[str]:
-    """Fingerprint of a scenario minus its fault values, or ``None``.
+def _rankable_call_count(scenario: Scenario) -> Optional[str]:
+    """Trigger id of the single rank-bearing CallCountTrigger, or ``None``.
+
+    A scenario's call-count variants can share a sub-prefix only when the
+    count is the *sole* thing ordering their divergence: exactly one
+    ``CallCountTrigger`` (plain ``nth``, no ``every`` periodicity), exactly
+    one injecting plan, and the trigger gating that plan and nothing else.
+    Everything else keeps the count in the base key (flat grouping).
+    """
+    count_ids = [
+        trigger_id
+        for trigger_id, declaration in scenario.triggers.items()
+        if declaration.class_name == "CallCountTrigger"
+    ]
+    if len(count_ids) != 1:
+        return None
+    trigger_id = count_ids[0]
+    params = scenario.triggers[trigger_id].params
+    if params.get("every") is not None:
+        return None
+    injecting = [plan for plan in scenario.plans if plan.fault is not None]
+    if len(injecting) != 1 or trigger_id not in injecting[0].trigger_ids:
+        return None
+    if any(
+        trigger_id in plan.trigger_ids for plan in scenario.plans if plan.fault is None
+    ):
+        return None
+    return trigger_id
+
+
+def scenario_group_key_parts(scenario: Optional[Scenario]) -> Optional[KeyParts]:
+    """Hierarchical fingerprint of a scenario minus its fault values.
 
     ``None`` marks the scenario ineligible for sharing: no scenario at all,
     a trigger class outside the deterministic safe set, or parameters that
     reference shared objects (``"@name"``) whose behaviour the scheduler
-    cannot reason about.  Scenarios with equal keys run identically up to
-    (and including the decision of) their first injection.
+    cannot reason about.  Otherwise returns ``(base_key, rank)``: scenarios
+    with equal base keys run identically up to the *earliest* of their
+    divergence points, and the rank — the stripped call-count threshold —
+    orders those points (an empty rank means the scenarios diverge at the
+    same point and differ only in the fault injected).
     """
     if scenario is None:
         return None
+    rank_id = _rankable_call_count(scenario)
+    rank: Tuple[int, ...] = ()
     trigger_parts: List[tuple] = []
     for trigger_id in sorted(scenario.triggers):
         declaration = scenario.triggers[trigger_id]
@@ -89,17 +145,121 @@ def scenario_group_key(scenario: Optional[Scenario]) -> Optional[str]:
         for _, value in params:
             if isinstance(value, str) and value.startswith("@"):
                 return None
+        if trigger_id == rank_id:
+            nth = declaration.params.get("nth", declaration.params.get("count", 1))
+            try:
+                rank = (int(nth),)
+            except (TypeError, ValueError):
+                return None
+            params = [item for item in params if item[0] not in ("nth", "count")]
         trigger_parts.append((trigger_id, declaration.class_name, repr(params)))
     plan_parts = [
         (plan.function, tuple(plan.trigger_ids), plan.fault is not None, plan.argc)
         for plan in scenario.plans
     ]
-    return repr((tuple(trigger_parts), tuple(plan_parts)))
+    return repr((tuple(trigger_parts), tuple(plan_parts))), rank
+
+
+def scenario_group_key(scenario: Optional[Scenario]) -> Optional[str]:
+    """The base (rank-free) group fingerprint, or ``None`` when unshareable."""
+    parts = scenario_group_key_parts(scenario)
+    return None if parts is None else parts[0]
+
+
+def scenario_group_rank(scenario: Optional[Scenario]) -> Tuple[int, ...]:
+    """The scenario's divergence rank within its group (empty = earliest)."""
+    parts = scenario_group_key_parts(scenario)
+    return () if parts is None else parts[1]
+
+
+def partition_entries(
+    entries: Sequence[Entry],
+) -> Tuple[List[List[Entry]], List[Entry]]:
+    """Split schedule entries into prefix groups and ungrouped leftovers.
+
+    Groups come back in first-appearance order; members within a group are
+    ordered by (rank, submission index) so the first member — the probe —
+    is the one whose trigger fires earliest.  Ungrouped entries (no
+    scenario, unsafe triggers) keep their submission order.
+    """
+    groups: Dict[str, List[Tuple[Tuple[int, ...], Entry]]] = {}
+    ordered_keys: List[str] = []
+    ungrouped: List[Entry] = []
+    for entry in entries:
+        parts = scenario_group_key_parts(entry[1])
+        if parts is None:
+            ungrouped.append(entry)
+            continue
+        base, rank = parts
+        if base not in groups:
+            groups[base] = []
+            ordered_keys.append(base)
+        groups[base].append((rank, entry))
+    ordered_groups: List[List[Entry]] = []
+    for key in ordered_keys:
+        members = sorted(groups[key], key=lambda item: (item[0], item[1][0]))
+        ordered_groups.append([entry for _rank, entry in members])
+    return ordered_groups, ungrouped
+
+
+def build_group_tasks(
+    target: TargetAdapter,
+    workload: str,
+    entries: Sequence[Entry],
+    collect_coverage: bool = False,
+    options: Optional[Dict[str, Any]] = None,
+    observe_only: bool = False,
+) -> List["GroupTask"]:
+    """Partition schedule entries into backend-ready group tasks.
+
+    Multi-member prefix groups become one
+    :class:`~repro.core.controller.executor.GroupTask` each (the worker
+    shares the prefix internally); ungrouped entries ride along as
+    singleton groups, which :func:`run_entry_group` executes on the plain
+    per-scenario path — so one ``run_groups`` batch covers the whole
+    schedule.
+    """
+    from repro.core.controller.executor import GroupTask
+
+    groups, ungrouped = partition_entries(entries)
+    groups.extend([entry] for entry in ungrouped)
+    return [
+        GroupTask(
+            index=task_index,
+            target=target,
+            workload=workload,
+            entries=list(members),
+            collect_coverage=collect_coverage,
+            options=dict(options or {}),
+            observe_only=observe_only,
+        )
+        for task_index, members in enumerate(groups)
+    ]
 
 
 def sharing_supported(target: TargetAdapter) -> bool:
     """True when *target* declares deterministic, shareable execution."""
     return bool(getattr(target, "prefix_shareable", False))
+
+
+def resolve_sharing(share_prefixes: Optional[bool], target: TargetAdapter) -> bool:
+    """Resolve a ``share_prefixes`` knob against the target's declaration.
+
+    ``None`` auto-detects (sharing iff the target declares
+    ``prefix_shareable``); ``False`` forces the reference path; ``True``
+    demands sharing and **raises** when the target does not declare
+    deterministic execution — grouping a non-shareable target would
+    silently produce results the per-scenario path cannot reproduce.
+    """
+    if share_prefixes is None:
+        return sharing_supported(target)
+    if share_prefixes and not sharing_supported(target):
+        raise ValueError(
+            f"share_prefixes=True requires a prefix_shareable target, but "
+            f"{getattr(target, 'name', target)!r} does not declare "
+            "deterministic (prefix-shareable) execution"
+        )
+    return bool(share_prefixes)
 
 
 def _has_session_api(target: Any) -> bool:
@@ -172,21 +332,254 @@ def replicate_result(result: RunResult) -> RunResult:
 
 
 # ----------------------------------------------------------------------
-# group execution
+# errno-blind suffix replication
 # ----------------------------------------------------------------------
+def errno_sibling_positions(
+    source: Scenario, member: Scenario
+) -> Optional[List[int]]:
+    """Plan positions where *member* differs from *source* in errno only.
+
+    ``None`` means the two scenarios are not errno siblings: their plans
+    differ in something other than the injected errno (return value,
+    structure), so a suffix replica of one cannot stand in for the other.
+    An empty list means the faults are identical.
+    """
+    if len(source.plans) != len(member.plans):
+        return None
+    positions: List[int] = []
+    for index, (ours, theirs) in enumerate(zip(source.plans, member.plans)):
+        if ours.fault == theirs.fault:
+            continue
+        if ours.fault is None or theirs.fault is None:
+            return None
+        if ours.fault.return_value != theirs.fault.return_value:
+            return None
+        positions.append(index)
+    return positions
+
+
+def patch_replica_errno(
+    source_result: RunResult, source: Scenario, member: Scenario
+) -> Optional[RunResult]:
+    """Suffix replica of *source_result* with the member's errno in the log.
+
+    Only valid when the source's suffix never read errno (the caller checks
+    the libc errno-read counter): the runs are then instruction-identical
+    and differ solely in the errno recorded for the injected fault.
+    Returns ``None`` when the log shape does not allow an unambiguous patch
+    (no injection, several injections, or no matching plan fault).
+    """
+    positions = errno_sibling_positions(source, member)
+    if positions is None:
+        return None
+    injected = [
+        record for record in (source_result.log.records if source_result.log else [])
+        if record.injected and record.fault is not None
+    ]
+    if len(injected) != 1:
+        return None
+    record_fault = injected[0].fault
+    matches = [
+        index for index in positions if source.plans[index].fault == record_fault
+    ]
+    if positions and len(matches) != 1:
+        return None
+    clone = replicate_result(source_result)
+    if matches:
+        member_fault = member.plans[matches[0]].fault
+        for record in clone.log.records:
+            if record.injected and record.fault == record_fault:
+                record.fault = replace(record.fault, errno=member_fault.errno)
+    return clone
+
+
+def _errno_read_counter(libc: Any) -> Optional[int]:
+    """The libc's errno-read counter, or ``None`` when it does not count."""
+    reads = getattr(libc, "errno_reads", None)
+    return reads if isinstance(reads, int) else None
+
+
+# ----------------------------------------------------------------------
+# member gate re-arming (prefix trees)
+# ----------------------------------------------------------------------
+def rearm_member_triggers(gate: Any, scenario: Scenario) -> None:
+    """Re-apply a member's own trigger parameters after a gate graft.
+
+    :func:`~repro.vm.snapshot.graft_gate_state` installs the *probe's*
+    trigger instances (with their accumulated counters) onto a member's
+    gate.  Within a flat group the configurations are identical, but a
+    ranked member's call-count threshold differs — ``init`` re-applies the
+    declared parameters while the stock triggers' mutable counters
+    (observed calls, grants, match counts) survive untouched, which is
+    exactly the state the member's own run would hold at the graft point.
+    """
+    runtime = getattr(gate, "runtime", None)
+    if runtime is None:
+        return
+    instances = getattr(runtime, "_instances", None)
+    if not isinstance(instances, dict):
+        return
+    for trigger_id, declaration in scenario.triggers.items():
+        instance = instances.get(trigger_id)
+        if instance is not None:
+            instance.init(dict(declaration.params))
+
+
+# ----------------------------------------------------------------------
+# group execution (session targets)
+# ----------------------------------------------------------------------
+def _install_capture_observers(
+    session: Any,
+    gate: Any,
+    scenario: Scenario,
+    step_ref: Dict[str, Any],
+    want_pre_call: bool,
+) -> Dict[str, Any]:
+    """Arm *gate* to capture the machine at its first injection point.
+
+    Returns the ``mid`` mailbox the observers fill: ``capture`` (the
+    :class:`MidRunCapture`) and ``record`` (everything needed to replay or
+    pass through the intercepted call — including, when ``want_pre_call``,
+    the gate state snapshotted *before* the call was counted, which is what
+    lets a later-rank member re-execute the call through its own gate).
+    ``step_ref`` supplies the current workload-step index and the outcome
+    accumulated before it.
+    """
+    mid: Dict[str, Any] = {"capture": None, "record": None}
+    template = session.template
+    if template is None:
+        return mid
+    pre: Dict[str, Any] = {"state": None}
+    # Pre-call capture cost is one deep copy of the trigger instances and
+    # counter dicts per intercepted call of the handled function(s) — O(1)
+    # in prefix length with the default injection-only log.  A pass-through-
+    # recording log would make each capture O(accumulated records); skip the
+    # observer there and let later-rank members take the plain-run fallback
+    # instead of paying a quadratic probe.
+    if want_pre_call and getattr(gate.log, "record_passthrough", False):
+        want_pre_call = False
+    if want_pre_call:
+        runtime = gate.runtime
+
+        def observe_call(name: str, args: tuple) -> None:
+            if mid["capture"] is not None:
+                return
+            if runtime is None or not runtime.handles(name):
+                return
+            pre["state"] = capture_gate_state(gate)
+
+        gate.call_observer = observe_call
+
+    def observe_injection(name, args, count, ctx, decision) -> None:
+        if mid["capture"] is not None:
+            return
+        machine = ctx.extras.get("machine")
+        if machine is not template.machine:
+            return
+        plan_index = next(
+            (
+                position
+                for position, candidate in enumerate(scenario.plans)
+                if candidate is decision.plan
+            ),
+            None,
+        )
+        if plan_index is None:
+            return
+        capture = MidRunCapture(machine, base_level=template.snapshot.memory_level)
+        if capture.gate_state is None:
+            return
+        clock = getattr(ctx.os, "clock", None)
+        mid["capture"] = capture
+        mid["record"] = {
+            "step": step_ref["index"],
+            "name": name,
+            "args": args,
+            "count": count,
+            "node": ctx.node,
+            "module": ctx.module,
+            "source": str(ctx.source) if ctx.source else "",
+            "stack": list(ctx.stack),
+            "sim_time": getattr(clock, "now", 0.0) if clock is not None else 0.0,
+            "fired": list(decision.fired_triggers),
+            "plan_index": plan_index,
+            "prior_outcome": replace(step_ref["outcome"]),
+            "pre_call_gate": pre["state"],
+        }
+
+    gate.inject_observer = observe_injection
+    return mid
+
+
+def _make_step_tracker(gate: Any) -> Tuple[Dict[str, Any], Any]:
+    """A boundary hook tracking (step index, pre-injection outcome).
+
+    The hook runs before each workload step; the outcome stops updating
+    once the gate injects (or observes an injection) so ``outcome`` is the
+    accumulated outcome *before* the divergence step — the prior every
+    resumed member starts from.
+    """
+    track: Dict[str, Any] = {
+        "index": 0,
+        "outcome": Outcome(kind=OutcomeKind.NORMAL),
+        "locked": False,
+    }
+
+    def hook(index: int, steps_run: int, outcome) -> None:
+        track["index"] = index
+        if track["locked"]:
+            return
+        if gate.injected_calls or gate.observed_injections:
+            track["locked"] = True
+            return
+        track["outcome"] = replace(outcome)
+
+    return track, hook
+
+
+def _complete_member_run(
+    target: Any,
+    session: Any,
+    plan: Sequence[Any],
+    gate: Any,
+    coverage: Any,
+    status: Any,
+    step_index: int,
+    prior_outcome: Outcome,
+    boundary_hook=None,
+) -> RunResult:
+    """Classify a resumed step's exit and run the remaining plan steps."""
+    steps_run = step_index + 1
+    outcome = replace(prior_outcome)
+    step_outcome = classify_exit_status(status)
+    if step_outcome.kind in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.HANG):
+        outcome = step_outcome
+        if coverage is not None:
+            coverage.finish_run()
+    else:
+        if step_outcome.kind is OutcomeKind.ERROR_EXIT and outcome.kind is OutcomeKind.NORMAL:
+            outcome = step_outcome
+        outcome, steps_run = target.execute_plan(
+            session, plan, gate, coverage,
+            start_index=step_index + 1, outcome=outcome,
+            boundary_hook=boundary_hook,
+        )
+    return target.finalize_run(session, gate, coverage, outcome, steps_run)
+
+
 def _resume_member_mid(
     target: Any,
     session: Any,
     plan: Sequence[Any],
     capture: MidRunCapture,
     record: Dict[str, Any],
-    prior_outcome: Outcome,
     scenario: Scenario,
     seed: Optional[int],
     collect_coverage: bool,
     options: Dict[str, Any],
+    observe_only: bool = False,
 ) -> RunResult:
-    """Resume one member from the probe's injection-point capture.
+    """Resume one same-rank member from the probe's injection-point capture.
 
     The capture holds machine state at the exact moment the shared trigger
     agreed, *before* any fault was applied; the member's own fault is then
@@ -195,10 +588,12 @@ def _resume_member_mid(
     instruction.  Every instruction of the common prefix is skipped.
     """
     gate = make_gate(
-        scenario, run_seed=seeded_options(options, seed).get("run_seed")
+        scenario, observe_only=observe_only,
+        run_seed=seeded_options(options, seed).get("run_seed"),
     )
     coverage = CoverageTracker() if collect_coverage else None
     machine = capture.restore(gate, coverage)
+    rearm_member_triggers(gate, scenario)
 
     fault = scenario.plans[record["plan_index"]].fault
     gate.injected_calls += 1
@@ -222,23 +617,69 @@ def _resume_member_mid(
     machine.regs[R0_SLOT] = int(result.value)
     machine.pc = capture.pc + 1
     status = machine.resume()
+    return _complete_member_run(
+        target, session, plan, gate, coverage, status,
+        record["step"], record["prior_outcome"],
+    )
 
-    step_index = record["step"]
-    steps_run = step_index + 1
-    outcome = replace(prior_outcome)
-    step_outcome = classify_exit_status(status)
-    if step_outcome.kind in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.HANG):
-        outcome = step_outcome
-        if coverage is not None:
-            coverage.finish_run()
-    else:
-        if step_outcome.kind is OutcomeKind.ERROR_EXIT and outcome.kind is OutcomeKind.NORMAL:
-            outcome = step_outcome
-        outcome, steps_run = target.execute_plan(
-            session, plan, gate, coverage,
-            start_index=step_index + 1, outcome=outcome,
-        )
-    return target.finalize_run(session, gate, coverage, outcome, steps_run)
+
+def _resume_member_passthrough(
+    target: Any,
+    session: Any,
+    plan: Sequence[Any],
+    capture: MidRunCapture,
+    record: Dict[str, Any],
+    scenario: Scenario,
+    seed: Optional[int],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> Tuple[RunResult, Dict[str, Any]]:
+    """Resume a later-rank member from an earlier rank's capture.
+
+    The member's trigger has not fired yet at the capture point, so instead
+    of replaying the inject branch the intercepted **call instruction is
+    re-executed** through the member's own gate: the pre-call gate state
+    (snapshotted by the probe's call observer, before the call was counted
+    or decided) is grafted, the machine is rolled back one instruction, and
+    execution resumes — counting, trigger evaluation, pass-through, and the
+    member's own later injection all happen on the normal path, which is
+    what keeps the result bit-identical to a full run.  Returns the
+    member's result plus the *nested* capture mailbox taken at the member's
+    own injection point, which serves its rank siblings and deeper ranks.
+    """
+    gate = make_gate(
+        scenario, observe_only=observe_only,
+        run_seed=seeded_options(options, seed).get("run_seed"),
+    )
+    coverage = CoverageTracker() if collect_coverage else None
+    machine = capture.restore(gate, coverage, gate_state=record["pre_call_gate"])
+    rearm_member_triggers(gate, scenario)
+
+    # Roll the machine back to *before* the call instruction: the capture
+    # was taken mid-call, after the step/trace/coverage bookkeeping for it
+    # already ran, and re-execution repeats all three.
+    machine.pc = capture.pc
+    machine.steps -= 1
+    if machine.trace is not None and machine.trace and machine.trace[-1] == capture.pc:
+        machine.trace.pop()
+    if coverage is not None:
+        coverage.unrecord(capture.pc)
+
+    step_ref, hook = _make_step_tracker(gate)
+    step_ref["index"] = record["step"]
+    step_ref["outcome"] = replace(record["prior_outcome"])
+    nested = _install_capture_observers(
+        session, gate, scenario, step_ref, want_pre_call=True
+    )
+    status = machine.resume()
+    result = _complete_member_run(
+        target, session, plan, gate, coverage, status,
+        record["step"], record["prior_outcome"], boundary_hook=hook,
+    )
+    gate.inject_observer = None
+    gate.call_observer = None
+    return result, nested
 
 
 def _run_group_with_sessions(
@@ -249,18 +690,22 @@ def _run_group_with_sessions(
     options: Dict[str, Any],
     observe_only: bool = False,
 ) -> Dict[int, RunResult]:
-    """Probe + resume execution for session-capable (compiled) targets.
+    """Prefix-tree execution for session-capable (compiled) targets.
 
-    The probe (first member) runs in full; along the way it captures the
-    state every other member needs to skip the shared prefix — preferring
-    an instruction-level :class:`MidRunCapture` at the injection point
-    (available on snapshot-backed sessions) and falling back to the last
-    workload-step boundary before the trigger step.
+    The probe (first member, lowest rank) runs in full; along the way it
+    captures the state every other member needs to skip the shared prefix —
+    preferring an instruction-level :class:`MidRunCapture` at the injection
+    point (available on snapshot-backed sessions) and falling back to the
+    last workload-step boundary before the trigger step.  Later ranks chain
+    nested captures (see :func:`_resume_member_passthrough`); errno-blind
+    suffixes replicate across errno siblings instead of re-running.
     """
     results: Dict[int, RunResult] = {}
     plan = target.workload_plan(workload)
     engine = options.get("engine")
     snapshots = bool(options.get("snapshots", True))
+    ranks = [scenario_group_rank(entry[1]) for entry in members]
+    ranked = len(set(ranks)) > 1
     probe_index, probe_scenario, probe_seed = members[0]
 
     session = target.open_session(workload, engine=engine, snapshots=snapshots)
@@ -273,31 +718,24 @@ def _run_group_with_sessions(
         )
         probe_coverage = CoverageTracker() if collect_coverage else None
 
+        step_ref, step_hook = _make_step_tracker(probe_gate)
+        light_boundaries = session.template is not None
+        boundary: Dict[str, Any] = {"state": None, "locked": False}
+
         # The hook runs before each workload step and keeps overwriting the
         # boundary until an injection is observed: once step K injects, the
         # last capture is exactly the state before step K — where members
         # resume when no instruction-level capture is available.  On
-        # snapshot-backed sessions the instruction-level capture below is
-        # the resume point, so the boundary only tracks the accumulated
-        # outcome (full per-step OS/gate/coverage captures would be paid on
-        # every probe for nothing).
-        light_boundaries = session.template is not None
-        current_step = {"index": 0}
-        boundary: Dict[str, Any] = {"state": None, "locked": False}
-
+        # snapshot-backed sessions the instruction-level capture is the
+        # resume point, so only the step tracker runs (full per-step
+        # OS/gate/coverage captures would be paid on every probe for
+        # nothing).
         def capture_boundary(index: int, steps_run: int, outcome) -> None:
-            current_step["index"] = index
-            if boundary["locked"]:
+            step_hook(index, steps_run, outcome)
+            if light_boundaries or boundary["locked"]:
                 return
             if probe_gate.injected_calls or probe_gate.observed_injections:
                 boundary["locked"] = True
-                return
-            if light_boundaries:
-                boundary["state"] = {
-                    "index": index,
-                    "outcome": replace(outcome),
-                    "full": False,
-                }
                 return
             gate_state = capture_gate_state(probe_gate)
             if gate_state is None:  # non-standard gate: give up on resuming
@@ -307,7 +745,6 @@ def _run_group_with_sessions(
             boundary["state"] = {
                 "index": index,
                 "outcome": replace(outcome),
-                "full": True,
                 "os": session.capture_os_boundary(),
                 "gate": gate_state,
                 "coverage": (
@@ -317,113 +754,161 @@ def _run_group_with_sessions(
                 ),
             }
 
-        # On snapshot-backed sessions, additionally capture the machine at
-        # the exact injection point (mid-instruction-stream): the observer
-        # fires inside the gate, after the triggers agreed and before the
-        # probe's fault is applied, counted, or logged.
-        mid: Dict[str, Any] = {"capture": None, "record": None}
-        template = session.template
-        if template is not None:
-
-            def observe_injection(name, args, count, ctx, decision) -> None:
-                if mid["capture"] is not None:
-                    return
-                machine = ctx.extras.get("machine")
-                if machine is not template.machine:
-                    return
-                plan_index = next(
-                    (
-                        position
-                        for position, candidate in enumerate(probe_scenario.plans)
-                        if candidate is decision.plan
-                    ),
-                    None,
-                )
-                if plan_index is None:
-                    return
-                capture = MidRunCapture(
-                    machine, base_level=template.snapshot.memory_level
-                )
-                if capture.gate_state is None:
-                    return
-                clock = getattr(ctx.os, "clock", None)
-                mid["capture"] = capture
-                mid["record"] = {
-                    "step": current_step["index"],
-                    "name": name,
-                    "args": args,
-                    "count": count,
-                    "node": ctx.node,
-                    "module": ctx.module,
-                    "source": str(ctx.source) if ctx.source else "",
-                    "stack": list(ctx.stack),
-                    "sim_time": getattr(clock, "now", 0.0) if clock is not None else 0.0,
-                    "fired": list(decision.fired_triggers),
-                    "plan_index": plan_index,
-                }
-
-            probe_gate.inject_observer = observe_injection
-
+        mid = _install_capture_observers(
+            session, probe_gate, probe_scenario, step_ref, want_pre_call=ranked
+        )
         outcome, steps_run = target.execute_plan(
             session, plan, probe_gate, probe_coverage, boundary_hook=capture_boundary
         )
         probe_gate.inject_observer = None
+        probe_gate.call_observer = None
         results[probe_index] = target.finalize_run(
             session, probe_gate, probe_coverage, outcome, steps_run
         )
 
         if not probe_gate.injected_calls:
             # No fault was ever applied — either the shared trigger never
-            # agreed, or the gate observes without injecting.  Both ways the
-            # members' faults are dead weight and all runs are identical —
-            # replicate the probe.
+            # agreed, or the gate observes without injecting.  Ranks only
+            # fire later than the probe's, so no member's fault can apply
+            # either and all runs are identical — replicate the probe.
             for index, _scenario, _seed in members[1:]:
                 results[index] = replicate_result(results[probe_index])
             return results
 
-        state = boundary["state"]
-        for index, scenario, seed in members[1:]:
-            if mid["capture"] is not None:
-                prior = (
-                    replace(state["outcome"])
-                    if state is not None
-                    else Outcome(kind=OutcomeKind.NORMAL)
+        # The active divergence point: the capture, its record, the rank it
+        # belongs to, and — for errno-blind suffix replication — the run
+        # whose suffix it anchors plus that suffix's errno-read delta.
+        libc = getattr(session, "libc", None)
+        reads_end = _errno_read_counter(libc) if libc is not None else None
+        # The compiled engine counts errno reads via predecode-specialized
+        # absolute loads; a program that materializes errno's address
+        # (``&errno``) can read it through a pointer the specialization
+        # cannot see, so the counter — and therefore blindness — is only
+        # trusted for images that provably never take the address.
+        binary = getattr(session, "binary", None)
+        counter_reliable = binary is not None and not getattr(
+            binary, "errno_address_taken", True
+        )
+
+        def suffix_blind(capture: MidRunCapture) -> bool:
+            if not counter_reliable:
+                return False
+            if reads_end is None or capture.libc_errno_reads is None:
+                return False
+            return reads_end == capture.libc_errno_reads
+
+        active = {
+            "capture": mid["capture"],
+            "record": mid["record"],
+            "rank": ranks[0],
+            "source_index": probe_index,
+            "source_scenario": probe_scenario,
+            "source_blind": (
+                mid["capture"] is not None
+                and probe_gate.injected_calls == 1
+                and suffix_blind(mid["capture"])
+            ),
+        }
+        dead = False  # a later-rank member never injected: the rest cannot
+
+        for position, (index, scenario, seed) in enumerate(members[1:], start=1):
+            if dead:
+                results[index] = replicate_result(results[active["source_index"]])
+                continue
+            if active["capture"] is None:
+                # No instruction-level capture: resume from the last full
+                # workload-step boundary, or run plainly when even that is
+                # unavailable.  (The boundary path re-runs the whole
+                # divergence step through the member's own gate, so it is
+                # rank-agnostic by construction.)
+                state = boundary["state"]
+                if state is None:
+                    results[index] = _plain_run(
+                        target, workload, scenario, seed, collect_coverage,
+                        options, observe_only=observe_only,
+                    )
+                    continue
+                gate = make_gate(
+                    scenario,
+                    observe_only=observe_only,
+                    run_seed=seeded_options(options, seed).get("run_seed"),
                 )
+                graft_gate_state(state["gate"], gate)
+                rearm_member_triggers(gate, scenario)
+                coverage = CoverageTracker() if collect_coverage else None
+                if coverage is not None and state["coverage"] is not None:
+                    coverage.restore_state(state["coverage"])
+                session.restore_os_boundary(state["os"])
+                member_outcome, member_steps = target.execute_plan(
+                    session, plan, gate, coverage,
+                    start_index=state["index"],
+                    outcome=replace(state["outcome"]),
+                )
+                results[index] = target.finalize_run(
+                    session, gate, coverage, member_outcome, member_steps
+                )
+                continue
+
+            if ranks[position] == active["rank"]:
+                if active["source_blind"]:
+                    replica = patch_replica_errno(
+                        results[active["source_index"]],
+                        active["source_scenario"],
+                        scenario,
+                    )
+                    if replica is not None:
+                        results[index] = replica
+                        continue
                 results[index] = _resume_member_mid(
                     target, session, plan,
-                    mid["capture"], mid["record"], prior,
+                    active["capture"], active["record"],
                     scenario, seed, collect_coverage, options,
-                )
-                continue
-            if state is None or not state["full"]:
-                # No usable capture (non-standard gate, or a light boundary
-                # whose instruction-level capture fell through): run plainly.
-                results[index] = _plain_run(
-                    target, workload, scenario, seed, collect_coverage, options,
                     observe_only=observe_only,
                 )
+                if not active["source_blind"]:
+                    reads_end = _errno_read_counter(libc) if libc is not None else None
+                    active.update(
+                        source_index=index,
+                        source_scenario=scenario,
+                        source_blind=suffix_blind(active["capture"]),
+                    )
                 continue
-            gate = make_gate(
-                scenario,
+
+            # Rank advance: this member's trigger fires after the active
+            # capture point — pass the call through and run on to its own
+            # injection, nesting a fresh capture there for its siblings.
+            if active["record"]["pre_call_gate"] is None:
+                results[index] = _plain_run(
+                    target, workload, scenario, seed, collect_coverage,
+                    options, observe_only=observe_only,
+                )
+                continue
+            result, nested = _resume_member_passthrough(
+                target, session, plan,
+                active["capture"], active["record"],
+                scenario, seed, collect_coverage, options,
                 observe_only=observe_only,
-                run_seed=seeded_options(options, seed).get("run_seed"),
             )
-            graft_gate_state(state["gate"], gate)
-            coverage = CoverageTracker() if collect_coverage else None
-            if coverage is not None and state["coverage"] is not None:
-                coverage.restore_state(state["coverage"])
-            session.restore_os_boundary(state["os"])
-            member_outcome, member_steps = target.execute_plan(
-                session,
-                plan,
-                gate,
-                coverage,
-                start_index=state["index"],
-                outcome=replace(state["outcome"]),
-            )
-            results[index] = target.finalize_run(
-                session, gate, coverage, member_outcome, member_steps
-            )
+            results[index] = result
+            reads_end = _errno_read_counter(libc) if libc is not None else None
+            if result.injections == 0:
+                # This member's (earliest-remaining) trigger never fired,
+                # so no later member's can either: replicate from here on.
+                dead = True
+                active.update(source_index=index, source_scenario=scenario)
+                continue
+            active = {
+                "capture": nested["capture"],
+                "record": nested["record"],
+                "rank": ranks[position],
+                "source_index": index,
+                "source_scenario": scenario,
+                "source_blind": (
+                    nested["capture"] is not None
+                    and result.injections == 1
+                    and suffix_blind(nested["capture"])
+                ),
+            }
         return results
     finally:
         session.close()
@@ -465,6 +950,48 @@ def _run_group_replicating(
 # ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
+def run_entry_group(
+    target: TargetAdapter,
+    workload: str,
+    members: Sequence[Entry],
+    collect_coverage: bool = False,
+    options: Optional[Dict[str, Any]] = None,
+    observe_only: bool = False,
+) -> Dict[int, RunResult]:
+    """Execute one prefix group; the unit of work a backend task runs.
+
+    Members must share a group base key and be ordered by rank (what
+    :func:`partition_entries` produces).  A single-member group degrades to
+    the plain per-scenario path, so ungrouped entries can be submitted as
+    singleton groups with identical results.
+    """
+    options = dict(options or {})
+    if len(members) == 1:
+        index, scenario, seed = members[0]
+        return {
+            index: _plain_run(
+                target, workload, scenario, seed, collect_coverage, options,
+                observe_only=observe_only,
+            )
+        }
+    if _has_session_api(target):
+        return _run_group_with_sessions(
+            target, workload, members, collect_coverage, options,
+            observe_only=observe_only,
+        )
+    if hasattr(target, "run_prefix_group"):
+        # The target implements its own forkserver-style group path
+        # (e.g. state-forking a Python-level server world).
+        return target.run_prefix_group(
+            workload, members, collect_coverage, options,
+            observe_only=observe_only,
+        )
+    return _run_group_replicating(
+        target, workload, members, collect_coverage, options,
+        observe_only=observe_only,
+    )
+
+
 def iter_shared_runs(
     target: TargetAdapter,
     workload: str,
@@ -481,48 +1008,14 @@ def iter_shared_runs(
     result is bit-identical to what the plain per-scenario path produces.
     """
     options = dict(options or {})
-    groups: Dict[str, List[Entry]] = {}
-    ordered_keys: List[str] = []
-    ungrouped: List[Entry] = []
-    for entry in entries:
-        key = scenario_group_key(entry[1])
-        if key is None:
-            ungrouped.append(entry)
-            continue
-        if key not in groups:
-            groups[key] = []
-            ordered_keys.append(key)
-        groups[key].append(entry)
-
-    for key in ordered_keys:
-        members = groups[key]
-        if len(members) == 1:
-            index, scenario, seed = members[0]
-            yield index, _plain_run(
-                target, workload, scenario, seed, collect_coverage, options,
-                observe_only=observe_only,
-            )
-            continue
-        if _has_session_api(target):
-            results = _run_group_with_sessions(
-                target, workload, members, collect_coverage, options,
-                observe_only=observe_only,
-            )
-        elif hasattr(target, "run_prefix_group"):
-            # The target implements its own forkserver-style group path
-            # (e.g. deepcopy-forking a Python-level server world).
-            results = target.run_prefix_group(
-                workload, members, collect_coverage, options,
-                observe_only=observe_only,
-            )
-        else:
-            results = _run_group_replicating(
-                target, workload, members, collect_coverage, options,
-                observe_only=observe_only,
-            )
+    groups, ungrouped = partition_entries(entries)
+    for members in groups:
+        results = run_entry_group(
+            target, workload, members, collect_coverage=collect_coverage,
+            options=options, observe_only=observe_only,
+        )
         for index in sorted(results):
             yield index, results[index]
-
     for index, scenario, seed in ungrouped:
         yield index, _plain_run(
             target, workload, scenario, seed, collect_coverage, options,
@@ -555,8 +1048,20 @@ def run_scenarios_shared(
 
 __all__ = [
     "SAFE_TRIGGER_CLASSES",
+    "Entry",
+    "build_group_tasks",
+    "errno_sibling_positions",
     "iter_shared_runs",
+    "partition_entries",
+    "patch_replica_errno",
+    "rearm_member_triggers",
+    "replicate_result",
+    "resolve_sharing",
+    "run_entry_group",
     "run_scenarios_shared",
     "scenario_group_key",
+    "scenario_group_key_parts",
+    "scenario_group_rank",
+    "seeded_options",
     "sharing_supported",
 ]

@@ -32,7 +32,11 @@ from repro.core.controller.executor import (
     derive_run_seed,
 )
 from repro.core.controller.monitor import Outcome, RunResult
-from repro.core.controller.prefix import iter_shared_runs, sharing_supported
+from repro.core.controller.prefix import (
+    build_group_tasks,
+    iter_shared_runs,
+    resolve_sharing,
+)
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.exploration.dedup import FailureDeduplicator, UniqueFailure, stack_fingerprint
 from repro.core.exploration.space import FaultPoint, priority_order
@@ -148,11 +152,14 @@ class ExplorationEngine:
         self.seed = seed
         self.workload = workload or (target.workloads()[0] if target.workloads() else "default")
         self.once = once
-        #: ``None`` enables prefix sharing for serial explorations against
-        #: targets declaring deterministic execution; ``False`` forces the
-        #: reference per-point path (the two are bit-identical — sharing is
-        #: purely an execution-time optimization and never leaks into the
-        #: result store, whose keys and seeds stay path-independent).
+        #: ``None`` enables prefix sharing for explorations against targets
+        #: declaring deterministic execution — on every backend: serial
+        #: explorations stream groups inline, pooled ones fan each group
+        #: out as one task.  ``False`` forces the reference per-point path
+        #: (the paths are bit-identical — sharing is purely an
+        #: execution-time optimization and never leaks into the result
+        #: store, whose keys and seeds stay path-independent); ``True``
+        #: demands sharing and raises on non-``prefix_shareable`` targets.
         self.share_prefixes = share_prefixes
         #: Extra ``WorkloadRequest.options`` for every run (e.g.
         #: ``{"engine": "reference"}`` or ``{"snapshots": False}``).
@@ -244,19 +251,14 @@ class ExplorationEngine:
         backend, owned = backend_scope(self.parallelism)
         fresh: dict = {}
         try:
-            serial = isinstance(backend, SerialBackend)
-            sharing = (
-                self.share_prefixes
-                if self.share_prefixes is not None
-                else sharing_supported(self.target)
-            )
+            sharing = resolve_sharing(self.share_prefixes, self.target)
+            entries = [
+                (index, scenarios_by_index[index], seeds_by_index[index])
+                for index, _ in pending
+            ]
             # Stream results and checkpoint each one in the store the moment
             # it is available: a kill mid-campaign loses only in-flight work.
-            if sharing and serial:
-                entries = [
-                    (index, scenarios_by_index[index], seeds_by_index[index])
-                    for index, _ in pending
-                ]
+            if sharing and isinstance(backend, SerialBackend):
                 for index, result in iter_shared_runs(
                     self.target,
                     self.workload,
@@ -264,6 +266,17 @@ class ExplorationEngine:
                     options=dict(self.request_options),
                 ):
                     fresh[index] = checkpoint(index, result)
+            elif sharing:
+                # Group-per-task fan-out: each prefix group is one backend
+                # task, so sharing and pool parallelism compose; a group's
+                # runs are checkpointed together the moment it completes.
+                tasks = build_group_tasks(
+                    self.target, self.workload, entries,
+                    options=dict(self.request_options),
+                )
+                for _task, group_results in backend.run_groups_iter(tasks):
+                    for index in sorted(group_results):
+                        fresh[index] = checkpoint(index, group_results[index])
             else:
                 tasks = [
                     ExecutionTask(
@@ -283,6 +296,16 @@ class ExplorationEngine:
         finally:
             if owned:
                 backend.close()
+
+        missing = [index for index, _ in pending if index not in fresh]
+        if missing:
+            # Every scheduled point must come back with a result; silently
+            # reclassifying dropped runs as "pending" would under-report
+            # executed work (same corrupted-scheduling guard as campaigns).
+            raise RuntimeError(
+                f"execution returned no result for scheduled point indices "
+                f"{missing[:5]}{'...' if len(missing) > 5 else ''}"
+            )
 
         # Assemble outcomes in schedule order, merging store replays with
         # fresh runs; later duplicates of one key collapse onto the store.

@@ -157,6 +157,13 @@ class LibraryCallGate:
         #: exact divergence point; ``None`` (the default) costs one
         #: attribute check per injection.
         self.inject_observer: Optional[Callable[..., None]] = None
+        #: Called as ``observer(name, args)`` at the top of :meth:`call`,
+        #: *before* the call is counted or decided.  The prefix-sharing
+        #: scheduler uses it to snapshot the pre-call gate state of the
+        #: call an injection lands on, so later-rank scenario-group members
+        #: can re-execute that call through their own gates; ``None`` (the
+        #: default) costs one attribute check per gated call.
+        self.call_observer: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -197,6 +204,8 @@ class LibraryCallGate:
         apply_fault: Optional[Callable[[int, Optional[int]], LibcResult]] = None,
         context: Optional[Dict[str, Any]] = None,
     ) -> LibcResult:
+        if self.call_observer is not None:
+            self.call_observer(name, args)
         count = self.count_call(name)
 
         runtime = self.runtime

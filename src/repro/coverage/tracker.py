@@ -64,6 +64,24 @@ class CoverageTracker:
         else:
             self._extra[address] = self._extra.get(address, 0) + count
 
+    def unrecord(self, address: int) -> None:
+        """Undo one :meth:`record` of *address* (never below zero).
+
+        The prefix-sharing scheduler uses this to roll a restored capture
+        back to the state before the instruction it was taken inside, so
+        re-executing that instruction does not double-count it.
+        """
+        counts = self._counts
+        if 0 <= address < len(counts):
+            if counts[address] > 0:
+                counts[address] -= 1
+        elif address in self._extra:
+            remaining = self._extra[address] - 1
+            if remaining > 0:
+                self._extra[address] = remaining
+            else:
+                del self._extra[address]
+
     def finish_run(self) -> None:
         self.runs += 1
 

@@ -18,7 +18,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.isa.instructions import ImportRef, Instruction, Opcode
+from repro.isa import layout
+from repro.isa.instructions import Imm, ImportRef, Instruction, Mem, Opcode
 
 
 @dataclass(frozen=True)
@@ -183,6 +184,39 @@ class BinaryImage:
 
     def source_of(self, address: int) -> Optional[SourceLocation]:
         return self.line_table.get(address)
+
+    @property
+    def errno_address_taken(self) -> bool:
+        """True when the program can materialize ``errno``'s address.
+
+        Scans the instruction stream for an immediate equal to
+        :data:`~repro.isa.layout.ERRNO_ADDRESS` (what ``&errno`` compiles
+        to) or an ``LEA`` of the absolute errno cell.  When either exists,
+        the program may read errno through a pointer the compiled engine's
+        predecode-specialized errno-read counter cannot see, so consumers
+        of the counter (errno-blind suffix replication) must treat it as
+        unreliable for this image.  Mirrors the modeling assumption of the
+        static errno analyses: errno is reached via the well-known absolute
+        address, not via arithmetic that happens to land on it.
+        """
+        cached = getattr(self, "_errno_address_taken", None)
+        if cached is None:
+            cached = False
+            for instruction in self.instructions:
+                for operand in instruction.operands:
+                    if isinstance(operand, Imm) and operand.value == layout.ERRNO_ADDRESS:
+                        cached = True
+                    elif (
+                        instruction.opcode is Opcode.LEA
+                        and isinstance(operand, Mem)
+                        and operand.base is None
+                        and operand.offset == layout.ERRNO_ADDRESS
+                    ):
+                        cached = True
+                if cached:
+                    break
+            self._errno_address_taken = cached
+        return cached
 
     @property
     def exported_functions(self) -> Tuple[str, ...]:

@@ -44,11 +44,25 @@ class LibcFacade:
         self.os = os
         self.gate = gate if gate is not None else _DirectGate()
         self.node = node or os.name
-        self.errno: int = 0
+        self._errno: int = 0
+        #: Program reads of ``errno`` (the :attr:`errno` property counts
+        #: them), mirroring ``SimLibc.errno_reads`` for the VM targets: the
+        #: prefix-sharing scheduler uses the counter to prove a suffix never
+        #: observed errno, collapsing errno-only fault variants.
+        self.errno_reads: int = 0
         self._next_handle = 0x1000
         self._malloc_handles: Dict[int, int] = {}
         self._file_handles: Dict[int, int] = {}
         self._dir_handles: Dict[int, int] = {}
+
+    @property
+    def errno(self) -> int:
+        self.errno_reads += 1
+        return self._errno
+
+    @errno.setter
+    def errno(self, value: int) -> None:
+        self._errno = int(value)
 
     # ------------------------------------------------------------------
     # plumbing

@@ -278,6 +278,12 @@ class SimLibc:
     def __init__(self, os: SimOS) -> None:
         self.os = os
         self.errno: int = 0
+        #: Program reads of the ``errno`` word (the VM engines bump this on
+        #: loads from :data:`~repro.isa.layout.ERRNO_ADDRESS`).  The
+        #: prefix-sharing scheduler uses the counter to prove a post-
+        #: injection suffix never observed errno, making errno-only fault
+        #: variants suffix replicas of one another.
+        self.errno_reads: int = 0
         self._impls: Dict[str, Callable[[Tuple[int, ...], MemoryAccess], int]] = {}
         self._register_implementations()
         #: Data written by fwrite/puts keyed by path, for oracles and tests.

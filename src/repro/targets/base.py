@@ -184,13 +184,15 @@ class ExecutionSession:
             self.os.capture_state(),
             self.libc.errno,
             list(self.libc.assert_messages),
+            self.libc.errno_reads,
         )
 
     def restore_os_boundary(self, boundary: tuple) -> None:
-        os_state, errno, assert_messages = boundary
+        os_state, errno, assert_messages, errno_reads = boundary
         self.os.restore_state(os_state)
         self.libc.errno = errno
         self.libc.assert_messages[:] = list(assert_messages)
+        self.libc.errno_reads = errno_reads
 
     def published_os(self):
         """The OS to hand out in run stats.

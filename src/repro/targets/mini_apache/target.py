@@ -45,8 +45,15 @@ class MiniApacheTarget:
         fs.add_file("/var/www/html/include.php", b"<?php function helper() {} ?>")
         return os
 
-    def make_server(self, request: WorkloadRequest) -> ApacheServer:
-        os = self.make_os()
+    def make_server(self, request: WorkloadRequest, populate: bool = True) -> ApacheServer:
+        """Build a server world for *request*.
+
+        ``populate=False`` skips the document-root fixture: the prefix-
+        sharing fork path restores a captured filesystem wholesale right
+        after construction, so building fixture files only to overwrite
+        them is pure waste on the fork hot path.
+        """
+        os = self.make_os() if populate else SimOS(self.name)
         gate = make_gate(request.scenario, observe_only=request.observe_only,
                          run_seed=request.options.get("run_seed"))
         libc = LibcFacade(os, gate=gate, node="httpd")
@@ -113,6 +120,56 @@ class MiniApacheTarget:
     # ------------------------------------------------------------------
     # prefix-sharing fork path (repro.core.controller.prefix)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _capture_world(server: ApacheServer) -> Dict[str, Any]:
+        """Value-level snapshot of a server world (OS, gate, facade, server).
+
+        One capture serves every fork: the OS subsystems capture by value
+        and restore by rebuilding (PR 4 snapshot plumbing), and the gate
+        graft deep-copies per member, so restores never alias each other.
+        """
+        from repro.vm.snapshot import capture_gate_state
+
+        facade = server.libc
+        return {
+            "os": server.os.capture_state(),
+            "gate": capture_gate_state(facade.gate),
+            "facade": (
+                facade._errno,
+                facade.errno_reads,
+                facade._next_handle,
+                dict(facade._malloc_handles),
+                dict(facade._file_handles),
+                dict(facade._dir_handles),
+            ),
+            "server": (
+                server.requests_handled,
+                server.errors,
+                server.current_method_number,
+            ),
+        }
+
+    @staticmethod
+    def _restore_world(server: ApacheServer, world: Dict[str, Any]) -> None:
+        from repro.vm.snapshot import graft_gate_state
+
+        server.os.restore_state(world["os"])
+        if world["gate"] is not None:
+            graft_gate_state(world["gate"], server.libc.gate)
+        errno, errno_reads, next_handle, mallocs, files, dirs = world["facade"]
+        facade = server.libc
+        facade._errno = errno
+        facade.errno_reads = errno_reads
+        facade._next_handle = next_handle
+        facade._malloc_handles = dict(mallocs)
+        facade._file_handles = dict(files)
+        facade._dir_handles = dict(dirs)
+        (
+            server.requests_handled,
+            server.errors,
+            server.current_method_number,
+        ) = world["server"]
+
     def run_prefix_group(
         self,
         workload: str,
@@ -123,17 +180,30 @@ class MiniApacheTarget:
     ) -> Dict[int, RunResult]:
         """Run one scenario group forkserver-style.
 
-        The group's probe drives the request loop once, tracking only the
-        index of the last request boundary before its trigger fired (an
-        integer assignment per request).  If the trigger never fired, no
-        sibling can inject either and the probe's result is replicated.
+        The group's probe (lowest divergence rank) drives the request loop
+        once, tracking only the index of the last request boundary before
+        its trigger fired (an integer assignment per request).  If the
+        trigger never fired, no sibling can inject either — ranks fire
+        monotonically later — and the probe's result is replicated.
         Otherwise the deterministic prefix — requests before the trigger —
-        is replayed once into a pristine world, and each sibling scenario
-        deep-copies that world, swaps in its own fault (the only thing
-        distinguishing it from the probe), and processes only the
-        remaining requests.
+        is replayed once into a pristine world and captured **by value**
+        (OS/gate/facade/server state); each sibling gets a fresh server
+        built from its own scenario, the captured world restored onto it,
+        and processes only the remaining requests.  Forking is therefore
+        O(touched state) — no ``copy.deepcopy`` over the whole object graph
+        (``options={"fork": "deepcopy"}`` keeps the legacy fork as a
+        benchmark baseline).  Siblings whose faults differ from an already-
+        run member only in errno, when that member's suffix never read
+        errno (the facade's errno-read counter), are suffix replicas: the
+        result is copied with the logged errno patched instead of re-run.
         """
-        from repro.core.controller.prefix import replicate_result, seeded_options
+        from repro.core.controller.prefix import (
+            patch_replica_errno,
+            rearm_member_triggers,
+            replicate_result,
+            scenario_group_rank,
+            seeded_options,
+        )
 
         results: Dict[int, RunResult] = {}
         probe_index, probe_scenario, probe_seed = members[0]
@@ -148,7 +218,7 @@ class MiniApacheTarget:
         gate = server.libc.gate
         uri, requests, post_every = self._workload_params(workload, options)
 
-        boundary: Dict[str, Any] = {"request": 0, "locked": False}
+        boundary: Dict[str, Any] = {"request": 0, "locked": False, "errno_reads": 0}
 
         def track_boundary(index: int) -> None:
             if boundary["locked"]:
@@ -157,6 +227,7 @@ class MiniApacheTarget:
                 boundary["locked"] = True
                 return
             boundary["request"] = index
+            boundary["errno_reads"] = server.libc.errno_reads
 
         outcome = run_python_workload(
             partial(self._request_loop, server, uri, requests, post_every, 0,
@@ -180,15 +251,64 @@ class MiniApacheTarget:
             partial(self._request_loop, prefix_world, uri, boundary["request"],
                     post_every)
         )
+        legacy_fork = options.get("fork") == "deepcopy"
+        world = None if legacy_fork else self._capture_world(prefix_world)
+        if world is not None and world["gate"] is None:
+            # A non-standard gate cannot be captured/grafted; the deepcopy
+            # fork carries any gate, so fall back rather than dropping the
+            # prefix interception state.
+            legacy_fork = True
+            world = None
+
+        # Completed runs usable as errno-blind suffix-replication sources:
+        # (rank, scenario, result, suffix never read errno).  Suffix reads
+        # are measured from the shared boundary, which upper-bounds the
+        # post-injection reads — a zero stays a sound zero.
+        sources = [(
+            scenario_group_rank(probe_scenario),
+            probe_scenario,
+            results[probe_index],
+            server.libc.errno_reads == boundary["errno_reads"],
+        )]
 
         for index, scenario, seed in members[1:]:
-            fork = copy.deepcopy(prefix_world)
-            runtime = fork.libc.gate.runtime
-            # The forked runtime is the probe's minus its fault: swap in
-            # this member's faults (group membership guarantees the plan
-            # structure matches position for position).
-            for plan, member_plan in zip(runtime.scenario.plans, scenario.plans):
-                plan.fault = member_plan.fault
+            rank = scenario_group_rank(scenario)
+            replica = None
+            for source_rank, source_scenario, source_result, blind in sources:
+                if blind and source_rank == rank:
+                    replica = patch_replica_errno(
+                        source_result, source_scenario, scenario
+                    )
+                    if replica is not None:
+                        break
+            if replica is not None:
+                results[index] = replica
+                continue
+
+            member_request = WorkloadRequest(
+                workload=workload,
+                scenario=scenario,
+                observe_only=observe_only,
+                collect_coverage=collect_coverage,
+                options=seeded_options(options, seed),
+            )
+            if legacy_fork:
+                fork = copy.deepcopy(prefix_world)
+                runtime = fork.libc.gate.runtime
+                # The forked runtime is the probe's: swap in this member's
+                # faults and trigger parameters (group membership guarantees
+                # the structure matches position for position).
+                for plan, member_plan in zip(runtime.scenario.plans, scenario.plans):
+                    plan.fault = member_plan.fault
+                for trigger_id, declaration in scenario.triggers.items():
+                    fork_declaration = runtime.scenario.triggers.get(trigger_id)
+                    if fork_declaration is not None:
+                        fork_declaration.params = dict(declaration.params)
+                rearm_member_triggers(fork.libc.gate, scenario)
+            else:
+                fork = self.make_server(member_request, populate=False)
+                self._restore_world(fork, world)
+                rearm_member_triggers(fork.libc.gate, scenario)
             member_outcome = run_python_workload(
                 partial(
                     self._request_loop, fork, uri, requests, post_every,
@@ -196,6 +316,12 @@ class MiniApacheTarget:
                 )
             )
             results[index] = self._result(fork, member_outcome)
+            sources.append((
+                rank,
+                scenario,
+                results[index],
+                fork.libc.errno_reads == boundary["errno_reads"],
+            ))
         return results
 
 

@@ -186,6 +186,14 @@ def _compile_reader(op) -> Callable[[Any], int]:
     if isinstance(op, Mem):
         if op.base is None:
             address = op.offset
+            if address == layout.ERRNO_ADDRESS:
+                # Specialized at predecode time, so the errno-read counter
+                # (see SimLibc.errno_reads) costs nothing on any other load.
+                def read_errno(m):
+                    m.libc.errno_reads += 1
+                    return m._mem_load(address)
+
+                return read_errno
             return lambda m: m._mem_load(address)
         base = REG_SLOT[op.base]
         offset = op.offset

@@ -374,7 +374,10 @@ class Machine:
         if isinstance(operand, Imm):
             return operand.value
         if isinstance(operand, Mem):
-            return self.memory.load(self._address_of(operand))
+            address = self._address_of(operand)
+            if address == layout.ERRNO_ADDRESS:
+                self.libc.errno_reads += 1
+            return self.memory.load(address)
         if isinstance(operand, Label):
             if operand.address is None:
                 raise VMError(f"unresolved label {operand.name!r}")

@@ -160,6 +160,7 @@ class MachineSnapshot:
         self.local_call_counts = dict(machine._local_call_counts)
         self.os_state = machine.os.capture_state()
         self.libc_errno = machine.libc.errno
+        self.libc_errno_reads = getattr(machine.libc, "errno_reads", None)
         self.libc_assert_messages = list(machine.libc.assert_messages)
         self.coverage_state = (
             machine.coverage.capture_state()
@@ -208,6 +209,8 @@ class MachineSnapshot:
         machine = self.restore_execution_state()
         machine.os.restore_state(self.os_state)
         machine.libc.errno = self.libc_errno
+        if self.libc_errno_reads is not None:
+            machine.libc.errno_reads = self.libc_errno_reads
         machine.libc.assert_messages[:] = list(self.libc_assert_messages)
         if self.coverage_state is not None and machine.coverage is not None:
             machine.coverage.restore_state(self.coverage_state)
@@ -219,6 +222,11 @@ class MachineSnapshot:
 # ----------------------------------------------------------------------
 # mid-run captures (instruction-level prefix sharing)
 # ----------------------------------------------------------------------
+#: Sentinel distinguishing "graft the capture's own gate state" from an
+#: explicit ``gate_state=None`` (graft nothing).
+_DEFAULT_GATE_STATE = object()
+
+
 class MidRunCapture:
     """Machine state at an arbitrary mid-run point, restorable repeatedly.
 
@@ -259,6 +267,7 @@ class MidRunCapture:
         self.local_call_counts = dict(machine._local_call_counts)
         self.os_state = machine.os.capture_state()
         self.libc_errno = machine.libc.errno
+        self.libc_errno_reads = getattr(machine.libc, "errno_reads", None)
         self.libc_assert_messages = list(machine.libc.assert_messages)
         self.coverage_state = (
             machine.coverage.capture_state()
@@ -267,12 +276,18 @@ class MidRunCapture:
         )
         self.gate_state = capture_gate_state(machine.gate)
 
-    def restore(self, gate: Any, coverage: Any) -> Machine:
+    def restore(
+        self, gate: Any, coverage: Any, gate_state: Any = _DEFAULT_GATE_STATE
+    ) -> Machine:
         """Put the resident machine back at the capture point, for *gate*.
 
         The fork's own gate receives the captured interception state via
         :func:`graft_gate_state`; a fresh coverage tracker (when given) is
-        loaded with the captured counts.
+        loaded with the captured counts.  ``gate_state`` substitutes a
+        different captured gate state for the graft — the prefix-sharing
+        scheduler passes the *pre-call* state when a later-rank member will
+        re-execute the intercepted call through its own gate instead of
+        replaying the probe's injection.
         """
         machine = self.machine
         memory = machine.memory
@@ -293,11 +308,15 @@ class MidRunCapture:
         machine.trace = list(self.trace) if self.trace is not None else None
         machine.os.restore_state(self.os_state)
         machine.libc.errno = self.libc_errno
+        if self.libc_errno_reads is not None:
+            machine.libc.errno_reads = self.libc_errno_reads
         machine.libc.assert_messages[:] = list(self.libc_assert_messages)
         if coverage is not None and self.coverage_state is not None:
             coverage.restore_state(self.coverage_state)
-        if gate is not None and self.gate_state is not None:
-            graft_gate_state(self.gate_state, gate)
+        if gate_state is _DEFAULT_GATE_STATE:
+            gate_state = self.gate_state
+        if gate is not None and gate_state is not None:
+            graft_gate_state(gate_state, gate)
         machine.rebind(gate=gate, coverage=coverage)
         machine._local_call_counts = dict(self.local_call_counts)
         return machine
