@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Aggregate every BENCH_*.json written by a CI run into one summary file.
+
+Each benchmark script writes its own JSON file; this collects them into a
+single ``BENCH_summary.json`` artifact keyed by benchmark name, so one
+download shows the whole performance trajectory of a commit.  Unreadable
+or missing inputs are recorded (not fatal): the summary must exist even
+when an individual smoke benchmark failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="*", help="BENCH_*.json files to aggregate")
+    parser.add_argument("--output", default="BENCH_summary.json")
+    args = parser.parse_args(argv)
+
+    summary = {"benchmarks": {}, "errors": {}}
+    for path in sorted(set(args.inputs)):
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name == os.path.splitext(os.path.basename(args.output))[0]:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                summary["benchmarks"][name] = json.load(handle)
+        except (OSError, ValueError) as error:
+            summary["errors"][name] = str(error)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"aggregated {len(summary['benchmarks'])} benchmark files "
+        f"({len(summary['errors'])} unreadable) into {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

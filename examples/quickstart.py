@@ -29,12 +29,17 @@ Two knobs worth knowing about:
   the VM's predecoded program is cached on the image itself, the cache now
   also shares the compiled closure array across every run of a campaign.
 * the **execution engine** — ``Machine(..., engine=...)`` picks between
-  ``"compiled"`` (the default: each instruction predecoded once per image
-  into a specialized closure; ~4x the interpreter's steps/sec, see
-  ``benchmarks/bench_vm_speed.py``) and ``"reference"`` (the original
-  decode-as-you-go interpreter, kept as a differential-testing oracle).
+  ``"compiled"`` (the default: instructions predecoded once per image into
+  specialized closures, then straight-line blocks fused into single
+  *superclosure* functions with dead CMP/Jcc flag work elided and a
+  coverage-off hot loop for untracked runs; see
+  ``benchmarks/bench_vm_speed.py`` / ``bench_dataplane.py``),
+  ``"compiled-steps"`` (the per-instruction closure loop, kept as a second
+  oracle and benchmark baseline) and ``"reference"`` (the original
+  decode-as-you-go interpreter, the differential-testing ground truth).
   Compiled targets accept the same knob through
-  ``WorkloadRequest(options={"engine": ...})``.
+  ``WorkloadRequest(options={"engine": ...})``, and ``REPRO_ENGINE`` sets
+  the process-wide default.
 * ``explore()`` — instead of one scenario per suspicious site,
   systematically cover the whole (call site x error return x errno) space
   with a pluggable strategy, deduplicated failures, and a resumable
@@ -71,6 +76,20 @@ Two knobs worth knowing about:
   ``tests/test_prefix_parallel.py``;
   ``benchmarks/bench_prefix_parallel.py`` writes
   ``BENCH_prefix_parallel.json``.
+* **the dataplane: run-to-completion batches + delta results** — pooled
+  shared campaigns shard their scenario groups round-robin into one batch
+  per worker (``GroupBatchTask`` / ``run_group_batches`` in
+  ``repro.core.controller.executor``); each worker drains its batch
+  back-to-back on a warm boot template instead of paying a pool round trip
+  per group.  Workers publish each run's OS on the *delta result channel*:
+  a ``DeltaOSClone`` pickles only the OS subsystems the run changed since
+  boot and rehydrates lazily on the parent against its memoized boot
+  template (``WorkloadRequest(options={"os_channel": "full"})`` restores
+  the full-state clone, the differential oracle).
+  ``benchmarks/bench_dataplane.py`` writes ``BENCH_dataplane.json``;
+  ``tests/test_dataplane.py`` enforces bit-identity through the whole
+  stack.  See the "Execution pipeline architecture" section of the
+  package docstring (``repro/__init__.py``) for the five-layer walk.
 
 Run with::
 

@@ -57,20 +57,29 @@ cost, every later one shares the artifacts.  Cached objects are shared —
 treat them as immutable; ``clear_artifact_cache()`` resets the cache in
 tests.
 
-**VM execution engines.** The VM ships two engines behind one
+**VM execution engines.** The VM ships three engines behind one
 :class:`Machine` API.  ``engine="compiled"`` (the default) predecodes each
 instruction once per image into a specialized closure
-(:mod:`repro.vm.dispatch`): operands become register-slot indices and
+(:mod:`repro.vm.dispatch`) — operands become register-slot indices and
 captured constants, library calls skip context construction entirely when
-no injection runtime handles the function, and the compiled program is
+no injection runtime handles the function — and then fuses straight-line
+basic blocks into **superclosures**: one generated function per block with
+common instruction bodies inlined as source, dead CMP/Jcc flag
+materialization elided (guarded by a bounded flag-liveness scan), and trap
+attribution recovered from the traceback line number only when a trap
+actually propagates.  Runs without a coverage tracker take a further
+specialized loop with no per-step record branch at all; trackers expose a
+``record_block`` batch API for the instrumented loop.  Everything is
 cached on the :class:`~repro.isa.binary.BinaryImage` so every campaign run
 sharing an image (the artifact cache, ``CompiledTarget``'s binary cache)
-reuses it — ``benchmarks/bench_vm_speed.py`` measures >= 4x the reference
-throughput (``BENCH_vm.json``).  ``engine="reference"`` keeps the original
-decode-as-you-go interpreter as a behavioural oracle;
-``tests/test_vm_dispatch.py`` asserts both engines produce identical exit
+reuses the compiled program and fused blocks.  ``engine="compiled-steps"``
+keeps the per-instruction closure loop (the pre-dataplane shape, and a
+second oracle); ``engine="reference"`` keeps the original decode-as-you-go
+interpreter as the behavioural ground truth.  ``tests/test_vm_dispatch.py``
+and ``tests/test_dataplane.py`` assert all engines produce identical exit
 statuses, traces, coverage, call counts, and injection logs — including on
-randomly generated mini-C programs::
+randomly generated mini-C programs — and ``REPRO_ENGINE`` selects the
+process-wide default (the CI oracle leg exports ``REPRO_ENGINE=reference``)::
 
     machine = Machine(binary, engine="reference")   # the slow oracle
     target.run(WorkloadRequest(options={"engine": "reference"}))
@@ -124,6 +133,50 @@ mini_git sweep and the mini_apache trigger campaign);
 ``BENCH_prefix_parallel.json`` (group fan-out vs the old silently-unshared
 pools, prefix-tree sweeps, and the capture/restore fork vs deepcopy).
 
+**Execution pipeline architecture.** A pooled shared campaign run passes
+through five dataplane layers, each independently selectable and each with
+a slow reference oracle the differential suite holds it to:
+
+1. **Block-batched VM execution** (:mod:`repro.vm.dispatch`) — the image
+   is predecoded once into per-instruction closures, straight-line blocks
+   fuse into superclosures, and coverage-off runs skip per-step
+   bookkeeping entirely.  Knobs: ``engine=`` / ``REPRO_ENGINE``
+   (``compiled`` | ``compiled-steps`` | ``reference``).
+2. **Forkserver snapshots** (:mod:`repro.vm.snapshot`,
+   :mod:`repro.core.profiler.cache`) — one resident boot template per
+   (target, workload, engine); requests restore boot state in O(dirty
+   words).  Knobs: ``snapshots=`` / ``REPRO_SNAPSHOTS``.
+3. **Prefix trees** (:mod:`repro.core.controller.prefix`) — scenario
+   groups run their common pre-trigger prefix once; siblings resume from
+   mid-run captures.  Knob: ``share_prefixes=``.
+4. **Run-to-completion pooled batches**
+   (:mod:`repro.core.controller.executor`) — groups are sharded
+   round-robin into one :class:`GroupBatchTask` per worker and each worker
+   drains its batch back-to-back (warm template, one result message)
+   instead of paying a pool round trip per group.  Knob: ``parallelism=``.
+5. **Delta result channel** (:mod:`repro.targets.base`,
+   :mod:`repro.oslib.os_model`) — workers publish each run's OS as a
+   :class:`~repro.targets.base.DeltaOSClone` carrying only the subsystems
+   the run changed since boot; the parent rehydrates lazily against its
+   memoized boot template.  Knob: ``os_channel=`` (``delta`` | ``full``).
+
+Walking the layers from a campaign entry point::
+
+    campaign.run(scenarios,                      # layer 1: engine="compiled"
+                 share_prefixes=True,            # layer 3: prefix groups
+                 parallelism="processes:4")      # layers 4+5: batched pool
+                                                 #   fan-out, delta results
+    campaign.run(scenarios,                      # the full reference stack:
+                 share_prefixes=False,           #   per-scenario runs,
+                 engine="reference",             #   decode-as-you-go VM,
+                 snapshots=False,                #   fresh builds,
+                 os_channel="full")              #   full-state results
+
+``benchmarks/bench_dataplane.py`` measures the stack end to end in
+``BENCH_dataplane.json`` (block-batched VM throughput per engine, pooled
+shared-campaign throughput vs the PR 5 baseline, and published-result wire
+bytes full vs delta).
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,
@@ -137,6 +190,7 @@ The main layers:
 """
 
 from repro.core.analysis.analyzer import AnalysisReport, CallSiteAnalyzer
+from repro.core.controller.campaign import TestCampaign
 from repro.core.controller.controller import ControllerReport, LFIController
 from repro.core.controller.executor import (
     ExecutionBackend,
@@ -208,6 +262,7 @@ __all__ = [
     "ScenarioBuilder",
     "SerialBackend",
     "SimOS",
+    "TestCampaign",
     "ThreadPoolBackend",
     "Trigger",
     "WorkloadRequest",

@@ -183,9 +183,11 @@ class TestCampaign:
                     self.target, self.workload, entries,
                     collect_coverage=collect_coverage, options=dict(options),
                 )
-                collected: Dict[int, RunResult] = {}
-                for group_results in backend.run_groups(tasks):
-                    collected.update(group_results)
+                # Run-to-completion draining: groups are sharded into one
+                # batch per worker and each worker drains its batch without
+                # returning to the pool between groups (results are keyed
+                # by submission index, so batching cannot reorder them).
+                collected = dict(backend.run_group_batches(tasks))
                 missing = [i for i in range(len(scenario_list)) if i not in collected]
                 if missing:
                     raise RuntimeError(

@@ -26,12 +26,18 @@ Backends are context managers; pools are created lazily on first use and
 can be shared across campaigns (the experiment harnesses create one backend
 per table and reuse it for every target).
 
-Two task shapes exist.  :class:`ExecutionTask` is one scenario run — the
+Three task shapes exist.  :class:`ExecutionTask` is one scenario run — the
 plain per-scenario fan-out.  :class:`GroupTask` is one whole **prefix
 group** (see :mod:`repro.core.controller.prefix`): the worker runs the
 group's probe once and resumes every sibling locally, so prefix sharing and
 pool parallelism compose instead of cancelling — ``run_groups`` /
 ``run_groups_iter`` are the group-per-task entry points.
+:class:`GroupBatchTask` is the run-to-completion shape: the campaign's
+groups are sharded round-robin into one batch per worker up front
+(:func:`shard_group_tasks`) and each worker drains its batch back-to-back —
+warm boot template, one result message — instead of paying a pool round
+trip per group; ``run_group_batches`` / ``run_group_batches_iter`` are its
+entry points.
 """
 
 from __future__ import annotations
@@ -140,6 +146,53 @@ def execute_group(task: GroupTask) -> Dict[int, RunResult]:
     )
 
 
+@dataclass
+class GroupBatchTask:
+    """A batch of prefix groups one worker drains run-to-completion.
+
+    The dataplane fan-out unit: where :class:`GroupTask` costs one pool
+    round trip (submit, pickle the target, return the results, pick up the
+    next task) *per group*, a batch ships many groups in a single task and
+    the worker runs them back-to-back — warm boot template, warm predecoded
+    program, one result message.  Groups in a batch keep their submission
+    order, so per-run seeds and member indices are untouched and the merged
+    results stay bit-identical to the group-per-task path.
+    """
+
+    index: int
+    groups: List[GroupTask] = field(default_factory=list)
+
+
+def execute_group_batch(batch: GroupBatchTask) -> Dict[int, RunResult]:
+    """Drain one batch of groups (module-level for process pools)."""
+    merged: Dict[int, RunResult] = {}
+    for group in batch.groups:
+        merged.update(execute_group(group))
+    return merged
+
+
+def shard_group_tasks(
+    tasks: Sequence[GroupTask], shards: int
+) -> List[GroupBatchTask]:
+    """Interleave *tasks* round-robin into at most *shards* batches.
+
+    Round-robin rather than contiguous slicing: campaign builders emit
+    groups in fault-space order, which correlates neighbouring groups'
+    sizes, so contiguous shards would load-balance poorly.  Interleaving
+    by sorted group index keeps the assignment deterministic (independent
+    of completion order) while spreading heavy neighbourhoods across
+    workers.
+    """
+    ordered = sorted(tasks, key=lambda task: task.index)
+    if not ordered:
+        return []
+    shards = max(1, min(shards, len(ordered)))
+    batches = [GroupBatchTask(index=index) for index in range(shards)]
+    for position, task in enumerate(ordered):
+        batches[position % shards].groups.append(task)
+    return batches
+
+
 # ----------------------------------------------------------------------
 # backends
 # ----------------------------------------------------------------------
@@ -157,6 +210,20 @@ class ExecutionBackend(ABC):
         ordered = sorted(tasks, key=lambda task: task.index)
         return self.map(execute_task, [(task,) for task in ordered])
 
+    def _pair_iter(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(item, fn(item))`` pairs incrementally.
+
+        The single delivery policy behind every ``*_iter`` entry point
+        (tasks, groups, group batches): backends override *this* — the
+        serial backend yields lazily after each item, pools yield in
+        completion order — and the entry points stay one-liners instead of
+        three near-copies per backend.  The base implementation degrades to
+        the eager :meth:`map`.
+        """
+        yield from zip(items, self.map(fn, [(item,) for item in items]))
+
     def run_tasks_iter(
         self, tasks: Sequence[ExecutionTask]
     ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
@@ -167,11 +234,10 @@ class ExecutionBackend(ABC):
         after each task) — the caller gets each pair while the rest of the
         batch is still running, which is what lets the exploration engine
         checkpoint completed runs the moment they exist.  Callers needing
-        submission order must reassemble by ``task.index``.  The base
-        implementation degrades to the eager :meth:`run_tasks`.
+        submission order must reassemble by ``task.index``.
         """
         ordered = sorted(tasks, key=lambda task: task.index)
-        yield from zip(ordered, self.map(execute_task, [(task,) for task in ordered]))
+        return self._pair_iter(execute_task, ordered)
 
     def run_groups(self, tasks: Sequence[GroupTask]) -> List[Dict[int, RunResult]]:
         """Execute prefix-group tasks; results ordered by group index.
@@ -190,11 +256,47 @@ class ExecutionBackend(ABC):
 
         Pool backends yield groups in **completion** order (like
         :meth:`run_tasks_iter`) so callers can checkpoint a finished
-        group's runs while slower groups are still executing; the base
-        implementation degrades to the eager :meth:`run_groups`.
+        group's runs while slower groups are still executing.
         """
         ordered = sorted(tasks, key=lambda task: task.index)
-        yield from zip(ordered, self.map(execute_group, [(task,) for task in ordered]))
+        return self._pair_iter(execute_group, ordered)
+
+    def worker_count(self) -> int:
+        """How many tasks this backend can execute concurrently.
+
+        The run-to-completion scheduler shards a campaign's groups into
+        exactly this many batches, so each worker receives one batch and
+        drains it without returning to the pool between groups.
+        """
+        return 1
+
+    def run_group_batches(self, tasks: Sequence[GroupTask]) -> Dict[int, RunResult]:
+        """Drain *tasks* run-to-completion: one batch of groups per worker.
+
+        Instead of a task-per-group fan-out (pool round trip — submit,
+        pickle, result, repeat — per group), the groups are sharded into
+        :meth:`worker_count` batches up front and each worker drains its
+        whole batch before returning.  Results come back keyed by member
+        submission index, so the merged mapping is deterministic regardless
+        of batch completion order.
+        """
+        batches = shard_group_tasks(tasks, self.worker_count())
+        merged: Dict[int, RunResult] = {}
+        for results in self.map(execute_group_batch, [(batch,) for batch in batches]):
+            merged.update(results)
+        return merged
+
+    def run_group_batches_iter(
+        self, tasks: Sequence[GroupTask]
+    ) -> Iterator[Tuple["GroupBatchTask", Dict[int, RunResult]]]:
+        """Yield ``(batch, member results)`` pairs as batches drain.
+
+        The streaming face of :meth:`run_group_batches`: checkpoint cadence
+        is one batch (several groups) rather than one group — the price of
+        eliminating the per-group pool round trips.
+        """
+        batches = shard_group_tasks(tasks, self.worker_count())
+        return self._pair_iter(execute_group_batch, batches)
 
     def close(self) -> None:
         """Release pool resources (no-op for poolless backends)."""
@@ -214,17 +316,14 @@ class SerialBackend(ExecutionBackend):
     def map(self, fn: Callable[..., Any], argument_tuples: Sequence[Tuple]) -> List[Any]:
         return [fn(*arguments) for arguments in argument_tuples]
 
-    def run_tasks_iter(
-        self, tasks: Sequence[ExecutionTask]
-    ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
-        for task in sorted(tasks, key=lambda task: task.index):
-            yield task, execute_task(task)
-
-    def run_groups_iter(
-        self, tasks: Sequence[GroupTask]
-    ) -> Iterator[Tuple[GroupTask, Dict[int, RunResult]]]:
-        for task in sorted(tasks, key=lambda task: task.index):
-            yield task, execute_group(task)
+    def _pair_iter(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[Any, Any]]:
+        # Lazily, one item at a time: the caller sees each result before
+        # the next item starts (the base class would run the whole batch
+        # eagerly through ``map`` first).
+        for item in items:
+            yield item, fn(item)
 
 
 class _PoolBackend(ExecutionBackend):
@@ -279,19 +378,12 @@ class _PoolBackend(ExecutionBackend):
             for future in future_to_item:
                 future.cancel()
 
-    def run_tasks_iter(
-        self, tasks: Sequence[ExecutionTask]
-    ) -> Iterator[Tuple[ExecutionTask, RunResult]]:
-        # Completion order, not submission order: a slow head-of-line task
-        # must not delay checkpointing of tasks that already finished.
-        ordered = sorted(tasks, key=lambda task: task.index)
-        yield from self._completed_iter(execute_task, ordered)
-
-    def run_groups_iter(
-        self, tasks: Sequence[GroupTask]
-    ) -> Iterator[Tuple[GroupTask, Dict[int, RunResult]]]:
-        ordered = sorted(tasks, key=lambda task: task.index)
-        yield from self._completed_iter(execute_group, ordered)
+    def _pair_iter(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[Any, Any]]:
+        # Completion order, not submission order: a slow head-of-line item
+        # must not delay checkpointing of items that already finished.
+        yield from self._completed_iter(fn, items)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -304,10 +396,12 @@ class ThreadPoolBackend(_PoolBackend):
 
     name = "threads"
 
+    def worker_count(self) -> int:
+        return self.workers or min(32, (os.cpu_count() or 1) * 2)
+
     def _make_pool(self) -> futures.Executor:
-        workers = self.workers or min(32, (os.cpu_count() or 1) * 2)
         return futures.ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="lfi-campaign"
+            max_workers=self.worker_count(), thread_name_prefix="lfi-campaign"
         )
 
 
@@ -321,8 +415,11 @@ class ProcessPoolBackend(_PoolBackend):
 
     name = "processes"
 
+    def worker_count(self) -> int:
+        return self.workers or (os.cpu_count() or 1)
+
     def _make_pool(self) -> futures.Executor:
-        workers = self.workers or (os.cpu_count() or 1)
+        workers = self.worker_count()
         mp_context = None
         try:
             import multiprocessing
@@ -431,6 +528,7 @@ def run_requests(
 __all__ = [
     "ExecutionBackend",
     "ExecutionTask",
+    "GroupBatchTask",
     "GroupTask",
     "ParallelismSpec",
     "ProcessPoolBackend",
@@ -439,7 +537,9 @@ __all__ = [
     "backend_scope",
     "derive_run_seed",
     "execute_group",
+    "execute_group_batch",
     "execute_task",
     "resolve_backend",
     "run_requests",
+    "shard_group_tasks",
 ]

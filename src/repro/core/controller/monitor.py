@@ -65,7 +65,16 @@ class Outcome:
 
 @dataclass
 class RunResult:
-    """Everything a campaign records about one workload run."""
+    """Everything a campaign records about one workload run.
+
+    ``stats["os"]`` holds the run's published post-run OS — usually not a
+    :class:`~repro.oslib.os_model.SimOS` but a lazy stand-in
+    (:class:`~repro.oslib.os_model.LazyOSClone`, or on the delta result
+    channel a :class:`~repro.targets.base.DeltaOSClone` whose pickled wire
+    form is just the subsystems the run changed since boot).  Both hydrate
+    transparently on first attribute access, so consumers read
+    ``stats["os"].stdout_text()`` etc. without caring which one they got.
+    """
 
     outcome: Outcome
     log: Optional[InjectionLog] = None

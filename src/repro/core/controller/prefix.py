@@ -703,12 +703,17 @@ def _run_group_with_sessions(
     results: Dict[int, RunResult] = {}
     plan = target.workload_plan(workload)
     engine = options.get("engine")
-    snapshots = bool(options.get("snapshots", True))
+    snapshots = options.get("snapshots")
     ranks = [scenario_group_rank(entry[1]) for entry in members]
     ranked = len(set(ranks)) > 1
     probe_index, probe_scenario, probe_seed = members[0]
 
-    session = target.open_session(workload, engine=engine, snapshots=snapshots)
+    session = target.open_session(
+        workload,
+        engine=engine,
+        snapshots=None if snapshots is None else bool(snapshots),
+        os_channel=options.get("os_channel"),
+    )
     session.shared = True
     try:
         probe_gate = make_gate(

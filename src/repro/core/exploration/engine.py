@@ -267,16 +267,19 @@ class ExplorationEngine:
                 ):
                     fresh[index] = checkpoint(index, result)
             elif sharing:
-                # Group-per-task fan-out: each prefix group is one backend
-                # task, so sharing and pool parallelism compose; a group's
-                # runs are checkpointed together the moment it completes.
+                # Run-to-completion fan-out: groups are sharded into one
+                # batch per worker and each worker drains its batch without
+                # pool round trips between groups.  Checkpoint cadence is
+                # therefore one *batch* (several groups) — coarser than the
+                # old group-per-task streaming, the price of eliminating
+                # the per-group submit/result cycles.
                 tasks = build_group_tasks(
                     self.target, self.workload, entries,
                     options=dict(self.request_options),
                 )
-                for _task, group_results in backend.run_groups_iter(tasks):
-                    for index in sorted(group_results):
-                        fresh[index] = checkpoint(index, group_results[index])
+                for _batch, batch_results in backend.run_group_batches_iter(tasks):
+                    for index in sorted(batch_results):
+                        fresh[index] = checkpoint(index, batch_results[index])
             else:
                 tasks = [
                     ExecutionTask(

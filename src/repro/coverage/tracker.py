@@ -43,6 +43,23 @@ class CoverageTracker:
         else:
             self._add(address, 1)
 
+    def record_block(self, start: int, length: int) -> None:
+        """Record *length* consecutive addresses starting at *start*.
+
+        The block-batched engine calls this once per superclosure instead
+        of :meth:`record` once per instruction; after the VM's ``reserve``
+        the whole block lands in the dense array with no per-address bounds
+        checks.  Equivalent to ``for a in range(start, start+length):
+        record(a)``.
+        """
+        counts = self._counts
+        if 0 <= start and start + length <= len(counts):
+            for address in range(start, start + length):
+                counts[address] += 1
+        else:
+            for address in range(start, start + length):
+                self._add(address, 1)
+
     def reserve(self, size: int) -> None:
         """Pre-size the count array (the VM calls this with the image size)."""
         counts = self._counts

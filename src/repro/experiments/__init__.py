@@ -16,6 +16,7 @@ targets, and ``EXPERIMENTS.md`` records paper-vs-measured values.
 | :mod:`repro.experiments.figure3_pbft_slowdown` | Figure 3 — PBFT slowdown under packet loss |
 | :mod:`repro.experiments.dos_pbft` | §7.3 — PBFT DoS study |
 | :mod:`repro.experiments.analyzer_efficiency` | §7.2 — analyzer running time |
+| :mod:`repro.experiments.mini_bind_campaign` | single-target BIND campaign/exploration driver |
 """
 
 from repro.experiments.common import TableResult, format_table

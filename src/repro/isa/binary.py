@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.isa import layout
-from repro.isa.instructions import Imm, ImportRef, Instruction, Mem, Opcode
+from repro.isa.instructions import Imm, ImportRef, Instruction, Label, Mem, Opcode
 
 
 @dataclass(frozen=True)
@@ -135,6 +135,7 @@ class BinaryImage:
         picklable, and the range table is cheap to rebuild on first use."""
         state = dict(self.__dict__)
         state.pop("_compiled_program", None)
+        state.pop("_compiled_blocks", None)
         state["_range_table"] = None
         return state
 
@@ -216,6 +217,33 @@ class BinaryImage:
                 if cached:
                     break
             self._errno_address_taken = cached
+        return cached
+
+    def block_leaders(self) -> frozenset:
+        """Addresses where control can enter a basic block from elsewhere.
+
+        Leaders are the entry address, every symbol (function starts, which
+        ``call`` reaches), and every resolved :class:`Label` appearing as an
+        operand anywhere — branch targets, but also labels materialized as
+        values, since a program that loads a label can later jump to it.
+        The superclosure compiler (:mod:`repro.vm.dispatch`) never fuses
+        across a leader, so statically-known control transfers always land
+        on a block start (or on an unfused instruction).  Computed jumps can
+        still land mid-block; those addresses simply have no fused entry and
+        execute on the per-instruction path.
+        """
+        cached = getattr(self, "_block_leaders", None)
+        if cached is None:
+            leaders = {0}
+            leaders.update(self.symbols.values())
+            for info in self.functions.values():
+                leaders.add(info.start)
+            for instruction in self.instructions:
+                for operand in instruction.operands:
+                    if isinstance(operand, Label) and operand.address is not None:
+                        leaders.add(operand.address)
+            cached = frozenset(leaders)
+            self._block_leaders = cached
         return cached
 
     @property

@@ -29,6 +29,7 @@ as ``//@check:`` annotations on library-call lines:
 
 from __future__ import annotations
 
+import os as _os_module
 import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -45,9 +46,24 @@ from repro.coverage.tracker import CoverageTracker
 from repro.isa.binary import BinaryImage
 from repro.minicc import compile_source
 from repro.oslib.libc import SimLibc
-from repro.oslib.os_model import SimOS
-from repro.vm.machine import Machine
+from repro.oslib.os_model import SimOS, diff_state, merge_state
+from repro.vm.machine import Machine, resolve_engine
 from repro.vm.snapshot import BootTemplate
+
+
+def default_snapshots() -> bool:
+    """Process-wide default for the snapshot execution path.
+
+    ``REPRO_SNAPSHOTS=0`` (or ``false``/``no``) selects the fresh-build
+    reference path everywhere an explicit request option does not override
+    it — the CI oracle leg runs the whole suite this way to keep the slow
+    differential paths exercised.
+    """
+    return _os_module.environ.get("REPRO_SNAPSHOTS", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -130,6 +146,71 @@ class KnownBug:
 
 
 # ----------------------------------------------------------------------
+# the delta result channel's published-OS stand-in
+# ----------------------------------------------------------------------
+class DeltaOSClone:
+    """A published OS that ships only its difference from the boot state.
+
+    The full captured OS state of a run is dominated by the boot fixture —
+    config files, zone data, environment — that every run of a workload
+    shares.  Instead of re-pickling all of it per run (the pre-dataplane
+    result channel), this stand-in keeps just the subsystem entries that
+    changed since boot and a recipe for the base: ``(target, workload,
+    engine)`` keys the process-wide boot-template cache, so the pool parent
+    rehydrates against its own memoized template rather than unpacking a
+    full state per result.  Hydration is lazy, exactly like
+    :class:`~repro.oslib.os_model.LazyOSClone`: campaigns publish far more
+    OSes than anyone inspects.
+    """
+
+    __slots__ = ("_target", "_workload", "_engine", "_delta", "_os")
+
+    def __init__(self, target, workload: str, engine: Optional[str], delta: dict) -> None:
+        self._target = target
+        self._workload = workload
+        self._engine = engine
+        self._delta = delta
+        self._os = None
+
+    def _hydrate(self) -> SimOS:
+        if self._os is None:
+            template = self._target.boot_template(self._workload, self._engine)
+            state = merge_state(template.snapshot.os_state, self._delta)
+            os = SimOS(state["name"])
+            os.restore_state(state)
+            self._os = os
+        return self._os
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            # Never resolve internals through the proxy (see LazyOSClone:
+            # unpickling would recurse before the slots exist).
+            raise AttributeError(name)
+        return getattr(self._hydrate(), name)
+
+    def __getstate__(self) -> dict:
+        return {
+            "target": self._target,
+            "workload": self._workload,
+            "engine": self._engine,
+            "delta": self._delta,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._target = state["target"]
+        self._workload = state["workload"]
+        self._engine = state["engine"]
+        self._delta = state["delta"]
+        self._os = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaOSClone({self._target.name!r}, {self._workload!r}, "
+            f"{len(self._delta)} changed subsystems)"
+        )
+
+
+# ----------------------------------------------------------------------
 # execution sessions (fresh-build or snapshot-backed)
 # ----------------------------------------------------------------------
 class ExecutionSession:
@@ -149,10 +230,18 @@ class ExecutionSession:
         binary: BinaryImage,
         engine: Optional[str],
         template: Optional[BootTemplate],
+        workload: Optional[str] = None,
+        os_channel: Optional[str] = None,
     ) -> None:
+        self.target = target
         self.binary = binary
         self.engine = engine
         self.template = template
+        self.workload = workload
+        #: Result-channel mode: ``"delta"`` (the default) publishes the OS
+        #: as a boot-state diff; ``"full"`` keeps the pre-dataplane
+        #: full-state clone (benchmark baseline / differential oracle).
+        self.os_channel = os_channel or "delta"
         #: Set by the prefix-sharing scheduler when one session serves
         #: several scenario runs; forces :meth:`published_os` to detach.
         self.shared = False
@@ -201,9 +290,20 @@ class ExecutionSession:
         rewound by the next request (likewise a session shared across a
         scenario group), so a detached clone is published instead — its
         state captured now, its object graph hydrated lazily on first
-        access.  The plain fresh path keeps handing out its own OS.
+        access.  Template-backed sessions publish on the delta channel: a
+        :class:`DeltaOSClone` carrying only the subsystems the run changed
+        since boot, which is what keeps pool workers from re-pickling the
+        whole OS fixture per result.  The plain fresh path keeps handing
+        out its own OS.
         """
-        if self.template is not None or self.shared:
+        if self.template is not None:
+            if self.os_channel != "full" and self.workload is not None:
+                delta = diff_state(
+                    self.template.snapshot.os_state, self.os.capture_state()
+                )
+                return DeltaOSClone(self.target, self.workload, self.engine, delta)
+            return self.os.lazy_clone()
+        if self.shared:
             return self.os.lazy_clone()
         return self.os
 
@@ -262,11 +362,28 @@ class CompiledTarget:
         functions = self.accuracy_functions or None
         return extract_ground_truth(self.source(), functions)
 
+    def boot_template(self, workload: str, engine: Optional[str] = None) -> BootTemplate:
+        """The memoized boot template for ``(workload, engine)``.
+
+        Shared by sessions (which acquire it to run) and by the delta
+        result channel (which only reads its boot OS state to rehydrate
+        published deltas on the pool parent).
+        """
+        engine = resolve_engine(engine)
+        binary = self.binary()
+        key = (workload, engine, libc_spec_fingerprint())
+        return cached_boot_template(
+            self,
+            key,
+            lambda: BootTemplate(Machine(binary, os=self.make_os(), engine=engine)),
+        )
+
     def open_session(
         self,
         workload: str,
         engine: Optional[str] = None,
-        snapshots: bool = True,
+        snapshots: Optional[bool] = None,
+        os_channel: Optional[str] = None,
     ) -> ExecutionSession:
         """Open an execution session: snapshot-backed when possible.
 
@@ -275,23 +392,23 @@ class CompiledTarget:
         libc-spec fingerprint).  Templates are exclusive: losing the
         acquisition race — e.g. a thread-pool campaign running this target
         concurrently — falls back to the fresh-build path, which is
-        observably identical.
+        observably identical.  ``snapshots=None`` defers to
+        :func:`default_snapshots` (the ``REPRO_SNAPSHOTS`` environment
+        default).
         """
         binary = self.binary()
+        if snapshots is None:
+            snapshots = default_snapshots()
         template: Optional[BootTemplate] = None
         if snapshots:
-            key = (workload, engine or "compiled", libc_spec_fingerprint())
-            template = cached_boot_template(
-                self,
-                key,
-                lambda: BootTemplate(
-                    Machine(binary, os=self.make_os(), engine=engine)
-                ),
-            )
+            template = self.boot_template(workload, engine)
             if not template.try_acquire():
                 template = None
         try:
-            return ExecutionSession(self, binary, engine, template)
+            return ExecutionSession(
+                self, binary, engine, template,
+                workload=workload, os_channel=os_channel,
+            )
         except BaseException:
             # A failing boot restore must not leave the template locked
             # (that would silently demote every later request to the
@@ -363,13 +480,16 @@ class CompiledTarget:
     def run(self, request: WorkloadRequest) -> RunResult:
         """Execute one workload, optionally under an injection scenario."""
         plan = self.workload_plan(request.workload)
-        # "compiled" (closure-threaded, the default) or "reference" (the
-        # decode-as-you-go oracle); the differential suite runs both.
+        # "compiled" (block-batched superclosures, the default),
+        # "compiled-steps" (per-instruction closures) or "reference" (the
+        # decode-as-you-go oracle); the differential suite runs all three.
         engine = request.options.get("engine")
+        snapshots = request.options.get("snapshots")
         session = self.open_session(
             request.workload,
             engine=engine,
-            snapshots=bool(request.options.get("snapshots", True)),
+            snapshots=None if snapshots is None else bool(snapshots),
+            os_channel=request.options.get("os_channel"),
         )
         try:
             gate = make_gate(request.scenario, observe_only=request.observe_only,
@@ -383,9 +503,11 @@ class CompiledTarget:
 
 __all__ = [
     "CompiledTarget",
+    "DeltaOSClone",
     "ExecutionSession",
     "GroundTruthEntry",
     "KnownBug",
     "WorkloadStep",
+    "default_snapshots",
     "extract_ground_truth",
 ]

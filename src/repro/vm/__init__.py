@@ -21,8 +21,14 @@ in O(dirty words), and :class:`BootTemplate` keeps a resident machine whose
 boot snapshot replaces per-request target rebuilds.
 """
 
-from repro.vm.dispatch import RegisterFile, compile_program, compiled_program
-from repro.vm.machine import Frame, Machine, VMError
+from repro.vm.dispatch import (
+    RegisterFile,
+    compile_blocks,
+    compile_program,
+    compiled_blocks,
+    compiled_program,
+)
+from repro.vm.machine import Frame, Machine, VMError, resolve_engine
 from repro.vm.memory import Memory
 from repro.vm.outcome import ExitKind, ExitStatus
 from repro.vm.snapshot import (
@@ -45,7 +51,10 @@ __all__ = [
     "RegisterFile",
     "VMError",
     "capture_gate_state",
+    "compile_blocks",
     "compile_program",
+    "compiled_blocks",
     "compiled_program",
     "graft_gate_state",
+    "resolve_engine",
 ]

@@ -25,21 +25,48 @@ program counter (an ``int``) or an **exit triple** ``(ExitKind, code,
 reason)``; traps (memory faults, division by zero, ``SimExit``) still
 propagate as exceptions, exactly as in the reference engine.
 
-The compiled program is cached on the :class:`~repro.isa.binary.BinaryImage`
-itself (:func:`compiled_program`), so images shared through the process-wide
-artifact cache or :class:`~repro.targets.base.CompiledTarget`'s binary cache
-are compiled once per process no matter how many runs a campaign schedules.
+On top of the per-instruction closures, :func:`compile_blocks` fuses
+straight-line **basic blocks into superclosures**: one generated function
+per block (source codegen + ``exec``), with
+
+* common instruction shapes (MOV/arithmetic/PUSH/POP/LEA/jumps) inlined as
+  statements over hoisted locals (``regs``, ``load``, ``store``) — no
+  per-instruction call, no per-instruction pc/steps bookkeeping;
+* CMP/Jcc pairs collapsed into a single conditional branch, with the flag
+  materialization **elided entirely** when a bounded liveness scan proves
+  no other instruction reads the flags (disabled globally if the program
+  has computed jumps, which could land on a Jcc whose CMP was fused away);
+* uninlinable shapes (library calls are never fused; errno loads,
+  unresolved symbols, Mem-destination arithmetic) falling back to the
+  per-instruction closure inside the block;
+* trap attribution recovered *only when a trap propagates*: the generated
+  handler maps the traceback line number of the failing statement back to
+  its instruction offset, so the happy path carries zero bookkeeping.
+
+Block boundaries come from :meth:`BinaryImage.block_leaders` (symbols,
+function starts, and every resolved label target), so no fused block spans
+a jump target; computed jumps that land mid-block simply take the
+single-step path.
+
+Both the compiled program and the fused blocks are cached on the
+:class:`~repro.isa.binary.BinaryImage` itself (:func:`compiled_program`,
+:func:`compiled_blocks`), so images shared through the process-wide
+artifact cache or :class:`~repro.targets.base.CompiledTarget`'s binary
+cache are compiled once per process no matter how many runs a campaign
+schedules.
 
 Behavioural contract: a compiled program must be **observably identical** to
 the reference interpreter — same :class:`~repro.vm.outcome.ExitStatus`
 (including step counts and fault reasons), same trace, coverage, library
-call counts, and injection log.  ``tests/test_vm_dispatch.py`` enforces this
-differentially, including on randomly generated mini-C programs.
+call counts, and injection log.  ``tests/test_vm_dispatch.py`` and
+``tests/test_dataplane.py`` enforce this differentially, including on
+randomly generated mini-C programs.
 """
 
 from __future__ import annotations
 
 import operator
+import sys
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple, Union
 
@@ -139,7 +166,12 @@ class RegisterFile:
 def _signed_div(a: int, b: int) -> int:
     if b == 0:
         raise ZeroDivisionError("integer division by zero")
-    return int(a / b)  # C-style truncation towards zero
+    # C-style truncation towards zero, in exact integer arithmetic:
+    # ``int(a / b)`` goes through a float, which rounds wrongly past 2**53
+    # and overflows outright past float range (values a mini-C loop of
+    # repeated squarings reaches easily).
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
 
 
 def _signed_mod(a: int, b: int) -> int:
@@ -763,6 +795,578 @@ def _deferred_exception(exc_type, exc_args) -> StepFn:
     return raise_at_execution
 
 
+# ----------------------------------------------------------------------
+# superclosures: basic-block fusion over the compiled program
+# ----------------------------------------------------------------------
+#: Opcodes safe to fuse into a straight-line superclosure: no control
+#: transfer, no library-call gate, no observer can fire while one runs.
+#: CALL is deliberately excluded — mid-run captures taken inside a gated
+#: library call read ``machine.pc``/``machine.steps``, which a fused block
+#: only maintains at block granularity.
+_FUSIBLE_OPCODES = frozenset(
+    {
+        Opcode.NOP,
+        Opcode.MOV,
+        Opcode.LEA,
+        Opcode.PUSH,
+        Opcode.POP,
+        Opcode.NEG,
+        Opcode.NOT,
+        Opcode.CMP,
+        Opcode.TEST,
+    }
+) | frozenset(ARITHMETIC)
+
+_CONDITIONAL_JUMPS = frozenset(_CONDITIONS)
+
+#: Cap on sub-closures per superclosure; keeps the generated functions small
+#: enough that a mid-block trap's budget fallback stays cheap.
+_MAX_BLOCK = 24
+
+#: Branch decision as a predicate over the CMP difference (or TEST mask):
+#: ``difference = a - b`` makes every Jcc a comparison against zero, which
+#: is what lets a fused CMP+Jcc skip materializing the flags when dead.
+_TAKEN_ON_VALUE = {
+    Opcode.JE: lambda value: value == 0,
+    Opcode.JNE: lambda value: value != 0,
+    Opcode.JL: lambda value: value < 0,
+    Opcode.JLE: lambda value: value <= 0,
+    Opcode.JG: lambda value: value > 0,
+    Opcode.JGE: lambda value: value >= 0,
+}
+
+
+def _resolved_jump_target(ins: Instruction) -> Optional[int]:
+    if ins.operands:
+        target = ins.operands[0]
+        if isinstance(target, Label) and target.address is not None:
+            return target.address
+    return None
+
+
+def _has_computed_jump(instructions) -> bool:
+    """Whether any jump target is only known at run time.
+
+    A computed jump can land in the middle of a fused block, where execution
+    falls back to the per-instruction path — and would then read whatever
+    flags the last *materialized* CMP left behind.  Dead-flag elision is only
+    sound when every entry into a flag-reading instruction is statically
+    known, so one computed jump anywhere disables elision for the image.
+    """
+    for ins in instructions:
+        opcode = ins.opcode
+        if opcode is Opcode.JMP or opcode in _CONDITIONAL_JUMPS:
+            if _resolved_jump_target(ins) is None:
+                return True
+    return False
+
+
+def _flags_live_after(instructions, successors, budget: int = 64) -> bool:
+    """Whether CMP/TEST flags may still be read on any path from *successors*.
+
+    Conservative forward scan: a path dies when it reaches a CMP/TEST (flags
+    redefined before any read); flags are live on a path that reaches a
+    conditional jump.  CALL/RET/HALT and anything unrecognized are barriers
+    counted as live — a mid-run capture taken inside a library call snapshots
+    the architectural flags, so eliding a flag store across a call would be
+    observable on the snapshot path.
+    """
+    pending = list(successors)
+    seen = set()
+    size = len(instructions)
+    while pending:
+        address = pending.pop()
+        if address in seen:
+            continue
+        seen.add(address)
+        if len(seen) > budget or not 0 <= address < size:
+            return True
+        opcode = instructions[address].opcode
+        if opcode in (Opcode.CMP, Opcode.TEST):
+            continue
+        if opcode in _CONDITIONAL_JUMPS:
+            return True
+        if opcode is Opcode.JMP:
+            target = _resolved_jump_target(instructions[address])
+            if target is None:
+                return True
+            pending.append(target)
+            continue
+        if opcode in _FUSIBLE_OPCODES:
+            pending.append(address + 1)
+            continue
+        return True
+    return False
+
+
+def _compile_cmp_jcc(
+    cmp_ins: Instruction, jcc_ins: Instruction, jcc_addr: int, flags_live: bool
+) -> Optional[StepFn]:
+    """Fuse a CMP/TEST with the conditional jump consuming its flags.
+
+    Returns ``None`` when the jump target is not a resolved label (the
+    generic per-instruction closures handle that case).  With dead flags the
+    pair collapses to a single branch on the comparison value; with live
+    flags the pair still saves a dispatch round trip but materializes the
+    flags exactly as the oracle would.
+    """
+    target = _resolved_jump_target(jcc_ins)
+    if target is None or len(cmp_ins.operands) < 2:
+        return None
+    opcode = jcc_ins.opcode
+    next_pc = jcc_addr + 1
+    a, b = cmp_ins.operands[0], cmp_ins.operands[1]
+    if cmp_ins.opcode is Opcode.CMP and not flags_live:
+        # The hottest shapes — loop counters and guard compares — get fully
+        # specialized branches with no flag stores and no lambda chain.
+        if isinstance(a, Reg) and isinstance(b, Imm):
+            sa = REG_SLOT[a.name]
+            value = b.value
+            if opcode is Opcode.JE:
+                return lambda m: target if m.regs[sa] == value else next_pc
+            if opcode is Opcode.JNE:
+                return lambda m: target if m.regs[sa] != value else next_pc
+            if opcode is Opcode.JL:
+                return lambda m: target if m.regs[sa] < value else next_pc
+            if opcode is Opcode.JLE:
+                return lambda m: target if m.regs[sa] <= value else next_pc
+            if opcode is Opcode.JG:
+                return lambda m: target if m.regs[sa] > value else next_pc
+            if opcode is Opcode.JGE:
+                return lambda m: target if m.regs[sa] >= value else next_pc
+        if isinstance(a, Reg) and isinstance(b, Reg):
+            sa = REG_SLOT[a.name]
+            sb = REG_SLOT[b.name]
+            if opcode is Opcode.JE:
+                return lambda m: target if m.regs[sa] == m.regs[sb] else next_pc
+            if opcode is Opcode.JNE:
+                return lambda m: target if m.regs[sa] != m.regs[sb] else next_pc
+            if opcode is Opcode.JL:
+                return lambda m: target if m.regs[sa] < m.regs[sb] else next_pc
+            if opcode is Opcode.JLE:
+                return lambda m: target if m.regs[sa] <= m.regs[sb] else next_pc
+            if opcode is Opcode.JG:
+                return lambda m: target if m.regs[sa] > m.regs[sb] else next_pc
+            if opcode is Opcode.JGE:
+                return lambda m: target if m.regs[sa] >= m.regs[sb] else next_pc
+    read_a = _compile_reader(a)
+    read_b = _compile_reader(b)
+    taken = _TAKEN_ON_VALUE[opcode]
+    if cmp_ins.opcode is Opcode.TEST:
+        if flags_live:
+
+            def test_jcc_live(m):
+                value = read_a(m) & read_b(m)
+                m.zero_flag = value == 0
+                m.sign_flag = value < 0
+                return target if taken(value) else next_pc
+
+            return test_jcc_live
+
+        def test_jcc(m):
+            return target if taken(read_a(m) & read_b(m)) else next_pc
+
+        return test_jcc
+    if flags_live:
+
+        def cmp_jcc_live(m):
+            difference = read_a(m) - read_b(m)
+            m.zero_flag = difference == 0
+            m.sign_flag = difference < 0
+            return target if taken(difference) else next_pc
+
+        return cmp_jcc_live
+
+    def cmp_jcc(m):
+        return target if taken(read_a(m) - read_b(m)) else next_pc
+
+    return cmp_jcc
+
+
+_ARITH_SYMBOLS = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.AND: "&",
+    Opcode.OR: "|",
+    Opcode.XOR: "^",
+}
+
+_JCC_FLAG_EXPR = {
+    Opcode.JE: "m.zero_flag",
+    Opcode.JNE: "not m.zero_flag",
+    Opcode.JL: "m.sign_flag",
+    Opcode.JLE: "m.sign_flag or m.zero_flag",
+    Opcode.JG: "not (m.sign_flag or m.zero_flag)",
+    Opcode.JGE: "not m.sign_flag",
+}
+
+_JCC_CMP_OP = {
+    Opcode.JE: "==",
+    Opcode.JNE: "!=",
+    Opcode.JL: "<",
+    Opcode.JLE: "<=",
+    Opcode.JG: ">",
+    Opcode.JGE: ">=",
+}
+
+
+def _value_expr(op) -> Optional[str]:
+    """Source expression reading *op* inside a superclosure, or ``None``
+    when only the closure path can read it (errno loads keep their
+    predecode-specialized read counter; unresolved symbols keep their
+    deferred execution-time error)."""
+    if isinstance(op, Reg):
+        return f"regs[{REG_SLOT[op.name]}]"
+    if isinstance(op, Imm):
+        return repr(op.value)
+    if isinstance(op, Label):
+        return repr(op.address) if op.address is not None else None
+    if isinstance(op, DataRef):
+        return repr(op.address) if op.address is not None else None
+    if isinstance(op, Mem):
+        if op.base is None:
+            if op.offset == layout.ERRNO_ADDRESS:
+                return None
+            return f"load({op.offset})"
+        base = REG_SLOT[op.base]
+        if op.offset:
+            return f"load(regs[{base}] + {op.offset})"
+        return f"load(regs[{base}])"
+    return None
+
+
+def _address_expr(op) -> Optional[str]:
+    if isinstance(op, Mem):
+        if op.base is None:
+            return repr(op.offset)
+        base = REG_SLOT[op.base]
+        if op.offset:
+            return f"regs[{base}] + {op.offset}"
+        return f"regs[{base}]"
+    if isinstance(op, DataRef):
+        return repr(op.address) if op.address is not None else None
+    return None
+
+
+def _emit_instruction(ins: Instruction) -> Optional[List[str]]:
+    """Emit *ins* as superclosure source statements, or ``None`` to fall
+    back to calling its per-instruction closure.
+
+    The emitted code assumes the generated function's hoisted locals
+    (``regs``/``load``/``store``) and must fault **before** mutating any
+    state an earlier statement did not already mutate — trap attribution
+    re-executes nothing, so partial effects must match the per-step oracle.
+    """
+    try:
+        return _emit_instruction_unchecked(ins)
+    except (IndexError, KeyError):
+        # Malformed hand-built instructions (missing operands, unknown
+        # register names): the per-instruction closure already defers the
+        # matching error to execution time — route through it.
+        return None
+
+
+def _emit_instruction_unchecked(ins: Instruction) -> Optional[List[str]]:
+    opcode = ins.opcode
+    ops = ins.operands
+    if opcode is Opcode.NOP:
+        return []
+    if opcode is Opcode.MOV:
+        dst, src = ops[0], ops[1]
+        src_expr = _value_expr(src)
+        if src_expr is None:
+            return None
+        if isinstance(dst, Reg):
+            return [f"regs[{REG_SLOT[dst.name]}] = {src_expr}"]
+        if isinstance(dst, Mem):
+            address = _address_expr(dst)
+            if address is None:
+                return None
+            return [f"store({address}, {src_expr})"]
+        return None
+    if opcode is Opcode.LEA:
+        dst, src = ops[0], ops[1]
+        address = _address_expr(src)
+        if address is None or not isinstance(dst, Reg):
+            return None
+        return [f"regs[{REG_SLOT[dst.name]}] = {address}"]
+    if opcode is Opcode.PUSH:
+        src = ops[0]
+        expr = _value_expr(src)
+        if expr is None:
+            return None
+        lines = []
+        if isinstance(src, Mem):
+            # A faulting operand load must leave sp untouched.
+            lines.append(f"_v = {expr}")
+            expr = "_v"
+        lines += [
+            f"sp = regs[{SP_SLOT}] - 1",
+            f"regs[{SP_SLOT}] = sp",
+            f"if sp < {_STACK_LIMIT}:",
+            "    raise _MemoryFault(sp, 'stack overflow')",
+            f"store(sp, {expr})",
+        ]
+        return lines
+    if opcode is Opcode.POP:
+        dst = ops[0]
+        if not isinstance(dst, Reg):
+            return None
+        return [
+            f"sp = regs[{SP_SLOT}]",
+            "_v = load(sp)",
+            f"regs[{SP_SLOT}] = sp + 1",
+            f"regs[{REG_SLOT[dst.name]}] = _v",
+        ]
+    if opcode in ARITHMETIC:
+        dst, src = ops[0], ops[1]
+        if not isinstance(dst, Reg):
+            return None
+        slot = REG_SLOT[dst.name]
+        src_expr = _value_expr(src)
+        if src_expr is None:
+            return None
+        symbol = _ARITH_SYMBOLS.get(opcode)
+        if symbol is not None:
+            return [f"regs[{slot}] {symbol}= {src_expr}"]
+        helper = "_sdiv" if opcode is Opcode.DIV else "_smod"
+        return [f"regs[{slot}] = {helper}(regs[{slot}], {src_expr})"]
+    if opcode is Opcode.NEG:
+        dst = ops[0]
+        if not isinstance(dst, Reg):
+            return None
+        slot = REG_SLOT[dst.name]
+        return [f"regs[{slot}] = -regs[{slot}]"]
+    if opcode is Opcode.NOT:
+        dst = ops[0]
+        if not isinstance(dst, Reg):
+            return None
+        slot = REG_SLOT[dst.name]
+        return [f"regs[{slot}] = 0 if regs[{slot}] else 1"]
+    if opcode in (Opcode.CMP, Opcode.TEST):
+        a_expr = _value_expr(ops[0])
+        b_expr = _value_expr(ops[1])
+        if a_expr is None or b_expr is None:
+            return None
+        combine = "-" if opcode is Opcode.CMP else "&"
+        return [
+            f"_v = ({a_expr}) {combine} ({b_expr})",
+            "m.zero_flag = _v == 0",
+            "m.sign_flag = _v < 0",
+        ]
+    return None
+
+
+def _emit_jump(ins: Instruction, addr: int) -> Optional[List[str]]:
+    """Emit a block-terminating JMP/Jcc with a statically resolved target."""
+    target = _resolved_jump_target(ins)
+    if target is None:
+        return None
+    if ins.opcode is Opcode.JMP:
+        return [f"return {target}"]
+    return [f"return {target} if {_JCC_FLAG_EXPR[ins.opcode]} else {addr + 1}"]
+
+
+def _emit_cmp_jcc(
+    cmp_ins: Instruction, jcc_ins: Instruction, jcc_addr: int, flags_live: bool
+) -> Optional[List[str]]:
+    """Emit a fused CMP/TEST + Jcc terminator.
+
+    With dead flags the pair collapses to one comparison and a branch —
+    no flag stores at all; with live flags the stores stay, matching the
+    oracle bit for bit on the snapshot paths that capture flags.
+    """
+    target = _resolved_jump_target(jcc_ins)
+    if target is None or len(cmp_ins.operands) < 2:
+        return None
+    a_expr = _value_expr(cmp_ins.operands[0])
+    b_expr = _value_expr(cmp_ins.operands[1])
+    if a_expr is None or b_expr is None:
+        return None
+    compare = _JCC_CMP_OP[jcc_ins.opcode]
+    next_pc = jcc_addr + 1
+    if cmp_ins.opcode is Opcode.CMP and not flags_live:
+        return [f"return {target} if ({a_expr}) {compare} ({b_expr}) else {next_pc}"]
+    combine = "-" if cmp_ins.opcode is Opcode.CMP else "&"
+    lines = [f"_v = ({a_expr}) {combine} ({b_expr})"]
+    if flags_live:
+        lines += ["m.zero_flag = _v == 0", "m.sign_flag = _v < 0"]
+    lines.append(f"return {target} if _v {compare} 0 else {next_pc}")
+    return lines
+
+
+#: A block item: inlined source statements, or a per-instruction closure to
+#: call.  Items are indexed by instruction offset within the block (a fused
+#: CMP+Jcc is the last item and covers two instructions; a trap inside it can
+#: only come from the CMP half, so offset attribution stays exact).
+BlockItem = Tuple[str, Any]
+
+
+def _generate_superclosure(items: List[BlockItem], base: int, fall_through: int) -> StepFn:
+    """Generate one function executing a whole basic block.
+
+    The happy path hoists ``m.regs``/``m._mem_load``/``m._mem_store`` into
+    locals once and runs the inlined instruction bodies with **zero**
+    per-instruction bookkeeping.  When anything traps, the handler recovers
+    which instruction raised from the traceback's line number (the exception
+    propagated through this frame, so ``tb_lineno`` is the line of the
+    failing statement) and publishes the trap point as ``m.pc`` /
+    ``m._block_executed`` so the machine loop can attribute steps, coverage,
+    and trace exactly as the per-step oracle would.
+    """
+    namespace: dict = {
+        "_sdiv": _signed_div,
+        "_smod": _signed_mod,
+        "_MemoryFault": MemoryFault,
+        "_exc_info": sys.exc_info,
+    }
+    lines = [
+        "def _fused(m):",
+        "    regs = m.regs",
+        "    load = m._mem_load",
+        "    store = m._mem_store",
+        "    try:",
+    ]
+    line_map: dict = {}
+    last_index = len(items) - 1
+    returned = False
+    for index, (kind, payload) in enumerate(items):
+        start = len(lines) + 1
+        if kind == "call":
+            name = f"_s{index}"
+            namespace[name] = payload
+            if index == last_index:
+                lines.append(f"        return {name}(m)")
+                returned = True
+            else:
+                lines.append(f"        {name}(m)")
+        else:
+            for statement in payload:
+                lines.append("        " + statement)
+            if payload and payload[-1].lstrip().startswith("return"):
+                returned = True
+        for line_number in range(start, len(lines) + 1):
+            line_map[line_number] = index
+    if not returned:
+        lines.append(f"        return {fall_through}")
+    lines += [
+        "    except BaseException:",
+        "        index = _lines[_exc_info()[2].tb_lineno]",
+        f"        m.pc = {base} + index",
+        "        m._block_executed = index + 1",
+        "        raise",
+    ]
+    namespace["_lines"] = line_map
+    exec(compile("\n".join(lines), f"<superclosure@{base:#x}>", "exec"), namespace)
+    return namespace["_fused"]
+
+
+def compile_blocks(
+    binary: BinaryImage, program: List[StepFn]
+) -> Tuple[List[Optional[StepFn]], List[int]]:
+    """Fuse straight-line runs of *program* into superclosures.
+
+    Returns ``(fused, lengths)`` arrays indexed by address: ``fused[a]`` is
+    a superclosure covering ``lengths[a]`` consecutive instructions starting
+    at ``a``, or ``None`` where execution must take the per-instruction
+    path.  Blocks never span a leader (so statically-known jumps always land
+    on a block start), never contain CALL/RET/HALT, and may end with a jump
+    — preferentially a CMP+Jcc pair fused into a single branch closure.
+    """
+    instructions = binary.instructions
+    leaders = binary.block_leaders()
+    size = len(instructions)
+    fused: List[Optional[StepFn]] = [None] * size
+    lengths = [0] * size
+    computed_jumps = _has_computed_jump(instructions)
+    position = 0
+    while position < size:
+        start = position
+        run: List[BlockItem] = []
+        while (
+            position < size
+            and len(run) < _MAX_BLOCK
+            and (position == start or position not in leaders)
+            and instructions[position].opcode in _FUSIBLE_OPCODES
+        ):
+            body = _emit_instruction(instructions[position])
+            run.append(
+                ("inline", body) if body is not None else ("call", program[position])
+            )
+            position += 1
+        if not run:
+            position += 1
+            continue
+        items = run
+        block_length = len(run)
+        if position < size and position not in leaders and len(run) < _MAX_BLOCK:
+            terminator = instructions[position]
+            t_opcode = terminator.opcode
+            if t_opcode in _CONDITIONAL_JUMPS and instructions[position - 1].opcode in (
+                Opcode.CMP,
+                Opcode.TEST,
+            ):
+                target = _resolved_jump_target(terminator)
+                flags_live = computed_jumps or target is None or _flags_live_after(
+                    instructions, (target, position + 1)
+                )
+                try:
+                    pair_lines = _emit_cmp_jcc(
+                        instructions[position - 1], terminator, position, flags_live
+                    )
+                    pair = (
+                        None
+                        if pair_lines is not None
+                        else _compile_cmp_jcc(
+                            instructions[position - 1], terminator, position, flags_live
+                        )
+                    )
+                except (IndexError, KeyError):
+                    # Malformed operands: defer to the per-instruction
+                    # closures, which raise the matching error at run time.
+                    pair_lines = pair = None
+                if pair_lines is not None:
+                    items = run[:-1] + [("inline", pair_lines)]
+                elif pair is not None:
+                    items = run[:-1] + [("call", pair)]
+                else:
+                    items = run + [("call", program[position])]
+                block_length += 1
+                position += 1
+            elif t_opcode is Opcode.JMP or t_opcode in _CONDITIONAL_JUMPS:
+                jump_lines = _emit_jump(terminator, position)
+                items = run + [
+                    ("inline", jump_lines)
+                    if jump_lines is not None
+                    else ("call", program[position])
+                ]
+                block_length += 1
+                position += 1
+        if block_length >= 2:
+            fused[start] = _generate_superclosure(items, start, start + block_length)
+            lengths[start] = block_length
+    return fused, lengths
+
+
+def compiled_blocks(
+    binary: BinaryImage,
+) -> Tuple[List[Optional[StepFn]], List[int]]:
+    """The superclosure arrays for *binary*, built at most once per image.
+
+    Cached alongside :func:`compiled_program`'s closure array and tied to it
+    by identity, so a recompiled program (length change, cache eviction)
+    invalidates the blocks too.
+    """
+    program = compiled_program(binary)
+    cached = getattr(binary, "_compiled_blocks", None)
+    if cached is None or cached[2] is not program:
+        fused, lengths = compile_blocks(binary, program)
+        cached = (fused, lengths, program)
+        binary._compiled_blocks = cached
+    return cached[0], cached[1]
+
+
 def compiled_program(binary: BinaryImage) -> List[StepFn]:
     """The compiled program for *binary*, built at most once per image.
 
@@ -788,6 +1392,8 @@ __all__ = [
     "RETURN_SENTINEL",
     "RegisterFile",
     "VMError",
+    "compile_blocks",
     "compile_program",
+    "compiled_blocks",
     "compiled_program",
 ]

@@ -33,6 +33,7 @@ forkserver-style campaign execution.
 
 from __future__ import annotations
 
+import os as _os_module
 from types import MappingProxyType
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -61,6 +62,7 @@ from repro.vm.dispatch import (
     RegisterFile,
     SP_SLOT,
     VMError,
+    compiled_blocks,
     compiled_program,
 )
 from repro.vm.memory import Memory
@@ -70,7 +72,20 @@ from repro.vm.outcome import ExitKind, ExitStatus
 #: (the runtime itself may legitimately be ``None``).
 _NO_RUNTIME = object()
 
-_ENGINES = ("compiled", "reference")
+_ENGINES = ("compiled", "compiled-steps", "reference")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an engine request to a concrete engine name.
+
+    ``None`` falls back to the ``REPRO_ENGINE`` environment variable — the
+    CI oracle leg runs the whole suite under ``REPRO_ENGINE=reference`` to
+    keep the slow paths exercised — and then to the block-batched compiled
+    engine.  ``"compiled-steps"`` selects the per-instruction compiled loop
+    without superclosure fusion (the PR 5 dataplane baseline, kept both as a
+    benchmark yardstick and as a second differential oracle).
+    """
+    return engine or _os_module.environ.get("REPRO_ENGINE") or "compiled"
 
 
 class Machine:
@@ -90,7 +105,7 @@ class Machine:
         self.os = os if os is not None else SimOS(binary.name)
         self.libc = libc if libc is not None else SimLibc(self.os)
         self.max_steps = max_steps
-        self.engine = engine or "compiled"
+        self.engine = resolve_engine(engine)
         if self.engine not in _ENGINES:
             raise VMError(
                 f"unknown engine {self.engine!r} (expected one of {_ENGINES})"
@@ -111,7 +126,17 @@ class Machine:
         # Bound-method caches for the compiled engine's hot path.
         self._mem_load = self.memory.load
         self._mem_store = self.memory.store
-        self._program = compiled_program(binary) if self.engine == "compiled" else None
+        self._program = (
+            compiled_program(binary) if self.engine != "reference" else None
+        )
+        if self.engine == "compiled":
+            self._fused, self._lengths = compiled_blocks(binary)
+        else:
+            self._fused = None
+            self._lengths = None
+        #: Published by a trapping superclosure: how many of its instructions
+        #: executed (including the trapping one) before the exception.
+        self._block_executed = 0
 
         # Library-call bookkeeping.  When a gate with its own per-function
         # counters is installed the VM reads through to it instead of
@@ -198,6 +223,16 @@ class Machine:
 
     def _run_to_exit(self) -> ExitStatus:
         try:
+            if self._fused is not None:
+                if self.coverage is None and self.trace is None:
+                    # Coverage-off hot loop: no tracker, no trace — the
+                    # whole record/append machinery compiles out.
+                    return self._loop_blocks_plain()
+                if self.coverage is None or hasattr(self.coverage, "record_block"):
+                    return self._loop_blocks_instrumented()
+                # Duck-typed tracker without the batch-record API: fall
+                # back to the per-step loop so it sees every instruction.
+                return self._loop_compiled()
             if self._program is not None:
                 return self._loop_compiled()
             return self._loop()
@@ -217,7 +252,137 @@ class Machine:
             return self._status(ExitKind.VM_ERROR, code=70, reason=f"unhandled OS fault: {fault}")
 
     # ------------------------------------------------------------------
-    # compiled main loop (closure-threaded dispatch)
+    # block-batched main loops (superclosure dispatch)
+    # ------------------------------------------------------------------
+    def _loop_blocks_plain(self) -> ExitStatus:
+        """Coverage-off hot loop: whole basic blocks per dispatch, no
+        record/trace branches anywhere.  This is what campaign runs without
+        a tracker — including every prefix replica — execute on."""
+        program = self._program
+        fused = self._fused
+        lengths = self._lengths
+        size = len(program)
+        max_steps = self.max_steps
+        pc = self.pc
+        steps = self.steps
+        try:
+            while True:
+                if steps >= max_steps:
+                    self.pc = pc
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.MAX_STEPS, code=124, reason=f"exceeded {max_steps} steps"
+                    )
+                if pc < 0 or pc >= size:
+                    self.pc = pc
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.SEGFAULT, code=139,
+                        reason=f"jump outside code segment ({pc:#x})",
+                    )
+                fn = fused[pc]
+                if fn is not None:
+                    length = lengths[pc]
+                    if steps + length <= max_steps:
+                        self.pc = pc
+                        try:
+                            pc = fn(self)
+                        except BaseException:
+                            # The superclosure published pc/_block_executed
+                            # for the instructions that actually ran.
+                            steps += self._block_executed
+                            raise
+                        steps += length
+                        continue
+                    # Budget expires inside this block: drain it on the
+                    # per-instruction path so MAX_STEPS lands exactly where
+                    # the oracle would put it.
+                self.pc = pc
+                steps += 1
+                self.steps = steps
+                result = program[pc](self)
+                if type(result) is int:
+                    pc = result
+                    continue
+                kind, code, reason = result
+                return self._status(kind, code=code, reason=reason)
+        finally:
+            self.steps = steps
+
+    def _loop_blocks_instrumented(self) -> ExitStatus:
+        """Block-batched loop with coverage/trace: one ``record_block`` (and
+        one trace extend) per superclosure instead of per instruction."""
+        program = self._program
+        fused = self._fused
+        lengths = self._lengths
+        size = len(program)
+        max_steps = self.max_steps
+        coverage = self.coverage
+        record = coverage.record if coverage is not None else None
+        record_block = coverage.record_block if coverage is not None else None
+        if coverage is not None:
+            reserve = getattr(coverage, "reserve", None)
+            if reserve is not None:
+                reserve(size)
+        trace = self.trace
+        append = trace.append if trace is not None else None
+        pc = self.pc
+        steps = self.steps
+        try:
+            while True:
+                if steps >= max_steps:
+                    self.pc = pc
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.MAX_STEPS, code=124, reason=f"exceeded {max_steps} steps"
+                    )
+                if pc < 0 or pc >= size:
+                    self.pc = pc
+                    self.steps = steps
+                    return self._status(
+                        ExitKind.SEGFAULT, code=139,
+                        reason=f"jump outside code segment ({pc:#x})",
+                    )
+                fn = fused[pc]
+                if fn is not None:
+                    length = lengths[pc]
+                    if steps + length <= max_steps:
+                        self.pc = pc
+                        try:
+                            next_pc = fn(self)
+                        except BaseException:
+                            executed = self._block_executed
+                            steps += executed
+                            if record_block is not None:
+                                record_block(pc, executed)
+                            if append is not None:
+                                trace.extend(range(pc, pc + executed))
+                            raise
+                        steps += length
+                        if record_block is not None:
+                            record_block(pc, length)
+                        if append is not None:
+                            trace.extend(range(pc, pc + length))
+                        pc = next_pc
+                        continue
+                self.pc = pc
+                steps += 1
+                self.steps = steps
+                if record is not None:
+                    record(pc)
+                if append is not None:
+                    append(pc)
+                result = program[pc](self)
+                if type(result) is int:
+                    pc = result
+                    continue
+                kind, code, reason = result
+                return self._status(kind, code=code, reason=reason)
+        finally:
+            self.steps = steps
+
+    # ------------------------------------------------------------------
+    # compiled main loop (per-step closure-threaded dispatch)
     # ------------------------------------------------------------------
     def _loop_compiled(self) -> ExitStatus:
         program = self._program
@@ -561,4 +726,4 @@ class Machine:
         )
 
 
-__all__ = ["Frame", "Machine", "VMError"]
+__all__ = ["Frame", "Machine", "VMError", "resolve_engine"]

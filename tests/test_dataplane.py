@@ -1,0 +1,581 @@
+"""Differential tests for the dataplane execution core (PR 6).
+
+Four fast paths, each held bit-identical to its slow reference oracle:
+
+* **superclosure block batching** — the ``compiled`` engine fuses
+  straight-line basic blocks into generated functions (dead CMP/Jcc flag
+  work elided); oracles: ``compiled-steps`` (per-instruction closures) and
+  ``reference`` (decode-as-you-go);
+* **coverage-off hot loops** — runs without a tracker/trace skip per-step
+  bookkeeping entirely;
+* **the delta result channel** — pool workers publish each run's OS as a
+  boot-state diff (:class:`~repro.targets.base.DeltaOSClone`), rehydrated
+  lazily against the parent's memoized boot template; oracle:
+  ``os_channel="full"``;
+* **run-to-completion group scheduling** — pooled shared campaigns drain
+  one batch of prefix groups per worker; oracles: the group-per-task path
+  and the serial shared/plain paths.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.controller.campaign import TestCampaign as Campaign
+from repro.core.controller.controller import LFIController
+from repro.core.controller.executor import (
+    GroupBatchTask,
+    GroupTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    execute_group,
+    execute_group_batch,
+    shard_group_tasks,
+)
+from repro.core.controller.prefix import build_group_tasks
+from repro.core.controller.target import WorkloadRequest, make_gate
+from repro.core.scenario.builder import ScenarioBuilder
+from repro.coverage.tracker import CoverageTracker
+from repro.minicc import compile_source
+from repro.oslib.os_model import SimOS, diff_state, merge_state
+from repro.targets.base import DeltaOSClone, default_snapshots
+from repro.targets.mini_bind import MiniBindTarget
+from repro.targets.mini_git import MiniGitTarget
+from repro.targets.pbft import PBFTCheckpointTarget
+from repro.vm.machine import Machine, resolve_engine
+
+ENGINES = ("reference", "compiled-steps", "compiled")
+COMPILED_TARGETS = (MiniGitTarget, MiniBindTarget, PBFTCheckpointTarget)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _status_tuple(status):
+    return (
+        status.kind, status.code, status.reason, status.steps,
+        status.pc, status.source, status.stdout, status.stderr,
+    )
+
+
+def _observe(binary, engine, scenario=None, max_steps=200_000, coverage=True,
+             trace=True):
+    """Run *binary* under one engine and capture every observable output."""
+    os = SimOS("dataplane")
+    gate = make_gate(scenario) if scenario is not None else None
+    tracker = CoverageTracker() if coverage else None
+    machine = Machine(binary, os=os, gate=gate, coverage=tracker,
+                      engine=engine, max_steps=max_steps)
+    if trace:
+        machine.enable_trace()
+    status = machine.run()
+    observed = {
+        "status": _status_tuple(status),
+        "steps": machine.steps,
+        "pc": machine.pc,
+        "calls": dict(machine.library_call_counts),
+        "stdout": os.stdout_text(),
+    }
+    if trace:
+        observed["trace"] = list(machine.trace)
+    if tracker is not None:
+        observed["coverage"] = {
+            a: tracker.hit_count(a) for a in tracker.covered_addresses
+        }
+    if gate is not None:
+        observed["log"] = [record.to_dict() for record in gate.log.records]
+    return observed
+
+
+def assert_all_engines_agree(source, **kwargs):
+    binary = compile_source(source, name="dataplane-diff")
+    reference = _observe(binary, "reference", **kwargs)
+    for engine in ("compiled-steps", "compiled"):
+        assert _observe(binary, engine, **kwargs) == reference, engine
+    return reference
+
+
+def _campaign_observables(campaign):
+    return [
+        {
+            "scenario": outcome.scenario.name,
+            "kind": outcome.outcome.kind,
+            "detail": outcome.outcome.detail,
+            "exit_code": outcome.outcome.exit_code,
+            "location": outcome.outcome.location,
+            "injections": outcome.result.injections,
+            "log": [record.to_dict() for record in outcome.result.log.records],
+        }
+        for outcome in campaign.outcomes
+    ]
+
+
+def _fault_space_scenarios(target):
+    controller = LFIController(target)
+    analysis = controller.analyze_target()
+    points = controller.fault_space(analysis=analysis, include_checked=True)
+    return [point.scenario() for point in points]
+
+
+# ----------------------------------------------------------------------
+# superclosure block batching vs both oracles
+# ----------------------------------------------------------------------
+class TestSuperclosureParity:
+    def test_straight_line_arithmetic_and_branches(self):
+        reference = assert_all_engines_agree(r"""
+            int accumulate(int n) {
+                int total;
+                int i;
+                total = 0;
+                i = 0;
+                while (i < n) {
+                    if (i % 3 == 0) {
+                        total = total + i * 2;
+                    } else {
+                        total = total - 1;
+                    }
+                    i = i + 1;
+                }
+                return total;
+            }
+            int main() {
+                return accumulate(50) % 10;
+            }
+        """)
+        assert reference["status"][0].value == "error-exit" or reference["status"][1] >= 0
+
+    def test_trap_mid_block_division_by_zero(self):
+        # The divide sits mid straight-line block: the superclosure must
+        # attribute the trap to the exact instruction (same pc, same steps,
+        # same partial trace/coverage as executing step by step).
+        assert_all_engines_agree(r"""
+            int main() {
+                int a;
+                int b;
+                int c;
+                a = 7;
+                b = a - 7;
+                c = a / b;
+                return c;
+            }
+        """)
+
+    def test_trap_mid_block_null_store(self):
+        assert_all_engines_agree(r"""
+            int main() {
+                int p;
+                int v;
+                p = 0;
+                v = 41;
+                *p = v;
+                return 0;
+            }
+        """)
+
+    def test_max_steps_expires_mid_block(self):
+        # Sweep the budget across every phase of a loop whose body fuses
+        # into one block: wherever the budget lands, the hang must report
+        # identical pc/steps on all three engines.
+        source = r"""
+            int main() {
+                int i;
+                i = 0;
+                while (i < 100000) {
+                    i = i + 1;
+                }
+                return i;
+            }
+        """
+        binary = compile_source(source, name="dataplane-hang")
+        for budget in (7, 8, 9, 10, 11, 12, 13, 50, 51):
+            reference = _observe(binary, "reference", max_steps=budget)
+            for engine in ("compiled-steps", "compiled"):
+                assert _observe(binary, engine, max_steps=budget) == reference, (
+                    engine, budget,
+                )
+
+    def test_injected_faults_identical(self):
+        scenario = (
+            ScenarioBuilder("dataplane-faults")
+            .trigger("first_malloc", "CallCountTrigger", nth=1)
+            .inject("malloc", ["first_malloc"], return_value=0, errno="ENOMEM")
+            .trigger("second_read", "CallCountTrigger", nth=2)
+            .inject("read", ["second_read"], return_value=-1, errno="EIO")
+            .build()
+        )
+        assert_all_engines_agree(r"""
+            int main() {
+                int fd;
+                int p;
+                int buffer[16];
+                p = malloc(8);
+                if (p == 0) {
+                    puts("oom");
+                }
+                fd = open("/tmp/x", 64);
+                read(fd, buffer, 4);
+                if (read(fd, buffer, 4) < 0) {
+                    puts("read failed");
+                    return 2;
+                }
+                close(fd);
+                return 0;
+            }
+        """, scenario=scenario)
+
+    @pytest.mark.parametrize("target_class", COMPILED_TARGETS)
+    def test_targets_identical_across_engines(self, target_class):
+        target = target_class()
+        workload = target.workloads()[0]
+        scenarios = _fault_space_scenarios(target)[:6]
+
+        def run_all(engine):
+            observed = []
+            for scenario in scenarios:
+                result = target.run(WorkloadRequest(
+                    workload=workload, scenario=scenario,
+                    collect_coverage=True,
+                    options={"engine": engine},
+                ))
+                tracker = result.stats["coverage"]
+                observed.append({
+                    "kind": result.outcome.kind,
+                    "detail": result.outcome.detail,
+                    "injections": result.injections,
+                    "log": [r.to_dict() for r in result.log.records],
+                    "steps_run": result.stats["steps_run"],
+                    "library_calls": result.stats["library_calls"],
+                    "coverage": {
+                        a: tracker.hit_count(a)
+                        for a in tracker.covered_addresses
+                    },
+                })
+            return observed
+
+        reference = run_all("reference")
+        assert run_all("compiled-steps") == reference
+        assert run_all("compiled") == reference
+
+
+# ----------------------------------------------------------------------
+# coverage-off hot loop
+# ----------------------------------------------------------------------
+class TestCoverageOffLoop:
+    SOURCE = r"""
+        int main() {
+            int i;
+            int total;
+            total = 0;
+            i = 0;
+            while (i < 200) {
+                total = total + i;
+                i = i + 1;
+            }
+            if (total > 1000) {
+                return 0;
+            }
+            return 1;
+        }
+    """
+
+    def test_plain_run_matches_reference(self):
+        binary = compile_source(self.SOURCE, name="dataplane-plain")
+        reference = _observe(binary, "reference", coverage=False, trace=False)
+        for engine in ("compiled-steps", "compiled"):
+            assert _observe(binary, engine, coverage=False, trace=False) == \
+                reference, engine
+
+    def test_plain_and_instrumented_agree_on_status(self):
+        binary = compile_source(self.SOURCE, name="dataplane-plain2")
+        plain = _observe(binary, "compiled", coverage=False, trace=False)
+        instrumented = _observe(binary, "compiled", coverage=True, trace=True)
+        assert plain["status"] == instrumented["status"]
+        assert plain["steps"] == instrumented["steps"]
+
+    def test_duck_typed_tracker_without_record_block_sees_every_step(self):
+        # A tracker lacking the batch API must still observe each executed
+        # instruction exactly once per execution (the machine falls back to
+        # the per-step loop).
+        class LegacyTracker:
+            def __init__(self):
+                self.hits = {}
+
+            def record(self, address):
+                self.hits[address] = self.hits.get(address, 0) + 1
+
+            def reserve(self, size):
+                pass
+
+            def finish_run(self):
+                pass
+
+        binary = compile_source(self.SOURCE, name="dataplane-duck")
+        legacy = LegacyTracker()
+        machine = Machine(binary, coverage=legacy, engine="compiled")
+        machine.run()
+        modern = CoverageTracker()
+        other = Machine(binary, coverage=modern, engine="reference")
+        other.run()
+        assert legacy.hits == {
+            a: modern.hit_count(a) for a in modern.covered_addresses
+        }
+
+
+# ----------------------------------------------------------------------
+# CoverageTracker.record_block
+# ----------------------------------------------------------------------
+class TestRecordBlock:
+    def test_equivalent_to_repeated_record(self):
+        batched, stepped = CoverageTracker(), CoverageTracker()
+        batched.reserve(32)
+        stepped.reserve(32)
+        batched.record_block(3, 5)
+        batched.record_block(3, 5)
+        for _ in range(2):
+            for address in range(3, 8):
+                stepped.record(address)
+        assert {a: batched.hit_count(a) for a in batched.covered_addresses} == \
+            {a: stepped.hit_count(a) for a in stepped.covered_addresses}
+
+    def test_grows_past_reserved_window(self):
+        tracker = CoverageTracker()
+        tracker.reserve(4)
+        tracker.record_block(2, 6)  # spills past the dense window
+        assert tracker.covered_addresses == set(range(2, 8))
+        assert all(tracker.hit_count(a) == 1 for a in range(2, 8))
+
+    def test_negative_start_falls_back_to_sparse(self):
+        tracker = CoverageTracker()
+        tracker.record_block(-2, 4)
+        assert tracker.covered_addresses == {-2, -1, 0, 1}
+
+    def test_zero_length_records_nothing(self):
+        tracker = CoverageTracker()
+        tracker.record_block(5, 0)
+        assert tracker.covered_addresses == set()
+
+
+# ----------------------------------------------------------------------
+# run-to-completion group scheduling
+# ----------------------------------------------------------------------
+class TestShardGroupTasks:
+    def _groups(self, count):
+        return [
+            GroupTask(index=i, target=None, workload="w", entries=[(i, None, None)])
+            for i in range(count)
+        ]
+
+    def test_round_robin_interleave(self):
+        batches = shard_group_tasks(self._groups(7), 3)
+        assert [b.index for b in batches] == [0, 1, 2]
+        assert [[g.index for g in b.groups] for b in batches] == [
+            [0, 3, 6], [1, 4], [2, 5],
+        ]
+
+    def test_never_more_batches_than_groups(self):
+        batches = shard_group_tasks(self._groups(2), 8)
+        assert len(batches) == 2
+        assert [[g.index for g in b.groups] for b in batches] == [[0], [1]]
+
+    def test_degenerate_shard_counts(self):
+        assert shard_group_tasks([], 4) == []
+        batches = shard_group_tasks(self._groups(3), 0)
+        assert len(batches) == 1
+        assert [g.index for g in batches[0].groups] == [0, 1, 2]
+
+    def test_assignment_is_deterministic_and_order_free(self):
+        groups = self._groups(9)
+        shuffled = list(reversed(groups))
+        first = shard_group_tasks(groups, 4)
+        second = shard_group_tasks(shuffled, 4)
+        assert [[g.index for g in b.groups] for b in first] == \
+            [[g.index for g in b.groups] for b in second]
+
+
+class TestRunToCompletionDifferential:
+    def test_batch_execution_merges_group_results(self):
+        target = MiniGitTarget()
+        scenarios = _fault_space_scenarios(target)[:8]
+        entries = [(i, s, None) for i, s in enumerate(scenarios)]
+        tasks = build_group_tasks(target, "status", entries)
+        assert len(tasks) > 1
+        per_group = {}
+        for task in tasks:
+            per_group.update(execute_group(task))
+        batch = GroupBatchTask(index=0, groups=tasks)
+        merged = execute_group_batch(batch)
+        assert sorted(merged) == sorted(per_group) == list(range(len(scenarios)))
+
+    def test_serial_batches_equal_run_groups(self):
+        target = MiniGitTarget()
+        scenarios = _fault_space_scenarios(target)[:8]
+        entries = [(i, s, None) for i, s in enumerate(scenarios)]
+        tasks = build_group_tasks(target, "status", entries)
+        backend = SerialBackend()
+        grouped = {}
+        for results in backend.run_groups(tasks):
+            grouped.update(results)
+        batched = backend.run_group_batches(tasks)
+        assert {i: r.outcome.kind for i, r in batched.items()} == \
+            {i: r.outcome.kind for i, r in grouped.items()}
+
+    def test_worker_counts(self):
+        assert SerialBackend().worker_count() == 1
+        assert ThreadPoolBackend(3).worker_count() == 3
+        assert ProcessPoolBackend(2).worker_count() == 2
+        assert ThreadPoolBackend().worker_count() >= 1
+        assert ProcessPoolBackend().worker_count() >= 1
+
+    @pytest.mark.parametrize("spec", ["threads:2", "processes:2"])
+    def test_pooled_batches_identical_to_serial_and_plain(self, spec):
+        target = MiniBindTarget()
+        workload = target.workloads()[0]
+        scenarios = _fault_space_scenarios(target)[:16]
+        campaign = Campaign(target, workload=workload)
+        plain = campaign.run(
+            scenarios, seed=5, include_baseline=False, share_prefixes=False
+        )
+        reference = _campaign_observables(plain)
+        serial_shared = campaign.run(
+            scenarios, seed=5, include_baseline=False, share_prefixes=True
+        )
+        assert _campaign_observables(serial_shared) == reference
+        pooled = campaign.run(
+            scenarios, seed=5, include_baseline=False,
+            share_prefixes=True, parallelism=spec,
+        )
+        assert _campaign_observables(pooled) == reference
+
+
+# ----------------------------------------------------------------------
+# the delta result channel
+# ----------------------------------------------------------------------
+class TestDeltaStateHelpers:
+    def test_diff_and_merge_round_trip(self):
+        base = {"a": 1, "b": [1, 2], "c": {"x": 0}}
+        current = {"a": 1, "b": [1, 2, 3], "c": {"x": 0}, "d": "new"}
+        delta = diff_state(base, current)
+        assert delta == {"b": [1, 2, 3], "d": "new"}
+        assert merge_state(base, delta) == current
+
+    def test_none_values_are_not_confused_with_absence(self):
+        base = {"a": None}
+        assert diff_state(base, {"a": None}) == {}
+        assert diff_state({}, {"a": None}) == {"a": None}
+
+
+class TestDeltaResultChannel:
+    def _run(self, target, scenario, **options):
+        # Pin snapshots on: the delta channel rides the boot template, and
+        # these assertions must hold regardless of the REPRO_SNAPSHOTS
+        # default (the CI oracle leg runs the whole suite with it off).
+        options.setdefault("snapshots", True)
+        return target.run(WorkloadRequest(
+            workload="status", scenario=scenario, options=options
+        ))
+
+    def _scenario(self):
+        return (
+            ScenarioBuilder("delta-diff")
+            .trigger("second_open", "CallCountTrigger", nth=2)
+            .inject("open", ["second_open"], return_value=-1, errno="EMFILE")
+            .build()
+        )
+
+    def test_delta_channel_publishes_delta_clone(self):
+        target = MiniGitTarget()
+        result = self._run(target, self._scenario())
+        assert isinstance(result.stats["os"], DeltaOSClone)
+
+    def test_full_channel_keeps_the_oracle_shape(self):
+        target = MiniGitTarget()
+        result = self._run(target, self._scenario(), os_channel="full")
+        assert not isinstance(result.stats["os"], DeltaOSClone)
+
+    def test_hydrated_delta_state_identical_to_full_channel(self):
+        target = MiniGitTarget()
+        scenario = self._scenario()
+        delta_os = self._run(target, scenario).stats["os"]
+        full_os = self._run(target, scenario, os_channel="full").stats["os"]
+        assert delta_os.capture_state() == full_os.capture_state()
+        assert delta_os.stdout_text() == full_os.stdout_text()
+
+    def test_delta_clone_pickle_round_trip(self):
+        target = MiniGitTarget()
+        result = self._run(target, self._scenario())
+        original = result.stats["os"]
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, DeltaOSClone)
+        assert restored.capture_state() == original.capture_state()
+
+    def test_wire_form_is_smaller_than_full_state(self):
+        target = MiniGitTarget()
+        scenario = self._scenario()
+        delta_result = self._run(target, scenario)
+        full_result = self._run(target, scenario, os_channel="full")
+        delta_bytes = len(pickle.dumps(delta_result))
+        full_bytes = len(pickle.dumps(full_result))
+        assert delta_bytes < full_bytes
+
+    @pytest.mark.parametrize("spec", ["threads:2", "processes:2"])
+    def test_pooled_published_os_identical_to_serial_full(self, spec):
+        target = MiniGitTarget()
+        scenarios = _fault_space_scenarios(target)[:8]
+        campaign = Campaign(target, workload="status")
+        serial_full = campaign.run(
+            scenarios, seed=2, include_baseline=False,
+            snapshots=True, os_channel="full",
+        )
+        pooled = campaign.run(
+            scenarios, seed=2, include_baseline=False,
+            snapshots=True, parallelism=spec,
+        )
+        for reference, outcome in zip(serial_full.outcomes, pooled.outcomes):
+            assert outcome.result.stats["os"].capture_state() == \
+                reference.result.stats["os"].capture_state()
+
+
+# ----------------------------------------------------------------------
+# environment defaults (the CI oracle leg's knobs)
+# ----------------------------------------------------------------------
+class TestEnvironmentDefaults:
+    def test_repro_engine_selects_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine(None) == "compiled"
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert resolve_engine(None) == "reference"
+        assert resolve_engine("compiled") == "compiled"  # explicit wins
+
+    def test_repro_snapshots_selects_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SNAPSHOTS", raising=False)
+        assert default_snapshots() is True
+        for value in ("0", "false", "no"):
+            monkeypatch.setenv("REPRO_SNAPSHOTS", value)
+            assert default_snapshots() is False
+        monkeypatch.setenv("REPRO_SNAPSHOTS", "1")
+        assert default_snapshots() is True
+
+    def test_snapshots_env_default_reaches_sessions(self, monkeypatch):
+        target = MiniGitTarget()
+        monkeypatch.setenv("REPRO_SNAPSHOTS", "0")
+        session = target.open_session("status")
+        try:
+            assert not session.snapshotted
+        finally:
+            session.close()
+        monkeypatch.setenv("REPRO_SNAPSHOTS", "1")
+        session = target.open_session("status")
+        try:
+            assert session.snapshotted
+        finally:
+            session.close()
+
+    def test_reference_engine_machine_runs_through_targets(self, monkeypatch):
+        # The CI oracle leg in one assertion: the whole request path works
+        # with the env-selected reference engine and snapshots off.
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        monkeypatch.setenv("REPRO_SNAPSHOTS", "0")
+        target = MiniGitTarget()
+        result = target.run(WorkloadRequest(workload="status"))
+        assert result.outcome.kind.value == "normal"

@@ -11,6 +11,7 @@ from repro.experiments import (
     analyzer_efficiency,
     dos_pbft,
     figure3_pbft_slowdown,
+    mini_bind_campaign,
     table2_precision,
     table4_accuracy,
     table5_apache_overhead,
@@ -76,6 +77,31 @@ class TestExplorationWiring:
             pruned_comparison.with_lfi.total_coverage
             > pruned_comparison.baseline.total_coverage
         )
+
+
+class TestMiniBindCampaign:
+    """The single-target BIND harness rides the dataplane end to end."""
+
+    def test_campaign_mode_finds_both_planted_bugs(self):
+        result = mini_bind_campaign.run()
+        assert result.column("bug") == [
+            "bind-statschannel-xml", "bind-dst-lib-init-malloc",
+        ]
+        assert result.column("found") == [True, True]
+
+    def test_exploration_mode_resumes_from_store(self, tmp_path):
+        store_path = str(tmp_path / "mini_bind.jsonl")
+        first = mini_bind_campaign.run(exploration=True, store_path=store_path)
+        assert first.column("found") == [True, True]
+        completed = len(ResultStore(store_path))
+        assert completed > 0
+        again = mini_bind_campaign.run(exploration=True, store_path=store_path)
+        assert again.column("found") == [True, True]
+        assert len(ResultStore(store_path)) == completed
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown mini_bind workload"):
+            mini_bind_campaign.run(workload="no-such-workload")
 
 
 class TestHarnesses:

@@ -473,7 +473,13 @@ class TestPrefixTrees:
 
         base.CompiledTarget.execute_plan = counting
         try:
-            results = run_scenarios_shared(target, "default-tests", scenarios)
+            # Snapshots pinned on: suffix replication needs the mid-run
+            # capture machinery, which the REPRO_SNAPSHOTS=0 oracle leg
+            # would otherwise disable.
+            results = run_scenarios_shared(
+                target, "default-tests", scenarios,
+                options={"snapshots": True},
+            )
         finally:
             base.CompiledTarget.execute_plan = original
         assert executions["n"] == 1  # the probe; siblings replicated

@@ -171,6 +171,100 @@ class TestMemoryCheckpoints:
         assert memory.peek(0x5000, default=77) == 77
 
 
+class TestMemoryCheckpointNesting:
+    """Edge cases of nested checkpoints, partial rewinds, and deltas."""
+
+    def test_delta_since_respects_the_requested_level(self):
+        memory = Memory({4600: 1})
+        boot = memory.checkpoint()
+        memory.store(4600, 2)
+        memory.store(4601, 5)
+        mid = memory.checkpoint()
+        memory.store(4600, 3)
+        memory.store(4602, 7)
+        # The inner delta names only post-mid writes; the outer one names
+        # everything since boot, each with its *current* value.
+        assert memory.delta_since(mid) == {4600: 3, 4602: 7}
+        assert memory.delta_since(boot) == {4600: 3, 4601: 5, 4602: 7}
+
+    def test_delta_after_partial_rewind_drops_the_undone_writes(self):
+        memory = Memory({4700: 1})
+        boot = memory.checkpoint()
+        memory.store(4700, 2)
+        memory.store(4701, 9)
+        mid = memory.checkpoint()
+        memory.store(4700, 3)
+        memory.store(4702, 4)
+        memory.rewind(mid)
+        # The mid-level writes are gone; the boot-level ones survive with
+        # their pre-mid values.
+        assert memory.delta_since(boot) == {4700: 2, 4701: 9}
+        # Re-dirtying after the rewind shows up again at both levels.
+        memory.store(4702, 6)
+        assert memory.delta_since(mid) == {4702: 6}
+        assert memory.delta_since(boot) == {4700: 2, 4701: 9, 4702: 6}
+
+    def test_rewind_to_outer_level_undoes_inner_creations(self):
+        # An address absent from the base image, created at the outer level
+        # and overwritten at the inner one, must vanish entirely on a
+        # rewind to boot (not linger with its outer-level value).
+        memory = Memory()
+        boot = memory.checkpoint()
+        memory.store(4800, 1)
+        memory.checkpoint()
+        memory.store(4800, 2)
+        memory.rewind(boot)
+        assert memory.load(4800) == 0
+        assert 4800 not in memory.snapshot()
+        assert memory.checkpoint_depth == 1
+
+    def test_rewind_to_level_keeps_that_level_reusable(self):
+        memory = Memory()
+        boot = memory.checkpoint()
+        memory.store(4900, 1)
+        mid = memory.checkpoint()
+        memory.store(4900, 2)
+        memory.rewind(boot)
+        # Levels above boot are discarded...
+        assert memory.checkpoint_depth == 1
+        with pytest.raises(ValueError):
+            memory.delta_since(mid)
+        with pytest.raises(ValueError):
+            memory.rewind(mid)
+        # ...but boot itself stays active for the next fork.
+        memory.store(4900, 3)
+        assert memory.delta_since(boot) == {4900: 3}
+        memory.rewind(boot)
+        assert memory.load(4900) == 0
+
+    def test_delta_since_includes_stored_zeros(self):
+        # A write of zero is still a write: the delta must carry it so a
+        # replay faithfully reproduces a slot that was zeroed mid-run.
+        memory = Memory({5000: 8})
+        top = layout.STACK_TOP - 4
+        memory.store(top, 6)
+        level = memory.checkpoint()
+        memory.store(5000, 0)
+        memory.store(top, 0)
+        delta = memory.delta_since(level)
+        assert delta == {5000: 0, top: 0}
+        memory.rewind(level)
+        assert memory.load(5000) == 8 and memory.load(top) == 6
+        for address, value in delta.items():
+            memory.poke(address, value)
+        assert memory.load(5000) == 0 and memory.load(top) == 0
+
+    def test_delta_since_invalid_level_raises(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.delta_since(0)
+        memory.checkpoint()
+        with pytest.raises(ValueError):
+            memory.delta_since(1)
+        with pytest.raises(ValueError):
+            memory.delta_since(-1)
+
+
 # ----------------------------------------------------------------------
 # SimOS state capture / restore + reset
 # ----------------------------------------------------------------------
@@ -377,10 +471,13 @@ class TestCompiledTargetSnapshotDifferentials:
         assert cold == fresh
         assert warm == fresh
 
+    # The three template-mechanics tests pin ``snapshots=True`` explicitly:
+    # they assert the snapshot path's internals (cache counters, lock
+    # behavior), which the REPRO_SNAPSHOTS=0 oracle leg turns off by default.
     def test_boot_template_cache_hits_and_clear(self):
         clear_artifact_cache()
         target = MiniGitTarget()
-        request = WorkloadRequest(workload="status")
+        request = WorkloadRequest(workload="status", options={"snapshots": True})
         target.run(request)
         target.run(request)
         stats = artifact_cache_stats()
@@ -392,9 +489,10 @@ class TestCompiledTargetSnapshotDifferentials:
 
     def test_contended_template_falls_back_to_fresh_path(self):
         target = MiniGitTarget()
-        request = WorkloadRequest(workload="status", scenario=_fault_scenario())
+        request = WorkloadRequest(workload="status", scenario=_fault_scenario(),
+                                  options={"snapshots": True})
         baseline = _run_observables(target.run(request))
-        session = target.open_session("status")
+        session = target.open_session("status", snapshots=True)
         assert session.snapshotted
         try:
             # The template is held: the concurrent run must fall back to a
@@ -406,10 +504,10 @@ class TestCompiledTargetSnapshotDifferentials:
 
     def test_template_lock_excludes_concurrent_acquisition(self):
         target = MiniBindTarget()
-        session = target.open_session(target.workloads()[0])
+        session = target.open_session(target.workloads()[0], snapshots=True)
         try:
             assert session.snapshotted
-            other = target.open_session(target.workloads()[0])
+            other = target.open_session(target.workloads()[0], snapshots=True)
             try:
                 assert not other.snapshotted
             finally:

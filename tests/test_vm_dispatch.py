@@ -344,15 +344,18 @@ class TestEngineSelection:
         with pytest.raises(VMError):
             Machine(binary, engine="jit")
 
-    def test_default_engine_is_compiled(self):
+    def test_default_engine_is_compiled(self, monkeypatch):
+        # The built-in default, with the env override out of the picture
+        # (the CI oracle leg sets REPRO_ENGINE=reference suite-wide).
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         binary = compile_source("int main() { return 0; }", name="sel")
         assert Machine(binary).engine == "compiled"
         assert Machine(binary, engine="reference")._program is None
 
     def test_compiled_program_shared_across_machines(self):
         binary = compile_source("int main() { return 0; }", name="sel")
-        first = Machine(binary)
-        second = Machine(binary)
+        first = Machine(binary, engine="compiled")
+        second = Machine(binary, engine="compiled")
         assert first._program is second._program
         assert compiled_program(binary) is first._program
 
@@ -478,12 +481,14 @@ class TestCallCountReadThrough:
             .build()
         )
         gate = make_gate(scenario)
-        machine = Machine(binary, gate=gate)
+        # The mask is interception-fast-path state of the compiled engines;
+        # pin the engine so the REPRO_ENGINE=reference leg still sees it.
+        machine = Machine(binary, gate=gate, engine="compiled")
         machine.run()
         assert machine._handled_mask == frozenset({"malloc"})
         # Swapping the runtime out must invalidate the mask on the next run.
         gate.install_runtime(None)
-        machine = Machine(binary, gate=gate)
+        machine = Machine(binary, gate=gate, engine="compiled")
         machine.run()
         assert machine._handled_mask == frozenset()
 
