@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""CI smoke test for the campaign fabric, exercised through the CLIs.
+
+Boots a real ``repro-campaignd`` coordinator and two worker processes on
+localhost, runs a small mini_git exploration through ``repro-campaign``,
+then proves crash-safe resume: the coordinator is killed, the store is
+truncated mid-record (simulating a kill mid-append), a fresh coordinator
+is started, and resubmitting the same spec must resume the checkpointed
+prefix, repair the torn tail, and re-run only the remainder — ending with
+results identical to the first pass.
+
+Everything the daemons print lands in ``--log-dir`` (uploaded as a CI
+artifact).  Exits non-zero on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+
+SPEC_ARGS = [
+    "--target", "mini_git", "--workload", "status", "--seed", "7",
+    "--functions", "close,malloc",
+]
+
+
+def log(message: str) -> None:
+    print(f"[smoke] {message}", flush=True)
+
+
+def start(args, logfile):
+    handle = open(logfile, "ab", buffering=0)
+    return subprocess.Popen(
+        [sys.executable, "-m", *args], env=ENV, cwd=REPO,
+        stdout=handle, stderr=subprocess.STDOUT,
+    )
+
+
+def wait_for_port(port_file: str, timeout: float = 30.0) -> int:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if os.path.exists(port_file):
+            content = open(port_file, encoding="utf-8").read().strip()
+            if content:
+                return int(content)
+        time.sleep(0.05)
+    raise RuntimeError(f"coordinator never wrote {port_file}")
+
+
+def campaign(port: int, *args: str) -> list:
+    """Run one repro-campaign command; returns its JSON output lines."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.cli.campaign",
+         "--port", str(port), *args],
+        env=ENV, cwd=REPO, capture_output=True, text=True, timeout=300,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"repro-campaign {' '.join(args)} failed "
+            f"(rc={out.returncode}):\n{out.stdout}\n{out.stderr}"
+        )
+    return [json.loads(line) for line in out.stdout.splitlines() if line.strip()]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--log-dir", default="campaignd-logs")
+    options = parser.parse_args()
+    os.makedirs(options.log_dir, exist_ok=True)
+    store = os.path.abspath(os.path.join(options.log_dir, "campaign-store.jsonl"))
+    port_file = os.path.join(options.log_dir, "port.txt")
+    processes = []
+
+    def coordinator_cmd():
+        return ["repro.cli.campaignd", "serve", "--port", "0",
+                "--port-file", port_file, "--shard-size", "4", "-v"]
+
+    try:
+        # ------------------------------------------------------------------
+        # Phase 1: coordinator + 2 workers, full campaign through the CLI.
+        log("phase 1: boot coordinator + 2 workers, run the campaign")
+        coordinator = start(coordinator_cmd(),
+                            os.path.join(options.log_dir, "coordinator-1.log"))
+        processes.append(coordinator)
+        port = wait_for_port(port_file)
+        for i in range(2):
+            processes.append(start(
+                ["repro.cli.campaignd", "worker", "--port", str(port),
+                 "--poll-interval", "0.05"],
+                os.path.join(options.log_dir, f"worker-{i}.log"),
+            ))
+
+        submitted, final = campaign(
+            port, "submit", *SPEC_ARGS, "--store", store, "--wait")
+        total = final["total"]
+        assert final["state"] == "complete", final
+        assert final["completed"] == total, final
+        assert submitted["resumed"] == 0, submitted
+        log(f"phase 1 complete: {total} points, "
+            f"workers seen: {final['workers_seen']}")
+
+        first_pass = campaign(port, "results", submitted["campaign_id"])
+        assert len(first_pass) == total
+
+        # ------------------------------------------------------------------
+        # Phase 2: kill everything, tear the store mid-record, resume.
+        log("phase 2: kill the coordinator, simulate a crash mid-append")
+        for process in processes:
+            process.send_signal(signal.SIGKILL)
+        for process in processes:
+            process.wait(timeout=30)
+        processes.clear()
+        os.unlink(port_file)
+
+        with open(store, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        keep = total // 2
+        with open(store, "wb") as handle:
+            handle.writelines(lines[:keep])
+            handle.write(lines[keep][: len(lines[keep]) // 2])  # torn tail
+        log(f"store truncated to {keep} records plus a torn partial line")
+
+        coordinator = start(coordinator_cmd(),
+                            os.path.join(options.log_dir, "coordinator-2.log"))
+        processes.append(coordinator)
+        port = wait_for_port(port_file)
+        processes.append(start(
+            ["repro.cli.campaignd", "worker", "--port", str(port),
+             "--poll-interval", "0.05"],
+            os.path.join(options.log_dir, "worker-resume.log"),
+        ))
+
+        submitted, final = campaign(
+            port, "submit", *SPEC_ARGS, "--store", store, "--wait")
+        assert submitted["resumed"] == keep, submitted
+        assert final["state"] == "complete", final
+        assert final["executed"] == total - keep, final
+        log(f"resume OK: {keep} checkpointed runs skipped, "
+            f"{total - keep} re-executed")
+
+        second_pass = campaign(port, "results", submitted["campaign_id"])
+        assert second_pass == first_pass, "resumed results differ from phase 1"
+        log(f"merged results identical across the restart ({total} records)")
+        return 0
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

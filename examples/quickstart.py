@@ -90,6 +90,17 @@ Two knobs worth knowing about:
   ``tests/test_dataplane.py`` enforces bit-identity through the whole
   stack.  See the "Execution pipeline architecture" section of the
   package docstring (``repro/__init__.py``) for the five-layer walk.
+* **the campaign fabric** — for explorations that outlive one process,
+  a resident coordinator (``repro-campaignd serve``) accepts campaign
+  specs over a line-oriented JSON protocol (``doc/PROTOCOL.md``),
+  shards the schedule across pull-model worker nodes
+  (``repro-campaignd worker``), streams results as they complete, and
+  checkpoints every record in the same JSON-lines store ``explore()``
+  uses — so killing the daemon, a worker, or both mid-campaign loses
+  nothing: resubmit the same spec (``repro-campaign submit ...
+  --store X.jsonl``) and only unfinished points run.  Results are
+  bit-identical to a local serial ``explore()``.  See the walkthrough
+  at the bottom and ``repro.distributed``.
 
 Run with::
 
@@ -255,6 +266,54 @@ def main() -> None:
     print(f"group-per-task fan-out over {len(git_scenarios)} scenarios "
           f"(threads:2): outcomes identical to serial "
           f"(see benchmarks/bench_prefix_parallel.py)")
+
+    # ------------------------------------------------------------------
+    # The campaign fabric: a resident coordinator + worker nodes.
+    #
+    # Everything above runs inside one process.  The fabric runs the same
+    # exploration as a service: submit a campaign *spec* (target name,
+    # workload, seed, filters — JSON, no pickled objects) to a resident
+    # coordinator, which shards the deterministic schedule across worker
+    # nodes and checkpoints every streamed-in record to the same
+    # JSON-lines store before acknowledging it.  Shell version:
+    #
+    #   repro-campaignd serve --port 7070 &
+    #   repro-campaignd worker --port 7070 &
+    #   repro-campaign submit --target mini_git --workload status \
+    #       --seed 7 --store /tmp/git.jsonl --wait
+    #
+    # Kill the daemon (or a worker, or both) mid-campaign and resubmit
+    # the same command: the reply's "resumed" count shows how much was
+    # served from the store; only unfinished points execute, and the
+    # merged store is bit-identical to a serial explore().  Protocol
+    # reference: doc/PROTOCOL.md.  The same moving parts, in-process:
+    from repro.distributed import (
+        CampaignClient, CampaignCoordinator, CampaignSpec, CampaignWorker,
+    )
+
+    coordinator = CampaignCoordinator(port=0)       # kernel-picked port
+    address = coordinator.start()
+    store_path = os.path.join(tempfile.gettempdir(), "quickstart-fabric.jsonl")
+    if os.path.exists(store_path):
+        os.unlink(store_path)
+    try:
+        with CampaignClient(address) as fabric_client:
+            submitted = fabric_client.submit(CampaignSpec(
+                target="mini_git", workload="status", seed=7,
+                store_path=store_path,
+            ))
+            worker = CampaignWorker(address, worker_id="quickstart-w0")
+            while worker.run_once():                # drain the shard queue
+                pass
+            worker.close()
+            final = fabric_client.status(submitted["campaign_id"])
+            print(f"\ncampaign fabric: {final['completed']}/{final['total']} "
+                  f"points complete via worker nodes (state={final['state']}); "
+                  f"resubmitting resumes from {store_path}")
+    finally:
+        coordinator.stop()
+        if os.path.exists(store_path):
+            os.unlink(store_path)
 
 
 if __name__ == "__main__":

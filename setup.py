@@ -2,10 +2,26 @@
 
 Kept so that ``pip install -e .`` works in offline environments where build
 isolation cannot fetch build requirements (use
-``pip install -e . --no-build-isolation --no-use-pep517`` there); all project
-metadata lives in ``pyproject.toml``.
+``pip install -e . --no-build-isolation --no-use-pep517`` there).
+
+The console scripts are the campaign fabric's entry points; uninstalled
+checkouts reach the same mains via ``python -m repro.cli.campaignd`` /
+``python -m repro.cli.campaign`` with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description="LFI reproduction: high-precision testing of recovery code",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.cli.campaign:main",
+            "repro-campaignd=repro.cli.campaignd:main",
+        ]
+    },
+)

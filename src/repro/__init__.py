@@ -177,6 +177,44 @@ Walking the layers from a campaign entry point::
 shared-campaign throughput vs the PR 5 baseline, and published-result wire
 bytes full vs delta).
 
+**The campaign fabric: a resident coordinator and worker nodes.**  For
+explorations that outlive one process, :mod:`repro.distributed` runs the
+same campaigns as a service.  A resident coordinator daemon
+(``repro-campaignd serve``) accepts :class:`~repro.distributed.CampaignSpec`
+submissions over a line-oriented JSON wire protocol (one JSON object per
+newline-terminated line — the result store's own format; reference:
+``doc/PROTOCOL.md``), shards the schedule across pull-model worker nodes
+(``repro-campaignd worker``, each wrapping the local engine/pool stack
+above), and streams results to tailing clients as they complete.  Because
+the schedule is a pure function of the spec, coordinator and workers derive
+it independently and exchange only ``(spec, schedule indices)`` — and the
+merged results are **bit-identical** to a serial
+:meth:`ExplorationEngine.explore` run.  Worker links carry leases with
+heartbeats: a dead worker's unfinished shard re-queues automatically, and a
+slow worker whose lease was reassigned is told ``stale_lease`` (duplicate
+records are idempotent).  Every record is flushed — and fsynced, under the
+default ``durable`` knob — to the campaign's JSON-lines store *before* it
+is acknowledged, so the store is the only durable state: kill the
+coordinator (or a worker, or both) mid-campaign, restart, and resubmitting
+the same spec resumes from the checkpoint, re-running nothing already
+stored.  A torn final line (a kill mid-append) is detected and truncated;
+interior store corruption raises
+:class:`~repro.core.exploration.StoreCorruptError` instead of silently
+mis-scheduling completed work.  The ``repro-campaign`` CLI wraps the client
+side (``submit``/``status``/``tail``/``results``/``cancel``)::
+
+    $ repro-campaignd serve --port 7070 &
+    $ repro-campaignd worker --port 7070 &
+    $ repro-campaign submit --target mini_git --workload status \\
+          --seed 7 --store /tmp/git.jsonl --wait
+    # ... kill the daemon mid-campaign, restart it, and resubmit:
+    $ repro-campaign submit --target mini_git --workload status \\
+          --seed 7 --store /tmp/git.jsonl --wait   # "resumed": <n done>
+
+``tests/test_campaignd.py`` drives a multi-worker campaign through the
+wire protocol, kills a worker and the coordinator mid-campaign, and
+asserts the merged results stay bit-identical to the serial oracle.
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,

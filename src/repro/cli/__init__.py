@@ -1,0 +1,12 @@
+"""Command-line entry points.
+
+Installed as console scripts by ``setup.py`` and runnable uninstalled via
+``python -m``:
+
+* ``repro-campaignd`` (:mod:`repro.cli.campaignd`) — run the resident
+  campaign coordinator (``serve``) or a worker node (``worker``);
+* ``repro-campaign`` (:mod:`repro.cli.campaign`) — the client: submit,
+  status, tail, results, cancel, list, ping, shutdown.
+
+See ``doc/PROTOCOL.md`` for the wire protocol these speak.
+"""

@@ -33,7 +33,11 @@ next run starts.  On the next ``explore()`` with the same store, completed
 point keys are replayed from disk and only the remainder executes; per-run
 seeds derive from each point's position in the full schedule, so a resumed
 run gets the seed it would have received uninterrupted.  A torn final line
-(hard kill mid-write) is discarded and that single run re-executes.
+(hard kill mid-write) is discarded — and truncated away before the next
+append — so that single run re-executes; corruption anywhere *else* in the
+file raises :class:`~repro.core.exploration.store.StoreCorruptError`
+instead of silently mis-scheduling completed work.  Records are flushed per
+run and fsynced when the store is opened ``durable=True`` (the default).
 
 **Deduplication** (:mod:`~repro.core.exploration.dedup`).  Injection-exposed
 failures (a fault was actually injected and the run failed) are grouped by
@@ -74,7 +78,7 @@ from repro.core.exploration.space import (
     enumerate_fault_space,
     priority_order,
 )
-from repro.core.exploration.store import ResultStore, StoredResult
+from repro.core.exploration.store import ResultStore, StoreCorruptError, StoredResult
 from repro.core.exploration.strategy import (
     BoundarySampleStrategy,
     ExhaustiveStrategy,
@@ -95,6 +99,7 @@ __all__ = [
     "FaultPoint",
     "RandomSampleStrategy",
     "ResultStore",
+    "StoreCorruptError",
     "StoredResult",
     "UniqueFailure",
     "enumerate_fault_space",

@@ -22,7 +22,7 @@ Determinism contract (the property the tests pin down):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.controller.executor import (
     ExecutionTask,
@@ -173,12 +173,186 @@ class ExplorationEngine:
     def _run_key(self, point: FaultPoint) -> str:
         return f"{self.workload}|{point.key}"
 
+    def run_key(self, point: FaultPoint) -> str:
+        """The store/resume key of *point* under this engine's workload."""
+        return self._run_key(point)
+
+    def schedule_keys(self, points: Sequence[FaultPoint]) -> List[str]:
+        """Store keys of the full schedule, in schedule order.
+
+        What a campaign coordinator needs to shard and track an exploration
+        without holding the points themselves: the key list is a pure
+        function of (fault space, strategy, workload), so every party that
+        can enumerate the space derives the identical list.
+        """
+        return [self._run_key(point) for point in self.schedule(points)]
+
     def _fingerprint(self, result: RunResult, point: FaultPoint) -> str:
         record = result.log.last_injection() if result.log is not None else None
         fallback = result.outcome.location or result.outcome.detail or point.key
         if record is not None and record.stack:
             return stack_fingerprint(record.stack)
         return stack_fingerprint([], fallback=fallback)
+
+    # ------------------------------------------------------------------
+    def plan(
+        self, points: Sequence[FaultPoint]
+    ) -> Tuple[List[FaultPoint], List[Tuple[int, FaultPoint]]]:
+        """Compute ``(schedule, pending)`` against the current store.
+
+        *pending* is the list of ``(schedule index, point)`` pairs with no
+        completed record yet.  Every already-completed point is validated
+        for resumability here — a replayed result must carry exactly the
+        seed this schedule would derive, otherwise the merged report would
+        be reproducible by no seed — so callers (the engine itself, the
+        campaign coordinator at submit time) fail fast on a store that was
+        written under a different seed or strategy.
+        """
+        schedule = self.schedule(points)
+        completed = self.store.completed_keys()
+        pending: List[Tuple[int, FaultPoint]] = []
+        for index, point in enumerate(schedule):
+            key = self._run_key(point)
+            if key not in completed:
+                pending.append((index, point))
+                continue
+            stored = self.store.get(key)
+            expected_seed = derive_run_seed(self.seed, index)
+            if stored.run_seed != expected_seed:
+                raise ValueError(
+                    f"result store seed mismatch for {key!r}: stored run_seed "
+                    f"{stored.run_seed!r}, this exploration derives "
+                    f"{expected_seed!r} — resume with the original seed and "
+                    "strategy, or start a fresh store"
+                )
+        return schedule, pending
+
+    def stored_result(
+        self, index: int, point: FaultPoint, scenario_name: str, result: RunResult
+    ) -> StoredResult:
+        """Build the persistent record of one completed run.
+
+        The record is a pure function of (point, schedule seed,
+        observables) — never of the execution path — so snapshot/shared and
+        fresh runs checkpoint identically, resumes compose across paths,
+        and a worker on another machine produces the byte-identical record
+        a local run would have.
+        """
+        return StoredResult(
+            key=self._run_key(point),
+            index=index,
+            scenario=scenario_name,
+            function=point.function,
+            return_value=point.return_value,
+            errno=point.errno,
+            category=point.category,
+            workload=self.workload,
+            outcome=result.outcome.kind.value,
+            detail=result.outcome.detail,
+            exit_code=result.outcome.exit_code,
+            location=result.outcome.location,
+            injections=result.injections,
+            fingerprint=self._fingerprint(result, point),
+            run_seed=derive_run_seed(self.seed, index),
+        )
+
+    def _iter_entry_results(
+        self, entries: Sequence[Tuple[int, "Scenario", Optional[int]]], backend
+    ) -> Iterator[Tuple[int, RunResult]]:
+        """Execute ``(index, scenario, seed)`` entries, yielding results as
+        they complete (the three execution shapes behind every exploration:
+        serial shared streaming, pooled run-to-completion batches, plain
+        per-point fan-out)."""
+        sharing = resolve_sharing(self.share_prefixes, self.target)
+        if sharing and isinstance(backend, SerialBackend):
+            for index, result in iter_shared_runs(
+                self.target,
+                self.workload,
+                entries,
+                options=dict(self.request_options),
+            ):
+                yield index, result
+        elif sharing:
+            # Run-to-completion fan-out: groups are sharded into one
+            # batch per worker and each worker drains its batch without
+            # pool round trips between groups.  Checkpoint cadence is
+            # therefore one *batch* (several groups) — coarser than the
+            # old group-per-task streaming, the price of eliminating
+            # the per-group submit/result cycles.
+            tasks = build_group_tasks(
+                self.target, self.workload, entries,
+                options=dict(self.request_options),
+            )
+            for _batch, batch_results in backend.run_group_batches_iter(tasks):
+                for index in sorted(batch_results):
+                    yield index, batch_results[index]
+        else:
+            tasks = [
+                ExecutionTask(
+                    index=index,
+                    target=self.target,
+                    request=WorkloadRequest(
+                        workload=self.workload,
+                        scenario=scenario,
+                        options=dict(self.request_options),
+                    ),
+                    seed=seed,
+                )
+                for index, scenario, seed in entries
+            ]
+            for task, result in backend.run_tasks_iter(tasks):
+                yield task.index, result
+
+    def run_schedule_indices(
+        self,
+        points: Sequence[FaultPoint],
+        indices: Sequence[int],
+        parallelism: ParallelismSpec = None,
+    ) -> Iterator[StoredResult]:
+        """Execute the given schedule positions, yielding one
+        :class:`StoredResult` per completed run (in completion order).
+
+        The worker-shard entry point of the campaign fabric: a coordinator
+        ships only ``(campaign spec, schedule indices)`` over the wire, and
+        each worker — which derives the identical schedule from the spec —
+        turns its indices back into scenarios, executes them on its local
+        backend, and streams the records home.  Records are exactly the
+        ones a local :meth:`explore` would have checkpointed (same keys,
+        seeds, fingerprints), so merged shards are bit-identical to a
+        serial run.  The engine's own store is neither consulted nor
+        written — the caller owns persistence.
+        """
+        schedule = self.schedule(points)
+        wanted = []
+        for index in sorted(set(indices)):
+            if not 0 <= index < len(schedule):
+                raise IndexError(
+                    f"schedule index {index} out of range for a schedule of "
+                    f"{len(schedule)} points"
+                )
+            wanted.append((index, schedule[index]))
+        points_by_index = dict(wanted)
+        scenarios_by_index = {
+            index: point.scenario(once=self.once) for index, point in wanted
+        }
+        entries = [
+            (index, scenarios_by_index[index], derive_run_seed(self.seed, index))
+            for index, _ in wanted
+        ]
+        backend, owned = backend_scope(
+            parallelism if parallelism is not None else self.parallelism
+        )
+        try:
+            for index, result in self._iter_entry_results(entries, backend):
+                yield self.stored_result(
+                    index,
+                    points_by_index[index],
+                    scenarios_by_index[index].name,
+                    result,
+                )
+        finally:
+            if owned:
+                backend.close()
 
     # ------------------------------------------------------------------
     def explore(
@@ -190,27 +364,7 @@ class ExplorationEngine:
         completed work replayed from the store is free — which both supports
         incremental budgeted exploration and lets tests model interruption.
         """
-        schedule = self.schedule(points)
-        completed = self.store.completed_keys()
-
-        pending: List[tuple] = []  # (global index, point)
-        for index, point in enumerate(schedule):
-            key = self._run_key(point)
-            if key not in completed:
-                pending.append((index, point))
-                continue
-            # Validate resumability *before* executing anything: a replayed
-            # result must carry exactly the seed this schedule would derive,
-            # otherwise the merged report would be reproducible by no seed.
-            stored = self.store.get(key)
-            expected_seed = derive_run_seed(self.seed, index)
-            if stored.run_seed != expected_seed:
-                raise ValueError(
-                    f"result store seed mismatch for {key!r}: stored run_seed "
-                    f"{stored.run_seed!r}, this exploration derives "
-                    f"{expected_seed!r} — resume with the original seed and "
-                    "strategy, or start a fresh store"
-                )
+        schedule, pending = self.plan(points)
         if max_runs is not None:
             pending = pending[:max_runs]
 
@@ -218,84 +372,28 @@ class ExplorationEngine:
         scenarios_by_index = {
             index: point.scenario(once=self.once) for index, point in pending
         }
-        seeds_by_index = {
-            index: derive_run_seed(self.seed, index) for index, _ in pending
-        }
+        entries = [
+            (index, scenarios_by_index[index], derive_run_seed(self.seed, index))
+            for index, _ in pending
+        ]
 
         def checkpoint(index: int, result: RunResult) -> tuple:
-            """Persist one completed run; the stored record is a pure
-            function of (point, schedule seed, observables) — never of the
-            execution path, so snapshot/shared and fresh runs checkpoint
-            identically and resumes compose across paths."""
+            """Persist one completed run (see :meth:`stored_result` for the
+            path-independence contract of the record)."""
             point = points_by_index[index]
-            stored = StoredResult(
-                key=self._run_key(point),
-                index=index,
-                scenario=scenarios_by_index[index].name,
-                function=point.function,
-                return_value=point.return_value,
-                errno=point.errno,
-                category=point.category,
-                workload=self.workload,
-                outcome=result.outcome.kind.value,
-                detail=result.outcome.detail,
-                exit_code=result.outcome.exit_code,
-                location=result.outcome.location,
-                injections=result.injections,
-                fingerprint=self._fingerprint(result, point),
-                run_seed=seeds_by_index[index],
+            stored = self.stored_result(
+                index, point, scenarios_by_index[index].name, result
             )
-            self.store.append(stored)
+            self.store.record(stored)
             return point, result, stored
 
         backend, owned = backend_scope(self.parallelism)
         fresh: dict = {}
         try:
-            sharing = resolve_sharing(self.share_prefixes, self.target)
-            entries = [
-                (index, scenarios_by_index[index], seeds_by_index[index])
-                for index, _ in pending
-            ]
             # Stream results and checkpoint each one in the store the moment
             # it is available: a kill mid-campaign loses only in-flight work.
-            if sharing and isinstance(backend, SerialBackend):
-                for index, result in iter_shared_runs(
-                    self.target,
-                    self.workload,
-                    entries,
-                    options=dict(self.request_options),
-                ):
-                    fresh[index] = checkpoint(index, result)
-            elif sharing:
-                # Run-to-completion fan-out: groups are sharded into one
-                # batch per worker and each worker drains its batch without
-                # pool round trips between groups.  Checkpoint cadence is
-                # therefore one *batch* (several groups) — coarser than the
-                # old group-per-task streaming, the price of eliminating
-                # the per-group submit/result cycles.
-                tasks = build_group_tasks(
-                    self.target, self.workload, entries,
-                    options=dict(self.request_options),
-                )
-                for _batch, batch_results in backend.run_group_batches_iter(tasks):
-                    for index in sorted(batch_results):
-                        fresh[index] = checkpoint(index, batch_results[index])
-            else:
-                tasks = [
-                    ExecutionTask(
-                        index=index,
-                        target=self.target,
-                        request=WorkloadRequest(
-                            workload=self.workload,
-                            scenario=scenarios_by_index[index],
-                            options=dict(self.request_options),
-                        ),
-                        seed=seeds_by_index[index],
-                    )
-                    for index, _ in pending
-                ]
-                for task, result in backend.run_tasks_iter(tasks):
-                    fresh[task.index] = checkpoint(task.index, result)
+            for index, result in self._iter_entry_results(entries, backend):
+                fresh[index] = checkpoint(index, result)
         finally:
             if owned:
                 backend.close()

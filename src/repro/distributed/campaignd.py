@@ -1,0 +1,655 @@
+"""``repro-campaignd``: the resident campaign coordinator daemon.
+
+The fabric's control plane.  A :class:`CampaignCoordinator` listens on one
+TCP port and speaks the line-oriented JSON protocol of
+:mod:`repro.distributed.protocol` (reference: ``doc/PROTOCOL.md``) with two
+kinds of peers:
+
+* **clients** (`repro-campaign`) submit :class:`CampaignSpec`\\ s, poll
+  status, stream results (`tail`), fetch completed snapshots (`results`),
+  and cancel campaigns;
+* **workers** (`repro-campaignd worker`) pull *shard leases* — batches of
+  schedule indices — execute them on their local engine/pool stack, and
+  stream one result record per completed run back.
+
+Design points, in the order they matter for correctness:
+
+**The schedule is the shared coordinate system.**  A campaign's schedule is
+a pure function of its spec (see :mod:`repro.distributed.spec`), so the
+coordinator ships only ``(spec, [schedule indices])`` and workers derive
+everything else locally.  No scenario objects, no fault points, no pickled
+targets cross the wire — just small JSON.
+
+**The result store is the only durable state.**  Every record a worker
+streams in is appended (flushed, and fsynced when ``durable_stores=True``)
+to the campaign's JSON-lines :class:`ResultStore` *before* it is
+acknowledged or streamed to tailing clients.  Coordinator crash-safety is
+therefore resume, not replication: restart the daemon, resubmit the same
+spec (same ``store_path``), and only unfinished points are re-sharded —
+the same story as a locally interrupted ``explore()``.
+
+**Leases expire; records are idempotent.**  A shard lease carries a
+deadline, extended by every result and heartbeat from its worker.  A dead
+worker's lease expires and its unfinished indices return to the front of
+the queue for the next ``fetch``.  A *slow* (not dead) worker whose lease
+was reassigned keeps streaming records — they are acknowledged as
+``stale_lease`` and ignored, and even a racing duplicate record is
+harmless because the store keeps first-completion-wins per key.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.exploration.store import ResultStore, StoredResult
+from repro.distributed.protocol import (
+    MAX_MESSAGE_BYTES,
+    ConnectionClosed,
+    MessageStream,
+    MessageTooLarge,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
+
+logger = logging.getLogger("repro.campaignd")
+
+#: Default points per shard lease.
+DEFAULT_SHARD_SIZE = 8
+#: Default seconds a lease may go silent before its shard is re-queued.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+class _Lease:
+    """One worker's claim on a batch of schedule indices."""
+
+    __slots__ = ("lease_id", "campaign_id", "worker_id", "indices", "deadline")
+
+    def __init__(
+        self,
+        lease_id: str,
+        campaign_id: str,
+        worker_id: str,
+        indices: List[int],
+        deadline: float,
+    ) -> None:
+        self.lease_id = lease_id
+        self.campaign_id = campaign_id
+        self.worker_id = worker_id
+        self.indices = indices  # not yet completed
+        self.deadline = deadline
+
+
+class _Campaign:
+    """Coordinator-side state of one submitted campaign."""
+
+    def __init__(
+        self,
+        campaign_id: str,
+        spec: CampaignSpec,
+        fingerprint: str,
+        store: ResultStore,
+        schedule_keys: List[str],
+        pending_indices: List[int],
+        shard_size: int,
+    ) -> None:
+        self.id = campaign_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.store = store
+        self.schedule_keys = schedule_keys
+        self.key_to_index = {key: index for index, key in enumerate(schedule_keys)}
+        self.completed_count = len(schedule_keys) - len(pending_indices)
+        self.resumed_at_submit = self.completed_count
+        self.executed = 0  # fresh records accepted over the fabric
+        self.queue: Deque[List[int]] = deque(
+            pending_indices[offset : offset + shard_size]
+            for offset in range(0, len(pending_indices), shard_size)
+        )
+        self.leases: Dict[str, _Lease] = {}
+        #: Fresh results in arrival order, for `tail` streaming.
+        self.events: List[Dict[str, Any]] = []
+        self.state = "complete" if not pending_indices else "running"
+        self.workers_seen: Set[str] = set()
+
+    @property
+    def total(self) -> int:
+        return len(self.schedule_keys)
+
+    def queued_count(self) -> int:
+        return sum(len(shard) for shard in self.queue)
+
+    def leased_count(self) -> int:
+        return sum(len(lease.indices) for lease in self.leases.values())
+
+    def status_payload(self) -> Dict[str, Any]:
+        return {
+            "type": "status",
+            "campaign_id": self.id,
+            "state": self.state,
+            "target": self.spec.target,
+            "workload": self.spec.workload,
+            "store_path": self.spec.store_path,
+            "total": self.total,
+            "completed": self.completed_count,
+            "resumed_at_submit": self.resumed_at_submit,
+            "executed": self.executed,
+            "queued": self.queued_count(),
+            "leased": self.leased_count(),
+            "active_leases": len(self.leases),
+            "workers_seen": sorted(self.workers_seen),
+        }
+
+
+class CampaignCoordinator:
+    """The resident coordinator: accepts clients and workers, owns state."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        durable_stores: bool = True,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.shard_size = max(1, int(shard_size))
+        self.lease_timeout = float(lease_timeout)
+        self.durable_stores = durable_stores
+        self.max_message_bytes = max_message_bytes
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._by_fingerprint: Dict[str, str] = {}
+        self._next_campaign = 1
+        self._next_lease = 1
+        self._fetch_rotor = 0
+
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._streams: Set[MessageStream] = set()
+        self._running = False
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and serve in a background thread; returns the
+        bound ``(host, port)`` (the kernel picks the port when 0)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.host, self.port = listener.getsockname()
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="campaignd-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info("campaignd listening on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`stop` is called."""
+        if not self._running:
+            self.start()
+        self._stopped.wait()
+
+    def stop(self) -> None:
+        """Shut the daemon down: stop accepting, drop connections, close
+        stores.  Campaign state survives only through the result stores."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for stream in list(self._streams):
+            stream.close()
+        with self._lock:
+            for campaign in self._campaigns.values():
+                campaign.store.close()
+        self._stopped.set()
+        logger.info("campaignd stopped")
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = MessageStream(sock, max_message_bytes=self.max_message_bytes)
+            self._streams.add(stream)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(stream,),
+                name="campaignd-conn", daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, stream: MessageStream) -> None:
+        try:
+            while self._running:
+                try:
+                    message = stream.recv()
+                except ConnectionClosed:
+                    break
+                except MessageTooLarge as exc:
+                    # The line cannot be resynchronised: report and drop.
+                    self._try_reply(stream, {"type": "error", "error": str(exc)})
+                    break
+                except ProtocolError as exc:
+                    self._try_reply(stream, {"type": "error", "error": str(exc)})
+                    continue
+                try:
+                    done = self._dispatch(stream, message)
+                except ConnectionClosed:
+                    break
+                except Exception as exc:  # handler bug or bad request content
+                    logger.exception("error handling %r", message.get("type"))
+                    if not self._try_reply(
+                        stream, {"type": "error", "error": f"{type(exc).__name__}: {exc}"}
+                    ):
+                        break
+                    continue
+                if done:
+                    break
+        finally:
+            self._streams.discard(stream)
+            stream.close()
+
+    @staticmethod
+    def _try_reply(stream: MessageStream, message: Dict[str, Any]) -> bool:
+        try:
+            stream.send(message)
+            return True
+        except ProtocolError:
+            return False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, stream: MessageStream, message: Dict[str, Any]) -> bool:
+        """Handle one message; returns True when the connection should end."""
+        kind = message.get("type")
+        if kind == "hello":
+            stream.send({
+                "type": "welcome",
+                "server": "repro-campaignd",
+                "version": PROTOCOL_VERSION,
+                "lease_timeout": self.lease_timeout,
+            })
+            return False
+        if kind == "ping":
+            stream.send({"type": "pong"})
+            return False
+        if kind == "submit":
+            stream.send(self._handle_submit(message))
+            return False
+        if kind == "status":
+            stream.send(self._handle_status(message))
+            return False
+        if kind == "list":
+            stream.send(self._handle_list())
+            return False
+        if kind == "results":
+            self._handle_results(stream, message)
+            return False
+        if kind == "tail":
+            self._handle_tail(stream, message)
+            return False
+        if kind == "cancel":
+            stream.send(self._handle_cancel(message))
+            return False
+        if kind == "fetch":
+            stream.send(self._handle_fetch(message))
+            return False
+        if kind == "result":
+            stream.send(self._handle_result(message))
+            return False
+        if kind == "heartbeat":
+            stream.send(self._handle_heartbeat(message))
+            return False
+        if kind == "shard_done":
+            stream.send(self._handle_shard_done(message))
+            return False
+        if kind == "shutdown":
+            stream.send({"type": "ack"})
+            threading.Thread(target=self.stop, daemon=True).start()
+            return True
+        stream.send({"type": "error", "error": f"unknown message type {kind!r}"})
+        return False
+
+    # ------------------------------------------------------------------
+    # client handlers
+    # ------------------------------------------------------------------
+    def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        spec = CampaignSpec.from_dict(message.get("campaign"))
+        fingerprint = spec_fingerprint(spec)
+        with self._lock:
+            existing_id = self._by_fingerprint.get(fingerprint)
+            if existing_id is not None:
+                campaign = self._campaigns[existing_id]
+                return self._submitted_payload(campaign, resubmitted=True)
+
+        # Build outside the lock: compiling the target and loading the
+        # store can take a while and must not block fetches/heartbeats.
+        store = ResultStore(spec.store_path, durable=self.durable_stores)
+        if store.has_torn_tail:
+            # A coordinator killed mid-append leaves a partial line; the
+            # run it described re-executes, the tail must go before the
+            # first new record anyway — do it eagerly so it is logged.
+            store.repair()
+            logger.info("repaired torn tail in %s", spec.store_path)
+        engine, points = build_engine(spec, store=store)
+        schedule, pending = engine.plan(points)
+        schedule_keys = [engine.run_key(point) for point in schedule]
+        shard_size = spec.shard_size or self.shard_size
+
+        with self._lock:
+            # Re-check under the lock: a racing identical submit may have
+            # registered while we were building.
+            existing_id = self._by_fingerprint.get(fingerprint)
+            if existing_id is not None:
+                store.close()
+                campaign = self._campaigns[existing_id]
+                return self._submitted_payload(campaign, resubmitted=True)
+            campaign_id = f"c{self._next_campaign}"
+            self._next_campaign += 1
+            campaign = _Campaign(
+                campaign_id,
+                spec,
+                fingerprint,
+                store,
+                schedule_keys,
+                [index for index, _ in pending],
+                max(1, int(shard_size)),
+            )
+            self._campaigns[campaign_id] = campaign
+            self._by_fingerprint[fingerprint] = campaign_id
+            self._cond.notify_all()
+            logger.info(
+                "campaign %s submitted: %s total=%d resumed=%d",
+                campaign_id, spec.target, campaign.total, campaign.resumed_at_submit,
+            )
+            return self._submitted_payload(campaign, resubmitted=False)
+
+    @staticmethod
+    def _submitted_payload(campaign: _Campaign, resubmitted: bool) -> Dict[str, Any]:
+        return {
+            "type": "submitted",
+            "campaign_id": campaign.id,
+            "state": campaign.state,
+            "total": campaign.total,
+            "completed": campaign.completed_count,
+            "resumed": campaign.resumed_at_submit,
+            "resubmitted": resubmitted,
+        }
+
+    def _campaign_for(self, message: Dict[str, Any]) -> _Campaign:
+        campaign_id = message.get("campaign_id")
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise ValueError(f"unknown campaign {campaign_id!r}")
+        return campaign
+
+    def _handle_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._reap_expired_leases()
+            return self._campaign_for(message).status_payload()
+
+    def _handle_list(self) -> Dict[str, Any]:
+        with self._lock:
+            self._reap_expired_leases()
+            return {
+                "type": "campaigns",
+                "campaigns": [
+                    campaign.status_payload()
+                    for campaign in self._campaigns.values()
+                ],
+            }
+
+    def _handle_results(self, stream: MessageStream, message: Dict[str, Any]) -> None:
+        """Stream the completed snapshot, in schedule order, then an end marker."""
+        with self._lock:
+            campaign = self._campaign_for(message)
+            records = [
+                campaign.store.get(key).to_dict()
+                for key in campaign.schedule_keys
+                if key in campaign.store
+            ]
+            state = campaign.state
+        for position, record in enumerate(records):
+            stream.send({
+                "type": "result",
+                "campaign_id": message.get("campaign_id"),
+                "seq": position,
+                "record": record,
+            })
+        stream.send({
+            "type": "results_end",
+            "campaign_id": message.get("campaign_id"),
+            "count": len(records),
+            "state": state,
+        })
+
+    def _handle_tail(self, stream: MessageStream, message: Dict[str, Any]) -> None:
+        """Stream fresh results as they arrive; ends at campaign completion
+        (or immediately after catching up when ``follow`` is false)."""
+        campaign_id = message.get("campaign_id")
+        follow = bool(message.get("follow", True))
+        seq = int(message.get("from_seq", 0))
+        with self._lock:
+            campaign = self._campaign_for(message)
+        while True:
+            with self._lock:
+                while (
+                    self._running
+                    and follow
+                    and seq >= len(campaign.events)
+                    and campaign.state == "running"
+                ):
+                    self._cond.wait(timeout=0.5)
+                batch = campaign.events[seq:]
+                state = campaign.state
+                running = self._running
+            for event in batch:
+                stream.send(event)
+                seq += 1
+            if not running or not follow or state != "running":
+                stream.send({
+                    "type": f"campaign_{state}" if state != "running" else "tail_end",
+                    "campaign_id": campaign_id,
+                    "seq": seq,
+                })
+                return
+
+    def _handle_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            campaign = self._campaign_for(message)
+            if campaign.state == "running":
+                campaign.state = "cancelled"
+                campaign.queue.clear()
+                campaign.leases.clear()
+                self._cond.notify_all()
+                logger.info("campaign %s cancelled", campaign.id)
+            return {"type": "cancelled", "campaign_id": campaign.id,
+                    "state": campaign.state}
+
+    # ------------------------------------------------------------------
+    # worker handlers
+    # ------------------------------------------------------------------
+    def _reap_expired_leases(self) -> None:
+        """Re-queue the unfinished indices of every expired lease (called
+        under the lock)."""
+        now = time.monotonic()
+        for campaign in self._campaigns.values():
+            expired = [
+                lease for lease in campaign.leases.values() if lease.deadline < now
+            ]
+            for lease in expired:
+                del campaign.leases[lease.lease_id]
+                if campaign.state != "running":
+                    continue
+                remaining = [
+                    index for index in lease.indices
+                    if campaign.schedule_keys[index] not in campaign.store
+                ]
+                if remaining:
+                    # Front of the queue: expired work is the oldest work.
+                    campaign.queue.appendleft(remaining)
+                    logger.info(
+                        "lease %s (worker %s) expired; re-queued %d points",
+                        lease.lease_id, lease.worker_id, len(remaining),
+                    )
+
+    def _handle_fetch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = str(message.get("worker_id", "anonymous"))
+        with self._lock:
+            self._reap_expired_leases()
+            running = [
+                campaign for campaign in self._campaigns.values()
+                if campaign.state == "running" and campaign.queue
+            ]
+            if not running:
+                return {"type": "idle", "retry_after": 0.2}
+            # Round-robin across campaigns so many clients share the fleet.
+            campaign = running[self._fetch_rotor % len(running)]
+            self._fetch_rotor += 1
+            indices = campaign.queue.popleft()
+            lease_id = f"l{self._next_lease}"
+            self._next_lease += 1
+            lease = _Lease(
+                lease_id,
+                campaign.id,
+                worker_id,
+                list(indices),
+                time.monotonic() + self.lease_timeout,
+            )
+            campaign.leases[lease_id] = lease
+            campaign.workers_seen.add(worker_id)
+            return {
+                "type": "shard",
+                "campaign_id": campaign.id,
+                "lease_id": lease_id,
+                "lease_timeout": self.lease_timeout,
+                "spec": campaign.spec.to_dict(),
+                "indices": list(indices),
+            }
+
+    def _find_lease(self, lease_id: Optional[str]) -> Optional[Tuple[_Campaign, _Lease]]:
+        for campaign in self._campaigns.values():
+            lease = campaign.leases.get(lease_id)
+            if lease is not None:
+                return campaign, lease
+        return None
+
+    def _handle_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        record_payload = message.get("record")
+        if not isinstance(record_payload, dict):
+            raise ValueError("result message carries no record object")
+        record = StoredResult.from_dict(record_payload)
+        with self._lock:
+            found = self._find_lease(message.get("lease_id"))
+            if found is None:
+                return {"type": "stale_lease"}
+            campaign, lease = found
+            index = campaign.key_to_index.get(record.key)
+            if index is None:
+                raise ValueError(
+                    f"record key {record.key!r} is not part of campaign {campaign.id}"
+                )
+            fresh = record.key not in campaign.store
+            # Durable first, visible second: the record hits the store
+            # (flushed/fsynced) before any ack or tail event exists.
+            campaign.store.record(record)
+            if fresh:
+                campaign.completed_count += 1
+                campaign.executed += 1
+                campaign.events.append({
+                    "type": "result",
+                    "campaign_id": campaign.id,
+                    "seq": len(campaign.events),
+                    "record": record.to_dict(),
+                })
+            if index in lease.indices:
+                lease.indices.remove(index)
+            lease.deadline = time.monotonic() + self.lease_timeout
+            self._check_complete(campaign)
+            self._cond.notify_all()
+            return {"type": "ack", "remaining": len(lease.indices)}
+
+    def _handle_heartbeat(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._reap_expired_leases()
+            found = self._find_lease(message.get("lease_id"))
+            if found is None:
+                return {"type": "stale_lease"}
+            _campaign, lease = found
+            lease.deadline = time.monotonic() + self.lease_timeout
+            return {"type": "ack", "remaining": len(lease.indices)}
+
+    def _handle_shard_done(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            found = self._find_lease(message.get("lease_id"))
+            if found is None:
+                return {"type": "stale_lease"}
+            campaign, lease = found
+            del campaign.leases[lease.lease_id]
+            leftover = [
+                index for index in lease.indices
+                if campaign.schedule_keys[index] not in campaign.store
+            ]
+            if leftover and campaign.state == "running":
+                # A worker declaring done with unfinished indices is a
+                # worker bug, but the campaign must still terminate:
+                # re-queue rather than lose the points.
+                campaign.queue.appendleft(leftover)
+                logger.warning(
+                    "lease %s done with %d unfinished points; re-queued",
+                    lease.lease_id, len(leftover),
+                )
+            self._check_complete(campaign)
+            self._cond.notify_all()
+            return {"type": "ack"}
+
+    def _check_complete(self, campaign: _Campaign) -> None:
+        """Flip a running campaign to complete when every key is stored
+        (called under the lock)."""
+        if campaign.state != "running":
+            return
+        if campaign.completed_count >= campaign.total:
+            campaign.state = "complete"
+            logger.info(
+                "campaign %s complete: %d points (%d executed here, %d resumed)",
+                campaign.id, campaign.total, campaign.executed,
+                campaign.resumed_at_submit,
+            )
+
+
+__all__ = [
+    "CampaignCoordinator",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_SHARD_SIZE",
+]

@@ -16,6 +16,7 @@ three policies provided are the ones §7.3 uses against PBFT:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from random import Random
@@ -108,7 +109,16 @@ class RotatingAttackPolicy(Policy):
 
 
 class CentralController:
-    """Receives trigger consultations from all nodes and applies one policy."""
+    """Receives trigger consultations from all nodes and applies one policy.
+
+    Consultations arrive from every node of the distributed system — and,
+    under a thread-pool campaign backend, from several PBFT cluster runs
+    concurrently — so the counter/history updates and the (stateful) policy
+    consultation happen under one lock.  Without it the read-modify-write
+    counter updates interleave and a campaign under- or over-counts its
+    injections, and burst policies like :class:`RotatingAttackPolicy` can
+    skip or double-serve a victim.
+    """
 
     def __init__(self, policy: Optional[Policy] = None) -> None:
         self.policy = policy
@@ -118,29 +128,33 @@ class CentralController:
         self.history: List[Tuple[str, str, bool]] = []
         #: Bound how much history is kept (long experiments).
         self.history_limit = 10_000
+        self._lock = threading.RLock()
 
     def set_policy(self, policy: Optional[Policy]) -> None:
-        self.policy = policy
+        with self._lock:
+            self.policy = policy
 
     def should_inject(self, node: str, function: str, args: tuple, ctx: CallContext) -> bool:
-        self.consultations += 1
-        self.consultations_by_node[node] = self.consultations_by_node.get(node, 0) + 1
-        decision = False
-        if self.policy is not None:
-            decision = self.policy.should_inject(node, function, args, ctx)
-        if decision:
-            self.injections_by_node[node] = self.injections_by_node.get(node, 0) + 1
-        if len(self.history) < self.history_limit:
-            self.history.append((node, function, decision))
-        return decision
+        with self._lock:
+            self.consultations += 1
+            self.consultations_by_node[node] = self.consultations_by_node.get(node, 0) + 1
+            decision = False
+            if self.policy is not None:
+                decision = self.policy.should_inject(node, function, args, ctx)
+            if decision:
+                self.injections_by_node[node] = self.injections_by_node.get(node, 0) + 1
+            if len(self.history) < self.history_limit:
+                self.history.append((node, function, decision))
+            return decision
 
     def reset(self) -> None:
-        if self.policy is not None:
-            self.policy.reset()
-        self.consultations = 0
-        self.injections_by_node.clear()
-        self.consultations_by_node.clear()
-        self.history.clear()
+        with self._lock:
+            if self.policy is not None:
+                self.policy.reset()
+            self.consultations = 0
+            self.injections_by_node.clear()
+            self.consultations_by_node.clear()
+            self.history.clear()
 
     def summary(self) -> str:
         per_node = ", ".join(

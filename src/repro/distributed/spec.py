@@ -1,0 +1,105 @@
+"""Campaign specifications: the unit the fabric ships between processes.
+
+A :class:`CampaignSpec` is everything needed to *independently* reconstruct
+one exploration — target (by registry name), workload, strategy spec, seed,
+space filters — and nothing that is execution-local (no backends, no pools,
+no store handles).  The determinism contract of the exploration engine
+makes this sufficient: the fault space enumeration, priority order,
+strategy selection, and per-run seeds are all pure functions of the spec,
+so the coordinator and every worker derive the *identical* schedule from
+the same spec and can talk about points purely by schedule index.
+
+:func:`spec_fingerprint` canonicalises a spec into a stable hash used to
+deduplicate submissions and key worker-side engine caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.exploration.engine import ExplorationEngine
+from repro.core.exploration.space import FaultPoint
+from repro.core.exploration.store import ResultStore
+
+
+@dataclass
+class CampaignSpec:
+    """One exploration campaign, as named over the wire."""
+
+    target: str
+    workload: Optional[str] = None
+    strategy: Optional[str] = None
+    seed: Optional[int] = None
+    functions: Optional[List[str]] = None
+    include_partial: bool = True
+    include_checked: bool = False
+    once: bool = True
+    share_prefixes: Optional[bool] = None
+    request_options: Dict[str, Any] = field(default_factory=dict)
+    #: Coordinator-side checkpoint file (JSON-lines :class:`ResultStore`).
+    #: ``None`` keeps the campaign in coordinator memory only — it then
+    #: does not survive a coordinator restart.
+    store_path: Optional[str] = None
+    #: Points per worker shard lease; ``None`` uses the coordinator default.
+    shard_size: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        if not isinstance(payload, dict):
+            raise ValueError(f"campaign spec must be an object, got {type(payload).__name__}")
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown campaign spec fields: {sorted(unknown)}")
+        if "target" not in payload or not payload["target"]:
+            raise ValueError("campaign spec requires a 'target' name")
+        return cls(**payload)
+
+
+def spec_fingerprint(spec: CampaignSpec) -> str:
+    """Stable identity of a spec (submission dedup, engine-cache key)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def build_engine(
+    spec: CampaignSpec, store: Optional[ResultStore] = None
+) -> Tuple[ExplorationEngine, List[FaultPoint]]:
+    """Materialise (engine, fault space) from a spec.
+
+    Both fabric roles call this: the coordinator (with its authoritative
+    store) to compute schedule keys and the pending set, each worker (with
+    no store — the coordinator owns persistence) to execute shard indices.
+    Imports are local because this is the one place the distributed layer
+    reaches into the analysis/controller stack.
+    """
+    from repro.core.controller.controller import LFIController
+    from repro.targets import resolve_target
+
+    target = resolve_target(spec.target)
+    controller = LFIController(target)
+    points = controller.fault_space(
+        functions=spec.functions,
+        include_partial=spec.include_partial,
+        include_checked=spec.include_checked,
+    )
+    engine = ExplorationEngine(
+        target,
+        strategy=spec.strategy,
+        store=store,
+        seed=spec.seed,
+        workload=spec.workload,
+        once=spec.once,
+        share_prefixes=spec.share_prefixes,
+        request_options=dict(spec.request_options),
+    )
+    return engine, points
+
+
+__all__ = ["CampaignSpec", "build_engine", "spec_fingerprint"]

@@ -1,0 +1,232 @@
+"""``repro-campaignd worker``: the fabric's data plane node.
+
+A :class:`CampaignWorker` pulls shard leases from the coordinator, turns
+each lease's schedule indices back into scenarios (the spec is enough —
+see :mod:`repro.distributed.spec`), executes them through the local
+engine/pool stack (boot-template cache, prefix sharing, whatever
+``parallelism`` selects), and streams one result record per completed run
+back over the same connection.
+
+Failure behaviour, which is most of what a worker *is*:
+
+* **Link loss** — every RPC goes through one retry-with-backoff path; a
+  dropped connection is redialed (:func:`repro.distributed.protocol.connect`
+  does the backoff) and the current shard is abandoned — its lease will
+  expire on the coordinator and the unfinished points re-queue.  Records
+  already streamed stay completed (the store is idempotent per key), so
+  nothing is lost and nothing runs twice.
+* **Stale leases** — any RPC answered ``stale_lease`` (the coordinator
+  re-assigned the shard after a silence, or the campaign was cancelled)
+  makes the worker drop the shard immediately and fetch fresh work.
+* **Heartbeats** — while a shard is executing, a background thread
+  heartbeats the lease at a third of the advertised lease timeout, so a
+  worker grinding through one slow scenario is not mistaken for dead.
+  The send path is shared with the executor loop; each RPC is one
+  lock-protected send/receive pair, so replies always match requests.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.controller.executor import ParallelismSpec
+from repro.distributed.protocol import (
+    MAX_MESSAGE_BYTES,
+    ConnectionClosed,
+    MessageStream,
+    ProtocolError,
+    connect,
+)
+from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
+
+logger = logging.getLogger("repro.campaignd.worker")
+
+
+class _LeaseLost(Exception):
+    """Internal: the coordinator no longer honours our lease."""
+
+
+class CampaignWorker:
+    """One worker node: fetch shard, execute, stream results, repeat."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: Optional[str] = None,
+        parallelism: ParallelismSpec = None,
+        poll_interval: float = 0.2,
+        connect_retries: int = 8,
+        connect_backoff: float = 0.05,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.parallelism = parallelism
+        self.poll_interval = poll_interval
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.max_message_bytes = max_message_bytes
+
+        self._stream: Optional[MessageStream] = None
+        self._rpc_lock = threading.Lock()
+        self._stop = threading.Event()
+        #: Engines are cached per spec fingerprint: every shard of one
+        #: campaign shares the target artifacts, boot templates, and
+        #: enumerated fault space.
+        self._engines: Dict[str, tuple] = {}
+        #: Shards fully executed by this worker (observable for tests/CLI).
+        self.shards_completed = 0
+        self.results_streamed = 0
+
+    # ------------------------------------------------------------------
+    # link management
+    # ------------------------------------------------------------------
+    def _ensure_stream(self) -> MessageStream:
+        if self._stream is None or self._stream.closed:
+            self._stream = connect(
+                self.address,
+                retries=self.connect_retries,
+                backoff=self.connect_backoff,
+                max_message_bytes=self.max_message_bytes,
+            )
+            reply = self._rpc({
+                "type": "hello",
+                "role": "worker",
+                "worker_id": self.worker_id,
+                "version": 1,
+            })
+            if reply.get("type") != "welcome":
+                raise ProtocolError(f"unexpected hello reply: {reply!r}")
+        return self._stream
+
+    def _rpc(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response pair on the shared stream (thread-safe)."""
+        stream = self._stream
+        if stream is None or stream.closed:
+            raise ConnectionClosed("worker link is down")
+        with self._rpc_lock:
+            stream.send(message)
+            return stream.recv()
+
+    def _drop_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def close(self) -> None:
+        self.stop()
+        self._drop_stream()
+
+    def stop(self) -> None:
+        """Ask a running loop to exit after the current scenario."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run_forever(self) -> None:
+        """Serve shards until :meth:`stop` (or an unrecoverable dial
+        failure after all retries)."""
+        while not self._stop.is_set():
+            try:
+                worked = self.run_once()
+            except ConnectionClosed:
+                # The link died; connect() inside the next iteration rides
+                # out a restarting coordinator with backoff.
+                self._drop_stream()
+                continue
+            except ProtocolError as exc:
+                logger.warning("protocol error, resetting link: %s", exc)
+                self._drop_stream()
+                continue
+            if not worked:
+                self._stop.wait(self.poll_interval)
+        self._drop_stream()
+
+    def run_once(self) -> bool:
+        """Fetch and fully process one shard; False when the coordinator
+        had nothing for us (idle poll)."""
+        self._ensure_stream()
+        reply = self._rpc({"type": "fetch", "worker_id": self.worker_id})
+        kind = reply.get("type")
+        if kind == "idle":
+            return False
+        if kind != "shard":
+            raise ProtocolError(f"unexpected fetch reply: {reply!r}")
+        self._execute_shard(reply)
+        return True
+
+    # ------------------------------------------------------------------
+    # shard execution
+    # ------------------------------------------------------------------
+    def _engine_for(self, spec: CampaignSpec):
+        fingerprint = spec_fingerprint(spec)
+        cached = self._engines.get(fingerprint)
+        if cached is None:
+            # No store: the coordinator owns persistence; the worker-side
+            # engine only derives schedules and executes.
+            engine, points = build_engine(spec, store=None)
+            cached = (engine, points)
+            self._engines[fingerprint] = cached
+        return cached
+
+    def _execute_shard(self, shard: Dict[str, Any]) -> None:
+        lease_id = shard["lease_id"]
+        indices: List[int] = list(shard.get("indices", ()))
+        spec = CampaignSpec.from_dict(shard.get("spec"))
+        engine, points = self._engine_for(spec)
+        lease_timeout = float(shard.get("lease_timeout", 30.0))
+
+        lost = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, max(0.05, lease_timeout / 3.0), lost),
+            name=f"heartbeat-{lease_id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        runs = engine.run_schedule_indices(points, indices, parallelism=self.parallelism)
+        try:
+            for record in runs:
+                if lost.is_set() or self._stop.is_set():
+                    raise _LeaseLost()
+                reply = self._rpc({
+                    "type": "result",
+                    "lease_id": lease_id,
+                    "campaign_id": shard.get("campaign_id"),
+                    "record": record.to_dict(),
+                })
+                if reply.get("type") == "stale_lease":
+                    raise _LeaseLost()
+                if reply.get("type") != "ack":
+                    raise ProtocolError(f"unexpected result reply: {reply!r}")
+                self.results_streamed += 1
+            lost.set()
+            heartbeat.join()
+            reply = self._rpc({"type": "shard_done", "lease_id": lease_id})
+            if reply.get("type") == "ack":
+                self.shards_completed += 1
+        except _LeaseLost:
+            logger.info("lease %s lost; abandoning shard", lease_id)
+        finally:
+            lost.set()
+            runs.close()  # cancel any outstanding pooled work
+
+    def _heartbeat_loop(
+        self, lease_id: str, interval: float, lost: threading.Event
+    ) -> None:
+        while not lost.wait(interval):
+            try:
+                reply = self._rpc({"type": "heartbeat", "lease_id": lease_id})
+            except ProtocolError:
+                lost.set()
+                return
+            if reply.get("type") != "ack":
+                lost.set()
+                return
+
+
+__all__ = ["CampaignWorker"]

@@ -27,7 +27,18 @@ Every target implements :class:`repro.core.controller.target.TargetAdapter`
 and carries machine-readable ground truth (``//@check:`` annotations in the
 mini-C sources, ``KNOWN_BUGS`` tables) used by the accuracy and bug-count
 benchmarks.
+
+**The registry.** Anything that names a target *across a process boundary*
+— the campaign fabric's wire protocol, CLI flags, config files — resolves
+the name through :func:`resolve_target`, which knows the built-in targets
+by their ``name`` attribute and any extras registered at runtime via
+:func:`register_target` (tests register instrumented wrappers this way).
+Factories must build equivalent targets in every process: the campaign
+coordinator and its workers each resolve the name independently and rely
+on the resulting fault spaces being identical.
 """
+
+from typing import Callable, Dict, List
 
 from repro.targets.base import (
     CompiledTarget,
@@ -35,4 +46,60 @@ from repro.targets.base import (
     extract_ground_truth,
 )
 
-__all__ = ["CompiledTarget", "GroundTruthEntry", "extract_ground_truth"]
+#: Runtime-registered target factories (name -> zero-argument factory).
+_EXTRA_TARGETS: Dict[str, Callable[[], object]] = {}
+
+
+def _builtin_factories() -> Dict[str, Callable[[], object]]:
+    # Imported lazily: pulling every target in at package import would drag
+    # the whole compiler/VM stack into trivial imports.
+    from repro.targets.mini_apache import MiniApacheTarget
+    from repro.targets.mini_bind import MiniBindTarget
+    from repro.targets.mini_git import MiniGitTarget
+    from repro.targets.mini_mysql import MiniMySQLTarget
+    from repro.targets.pbft import PBFTTarget
+
+    return {
+        "mini_apache": MiniApacheTarget,
+        "mini_bind": MiniBindTarget,
+        "mini_git": MiniGitTarget,
+        "mini_mysql": MiniMySQLTarget,
+        "pbft": PBFTTarget,
+    }
+
+
+def register_target(name: str, factory: Callable[[], object]) -> None:
+    """Register (or override) a target factory under *name*."""
+    _EXTRA_TARGETS[name] = factory
+
+
+def unregister_target(name: str) -> None:
+    """Remove a runtime registration (built-ins are unaffected)."""
+    _EXTRA_TARGETS.pop(name, None)
+
+
+def target_names() -> List[str]:
+    """Every resolvable target name, sorted."""
+    names = set(_builtin_factories()) | set(_EXTRA_TARGETS)
+    return sorted(names)
+
+
+def resolve_target(name: str):
+    """Build a fresh target instance from its registry *name*."""
+    factory = _EXTRA_TARGETS.get(name) or _builtin_factories().get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown target {name!r}; known targets: {', '.join(target_names())}"
+        )
+    return factory()
+
+
+__all__ = [
+    "CompiledTarget",
+    "GroundTruthEntry",
+    "extract_ground_truth",
+    "register_target",
+    "resolve_target",
+    "target_names",
+    "unregister_target",
+]

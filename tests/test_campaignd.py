@@ -1,0 +1,833 @@
+"""Tests for the campaign fabric (PR 7 tentpole) and its durability fixes.
+
+Covers the acceptance criteria end to end: a multi-worker campaign over
+the wire protocol is bit-identical to a serial ``ExplorationEngine``
+run — including after a worker dies mid-campaign and after the
+coordinator itself is killed and restarted (resume from the result store
+re-runs nothing already checkpointed) — plus the satellite bugfixes:
+interior store corruption raises instead of being skipped, records are
+flushed/fsynced per append, and the central controller's counters are
+thread-safe.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.exploration.store import ResultStore, StoreCorruptError, StoredResult
+from repro.distributed.campaignd import CampaignCoordinator
+from repro.distributed.client import CampaignClient, CampaignServerError
+from repro.distributed.central_controller import CentralController, Policy
+from repro.distributed.protocol import (
+    ConnectionClosed,
+    MessageStream,
+    MessageTooLarge,
+    ProtocolError,
+    connect,
+)
+from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
+from repro.distributed.worker import CampaignWorker
+from repro.targets import register_target, unregister_target
+from repro.targets.mini_git import MiniGitTarget
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _stored(key, outcome="normal", index=0, run_seed=None):
+    return StoredResult(
+        key=key, index=index, scenario=f"s-{key}", function="read",
+        return_value=-1, errno=5, category="unchecked", workload="w",
+        outcome=outcome, run_seed=run_seed,
+    )
+
+
+def _signature_from_outcomes(report):
+    return [
+        (o.point.key, o.outcome.kind.value, o.outcome.detail, o.outcome.exit_code,
+         o.outcome.location, o.injections, o.fingerprint, o.run_seed)
+        for o in report.outcomes
+    ]
+
+
+def _signature_from_records(records):
+    return [
+        (r["key"].split("|", 1)[1], r["outcome"], r["detail"], r["exit_code"],
+         r["location"], r["injections"], r["fingerprint"], r["run_seed"])
+        for r in records
+    ]
+
+
+class _Fabric:
+    """One coordinator plus helpers, torn down reliably."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.coordinator = CampaignCoordinator(**kwargs)
+        self.address = self.coordinator.start()
+        self.workers = []
+        self.threads = []
+        self.clients = []
+
+    def client(self) -> CampaignClient:
+        client = CampaignClient(self.address)
+        self.clients.append(client)
+        return client
+
+    def worker(self, **kwargs) -> CampaignWorker:
+        worker = CampaignWorker(self.address, **kwargs)
+        self.workers.append(worker)
+        return worker
+
+    def spawn(self, worker: CampaignWorker) -> threading.Thread:
+        thread = threading.Thread(target=worker.run_forever, daemon=True)
+        thread.start()
+        self.threads.append(thread)
+        return thread
+
+    def close(self):
+        for worker in self.workers:
+            worker.stop()
+        for client in self.clients:
+            client.close()
+        self.coordinator.stop()
+        for worker in self.workers:
+            worker.close()
+        for thread in self.threads:
+            thread.join(timeout=5)
+
+
+@pytest.fixture
+def fabric_factory():
+    fabrics = []
+
+    def make(**kwargs):
+        fabric = _Fabric(**kwargs)
+        fabrics.append(fabric)
+        return fabric
+
+    yield make
+    for fabric in fabrics:
+        fabric.close()
+
+
+GIT_SPEC_KWARGS = dict(
+    target="mini_git", workload="status", seed=7, functions=["close", "malloc"],
+)
+
+
+def _serial_signature(spec_kwargs=GIT_SPEC_KWARGS):
+    spec = CampaignSpec(**spec_kwargs)
+    engine, points = build_engine(spec, store=ResultStore())
+    return _signature_from_outcomes(engine.explore(points))
+
+
+# ----------------------------------------------------------------------
+# satellite: store corruption semantics
+# ----------------------------------------------------------------------
+class TestStoreCorruption:
+    def _write_lines(self, path, lines, final_newline=True):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if final_newline else ""))
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps(_stored("a").to_dict())
+        self._write_lines(path, [good, '{"key": "b", "outco', json.dumps(_stored("c").to_dict())])
+        with pytest.raises(StoreCorruptError) as excinfo:
+            ResultStore(str(path))
+        assert excinfo.value.line_number == 2
+        assert "torn" not in excinfo.value.reason
+
+    def test_interior_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._write_lines(path, ['[1, 2, 3]', json.dumps(_stored("a").to_dict())])
+        with pytest.raises(StoreCorruptError):
+            ResultStore(str(path))
+
+    def test_torn_final_line_is_tolerated_and_repairable(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        store.record(_stored("a"))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "outcome": "cra')  # crash mid-append
+        reloaded = ResultStore(str(path))
+        assert reloaded.completed_keys() == {"a"}
+        assert reloaded.has_torn_tail
+        assert reloaded.repair() is True
+        assert not reloaded.has_torn_tail
+        assert reloaded.repair() is False
+        # The partial bytes are gone from disk.
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n") and '"b"' not in content
+        assert ResultStore(str(path)).completed_keys() == {"a"}
+
+    def test_append_after_torn_load_truncates_first(self, tmp_path):
+        """A resumed store must never concatenate a new record onto the
+        leftover partial line (that would turn a benign torn tail into
+        interior corruption on the *next* load)."""
+        path = tmp_path / "store.jsonl"
+        ResultStore(str(path)).record(_stored("a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "out')
+        resumed = ResultStore(str(path))
+        resumed.record(_stored("c", index=2))
+        resumed.close()
+        reloaded = ResultStore(str(path))  # would raise if concatenated
+        assert reloaded.completed_keys() == {"a", "c"}
+
+    def test_crash_simulated_partial_write_resumes_cleanly(self, tmp_path):
+        """Simulate a hard kill mid-append by truncating the file at an
+        arbitrary byte inside the last record."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        for index, key in enumerate("abcd"):
+            store.record(_stored(key, index=index))
+        store.close()
+        full = path.read_bytes()
+        path.write_bytes(full[: len(full) - 17])  # tear the last record
+        reloaded = ResultStore(str(path))
+        assert reloaded.completed_keys() == {"a", "b", "c"}
+        assert reloaded.has_torn_tail
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps(_stored("a").to_dict())
+        self._write_lines(path, ["", good, "", ""])
+        assert ResultStore(str(path)).completed_keys() == {"a"}
+
+
+class TestStoreDurability:
+    def test_records_are_flushed_per_append(self, tmp_path):
+        """A second reader (the coordinator's status path, tail -f) must
+        see each record immediately, while the writer stays open."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path), durable=False)
+        store.record(_stored("a"))
+        assert ResultStore(str(path)).completed_keys() == {"a"}
+        store.record(_stored("b", index=1))
+        assert ResultStore(str(path)).completed_keys() == {"a", "b"}
+        store.close()
+
+    def test_durable_knob_controls_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        durable = ResultStore(str(tmp_path / "durable.jsonl"), durable=True)
+        durable.record(_stored("a"))
+        durable.record(_stored("b", index=1))
+        assert len(calls) == 2
+        relaxed = ResultStore(str(tmp_path / "relaxed.jsonl"), durable=False)
+        relaxed.record(_stored("a"))
+        assert len(calls) == 2  # unchanged: no fsync without the knob
+        durable.close()
+        relaxed.close()
+
+    def test_store_is_reusable_after_close(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(str(path)) as store:
+            store.record(_stored("a"))
+        store.record(_stored("b", index=1))  # reopens transparently
+        store.close()
+        assert ResultStore(str(path)).completed_keys() == {"a", "b"}
+
+
+# ----------------------------------------------------------------------
+# satellite: central controller thread safety
+# ----------------------------------------------------------------------
+class _YieldingPolicy(Policy):
+    """Always injects, yielding the GIL mid-decision to force interleaving."""
+
+    def should_inject(self, node, function, args, ctx):
+        time.sleep(0)
+        return True
+
+
+class TestCentralControllerLocking:
+    def test_concurrent_consultations_count_exactly(self):
+        controller = CentralController(_YieldingPolicy())
+        controller.history_limit = 10_000_000
+        threads_n, per_thread = 8, 400
+        barrier = threading.Barrier(threads_n)
+
+        def drive(node):
+            barrier.wait()
+            for _ in range(per_thread):
+                controller.should_inject(node, "sendto", (), None)
+
+        threads = [
+            threading.Thread(target=drive, args=(f"n{i}",)) for i in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = threads_n * per_thread
+        assert controller.consultations == total
+        assert sum(controller.consultations_by_node.values()) == total
+        assert sum(controller.injections_by_node.values()) == total
+        assert all(
+            count == per_thread for count in controller.injections_by_node.values()
+        )
+        assert len(controller.history) == total
+
+    def test_concurrent_reset_leaves_consistent_state(self):
+        controller = CentralController(_YieldingPolicy())
+        stop = threading.Event()
+
+        def consult():
+            while not stop.is_set():
+                controller.should_inject("n", "sendto", (), None)
+
+        thread = threading.Thread(target=consult)
+        thread.start()
+        for _ in range(50):
+            controller.reset()
+        stop.set()
+        thread.join()
+        controller.reset()
+        assert controller.consultations == 0
+        assert controller.injections_by_node == {}
+
+
+# ----------------------------------------------------------------------
+# satellite: wire-protocol framing edge cases
+# ----------------------------------------------------------------------
+class TestProtocolFraming:
+    def _pair(self, max_message_bytes=1024):
+        left, right = socket.socketpair()
+        return (
+            MessageStream(left, max_message_bytes=max_message_bytes),
+            MessageStream(right, max_message_bytes=max_message_bytes),
+        )
+
+    def test_round_trip(self):
+        a, b = self._pair()
+        a.send({"type": "ping", "n": 1})
+        assert b.recv() == {"type": "ping", "n": 1}
+        b.send({"type": "pong"})
+        assert a.recv() == {"type": "pong"}
+        a.close()
+        b.close()
+
+    def test_oversized_outgoing_message_is_rejected_locally(self):
+        a, b = self._pair(max_message_bytes=128)
+        with pytest.raises(MessageTooLarge):
+            a.send({"type": "submit", "blob": "x" * 1024})
+        a.close()
+        b.close()
+
+    def test_oversized_incoming_line_is_rejected(self):
+        a, b = self._pair(max_message_bytes=256)
+        raw = b'{"type": "x", "blob": "' + b"y" * 2048 + b'"}\n'
+        a._sock.sendall(raw)  # bypass the sender-side cap
+        with pytest.raises(MessageTooLarge):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_garbage_line_raises_protocol_error(self):
+        a, b = self._pair()
+        a._sock.sendall(b"this is not json\n")
+        with pytest.raises(ProtocolError):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_message_without_type_raises(self):
+        a, b = self._pair()
+        a._sock.sendall(b'{"no_type": 1}\n')
+        with pytest.raises(ProtocolError):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_half_closed_socket_raises_connection_closed(self):
+        a, b = self._pair()
+        a.send({"type": "ping"})
+        a._sock.shutdown(socket.SHUT_WR)  # half-close: we still could read
+        assert b.recv() == {"type": "ping"}
+        with pytest.raises(ConnectionClosed):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_blank_lines_are_skipped(self):
+        a, b = self._pair()
+        a._sock.sendall(b"\n\n" + b'{"type": "ping"}\n' + b"\n")
+        assert b.recv() == {"type": "ping"}
+        a.close()
+        b.close()
+
+    def test_split_and_coalesced_frames(self):
+        a, b = self._pair()
+        payload = b'{"type": "one"}\n{"type": "two"}\n'
+        a._sock.sendall(payload[:7])
+        a._sock.sendall(payload[7:])
+        assert b.recv()["type"] == "one"
+        assert b.recv()["type"] == "two"
+        a.close()
+        b.close()
+
+
+class TestServerFraming:
+    """The same edge cases through a real coordinator."""
+
+    def test_server_reports_oversized_then_closes(self, fabric_factory):
+        fabric = fabric_factory(max_message_bytes=512)
+        stream = connect(fabric.address)
+        stream._sock.sendall(b'{"pad": "' + b"x" * 4096 + b'"}\n')
+        reply = stream.recv()
+        assert reply["type"] == "error"
+        with pytest.raises(ConnectionClosed):
+            stream.recv()
+        stream.close()
+
+    def test_server_survives_garbage_and_keeps_serving(self, fabric_factory):
+        fabric = fabric_factory()
+        stream = connect(fabric.address)
+        stream._sock.sendall(b"garbage garbage\n")
+        assert stream.recv()["type"] == "error"
+        stream.send({"type": "ping"})
+        assert stream.recv()["type"] == "pong"
+        stream.close()
+
+    def test_server_handles_half_close_gracefully(self, fabric_factory):
+        fabric = fabric_factory()
+        stream = connect(fabric.address)
+        stream.send({"type": "ping"})
+        assert stream.recv()["type"] == "pong"
+        stream._sock.shutdown(socket.SHUT_WR)
+        with pytest.raises(ConnectionClosed):
+            stream.recv()  # server closed its side in response
+        stream.close()
+        # The coordinator still serves fresh connections.
+        with fabric.client() as client:
+            assert client.ping()["type"] == "pong"
+
+    def test_unknown_message_type_is_an_error_not_a_drop(self, fabric_factory):
+        fabric = fabric_factory()
+        stream = connect(fabric.address)
+        stream.send({"type": "frobnicate"})
+        assert stream.recv()["type"] == "error"
+        stream.send({"type": "ping"})
+        assert stream.recv()["type"] == "pong"
+        stream.close()
+
+    def test_interleaved_clients_get_consistent_streams(self, fabric_factory):
+        """Two clients on one coordinator: each connection's replies stay
+        internally ordered while the other hammers the server."""
+        fabric = fabric_factory()
+        errors = []
+
+        def hammer():
+            try:
+                with CampaignClient(fabric.address) as client:
+                    for _ in range(50):
+                        assert client.ping()["type"] == "pong"
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+# ----------------------------------------------------------------------
+# campaign spec
+# ----------------------------------------------------------------------
+class TestCampaignSpec:
+    def test_round_trip_and_fingerprint_stability(self):
+        spec = CampaignSpec(**GIT_SPEC_KWARGS)
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert spec_fingerprint(clone) == spec_fingerprint(spec)
+        assert spec_fingerprint(CampaignSpec(target="mini_git", seed=8)) != (
+            spec_fingerprint(CampaignSpec(target="mini_git", seed=7))
+        )
+
+    def test_rejects_unknown_fields_and_missing_target(self):
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict({"target": "mini_git", "bogus": 1})
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict({"workload": "status"})
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict("mini_git")
+
+
+# ----------------------------------------------------------------------
+# the fabric end to end
+# ----------------------------------------------------------------------
+class TestCampaignFabric:
+    def test_multi_worker_campaign_is_bit_identical_to_serial(
+        self, fabric_factory, tmp_path
+    ):
+        fabric = fabric_factory(shard_size=3, lease_timeout=10.0)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "git.jsonl"), **GIT_SPEC_KWARGS)
+        reply = client.submit(spec)
+        assert reply["type"] == "submitted" and reply["state"] == "running"
+        # Two workers drain the queue in strict alternation — deterministic
+        # interleaving, so both provably execute shards of this campaign.
+        w0 = fabric.worker(worker_id="w0")
+        w1 = fabric.worker(worker_id="w1")
+        worked = True
+        while worked:
+            worked = w0.run_once() | w1.run_once()
+        assert w0.shards_completed and w1.shards_completed
+        events = list(client.tail(reply["campaign_id"], timeout=60))
+        assert events[-1]["type"] == "campaign_complete"
+
+        status = client.status(reply["campaign_id"])
+        assert status["state"] == "complete"
+        assert status["completed"] == status["total"]
+        assert status["executed"] == status["total"]  # every point ran exactly once
+        assert set(status["workers_seen"]) == {"w0", "w1"}
+
+        records = client.results(reply["campaign_id"])
+        assert _signature_from_records(records) == _serial_signature()
+        # Tail events carry the same records, in completion order.
+        tailed = [e["record"] for e in events if e["type"] == "result"]
+        assert {r["key"] for r in tailed} == {r["key"] for r in records}
+
+    def test_submit_is_idempotent_per_spec(self, fabric_factory, tmp_path):
+        fabric = fabric_factory()
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "s.jsonl"), **GIT_SPEC_KWARGS)
+        first = client.submit(spec)
+        second = client.submit(spec)
+        assert second["campaign_id"] == first["campaign_id"]
+        assert second["resubmitted"] is True
+
+    def test_unknown_target_is_a_clean_error(self, fabric_factory):
+        fabric = fabric_factory()
+        client = fabric.client()
+        with pytest.raises(CampaignServerError, match="unknown target"):
+            client.submit(CampaignSpec(target="no_such_target"))
+        assert client.ping()["type"] == "pong"  # connection survives
+
+    def test_cancel_stops_scheduling(self, fabric_factory, tmp_path):
+        fabric = fabric_factory(shard_size=2)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "c.jsonl"), **GIT_SPEC_KWARGS)
+        reply = client.submit(spec)  # no workers: nothing will run
+        cancelled = client.cancel(reply["campaign_id"])
+        assert cancelled["state"] == "cancelled"
+        status = client.status(reply["campaign_id"])
+        assert status["state"] == "cancelled" and status["queued"] == 0
+        worker = fabric.worker()
+        assert worker.run_once() is False  # nothing to fetch
+        events = list(client.tail(reply["campaign_id"], timeout=10))
+        assert events[-1]["type"] == "campaign_cancelled"
+
+    def test_worker_killed_mid_campaign_shard_is_requeued(
+        self, fabric_factory, tmp_path
+    ):
+        """Kill one of two workers mid-shard: its lease expires, the shard
+        re-queues, and the merged results are still bit-identical."""
+
+        class DyingWorker(CampaignWorker):
+            def __init__(self, address, die_after, **kwargs):
+                super().__init__(address, **kwargs)
+                self._result_budget = die_after
+
+            def _rpc(self, message):
+                if message.get("type") == "result":
+                    if self._result_budget <= 0:
+                        # Simulated crash: drop the link mid-shard, no
+                        # shard_done, no further traffic.
+                        self.stop()
+                        self._drop_stream()
+                        raise ConnectionClosed("simulated worker crash")
+                    self._result_budget -= 1
+                return super()._rpc(message)
+
+        fabric = fabric_factory(shard_size=4, lease_timeout=0.5)
+        dying = DyingWorker(
+            fabric.address, die_after=2, worker_id="doomed", poll_interval=0.01
+        )
+        fabric.workers.append(dying)
+        survivor = fabric.worker(worker_id="survivor", poll_interval=0.01)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "kill.jsonl"), **GIT_SPEC_KWARGS)
+        reply = client.submit(spec)
+
+        fabric.spawn(dying)
+        fabric.spawn(survivor)
+        events = list(client.tail(reply["campaign_id"], timeout=60))
+        assert events[-1]["type"] == "campaign_complete"
+
+        status = client.status(reply["campaign_id"])
+        assert status["completed"] == status["total"]
+        assert "doomed" in status["workers_seen"]
+        records = client.results(reply["campaign_id"])
+        assert _signature_from_records(records) == _serial_signature()
+
+    def test_stale_lease_after_expiry_reconnect(self, fabric_factory, tmp_path):
+        """A worker that goes silent past the lease timeout and then comes
+        back finds its lease honoured no more: results and heartbeats are
+        answered stale, and the shard has been handed to someone else."""
+        fabric = fabric_factory(shard_size=4, lease_timeout=0.3)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "stale.jsonl"), **GIT_SPEC_KWARGS)
+        client.submit(spec)
+
+        stream = connect(fabric.address)
+        stream.send({"type": "hello", "role": "worker", "worker_id": "sleepy"})
+        assert stream.recv()["type"] == "welcome"
+        stream.send({"type": "fetch", "worker_id": "sleepy"})
+        shard = stream.recv()
+        assert shard["type"] == "shard"
+
+        time.sleep(0.5)  # outlive the lease without a heartbeat
+
+        # Another worker now gets the same (re-queued) indices.
+        other = connect(fabric.address)
+        other.send({"type": "hello", "role": "worker", "worker_id": "fresh"})
+        assert other.recv()["type"] == "welcome"
+        other.send({"type": "fetch", "worker_id": "fresh"})
+        reissued = other.recv()
+        assert reissued["type"] == "shard"
+        assert reissued["indices"] == shard["indices"]
+        assert reissued["lease_id"] != shard["lease_id"]
+
+        # The sleeper's lease is rejected on every verb.
+        stream.send({"type": "heartbeat", "lease_id": shard["lease_id"]})
+        assert stream.recv()["type"] == "stale_lease"
+        engine, points = build_engine(CampaignSpec(**GIT_SPEC_KWARGS))
+        record = next(iter(engine.run_schedule_indices(points, shard["indices"][:1])))
+        stream.send({
+            "type": "result", "lease_id": shard["lease_id"],
+            "record": record.to_dict(),
+        })
+        assert stream.recv()["type"] == "stale_lease"
+        stream.send({"type": "shard_done", "lease_id": shard["lease_id"]})
+        assert stream.recv()["type"] == "stale_lease"
+        stream.close()
+        other.close()
+
+    def test_duplicate_result_delivery_is_idempotent(self, fabric_factory, tmp_path):
+        """The same record delivered twice (retry races) stores once."""
+        fabric = fabric_factory(shard_size=2, lease_timeout=30.0)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "dup.jsonl"), **GIT_SPEC_KWARGS)
+        reply = client.submit(spec)
+
+        stream = connect(fabric.address)
+        stream.send({"type": "hello", "role": "worker", "worker_id": "dupper"})
+        stream.recv()
+        stream.send({"type": "fetch", "worker_id": "dupper"})
+        shard = stream.recv()
+        engine, points = build_engine(CampaignSpec(**GIT_SPEC_KWARGS))
+        record = next(iter(engine.run_schedule_indices(points, shard["indices"][:1])))
+        for _ in range(2):
+            stream.send({
+                "type": "result", "lease_id": shard["lease_id"],
+                "record": record.to_dict(),
+            })
+            assert stream.recv()["type"] == "ack"
+        stream.close()
+
+        status = client.status(reply["campaign_id"])
+        assert status["completed"] == status["resumed_at_submit"] + 1
+        store = ResultStore(str(tmp_path / "dup.jsonl"))
+        assert len([k for k in store.completed_keys() if k == record.key]) == 1
+
+
+class TestCoordinatorRestart:
+    def test_resume_after_coordinator_and_worker_restart(self, tmp_path):
+        """The acceptance criterion: kill the coordinator (and the worker)
+        mid-campaign, restart both, resubmit the same spec — the campaign
+        resumes from the store, re-runs nothing already checkpointed, and
+        the merged results are bit-identical to a serial run."""
+        runs = {"count": 0}
+
+        class CountingGitTarget:
+            def __init__(self):
+                self._inner = MiniGitTarget()
+                self.name = "counting_git"
+
+            def binary(self):
+                return self._inner.binary()
+
+            def workloads(self):
+                return self._inner.workloads()
+
+            def run(self, request):
+                runs["count"] += 1
+                return self._inner.run(request)
+
+        register_target("counting_git", CountingGitTarget)
+        try:
+            store_path = str(tmp_path / "restart.jsonl")
+            spec = CampaignSpec(
+                target="counting_git", workload="status", seed=11,
+                store_path=store_path,
+            )
+            total = len(build_engine(spec)[1])
+            assert total > 8  # the test needs a partial first phase
+
+            # Phase 1: run exactly two shards, then everything dies.
+            coordinator = CampaignCoordinator(port=0, shard_size=4)
+            address = coordinator.start()
+            with CampaignClient(address) as client:
+                first = client.submit(spec)
+                assert first["resumed"] == 0
+            worker = CampaignWorker(address, worker_id="w-phase1")
+            assert worker.run_once() and worker.run_once()
+            worker.close()
+            coordinator.stop()  # hard stop: no draining, no farewell
+
+            checkpointed = len(ResultStore(store_path))
+            assert checkpointed == 8 == runs["count"]
+
+            # Phase 2: a new coordinator on the same store resumes.
+            coordinator = CampaignCoordinator(port=0, shard_size=4)
+            address = coordinator.start()
+            try:
+                with CampaignClient(address) as client:
+                    second = client.submit(spec)
+                    assert second["resumed"] == checkpointed
+                    worker = CampaignWorker(address, worker_id="w-phase2")
+                    while worker.run_once():
+                        pass
+                    worker.close()
+                    status = client.status(second["campaign_id"])
+                    assert status["state"] == "complete"
+                    assert status["executed"] == total - checkpointed
+                    records = client.results(second["campaign_id"])
+            finally:
+                coordinator.stop()
+
+            # Nothing already checkpointed re-ran.
+            assert runs["count"] == total
+            # And the merged records are bit-identical to one serial run.
+            oracle_spec = CampaignSpec(
+                target="counting_git", workload="status", seed=11,
+            )
+            engine, points = build_engine(oracle_spec, store=ResultStore())
+            serial = _signature_from_outcomes(engine.explore(points))
+            assert _signature_from_records(records) == serial
+        finally:
+            unregister_target("counting_git")
+
+    def test_resubmit_against_mismatched_seed_store_is_rejected(
+        self, fabric_factory, tmp_path
+    ):
+        store_path = str(tmp_path / "seeded.jsonl")
+        fabric = fabric_factory()
+        client = fabric.client()
+        spec = dict(GIT_SPEC_KWARGS)
+        reply = client.submit(CampaignSpec(store_path=store_path, **spec))
+        worker = fabric.worker()
+        while worker.run_once():
+            pass
+        assert client.status(reply["campaign_id"])["state"] == "complete"
+        spec["seed"] = 99  # same store, different schedule seeds
+        with pytest.raises(CampaignServerError, match="seed mismatch"):
+            client.submit(CampaignSpec(store_path=store_path, **spec))
+
+
+# ----------------------------------------------------------------------
+# engine shard API
+# ----------------------------------------------------------------------
+class TestRunScheduleIndices:
+    def test_shard_records_match_explore_checkpoints(self, tmp_path):
+        spec = CampaignSpec(**GIT_SPEC_KWARGS)
+        engine, points = build_engine(
+            spec, store=ResultStore(str(tmp_path / "oracle.jsonl"))
+        )
+        report = engine.explore(points)
+        by_key = {r.key: r for r in engine.store.results()}
+
+        shard_engine, shard_points = build_engine(spec)
+        indices = list(range(len(report.outcomes)))
+        records = list(shard_engine.run_schedule_indices(shard_points, indices))
+        assert len(records) == len(report.outcomes)
+        for record in records:
+            assert record.to_dict() == by_key[record.key].to_dict()
+
+    def test_out_of_range_index_raises(self):
+        engine, points = build_engine(CampaignSpec(**GIT_SPEC_KWARGS))
+        with pytest.raises(IndexError):
+            list(engine.run_schedule_indices(points, [10_000]))
+
+
+# ----------------------------------------------------------------------
+# the CLI mains, in process
+# ----------------------------------------------------------------------
+class TestCampaignCLI:
+    def test_submit_wait_status_results_roundtrip(
+        self, fabric_factory, tmp_path, capsys
+    ):
+        from repro.cli import campaign as cli
+
+        fabric = fabric_factory(shard_size=4)
+        fabric.spawn(fabric.worker(worker_id="cli-w"))
+        host, port = fabric.address
+        base = ["--host", host, "--port", str(port)]
+
+        rc = cli.main(base + [
+            "submit", "--target", "mini_git", "--workload", "status",
+            "--seed", "7", "--functions", "close,malloc",
+            "--store", str(tmp_path / "cli.jsonl"), "--wait",
+        ])
+        assert rc == 0
+        submitted, final = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        campaign_id = submitted["campaign_id"]
+        assert final["state"] == "complete"
+
+        assert cli.main(base + ["status", campaign_id]) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "complete"
+
+        assert cli.main(base + ["results", campaign_id]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert _signature_from_records(records) == _serial_signature()
+
+        assert cli.main(base + ["list"]) == 0
+        assert json.loads(capsys.readouterr().out.splitlines()[0])["campaign_id"] == campaign_id
+
+        assert cli.main(base + ["ping"]) == 0
+        assert json.loads(capsys.readouterr().out)["type"] == "pong"
+
+    def test_tail_no_follow_catches_up(self, fabric_factory, tmp_path, capsys):
+        from repro.cli import campaign as cli
+
+        fabric = fabric_factory(shard_size=4)
+        client = fabric.client()
+        spec = CampaignSpec(store_path=str(tmp_path / "t.jsonl"), **GIT_SPEC_KWARGS)
+        reply = client.submit(spec)
+        worker = fabric.worker()
+        while worker.run_once():
+            pass
+        host, port = fabric.address
+        rc = cli.main([
+            "--host", host, "--port", str(port),
+            "tail", reply["campaign_id"], "--no-follow",
+        ])
+        assert rc == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert lines[-1]["type"] == "campaign_complete"
+        assert len(lines) - 1 == client.status(reply["campaign_id"])["total"]
+
+    def test_worker_cli_max_idle_exits(self, fabric_factory):
+        from repro.cli import campaignd as cli
+
+        host, port = fabric_factory().address
+        rc = cli.main([
+            "worker", "--host", host, "--port", str(port),
+            "--max-idle", "2", "--poll-interval", "0.01",
+        ])
+        assert rc == 0
