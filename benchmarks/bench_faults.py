@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Structured fault-class sweep benchmark — writes ``BENCH_faults.json``.
+
+Measures the campaign cost of the structured taxonomy and pins its two
+differential guarantees while timing them:
+
+1. **per-class sweeps** — points/sec for each structured class swept over
+   mini_git (the compiled target exercises the VM dispatch path for every
+   class; network classes are swept over the PBFT cluster instead, the only
+   target with a wire).
+2. **partial-write + crash-point sweep, both engines** — the CI smoke
+   configuration: the same sweep under the compiled and the reference VM
+   engine must produce bit-identical reports, and serial vs pooled
+   execution of the compiled sweep must too.
+3. **usage profile** — the BEACON-style per-target report built from the
+   sweep's own trace, with its build time (it should be noise).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [--smoke] [--output BENCH_faults.json]
+
+``--smoke`` shrinks the sweeps for CI; the JSON schema is identical, so
+the perf trajectory accumulates across runs either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.exploration import ResultStore  # noqa: E402
+from repro.core.exploration.engine import ExplorationEngine  # noqa: E402
+from repro.core.exploration.space import enumerate_structured_space  # noqa: E402
+from repro.core.faults import class_names  # noqa: E402
+from repro.coverage.report import build_usage_profile  # noqa: E402
+from repro.targets.mini_git import MiniGitTarget  # noqa: E402
+from repro.targets.pbft import PBFTTarget  # noqa: E402
+
+NET_CLASSES = ("net_drop", "net_partition", "net_reorder")
+SMOKE_CLASSES = ("partial_write", "crash_point")
+
+
+def _signature(report):
+    return [
+        (o.point.key, o.outcome.kind.value, o.outcome.detail, o.outcome.exit_code,
+         o.outcome.location, o.injections, o.fingerprint, o.run_seed)
+        for o in report.outcomes
+    ]
+
+
+def _sweep(target, workload, classes, request_options=None, parallelism=None):
+    points = enumerate_structured_space(target.name, classes)
+    engine = ExplorationEngine(
+        target, seed=13, workload=workload, store=ResultStore(),
+        parallelism=parallelism,
+        request_options=dict(request_options or {}),
+    )
+    start = time.perf_counter()
+    report = engine.explore(points)
+    elapsed = time.perf_counter() - start
+    return report, engine, len(points), elapsed
+
+
+def bench_per_class(classes) -> dict:
+    """Points/sec for each class, on the target kind that can express it."""
+    results = {}
+    for klass in classes:
+        if klass in NET_CLASSES:
+            target, workload = PBFTTarget(), "simple"
+        else:
+            target, workload = MiniGitTarget(), "commit"
+        report, _engine, points, elapsed = _sweep(target, workload, [klass])
+        assert report.complete
+        results[klass] = {
+            "target": target.name,
+            "points": points,
+            "failures": len(report.failures()),
+            "points_per_sec": round(points / elapsed, 2),
+        }
+    return results
+
+
+def bench_differential_sweep() -> dict:
+    """The CI smoke sweep: partial_write + crash_point on mini_git, both
+    engines, serial and pooled — all four reports bit-identical."""
+    timings = {}
+    reports = {}
+    for engine_name in ("compiled", "reference"):
+        report, _engine, points, elapsed = _sweep(
+            MiniGitTarget(), "commit", SMOKE_CLASSES,
+            request_options={"engine": engine_name},
+        )
+        reports[engine_name] = report
+        timings[engine_name] = {
+            "points": points,
+            "points_per_sec": round(points / elapsed, 2),
+        }
+    assert _signature(reports["compiled"]) == _signature(reports["reference"]), (
+        "compiled and reference sweeps diverged"
+    )
+    pooled, _engine, _points, elapsed = _sweep(
+        MiniGitTarget(), "commit", SMOKE_CLASSES, parallelism="threads:4",
+    )
+    assert _signature(pooled) == _signature(reports["compiled"]), (
+        "pooled sweep diverged from serial"
+    )
+    timings["pooled_threads4"] = {
+        "points_per_sec": round(len(pooled.outcomes) / elapsed, 2),
+    }
+    # The sweep must actually find the seeded mini_git short-write bug.
+    data_loss = [
+        o for o in reports["compiled"].outcomes
+        if o.outcome.kind.value == "data-loss"
+    ]
+    assert data_loss, "sweep lost the seeded short-write bug"
+    timings["seeded_bug_hits"] = len(data_loss)
+    timings["bit_identical"] = True
+    return timings
+
+
+def bench_usage_profile() -> dict:
+    report, engine, points, _elapsed = _sweep(
+        MiniGitTarget(), "commit", SMOKE_CLASSES
+    )
+    start = time.perf_counter()
+    profile = build_usage_profile("mini_git", engine.store.results())
+    elapsed = time.perf_counter() - start
+    assert profile.runs == points
+    assert profile.functions["write"].failures >= 1
+    return {
+        "runs": profile.runs,
+        "functions_profiled": len(profile.functions),
+        "unswept_functions": len(profile.unswept()),
+        "build_seconds": round(elapsed, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink the sweeps for CI")
+    parser.add_argument("--output", default="BENCH_faults.json",
+                        help="where to write the JSON result (default: BENCH_faults.json)")
+    args = parser.parse_args(argv)
+
+    classes = SMOKE_CLASSES if args.smoke else class_names()
+    payload = {
+        "benchmark": "structured-fault-classes",
+        "mode": "smoke" if args.smoke else "full",
+        "per_class": bench_per_class(classes),
+        "differential_sweep": bench_differential_sweep(),
+        "usage_profile": bench_usage_profile(),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -215,6 +215,35 @@ side (``submit``/``status``/``tail``/``results``/``cancel``)::
 wire protocol, kills a worker and the coordinator mid-campaign, and
 asserts the merged results stay bit-identical to the serial oracle.
 
+**Structured fault classes.**  Beyond the classic (return value, errno)
+pair, :mod:`repro.core.faults` defines a taxonomy of structured classes —
+partial writes/short reads, fd/heap-exhaustion ramps, clock skew and
+jumps, network drop/partition/reorder for the PBFT cluster, and
+crash-consistency kills that murder the world at the Nth write (optionally
+after a torn partial write) and then replay a recovery workload against
+the surviving fs state, with the target's data oracles run post-recovery.
+Each class is a first-class campaign dimension: enumerated by
+:func:`~repro.core.exploration.space.enumerate_structured_space` into
+points with stable keys (``mini_git:write#2:partial_write[fraction=0.5]``),
+deduplicated along the class axis, serialized through injection logs and
+result stores (old errno-only stores load and resume unchanged), swept via
+``CampaignSpec(fault_classes=[...])`` (validated at submit time), and held
+to the same differential contract — compiled == reference engine, serial
+== pooled == distributed (``tests/test_faults.py``,
+``benchmarks/bench_faults.py`` writing ``BENCH_faults.json``).  Campaign
+traces carry per-function call counts, and
+:func:`repro.coverage.report.build_usage_profile` turns any trace into a
+BEACON-style per-target usage profile (call volume per library function,
+classes swept, failure concentration, unswept gap list).  Reference:
+``doc/FAULTS.md``::
+
+    scenario = structured_scenario("crash_point", "write", nth=2,
+                                   params={"torn": 1, "fraction": 0.5},
+                                   recovery_workload="status")
+    result = resolve_target("mini_git").run(
+        WorkloadRequest(workload="commit", scenario=scenario))
+    # data-loss: committed object .../incoming is truncated (8 of 16 bytes)
+
 The main layers:
 
 * :mod:`repro.core` — the paper's contribution: triggers, scenarios,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.injection.log import InjectionLog
-from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
+from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit, WorldCrash
 from repro.vm.outcome import ExitKind, ExitStatus
 
 
@@ -25,6 +25,7 @@ class OutcomeKind(enum.Enum):
     ABORT = "abort"        # assertion failure / abort() / mutex abort
     HANG = "hang"          # exceeded its step or time budget
     DATA_LOSS = "data-loss"  # silent corruption detected by a workload oracle
+    WORLD_CRASH = "world-crash"  # the world was killed mid-run (crash fault)
 
     @property
     def is_failure(self) -> bool:
@@ -32,6 +33,9 @@ class OutcomeKind(enum.Enum):
 
     @property
     def is_high_impact(self) -> bool:
+        # WORLD_CRASH is deliberately excluded: the interesting question
+        # after a crash-consistency kill is whether the *oracles* still hold
+        # once recovery has run, so oracle checks must not be skipped.
         return self in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.DATA_LOSS)
 
 
@@ -97,6 +101,7 @@ def classify_exit_status(status: ExitStatus) -> Outcome:
         ExitKind.ABORT: OutcomeKind.ABORT,
         ExitKind.MAX_STEPS: OutcomeKind.HANG,
         ExitKind.VM_ERROR: OutcomeKind.CRASH,
+        ExitKind.WORLD_CRASH: OutcomeKind.WORLD_CRASH,
     }
     return Outcome(
         kind=mapping[status.kind],
@@ -117,6 +122,8 @@ def classify_exception(error: BaseException) -> Outcome:
             return Outcome(kind=OutcomeKind.ABORT, detail=error.reason, exit_code=error.code)
         kind = OutcomeKind.NORMAL if error.code == 0 else OutcomeKind.ERROR_EXIT
         return Outcome(kind=kind, detail=error.reason, exit_code=error.code)
+    if isinstance(error, WorldCrash):
+        return Outcome(kind=OutcomeKind.WORLD_CRASH, detail=str(error), exit_code=137)
     if isinstance(error, OSFault):
         return Outcome(kind=OutcomeKind.ERROR_EXIT, detail=str(error), exit_code=70)
     # Any other unhandled exception is the Python analog of a crash.

@@ -63,6 +63,7 @@ from repro.core.controller.monitor import (
     classify_exit_status,
 )
 from repro.core.controller.target import TargetAdapter, WorkloadRequest, make_gate
+from repro.core.faults import UNSHAREABLE_CLASSES, apply_fault_on_machine
 from repro.core.injection.log import InjectionLog
 from repro.core.scenario.model import Scenario
 from repro.coverage.tracker import CoverageTracker
@@ -153,10 +154,18 @@ def scenario_group_key_parts(scenario: Optional[Scenario]) -> Optional[KeyParts]
                 return None
             params = [item for item in params if item[0] not in ("nth", "count")]
         trigger_parts.append((trigger_id, declaration.class_name, repr(params)))
-    plan_parts = [
-        (plan.function, tuple(plan.trigger_ids), plan.fault is not None, plan.argc)
-        for plan in scenario.plans
-    ]
+    plan_parts = []
+    for plan in scenario.plans:
+        fault_class = plan.fault.fault_class if plan.fault is not None else None
+        if fault_class in UNSHAREABLE_CLASSES:
+            # Stateful fault classes (ramps arm over the whole run, network
+            # faults mutate shared delivery state, crash points unwind the
+            # world): a shared prefix cannot stand in for their full runs.
+            return None
+        plan_parts.append(
+            (plan.function, tuple(plan.trigger_ids), plan.fault is not None,
+             plan.argc, fault_class)
+        )
     return repr((tuple(trigger_parts), tuple(plan_parts))), rank
 
 
@@ -353,6 +362,10 @@ def errno_sibling_positions(
         if ours.fault is None or theirs.fault is None:
             return None
         if ours.fault.return_value != theirs.fault.return_value:
+            return None
+        if ours.fault.fault_class != theirs.fault.fault_class:
+            return None
+        if ours.fault.params != theirs.fault.params:
             return None
         positions.append(index)
     return positions
@@ -597,9 +610,7 @@ def _resume_member_mid(
 
     fault = scenario.plans[record["plan_index"]].fault
     gate.injected_calls += 1
-    result = machine.libc.apply_injected_fault(
-        record["name"], fault.return_value, fault.errno, machine.memory
-    )
+    result = apply_fault_on_machine(fault, record["name"], record["args"], machine)
     result.injected = True
     gate.log.record(
         function=record["name"],

@@ -3,9 +3,13 @@
 Different fault points frequently expose the *same* underlying bug — e.g.
 every unchecked ``puts`` site on one error path crashes at the same store
 instruction.  Exploration reports would drown the novel findings, so
-failures are grouped by a four-part equivalence key:
+failures are grouped by a five-part equivalence key:
 
-``(function, errno, outcome kind, stack fingerprint)``
+``(function, errno, fault class, outcome kind, stack fingerprint)``
+
+The fault-class dimension keeps structured findings distinct from errno
+findings at the same site: a crash exposed by a torn partial write is a
+different bug than a crash exposed by ``write -> -1/ENOSPC``.
 
 The stack fingerprint hashes the frames of the injected call (module,
 function, line — not raw addresses, which shift between builds) so two
@@ -24,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.frames import StackFrame
 from repro.core.controller.monitor import Outcome, OutcomeKind
 
-FailureKey = Tuple[str, Optional[int], OutcomeKind, str]
+FailureKey = Tuple[str, Optional[int], str, OutcomeKind, str]
 
 
 def stack_fingerprint(stack: Sequence[StackFrame], fallback: str = "") -> str:
@@ -46,15 +50,17 @@ class UniqueFailure:
     detail: str = ""
     occurrences: int = 0
     scenarios: List[str] = field(default_factory=list)
+    fault_class: str = "errno"
 
     @property
     def key(self) -> FailureKey:
-        return (self.function, self.errno, self.kind, self.fingerprint)
+        return (self.function, self.errno, self.fault_class, self.kind, self.fingerprint)
 
     def describe(self) -> str:
         errno = self.errno if self.errno is not None else "-"
+        klass = f" [{self.fault_class}]" if self.fault_class != "errno" else ""
         return (
-            f"{self.function} (errno {errno}) -> {self.kind.value} "
+            f"{self.function} (errno {errno}){klass} -> {self.kind.value} "
             f"[stack {self.fingerprint or '?'}] x{self.occurrences}"
         )
 
@@ -72,9 +78,10 @@ class FailureDeduplicator:
         outcome: Outcome,
         fingerprint: str,
         scenario: str = "",
+        fault_class: str = "errno",
     ) -> bool:
         """Record one failure; True when its equivalence class is novel."""
-        key: FailureKey = (function, errno, outcome.kind, fingerprint)
+        key: FailureKey = (function, errno, fault_class, outcome.kind, fingerprint)
         existing = self._unique.get(key)
         novel = existing is None
         if existing is None:
@@ -84,6 +91,7 @@ class FailureDeduplicator:
                 kind=outcome.kind,
                 fingerprint=fingerprint,
                 detail=outcome.detail,
+                fault_class=fault_class,
             )
             self._unique[key] = existing
         existing.occurrences += 1

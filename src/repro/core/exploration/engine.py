@@ -254,6 +254,9 @@ class ExplorationEngine:
             injections=result.injections,
             fingerprint=self._fingerprint(result, point),
             run_seed=derive_run_seed(self.seed, index),
+            fault_class=getattr(point, "klass", "errno"),
+            fault_params=dict(getattr(point, "params", ())),
+            calls=dict(result.stats.get("calls", {})),
         )
 
     def _iter_entry_results(
@@ -454,6 +457,7 @@ class ExplorationEngine:
                     outcome=outcome.outcome,
                     fingerprint=outcome.fingerprint,
                     scenario=outcome.scenario_name,
+                    fault_class=getattr(point, "klass", "errno"),
                 )
 
         return ExplorationReport(

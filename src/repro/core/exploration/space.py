@@ -20,7 +20,7 @@ repeat occurrences, so every distinct error behaviour is probed early.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.analysis.classifier import ClassifiedSite, SiteClassification
 from repro.core.analysis.scenario_gen import fault_candidates, scenario_for_fault
@@ -29,7 +29,9 @@ from repro.core.scenario.model import Scenario
 from repro.oslib.errno_codes import errno_name
 
 #: Priority rank of each Algorithm 1 category (lower runs earlier).
-CATEGORY_RANK: Dict[str, int] = {"unchecked": 0, "partial": 1, "checked": 2}
+#: Structured fault classes probe *behavioural* families rather than
+#: return-check categories; they run after the errno bands.
+CATEGORY_RANK: Dict[str, int] = {"unchecked": 0, "partial": 1, "checked": 2, "structured": 3}
 
 
 @dataclass
@@ -81,6 +83,91 @@ class FaultPoint:
 
     def describe(self) -> str:
         return f"{self.key} [{self.category}]"
+
+
+@dataclass
+class StructuredFaultPoint(FaultPoint):
+    """One injectable structured fault: (class x params x occurrence).
+
+    Structured classes are function-level (triggered by call count), so the
+    ``address``/``site`` dimensions of the errno space collapse; the new
+    dimensions are the class name, its parameter set, and which occurrence
+    of the call gets hit.  Keys deliberately use a distinct shape from
+    errno-point keys, so old stores resume cleanly next to new sweeps.
+    """
+
+    klass: str = "errno"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: Which call to the target function is hit (ramps encode their arming
+    #: point in ``params["budget"]`` instead and keep occurrence at 1).
+    occurrence: int = 1
+
+    @property
+    def key(self) -> str:
+        param_str = ",".join(f"{key}={value}" for key, value in self.params) or "-"
+        return f"{self.binary}:{self.function}#{self.occurrence}:{self.klass}[{param_str}]"
+
+    @property
+    def fault_class(self) -> Tuple[Any, ...]:
+        return (self.function, self.klass, self.params)
+
+    def scenario(self, once: bool = True) -> Scenario:
+        from repro.core.faults import structured_scenario
+
+        param_str = ",".join(f"{key}={value}" for key, value in self.params) or "-"
+        return structured_scenario(
+            self.klass,
+            self.function,
+            nth=self.occurrence,
+            params=dict(self.params),
+            name=f"explore-{self.klass}-{self.function}-n{self.occurrence}-{param_str}",
+        )
+
+
+def enumerate_structured_space(
+    binary: str,
+    classes: Iterable[str],
+    functions: Optional[Iterable[str]] = None,
+    occurrences: int = 2,
+) -> List[FaultPoint]:
+    """Enumerate the fault points of the requested structured classes.
+
+    Deterministic: classes in sorted order, functions in registry order,
+    grid entries in registry order, occurrences ascending.  ``functions``
+    (when given) filters the class's target functions, mirroring the
+    ``functions`` filter of the errno space.
+    """
+    from repro.core.faults import FAULT_CLASSES, make_fault
+
+    wanted = set(functions) if functions is not None else None
+    points: List[FaultPoint] = []
+    for klass in sorted(set(classes)):
+        definition = FAULT_CLASSES.get(klass)
+        if definition is None:
+            raise ValueError(f"unknown fault class {klass!r}")
+        for function in definition.functions:
+            if wanted is not None and function not in wanted:
+                continue
+            for grid_index, params in enumerate(definition.grid):
+                fault = make_fault(klass, dict(params))
+                nths = (1,) if definition.ramp else tuple(range(1, max(1, occurrences) + 1))
+                for nth in nths:
+                    points.append(
+                        StructuredFaultPoint(
+                            binary=binary,
+                            function=function,
+                            address=0,
+                            category="structured",
+                            return_value=fault.return_value,
+                            errno=fault.errno,
+                            fault_index=grid_index,
+                            site=None,
+                            klass=klass,
+                            params=params,
+                            occurrence=nth,
+                        )
+                    )
+    return points
 
 
 def enumerate_fault_space(
@@ -148,11 +235,18 @@ def priority_order(points: Iterable[FaultPoint]) -> List[FaultPoint]:
             point.fault_index,
         ),
     )
-    occurrence: Dict[Tuple[int, str, int, Optional[int]], int] = {}
+    occurrence: Dict[Tuple[Any, ...], int] = {}
     keyed = []
     for point in banded:
         rank = CATEGORY_RANK.get(point.category, len(CATEGORY_RANK))
-        cls = (rank, point.function, point.return_value, point.errno)
+        cls = (
+            rank,
+            point.function,
+            point.return_value,
+            point.errno,
+            getattr(point, "klass", "errno"),
+            getattr(point, "params", ()),
+        )
         seen = occurrence.get(cls, 0)
         occurrence[cls] = seen + 1
         keyed.append((rank, seen, point))
@@ -169,4 +263,11 @@ def priority_order(points: Iterable[FaultPoint]) -> List[FaultPoint]:
     return [point for _, _, point in keyed]
 
 
-__all__ = ["CATEGORY_RANK", "FaultPoint", "enumerate_fault_space", "priority_order"]
+__all__ = [
+    "CATEGORY_RANK",
+    "FaultPoint",
+    "StructuredFaultPoint",
+    "enumerate_fault_space",
+    "enumerate_structured_space",
+    "priority_order",
+]

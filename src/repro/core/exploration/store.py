@@ -78,6 +78,14 @@ class StoredResult:
     injections: int = 0
     fingerprint: str = ""
     run_seed: Optional[int] = None
+    #: Structured fault-class dimensions.  Defaulted so errno-only stores
+    #: written before the taxonomy load (and resume) unchanged, and new
+    #: stores read by old code route these through ``extra``.
+    fault_class: str = "errno"
+    fault_params: Dict[str, Any] = field(default_factory=dict)
+    #: Per-function library-call counts of the run (the BEACON-style usage
+    #: profile raw material); empty when the target did not report them.
+    calls: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property

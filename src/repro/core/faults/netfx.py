@@ -1,0 +1,55 @@
+"""Deterministic network-fault delivery hooks.
+
+:class:`~repro.oslib.net.SimNetwork` runs every registered delivery hook on
+each ``sendto``; a hook returning ``False`` drops the datagram.  The hooks
+here are small *value objects* — equality and hashing are structural — so
+snapshot capture/restore round-trips compare them correctly and installing
+the same partition twice is detectable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.oslib.net import Datagram
+
+
+class PartitionHook:
+    """Drop every datagram to or from a partitioned set of addresses."""
+
+    def __init__(self, blocked: Iterable[int]) -> None:
+        self.blocked: FrozenSet[int] = frozenset(int(address) for address in blocked)
+
+    def __call__(self, datagram: Datagram) -> bool:
+        return (
+            datagram.destination not in self.blocked
+            and datagram.source not in self.blocked
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartitionHook) and self.blocked == other.blocked
+
+    def __hash__(self) -> int:
+        return hash(("PartitionHook", self.blocked))
+
+    def __repr__(self) -> str:
+        return f"PartitionHook(blocked={sorted(self.blocked)})"
+
+
+class DropAllHook:
+    """Drop every datagram (total blackout; also the hook-leak regression probe)."""
+
+    def __call__(self, datagram: Datagram) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DropAllHook)
+
+    def __hash__(self) -> int:
+        return hash("DropAllHook")
+
+    def __repr__(self) -> str:
+        return "DropAllHook()"
+
+
+__all__ = ["DropAllHook", "PartitionHook"]

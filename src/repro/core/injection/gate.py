@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.common.frames import StackFrame
 from repro.core.injection.context import CallContext
+from repro.core.injection.faults import ERRNO_CLASS
 from repro.core.injection.log import InjectionLog
 from repro.core.injection.runtime import InjectionRuntime
 from repro.oslib.libc import LibcResult
@@ -221,6 +222,35 @@ class LibraryCallGate:
             if self.inject_observer is not None:
                 self.inject_observer(name, args, count, ctx, decision)
             self.injected_calls += 1
+
+            def record_injection() -> None:
+                self.log.record(
+                    function=name,
+                    args=args,
+                    injected=True,
+                    call_count=count,
+                    node=ctx.node,
+                    module=ctx.module,
+                    fault=decision.fault,
+                    trigger_ids=decision.fired_triggers,
+                    stack=ctx.stack,
+                    source=str(ctx.source) if ctx.source else "",
+                    sim_time=self._sim_time(context),
+                )
+
+            if decision.fault.fault_class != ERRNO_CLASS:
+                # Structured classes (partial I/O, ramps, clock, network,
+                # crash points) have class-specific semantics; the applier
+                # logs first because crash classes unwind the world.
+                from repro.core.faults import apply_structured_fault
+
+                result = apply_structured_fault(
+                    decision.fault, name, args, invoke, apply_fault, ctx,
+                    log_record=record_injection,
+                )
+                result.injected = True
+                return result
+
             if apply_fault is not None:
                 result = apply_fault(decision.fault.return_value, decision.fault.errno)
             else:
@@ -230,19 +260,7 @@ class LibraryCallGate:
                     injected=True,
                 )
             result.injected = True
-            self.log.record(
-                function=name,
-                args=args,
-                injected=True,
-                call_count=count,
-                node=ctx.node,
-                module=ctx.module,
-                fault=decision.fault,
-                trigger_ids=decision.fired_triggers,
-                stack=ctx.stack,
-                source=str(ctx.source) if ctx.source else "",
-                sim_time=self._sim_time(context),
-            )
+            record_injection()
             return result
 
         # Pass-through (triggers disagreed, or observe-only suppressed the

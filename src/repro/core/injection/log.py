@@ -55,6 +55,10 @@ class InjectionRecord:
             "has_fault": self.fault is not None,
             "return_value": self.fault.return_value if self.fault else None,
             "errno": self.fault.errno if self.fault else None,
+            # Structured fault classes; absent/None means the classic errno
+            # class so pre-taxonomy logs keep loading unchanged.
+            "fault_class": self.fault.fault_class if self.fault else None,
+            "fault_params": dict(self.fault.params) if self.fault else None,
             "triggers": list(self.trigger_ids),
             "stack": [frame.describe() for frame in self.stack],
             "frames": [
@@ -85,9 +89,13 @@ class InjectionRecord:
         if has_fault is None:  # logs written before the marker existed
             has_fault = bool(payload.get("injected")) and payload.get("return_value") is not None
         if has_fault:
+            fault_class = payload.get("fault_class") or "errno"
+            fault_params = payload.get("fault_params") or {}
             fault = FaultSpec(
                 return_value=int(payload.get("return_value", 0) or 0),
                 errno=payload.get("errno"),
+                fault_class=fault_class,
+                params=tuple(sorted(fault_params.items())),
             )
         stack = [
             StackFrame(

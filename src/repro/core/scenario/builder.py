@@ -59,6 +59,23 @@ class ScenarioBuilder:
         self._scenario.associate(function, trigger_ids, fault=fault, argc=argc)
         return self
 
+    def inject_fault(
+        self,
+        function: str,
+        trigger_ids: Sequence[str],
+        fault: FaultSpec,
+        argc: Optional[int] = None,
+    ) -> "ScenarioBuilder":
+        """Associate triggers with *function* injecting a pre-built fault.
+
+        This is how structured fault classes (``repro.core.faults``) attach:
+        the spec already carries its class name and parameter tuple.
+        """
+        if argc is None and function in LIBC_FUNCTIONS:
+            argc = LIBC_FUNCTIONS[function].argc
+        self._scenario.associate(function, trigger_ids, fault=fault, argc=argc)
+        return self
+
     def observe(
         self, function: str, trigger_ids: Sequence[str], argc: Optional[int] = None
     ) -> "ScenarioBuilder":

@@ -55,7 +55,12 @@ from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
 )
-from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
+from repro.distributed.spec import (
+    CampaignSpec,
+    build_engine,
+    spec_fingerprint,
+    validate_spec,
+)
 
 logger = logging.getLogger("repro.campaignd")
 
@@ -345,7 +350,17 @@ class CampaignCoordinator:
     # client handlers
     # ------------------------------------------------------------------
     def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        spec = CampaignSpec.from_dict(message.get("campaign"))
+        # Validate the spec's names *here*, before anything is registered:
+        # an unknown workload or fault class would otherwise be accepted at
+        # submit and only blow up inside every worker shard, far from the
+        # client that could fix it.  The reply is a structured error, not a
+        # dropped connection, so submitters can distinguish "bad spec" from
+        # "coordinator down".
+        try:
+            spec = CampaignSpec.from_dict(message.get("campaign"))
+            validate_spec(spec)
+        except ValueError as exc:
+            return {"type": "error", "error": str(exc), "rejected": True}
         fingerprint = spec_fingerprint(spec)
         with self._lock:
             existing_id = self._by_fingerprint.get(fingerprint)

@@ -36,6 +36,12 @@ class CampaignSpec:
     functions: Optional[List[str]] = None
     include_partial: bool = True
     include_checked: bool = False
+    #: Structured fault classes to sweep alongside the errno space (see
+    #: :mod:`repro.core.faults`).  ``None`` sweeps errno faults only; a list
+    #: appends every named class's enumerated points to the space.  Targets
+    #: without a binary (Python-level servers) may run structured-only
+    #: campaigns this way.
+    fault_classes: Optional[List[str]] = None
     once: bool = True
     share_prefixes: Optional[bool] = None
     request_options: Dict[str, Any] = field(default_factory=dict)
@@ -62,6 +68,45 @@ class CampaignSpec:
         return cls(**payload)
 
 
+def validate_spec(spec: CampaignSpec) -> None:
+    """Reject a spec naming things the fabric cannot resolve.
+
+    The coordinator calls this at submit time: an unknown target, workload,
+    strategy, or fault-class name would otherwise be accepted, sharded out,
+    and crash every worker mid-campaign — far from the submitting client
+    and long after the submit reply said "ok".  Raises :class:`ValueError`
+    with the offending field and the known names.
+    """
+    from repro.core.exploration.strategy import resolve_strategy
+    from repro.core.faults import class_names, is_structured_class
+    from repro.targets import resolve_target, target_names
+
+    try:
+        target = resolve_target(spec.target)
+    except ValueError:
+        raise ValueError(
+            f"unknown target {spec.target!r}; known targets: "
+            f"{', '.join(target_names())}"
+        )
+    if spec.workload is not None:
+        known_workloads = list(target.workloads())
+        if spec.workload not in known_workloads:
+            raise ValueError(
+                f"unknown workload {spec.workload!r} for target "
+                f"{spec.target!r}; known workloads: {', '.join(known_workloads)}"
+            )
+    try:
+        resolve_strategy(spec.strategy)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(str(exc))
+    for klass in spec.fault_classes or ():
+        if not is_structured_class(klass):
+            raise ValueError(
+                f"unknown fault class {klass!r}; known classes: "
+                f"{', '.join(class_names())}"
+            )
+
+
 def spec_fingerprint(spec: CampaignSpec) -> str:
     """Stable identity of a spec (submission dedup, engine-cache key)."""
     canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
@@ -80,15 +125,28 @@ def build_engine(
     reaches into the analysis/controller stack.
     """
     from repro.core.controller.controller import LFIController
+    from repro.core.exploration.space import enumerate_structured_space
     from repro.targets import resolve_target
 
     target = resolve_target(spec.target)
     controller = LFIController(target)
-    points = controller.fault_space(
-        functions=spec.functions,
-        include_partial=spec.include_partial,
-        include_checked=spec.include_checked,
-    )
+    try:
+        points = controller.fault_space(
+            functions=spec.functions,
+            include_partial=spec.include_partial,
+            include_checked=spec.include_checked,
+        )
+    except ValueError:
+        # Python-level targets have no binary to analyze; a structured-only
+        # campaign is still well-defined for them.
+        if not spec.fault_classes:
+            raise
+        points = []
+    if spec.fault_classes:
+        binary = getattr(target, "name", spec.target) or spec.target
+        points = list(points) + enumerate_structured_space(
+            binary, spec.fault_classes, functions=spec.functions
+        )
     engine = ExplorationEngine(
         target,
         strategy=spec.strategy,
@@ -102,4 +160,4 @@ def build_engine(
     return engine, points
 
 
-__all__ = ["CampaignSpec", "build_engine", "spec_fingerprint"]
+__all__ = ["CampaignSpec", "build_engine", "spec_fingerprint", "validate_spec"]

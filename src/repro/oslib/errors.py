@@ -49,6 +49,25 @@ class NetworkUnavailable(OSFault):
         super().__init__(Errno.ENETDOWN, message)
 
 
+class WorldCrash(Exception):
+    """The simulated machine was killed mid-operation (crash-consistency).
+
+    Raised by the ``crash_point`` fault class to model a power loss / SIGKILL
+    at an arbitrary library call: the world stops *now*, with whatever state
+    the simulated filesystem holds (possibly a torn partial write).  The VM
+    maps it to :class:`ExitKind.WORLD_CRASH`; recovery workloads then replay
+    against the surviving fs state to exercise journal/repair code.
+
+    Deliberately NOT a subclass of :class:`OSFault` — libc must not convert
+    it into an errno return; it unwinds the whole run.
+    """
+
+    def __init__(self, reason: str = "world crashed", torn: bool = False) -> None:
+        self.reason = reason
+        self.torn = torn
+        super().__init__(reason + (" [torn write]" if torn else ""))
+
+
 class MemoryFault(Exception):
     """An invalid memory access (the simulated SIGSEGV).
 
@@ -63,4 +82,11 @@ class MemoryFault(Exception):
         super().__init__(f"{reason} at address {address:#x}")
 
 
-__all__ = ["MemoryFault", "MutexAbort", "NetworkUnavailable", "OSFault", "SimExit"]
+__all__ = [
+    "MemoryFault",
+    "MutexAbort",
+    "NetworkUnavailable",
+    "OSFault",
+    "SimExit",
+    "WorldCrash",
+]

@@ -126,13 +126,25 @@ class LibcFacade:
             data = self.os.fs.read(fd, count)
             return len(data), {"data": data}
 
-        result = self._call("read", (fd, count), operation)
+        def partial(clamped: int) -> LibcResult:
+            data = self.os.fs.read(fd, clamped)
+            return LibcResult(value=len(data), payload={"data": data})
+
+        result = self._call("read", (fd, count), operation, context={"partial_io": partial})
         if result.value < 0:
             return None
         return result.payload.get("data", b"")
 
     def write(self, fd: int, data: bytes) -> int:
-        return self._call("write", (fd, len(data)), lambda: (self.os.fs.write(fd, data), {})).value
+        def partial(clamped: int) -> LibcResult:
+            return LibcResult(value=self.os.fs.write(fd, data[:clamped]))
+
+        return self._call(
+            "write",
+            (fd, len(data)),
+            lambda: (self.os.fs.write(fd, data), {}),
+            context={"partial_io": partial},
+        ).value
 
     def fstat(self, fd: int) -> Optional[fsmod.Stat]:
         def operation() -> Tuple[int, Dict[str, Any]]:
@@ -205,14 +217,27 @@ class LibcFacade:
         def operation() -> Tuple[int, Dict[str, Any]]:
             return self.os.fs.write(self._handle_fd(handle), data), {}
 
-        return self._call("fwrite", (0, 1, len(data), handle), operation).value
+        def partial(clamped: int) -> LibcResult:
+            return LibcResult(value=self.os.fs.write(self._handle_fd(handle), data[:clamped]))
+
+        return self._call(
+            "fwrite", (0, 1, len(data), handle), operation,
+            context={"partial_io": partial},
+        ).value
 
     def fread(self, handle: int, count: int) -> Optional[bytes]:
         def operation() -> Tuple[int, Dict[str, Any]]:
             data = self.os.fs.read(self._handle_fd(handle), count)
             return len(data), {"data": data}
 
-        result = self._call("fread", (0, 1, count, handle), operation)
+        def partial(clamped: int) -> LibcResult:
+            data = self.os.fs.read(self._handle_fd(handle), clamped)
+            return LibcResult(value=len(data), payload={"data": data})
+
+        result = self._call(
+            "fread", (0, 1, count, handle), operation,
+            context={"partial_io": partial},
+        )
         if result.value <= 0 and result.injected:
             return None
         return result.payload.get("data", b"")

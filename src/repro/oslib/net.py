@@ -96,6 +96,27 @@ class SimNetwork:
     def clear_delivery_hooks(self) -> None:
         self._delivery_hooks.clear()
 
+    def has_delivery_hook(self, hook: Callable[[Datagram], bool]) -> bool:
+        """True when an equal hook is already installed (idempotent installs)."""
+        return hook in self._delivery_hooks
+
+    def delivery_hook_count(self) -> int:
+        return len(self._delivery_hooks)
+
+    def promote_last(self, destination: int) -> bool:
+        """Move the newest queued datagram for *destination* to the front.
+
+        Models a datagram overtaking the ones already in flight (the
+        ``net_reorder`` fault class).  Queue state is part of
+        :meth:`capture_state`, so reorderings ride snapshots like any other
+        simulated state.  Returns False when there is nothing to overtake.
+        """
+        sock = self._bound.get(destination)
+        if sock is None or len(sock.queue) < 2:
+            return False
+        sock.queue.appendleft(sock.queue.pop())
+        return True
+
     # ------------------------------------------------------------------
     # datagram operations
     # ------------------------------------------------------------------

@@ -76,12 +76,16 @@ class SimOS:
 
         ``reset_streams`` alone leaks oracle state when the same OS instance
         backs several runs: a previous run's counters, recorded exit code,
-        or abort flag would be misread as this run's behaviour.
+        or abort flag would be misread as this run's behaviour.  Network
+        delivery hooks are run-scoped observers/fault installs (partitions,
+        drop-alls) and leak the same way — a partition injected by one run
+        must never silently black-hole the next run's traffic.
         """
         self.reset_streams()
         self.counters.clear()
         self.exit_code = None
         self.aborted = False
+        self.network.clear_delivery_hooks()
 
     # ------------------------------------------------------------------
     # snapshot support (repro.vm.snapshot)

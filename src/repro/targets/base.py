@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os as _os_module
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller.monitor import (
@@ -444,7 +444,12 @@ class CompiledTarget:
             status = machine.run(entry=step.entry, args=step.args)
             steps_run += 1
             step_outcome = classify_exit_status(status)
-            if step_outcome.kind in (OutcomeKind.CRASH, OutcomeKind.ABORT, OutcomeKind.HANG):
+            if step_outcome.kind in (
+                OutcomeKind.CRASH,
+                OutcomeKind.ABORT,
+                OutcomeKind.HANG,
+                OutcomeKind.WORLD_CRASH,
+            ):
                 outcome = step_outcome
                 break
             if step_outcome.kind is OutcomeKind.ERROR_EXIT and outcome.kind is OutcomeKind.NORMAL:
@@ -471,11 +476,59 @@ class CompiledTarget:
         stats = {
             "steps_run": steps_run,
             "library_calls": gate.total_calls,
+            "calls": dict(gate.call_counts),
             "os": session.published_os(),
         }
         if coverage is not None:
             stats["coverage"] = coverage
         return RunResult(outcome=outcome, log=gate.log, stats=stats)
+
+    def run_recovery(
+        self,
+        session: ExecutionSession,
+        request: WorkloadRequest,
+        gate,
+        coverage,
+        outcome: Outcome,
+        steps_run: int,
+    ) -> Tuple[Outcome, int]:
+        """Reboot-and-recover after a crash-consistency kill.
+
+        A ``crash_point`` fault unwinds the world mid-workload
+        (:class:`~repro.core.controller.monitor.OutcomeKind.WORLD_CRASH`),
+        leaving the session's simulated filesystem exactly as the "power
+        loss" found it — torn prefix included.  When the scenario declares a
+        ``recovery_workload`` (empty string = re-run the crashed workload),
+        that workload is executed against the surviving state on the *same*
+        gate: the crash trigger has already fired its singleton, so recovery
+        runs fault-free, exercising the target's journal/DROP-and-redo
+        paths.  A clean recovery downgrades the outcome to NORMAL (the kill
+        itself is injected, not a bug) and leaves silent damage for the
+        post-run oracles; a recovery that itself crashes or aborts is the
+        finding and becomes the outcome.
+        """
+        if outcome.kind is not OutcomeKind.WORLD_CRASH:
+            return outcome, steps_run
+        metadata = getattr(request.scenario, "metadata", None) or {}
+        if "recovery_workload" not in metadata:
+            return outcome, steps_run
+        crash_detail = outcome.detail
+        recovery = metadata.get("recovery_workload") or request.workload
+        recovery_plan = self.workload_plan(recovery)
+        recovered, recovery_steps = self.execute_plan(
+            session, recovery_plan, gate, coverage
+        )
+        steps_run += recovery_steps
+        if recovered.is_high_impact or recovered.kind is OutcomeKind.HANG:
+            outcome = replace(
+                recovered, detail=f"during recovery from [{crash_detail}]: {recovered.detail}"
+            )
+        else:
+            outcome = Outcome(
+                kind=OutcomeKind.NORMAL,
+                detail=f"recovered after [{crash_detail}]",
+            )
+        return outcome, steps_run
 
     def run(self, request: WorkloadRequest) -> RunResult:
         """Execute one workload, optionally under an injection scenario."""
@@ -496,6 +549,9 @@ class CompiledTarget:
                              run_seed=request.options.get("run_seed"))
             coverage = CoverageTracker() if request.collect_coverage else None
             outcome, steps_run = self.execute_plan(session, plan, gate, coverage)
+            outcome, steps_run = self.run_recovery(
+                session, request, gate, coverage, outcome, steps_run
+            )
             return self.finalize_run(session, gate, coverage, outcome, steps_run)
         finally:
             session.close()

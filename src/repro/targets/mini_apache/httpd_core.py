@@ -166,6 +166,9 @@ class ApacheServer:
                             fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_APPEND)
         if fd >= 0:
             line = f"{request.method} {request.uri} {response.status}\n".encode()
+            # Short-write blind by design: a truncated access-log line is
+            # lost log data, not served-content corruption (httpd likewise
+            # does not retry short log writes).
             self.libc.write(fd, line)
             self.libc.close(fd)
         self.libc.mutex_unlock(LOG_MUTEX)

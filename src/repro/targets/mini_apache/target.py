@@ -103,6 +103,7 @@ class MiniApacheTarget:
         gate = server.libc.gate
         stats = {
             "library_calls": gate.total_calls,
+            "calls": dict(gate.call_counts),
             "requests_handled": server.requests_handled,
             "intercepted_calls": gate.intercepted_calls,
             "server": server,

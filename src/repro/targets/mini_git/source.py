@@ -22,6 +22,7 @@ GIT_SOURCE = r"""
 /* globals                                                             */
 /* ------------------------------------------------------------------ */
 int objects_written = 0;
+int commit_timestamp = 0;
 int refs_seen = 0;
 int merge_conflicts = 0;
 int index_dirty = 0;
@@ -57,6 +58,10 @@ int write_object(int object_id) {
         return -1;
     }
     status = write(fd, buffer, 16);
+    /* SEEDED BUG (short write): only status < 0 is treated as failure.  A
+       partial write (0 < status < 16) leaves a truncated object on disk,
+       yet the commit is reported as successful — silent data loss the
+       partial_write / crash_point fault classes are meant to expose. */
     if (status < 0) {
         close(fd);                              //@check:no
         return -1;
@@ -202,6 +207,9 @@ int write_index() {
         return -1;
     }
     status = write(fd, "DIRC", 4);
+    /* short-write blind like upstream git of this era: a partial header
+       write (status in 1..3) is not retried; benign here because the
+       index is rewritten in full on the next add. */
     if (status < 0) {
         close(fd);                              //@check:no
         return -1;
@@ -302,6 +310,13 @@ int cmd_add() {
 
 int cmd_commit() {
     int status;
+    int stamp;
+    stamp = time(0);                            //@check:yes
+    if (stamp < 0) {
+        puts("error: cannot read commit timestamp");
+        return 1;
+    }
+    commit_timestamp = stamp;
     status = write_object(7);
     if (status < 0) {
         return 1;

@@ -110,13 +110,27 @@ class MiniGitTarget(CompiledTarget):
         return plans[workload]
 
     def check_oracles(self, os: SimOS) -> Optional[Outcome]:
-        """Detect the silent data loss caused by the failed-setenv bug."""
+        """Detect silent data loss: the pruned blob and truncated objects."""
         if not os.fs.exists("/repo/.git/objects/blob1"):
             return Outcome(
                 kind=OutcomeKind.DATA_LOSS,
                 detail="object file /repo/.git/objects/blob1 was pruned by an external "
                        "command running with an incomplete environment",
             )
+        # The seeded short-write bug in write_object: a partial write (or a
+        # torn crash-point write) leaves a truncated 16-byte object that the
+        # commit path reported as successfully written.  An empty file is
+        # the handled write-failure path (status < 0 before any byte landed)
+        # and is not data loss.
+        incoming = "/repo/.git/objects/incoming"
+        if os.fs.exists(incoming):
+            size = len(os.fs.file_contents(incoming))
+            if 0 < size < 16:
+                return Outcome(
+                    kind=OutcomeKind.DATA_LOSS,
+                    detail=f"committed object {incoming} is truncated "
+                           f"({size} of 16 bytes) — short write treated as success",
+                )
         return None
 
 

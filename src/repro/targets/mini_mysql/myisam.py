@@ -48,6 +48,8 @@ class MyISAMEngine:
             libc.mutex_unlock(MYISAM_LOCK)
             self.create_errors += 1
             return -1
+        # Short-write blind (faithful to the analog's era): a truncated MYI
+        # header is only caught later by mi_repair, never here.
         libc.write(index_fd, b"MYI" + table_name.encode())
         data_fd = libc.open(data_path, fsmod.O_WRONLY | fsmod.O_CREAT | fsmod.O_TRUNC)
         if data_fd < 0:
@@ -85,7 +87,13 @@ class MyISAMEngine:
         fd = libc.open(path, fsmod.O_WRONLY | fsmod.O_CREAT)
         if fd < 0:
             return -1
-        libc.write(fd, b"repaired")
+        payload = b"repaired"
+        written = libc.write(fd, payload)
+        if written != len(payload):
+            # Repair must not itself leave a torn data file: a failed or
+            # short write aborts the repair (checked, unlike mi_create).
+            libc.close(fd)
+            return -1
         status = libc.close(fd)
         if status < 0:
             return -1

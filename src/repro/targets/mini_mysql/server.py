@@ -178,6 +178,9 @@ class MySQLServer:
         libc.fcntl(fd, F_GETLK)
         libc.fcntl(fd, F_SETLK)
         self._process_row(value)
+        # Partially checked: a failed write (-1) rolls the query back, but a
+        # short write (0 < written < len(value)) is treated as success —
+        # the row image on disk is then torn (MyISAM has no redo log).
         written = libc.write(fd, value)
         status = libc.close(fd)
         if written < 0 or status < 0:

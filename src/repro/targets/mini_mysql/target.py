@@ -79,31 +79,63 @@ class MiniMySQLTarget:
     def workloads(self) -> List[str]:
         return ["startup", "merge-big", "sysbench-readonly", "sysbench-readwrite"]
 
+    @staticmethod
+    def _run_workload(server: MySQLServer, workload: str, options) -> int:
+        if workload == "startup":
+            return server.startup()
+        server.startup()
+        if workload == "merge-big":
+            server.run_merge_big(iterations=options.get("iterations", 5))
+        elif workload == "sysbench-readonly":
+            for _ in range(options.get("transactions", 50)):
+                server.run_transaction(read_only=True)
+        elif workload == "sysbench-readwrite":
+            for _ in range(options.get("transactions", 50)):
+                server.run_transaction(read_only=False)
+        else:
+            raise KeyError(f"mini_mysql has no workload {workload!r}")
+        server.shutdown()
+        return 0
+
     def run(self, request: WorkloadRequest) -> RunResult:
         server = self.make_server(request)
         gate = server.libc.gate
         options = request.options
 
-        def workload() -> int:
-            if request.workload == "startup":
-                return server.startup()
-            server.startup()
-            if request.workload == "merge-big":
-                server.run_merge_big(iterations=options.get("iterations", 5))
-            elif request.workload == "sysbench-readonly":
-                for _ in range(options.get("transactions", 50)):
-                    server.run_transaction(read_only=True)
-            elif request.workload == "sysbench-readwrite":
-                for _ in range(options.get("transactions", 50)):
-                    server.run_transaction(read_only=False)
-            else:
-                raise KeyError(f"mini_mysql has no workload {request.workload!r}")
-            server.shutdown()
-            return 0
+        outcome = run_python_workload(
+            lambda: self._run_workload(server, request.workload, options)
+        )
 
-        outcome = run_python_workload(workload)
+        metadata = getattr(request.scenario, "metadata", None) or {}
+        if outcome.kind is OutcomeKind.WORLD_CRASH and "recovery_workload" in metadata:
+            # Crash-consistency kill: the simulated disk survives exactly as
+            # the "power loss" left it (torn MYI/MYD prefixes included).  A
+            # rebooted server — a fresh process over the same filesystem and
+            # the same gate, whose crash trigger has already fired its
+            # singleton — then runs the recovery workload fault-free.
+            crash_detail = outcome.detail
+            recovery = metadata.get("recovery_workload") or request.workload
+            rebooted = MySQLServer(server.os, LibcFacade(server.os, gate=gate, node="mysqld"))
+            recovered = run_python_workload(
+                lambda: self._run_workload(rebooted, recovery, options)
+            )
+            if recovered.is_high_impact or recovered.kind is OutcomeKind.HANG:
+                outcome = Outcome(
+                    kind=recovered.kind,
+                    detail=f"during recovery from [{crash_detail}]: {recovered.detail}",
+                    exit_code=recovered.exit_code,
+                    location=recovered.location,
+                )
+            else:
+                outcome = Outcome(
+                    kind=OutcomeKind.NORMAL,
+                    detail=f"recovered after [{crash_detail}]",
+                )
+            server = rebooted
+
         stats = {
             "library_calls": gate.total_calls,
+            "calls": dict(gate.call_counts),
             "queries": server.queries_executed,
             "transactions": server.transactions_committed,
             "tables_created": server.engine.tables_created,

@@ -69,6 +69,7 @@ class PBFTTarget:
         workload_result = cluster.run_workload(requests=requests)
         gate = cluster.gate
         stats = {
+            "calls": dict(gate.call_counts) if gate is not None else {},
             "requests_completed": workload_result.requests_completed,
             "simulated_seconds": workload_result.simulated_seconds,
             "throughput": workload_result.throughput,

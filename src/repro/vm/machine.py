@@ -50,7 +50,7 @@ from repro.isa.instructions import (
     Opcode,
     Reg,
 )
-from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit
+from repro.oslib.errors import MemoryFault, MutexAbort, OSFault, SimExit, WorldCrash
 from repro.oslib.libc import LIBC_FUNCTIONS, LibcResult, SimLibc
 from repro.oslib.os_model import SimOS
 from repro.vm.dispatch import (
@@ -247,6 +247,11 @@ class Machine:
             return self._status(ExitKind.SEGFAULT, code=139, reason=str(fault))
         except ZeroDivisionError:
             return self._status(ExitKind.SEGFAULT, code=136, reason="division by zero (SIGFPE)")
+        except WorldCrash as crash:
+            # Crash-consistency injection: the world was killed mid-call.
+            # 137 = SIGKILL; the simulated fs keeps whatever (possibly torn)
+            # state it had, ready for a recovery replay.
+            return self._status(ExitKind.WORLD_CRASH, code=137, reason=str(crash))
         except OSFault as fault:
             # An OS fault escaping the libc layer is a VM-level problem.
             return self._status(ExitKind.VM_ERROR, code=70, reason=f"unhandled OS fault: {fault}")

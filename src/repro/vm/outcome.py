@@ -19,6 +19,10 @@ class ExitKind(enum.Enum):
     ABORT = "abort"
     MAX_STEPS = "max-steps"
     VM_ERROR = "vm-error"
+    #: The simulated machine was killed mid-run (crash-consistency faults).
+    #: A failure, but deliberately *not* a crash: the program did nothing
+    #: wrong — the world died under it, and recovery/oracle checks still run.
+    WORLD_CRASH = "world-crash"
 
     @property
     def is_failure(self) -> bool:
