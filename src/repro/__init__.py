@@ -144,16 +144,22 @@ a slow reference oracle the differential suite holds it to:
    (``compiled`` | ``compiled-steps`` | ``reference``).
 2. **Forkserver snapshots** (:mod:`repro.vm.snapshot`,
    :mod:`repro.core.profiler.cache`) — one resident boot template per
-   (target, workload, engine); requests restore boot state in O(dirty
-   words).  Knobs: ``snapshots=`` / ``REPRO_SNAPSHOTS``.
+   (boot scope, engine, libc-spec fingerprint); requests restore boot
+   state in O(dirty words).  The default boot scope is the shared
+   fixture prefix, so every workload of a target reuses one boot+fixture
+   capture.  Knobs: ``snapshots=`` / ``REPRO_SNAPSHOTS``.
 3. **Prefix trees** (:mod:`repro.core.controller.prefix`) — scenario
    groups run their common pre-trigger prefix once; siblings resume from
    mid-run captures.  Knob: ``share_prefixes=``.
 4. **Run-to-completion pooled batches**
-   (:mod:`repro.core.controller.executor`) — groups are sharded
-   round-robin into one :class:`GroupBatchTask` per worker and each worker
-   drains its batch back-to-back (warm template, one result message)
-   instead of paying a pool round trip per group.  Knob: ``parallelism=``.
+   (:mod:`repro.core.controller.executor`) — groups are packed into one
+   :class:`GroupBatchTask` per worker and each worker drains its batch
+   back-to-back (warm template, one result message) instead of paying a
+   pool round trip per group.  The default packing is cost-adaptive:
+   oversized prefix families split into sub-groups and batches balance
+   by modeled cost (LPT) rather than naive round-robin.  Knobs:
+   ``parallelism=``, ``group_sched=`` / ``REPRO_GROUP_SCHED``
+   (``adaptive`` | ``static``).
 5. **Delta result channel** (:mod:`repro.targets.base`,
    :mod:`repro.oslib.os_model`) — workers publish each run's OS as a
    :class:`~repro.targets.base.DeltaOSClone` carrying only the subsystems
@@ -176,6 +182,27 @@ Walking the layers from a campaign entry point::
 ``BENCH_dataplane.json`` (block-batched VM throughput per engine, pooled
 shared-campaign throughput vs the PR 5 baseline, and published-result wire
 bytes full vs delta).
+
+**Suffix memoization and cost-adaptive scheduling.**  On top of the
+pipeline, :mod:`repro.core.controller.memo` never pays for an
+already-probed fault point twice: a process-wide LRU byte-budget cache
+maps member memo keys — capture fingerprint, fault class and values,
+errno, and every behaviour-relevant execution knob — to pickled results,
+so re-sweeps, resumed campaigns, and overlapping specs on a long-lived
+fabric worker answer from the memo instead of re-executing the suffix
+(``memo=`` / ``REPRO_MEMO`` / ``REPRO_MEMO_BYTES``; ``memo=False`` is
+the differential oracle path).  Group batches are planned by a cost
+model (:func:`~repro.core.controller.executor.plan_group_batches`):
+skewed prefix families split into sub-groups that re-resume from the
+shared capture, and batches pack by longest-processing-time.  The full
+pipeline — group keys → prefix tree → suffix memo → adaptive split —
+is documented in ``doc/SCHEDULING.md``; campaign runs surface
+boot-template and memo hit/miss counters in
+:attr:`CampaignResult.stats <repro.core.controller.campaign.CampaignResult>`
+and ``repro-campaign status``.  ``benchmarks/bench_sched.py`` tracks the
+layer in ``BENCH_sched.json`` (warm-memo re-sweeps, cross-workload
+boot-template reuse, adaptive vs round-robin makespan — every leg
+asserted bit-identical to the memo-free serial oracle).
 
 **The campaign fabric: a resident coordinator and worker nodes.**  For
 explorations that outlive one process, :mod:`repro.distributed` runs the
@@ -264,8 +291,11 @@ from repro.core.controller.executor import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    estimate_group_cost,
+    plan_group_batches,
     resolve_backend,
 )
+from repro.core.controller.memo import SuffixMemo, clear_suffix_memo, suffix_memo
 from repro.core.controller.target import WorkloadRequest
 from repro.core.exploration import (
     BoundarySampleStrategy,
@@ -329,6 +359,7 @@ __all__ = [
     "ScenarioBuilder",
     "SerialBackend",
     "SimOS",
+    "SuffixMemo",
     "TestCampaign",
     "ThreadPoolBackend",
     "Trigger",
@@ -341,10 +372,14 @@ __all__ = [
     "clear_artifact_cache",
     "compile_source",
     "declare_trigger",
+    "clear_suffix_memo",
     "enumerate_fault_space",
+    "estimate_group_cost",
     "parse_scenario_xml",
+    "plan_group_batches",
     "profile_library",
     "resolve_backend",
+    "suffix_memo",
     "scenario_to_xml",
     "__version__",
 ]

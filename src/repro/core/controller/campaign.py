@@ -30,7 +30,7 @@ the reference per-scenario path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.controller.executor import (
     ExecutionTask,
@@ -45,7 +45,9 @@ from repro.core.controller.prefix import (
     resolve_sharing,
     run_scenarios_shared,
 )
+from repro.core.controller.memo import MemoStats, resolve_memo
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
+from repro.core.profiler.cache import artifact_cache_stats
 from repro.core.scenario.model import Scenario
 
 
@@ -84,6 +86,9 @@ class CampaignResult:
     target: str
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     baseline: Optional[RunResult] = None
+    #: Execution observability: backend/sharing knobs plus boot-template and
+    #: suffix-memo hit/miss deltas for this run (see :meth:`TestCampaign.run`).
+    stats: Dict[str, Any] = field(default_factory=dict)
 
     def failures(self) -> List[ScenarioOutcome]:
         return [outcome for outcome in self.outcomes if outcome.outcome.is_failure]
@@ -161,10 +166,21 @@ class TestCampaign:
         if include_baseline:
             campaign.baseline = self.run_baseline(collect_coverage=collect_coverage, **options)
 
+        # Snapshot the process-wide cache counters so the run's stats carry
+        # *deltas* — what this campaign hit and missed, not process history.
+        # Pool-children counters are invisible here (they live in the forked
+        # workers); fabric workers report their own deltas via shard_done.
+        cache_before = artifact_cache_stats()
+        # Whichever memo this run resolves (process-wide, a private instance
+        # passed via ``memo=``, or none at all on the oracle path) is the one
+        # whose deltas belong in the stats.
+        run_memo = resolve_memo(options)
+        memo_before = run_memo.stats() if run_memo is not None else MemoStats()
+
         spec = parallelism if parallelism is not None else self.parallelism
         backend, owned = backend_scope(spec)
+        sharing = resolve_sharing(share_prefixes, self.target)
         try:
-            sharing = resolve_sharing(share_prefixes, self.target)
             if sharing and isinstance(backend, SerialBackend):
                 results = run_scenarios_shared(
                     self.target,
@@ -187,7 +203,9 @@ class TestCampaign:
                 # batch per worker and each worker drains its batch without
                 # returning to the pool between groups (results are keyed
                 # by submission index, so batching cannot reorder them).
-                collected = dict(backend.run_group_batches(tasks))
+                collected = dict(
+                    backend.run_group_batches(tasks, schedule=options.get("group_sched"))
+                )
                 missing = [i for i in range(len(scenario_list)) if i not in collected]
                 if missing:
                     raise RuntimeError(
@@ -226,6 +244,28 @@ class TestCampaign:
             campaign.outcomes.append(
                 ScenarioOutcome(scenario=scenario, workload=self.workload, result=result)
             )
+
+        cache_after = artifact_cache_stats()
+        memo_after = run_memo.stats() if run_memo is not None else MemoStats()
+        campaign.stats = {
+            "sharing": sharing,
+            "backend": type(backend).__name__,
+            "boot_template": {
+                "hits": cache_after.boot_hits - cache_before.boot_hits,
+                "misses": cache_after.boot_misses - cache_before.boot_misses,
+                "shared_hits": (
+                    cache_after.boot_shared_hits - cache_before.boot_shared_hits
+                ),
+            },
+            "suffix_memo": {
+                "hits": memo_after.hits - memo_before.hits,
+                "misses": memo_after.misses - memo_before.misses,
+                "stores": memo_after.stores - memo_before.stores,
+                "evictions": memo_after.evictions - memo_before.evictions,
+                "entries": memo_after.entries,
+                "bytes": memo_after.current_bytes,
+            },
+        }
         return campaign
 
 

@@ -42,6 +42,8 @@ entry points.
 
 from __future__ import annotations
 
+import heapq
+import math
 import os
 from abc import ABC, abstractmethod
 from concurrent import futures
@@ -176,12 +178,14 @@ def shard_group_tasks(
 ) -> List[GroupBatchTask]:
     """Interleave *tasks* round-robin into at most *shards* batches.
 
-    Round-robin rather than contiguous slicing: campaign builders emit
-    groups in fault-space order, which correlates neighbouring groups'
-    sizes, so contiguous shards would load-balance poorly.  Interleaving
-    by sorted group index keeps the assignment deterministic (independent
-    of completion order) while spreading heavy neighbourhoods across
-    workers.
+    The static ("round-robin") scheduling policy.  Round-robin rather than
+    contiguous slicing: campaign builders emit groups in fault-space
+    order, which correlates neighbouring groups' sizes, so contiguous
+    shards would load-balance poorly.  Interleaving by sorted group index
+    keeps the assignment deterministic (independent of completion order)
+    while spreading heavy neighbourhoods across workers.  Every returned
+    batch is non-empty — with more workers than groups the surplus
+    workers get no batch at all rather than a no-op dispatch.
     """
     ordered = sorted(tasks, key=lambda task: task.index)
     if not ordered:
@@ -190,7 +194,140 @@ def shard_group_tasks(
     batches = [GroupBatchTask(index=index) for index in range(shards)]
     for position, task in enumerate(ordered):
         batches[position % shards].groups.append(task)
-    return batches
+    return [batch for batch in batches if batch.groups]
+
+
+# ----------------------------------------------------------------------
+# cost-adaptive group scheduling
+# ----------------------------------------------------------------------
+#: Estimated cost of one resumed member suffix relative to a full probe
+#: run.  Mid-run captures resume at the injection instruction, so a
+#: member pays only its post-trigger suffix (plus fault replay); measured
+#: on the mini_git sweeps this lands around a third of a full run, and
+#: the packing only needs relative weights, not wall-clock accuracy.
+SUFFIX_COST_FRACTION = 0.35
+
+#: Accepted ``group_sched`` / ``REPRO_GROUP_SCHED`` policy names.
+GROUP_SCHEDULE_POLICIES = ("adaptive", "static")
+
+
+def resolve_group_schedule(policy: Optional[str] = None) -> str:
+    """Normalise a group-scheduling policy name (``None`` = environment).
+
+    ``adaptive`` (the default) is cost-model-driven splitting + LPT
+    packing (:func:`plan_group_batches`); ``static`` (aliases
+    ``round-robin``/``rr``) is the historical :func:`shard_group_tasks`
+    interleaving.  ``REPRO_GROUP_SCHED`` sets the process default.
+    """
+    if policy is None:
+        policy = os.environ.get("REPRO_GROUP_SCHED") or "adaptive"
+    name = str(policy).strip().lower()
+    if name in ("round-robin", "roundrobin", "rr"):
+        name = "static"
+    if name not in GROUP_SCHEDULE_POLICIES:
+        raise ValueError(
+            f"unknown group schedule policy {policy!r}; known policies: "
+            f"{', '.join(GROUP_SCHEDULE_POLICIES)} (alias: round-robin)"
+        )
+    return name
+
+
+def estimate_group_cost(
+    task: GroupTask, suffix_fraction: float = SUFFIX_COST_FRACTION
+) -> float:
+    """Estimated cost of draining *task*, in units of one full run.
+
+    One full probe run plus a fractional suffix per additional member.
+    Workload length scales every group of one campaign equally, so it
+    cancels out of the packing decision and is left out.
+    """
+    members = len(task.entries)
+    if members <= 0:
+        return 0.0
+    return 1.0 + (members - 1) * suffix_fraction
+
+
+def split_group_task(task: GroupTask, parts: int) -> List[GroupTask]:
+    """Split one oversized group into up to *parts* contiguous sub-groups.
+
+    Members stay in rank order and each chunk's first member becomes its
+    own probe, re-resuming from the shared boot/fixture state — the
+    prefix machinery executes any rank-ordered subset of a group
+    bit-identically to the full group (the invariant the memo's
+    miss-subgroups rely on too), so splitting trades one extra prefix run
+    per chunk for parallelism across workers.  Sub-group ``index`` values
+    are the parent's; callers re-number before packing.
+    """
+    entries = task.entries
+    parts = max(1, min(int(parts), len(entries)))
+    if parts == 1:
+        return [task]
+    base, extra = divmod(len(entries), parts)
+    chunks: List[GroupTask] = []
+    start = 0
+    for position in range(parts):
+        size = base + (1 if position < extra else 0)
+        chunks.append(replace(task, entries=list(entries[start : start + size])))
+        start += size
+    return chunks
+
+
+def plan_group_batches(
+    tasks: Sequence[GroupTask], shards: int, policy: Optional[str] = None
+) -> List[GroupBatchTask]:
+    """Plan the per-worker batches for a campaign's groups.
+
+    The ``adaptive`` policy replaces static round-robin with a cost
+    model: any group whose estimated cost exceeds the fair per-worker
+    share is split into rank-ordered sub-groups
+    (:func:`split_group_task`) so one huge errno family no longer
+    serializes a whole campaign on a single worker, and the resulting
+    tasks are LPT-packed (longest processing time first onto the least
+    loaded shard) into at most *shards* batches.  The plan is a pure
+    function of ``(tasks, shards, policy)`` — deterministic tie-breaking
+    by task index — and never emits an empty batch, so every dispatched
+    batch does real work and every member index appears exactly once.
+    """
+    name = resolve_group_schedule(policy)
+    ordered = sorted(tasks, key=lambda task: task.index)
+    if not ordered:
+        return []
+    shards = max(1, int(shards))
+    if name == "static":
+        batches = shard_group_tasks(ordered, shards)
+    else:
+        total = sum(estimate_group_cost(task) for task in ordered)
+        fair = total / shards
+        expanded: List[GroupTask] = []
+        for task in ordered:
+            cost = estimate_group_cost(task)
+            if shards > 1 and len(task.entries) > 1 and cost > fair:
+                expanded.extend(
+                    split_group_task(task, math.ceil(cost / max(fair, 1e-9)))
+                )
+            else:
+                expanded.append(task)
+        expanded = [
+            replace(task, index=position) for position, task in enumerate(expanded)
+        ]
+        heap: List[Tuple[float, int]] = [(0.0, shard) for shard in range(shards)]
+        heapq.heapify(heap)
+        assignment: List[List[GroupTask]] = [[] for _ in range(shards)]
+        for task in sorted(
+            expanded, key=lambda task: (-estimate_group_cost(task), task.index)
+        ):
+            load, shard = heapq.heappop(heap)
+            assignment[shard].append(task)
+            heapq.heappush(heap, (load + estimate_group_cost(task), shard))
+        batches = [
+            GroupBatchTask(index=0, groups=sorted(groups, key=lambda task: task.index))
+            for groups in assignment
+            if groups
+        ]
+    return [
+        GroupBatchTask(index=position, groups=batch.groups)
+        for position, batch in enumerate(batches)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -270,24 +407,28 @@ class ExecutionBackend(ABC):
         """
         return 1
 
-    def run_group_batches(self, tasks: Sequence[GroupTask]) -> Dict[int, RunResult]:
+    def run_group_batches(
+        self, tasks: Sequence[GroupTask], schedule: Optional[str] = None
+    ) -> Dict[int, RunResult]:
         """Drain *tasks* run-to-completion: one batch of groups per worker.
 
         Instead of a task-per-group fan-out (pool round trip — submit,
-        pickle, result, repeat — per group), the groups are sharded into
-        :meth:`worker_count` batches up front and each worker drains its
-        whole batch before returning.  Results come back keyed by member
-        submission index, so the merged mapping is deterministic regardless
-        of batch completion order.
+        pickle, result, repeat — per group), the groups are planned into
+        at most :meth:`worker_count` batches up front
+        (:func:`plan_group_batches`, cost-adaptive by default;
+        ``schedule="static"`` selects the round-robin interleave) and each
+        worker drains its whole batch before returning.  Results come back
+        keyed by member submission index, so the merged mapping is
+        deterministic regardless of batch completion order.
         """
-        batches = shard_group_tasks(tasks, self.worker_count())
+        batches = plan_group_batches(tasks, self.worker_count(), policy=schedule)
         merged: Dict[int, RunResult] = {}
         for results in self.map(execute_group_batch, [(batch,) for batch in batches]):
             merged.update(results)
         return merged
 
     def run_group_batches_iter(
-        self, tasks: Sequence[GroupTask]
+        self, tasks: Sequence[GroupTask], schedule: Optional[str] = None
     ) -> Iterator[Tuple["GroupBatchTask", Dict[int, RunResult]]]:
         """Yield ``(batch, member results)`` pairs as batches drain.
 
@@ -295,7 +436,7 @@ class ExecutionBackend(ABC):
         is one batch (several groups) rather than one group — the price of
         eliminating the per-group pool round trips.
         """
-        batches = shard_group_tasks(tasks, self.worker_count())
+        batches = plan_group_batches(tasks, self.worker_count(), policy=schedule)
         return self._pair_iter(execute_group_batch, batches)
 
     def close(self) -> None:
@@ -528,18 +669,24 @@ def run_requests(
 __all__ = [
     "ExecutionBackend",
     "ExecutionTask",
+    "GROUP_SCHEDULE_POLICIES",
     "GroupBatchTask",
     "GroupTask",
     "ParallelismSpec",
     "ProcessPoolBackend",
+    "SUFFIX_COST_FRACTION",
     "SerialBackend",
     "ThreadPoolBackend",
     "backend_scope",
     "derive_run_seed",
+    "estimate_group_cost",
     "execute_group",
     "execute_group_batch",
     "execute_task",
+    "plan_group_batches",
     "resolve_backend",
+    "resolve_group_schedule",
     "run_requests",
     "shard_group_tasks",
+    "split_group_task",
 ]

@@ -53,6 +53,7 @@ backend tasks so sharing composes with the pool backends).
 from __future__ import annotations
 
 import copy
+import weakref
 from dataclasses import replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -64,6 +65,7 @@ from repro.core.controller.monitor import (
 )
 from repro.core.controller.target import TargetAdapter, WorkloadRequest, make_gate
 from repro.core.faults import UNSHAREABLE_CLASSES, apply_fault_on_machine
+from repro.core.controller.memo import resolve_memo
 from repro.core.injection.log import InjectionLog
 from repro.core.scenario.model import Scenario
 from repro.coverage.tracker import CoverageTracker
@@ -118,6 +120,15 @@ def _rankable_call_count(scenario: Scenario) -> Optional[str]:
     return trigger_id
 
 
+#: Computed key parts, cached per scenario object.  Scenarios are
+#: immutable once built (the whole grouping machinery already relies on
+#: that: parts are derived at submit time and must hold for the run), so
+#: the fingerprint is a pure function of the object — and it sits on the
+#: per-member path of every sweep, twice (partitioning and memo keys).
+_KEY_PARTS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_KEY_PARTS_MISSING = object()
+
+
 def scenario_group_key_parts(scenario: Optional[Scenario]) -> Optional[KeyParts]:
     """Hierarchical fingerprint of a scenario minus its fault values.
 
@@ -132,6 +143,22 @@ def scenario_group_key_parts(scenario: Optional[Scenario]) -> Optional[KeyParts]
     """
     if scenario is None:
         return None
+    try:
+        cached = _KEY_PARTS_CACHE.get(scenario, _KEY_PARTS_MISSING)
+    except TypeError:
+        # Unweakrefable/unhashable stand-ins (test doubles): compute fresh.
+        return _scenario_group_key_parts(scenario)
+    if cached is not _KEY_PARTS_MISSING:
+        return cached
+    parts = _scenario_group_key_parts(scenario)
+    try:
+        _KEY_PARTS_CACHE[scenario] = parts
+    except TypeError:
+        pass
+    return parts
+
+
+def _scenario_group_key_parts(scenario: Scenario) -> Optional[KeyParts]:
     rank_id = _rankable_call_count(scenario)
     rank: Tuple[int, ...] = ()
     trigger_parts: List[tuple] = []
@@ -276,6 +303,126 @@ def _has_session_api(target: Any) -> bool:
         hasattr(target, name)
         for name in ("open_session", "execute_plan", "finalize_run", "workload_plan")
     )
+
+
+# ----------------------------------------------------------------------
+# suffix memo keys
+# ----------------------------------------------------------------------
+#: Request options that cannot change a groupable run's observables and are
+#: therefore excluded from memo keys.  ``run_seed`` is the deliberate one:
+#: grouped scenarios are built solely from :data:`SAFE_TRIGGER_CLASSES`,
+#: which never consult the seed, so keying on it would split cache lines
+#: between specs/strategies that derive different seeds for identical runs
+#: (the differential suite pins exactly this seed-independence).  ``memo``
+#: and ``group_sched`` are pure scheduling knobs.
+_MEMO_NEUTRAL_OPTIONS = frozenset({"run_seed", "memo", "group_sched", "engine", "snapshots"})
+
+
+def _memo_context(
+    target: TargetAdapter,
+    workload: str,
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool,
+) -> Optional[tuple]:
+    """The member-invariant part of a memo key, or ``None`` (uncacheable).
+
+    Everything here is constant across one group's members — target and
+    binary identity, workload, resolved engine/snapshot knobs, the libc
+    spec fingerprint, and the conservative fold of unknown request
+    options — so callers executing a whole group compute it once instead
+    of per member (the fingerprint alone is a table scan).
+    """
+    if not sharing_supported(target):
+        return None
+    # Lazy imports: cache/targets sit beside (not below) the prefix
+    # scheduler in the module graph.
+    from repro.core.profiler.cache import libc_spec_fingerprint
+    from repro.targets.base import default_snapshots
+    from repro.vm.machine import resolve_engine
+
+    snapshots = options.get("snapshots")
+    if snapshots is None:
+        snapshots = default_snapshots()
+    binary = None
+    if hasattr(target, "binary"):
+        try:
+            binary = target.binary()
+        except Exception:
+            return None
+    extra = tuple(
+        sorted(
+            (name, repr(value))
+            for name, value in options.items()
+            if name not in _MEMO_NEUTRAL_OPTIONS
+        )
+    )
+    return (
+        getattr(target, "name", str(target)),
+        # The compiled image's identity: `_binary_cache` keys images by
+        # target name and keeps them alive, so `id` is stable per name and
+        # changes when the cache is cleared and the source recompiled.
+        id(binary) if binary is not None else None,
+        workload,
+        resolve_engine(options.get("engine")),
+        bool(snapshots),
+        libc_spec_fingerprint(),
+        bool(collect_coverage),
+        bool(observe_only),
+        extra,
+    )
+
+
+def _member_key(context: tuple, scenario: Optional[Scenario]) -> Optional[tuple]:
+    """One member's full memo key under *context*, or ``None``."""
+    parts = scenario_group_key_parts(scenario)
+    if parts is None:
+        return None
+    base, rank = parts
+    faults = tuple(
+        None
+        if plan.fault is None
+        else (
+            plan.fault.fault_class,
+            plan.fault.return_value,
+            plan.fault.errno,
+            plan.fault.params,
+            repr(sorted(plan.fault.side_effects.items())),
+        )
+        for plan in scenario.plans
+    )
+    return context + (
+        base,
+        rank,
+        faults,
+        repr(getattr(scenario, "metadata", None) or None),
+    )
+
+
+def member_memo_key(
+    target: TargetAdapter,
+    workload: str,
+    scenario: Optional[Scenario],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool,
+) -> Optional[tuple]:
+    """The suffix-memo key of one group member, or ``None`` (uncacheable).
+
+    Only scenarios the scheduler could group — deterministic safe triggers,
+    shareable fault classes, a ``prefix_shareable`` target — are
+    memoizable: the key is exactly what determines such a run's
+    observables.  Capture identity comes from the group base key plus the
+    binary/libc fingerprints (a mutated libc spec or recompiled target
+    misses, same as the boot-template cache); the fault identity is every
+    plan's ``(class, return value, errno, params)`` tuple; the resolved
+    engine/snapshot knobs pin the execution path, and any *other* request
+    option is folded in conservatively by repr.
+    """
+    context = _memo_context(target, workload, collect_coverage, options, observe_only)
+    if context is None:
+        return None
+    return _member_key(context, scenario)
 
 
 # ----------------------------------------------------------------------
@@ -980,8 +1127,64 @@ def run_entry_group(
     :func:`partition_entries` produces).  A single-member group degrades to
     the plain per-scenario path, so ungrouped entries can be submitted as
     singleton groups with identical results.
+
+    Before anything executes, the suffix memo
+    (:mod:`repro.core.controller.memo`) is consulted per member: hits are
+    answered with detached copies of the stored results, and only the
+    missing members — still a rank-ordered subset of the group, which the
+    prefix-tree machinery executes bit-identically to the full group —
+    actually run.  Fresh results are stored back (detached) on the way
+    out.  ``options["memo"] = False`` bypasses the cache entirely, which
+    is the differential oracle path.
     """
     options = dict(options or {})
+    memo = resolve_memo(options)
+    context = (
+        None
+        if memo is None
+        else _memo_context(target, workload, collect_coverage, options, observe_only)
+    )
+    if memo is None or context is None:
+        return _run_entry_group_direct(
+            target, workload, members, collect_coverage, options, observe_only
+        )
+    results: Dict[int, RunResult] = {}
+    misses: List[Entry] = []
+    miss_keys: Dict[int, Optional[tuple]] = {}
+    for entry in members:
+        index, scenario, _seed = entry
+        key = _member_key(context, scenario)
+        if key is not None:
+            hit = memo.lookup(key)
+            if hit is not None:
+                # Already a detached copy: the memo unpickles per hit.
+                results[index] = hit
+                continue
+        miss_keys[index] = key
+        misses.append(entry)
+    if misses:
+        fresh = _run_entry_group_direct(
+            target, workload, misses, collect_coverage, options, observe_only
+        )
+        for index, result in fresh.items():
+            key = miss_keys.get(index)
+            if key is not None:
+                # store() pickles: the cached blob is immune to whatever
+                # the caller does with the live result afterwards.
+                memo.store(key, result)
+            results[index] = result
+    return results
+
+
+def _run_entry_group_direct(
+    target: TargetAdapter,
+    workload: str,
+    members: Sequence[Entry],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> Dict[int, RunResult]:
+    """The memo-free group execution paths (probe + resume/replicate)."""
     if len(members) == 1:
         index, scenario, seed = members[0]
         return {
@@ -1068,6 +1271,7 @@ __all__ = [
     "build_group_tasks",
     "errno_sibling_positions",
     "iter_shared_runs",
+    "member_memo_key",
     "partition_entries",
     "patch_replica_errno",
     "rearm_member_triggers",

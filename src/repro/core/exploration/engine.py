@@ -36,6 +36,7 @@ from repro.core.controller.prefix import (
     build_group_tasks,
     iter_shared_runs,
     resolve_sharing,
+    scenario_group_key,
 )
 from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.exploration.dedup import FailureDeduplicator, UniqueFailure, stack_fingerprint
@@ -286,7 +287,9 @@ class ExplorationEngine:
                 self.target, self.workload, entries,
                 options=dict(self.request_options),
             )
-            for _batch, batch_results in backend.run_group_batches_iter(tasks):
+            for _batch, batch_results in backend.run_group_batches_iter(
+                tasks, schedule=self.request_options.get("group_sched")
+            ):
                 for index in sorted(batch_results):
                     yield index, batch_results[index]
         else:
@@ -305,6 +308,25 @@ class ExplorationEngine:
             ]
             for task, result in backend.run_tasks_iter(tasks):
                 yield task.index, result
+
+    def schedule_group_keys(
+        self, points: Sequence[FaultPoint]
+    ) -> List[Optional[str]]:
+        """Per-schedule-position prefix-group base keys (``None`` = solo).
+
+        Derived purely from the spec-determined schedule — the same
+        derivation on every node — so a campaign coordinator can co-locate
+        a prefix group's members in one shard lease: the worker that drains
+        them shares their boot+prefix capture and suffix memo instead of
+        probing the same prefix on k machines.  Positions whose scenario is
+        unshareable (or when sharing is off entirely) map to ``None``.
+        """
+        schedule = self.schedule(points)
+        if not resolve_sharing(self.share_prefixes, self.target):
+            return [None] * len(schedule)
+        return [
+            scenario_group_key(point.scenario(once=self.once)) for point in schedule
+        ]
 
     def run_schedule_indices(
         self,

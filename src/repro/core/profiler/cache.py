@@ -68,6 +68,10 @@ class CacheStats:
     merged_misses: int = 0
     boot_hits: int = 0
     boot_misses: int = 0
+    #: Boot hits served to a *context* (workload) that did not build the
+    #: template — the cross-workload fixture-sharing wins, a subset of
+    #: ``boot_hits`` (so not added into the totals below).
+    boot_shared_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -87,6 +91,11 @@ _PROFILES: Dict[Tuple[str, str], FaultProfile] = {}
 _MERGED: Dict[Tuple[Tuple[str, str], ...], FaultProfile] = {}
 #: Boot templates per target instance (weak: templates die with the target).
 _BOOT_TEMPLATES: "weakref.WeakKeyDictionary[Any, Dict[Tuple, Any]]" = (
+    weakref.WeakKeyDictionary()
+)
+#: Distinct contexts (workloads) each boot template has served, per owner —
+#: the observability behind ``CacheStats.boot_shared_hits``.
+_BOOT_CONTEXTS: "weakref.WeakKeyDictionary[Any, Dict[Tuple, set]]" = (
     weakref.WeakKeyDictionary()
 )
 _STATS = CacheStats()
@@ -187,7 +196,11 @@ def libc_spec_fingerprint() -> str:
     behind an identity key over the spec table.
     """
     global _LIBC_FINGERPRINT
-    identity = tuple(sorted((name, id(spec)) for name, spec in LIBC_FUNCTIONS.items()))
+    # Insertion-order identity, no sort: replacing a spec changes its id,
+    # and adding/removing/renaming entries changes the name tuple.  Two
+    # orderings of the same table would merely recompute the same
+    # content-based digest — a spurious miss, never a stale hit.
+    identity = (tuple(LIBC_FUNCTIONS), tuple(map(id, LIBC_FUNCTIONS.values())))
     cached_identity, cached_digest = _LIBC_FINGERPRINT
     if identity == cached_identity:
         return cached_digest
@@ -200,13 +213,36 @@ def libc_spec_fingerprint() -> str:
     return digest
 
 
+def _record_boot_context(owner: Any, key: Tuple, context: Any, fresh: bool) -> None:
+    """Track which contexts (workloads) a template serves (under the lock).
+
+    A hit whose context never touched this key before is a *shared* hit:
+    the template was built for one workload and is now serving another —
+    the cross-workload fixture-prefix reuse the boot-scope keying buys.
+    """
+    if context is None:
+        return
+    per_owner = _BOOT_CONTEXTS.get(owner)
+    if per_owner is None:
+        per_owner = {}
+        _BOOT_CONTEXTS[owner] = per_owner
+    contexts = per_owner.setdefault(key, set())
+    if not fresh and context not in contexts:
+        _STATS.boot_shared_hits += 1
+    contexts.add(context)
+
+
 def cached_boot_template(
-    owner: Any, key: Tuple, builder: Callable[[], Any]
+    owner: Any, key: Tuple, builder: Callable[[], Any], context: Any = None
 ) -> Any:
     """The boot template for (*owner*, *key*), built at most once.
 
     *owner* is the target instance (held weakly); *key* is the
-    (workload, engine, spec-fingerprint) tuple computed by the target.  The
+    (boot scope, engine, spec-fingerprint) tuple computed by the target —
+    the boot scope rather than the workload name, so workloads sharing a
+    fixture prefix share one template.  *context* (the requesting
+    workload) feeds the ``boot_shared_hits`` counter: a hit from a context
+    that never touched the key before is a cross-workload reuse.  The
     builder runs outside the cache lock — when two threads race, one
     template wins and the loser's build is discarded, never a deadlock on a
     slow OS fixture.
@@ -219,6 +255,7 @@ def cached_boot_template(
         template = per_owner.get(key)
         if template is not None:
             _STATS.boot_hits += 1
+            _record_boot_context(owner, key, context, fresh=False)
             return template
         _STATS.boot_misses += 1
     template = builder()
@@ -227,6 +264,7 @@ def cached_boot_template(
         if per_owner is None:
             per_owner = {}
             _BOOT_TEMPLATES[owner] = per_owner
+        _record_boot_context(owner, key, context, fresh=key not in per_owner)
         return per_owner.setdefault(key, template)
 
 
@@ -240,6 +278,7 @@ def clear_artifact_cache() -> None:
         _PROFILES.clear()
         _MERGED.clear()
         _BOOT_TEMPLATES.clear()
+        _BOOT_CONTEXTS.clear()
         global _STATS
         _STATS = CacheStats()
 
@@ -256,6 +295,7 @@ def artifact_cache_stats() -> CacheStats:
             merged_misses=_STATS.merged_misses,
             boot_hits=_STATS.boot_hits,
             boot_misses=_STATS.boot_misses,
+            boot_shared_hits=_STATS.boot_shared_hits,
         )
 
 

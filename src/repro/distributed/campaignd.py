@@ -10,7 +10,13 @@ kinds of peers:
   and cancel campaigns;
 * **workers** (`repro-campaignd worker`) pull *shard leases* — batches of
   schedule indices — execute them on their local engine/pool stack, and
-  stream one result record per completed run back.
+  stream result records back (batched k-per-message on protocol ≥ 2,
+  per-record against older peers).
+
+Shard leases are *group-aware*: :func:`plan_lease_shards` co-locates a
+prefix group's members in one lease, so the worker that drains them shares
+their boot+prefix capture and suffix memo locally instead of k machines
+each probing the same prefix.
 
 Design points, in the order they matter for correctness:
 
@@ -70,6 +76,64 @@ DEFAULT_SHARD_SIZE = 8
 DEFAULT_LEASE_TIMEOUT = 30.0
 
 
+def plan_lease_shards(
+    pending_indices: List[int],
+    group_keys: Optional[List[Optional[str]]],
+    shard_size: int,
+) -> List[List[int]]:
+    """Partition pending schedule indices into lease-sized shards.
+
+    With *group_keys* (one base prefix-group key per schedule position,
+    ``None`` marking solo points), a group's members land in the same
+    shard so the executing worker shares their boot+prefix capture and
+    suffix memo.  Groups larger than *shard_size* are split into
+    ``shard_size`` chunks — each chunk's first member re-probes the shared
+    prefix locally, and the subset invariant of the prefix scheduler keeps
+    every chunk's results identical to the unsplit run.  Small groups and
+    solo points are packed together up to *shard_size*, preserving
+    schedule order within and across shards as far as grouping allows.
+
+    Without keys (sharing off, or derivation failed) this degrades to the
+    plain contiguous chunking the fabric always used.
+    """
+    shard_size = max(1, int(shard_size))
+    if not group_keys:
+        return [
+            pending_indices[offset : offset + shard_size]
+            for offset in range(0, len(pending_indices), shard_size)
+        ]
+    # Bucket by group key in first-appearance order; None points are solo.
+    buckets: List[List[int]] = []
+    by_key: Dict[str, List[int]] = {}
+    for index in pending_indices:
+        key = group_keys[index] if 0 <= index < len(group_keys) else None
+        if key is None:
+            buckets.append([index])
+            continue
+        bucket = by_key.get(key)
+        if bucket is None:
+            bucket = []
+            by_key[key] = bucket
+            buckets.append(bucket)
+        bucket.append(index)
+    shards: List[List[int]] = []
+    current: List[int] = []
+    for bucket in buckets:
+        while len(bucket) > shard_size:
+            shards.append(bucket[:shard_size])
+            bucket = bucket[shard_size:]
+        if current and len(current) + len(bucket) > shard_size:
+            shards.append(current)
+            current = []
+        current.extend(bucket)
+        if len(current) >= shard_size:
+            shards.append(current)
+            current = []
+    if current:
+        shards.append(current)
+    return shards
+
+
 class _Lease:
     """One worker's claim on a batch of schedule indices."""
 
@@ -102,6 +166,7 @@ class _Campaign:
         schedule_keys: List[str],
         pending_indices: List[int],
         shard_size: int,
+        shard_plan: Optional[List[List[int]]] = None,
     ) -> None:
         self.id = campaign_id
         self.spec = spec
@@ -113,10 +178,16 @@ class _Campaign:
         self.resumed_at_submit = self.completed_count
         self.executed = 0  # fresh records accepted over the fabric
         self.queue: Deque[List[int]] = deque(
-            pending_indices[offset : offset + shard_size]
-            for offset in range(0, len(pending_indices), shard_size)
+            shard_plan
+            if shard_plan is not None
+            else (
+                pending_indices[offset : offset + shard_size]
+                for offset in range(0, len(pending_indices), shard_size)
+            )
         )
         self.leases: Dict[str, _Lease] = {}
+        #: Summed worker-reported cache deltas (``shard_done`` stats).
+        self.worker_cache_stats: Dict[str, float] = {}
         #: Fresh results in arrival order, for `tail` streaming.
         self.events: List[Dict[str, Any]] = []
         self.state = "complete" if not pending_indices else "running"
@@ -148,6 +219,7 @@ class _Campaign:
             "leased": self.leased_count(),
             "active_leases": len(self.leases),
             "workers_seen": sorted(self.workers_seen),
+            "cache": dict(self.worker_cache_stats),
         }
 
 
@@ -333,6 +405,9 @@ class CampaignCoordinator:
         if kind == "result":
             stream.send(self._handle_result(message))
             return False
+        if kind == "result_batch":
+            stream.send(self._handle_result_batch(message))
+            return False
         if kind == "heartbeat":
             stream.send(self._handle_heartbeat(message))
             return False
@@ -381,6 +456,16 @@ class CampaignCoordinator:
         schedule, pending = engine.plan(points)
         schedule_keys = [engine.run_key(point) for point in schedule]
         shard_size = spec.shard_size or self.shard_size
+        try:
+            group_keys = engine.schedule_group_keys(points)
+        except Exception:
+            # Grouping is a throughput optimisation; a derivation failure
+            # must not reject the campaign — fall back to contiguous shards.
+            logger.exception("group-key derivation failed; contiguous shards")
+            group_keys = None
+        shard_plan = plan_lease_shards(
+            [index for index, _ in pending], group_keys, max(1, int(shard_size))
+        )
 
         with self._lock:
             # Re-check under the lock: a racing identical submit may have
@@ -400,6 +485,7 @@ class CampaignCoordinator:
                 schedule_keys,
                 [index for index, _ in pending],
                 max(1, int(shard_size)),
+                shard_plan=shard_plan,
             )
             self._campaigns[campaign_id] = campaign
             self._by_fingerprint[fingerprint] = campaign_id
@@ -580,6 +666,31 @@ class CampaignCoordinator:
                 return campaign, lease
         return None
 
+    def _accept_record(
+        self, campaign: _Campaign, lease: _Lease, record: StoredResult
+    ) -> None:
+        """Store one streamed record and settle its accounting (under the
+        lock).  Durable first, visible second: the record hits the store
+        (flushed/fsynced) before any ack or tail event exists."""
+        index = campaign.key_to_index.get(record.key)
+        if index is None:
+            raise ValueError(
+                f"record key {record.key!r} is not part of campaign {campaign.id}"
+            )
+        fresh = record.key not in campaign.store
+        campaign.store.record(record)
+        if fresh:
+            campaign.completed_count += 1
+            campaign.executed += 1
+            campaign.events.append({
+                "type": "result",
+                "campaign_id": campaign.id,
+                "seq": len(campaign.events),
+                "record": record.to_dict(),
+            })
+        if index in lease.indices:
+            lease.indices.remove(index)
+
     def _handle_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
         record_payload = message.get("record")
         if not isinstance(record_payload, dict):
@@ -590,30 +701,41 @@ class CampaignCoordinator:
             if found is None:
                 return {"type": "stale_lease"}
             campaign, lease = found
-            index = campaign.key_to_index.get(record.key)
-            if index is None:
-                raise ValueError(
-                    f"record key {record.key!r} is not part of campaign {campaign.id}"
-                )
-            fresh = record.key not in campaign.store
-            # Durable first, visible second: the record hits the store
-            # (flushed/fsynced) before any ack or tail event exists.
-            campaign.store.record(record)
-            if fresh:
-                campaign.completed_count += 1
-                campaign.executed += 1
-                campaign.events.append({
-                    "type": "result",
-                    "campaign_id": campaign.id,
-                    "seq": len(campaign.events),
-                    "record": record.to_dict(),
-                })
-            if index in lease.indices:
-                lease.indices.remove(index)
+            self._accept_record(campaign, lease, record)
             lease.deadline = time.monotonic() + self.lease_timeout
             self._check_complete(campaign)
             self._cond.notify_all()
             return {"type": "ack", "remaining": len(lease.indices)}
+
+    def _handle_result_batch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Accept one ``result_batch`` (protocol ≥ 2): k records, one ack.
+
+        Every record is parsed *before* any is stored, so a malformed
+        record rejects the whole batch instead of leaving it half-ingested
+        under one unacknowledged message."""
+        payload = message.get("records")
+        if not isinstance(payload, list) or not payload:
+            raise ValueError("result_batch message carries no records list")
+        records = []
+        for item in payload:
+            if not isinstance(item, dict):
+                raise ValueError("result_batch records must be objects")
+            records.append(StoredResult.from_dict(item))
+        with self._lock:
+            found = self._find_lease(message.get("lease_id"))
+            if found is None:
+                return {"type": "stale_lease"}
+            campaign, lease = found
+            for record in records:
+                self._accept_record(campaign, lease, record)
+            lease.deadline = time.monotonic() + self.lease_timeout
+            self._check_complete(campaign)
+            self._cond.notify_all()
+            return {
+                "type": "ack",
+                "accepted": len(records),
+                "remaining": len(lease.indices),
+            }
 
     def _handle_heartbeat(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
@@ -632,6 +754,16 @@ class CampaignCoordinator:
                 return {"type": "stale_lease"}
             campaign, lease = found
             del campaign.leases[lease.lease_id]
+            stats = message.get("stats")
+            if isinstance(stats, dict):
+                # Optional protocol ≥ 2 field: worker-side cache deltas,
+                # summed per campaign for `repro-campaign status`.
+                for key, value in stats.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    campaign.worker_cache_stats[key] = (
+                        campaign.worker_cache_stats.get(key, 0) + value
+                    )
             leftover = [
                 index for index in lease.indices
                 if campaign.schedule_keys[index] not in campaign.store
@@ -667,4 +799,5 @@ __all__ = [
     "CampaignCoordinator",
     "DEFAULT_LEASE_TIMEOUT",
     "DEFAULT_SHARD_SIZE",
+    "plan_lease_shards",
 ]

@@ -36,7 +36,14 @@ from typing import Any, Dict, Optional, Tuple
 MAX_MESSAGE_BYTES = 1 << 20
 
 #: Protocol revision carried in every ``hello``.
-PROTOCOL_VERSION = 1
+#:
+#: * 1 — initial fabric protocol (per-record ``result`` streaming).
+#: * 2 — worker→coordinator ``result_batch`` (k records per message) and
+#:   the optional ``stats`` cache-counter field on ``shard_done``.
+#:   Workers only batch when the coordinator's ``welcome`` advertises
+#:   version ≥ 2; version-1 coordinators keep receiving per-record
+#:   ``result`` messages, and version-1 workers keep working unchanged.
+PROTOCOL_VERSION = 2
 
 
 class ProtocolError(Exception):

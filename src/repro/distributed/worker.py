@@ -33,8 +33,11 @@ import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.controller.executor import ParallelismSpec
+from repro.core.controller.memo import suffix_memo_stats
+from repro.core.profiler.cache import artifact_cache_stats
 from repro.distributed.protocol import (
     MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
     ConnectionClosed,
     MessageStream,
     ProtocolError,
@@ -43,6 +46,26 @@ from repro.distributed.protocol import (
 from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
 
 logger = logging.getLogger("repro.campaignd.worker")
+
+
+def _cache_stats_snapshot() -> Dict[str, int]:
+    """Current boot-template and suffix-memo counters of this process.
+
+    Shard deltas of these are reported on ``shard_done`` so the
+    coordinator can explain fabric throughput (memo hit rates, template
+    reuse) without any extra round trips.
+    """
+    cache = artifact_cache_stats()
+    memo = suffix_memo_stats()
+    return {
+        "boot_hits": cache.boot_hits,
+        "boot_misses": cache.boot_misses,
+        "boot_shared_hits": cache.boot_shared_hits,
+        "memo_hits": memo.hits,
+        "memo_misses": memo.misses,
+        "memo_stores": memo.stores,
+        "memo_evictions": memo.evictions,
+    }
 
 
 class _LeaseLost(Exception):
@@ -61,6 +84,7 @@ class CampaignWorker:
         connect_retries: int = 8,
         connect_backoff: float = 0.05,
         max_message_bytes: int = MAX_MESSAGE_BYTES,
+        result_batch_size: int = 8,
     ) -> None:
         self.address = address
         self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
@@ -69,8 +93,12 @@ class CampaignWorker:
         self.connect_retries = connect_retries
         self.connect_backoff = connect_backoff
         self.max_message_bytes = max_message_bytes
+        #: Records per ``result_batch`` message (1 = per-record streaming).
+        #: Only engaged against coordinators speaking protocol ≥ 2.
+        self.result_batch_size = max(1, int(result_batch_size))
 
         self._stream: Optional[MessageStream] = None
+        self._coordinator_version = 1
         self._rpc_lock = threading.Lock()
         self._stop = threading.Event()
         #: Engines are cached per spec fingerprint: every shard of one
@@ -96,10 +124,14 @@ class CampaignWorker:
                 "type": "hello",
                 "role": "worker",
                 "worker_id": self.worker_id,
-                "version": 1,
+                "version": PROTOCOL_VERSION,
             })
             if reply.get("type") != "welcome":
                 raise ProtocolError(f"unexpected hello reply: {reply!r}")
+            try:
+                self._coordinator_version = int(reply.get("version", 1))
+            except (TypeError, ValueError):
+                self._coordinator_version = 1
         return self._stream
 
     def _rpc(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -188,11 +220,41 @@ class CampaignWorker:
             daemon=True,
         )
         heartbeat.start()
+        stats_before = _cache_stats_snapshot()
+        # Batch result records (protocol ≥ 2): one message per k records
+        # instead of one RPC round trip per record.  The coordinator stores
+        # every record before acking the batch, so abandoning a shard after
+        # a flush loses at most the unflushed tail — which the re-queued
+        # lease simply re-executes (the store is idempotent per key).
+        batching = self._coordinator_version >= 2 and self.result_batch_size > 1
+        batch: List[Dict[str, Any]] = []
+
+        def flush() -> None:
+            if not batch:
+                return
+            reply = self._rpc({
+                "type": "result_batch",
+                "lease_id": lease_id,
+                "campaign_id": shard.get("campaign_id"),
+                "records": list(batch),
+            })
+            if reply.get("type") == "stale_lease":
+                raise _LeaseLost()
+            if reply.get("type") != "ack":
+                raise ProtocolError(f"unexpected result_batch reply: {reply!r}")
+            self.results_streamed += len(batch)
+            batch.clear()
+
         runs = engine.run_schedule_indices(points, indices, parallelism=self.parallelism)
         try:
             for record in runs:
                 if lost.is_set() or self._stop.is_set():
                     raise _LeaseLost()
+                if batching:
+                    batch.append(record.to_dict())
+                    if len(batch) >= self.result_batch_size:
+                        flush()
+                    continue
                 reply = self._rpc({
                     "type": "result",
                     "lease_id": lease_id,
@@ -204,9 +266,19 @@ class CampaignWorker:
                 if reply.get("type") != "ack":
                     raise ProtocolError(f"unexpected result reply: {reply!r}")
                 self.results_streamed += 1
+            flush()
             lost.set()
             heartbeat.join()
-            reply = self._rpc({"type": "shard_done", "lease_id": lease_id})
+            stats_after = _cache_stats_snapshot()
+            reply = self._rpc({
+                "type": "shard_done",
+                "lease_id": lease_id,
+                # Extra field, ignored by version-1 coordinators.
+                "stats": {
+                    key: stats_after[key] - stats_before[key]
+                    for key in stats_after
+                },
+            })
             if reply.get("type") == "ack":
                 self.shards_completed += 1
         except _LeaseLost:

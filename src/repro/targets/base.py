@@ -362,20 +362,38 @@ class CompiledTarget:
         functions = self.accuracy_functions or None
         return extract_ground_truth(self.source(), functions)
 
+    def boot_scope(self, workload: str) -> Tuple[str, ...]:
+        """The fixture-prefix scope that keys *workload*'s boot template.
+
+        The boot template snapshots the machine *before* any workload step
+        runs, and :meth:`make_os` takes no workload argument — so boot
+        state is workload-independent and every workload of a target can
+        share one template by default.  Targets whose OS fixture *does*
+        vary by workload override this to return distinct scopes for
+        workloads that must not share boot state (e.g. per-workload
+        filesystem seeds), at which point templates split along scope
+        boundaries exactly as they used to split along workload names.
+        """
+        return ("boot", "shared-fixture")
+
     def boot_template(self, workload: str, engine: Optional[str] = None) -> BootTemplate:
-        """The memoized boot template for ``(workload, engine)``.
+        """The memoized boot template for *workload*'s boot scope.
 
         Shared by sessions (which acquire it to run) and by the delta
         result channel (which only reads its boot OS state to rehydrate
-        published deltas on the pool parent).
+        published deltas on the pool parent).  Keyed by
+        :meth:`boot_scope` rather than the workload name, so e.g. the
+        mini_git ``status``/``commit``/``merge``/``gc`` sweeps all restore
+        from one boot+fixture capture instead of booting four machines.
         """
         engine = resolve_engine(engine)
         binary = self.binary()
-        key = (workload, engine, libc_spec_fingerprint())
+        key = (self.boot_scope(workload), engine, libc_spec_fingerprint())
         return cached_boot_template(
             self,
             key,
             lambda: BootTemplate(Machine(binary, os=self.make_os(), engine=engine)),
+            context=workload,
         )
 
     def open_session(
@@ -388,8 +406,8 @@ class CompiledTarget:
         """Open an execution session: snapshot-backed when possible.
 
         The boot template (OS fixture + libc + resident machine, boot state
-        snapshotted) is memoized process-wide, keyed by (workload, engine,
-        libc-spec fingerprint).  Templates are exclusive: losing the
+        snapshotted) is memoized process-wide, keyed by (boot scope,
+        engine, libc-spec fingerprint) — see :meth:`boot_scope`.  Templates are exclusive: losing the
         acquisition race — e.g. a thread-pool campaign running this target
         concurrently — falls back to the fresh-build path, which is
         observably identical.  ``snapshots=None`` defers to
