@@ -242,6 +242,26 @@ side (``submit``/``status``/``tail``/``results``/``cancel``)::
 wire protocol, kills a worker and the coordinator mid-campaign, and
 asserts the merged results stay bit-identical to the serial oracle.
 
+**Adaptive round-based exploration.**  Exploration strategies are
+stateful *planner sessions* (``strategy.session().propose(frontier,
+feedback)``): the engine plans a round, executes it through the whole
+pipeline above, feeds back each probe's recovery-region coverage delta,
+and replans.  :class:`CoverageGuidedStrategy` (``strategy="coverage"``)
+steers rounds toward fault points whose neighbours unlocked new
+recovery-code coverage — the paper's own Table 3 metric — and stops at
+a coverage plateau instead of sweeping the full space; the static
+strategies are behaviour-identical single-round planners and remain the
+differential oracle.  The fixed suffix-cost constant that steered LPT
+group packing became a learned, serializable
+:class:`~repro.core.controller.costmodel.CostModel` (online least
+squares over measured group runtimes, blended with the 0.35 prior), and
+protocol v3 teaches the campaign fabric central round planning: the
+coordinator holds the planner, leases only the current round as
+explicit ``(index, point key)`` assignments, and aggregates cost-model
+observations fleet-wide.  Adaptive runs obey *"spec + completed results
+⇒ next round"*, so serial, pooled, and distributed explorations of the
+same store are bit-identical.  Reference: ``doc/ADAPTIVE.md``.
+
 **Structured fault classes.**  Beyond the classic (return value, errno)
 pair, :mod:`repro.core.faults` defines a taxonomy of structured classes —
 partial writes/short reads, fd/heap-exhaustion ramps, clock skew and
@@ -299,10 +319,12 @@ from repro.core.controller.memo import SuffixMemo, clear_suffix_memo, suffix_mem
 from repro.core.controller.target import WorkloadRequest
 from repro.core.exploration import (
     BoundarySampleStrategy,
+    CoverageGuidedStrategy,
     ExhaustiveStrategy,
     ExplorationEngine,
     ExplorationReport,
     ExplorationStrategy,
+    ProbeFeedback,
     RandomSampleStrategy,
     ResultStore,
     enumerate_fault_space,
@@ -338,6 +360,7 @@ __all__ = [
     "CallContext",
     "CallSiteAnalyzer",
     "ControllerReport",
+    "CoverageGuidedStrategy",
     "ExecutionBackend",
     "ExhaustiveStrategy",
     "ExplorationEngine",
@@ -352,6 +375,7 @@ __all__ = [
     "Machine",
     "MachineSnapshot",
     "MidRunCapture",
+    "ProbeFeedback",
     "ProcessPoolBackend",
     "RandomSampleStrategy",
     "ResultStore",

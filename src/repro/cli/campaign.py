@@ -45,7 +45,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     submit.add_argument("--target", required=True, help="registry target name")
     submit.add_argument("--workload", default=None)
     submit.add_argument(
-        "--strategy", default=None, help="exhaustive | boundary | random"
+        "--strategy", default=None,
+        help="exhaustive | boundary | random | coverage "
+        "(coverage accepts knobs, e.g. coverage:round=8,patience=2)",
     )
     submit.add_argument("--seed", type=int, default=None)
     submit.add_argument(

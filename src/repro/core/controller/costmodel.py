@@ -1,0 +1,237 @@
+"""Learned group-cost model for the prefix-sharing scheduler.
+
+The LPT packer (:func:`repro.core.controller.executor.plan_group_batches`)
+needs relative group costs: a group of *m* members costs roughly one full
+probe (prefix + first suffix) plus ``m - 1`` resumed suffixes.  PR 9
+hard-coded the suffix/probe runtime ratio at ``SUFFIX_COST_FRACTION =
+0.35``; this module replaces the constant with a :class:`CostModel` that
+*measures* it.
+
+Every direct (non-memo-hit) group execution reports ``(members,
+elapsed_seconds)`` — see ``_run_entry_group_direct`` in
+:mod:`repro.core.controller.prefix`.  The model fits the two-parameter
+line ``T(m) = probe + (m - 1) * suffix`` by online least squares over
+``k = m - 1`` and blends the fitted ratio with the 0.35 prior
+(prior-weighted mean), so a fresh model reproduces the PR 9 constant
+exactly and a handful of noisy observations cannot whipsaw the packer.
+
+The model is serializable (:meth:`to_dict`/:meth:`from_dict`) so the
+campaign coordinator can ship its fleet-wide aggregate to workers inside
+shard leases (:meth:`adopt`) and resumed runs inherit what earlier runs
+measured.  Costs only steer *packing* — which worker drains which groups
+— never results, so cross-process model skew cannot break bit-identity.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: The PR 9 prior: a resumed suffix costs ~35% of a full probe.  A fresh
+#: (observation-free) model returns exactly this, which keeps every
+#: pre-existing cost test and the static packing behavior unchanged.
+SUFFIX_COST_FRACTION = 0.35
+
+#: Observations needed before the fit contributes at all, and the weight
+#: the prior keeps afterwards (in observation units).
+_MIN_OBSERVATIONS = 4
+_PRIOR_WEIGHT = 8.0
+
+#: Fitted suffix/probe ratios are clamped to this range before blending —
+#: a pathological fit (timer noise on near-zero probes) must not produce
+#: negative or absurd packing weights.
+_RATIO_MIN = 0.01
+_RATIO_MAX = 4.0
+
+
+class CostModel:
+    """Online least-squares fit of per-group probe/suffix runtimes.
+
+    Thread-safe: pool callbacks and the coordinator's ``shard_done``
+    handler observe concurrently.  State is five running sums over
+    ``(k = members - 1, t = elapsed)`` pairs, which merge exactly
+    (:meth:`observe_sums`) — fleet aggregation loses nothing.
+    """
+
+    def __init__(
+        self,
+        prior_fraction: float = SUFFIX_COST_FRACTION,
+        prior_weight: float = _PRIOR_WEIGHT,
+    ) -> None:
+        self.prior_fraction = float(prior_fraction)
+        self.prior_weight = float(prior_weight)
+        self._lock = threading.Lock()
+        self._n = 0
+        self._sum_k = 0.0
+        self._sum_kk = 0.0
+        self._sum_t = 0.0
+        self._sum_kt = 0.0
+
+    # -- observation ----------------------------------------------------
+
+    def observe_group(self, members: int, elapsed_seconds: float) -> None:
+        """Record one direct group execution of ``members`` members."""
+        if members < 1 or elapsed_seconds < 0.0:
+            return
+        k = float(members - 1)
+        with self._lock:
+            self._n += 1
+            self._sum_k += k
+            self._sum_kk += k * k
+            self._sum_t += elapsed_seconds
+            self._sum_kt += k * elapsed_seconds
+
+    def observe_sums(
+        self,
+        n: int,
+        sum_k: float,
+        sum_kk: float,
+        sum_t: float,
+        sum_kt: float,
+    ) -> None:
+        """Merge another model's running sums (fleet aggregation)."""
+        if n <= 0:
+            return
+        with self._lock:
+            self._n += int(n)
+            self._sum_k += float(sum_k)
+            self._sum_kk += float(sum_kk)
+            self._sum_t += float(sum_t)
+            self._sum_kt += float(sum_kt)
+
+    # -- queries ---------------------------------------------------------
+
+    def observations(self) -> int:
+        with self._lock:
+            return self._n
+
+    def _fit_locked(self) -> Optional[Tuple[float, float]]:
+        """Least-squares ``(probe, suffix)`` or ``None`` if undetermined."""
+        n = self._n
+        if n < _MIN_OBSERVATIONS:
+            return None
+        denominator = n * self._sum_kk - self._sum_k * self._sum_k
+        if denominator <= 1e-12:
+            # Every observed group had the same size; the slope is
+            # unidentifiable and the prior stands.
+            return None
+        suffix = (n * self._sum_kt - self._sum_k * self._sum_t) / denominator
+        probe = (self._sum_t - suffix * self._sum_k) / n
+        if probe <= 1e-9:
+            return None
+        return probe, suffix
+
+    def suffix_fraction(self) -> float:
+        """The (prior-blended) suffix/probe runtime ratio for packing."""
+        with self._lock:
+            fit = self._fit_locked()
+            if fit is None:
+                return self.prior_fraction
+            probe, suffix = fit
+            ratio = min(max(suffix / probe, _RATIO_MIN), _RATIO_MAX)
+            n = float(self._n)
+            return (self.prior_weight * self.prior_fraction + n * ratio) / (
+                self.prior_weight + n
+            )
+
+    def fitted(self) -> Optional[Tuple[float, float]]:
+        """The raw ``(probe_seconds, suffix_seconds)`` fit, if determined."""
+        with self._lock:
+            return self._fit_locked()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "prior_fraction": self.prior_fraction,
+                "prior_weight": self.prior_weight,
+                "n": self._n,
+                "sum_k": self._sum_k,
+                "sum_kk": self._sum_kk,
+                "sum_t": self._sum_t,
+                "sum_kt": self._sum_kt,
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CostModel":
+        model = cls(
+            prior_fraction=float(payload.get("prior_fraction", SUFFIX_COST_FRACTION)),
+            prior_weight=float(payload.get("prior_weight", _PRIOR_WEIGHT)),
+        )
+        model.observe_sums(
+            int(payload.get("n", 0)),
+            float(payload.get("sum_k", 0.0)),
+            float(payload.get("sum_kk", 0.0)),
+            float(payload.get("sum_t", 0.0)),
+            float(payload.get("sum_kt", 0.0)),
+        )
+        return model
+
+    def adopt(self, payload: Optional[Mapping[str, Any]]) -> None:
+        """Replace this model's state with a *better-informed* snapshot.
+
+        Used by workers receiving the coordinator's aggregate inside a
+        shard lease: adopting (rather than merging) avoids double-counting
+        observations the worker itself contributed to the aggregate.  A
+        snapshot with fewer observations than the local model is ignored.
+        """
+        if not payload:
+            return
+        incoming = CostModel.from_dict(payload)
+        with self._lock:
+            if incoming._n <= self._n:
+                return
+            self.prior_fraction = incoming.prior_fraction
+            self.prior_weight = incoming.prior_weight
+            self._n = incoming._n
+            self._sum_k = incoming._sum_k
+            self._sum_kk = incoming._sum_kk
+            self._sum_t = incoming._sum_t
+            self._sum_kt = incoming._sum_kt
+
+    def snapshot_counters(self) -> Dict[str, float]:
+        """Flat numeric counters for ``shard_done.stats`` aggregation."""
+        with self._lock:
+            return {
+                "cost_observations": float(self._n),
+                "cost_sum_k": self._sum_k,
+                "cost_sum_kk": self._sum_kk,
+                "cost_sum_t": self._sum_t,
+                "cost_sum_kt": self._sum_kt,
+            }
+
+
+_default_model = CostModel()
+_default_lock = threading.Lock()
+
+
+def default_cost_model() -> CostModel:
+    """The process-wide model every direct group execution feeds."""
+    return _default_model
+
+
+def set_default_cost_model(model: Optional[CostModel]) -> CostModel:
+    """Swap the process-wide model (``None`` installs a fresh one).
+
+    Returns the previous model; tests use this to isolate observations.
+    """
+    global _default_model
+    with _default_lock:
+        previous = _default_model
+        _default_model = model if model is not None else CostModel()
+        return previous
+
+
+def observe_group_runtime(members: int, elapsed_seconds: float) -> None:
+    """Feed one direct group execution into the process-wide model."""
+    _default_model.observe_group(members, elapsed_seconds)
+
+
+__all__ = [
+    "SUFFIX_COST_FRACTION",
+    "CostModel",
+    "default_cost_model",
+    "observe_group_runtime",
+    "set_default_cost_model",
+]

@@ -53,9 +53,12 @@ backend tasks so sharing composes with the pool backends).
 from __future__ import annotations
 
 import copy
+import time
 import weakref
 from dataclasses import replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.controller.costmodel import observe_group_runtime
 
 from repro.core.controller.monitor import (
     Outcome,
@@ -1184,7 +1187,32 @@ def _run_entry_group_direct(
     options: Dict[str, Any],
     observe_only: bool = False,
 ) -> Dict[int, RunResult]:
-    """The memo-free group execution paths (probe + resume/replicate)."""
+    """The memo-free group execution paths (probe + resume/replicate).
+
+    Every direct execution (memo hits never reach here) is timed and fed
+    to the process-wide :class:`~repro.core.controller.costmodel.CostModel`
+    as one ``(members, elapsed)`` observation — the raw material the
+    scheduler's learned suffix fraction is fitted from.
+    """
+    started = time.perf_counter()
+    try:
+        results = _run_entry_group_paths(
+            target, workload, members, collect_coverage, options,
+            observe_only=observe_only,
+        )
+    finally:
+        observe_group_runtime(len(members), time.perf_counter() - started)
+    return results
+
+
+def _run_entry_group_paths(
+    target: TargetAdapter,
+    workload: str,
+    members: Sequence[Entry],
+    collect_coverage: bool,
+    options: Dict[str, Any],
+    observe_only: bool = False,
+) -> Dict[int, RunResult]:
     if len(members) == 1:
         index, scenario, seed = members[0]
         return {

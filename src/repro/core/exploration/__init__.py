@@ -16,15 +16,23 @@ sites before partially checked before checked, and within each band puts
 the first occurrence of each novel (function, return value, errno) fault
 class ahead of repeats.
 
-**Strategies** (:mod:`~repro.core.exploration.strategy`).  A strategy picks
-*which* scheduled points to run, deterministically:
+**Strategies** (:mod:`~repro.core.exploration.strategy`).  A strategy
+plans *which* points to run, deterministically, through a round-based
+planner session (``strategy.session().propose(frontier, feedback)``):
 
 * :class:`~repro.core.exploration.strategy.ExhaustiveStrategy` — every
   point exactly once (the full sweep);
 * :class:`~repro.core.exploration.strategy.BoundarySampleStrategy` — the
   first and last fault candidate per call site (the errno-range edges);
 * :class:`~repro.core.exploration.strategy.RandomSampleStrategy` — a
-  seeded fraction/count sample, stable in its seed.
+  seeded fraction/count sample, stable in its seed;
+* :class:`~repro.core.exploration.strategy.CoverageGuidedStrategy` — the
+  *adaptive* planner: rounds steer toward fault points whose neighbors
+  unlocked new recovery-code coverage (the table3 metric), stopping at a
+  coverage plateau instead of sweeping the whole space (doc/ADAPTIVE.md).
+
+The static trio are single-round planners, bit-identical to their
+historical ahead-of-time selection.
 
 **Resume semantics** (:mod:`~repro.core.exploration.store`).  Every
 completed run is appended to a JSON-lines
@@ -71,6 +79,7 @@ from repro.core.exploration.engine import (
     ExplorationEngine,
     ExplorationOutcome,
     ExplorationReport,
+    RoundPlanner,
 )
 from repro.core.exploration.space import (
     CATEGORY_RANK,
@@ -81,8 +90,10 @@ from repro.core.exploration.space import (
 from repro.core.exploration.store import ResultStore, StoreCorruptError, StoredResult
 from repro.core.exploration.strategy import (
     BoundarySampleStrategy,
+    CoverageGuidedStrategy,
     ExhaustiveStrategy,
     ExplorationStrategy,
+    ProbeFeedback,
     RandomSampleStrategy,
     resolve_strategy,
 )
@@ -90,6 +101,7 @@ from repro.core.exploration.strategy import (
 __all__ = [
     "BoundarySampleStrategy",
     "CATEGORY_RANK",
+    "CoverageGuidedStrategy",
     "ExhaustiveStrategy",
     "ExplorationEngine",
     "ExplorationOutcome",
@@ -97,8 +109,10 @@ __all__ = [
     "ExplorationStrategy",
     "FailureDeduplicator",
     "FaultPoint",
+    "ProbeFeedback",
     "RandomSampleStrategy",
     "ResultStore",
+    "RoundPlanner",
     "StoreCorruptError",
     "StoredResult",
     "UniqueFailure",

@@ -1,28 +1,36 @@
 """The fault-space exploration engine.
 
 Ties the subsystem together: take an enumerated fault space, order it by
-testing priority, let a strategy pick the points to run, schedule them
+testing priority, let a strategy plan the points to run, schedule them
 through a PR 1 execution backend, deduplicate the failures, and checkpoint
 every completed run in the result store so interrupted explorations resume
 instead of restarting.
 
-Determinism contract (the property the tests pin down):
+Execution is **round-based**: a planner session proposes a round of
+points, the engine executes it (through the prefix/memo/pool machinery),
+feeds per-probe coverage deltas back, and asks for the next round
+(:class:`RoundPlanner` is the state machine; doc/ADAPTIVE.md the spec).
+Static strategies are single-round planners, which keeps the historical
+ahead-of-time behavior — and its determinism contract — bit-identical:
 
-* the schedule — ordering, selection, per-run seeds — is a pure function of
-  (fault space, strategy, exploration seed); execution results never feed
-  back into it;
-* per-run seeds derive from each point's position in the *full* schedule
-  (:func:`~repro.core.controller.executor.derive_run_seed`), so a resumed
-  run receives exactly the seed it would have received in an uninterrupted
-  exploration;
-* backends return results in submission order, so parallel explorations are
-  bit-identical to serial ones.
+* for a static strategy the schedule — ordering, selection, per-run seeds
+  — is a pure function of (fault space, strategy, exploration seed);
+  execution results never feed back into it.  For an adaptive strategy
+  the contract weakens to "(spec + completed results) determine the next
+  round": feedback is replayed from :class:`StoredResult`\\ s in schedule
+  order, so any driver holding the same store derives the same rounds;
+* per-run seeds derive from each point's position in the cumulative
+  planned schedule (:func:`~repro.core.controller.executor.derive_run_seed`),
+  so a resumed run receives exactly the seed it would have received in an
+  uninterrupted exploration;
+* backends return results in submission order, so parallel explorations
+  are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.controller.executor import (
     ExecutionTask,
@@ -42,7 +50,11 @@ from repro.core.controller.target import TargetAdapter, WorkloadRequest
 from repro.core.exploration.dedup import FailureDeduplicator, UniqueFailure, stack_fingerprint
 from repro.core.exploration.space import FaultPoint, priority_order
 from repro.core.exploration.store import ResultStore, StoredResult
-from repro.core.exploration.strategy import ExplorationStrategy, resolve_strategy
+from repro.core.exploration.strategy import (
+    ExplorationStrategy,
+    ProbeFeedback,
+    resolve_strategy,
+)
 
 
 @dataclass
@@ -82,6 +94,12 @@ class ExplorationReport:
     outcomes: List[ExplorationOutcome] = field(default_factory=list)
     unique_failures: List[UniqueFailure] = field(default_factory=list)
     store: Optional[ResultStore] = None
+    #: Per-round execution stats (one entry per planned round; static
+    #: strategies produce exactly one).
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    #: Planner summary: rounds, frontier size, new-coverage probes,
+    #: session-specific counters (see :meth:`RoundPlanner.summary`).
+    planner: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -124,6 +142,12 @@ class ExplorationReport:
             f"{self.executed} run, {self.resumed} resumed from store, {self.pending} pending",
             f"  {len(self.failures())} failures, {len(self.unique_failures)} unique",
         ]
+        if len(self.rounds) > 1:
+            lines.append(
+                f"  {len(self.rounds)} rounds, "
+                f"{self.planner.get('new_coverage_probes', 0)} probes unlocked new "
+                f"recovery coverage ({self.planner.get('recovery_lines', 0)} lines)"
+            )
         for failure in self.unique_failures:
             lines.append("    - " + failure.describe())
         if self.store is not None:
@@ -165,10 +189,34 @@ class ExplorationEngine:
         #: Extra ``WorkloadRequest.options`` for every run (e.g.
         #: ``{"engine": "reference"}`` or ``{"snapshots": False}``).
         self.request_options = dict(request_options or {})
+        #: Lazily built ``(binary, recovery-line universe)`` for coverage
+        #: feedback; see :meth:`_recovery_universe`.
+        self._recovery_cache: Optional[Tuple[Any, frozenset]] = None
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the strategy plans round by round on feedback."""
+        return bool(getattr(self.strategy, "adaptive", False))
+
+    @property
+    def collects_coverage(self) -> bool:
+        """Adaptive explorations run with coverage on — the feedback source."""
+        return self.adaptive
 
     # ------------------------------------------------------------------
     def schedule(self, points: Sequence[FaultPoint]) -> List[FaultPoint]:
-        """The deterministic schedule: priority order, then strategy selection."""
+        """The deterministic static schedule: priority order, then selection.
+
+        Only static strategies have one — an adaptive strategy's schedule
+        depends on execution feedback, so asking for it ahead of time
+        would silently produce the wrong (feedback-free) projection.
+        """
+        if self.adaptive:
+            raise RuntimeError(
+                f"strategy {self.strategy.describe()!r} plans adaptively; "
+                "there is no ahead-of-time schedule — drive it through "
+                "explore() or a RoundPlanner"
+            )
         return self.strategy.select(priority_order(points))
 
     def _run_key(self, point: FaultPoint) -> str:
@@ -207,7 +255,8 @@ class ExplorationEngine:
         seed this schedule would derive, otherwise the merged report would
         be reproducible by no seed — so callers (the engine itself, the
         campaign coordinator at submit time) fail fast on a store that was
-        written under a different seed or strategy.
+        written under a different seed or strategy.  Static strategies
+        only; adaptive plans live in :class:`RoundPlanner`.
         """
         schedule = self.schedule(points)
         completed = self.store.completed_keys()
@@ -217,17 +266,76 @@ class ExplorationEngine:
             if key not in completed:
                 pending.append((index, point))
                 continue
-            stored = self.store.get(key)
-            expected_seed = derive_run_seed(self.seed, index)
-            if stored.run_seed != expected_seed:
-                raise ValueError(
-                    f"result store seed mismatch for {key!r}: stored run_seed "
-                    f"{stored.run_seed!r}, this exploration derives "
-                    f"{expected_seed!r} — resume with the original seed and "
-                    "strategy, or start a fresh store"
-                )
+            self._validate_stored_seed(key, self.store.get(key), index)
         return schedule, pending
 
+    def _validate_stored_seed(
+        self, key: str, stored: StoredResult, index: int
+    ) -> None:
+        expected_seed = derive_run_seed(self.seed, index)
+        if stored.run_seed != expected_seed:
+            raise ValueError(
+                f"result store seed mismatch for {key!r}: stored run_seed "
+                f"{stored.run_seed!r}, this exploration derives "
+                f"{expected_seed!r} — resume with the original seed and "
+                "strategy, or start a fresh store"
+            )
+
+    # ------------------------------------------------------------------
+    # coverage feedback
+    # ------------------------------------------------------------------
+    def _recovery_universe(self) -> Tuple[Any, frozenset]:
+        """``(binary, frozenset of recovery Lines)`` for feedback extraction.
+
+        Derived purely from the target's binary and the reference fault
+        profiles (:func:`identify_recovery_regions` — the same universe
+        table3 measures), so every node of a distributed campaign computes
+        the identical set.  Targets without a binary yield an empty
+        universe: adaptive exploration then sees no novelty and stops at
+        its plateau patience, degenerating gracefully.
+        """
+        if self._recovery_cache is None:
+            binary = None
+            getter = getattr(self.target, "binary", None)
+            if callable(getter):
+                binary = getter()
+            universe: frozenset = frozenset()
+            if binary is not None:
+                from repro.core.profiler.spec_profiles import combined_reference_profile
+                from repro.coverage.recovery import identify_recovery_regions
+
+                recovery = identify_recovery_regions(
+                    binary, combined_reference_profile()
+                )
+                universe = frozenset(recovery.all_lines())
+            self._recovery_cache = (binary, universe)
+        return self._recovery_cache
+
+    def _recovery_lines_of(self, result: RunResult) -> List[str]:
+        """The recovery-region lines one run covered, ``"file:line"`` sorted."""
+        if not self.collects_coverage:
+            return []
+        binary, universe = self._recovery_universe()
+        if binary is None or not universe:
+            return []
+        tracker = result.stats.get("coverage")
+        if tracker is None:
+            return []
+        covered = tracker.lines_covered_of(binary, universe)
+        return sorted(f"{file}:{line}" for file, line in covered)
+
+    def feedback_from_stored(
+        self, point: FaultPoint, stored: StoredResult
+    ) -> ProbeFeedback:
+        """Rebuild the planner feedback of one completed (or replayed) run."""
+        return ProbeFeedback(
+            key=point.key,
+            recovery_lines=tuple(stored.recovery_lines),
+            outcome=stored.outcome,
+            injections=stored.injections,
+        )
+
+    # ------------------------------------------------------------------
     def stored_result(
         self, index: int, point: FaultPoint, scenario_name: str, result: RunResult
     ) -> StoredResult:
@@ -258,6 +366,7 @@ class ExplorationEngine:
             fault_class=getattr(point, "klass", "errno"),
             fault_params=dict(getattr(point, "params", ())),
             calls=dict(result.stats.get("calls", {})),
+            recovery_lines=self._recovery_lines_of(result),
         )
 
     def _iter_entry_results(
@@ -268,11 +377,13 @@ class ExplorationEngine:
         serial shared streaming, pooled run-to-completion batches, plain
         per-point fan-out)."""
         sharing = resolve_sharing(self.share_prefixes, self.target)
+        collect_coverage = self.collects_coverage
         if sharing and isinstance(backend, SerialBackend):
             for index, result in iter_shared_runs(
                 self.target,
                 self.workload,
                 entries,
+                collect_coverage=collect_coverage,
                 options=dict(self.request_options),
             ):
                 yield index, result
@@ -285,6 +396,7 @@ class ExplorationEngine:
             # the per-group submit/result cycles.
             tasks = build_group_tasks(
                 self.target, self.workload, entries,
+                collect_coverage=collect_coverage,
                 options=dict(self.request_options),
             )
             for _batch, batch_results in backend.run_group_batches_iter(
@@ -300,6 +412,7 @@ class ExplorationEngine:
                     request=WorkloadRequest(
                         workload=self.workload,
                         scenario=scenario,
+                        collect_coverage=collect_coverage,
                         options=dict(self.request_options),
                     ),
                     seed=seed,
@@ -308,6 +421,17 @@ class ExplorationEngine:
             ]
             for task, result in backend.run_tasks_iter(tasks):
                 yield task.index, result
+
+    def group_key_of(self, point: FaultPoint) -> Optional[str]:
+        """The prefix-group base key of one point (``None`` = solo).
+
+        The per-point form of :meth:`schedule_group_keys`, usable without
+        a static schedule — the coordinator calls it per planned round to
+        co-locate an adaptive round's group members in one shard lease.
+        """
+        if not resolve_sharing(self.share_prefixes, self.target):
+            return None
+        return scenario_group_key(point.scenario(once=self.once))
 
     def schedule_group_keys(
         self, points: Sequence[FaultPoint]
@@ -321,41 +445,17 @@ class ExplorationEngine:
         probing the same prefix on k machines.  Positions whose scenario is
         unshareable (or when sharing is off entirely) map to ``None``.
         """
-        schedule = self.schedule(points)
-        if not resolve_sharing(self.share_prefixes, self.target):
-            return [None] * len(schedule)
-        return [
-            scenario_group_key(point.scenario(once=self.once)) for point in schedule
-        ]
+        return [self.group_key_of(point) for point in self.schedule(points)]
 
-    def run_schedule_indices(
+    def _run_wanted(
         self,
-        points: Sequence[FaultPoint],
-        indices: Sequence[int],
+        wanted: Sequence[Tuple[int, FaultPoint]],
         parallelism: ParallelismSpec = None,
     ) -> Iterator[StoredResult]:
-        """Execute the given schedule positions, yielding one
-        :class:`StoredResult` per completed run (in completion order).
-
-        The worker-shard entry point of the campaign fabric: a coordinator
-        ships only ``(campaign spec, schedule indices)`` over the wire, and
-        each worker — which derives the identical schedule from the spec —
-        turns its indices back into scenarios, executes them on its local
-        backend, and streams the records home.  Records are exactly the
-        ones a local :meth:`explore` would have checkpointed (same keys,
-        seeds, fingerprints), so merged shards are bit-identical to a
-        serial run.  The engine's own store is neither consulted nor
-        written — the caller owns persistence.
-        """
-        schedule = self.schedule(points)
-        wanted = []
-        for index in sorted(set(indices)):
-            if not 0 <= index < len(schedule):
-                raise IndexError(
-                    f"schedule index {index} out of range for a schedule of "
-                    f"{len(schedule)} points"
-                )
-            wanted.append((index, schedule[index]))
+        """Execute explicit ``(schedule index, point)`` pairs, yielding one
+        :class:`StoredResult` per completed run (in completion order).  The
+        engine's own store is neither consulted nor written — the caller
+        owns persistence."""
         points_by_index = dict(wanted)
         scenarios_by_index = {
             index: point.scenario(once=self.once) for index, point in wanted
@@ -379,66 +479,153 @@ class ExplorationEngine:
             if owned:
                 backend.close()
 
+    def run_schedule_indices(
+        self,
+        points: Sequence[FaultPoint],
+        indices: Sequence[int],
+        parallelism: ParallelismSpec = None,
+    ) -> Iterator[StoredResult]:
+        """Execute the given schedule positions, yielding one
+        :class:`StoredResult` per completed run (in completion order).
+
+        The worker-shard entry point for **static** campaigns: a
+        coordinator ships only ``(campaign spec, schedule indices)`` over
+        the wire, and each worker — which derives the identical schedule
+        from the spec — turns its indices back into scenarios, executes
+        them on its local backend, and streams the records home.  Records
+        are exactly the ones a local :meth:`explore` would have
+        checkpointed (same keys, seeds, fingerprints), so merged shards
+        are bit-identical to a serial run.  Adaptive campaigns cannot
+        derive a schedule locally; their shards arrive as explicit
+        assignments (:meth:`run_assignments`).
+        """
+        schedule = self.schedule(points)
+        wanted = []
+        for index in sorted(set(indices)):
+            if not 0 <= index < len(schedule):
+                raise IndexError(
+                    f"schedule index {index} out of range for a schedule of "
+                    f"{len(schedule)} points"
+                )
+            wanted.append((index, schedule[index]))
+        return self._run_wanted(wanted, parallelism)
+
+    def run_assignments(
+        self,
+        points: Sequence[FaultPoint],
+        assignments: Sequence[Tuple[int, str]],
+        parallelism: ParallelismSpec = None,
+    ) -> Iterator[StoredResult]:
+        """Execute explicit ``(schedule index, point key)`` assignments.
+
+        The protocol-v3 worker entry point for **adaptive** campaigns: the
+        coordinator plans rounds centrally (it holds the feedback), so a
+        lease names its points explicitly instead of by derivable schedule
+        position.  Seeds still derive from the shipped indices — the
+        point's position in the coordinator's cumulative planned schedule —
+        so records are byte-identical to a serial adaptive run's.
+        """
+        by_key = {point.key: point for point in priority_order(points)}
+        wanted: List[Tuple[int, FaultPoint]] = []
+        seen: Set[int] = set()
+        for raw_index, key in assignments:
+            index = int(raw_index)
+            point = by_key.get(key)
+            if point is None:
+                raise KeyError(
+                    f"assignment names unknown fault point {key!r} for this spec"
+                )
+            if index < 0:
+                raise IndexError(f"negative schedule index {index}")
+            if index in seen:
+                continue
+            seen.add(index)
+            wanted.append((index, point))
+        wanted.sort(key=lambda pair: pair[0])
+        return self._run_wanted(wanted, parallelism)
+
     # ------------------------------------------------------------------
     def explore(
         self, points: Sequence[FaultPoint], max_runs: Optional[int] = None
     ) -> ExplorationReport:
         """Run (or resume) one exploration over *points*.
 
-        ``max_runs`` bounds how many *new* scenario runs this call performs —
-        completed work replayed from the store is free — which both supports
-        incremental budgeted exploration and lets tests model interruption.
+        The unified round loop: plan a round, replay what the store already
+        holds (validating seeds), execute the rest (checkpointing every
+        completed run the moment it lands), feed the round's results back,
+        replan.  Static strategies make exactly one round, reproducing the
+        historical ahead-of-time behavior bit for bit.
+
+        ``max_runs`` bounds how many *new* scenario runs this call performs
+        — completed work replayed from the store is free — which both
+        supports incremental budgeted exploration and lets tests model
+        interruption.  A budget exhausted mid-round leaves the round open;
+        the next :meth:`explore` call replays the partial round from the
+        store and executes only the missing members, converging on the
+        identical rounds an uninterrupted exploration plans.
         """
-        schedule, pending = self.plan(points)
-        if max_runs is not None:
-            pending = pending[:max_runs]
-
-        points_by_index = dict(pending)
-        scenarios_by_index = {
-            index: point.scenario(once=self.once) for index, point in pending
-        }
-        entries = [
-            (index, scenarios_by_index[index], derive_run_seed(self.seed, index))
-            for index, _ in pending
-        ]
-
-        def checkpoint(index: int, result: RunResult) -> tuple:
-            """Persist one completed run (see :meth:`stored_result` for the
-            path-independence contract of the record)."""
-            point = points_by_index[index]
-            stored = self.stored_result(
-                index, point, scenarios_by_index[index].name, result
-            )
-            self.store.record(stored)
-            return point, result, stored
-
+        # Validate an explicit sharing request before planning anything:
+        # ``share_prefixes=True`` on an unshareable target must raise even
+        # when the space is empty and no round ever executes.
+        resolve_sharing(self.share_prefixes, self.target)
+        planner = RoundPlanner(self, points)
+        budget = max_runs
+        fresh: Dict[int, Tuple[FaultPoint, RunResult, StoredResult]] = {}
         backend, owned = backend_scope(self.parallelism)
-        fresh: dict = {}
         try:
-            # Stream results and checkpoint each one in the store the moment
-            # it is available: a kill mid-campaign loses only in-flight work.
-            for index, result in self._iter_entry_results(entries, backend):
-                fresh[index] = checkpoint(index, result)
+            while True:
+                pending = planner.replay_from_store()
+                if not pending:
+                    break
+                truncated = False
+                if budget is not None and len(pending) > budget:
+                    pending = pending[:budget]
+                    truncated = True
+                if budget is not None:
+                    budget -= len(pending)
+
+                points_by_index = dict(pending)
+                scenarios_by_index = {
+                    index: point.scenario(once=self.once) for index, point in pending
+                }
+                entries = [
+                    (index, scenarios_by_index[index], derive_run_seed(self.seed, index))
+                    for index, _ in pending
+                ]
+                # Stream results and checkpoint each one in the store the
+                # moment it is available: a kill mid-campaign loses only
+                # in-flight work.
+                for index, result in self._iter_entry_results(entries, backend):
+                    point = points_by_index[index]
+                    stored = self.stored_result(
+                        index, point, scenarios_by_index[index].name, result
+                    )
+                    self.store.record(stored)
+                    fresh[index] = (point, result, stored)
+                    planner.record_result(index, point, stored, resumed=False)
+
+                missing = [index for index, _ in pending if index not in fresh]
+                if missing:
+                    # Every scheduled point must come back with a result;
+                    # silently reclassifying dropped runs as "pending" would
+                    # under-report executed work (same corrupted-scheduling
+                    # guard as campaigns).
+                    raise RuntimeError(
+                        f"execution returned no result for scheduled point indices "
+                        f"{missing[:5]}{'...' if len(missing) > 5 else ''}"
+                    )
+                if truncated:
+                    break
         finally:
             if owned:
                 backend.close()
-
-        missing = [index for index, _ in pending if index not in fresh]
-        if missing:
-            # Every scheduled point must come back with a result; silently
-            # reclassifying dropped runs as "pending" would under-report
-            # executed work (same corrupted-scheduling guard as campaigns).
-            raise RuntimeError(
-                f"execution returned no result for scheduled point indices "
-                f"{missing[:5]}{'...' if len(missing) > 5 else ''}"
-            )
 
         # Assemble outcomes in schedule order, merging store replays with
         # fresh runs; later duplicates of one key collapse onto the store.
         outcomes: List[ExplorationOutcome] = []
         executed = resumed = still_pending = 0
         deduplicator = FailureDeduplicator()
-        for index, point in enumerate(schedule):
+        for index, point in enumerate(planner.schedule):
             if index in fresh:
                 _, result, stored = fresh[index]
                 outcome = ExplorationOutcome(
@@ -487,14 +674,184 @@ class ExplorationEngine:
             workload=self.workload,
             strategy=self.strategy.describe(),
             space_size=len(points),
-            selected=len(schedule),
+            selected=len(planner.schedule),
             executed=executed,
             resumed=resumed,
             pending=still_pending,
             outcomes=outcomes,
             unique_failures=deduplicator.unique(),
             store=self.store,
+            rounds=[dict(entry) for entry in planner.rounds],
+            planner=planner.summary(),
         )
 
 
-__all__ = ["ExplorationEngine", "ExplorationOutcome", "ExplorationReport"]
+class RoundPlanner:
+    """The plan-round → execute-round → ingest-feedback → replan machine.
+
+    One instance drives one exploration (or one distributed campaign) of
+    one engine.  It owns the cumulative planned schedule — the point's
+    position in it is the index per-run seeds derive from — the remaining
+    frontier, and the feedback channel back into the strategy's
+    :class:`~repro.core.exploration.strategy.PlannerSession`.
+
+    Determinism: results of a round are buffered and fed to the session in
+    **schedule-index order** when the round closes, so the next round is
+    independent of completion/arrival order — serial, pooled, and
+    distributed drivers ingesting the same records derive identical
+    subsequent rounds.
+    """
+
+    def __init__(self, engine: ExplorationEngine, points: Sequence[FaultPoint]) -> None:
+        self.engine = engine
+        ordered = priority_order(points)
+        self.space_size = len(ordered)
+        self._by_key: Dict[str, FaultPoint] = {point.key: point for point in ordered}
+        self.session = engine.strategy.session()
+        self.frontier: List[FaultPoint] = list(ordered)
+        #: The cumulative planned schedule; grows one round at a time.
+        self.schedule: List[FaultPoint] = []
+        #: Per-round stats, one dict per planned round.
+        self.rounds: List[Dict[str, Any]] = []
+        self.current: Optional[List[Tuple[int, FaultPoint]]] = None
+        self._current_remaining: Set[int] = set()
+        self._current_results: Dict[int, Tuple[FaultPoint, StoredResult, bool]] = {}
+        self._pending_feedback: List[ProbeFeedback] = []
+        self._covered: Set[str] = set()
+        self.new_coverage_probes = 0
+        self._exhausted = False
+
+    @property
+    def done(self) -> bool:
+        """True when the session declined to plan and no round is open."""
+        return self._exhausted and self.current is None
+
+    def next_round(self) -> List[Tuple[int, FaultPoint]]:
+        """Propose and register the next round ([] = planner finished)."""
+        if self._exhausted:
+            return []
+        if self.current is not None:
+            raise RuntimeError(
+                "previous round is still open; feed its results back before "
+                "planning the next one"
+            )
+        keys = self.session.propose(self.frontier, self._pending_feedback)
+        self._pending_feedback = []
+        if not keys:
+            self._exhausted = True
+            return []
+        frontier_keys = {point.key for point in self.frontier}
+        seen: Set[str] = set()
+        base = len(self.schedule)
+        assignments: List[Tuple[int, FaultPoint]] = []
+        for offset, key in enumerate(keys):
+            if key in seen or key not in frontier_keys:
+                raise ValueError(
+                    f"planner proposed invalid or duplicate point key {key!r}"
+                )
+            seen.add(key)
+            assignments.append((base + offset, self._by_key[key]))
+        self.schedule.extend(point for _, point in assignments)
+        self.frontier = [point for point in self.frontier if point.key not in seen]
+        self.current = assignments
+        self._current_remaining = {index for index, _ in assignments}
+        self._current_results = {}
+        self.rounds.append(
+            {
+                "round": len(self.rounds) + 1,
+                "planned": len(assignments),
+                "executed": 0,
+                "resumed": 0,
+                "new_recovery_lines": 0,
+            }
+        )
+        return list(assignments)
+
+    def record_result(
+        self, index: int, point: FaultPoint, stored: StoredResult, resumed: bool
+    ) -> None:
+        """Feed one completed result of the open round back.
+
+        Safe against duplicate deliveries (stale leases re-executing a
+        member): only the first record per index counts, matching the
+        store's first-completion-wins contract.  When the last member
+        lands, the round closes and its feedback is queued for the next
+        :meth:`next_round` in schedule-index order.
+        """
+        if index not in self._current_remaining:
+            return
+        self._current_remaining.discard(index)
+        self._current_results[index] = (point, stored, resumed)
+        stats = self.rounds[-1]
+        stats["resumed" if resumed else "executed"] += 1
+        if not self._current_remaining:
+            self._close_round()
+
+    def _close_round(self) -> None:
+        stats = self.rounds[-1]
+        for index in sorted(self._current_results):
+            point, stored, _resumed = self._current_results[index]
+            feedback = self.engine.feedback_from_stored(point, stored)
+            novel = set(feedback.recovery_lines) - self._covered
+            if novel:
+                self._covered.update(novel)
+                stats["new_recovery_lines"] += len(novel)
+                self.new_coverage_probes += 1
+            self._pending_feedback.append(feedback)
+        self._current_results = {}
+        self.current = None
+
+    def replay_from_store(self) -> List[Tuple[int, FaultPoint]]:
+        """Advance through rounds the store already answers.
+
+        Proposes rounds and replays their completed members (validating
+        stored seeds) until a round has members with no record; returns
+        those pending ``(index, point)`` pairs — or ``[]`` once the
+        planner is exhausted.  This is how both a resumed :meth:`explore`
+        and a coordinator resuming a campaign reconstruct the planner
+        state purely from (spec, store).
+        """
+        store = self.engine.store
+        while True:
+            if self.current is None:
+                if not self.next_round():
+                    return []
+            pending: List[Tuple[int, FaultPoint]] = []
+            for index, point in self.current:
+                if index not in self._current_remaining:
+                    continue
+                key = self.engine.run_key(point)
+                stored = store.get(key)
+                if stored is None:
+                    pending.append((index, point))
+                    continue
+                self.engine._validate_stored_seed(key, stored, index)
+                self.record_result(index, point, stored, resumed=True)
+            if pending:
+                return pending
+            # The round replayed completely (record_result closed it);
+            # loop to plan the next one.
+
+    def summary(self) -> Dict[str, Any]:
+        """The planner block reports and campaign status expose."""
+        payload: Dict[str, Any] = {
+            "strategy": self.engine.strategy.describe(),
+            "adaptive": self.engine.adaptive,
+            "rounds": len(self.rounds),
+            "planned": len(self.schedule),
+            "frontier": len(self.frontier),
+            "new_coverage_probes": self.new_coverage_probes,
+            "recovery_lines": len(self._covered),
+        }
+        session_stats = self.session.stats()
+        if session_stats:
+            payload["session"] = session_stats
+        return payload
+
+
+__all__ = [
+    "ExplorationEngine",
+    "ExplorationOutcome",
+    "ExplorationReport",
+    "RoundPlanner",
+]

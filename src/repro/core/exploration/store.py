@@ -86,6 +86,12 @@ class StoredResult:
     #: Per-function library-call counts of the run (the BEACON-style usage
     #: profile raw material); empty when the target did not report them.
     calls: Dict[str, int] = field(default_factory=dict)
+    #: Recovery-region source lines this run covered (``"file:line"``,
+    #: sorted) — the coverage feedback adaptive planners replay on resume.
+    #: Only adaptive explorations collect coverage, so the field is empty
+    #: for static runs and :meth:`to_dict` omits it then, keeping static
+    #: records byte-identical to stores written before the round loop.
+    recovery_lines: List[str] = field(default_factory=list)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -103,7 +109,13 @@ class StoredResult:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        payload = asdict(self)
+        if not payload.get("recovery_lines"):
+            # Static runs carry no coverage feedback; omitting the empty
+            # field keeps their records byte-identical to pre-round-loop
+            # stores (and old readers route it through ``extra`` otherwise).
+            payload.pop("recovery_lines", None)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "StoredResult":

@@ -41,6 +41,18 @@ the queue for the next ``fetch``.  A *slow* (not dead) worker whose lease
 was reassigned keeps streaming records — they are acknowledged as
 ``stale_lease`` and ignored, and even a racing duplicate record is
 harmless because the store keeps first-completion-wins per key.
+
+**Adaptive campaigns are planned here.**  A coverage-guided spec has no
+ahead-of-time schedule, so the coordinator owns the campaign's
+:class:`~repro.core.exploration.engine.RoundPlanner`: it holds the
+authoritative store, which is exactly what the determinism contract needs
+("spec + completed results ⇒ next round", ``doc/ADAPTIVE.md``).  Adaptive
+shard leases carry explicit ``(index, point key)`` assignments — plus the
+fleet-aggregate cost-model snapshot — and only ever cover the *current*
+round; when the round's last record lands, the next round is planned
+under the lock and its shards enqueue immediately.  Only protocol ≥ 3
+workers are leased adaptive shards (``fetch`` advertises the worker's
+version); older workers keep draining static campaigns unchanged.
 """
 
 from __future__ import annotations
@@ -52,6 +64,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.core.controller.costmodel import CostModel
+from repro.core.exploration.engine import RoundPlanner
 from repro.core.exploration.store import ResultStore, StoredResult
 from repro.distributed.protocol import (
     MAX_MESSAGE_BYTES,
@@ -134,6 +148,16 @@ def plan_lease_shards(
     return shards
 
 
+def _adaptive_group_keys(engine, schedule_points) -> Optional[List[Optional[str]]]:
+    """Per-position prefix-group keys of an adaptive schedule (or ``None``
+    to degrade to contiguous shards when derivation fails)."""
+    try:
+        return [engine.group_key_of(point) for point in schedule_points]
+    except Exception:
+        logger.exception("group-key derivation failed; contiguous shards")
+        return None
+
+
 class _Lease:
     """One worker's claim on a batch of schedule indices."""
 
@@ -167,6 +191,7 @@ class _Campaign:
         pending_indices: List[int],
         shard_size: int,
         shard_plan: Optional[List[List[int]]] = None,
+        planner: Optional[RoundPlanner] = None,
     ) -> None:
         self.id = campaign_id
         self.spec = spec
@@ -177,6 +202,20 @@ class _Campaign:
         self.completed_count = len(schedule_keys) - len(pending_indices)
         self.resumed_at_submit = self.completed_count
         self.executed = 0  # fresh records accepted over the fabric
+        self.shard_size = max(1, int(shard_size))
+        #: The round planner of an adaptive campaign (``None`` = static).
+        #: The coordinator is its only driver: it replays feedback from the
+        #: authoritative store and plans each next round under the lock.
+        self.planner = planner
+        #: Per-schedule-position fault-point keys (adaptive only): the
+        #: explicit assignments shipped in shard leases, since workers
+        #: cannot derive an adaptive schedule locally.
+        self.point_keys: List[str] = (
+            [point.key for point in planner.schedule] if planner is not None else []
+        )
+        #: Fleet-aggregate learned cost model, fed by ``shard_done`` cost
+        #: counters and shipped back to workers inside adaptive leases.
+        self.cost_model = CostModel()
         self.queue: Deque[List[int]] = deque(
             shard_plan
             if shard_plan is not None
@@ -190,8 +229,15 @@ class _Campaign:
         self.worker_cache_stats: Dict[str, float] = {}
         #: Fresh results in arrival order, for `tail` streaming.
         self.events: List[Dict[str, Any]] = []
-        self.state = "complete" if not pending_indices else "running"
+        if planner is not None:
+            self.state = "complete" if planner.done else "running"
+        else:
+            self.state = "complete" if not pending_indices else "running"
         self.workers_seen: Set[str] = set()
+
+    @property
+    def adaptive(self) -> bool:
+        return self.planner is not None
 
     @property
     def total(self) -> int:
@@ -204,7 +250,7 @@ class _Campaign:
         return sum(len(lease.indices) for lease in self.leases.values())
 
     def status_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "type": "status",
             "campaign_id": self.id,
             "state": self.state,
@@ -220,7 +266,14 @@ class _Campaign:
             "active_leases": len(self.leases),
             "workers_seen": sorted(self.workers_seen),
             "cache": dict(self.worker_cache_stats),
+            "cost_model": {
+                "observations": self.cost_model.observations(),
+                "suffix_fraction": round(self.cost_model.suffix_fraction(), 4),
+            },
         }
+        if self.planner is not None:
+            payload["planner"] = self.planner.summary()
+        return payload
 
 
 class CampaignCoordinator:
@@ -453,18 +506,28 @@ class CampaignCoordinator:
             store.repair()
             logger.info("repaired torn tail in %s", spec.store_path)
         engine, points = build_engine(spec, store=store)
-        schedule, pending = engine.plan(points)
-        schedule_keys = [engine.run_key(point) for point in schedule]
-        shard_size = spec.shard_size or self.shard_size
-        try:
-            group_keys = engine.schedule_group_keys(points)
-        except Exception:
-            # Grouping is a throughput optimisation; a derivation failure
-            # must not reject the campaign — fall back to contiguous shards.
-            logger.exception("group-key derivation failed; contiguous shards")
-            group_keys = None
+        shard_size = max(1, int(spec.shard_size or self.shard_size))
+        planner: Optional[RoundPlanner] = None
+        if engine.adaptive:
+            # Adaptive campaigns have no ahead-of-time schedule: build the
+            # round planner here (replaying any completed rounds from the
+            # store — resume) and shard only the first incomplete round.
+            planner = RoundPlanner(engine, points)
+            pending = [(index, point) for index, point in planner.replay_from_store()]
+            schedule_keys = [engine.run_key(point) for point in planner.schedule]
+            group_keys = _adaptive_group_keys(engine, planner.schedule)
+        else:
+            schedule, pending = engine.plan(points)
+            schedule_keys = [engine.run_key(point) for point in schedule]
+            try:
+                group_keys = engine.schedule_group_keys(points)
+            except Exception:
+                # Grouping is a throughput optimisation; a derivation failure
+                # must not reject the campaign — fall back to contiguous shards.
+                logger.exception("group-key derivation failed; contiguous shards")
+                group_keys = None
         shard_plan = plan_lease_shards(
-            [index for index, _ in pending], group_keys, max(1, int(shard_size))
+            [index for index, _ in pending], group_keys, shard_size
         )
 
         with self._lock:
@@ -484,8 +547,9 @@ class CampaignCoordinator:
                 store,
                 schedule_keys,
                 [index for index, _ in pending],
-                max(1, int(shard_size)),
+                shard_size,
                 shard_plan=shard_plan,
+                planner=planner,
             )
             self._campaigns[campaign_id] = campaign
             self._by_fingerprint[fingerprint] = campaign_id
@@ -627,11 +691,19 @@ class CampaignCoordinator:
 
     def _handle_fetch(self, message: Dict[str, Any]) -> Dict[str, Any]:
         worker_id = str(message.get("worker_id", "anonymous"))
+        try:
+            # Protocol ≥ 3 workers advertise their version on fetch; a
+            # version-less fetch is an older worker and is never handed an
+            # adaptive shard (it could not interpret the assignments).
+            worker_version = int(message.get("version", 1))
+        except (TypeError, ValueError):
+            worker_version = 1
         with self._lock:
             self._reap_expired_leases()
             running = [
                 campaign for campaign in self._campaigns.values()
                 if campaign.state == "running" and campaign.queue
+                and (worker_version >= 3 or not campaign.adaptive)
             ]
             if not running:
                 return {"type": "idle", "retry_after": 0.2}
@@ -650,7 +722,7 @@ class CampaignCoordinator:
             )
             campaign.leases[lease_id] = lease
             campaign.workers_seen.add(worker_id)
-            return {
+            reply = {
                 "type": "shard",
                 "campaign_id": campaign.id,
                 "lease_id": lease_id,
@@ -658,6 +730,13 @@ class CampaignCoordinator:
                 "spec": campaign.spec.to_dict(),
                 "indices": list(indices),
             }
+            if campaign.adaptive:
+                reply["adaptive"] = True
+                reply["assignments"] = [
+                    [index, campaign.point_keys[index]] for index in indices
+                ]
+                reply["cost_model"] = campaign.cost_model.to_dict()
+            return reply
 
     def _find_lease(self, lease_id: Optional[str]) -> Optional[Tuple[_Campaign, _Lease]]:
         for campaign in self._campaigns.values():
@@ -688,8 +767,50 @@ class CampaignCoordinator:
                 "seq": len(campaign.events),
                 "record": record.to_dict(),
             })
+        if campaign.planner is not None:
+            # Feed the round planner.  Duplicate deliveries (stale leases
+            # re-executing a member) are ignored by the planner itself —
+            # only the first record per index counts, mirroring the store's
+            # first-completion-wins.  The planner buffers feedback and
+            # ingests it in schedule-index order at round close, so the
+            # arrival order of records over the fabric cannot change the
+            # next round.
+            campaign.planner.record_result(
+                index, campaign.planner.schedule[index], record, resumed=False
+            )
+            if campaign.planner.current is None:
+                self._advance_adaptive(campaign)
         if index in lease.indices:
             lease.indices.remove(index)
+
+    def _advance_adaptive(self, campaign: _Campaign) -> None:
+        """Plan the next adaptive round(s) and enqueue their shards (called
+        under the lock, after a round closed).
+
+        ``replay_from_store`` may advance through several rounds at once
+        when the store already answers them (a resumed campaign whose store
+        holds records beyond the round that was incomplete at submit); the
+        campaign's coordinate system — schedule keys, key→index map,
+        per-position point keys — is synced with every newly planned
+        position before any shard is enqueued."""
+        planner = campaign.planner
+        pending = planner.replay_from_store()
+        engine = planner.engine
+        for index in range(len(campaign.schedule_keys), len(planner.schedule)):
+            point = planner.schedule[index]
+            key = engine.run_key(point)
+            campaign.schedule_keys.append(key)
+            campaign.key_to_index[key] = index
+            campaign.point_keys.append(point.key)
+            if key in campaign.store:
+                campaign.completed_count += 1
+        if not pending:
+            return
+        group_keys = _adaptive_group_keys(engine, planner.schedule)
+        shards = plan_lease_shards(
+            [index for index, _ in pending], group_keys, campaign.shard_size
+        )
+        campaign.queue.extend(shards)
 
     def _handle_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
         record_payload = message.get("record")
@@ -756,9 +877,14 @@ class CampaignCoordinator:
             del campaign.leases[lease.lease_id]
             stats = message.get("stats")
             if isinstance(stats, dict):
-                # Optional protocol ≥ 2 field: worker-side cache deltas,
+                # Protocol ≥ 3 cost-model counters (running-sum deltas)
+                # merge exactly into the campaign's fleet aggregate; the
+                # remaining numerics are cache deltas (protocol ≥ 2),
                 # summed per campaign for `repro-campaign status`.
+                self._ingest_cost_stats(campaign, stats)
                 for key, value in stats.items():
+                    if key.startswith("cost_"):
+                        continue
                     if isinstance(value, bool) or not isinstance(value, (int, float)):
                         continue
                     campaign.worker_cache_stats[key] = (
@@ -781,10 +907,32 @@ class CampaignCoordinator:
             self._cond.notify_all()
             return {"type": "ack"}
 
+    @staticmethod
+    def _ingest_cost_stats(campaign: _Campaign, stats: Dict[str, Any]) -> None:
+        """Merge one shard's cost-model counter deltas into the campaign's
+        fleet-aggregate model (running sums merge exactly)."""
+        try:
+            n = int(stats.get("cost_observations", 0))
+            if n <= 0:
+                return
+            campaign.cost_model.observe_sums(
+                n,
+                float(stats.get("cost_sum_k", 0.0)),
+                float(stats.get("cost_sum_kk", 0.0)),
+                float(stats.get("cost_sum_t", 0.0)),
+                float(stats.get("cost_sum_kt", 0.0)),
+            )
+        except (TypeError, ValueError):
+            return
+
     def _check_complete(self, campaign: _Campaign) -> None:
         """Flip a running campaign to complete when every key is stored
-        (called under the lock)."""
+        (called under the lock).  An adaptive campaign additionally needs
+        its planner exhausted — more rounds may follow a fully-stored
+        schedule."""
         if campaign.state != "running":
+            return
+        if campaign.planner is not None and not campaign.planner.done:
             return
         if campaign.completed_count >= campaign.total:
             campaign.state = "complete"

@@ -43,7 +43,15 @@ MAX_MESSAGE_BYTES = 1 << 20
 #:   Workers only batch when the coordinator's ``welcome`` advertises
 #:   version ≥ 2; version-1 coordinators keep receiving per-record
 #:   ``result`` messages, and version-1 workers keep working unchanged.
-PROTOCOL_VERSION = 2
+#: * 3 — adaptive (round-planned) campaigns.  ``fetch`` carries the
+#:   worker's ``version``; the coordinator leases adaptive shards only to
+#:   workers advertising ≥ 3.  An adaptive ``shard`` reply carries
+#:   ``"adaptive": true``, explicit ``assignments`` (``[index, point_key]``
+#:   pairs — an adaptive schedule is not locally derivable), and the
+#:   coordinator's aggregate ``cost_model`` snapshot.  Version-2 workers
+#:   keep serving static campaigns unchanged (their version-less ``fetch``
+#:   defaults to 1 and is never handed an adaptive shard).
+PROTOCOL_VERSION = 3
 
 
 class ProtocolError(Exception):

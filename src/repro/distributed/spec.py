@@ -9,6 +9,14 @@ strategy selection, and per-run seeds are all pure functions of the spec,
 so the coordinator and every worker derive the *identical* schedule from
 the same spec and can talk about points purely by schedule index.
 
+For an *adaptive* strategy (``strategy="coverage"``) the contract weakens
+to "spec + completed results determine the next round": the schedule is
+not locally derivable, so the coordinator — which holds the authoritative
+store — runs the round planner and shard leases name their points by
+explicit ``(index, point key)`` assignment instead (protocol ≥ 3, see
+``doc/ADAPTIVE.md``).  Per-run seeds still derive from the shipped index,
+so records stay byte-identical to a serial adaptive run's.
+
 :func:`spec_fingerprint` canonicalises a spec into a stable hash used to
 deduplicate submissions and key worker-side engine caches.
 """

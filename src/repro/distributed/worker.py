@@ -32,6 +32,7 @@ import threading
 import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.controller.costmodel import default_cost_model
 from repro.core.controller.executor import ParallelismSpec
 from repro.core.controller.memo import suffix_memo_stats
 from repro.core.profiler.cache import artifact_cache_stats
@@ -48,16 +49,18 @@ from repro.distributed.spec import CampaignSpec, build_engine, spec_fingerprint
 logger = logging.getLogger("repro.campaignd.worker")
 
 
-def _cache_stats_snapshot() -> Dict[str, int]:
-    """Current boot-template and suffix-memo counters of this process.
+def _cache_stats_snapshot() -> Dict[str, float]:
+    """Current boot-template, suffix-memo, and cost-model counters of this
+    process.
 
     Shard deltas of these are reported on ``shard_done`` so the
     coordinator can explain fabric throughput (memo hit rates, template
-    reuse) without any extra round trips.
+    reuse) and aggregate measured group costs fleet-wide (the ``cost_*``
+    running sums merge exactly) without any extra round trips.
     """
     cache = artifact_cache_stats()
     memo = suffix_memo_stats()
-    return {
+    stats: Dict[str, float] = {
         "boot_hits": cache.boot_hits,
         "boot_misses": cache.boot_misses,
         "boot_shared_hits": cache.boot_shared_hits,
@@ -66,6 +69,8 @@ def _cache_stats_snapshot() -> Dict[str, int]:
         "memo_stores": memo.stores,
         "memo_evictions": memo.evictions,
     }
+    stats.update(default_cost_model().snapshot_counters())
+    return stats
 
 
 class _LeaseLost(Exception):
@@ -182,7 +187,13 @@ class CampaignWorker:
         """Fetch and fully process one shard; False when the coordinator
         had nothing for us (idle poll)."""
         self._ensure_stream()
-        reply = self._rpc({"type": "fetch", "worker_id": self.worker_id})
+        reply = self._rpc({
+            "type": "fetch",
+            "worker_id": self.worker_id,
+            # Protocol ≥ 3: the coordinator leases adaptive shards only to
+            # workers that advertise a version able to interpret them.
+            "version": PROTOCOL_VERSION,
+        })
         kind = reply.get("type")
         if kind == "idle":
             return False
@@ -211,6 +222,12 @@ class CampaignWorker:
         spec = CampaignSpec.from_dict(shard.get("spec"))
         engine, points = self._engine_for(spec)
         lease_timeout = float(shard.get("lease_timeout", 30.0))
+        # Adopt the coordinator's fleet-aggregate cost model *before* the
+        # shard's counter snapshot: adoption replaces local state wholesale
+        # (if better informed), and adopted observations must not appear in
+        # this shard's reported delta — the coordinator's aggregate already
+        # contains them, and merging them back would double-count.
+        default_cost_model().adopt(shard.get("cost_model"))
 
         lost = threading.Event()
         heartbeat = threading.Thread(
@@ -245,7 +262,21 @@ class CampaignWorker:
             self.results_streamed += len(batch)
             batch.clear()
 
-        runs = engine.run_schedule_indices(points, indices, parallelism=self.parallelism)
+        if shard.get("adaptive"):
+            # Adaptive shard (protocol ≥ 3): the coordinator planned the
+            # round centrally, so the lease names its points explicitly
+            # instead of by derivable schedule position.
+            assignments = [
+                (int(index), str(key))
+                for index, key in shard.get("assignments", ())
+            ]
+            runs = engine.run_assignments(
+                points, assignments, parallelism=self.parallelism
+            )
+        else:
+            runs = engine.run_schedule_indices(
+                points, indices, parallelism=self.parallelism
+            )
         try:
             for record in runs:
                 if lost.is_set() or self._stop.is_set():
